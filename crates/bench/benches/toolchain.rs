@@ -1,0 +1,159 @@
+//! Criterion microbenchmarks of the BlockMaestro toolchain itself: parsing,
+//! launch-time analysis, dependency-graph construction (fast vs. naive),
+//! the SM timing model, and the full engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use blockmaestro::{jit_analyze_app, run_analyzed, ExecMode};
+use bm_depgraph::{build_graph, build_graph_naive, HazardMode};
+use bm_ptx::absint::analyze_launch;
+use bm_ptx::kernel::{ArgValue, Dim3, Launch};
+use bm_ptx::parser::parse_kernel;
+use bm_simt::GpuConfig;
+use bm_workloads::{hotspot, vectoradd, Scale};
+use std::sync::Arc;
+
+const VECADD_SRC: &str = r#"
+.entry vecadd(.param .u64 A, .param .u64 B, .param .u64 C, .param .u32 n)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [B];
+  ld.param.u64 %rd3, [C];
+  ld.param.u32 %r9, [n];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+  setp.ge.u32 %p1, %r4, %r9;
+  @%p1 bra $DONE;
+  mul.wide.u32 %rd4, %r4, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  add.u64 %rd6, %rd2, %rd4;
+  ld.global.f32 %f2, [%rd6];
+  add.f32 %f3, %f1, %f2;
+  add.u64 %rd7, %rd3, %rd4;
+  st.global.f32 [%rd7], %f3;
+$DONE:
+  ret;
+}
+"#;
+
+fn bench_parser(c: &mut Criterion) {
+    c.bench_function("parse_vecadd", |b| {
+        b.iter(|| parse_kernel(black_box(VECADD_SRC)).unwrap())
+    });
+}
+
+fn bench_value_range_analysis(c: &mut Criterion) {
+    let kernel = Arc::new(parse_kernel(VECADD_SRC).unwrap());
+    for tbs in [64u32, 512] {
+        let launch = Launch::new(
+            kernel.clone(),
+            Dim3::x(tbs),
+            Dim3::x(256),
+            vec![
+                ArgValue::Ptr(0x10000),
+                ArgValue::Ptr(0x200000),
+                ArgValue::Ptr(0x400000),
+                ArgValue::U32(tbs * 256),
+            ],
+        );
+        c.bench_function(&format!("analyze_launch/{tbs}tbs"), |b| {
+            b.iter(|| analyze_launch(black_box(&launch)))
+        });
+    }
+}
+
+fn bench_graph_builders(c: &mut Criterion) {
+    // Stencil-shaped access sets: a case with real edge structure.
+    let kernel = Arc::new(parse_kernel(VECADD_SRC).unwrap());
+    let mk = |base: u64, tbs: u32| {
+        let launch = Launch::new(
+            kernel.clone(),
+            Dim3::x(tbs),
+            Dim3::x(256),
+            vec![
+                ArgValue::Ptr(base),
+                ArgValue::Ptr(base + 0x100_0000),
+                ArgValue::Ptr(base + 0x200_0000),
+                ArgValue::U32(tbs * 256),
+            ],
+        );
+        analyze_launch(&launch)
+    };
+    let parent = mk(0x10000, 256);
+    let child = Launch::new(
+        kernel.clone(),
+        Dim3::x(256),
+        Dim3::x(256),
+        vec![
+            ArgValue::Ptr(0x10000 + 0x200_0000), // reads what parent wrote
+            ArgValue::Ptr(0x10000),
+            ArgValue::Ptr(0x900_0000),
+            ArgValue::U32(256 * 256),
+        ],
+    );
+    let child = analyze_launch(&child);
+    c.bench_function("build_graph/sweep/256x256", |b| {
+        b.iter(|| build_graph(black_box(&parent), black_box(&child), HazardMode::Raw))
+    });
+    c.bench_function("build_graph/naive/256x256", |b| {
+        b.iter(|| build_graph_naive(black_box(&parent), black_box(&child), HazardMode::Raw))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = GpuConfig::titan_x_pascal();
+    let app = hotspot::build(Scale::Small);
+    let jit = jit_analyze_app(&cfg, &app, HazardMode::Raw);
+    c.bench_function("jit_analyze/hotspot_small", |b| {
+        b.iter(|| jit_analyze_app(black_box(&cfg), black_box(&app), HazardMode::Raw))
+    });
+    c.bench_function("engine_run/hotspot_small", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                run_analyzed(
+                    black_box(&cfg),
+                    black_box(&app),
+                    black_box(&jit),
+                    ExecMode::ConsumerPriority { window: 3 },
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Ablation of the design choices §III-E calls out: scheduling policy and
+/// pre-launch window depth on a dependency-heavy workload.
+fn bench_ablation_policies(c: &mut Criterion) {
+    let cfg = GpuConfig::titan_x_pascal();
+    let app = vectoradd::build(512);
+    let jit = jit_analyze_app(&cfg, &app, HazardMode::Raw);
+    let mut group = c.benchmark_group("ablation_policies");
+    for mode in [
+        ExecMode::Baseline,
+        ExecMode::PreLaunch { window: 2 },
+        ExecMode::ProducerPriority { window: 2 },
+        ExecMode::ConsumerPriority { window: 2 },
+        ExecMode::ConsumerPriority { window: 4 },
+    ] {
+        group.bench_function(mode.to_string(), |b| {
+            b.iter(|| run_analyzed(black_box(&cfg), black_box(&app), black_box(&jit), mode))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_value_range_analysis,
+    bench_graph_builders,
+    bench_engine,
+    bench_ablation_policies
+);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! `bmrun` — command-line driver for the BlockMaestro simulator.
+//!
+//! ```text
+//! bmrun <APP|all> [--mode MODE] [--window N] [--small] [--all-hazards]
+//!       [--verify] [--races] [--patterns]
+//! ```
+//!
+//! * `APP` — a Table II name (`3MM`, `AlexNet`, `BICG`, `FDTD-2D`, `FFT`,
+//!   `GAUSSIAN`, `GRAMSCHM`, `HS`, `LUD`, `MVT`, `NW`, `PATH`) or `all`.
+//! * `--mode` — `baseline`, `ideal`, `graph` (CUDA-Graphs-style), `prelaunch`, `producer`, `consumer`
+//!   (default `consumer`).
+//! * `--window N` — concurrently-active kernels (default 3).
+//! * `--small` — reduced workload scale.
+//! * `--all-hazards` — track WAR/WAW in addition to RAW.
+//! * `--verify` — functionally replay the schedule and compare against
+//!   serialized execution.
+//! * `--races` — run the inter-kernel race detector on the schedule.
+//! * `--patterns` — print the per-kernel-pair dependency patterns.
+//!
+//! Example: `cargo run --release -p bm-bench --bin bmrun -- GAUSSIAN --mode consumer --window 4 --verify`
+
+use blockmaestro::{check_no_races, check_schedule, run_app_with, ExecMode};
+use bm_depgraph::HazardMode;
+use bm_simt::GpuConfig;
+use bm_workloads::{suite, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: bmrun <APP|all> [--mode MODE] [--window N] [--small] [--all-hazards] [--verify] [--races] [--patterns]");
+        return ExitCode::from(2);
+    }
+    let app_name = args[0].clone();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let window: u32 = value("--window")
+        .map(|v| v.parse().expect("--window takes an integer"))
+        .unwrap_or(3);
+    let mode = match value("--mode").as_deref().unwrap_or("consumer") {
+        "baseline" => ExecMode::Baseline,
+        "ideal" => ExecMode::IdealBaseline,
+        "graph" => ExecMode::GraphLaunch,
+        "prelaunch" => ExecMode::PreLaunch { window },
+        "producer" => ExecMode::ProducerPriority { window },
+        "consumer" => ExecMode::ConsumerPriority { window },
+        other => {
+            eprintln!("unknown mode `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    let scale = if flag("--small") { Scale::Small } else { Scale::Full };
+    let hazard = if flag("--all-hazards") {
+        HazardMode::All
+    } else {
+        HazardMode::Raw
+    };
+    let cfg = GpuConfig::titan_x_pascal();
+    let benches: Vec<_> = suite()
+        .into_iter()
+        .filter(|b| app_name == "all" || b.name.eq_ignore_ascii_case(&app_name))
+        .collect();
+    if benches.is_empty() {
+        eprintln!("unknown application `{app_name}` (try `all`)");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for bench in benches {
+        let app = (bench.build)(scale);
+        let base = run_app_with(&cfg, &app, ExecMode::Baseline, hazard);
+        let report = run_app_with(&cfg, &app, mode, hazard);
+        println!(
+            "{:<10} {:>4} kernels  {mode}: {:>10} cycles ({:.1} us)  baseline: {:>10}  speedup {:.3}x  concurrency {:.1}",
+            bench.name,
+            report.num_kernels,
+            report.total_cycles,
+            cfg.cycles_to_us(report.total_cycles),
+            base.total_cycles,
+            base.total_cycles as f64 / report.total_cycles as f64,
+            report.avg_concurrency,
+        );
+        if flag("--patterns") {
+            for (i, (name, p)) in report.patterns.iter().enumerate().skip(1) {
+                println!("    K{:<4} {:<14} {}", i, name, p);
+            }
+        }
+        if flag("--verify") {
+            match check_schedule(&app, &report.schedule) {
+                Ok(eq) if eq.is_match() => println!("    verify : {eq}"),
+                Ok(eq) => {
+                    println!("    verify : FAILED — {eq}");
+                    failed = true;
+                }
+                Err(e) => {
+                    println!("    verify : execution error {e}");
+                    failed = true;
+                }
+            }
+        }
+        if flag("--races") {
+            match check_no_races(&app, &report.schedule) {
+                Ok(races) if races.is_empty() => println!("    races  : none"),
+                Ok(races) => {
+                    println!("    races  : {} conflicts, first {:?}", races.len(), races[0]);
+                    failed = true;
+                }
+                Err(e) => {
+                    println!("    races  : execution error {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

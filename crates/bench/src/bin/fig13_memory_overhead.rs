@@ -1,0 +1,44 @@
+//! Figure 13: memory-request overhead of BlockMaestro's hardware
+//! dependency tracking (dependency-list and parent-counter traffic) as a
+//! fraction of the application's own memory requests.
+//!
+//! Usage: `cargo run --release -p bm-bench --bin fig13_memory_overhead [-- --small]`
+
+use blockmaestro::ExecMode;
+use bm_bench::{print_row, run_suite, scale_from_args};
+use bm_simt::GpuConfig;
+
+fn main() {
+    let cfg = GpuConfig::titan_x_pascal();
+    let scale = scale_from_args();
+    eprintln!("Figure 13: memory request overhead ({scale:?})");
+    print_row(
+        &[
+            "app".into(),
+            "app requests".into(),
+            "hw requests".into(),
+            "overhead %".into(),
+        ],
+        14,
+    );
+    let results = run_suite(&cfg, scale);
+    let mut fracs = Vec::new();
+    for r in &results {
+        let rep = r.report(ExecMode::ConsumerPriority { window: 4 });
+        let f = rep.mem_overhead_fraction();
+        fracs.push(f);
+        print_row(
+            &[
+                r.name.clone(),
+                rep.baseline_mem_requests.to_string(),
+                rep.overhead_mem_requests.to_string(),
+                format!("{:.3}%", 100.0 * f),
+            ],
+            14,
+        );
+    }
+    let avg = fracs.iter().sum::<f64>() / fracs.len() as f64;
+    println!("{:>14} {:>14} {:>14} {:>13.3}%", "average", "", "", 100.0 * avg);
+    println!();
+    println!("paper reference: average memory request overhead ≈ 1.36%");
+}

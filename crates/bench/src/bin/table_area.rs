@@ -1,0 +1,22 @@
+//! §IV-C area overhead: storage of the dependency-list buffer and parent
+//! counter buffer in the thread-block scheduler.
+//!
+//! Usage: `cargo run --release -p bm-bench --bin table_area`
+
+use blockmaestro::hw;
+
+fn main() {
+    println!("BlockMaestro scheduler hardware (§IV-C):");
+    println!("  buffer entries       : {}", hw::BUFFER_ENTRIES);
+    println!("  children per entry   : {}", hw::CHILDREN_PER_ENTRY);
+    println!("  parent counter width : {} bits", hw::COUNTER_BITS);
+    println!("  max encodable degree : {}", hw::MAX_COUNTER);
+    let bytes = hw::area_bytes();
+    println!(
+        "  total storage        : {} bytes ({:.1} KB)",
+        bytes,
+        bytes as f64 / 1024.0
+    );
+    println!();
+    println!("paper reference: ~22 KB of storage plus control logic");
+}

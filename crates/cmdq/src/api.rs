@@ -1,0 +1,222 @@
+//! CUDA-like host API calls and whole-application descriptors.
+
+use bm_ptx::kernel::{ArgValue, Launch};
+use bm_ptx::mem::{AddressSpace, AllocId, GlobalMem};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One host API call, in program order.
+///
+/// These are the *Events* that enter the command queue (paper §II-A).
+/// Blocking behaviour (the crux of Fig. 5) is a property of the call kind:
+/// memory operations block the host, kernel launches do not.
+#[derive(Debug, Clone)]
+pub enum ApiCall {
+    /// `cudaMalloc`: reserves a device allocation. Blocks the host but runs
+    /// on a separate hardware engine (does not serialize the queue).
+    Malloc {
+        /// The allocation being materialized.
+        alloc: AllocId,
+    },
+    /// `cudaMemcpy` host-to-device: writes the allocation. Blocking.
+    MemcpyH2D {
+        /// Destination allocation.
+        alloc: AllocId,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// `cudaMemcpy` device-to-host: reads the allocation. Blocking, and the
+    /// one call whose host-RAW hazard BlockMaestro must still respect.
+    MemcpyD2H {
+        /// Source allocation.
+        alloc: AllocId,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// Asynchronous kernel launch.
+    KernelLaunch(Launch),
+    /// `cudaDeviceSynchronize`: host blocks until the queue drains.
+    DeviceSynchronize,
+}
+
+impl ApiCall {
+    /// Whether the call blocks the host until it completes (§III-C).
+    pub fn is_host_blocking(&self) -> bool {
+        !matches!(self, ApiCall::KernelLaunch(_))
+    }
+
+    /// Short display name for traces.
+    pub fn name(&self) -> String {
+        match self {
+            ApiCall::Malloc { alloc } => format!("cudaMalloc({alloc})"),
+            ApiCall::MemcpyH2D { alloc, .. } => format!("cudaMemcpyH2D({alloc})"),
+            ApiCall::MemcpyD2H { alloc, .. } => format!("cudaMemcpyD2H({alloc})"),
+            ApiCall::KernelLaunch(l) => format!("launch({})", l.kernel.name),
+            ApiCall::DeviceSynchronize => "cudaDeviceSynchronize".into(),
+        }
+    }
+}
+
+impl fmt::Display for ApiCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A complete multi-kernel GPU application: its device address space, the
+/// host API-call trace, and initial host-side data.
+#[derive(Debug, Clone)]
+pub struct Application {
+    /// Application name (e.g. `"GAUSSIAN"`).
+    pub name: String,
+    /// Device allocations referenced by the calls.
+    pub space: AddressSpace,
+    /// Host API calls in program order.
+    pub calls: Vec<ApiCall>,
+    /// Initial contents for H2D copies, keyed by allocation.
+    pub host_data: HashMap<AllocId, Vec<f32>>,
+}
+
+impl Application {
+    /// All kernel launches, in command order.
+    pub fn launches(&self) -> Vec<&Launch> {
+        self.calls
+            .iter()
+            .filter_map(|c| match c {
+                ApiCall::KernelLaunch(l) => Some(l),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of kernel launches (the `# Kernels` column of Table II).
+    pub fn num_kernels(&self) -> usize {
+        self.launches().len()
+    }
+
+    /// Builds device memory and applies every H2D payload, giving the
+    /// functional starting state for correctness runs.
+    pub fn initial_memory(&self) -> GlobalMem {
+        let mut mem = GlobalMem::for_space(&self.space);
+        for call in &self.calls {
+            if let ApiCall::MemcpyH2D { alloc, .. } = call {
+                if let Some(data) = self.host_data.get(alloc) {
+                    let base = self.space.info(*alloc).base;
+                    mem.copy_from_host_f32(base, data);
+                }
+            }
+        }
+        mem
+    }
+
+    /// Runs every kernel functionally in command order (the architectural
+    /// reference semantics) and returns the final memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`bm_ptx::interp::ExecError`].
+    pub fn run_serialized(&self) -> Result<GlobalMem, bm_ptx::interp::ExecError> {
+        let mut mem = self.initial_memory();
+        for call in &self.calls {
+            if let ApiCall::KernelLaunch(l) = call {
+                bm_ptx::interp::execute_launch(l, &mut mem)?;
+            }
+        }
+        Ok(mem)
+    }
+
+    /// The allocations a launch's pointer arguments reference.
+    pub fn launch_allocs(&self, launch: &Launch) -> Vec<AllocId> {
+        let mut out = Vec::new();
+        for arg in &launch.args {
+            if let ArgValue::Ptr(addr) = arg {
+                if let Some(info) = self.space.find(*addr) {
+                    if !out.contains(&info.id) {
+                        out.push(info.id);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_ptx::kernel::Dim3;
+    use bm_ptx::parser::parse_kernel;
+    use std::sync::Arc;
+
+    fn tiny_app() -> Application {
+        let mut space = AddressSpace::new();
+        let a = space.alloc(256);
+        let b = space.alloc(256);
+        let k = Arc::new(
+            parse_kernel(
+                r#".entry copy(.param .u64 A, .param .u64 B) {
+                     ld.param.u64 %rd1, [A];
+                     ld.param.u64 %rd2, [B];
+                     mov.u32 %r1, %tid.x;
+                     mul.wide.u32 %rd3, %r1, 4;
+                     add.u64 %rd4, %rd1, %rd3;
+                     ld.global.f32 %f1, [%rd4];
+                     add.u64 %rd5, %rd2, %rd3;
+                     st.global.f32 [%rd5], %f1;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        );
+        let launch = Launch::new(
+            k,
+            Dim3::x(1),
+            Dim3::x(64),
+            vec![ArgValue::Ptr(a.base), ArgValue::Ptr(b.base)],
+        );
+        let mut host_data = HashMap::new();
+        host_data.insert(a.id, (0..64).map(|i| i as f32).collect());
+        Application {
+            name: "tiny".into(),
+            space,
+            calls: vec![
+                ApiCall::Malloc { alloc: a.id },
+                ApiCall::Malloc { alloc: b.id },
+                ApiCall::MemcpyH2D {
+                    alloc: a.id,
+                    bytes: 256,
+                },
+                ApiCall::KernelLaunch(launch),
+                ApiCall::MemcpyD2H {
+                    alloc: b.id,
+                    bytes: 256,
+                },
+            ],
+            host_data,
+        }
+    }
+
+    #[test]
+    fn blocking_classification() {
+        let app = tiny_app();
+        let blocking: Vec<bool> = app.calls.iter().map(|c| c.is_host_blocking()).collect();
+        assert_eq!(blocking, vec![true, true, true, false, true]);
+    }
+
+    #[test]
+    fn serialized_run_copies_data() {
+        let app = tiny_app();
+        let mem = app.run_serialized().unwrap();
+        let b_base = app.space.allocs()[1].base;
+        assert_eq!(mem.read_f32(b_base + 4 * 10), 10.0);
+        assert_eq!(app.num_kernels(), 1);
+    }
+
+    #[test]
+    fn launch_allocs_resolved_from_pointers() {
+        let app = tiny_app();
+        let launches = app.launches();
+        let allocs = app.launch_allocs(launches[0]);
+        assert_eq!(allocs.len(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! True data dependencies between host API calls.
+//!
+//! At the command-queue level, kernel internals are opaque: a launch is
+//! conservatively assumed to read and write every allocation its pointer
+//! arguments reference. That is exactly the granularity the reordering pass
+//! of Fig. 5 needs — fine-grain TB-level analysis happens later, at kernel
+//! launch time.
+
+use crate::api::{ApiCall, Application};
+use bm_ptx::mem::AllocId;
+use std::collections::HashMap;
+
+/// Per-call allocation effects.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallEffects {
+    /// Allocations read by the call.
+    pub reads: Vec<AllocId>,
+    /// Allocations written by the call.
+    pub writes: Vec<AllocId>,
+    /// Allocation defined (made valid) by the call.
+    pub defines: Option<AllocId>,
+    /// Whether the call is a full barrier (`cudaDeviceSynchronize`).
+    pub barrier: bool,
+}
+
+/// Computes the effects of one call within `app`.
+pub fn call_effects(app: &Application, call: &ApiCall) -> CallEffects {
+    match call {
+        ApiCall::Malloc { alloc } => CallEffects {
+            defines: Some(*alloc),
+            ..CallEffects::default()
+        },
+        ApiCall::MemcpyH2D { alloc, .. } => CallEffects {
+            writes: vec![*alloc],
+            ..CallEffects::default()
+        },
+        ApiCall::MemcpyD2H { alloc, .. } => CallEffects {
+            reads: vec![*alloc],
+            ..CallEffects::default()
+        },
+        ApiCall::KernelLaunch(l) => {
+            let allocs = app.launch_allocs(l);
+            CallEffects {
+                reads: allocs.clone(),
+                writes: allocs,
+                ..CallEffects::default()
+            }
+        }
+        ApiCall::DeviceSynchronize => CallEffects {
+            barrier: true,
+            ..CallEffects::default()
+        },
+    }
+}
+
+/// Dependency DAG over API calls: `preds[i]` lists indices of calls that
+/// must complete before call `i` may run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallDag {
+    /// Predecessor lists, one per call.
+    pub preds: Vec<Vec<usize>>,
+}
+
+impl CallDag {
+    /// Successor lists (transpose of `preds`).
+    pub fn succs(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.preds.len()];
+        for (i, ps) in self.preds.iter().enumerate() {
+            for &p in ps {
+                out[p].push(i);
+            }
+        }
+        out
+    }
+}
+
+/// Builds the true-dependency DAG of `app.calls`.
+///
+/// Edges: RAW/WAR/WAW per allocation, definition-before-use for mallocs,
+/// and `DeviceSynchronize` as a barrier both ways. (Whether a barrier can
+/// later be *bypassed* is a policy decision in the engine; the DAG records
+/// program semantics.)
+pub fn build_call_dag(app: &Application) -> CallDag {
+    let n = app.calls.len();
+    let effects: Vec<CallEffects> = app
+        .calls
+        .iter()
+        .map(|c| call_effects(app, c))
+        .collect();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut last_writer: HashMap<AllocId, usize> = HashMap::new();
+    let mut last_readers: HashMap<AllocId, Vec<usize>> = HashMap::new();
+    let mut definer: HashMap<AllocId, usize> = HashMap::new();
+    let mut last_barrier: Option<usize> = None;
+    let mut since_barrier: Vec<usize> = Vec::new();
+    for (i, eff) in effects.iter().enumerate() {
+        let add = |preds: &mut Vec<Vec<usize>>, from: usize| {
+            if !preds[i].contains(&from) {
+                preds[i].push(from);
+            }
+        };
+        if eff.barrier {
+            // Barrier depends on every call since the previous barrier.
+            for &j in &since_barrier {
+                add(&mut preds, j);
+            }
+            last_barrier = Some(i);
+            since_barrier.clear();
+            since_barrier.push(i);
+            continue;
+        }
+        if let Some(b) = last_barrier {
+            add(&mut preds, b);
+        }
+        if let Some(d) = eff.defines {
+            definer.insert(d, i);
+        }
+        for a in &eff.reads {
+            if let Some(&d) = definer.get(a) {
+                if d != i {
+                    add(&mut preds, d);
+                }
+            }
+            if let Some(&w) = last_writer.get(a) {
+                if w != i {
+                    add(&mut preds, w); // RAW
+                }
+            }
+        }
+        for a in &eff.writes {
+            if let Some(&d) = definer.get(a) {
+                if d != i {
+                    add(&mut preds, d);
+                }
+            }
+            if let Some(&w) = last_writer.get(a) {
+                if w != i {
+                    add(&mut preds, w); // WAW
+                }
+            }
+            for &r in last_readers.get(a).map_or(&Vec::new(), |v| v) {
+                if r != i {
+                    add(&mut preds, r); // WAR
+                }
+            }
+        }
+        // Update views after computing edges.
+        for a in &eff.reads {
+            last_readers.entry(*a).or_default().push(i);
+        }
+        for a in &eff.writes {
+            last_writer.insert(*a, i);
+            last_readers.insert(*a, Vec::new());
+        }
+        since_barrier.push(i);
+    }
+    CallDag { preds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_ptx::kernel::{ArgValue, Dim3, Launch};
+    use bm_ptx::mem::AddressSpace;
+    use bm_ptx::parser::parse_kernel;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// Builds the Fig. 5a call trace:
+    /// malloc A; memcpyH2D A; K1(A); malloc B; memcpyH2D B; K2(B); ...
+    fn fig5_app() -> Application {
+        let mut space = AddressSpace::new();
+        let a = space.alloc(1024);
+        let b = space.alloc(1024);
+        let k = Arc::new(
+            parse_kernel(
+                r#".entry inc(.param .u64 A) {
+                     ld.param.u64 %rd1, [A];
+                     mov.u32 %r1, %tid.x;
+                     mul.wide.u32 %rd2, %r1, 4;
+                     add.u64 %rd3, %rd1, %rd2;
+                     ld.global.f32 %f1, [%rd3];
+                     add.f32 %f1, %f1, 0f3F800000;
+                     st.global.f32 [%rd3], %f1;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        );
+        let launch = |base: u64| {
+            ApiCall::KernelLaunch(Launch::new(
+                k.clone(),
+                Dim3::x(1),
+                Dim3::x(32),
+                vec![ArgValue::Ptr(base)],
+            ))
+        };
+        Application {
+            name: "fig5".into(),
+            space,
+            calls: vec![
+                ApiCall::Malloc { alloc: a.id },     // 0
+                ApiCall::MemcpyH2D { alloc: a.id, bytes: 1024 }, // 1
+                launch(a.base),                       // 2  K1(A)
+                ApiCall::Malloc { alloc: b.id },     // 3
+                ApiCall::MemcpyH2D { alloc: b.id, bytes: 1024 }, // 4
+                launch(b.base),                       // 5  K2(B)
+                ApiCall::MemcpyD2H { alloc: a.id, bytes: 1024 }, // 6
+            ],
+            host_data: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn fig5_dag_shape() {
+        let app = fig5_app();
+        let dag = build_call_dag(&app);
+        // K1 depends on memcpy(A) (and transitively malloc A).
+        assert!(dag.preds[2].contains(&1));
+        // K2 depends on memcpy(B) but NOT on K1 — that independence is what
+        // reordering exploits.
+        assert!(dag.preds[5].contains(&4));
+        assert!(!dag.preds[5].contains(&2));
+        // D2H(A) reads what K1 wrote.
+        assert!(dag.preds[6].contains(&2));
+        // Memcpy(B) has no dependence on anything touching A.
+        assert!(!dag.preds[4].contains(&1));
+        assert!(!dag.preds[4].contains(&2));
+    }
+
+    #[test]
+    fn barrier_orders_both_sides() {
+        let mut app = fig5_app();
+        app.calls.insert(3, ApiCall::DeviceSynchronize);
+        let dag = build_call_dag(&app);
+        // The sync (index 3) depends on all prior calls...
+        assert!(dag.preds[3].contains(&2));
+        // ...and subsequent calls depend on the sync.
+        assert!(dag.preds[4].contains(&3));
+        assert!(dag.preds[6].contains(&3));
+    }
+
+    #[test]
+    fn waw_between_h2d_and_kernel() {
+        let app = fig5_app();
+        let dag = build_call_dag(&app);
+        // Successors of call 1 (memcpy A) include K1.
+        let succs = dag.succs();
+        assert!(succs[1].contains(&2));
+    }
+}

@@ -1,0 +1,31 @@
+//! # bm-cmdq — CUDA-like command-queue model
+//!
+//! Host API calls (`cudaMalloc`, `cudaMemcpy`, kernel launches,
+//! `cudaDeviceSynchronize`), their blocking semantics, the true-dependency
+//! DAG between them, and the programmer-transparent reordering pass that
+//! packs kernel launches together to maximize pre-launching opportunity
+//! (paper §III-C, Fig. 5).
+//!
+//! ```
+//! use bm_cmdq::{Application, ApiCall, reorder_for_prelaunch, is_valid_order};
+//! # use bm_ptx::mem::AddressSpace;
+//! # use std::collections::HashMap;
+//! let mut space = AddressSpace::new();
+//! let a = space.alloc(64);
+//! let app = Application {
+//!     name: "demo".into(),
+//!     space,
+//!     calls: vec![ApiCall::Malloc { alloc: a.id }],
+//!     host_data: HashMap::new(),
+//! };
+//! let r = reorder_for_prelaunch(&app);
+//! assert!(is_valid_order(&app, &r.order));
+//! ```
+
+pub mod api;
+pub mod deps;
+pub mod reorder;
+
+pub use api::{ApiCall, Application};
+pub use deps::{build_call_dag, call_effects, CallDag, CallEffects};
+pub use reorder::{is_valid_order, reorder_for_prelaunch, Reordering};

@@ -1,0 +1,210 @@
+//! Programmer-transparent API command reordering (paper Fig. 5c).
+//!
+//! Greedy list scheduling over the true-dependency DAG: whenever a
+//! non-kernel call is ready it is emitted first, so memory operations are
+//! hoisted ahead of kernel launches and the launches pack together —
+//! maximizing the window in which the next kernel can be pre-launched.
+
+use crate::api::{ApiCall, Application};
+use crate::deps::build_call_dag;
+
+/// The result of reordering: the permutation and convenience accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reordering {
+    /// `order[k]` is the original index of the k-th call after reordering.
+    pub order: Vec<usize>,
+}
+
+impl Reordering {
+    /// The identity reordering (baseline command order).
+    pub fn identity(n: usize) -> Self {
+        Reordering {
+            order: (0..n).collect(),
+        }
+    }
+
+    /// Applies the permutation to the application's calls.
+    pub fn apply(&self, app: &Application) -> Vec<ApiCall> {
+        self.order.iter().map(|&i| app.calls[i].clone()).collect()
+    }
+}
+
+/// Computes the kernel-packing reorder of `app.calls`.
+///
+/// The permutation respects every true dependency (RAW/WAR/WAW per
+/// allocation, malloc-before-use, synchronization barriers); among ready
+/// calls, non-kernel commands go first (in original order), then kernels
+/// (in original order) — which is exactly "move kernel launches as close
+/// together as possible".
+pub fn reorder_for_prelaunch(app: &Application) -> Reordering {
+    let dag = build_call_dag(app);
+    let n = app.calls.len();
+    let mut indegree: Vec<usize> = dag.preds.iter().map(|p| p.len()).collect();
+    let succs = dag.succs();
+    // A call "feeds a kernel" if some kernel launch transitively depends on
+    // it. Only those are worth hoisting ahead of launches; pure sinks like
+    // a trailing device-to-host copy should not wedge between kernels.
+    let mut feeds_kernel = vec![false; n];
+    for i in (0..n).rev() {
+        if matches!(app.calls[i], ApiCall::KernelLaunch(_)) {
+            for &p in &dag.preds[i] {
+                feeds_kernel[p] = true;
+            }
+        } else if feeds_kernel[i] {
+            for &p in &dag.preds[i] {
+                feeds_kernel[p] = true;
+            }
+        }
+    }
+    let mut emitted = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let ready = |i: &usize| !emitted[*i] && indegree[*i] == 0;
+        // 1) non-kernel calls that unblock a future kernel,
+        // 2) kernel launches,
+        // 3) everything else — each class in original program order.
+        let pick = (0..n)
+            .find(|i| {
+                ready(i)
+                    && feeds_kernel[*i]
+                    && !matches!(app.calls[*i], ApiCall::KernelLaunch(_))
+            })
+            .or_else(|| {
+                (0..n).find(|i| ready(i) && matches!(app.calls[*i], ApiCall::KernelLaunch(_)))
+            })
+            .or_else(|| (0..n).find(ready));
+        let i = pick.expect("dependency DAG must be acyclic");
+        emitted[i] = true;
+        order.push(i);
+        for &s in &succs[i] {
+            indegree[s] -= 1;
+        }
+    }
+    Reordering { order }
+}
+
+/// Validates that `order` respects all dependencies of `app` — used by
+/// property tests and debug assertions.
+pub fn is_valid_order(app: &Application, order: &[usize]) -> bool {
+    let dag = build_call_dag(app);
+    let n = app.calls.len();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (k, &i) in order.iter().enumerate() {
+        if i >= n || pos[i] != usize::MAX {
+            return false;
+        }
+        pos[i] = k;
+    }
+    dag.preds
+        .iter()
+        .enumerate()
+        .all(|(i, ps)| ps.iter().all(|&p| pos[p] < pos[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_ptx::kernel::{ArgValue, Dim3, Launch};
+    use bm_ptx::mem::AddressSpace;
+    use bm_ptx::parser::parse_kernel;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// Fig. 5a: malloc A; H2D A; K1(A); malloc B; H2D B; K2(B); D2H(A).
+    fn fig5_app() -> Application {
+        let mut space = AddressSpace::new();
+        let a = space.alloc(1024);
+        let b = space.alloc(1024);
+        let k = Arc::new(
+            parse_kernel(
+                r#".entry inc(.param .u64 A) {
+                     ld.param.u64 %rd1, [A];
+                     mov.u32 %r1, %tid.x;
+                     mul.wide.u32 %rd2, %r1, 4;
+                     add.u64 %rd3, %rd1, %rd2;
+                     ld.global.f32 %f1, [%rd3];
+                     add.f32 %f1, %f1, 0f3F800000;
+                     st.global.f32 [%rd3], %f1;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        );
+        let launch = |base: u64| {
+            ApiCall::KernelLaunch(Launch::new(
+                k.clone(),
+                Dim3::x(1),
+                Dim3::x(32),
+                vec![ArgValue::Ptr(base)],
+            ))
+        };
+        Application {
+            name: "fig5".into(),
+            space,
+            calls: vec![
+                ApiCall::Malloc { alloc: a.id },
+                ApiCall::MemcpyH2D { alloc: a.id, bytes: 1024 },
+                launch(a.base),
+                ApiCall::Malloc { alloc: b.id },
+                ApiCall::MemcpyH2D { alloc: b.id, bytes: 1024 },
+                launch(b.base),
+                ApiCall::MemcpyD2H { alloc: a.id, bytes: 1024 },
+            ],
+            host_data: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn fig5_kernels_become_adjacent() {
+        let app = fig5_app();
+        let r = reorder_for_prelaunch(&app);
+        assert!(is_valid_order(&app, &r.order));
+        // Find positions of the two kernel launches (original idx 2 and 5).
+        let pos = |orig: usize| r.order.iter().position(|&i| i == orig).unwrap();
+        let (k1, k2) = (pos(2), pos(5));
+        // All mallocs/memcpys except the D2H(A) land before K1, so the two
+        // kernels are adjacent (Fig. 5c).
+        assert_eq!(k2, k1 + 1, "kernels should pack together: {:?}", r.order);
+        // Memory setup precedes kernels.
+        assert!(pos(0) < k1 && pos(1) < k1 && pos(3) < k1 && pos(4) < k1);
+        // D2H(A) still follows K1 (true RAW with the host).
+        assert!(pos(6) > k1);
+    }
+
+    #[test]
+    fn identity_is_valid() {
+        let app = fig5_app();
+        let id = Reordering::identity(app.calls.len());
+        assert!(is_valid_order(&app, &id.order));
+        assert_eq!(id.apply(&app).len(), app.calls.len());
+    }
+
+    #[test]
+    fn barrier_limits_hoisting() {
+        let mut app = fig5_app();
+        // Sync between the two kernel regions pins ordering across it.
+        app.calls.insert(3, ApiCall::DeviceSynchronize);
+        let r = reorder_for_prelaunch(&app);
+        assert!(is_valid_order(&app, &r.order));
+        let pos = |orig: usize| r.order.iter().position(|&i| i == orig).unwrap();
+        // Calls after the barrier stay after it.
+        assert!(pos(4) > pos(3));
+        assert!(pos(6) > pos(3));
+        // K1 (orig 2) stays before the barrier.
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        let app = fig5_app();
+        // Kernel before its memcpy.
+        assert!(!is_valid_order(&app, &[0, 2, 1, 3, 4, 5, 6]));
+        // Wrong length.
+        assert!(!is_valid_order(&app, &[0, 1, 2]));
+        // Duplicate entries.
+        assert!(!is_valid_order(&app, &[0, 0, 1, 2, 3, 4, 5]));
+    }
+}

@@ -1,0 +1,10 @@
+//! Comparison with existing task-based execution models (paper §IV-D,
+//! Fig. 14): CUDA Dynamic Parallelism ("Tasks as Kernels"), Wireframe
+//! ("Tasks as TBs"), and BlockMaestro under both scheduling priorities,
+//! evaluated on six wavefront applications of 4K tasks each.
+
+pub mod models;
+pub mod taskgraph;
+
+pub use models::{run_task_graph, CompareModel, WIREFRAME_RUNAHEAD, WIREFRAME_UPDATE_CYCLES};
+pub use taskgraph::TaskGraph;

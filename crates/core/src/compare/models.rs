@@ -1,0 +1,402 @@
+//! Execution models for the Fig. 14 comparison: CUDA Dynamic Parallelism
+//! ("Tasks as Kernels"), Wireframe ("Tasks as TBs"), and BlockMaestro with
+//! producer/consumer priority, all running the same wavefront task graphs
+//! on the shared DES substrate.
+
+use super::taskgraph::TaskGraph;
+use bm_simt::config::GpuConfig;
+use bm_simt::des::{self, DesStats, TbDescriptor, TbKey, TbSource};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Cycles Wireframe's pending-update buffer needs to process one
+/// dependency update. Updates serialize through the size-constrained
+/// hardware task-management buffers the paper cites as Wireframe's
+/// bottleneck (§IV-D); the per-update cost is calibrated so that the
+/// buffer becomes the bottleneck on wide waves, reproducing the paper's
+/// Wireframe-vs-BlockMaestro gap.
+pub const WIREFRAME_UPDATE_CYCLES: u64 = 56;
+/// Wireframe's run-ahead limit in waves.
+pub const WIREFRAME_RUNAHEAD: usize = 3;
+
+/// Which execution model runs the task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareModel {
+    /// CUDA Dynamic Parallelism: each task is a device-side kernel launch
+    /// (3 µs, the host API share removed per §IV-D).
+    Cdp,
+    /// Wireframe: persistent mega-kernel, hardware DAG buffers with
+    /// serialized pending updates and 3-wave run-ahead.
+    Wireframe,
+    /// BlockMaestro, one kernel per wave, producer priority (window 2).
+    BmProducer,
+    /// BlockMaestro, consumer priority (window 4, 3 pre-launched kernels).
+    BmConsumer,
+}
+
+impl CompareModel {
+    /// The Fig. 14 bar set.
+    pub fn all() -> [CompareModel; 4] {
+        [
+            CompareModel::Cdp,
+            CompareModel::Wireframe,
+            CompareModel::BmProducer,
+            CompareModel::BmConsumer,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompareModel::Cdp => "CDP",
+            CompareModel::Wireframe => "Wireframe",
+            CompareModel::BmProducer => "BM-producer",
+            CompareModel::BmConsumer => "BM-consumer",
+        }
+    }
+
+    fn window(&self) -> usize {
+        match self {
+            CompareModel::BmProducer => 2,
+            CompareModel::BmConsumer => 4,
+            _ => usize::MAX,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Task becomes eligible (post launch latency / update processing).
+    Eligible(u32, u32),
+    /// BlockMaestro kernel (wave) arrival.
+    Arrival(u32),
+}
+
+struct TaskSource<'a> {
+    g: &'a TaskGraph,
+    model: CompareModel,
+    counts: Vec<Vec<u32>>,
+    done_tasks: Vec<Vec<bool>>,
+    level_done: Vec<u32>,
+    level_complete: Vec<bool>,
+    /// Ready tasks per level, FIFO.
+    ready: Vec<VecDeque<u32>>,
+    /// Tasks whose deps are met but which are parked on a window/arrival.
+    parked: Vec<Vec<u32>>,
+    pending: BinaryHeap<Reverse<(u64, Ev)>>,
+    min_incomplete: usize,
+    outstanding: u64,
+    // CDP
+    cdp_launch: u64,
+    // Wireframe
+    update_free: u64,
+    // BlockMaestro
+    arrival: Vec<Option<u64>>,
+    issued: usize,
+    retired: usize,
+    next_issue_floor: u64,
+    api_cycles: u64,
+    launch_cycles: u64,
+}
+
+impl<'a> TaskSource<'a> {
+    fn new(cfg: &GpuConfig, g: &'a TaskGraph, model: CompareModel) -> Self {
+        let levels = g.num_levels();
+        let counts: Vec<Vec<u32>> = (0..levels)
+            .map(|l| {
+                (0..g.widths[l])
+                    .map(|i| g.parents(l, i).len() as u32)
+                    .collect()
+            })
+            .collect();
+        let mut src = TaskSource {
+            g,
+            model,
+            counts,
+            done_tasks: (0..levels).map(|l| vec![false; g.widths[l] as usize]).collect(),
+            level_done: vec![0; levels],
+            level_complete: vec![false; levels],
+            ready: (0..levels).map(|_| VecDeque::new()).collect(),
+            parked: (0..levels).map(|_| Vec::new()).collect(),
+            pending: BinaryHeap::new(),
+            min_incomplete: 0,
+            outstanding: g.num_tasks(),
+            cdp_launch: cfg.device_launch_cycles(),
+            update_free: 0,
+            arrival: vec![None; levels],
+            issued: 0,
+            retired: 0,
+            next_issue_floor: 0,
+            api_cycles: cfg.launch_api_cycles,
+            launch_cycles: cfg.kernel_launch_cycles,
+        };
+        // Roots become eligible at t=0 (CDP pays its launch even for them).
+        for i in 0..g.widths[0] {
+            src.deps_met(0, i, 0);
+        }
+        if matches!(model, CompareModel::BmProducer | CompareModel::BmConsumer) {
+            src.bm_admit(0);
+        }
+        src
+    }
+
+    fn is_bm(&self) -> bool {
+        matches!(
+            self.model,
+            CompareModel::BmProducer | CompareModel::BmConsumer
+        )
+    }
+
+    /// Called when a task's dependencies are all satisfied at time `now`.
+    fn deps_met(&mut self, level: usize, idx: u32, now: u64) {
+        match self.model {
+            CompareModel::Cdp => {
+                // Device-side child launch latency.
+                self.pending.push(Reverse((
+                    now + self.cdp_launch,
+                    Ev::Eligible(level as u32, idx),
+                )));
+            }
+            CompareModel::Wireframe | CompareModel::BmProducer | CompareModel::BmConsumer => {
+                self.make_eligible(level, idx, now);
+            }
+        }
+    }
+
+    /// Parks or enqueues a dependency-satisfied task per model windows.
+    fn make_eligible(&mut self, level: usize, idx: u32, _now: u64) {
+        let admitted = match self.model {
+            CompareModel::Cdp => true,
+            CompareModel::Wireframe => level < self.min_incomplete + WIREFRAME_RUNAHEAD,
+            CompareModel::BmProducer | CompareModel::BmConsumer => {
+                self.arrival[level].is_some() && level < self.retired + self.model.window()
+            }
+        };
+        if admitted {
+            self.ready[level].push_back(idx);
+        } else {
+            self.parked[level].push(idx);
+        }
+    }
+
+    /// Re-examines parked tasks after a window/arrival change.
+    fn flush_parked(&mut self, now: u64) {
+        for level in 0..self.g.num_levels() {
+            if self.parked[level].is_empty() {
+                continue;
+            }
+            let admitted = match self.model {
+                CompareModel::Cdp => true,
+                CompareModel::Wireframe => level < self.min_incomplete + WIREFRAME_RUNAHEAD,
+                CompareModel::BmProducer | CompareModel::BmConsumer => {
+                    self.arrival[level].is_some() && level < self.retired + self.model.window()
+                }
+            };
+            if admitted {
+                for idx in std::mem::take(&mut self.parked[level]) {
+                    self.make_eligible(level, idx, now);
+                }
+            }
+        }
+    }
+
+    /// BlockMaestro launch pipeline: issue kernels into the window.
+    fn bm_admit(&mut self, now: u64) {
+        let w = self.model.window();
+        while self.issued < self.g.num_levels() && self.issued < self.retired + w {
+            let issue = now.max(self.next_issue_floor);
+            self.next_issue_floor = issue + self.api_cycles;
+            self.pending.push(Reverse((
+                issue + self.launch_cycles,
+                Ev::Arrival(self.issued as u32),
+            )));
+            self.issued += 1;
+        }
+    }
+}
+
+impl TbSource for TaskSource<'_> {
+    fn pop_ready(&mut self, _now: u64, fits: &dyn Fn(u32, u32) -> bool) -> Option<TbDescriptor> {
+        if !fits(self.g.threads, 0) {
+            return None;
+        }
+        let levels = self.g.num_levels();
+        let order: Box<dyn Iterator<Item = usize>> =
+            if self.model == CompareModel::BmConsumer {
+                Box::new((0..levels).rev())
+            } else {
+                Box::new(0..levels)
+            };
+        for l in order {
+            if let Some(idx) = self.ready[l].pop_front() {
+                return Some(TbDescriptor {
+                    key: TbKey {
+                        kernel_seq: l as u32,
+                        tb: idx,
+                    },
+                    threads: self.g.threads,
+                    shared_bytes: 0,
+                    duration: self.g.duration,
+                });
+            }
+        }
+        None
+    }
+
+    fn on_tb_complete(&mut self, key: TbKey, now: u64) {
+        let l = key.kernel_seq as usize;
+        let idx = key.tb;
+        debug_assert!(!self.done_tasks[l][idx as usize]);
+        self.done_tasks[l][idx as usize] = true;
+        self.level_done[l] += 1;
+        self.outstanding -= 1;
+        // Resolve children.
+        for c in self.g.children(l, idx) {
+            let cl = l + 1;
+            let when = if self.model == CompareModel::Wireframe {
+                // Serialized pending-update buffer.
+                self.update_free = self.update_free.max(now) + WIREFRAME_UPDATE_CYCLES;
+                self.update_free
+            } else {
+                now
+            };
+            self.counts[cl][c as usize] -= 1;
+            if self.counts[cl][c as usize] == 0 {
+                if when > now {
+                    self.pending
+                        .push(Reverse((when, Ev::Eligible(cl as u32, c))));
+                } else {
+                    self.deps_met(cl, c, now);
+                }
+            }
+        }
+        // Level completion bookkeeping.
+        if self.level_done[l] == self.g.widths[l] {
+            self.level_complete[l] = true;
+            while self.min_incomplete < self.g.num_levels()
+                && self.level_complete[self.min_incomplete]
+            {
+                self.min_incomplete += 1;
+            }
+            if self.is_bm() {
+                while self.retired < self.g.num_levels() && self.level_complete[self.retired] {
+                    self.retired += 1;
+                }
+                self.bm_admit(now);
+            }
+            self.flush_parked(now);
+        }
+    }
+
+    fn next_event_at(&self, _now: u64) -> Option<u64> {
+        self.pending.peek().map(|Reverse((t, _))| *t)
+    }
+
+    fn on_time_advance(&mut self, now: u64) {
+        while let Some(Reverse((t, ev))) = self.pending.peek().copied() {
+            if t > now {
+                break;
+            }
+            self.pending.pop();
+            match ev {
+                Ev::Eligible(l, i) => self.make_eligible(l as usize, i, now),
+                Ev::Arrival(l) => {
+                    self.arrival[l as usize] = Some(t);
+                    self.flush_parked(now);
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.outstanding == 0
+    }
+}
+
+/// Runs `graph` under `model`, returning the DES statistics.
+pub fn run_task_graph(cfg: &GpuConfig, graph: &TaskGraph, model: CompareModel) -> DesStats {
+    let mut src = TaskSource::new(cfg, graph, model);
+    des::run(cfg, &mut src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> TaskGraph {
+        TaskGraph::diamond("test", 16, 3_000, 128)
+    }
+
+    #[test]
+    fn all_models_execute_every_task() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let g = small_graph();
+        for m in CompareModel::all() {
+            let stats = run_task_graph(&cfg, &g, m);
+            assert_eq!(stats.tbs_executed, g.num_tasks(), "{}", m.label());
+            assert!(stats.total_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn cdp_pays_per_task_launch_latency() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let g = small_graph();
+        let cdp = run_task_graph(&cfg, &g, CompareModel::Cdp);
+        let wf = run_task_graph(&cfg, &g, CompareModel::Wireframe);
+        // Wireframe avoids launches and must be meaningfully faster.
+        assert!(
+            wf.total_cycles < cdp.total_cycles,
+            "wf {} vs cdp {}",
+            wf.total_cycles,
+            cdp.total_cycles
+        );
+        // CDP's critical path includes a 3 µs launch per wave.
+        let floor = g.num_levels() as u64 * (g.duration);
+        assert!(cdp.total_cycles as f64 >= floor as f64 * 1.5);
+    }
+
+    #[test]
+    fn bm_consumer_outruns_bm_producer() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let g = small_graph();
+        let prod = run_task_graph(&cfg, &g, CompareModel::BmProducer);
+        let cons = run_task_graph(&cfg, &g, CompareModel::BmConsumer);
+        assert!(
+            cons.total_cycles <= prod.total_cycles,
+            "consumer {} should beat producer {}",
+            cons.total_cycles,
+            prod.total_cycles
+        );
+    }
+
+    #[test]
+    fn figure14_ordering_holds() {
+        // The paper's robust qualitative results: CDP slowest, BM-consumer
+        // fastest (≈2× CDP) and ahead of Wireframe; Wireframe and
+        // BM-producer land in between. (Our BM-producer hides slightly more
+        // launch latency than the paper's — see EXPERIMENTS.md.)
+        let cfg = GpuConfig::titan_x_pascal();
+        let g = TaskGraph::diamond("SW", 64, 3_000, 128);
+        let cdp = run_task_graph(&cfg, &g, CompareModel::Cdp).total_cycles;
+        let wf = run_task_graph(&cfg, &g, CompareModel::Wireframe).total_cycles;
+        let prod = run_task_graph(&cfg, &g, CompareModel::BmProducer).total_cycles;
+        let cons = run_task_graph(&cfg, &g, CompareModel::BmConsumer).total_cycles;
+        assert!(cons < wf, "consumer {cons} < wireframe {wf}");
+        assert!(cons < prod, "consumer {cons} < producer {prod}");
+        assert!(wf < cdp, "wireframe {wf} < cdp {cdp}");
+        assert!(prod < cdp, "producer {prod} < cdp {cdp}");
+        // Consumer priority roughly doubles CDP's performance.
+        let speedup = cdp as f64 / cons as f64;
+        assert!(
+            (1.6..2.6).contains(&speedup),
+            "consumer speedup {speedup:.2} should be ≈2×"
+        );
+        // Wireframe lands around the paper's 1.37×.
+        let wf_speedup = cdp as f64 / wf as f64;
+        assert!(
+            (1.15..1.75).contains(&wf_speedup),
+            "wireframe speedup {wf_speedup:.2} should be ≈1.4×"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Wavefront task graphs for the Fig. 14 comparison.
+//!
+//! The paper compares against Wireframe (ref.\[4\]) on six applications with a
+//! wavefront dependency pattern of 4K tasks: anti-diagonal waves over an
+//! n×n grid, so the number of tasks per wave grows to n in the middle and
+//! declines back to one.
+
+/// A wavefront task graph: tasks organized in waves (levels); a task
+/// depends on its neighbours in the previous wave (the anti-diagonal
+/// dependency of dynamic-programming kernels).
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    /// Application name.
+    pub name: String,
+    /// Tasks per wave.
+    pub widths: Vec<u32>,
+    /// Per-task execution cycles.
+    pub duration: u64,
+    /// Threads per task (tasks map to thread blocks).
+    pub threads: u32,
+}
+
+impl TaskGraph {
+    /// Diamond wavefront over an `n × n` grid: waves of width
+    /// `1, 2, …, n, …, 2, 1` (2n-1 waves, n² tasks).
+    pub fn diamond(name: &str, n: u32, duration: u64, threads: u32) -> Self {
+        let mut widths = Vec::with_capacity(2 * n as usize - 1);
+        for w in 1..=n {
+            widths.push(w);
+        }
+        for w in (1..n).rev() {
+            widths.push(w);
+        }
+        TaskGraph {
+            name: name.to_string(),
+            widths,
+            duration,
+            threads,
+        }
+    }
+
+    /// Total number of tasks.
+    pub fn num_tasks(&self) -> u64 {
+        self.widths.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Number of waves.
+    pub fn num_levels(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Parents of task `idx` in level `level` — its anti-diagonal
+    /// neighbours in the previous wave.
+    ///
+    /// While the wave is growing (width increases), cell `(i, j)` on the
+    /// anti-diagonal depends on the up and left neighbours, which are
+    /// entries `idx-1` and `idx` of the previous wave; while shrinking,
+    /// they are `idx` and `idx+1`.
+    pub fn parents(&self, level: usize, idx: u32) -> Vec<u32> {
+        if level == 0 {
+            return Vec::new();
+        }
+        let prev_w = self.widths[level - 1];
+        let cur_w = self.widths[level];
+        let mut out = Vec::new();
+        if cur_w > prev_w {
+            // Growing: parents idx-1 and idx (clipped).
+            if idx > 0 {
+                out.push(idx - 1);
+            }
+            if idx < prev_w {
+                out.push(idx);
+            }
+        } else {
+            // Shrinking (or equal): parents idx and idx+1 (clipped).
+            if idx < prev_w {
+                out.push(idx);
+            }
+            if idx + 1 < prev_w {
+                out.push(idx + 1);
+            }
+        }
+        out
+    }
+
+    /// Children of task `idx` in level `level` (inverse of [`parents`]).
+    ///
+    /// [`parents`]: TaskGraph::parents
+    pub fn children(&self, level: usize, idx: u32) -> Vec<u32> {
+        if level + 1 >= self.widths.len() {
+            return Vec::new();
+        }
+        let next_w = self.widths[level + 1];
+        (0..next_w)
+            .filter(|&c| self.parents(level + 1, c).contains(&idx))
+            .collect()
+    }
+
+    /// Total dependency edges.
+    pub fn num_edges(&self) -> u64 {
+        (1..self.widths.len())
+            .map(|l| {
+                (0..self.widths[l])
+                    .map(|i| self.parents(l, i).len() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// The six wavefront applications used for Fig. 14 (4K tasks each:
+    /// 64 × 64 grids). Durations vary with each application's per-task
+    /// arithmetic intensity.
+    pub fn figure14_suite() -> Vec<TaskGraph> {
+        vec![
+            TaskGraph::diamond("SW", 64, 3_000, 128),
+            TaskGraph::diamond("DTW", 64, 3_600, 128),
+            TaskGraph::diamond("SAT", 64, 2_400, 128),
+            TaskGraph::diamond("SOR", 64, 3_000, 256),
+            TaskGraph::diamond("FW", 64, 4_200, 128),
+            TaskGraph::diamond("LCS", 64, 2_000, 128),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_shape_and_count() {
+        let g = TaskGraph::diamond("t", 64, 1000, 128);
+        assert_eq!(g.num_levels(), 127);
+        assert_eq!(g.num_tasks(), 64 * 64);
+        assert_eq!(*g.widths.iter().max().unwrap(), 64);
+        assert_eq!(g.widths[0], 1);
+        assert_eq!(*g.widths.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn parents_growing_and_shrinking() {
+        let g = TaskGraph::diamond("t", 4, 1000, 128);
+        // widths: 1 2 3 4 3 2 1
+        assert_eq!(g.parents(0, 0), Vec::<u32>::new());
+        assert_eq!(g.parents(1, 0), vec![0]);
+        assert_eq!(g.parents(1, 1), vec![0]);
+        assert_eq!(g.parents(2, 1), vec![0, 1]);
+        // Shrinking side: level 4 (width 3) from level 3 (width 4).
+        assert_eq!(g.parents(4, 0), vec![0, 1]);
+        assert_eq!(g.parents(4, 2), vec![2, 3]);
+    }
+
+    #[test]
+    fn children_invert_parents() {
+        let g = TaskGraph::diamond("t", 8, 1000, 128);
+        for l in 0..g.num_levels() - 1 {
+            for i in 0..g.widths[l] {
+                for c in g.children(l, i) {
+                    assert!(g.parents(l + 1, c).contains(&i));
+                }
+            }
+        }
+        // Every non-root task has at least one parent.
+        for l in 1..g.num_levels() {
+            for i in 0..g.widths[l] {
+                assert!(!g.parents(l, i).is_empty(), "task ({l},{i}) orphaned");
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_4k_tasks_each() {
+        for g in TaskGraph::figure14_suite() {
+            assert_eq!(g.num_tasks(), 4096, "{}", g.name);
+        }
+    }
+}

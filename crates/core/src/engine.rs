@@ -1,0 +1,927 @@
+//! The BlockMaestro execution engine.
+//!
+//! Implements the paper's runtime on top of the `bm-simt` discrete-event
+//! substrate: kernel pre-launching through a bounded window of active
+//! kernels, in-order kernel completion, TB-level dependency resolution via
+//! the dependency-list / parent-counter buffers, and the producer/consumer
+//! scheduling policies. The baselines (serialized execution with and
+//! without launch overhead) run through the same machinery with a window
+//! of one.
+
+use crate::hw::{DepListBuffer, HwTraffic, ParentCounterBuffer};
+use crate::jit::{jit_analyze_app, JitKernel};
+use crate::modes::ExecMode;
+use bm_cmdq::{build_call_dag, reorder_for_prelaunch, ApiCall, Application, Reordering};
+use bm_depgraph::{GraphKind, HazardMode, Pattern};
+use bm_simt::config::GpuConfig;
+use bm_simt::des::{self, DesStats, TbDescriptor, TbKey, TbSource};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Results of one application run under one execution mode.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The mode that produced this report.
+    pub mode: ExecMode,
+    /// End-to-end cycles including host prologue/epilogue.
+    pub total_cycles: u64,
+    /// Cycles from first kernel issue to last TB completion.
+    pub kernel_region_cycles: u64,
+    /// Average concurrently-running thread blocks (Fig. 10).
+    pub avg_concurrency: f64,
+    /// Per-TB dependency stall normalized to TB execution time (Fig. 11).
+    pub stalls_normalized: Vec<f64>,
+    /// Application memory transactions (kernels' own traffic).
+    pub baseline_mem_requests: u64,
+    /// Scheduler-hardware memory transactions (Fig. 13 overhead).
+    pub overhead_mem_requests: u64,
+    /// Detailed hardware traffic breakdown.
+    pub hw_traffic: HwTraffic,
+    /// Total encoded dependency-graph bytes over the run (Table III).
+    pub storage_encoded: u64,
+    /// Total plain dependency-graph bytes over the run (Table III).
+    pub storage_plain: u64,
+    /// Per-kernel `(name, pattern)` classification (Table II).
+    pub patterns: Vec<(String, Pattern)>,
+    /// The full TB schedule `(key, start, finish)`.
+    pub schedule: Vec<(TbKey, u64, u64)>,
+    /// Number of kernels executed.
+    pub num_kernels: usize,
+    /// Peak simultaneous dependency-list buffer occupancy — must stay
+    /// within the 896 entries of §IV-C.
+    pub dlb_high_water: usize,
+    /// Peak simultaneous parent-counter buffer occupancy.
+    pub pcb_high_water: usize,
+}
+
+impl RunReport {
+    /// Memory-request overhead as a fraction of application traffic.
+    pub fn mem_overhead_fraction(&self) -> f64 {
+        if self.baseline_mem_requests == 0 {
+            0.0
+        } else {
+            self.overhead_mem_requests as f64 / self.baseline_mem_requests as f64
+        }
+    }
+
+    /// Encoded-over-plain storage ratio (Table III); `None` when the app
+    /// stores no dependency graphs at all (fully independent kernels).
+    pub fn storage_ratio(&self) -> Option<f64> {
+        (self.storage_plain > 0).then(|| self.storage_encoded as f64 / self.storage_plain as f64)
+    }
+}
+
+/// Runs `app` under `mode` with the paper's default RAW-only hazard
+/// tracking.
+pub fn run_app(cfg: &GpuConfig, app: &Application, mode: ExecMode) -> RunReport {
+    run_app_with(cfg, app, mode, HazardMode::Raw)
+}
+
+/// Runs `app` under `mode` with an explicit hazard-tracking mode.
+pub fn run_app_with(
+    cfg: &GpuConfig,
+    app: &Application,
+    mode: ExecMode,
+    hazard: HazardMode,
+) -> RunReport {
+    let jit = jit_analyze_app(cfg, app, hazard);
+    run_analyzed(cfg, app, &jit, mode)
+}
+
+/// Runs an already-analyzed application (lets callers share the JIT pass
+/// across the six Fig. 9 variants).
+pub fn run_analyzed(
+    cfg: &GpuConfig,
+    app: &Application,
+    jit: &[JitKernel],
+    mode: ExecMode,
+) -> RunReport {
+    let order = if mode.prelaunches() {
+        reorder_for_prelaunch(app)
+    } else {
+        Reordering::identity(app.calls.len())
+    };
+    let (host_ready, epilogue) = host_timeline(cfg, app, &order, mode);
+    let mut source = EngineSource::new(cfg, jit, mode, host_ready);
+    let stats = des::run(cfg, &mut source);
+    assemble_report(cfg, jit, mode, &source, stats, epilogue)
+}
+
+/// Host-side issue times for each kernel plus the post-kernel epilogue
+/// cost (trailing D2H copies etc.).
+///
+/// Baseline modes model blocking semantics: every memory call occupies the
+/// host before the next call can be reached. Pre-launching modes model the
+/// paper's "treat blocking operations as non-blocking" (§III-C): the host
+/// issues commands back-to-back while copies drain through a DMA engine,
+/// and a kernel only waits for the *specific* copies it depends on.
+fn host_timeline(
+    cfg: &GpuConfig,
+    app: &Application,
+    order: &Reordering,
+    mode: ExecMode,
+) -> (Vec<u64>, u64) {
+    let api = if mode.has_launch_overhead() {
+        cfg.launch_api_cycles
+    } else {
+        0
+    };
+    let copy_cost =
+        |bytes: u64| cfg.memcpy_setup_cycles + bytes / cfg.memcpy_bytes_per_cycle.max(1);
+    let mut host_ready = Vec::new();
+    let mut tail: u64 = 0;
+    if !mode.prelaunches() {
+        // Blocking host: costs serialize in command order.
+        let mut h: u64 = 0;
+        for &i in &order.order {
+            match &app.calls[i] {
+                ApiCall::Malloc { .. } => {
+                    h += cfg.malloc_cycles;
+                    tail = 0;
+                }
+                ApiCall::MemcpyH2D { bytes, .. } => {
+                    h += copy_cost(*bytes);
+                    tail = 0;
+                }
+                ApiCall::MemcpyD2H { bytes, .. } => {
+                    let cost = copy_cost(*bytes);
+                    h += cost;
+                    tail += cost;
+                }
+                ApiCall::DeviceSynchronize => {
+                    tail = 0;
+                }
+                ApiCall::KernelLaunch(_) => {
+                    host_ready.push(h);
+                    h += api;
+                    tail = 0;
+                }
+            }
+        }
+        return (host_ready, tail);
+    }
+    // Non-blocking host: per-call issue cost only; copies drain serially
+    // through the DMA engine; kernels gate on their own copy dependencies.
+    const ISSUE_CYCLES: u64 = 200;
+    let dag = build_call_dag(app);
+    let n = app.calls.len();
+    let mut finish = vec![0u64; n];
+    let mut host: u64 = 0;
+    let mut dma: u64 = 0;
+    for &i in &order.order {
+        match &app.calls[i] {
+            ApiCall::Malloc { .. } => {
+                host += ISSUE_CYCLES;
+                finish[i] = host + cfg.malloc_cycles;
+            }
+            ApiCall::MemcpyH2D { bytes, .. } | ApiCall::MemcpyD2H { bytes, .. } => {
+                host += ISSUE_CYCLES;
+                dma = dma.max(host) + copy_cost(*bytes);
+                finish[i] = dma;
+                if matches!(app.calls[i], ApiCall::MemcpyD2H { .. }) {
+                    tail += copy_cost(*bytes);
+                } else {
+                    tail = 0;
+                }
+            }
+            ApiCall::DeviceSynchronize => {}
+            ApiCall::KernelLaunch(_) => {
+                let gate = dag.preds[i]
+                    .iter()
+                    .filter(|&&p| !matches!(app.calls[p], ApiCall::KernelLaunch(_)))
+                    .map(|&p| finish[p])
+                    .max()
+                    .unwrap_or(0);
+                host_ready.push(host.max(gate));
+                host += api;
+                finish[i] = host;
+                tail = 0;
+            }
+        }
+    }
+    (host_ready, tail)
+}
+
+#[derive(Debug)]
+struct KernelState {
+    n_tbs: u32,
+    threads: u32,
+    shared_bytes: u32,
+    duration: u64,
+    /// Remaining parent counts per TB (explicit graphs only).
+    counts: Vec<u32>,
+    /// Time each TB's data dependencies were satisfied.
+    data_ready: Vec<Option<u64>>,
+    /// Per-TB completion flags.
+    done: Vec<bool>,
+    /// TBs eligible for scheduling right now.
+    ready: VecDeque<u32>,
+    /// Whether a TB has been pushed to `ready` (or scheduled).
+    pushed: Vec<bool>,
+    /// Kernel seqs (skip gates) that must fully complete first.
+    gates: Vec<u32>,
+    completed: u32,
+    arrival: Option<u64>,
+    issued: bool,
+    complete: bool,
+}
+
+struct EngineSource<'a> {
+    mode: ExecMode,
+    window: usize,
+    jit: &'a [JitKernel],
+    kernels: Vec<KernelState>,
+    retired: usize,
+    issued_count: usize,
+    next_issue_floor: u64,
+    host_ready: Vec<u64>,
+    launch_cycles: u64,
+    api_cycles: u64,
+    arrivals: BinaryHeap<Reverse<(u64, usize)>>,
+    dlb: DepListBuffer,
+    pcb: ParentCounterBuffer,
+    /// Alternates consumer-priority placement between run-ahead (newest
+    /// kernel first) and producer progress (oldest first), so run-ahead
+    /// cannot starve the retirement-critical producer when thread-block
+    /// demand exceeds the GPU's resident-TB slots.
+    consumer_toggle: bool,
+}
+
+impl<'a> EngineSource<'a> {
+    fn new(
+        cfg: &GpuConfig,
+        jit: &'a [JitKernel],
+        mode: ExecMode,
+        host_ready: Vec<u64>,
+    ) -> Self {
+        let fine = mode.fine_grain();
+        let kernels: Vec<KernelState> = jit
+            .iter()
+            .map(|k| {
+                let n = k.profile.n_tbs;
+                // Coarse modes treat any dependence as a whole-kernel
+                // barrier; fine-grain modes use the bipartite graph.
+                let counts = if fine {
+                    match k.graph.kind() {
+                        GraphKind::Explicit(_) => k.graph.parent_counts(),
+                        _ => Vec::new(),
+                    }
+                } else {
+                    Vec::new()
+                };
+                KernelState {
+                    n_tbs: n,
+                    threads: k.profile.threads,
+                    shared_bytes: k.profile.shared_bytes,
+                    duration: k.profile.duration,
+                    counts,
+                    data_ready: vec![None; n as usize],
+                    done: vec![false; n as usize],
+                    ready: VecDeque::new(),
+                    pushed: vec![false; n as usize],
+                    gates: k.skip_gates.clone(),
+                    completed: 0,
+                    arrival: None,
+                    issued: false,
+                    complete: n == 0,
+                }
+            })
+            .collect();
+        let mut src = EngineSource {
+            mode,
+            window: mode.window() as usize,
+            jit,
+            kernels,
+            retired: 0,
+            issued_count: 0,
+            // CUDA-Graphs-style execution pays one launch for the whole
+            // instantiated graph before any kernel runs.
+            next_issue_floor: if matches!(mode, ExecMode::GraphLaunch) {
+                cfg.kernel_launch_cycles
+            } else {
+                0
+            },
+            host_ready,
+            launch_cycles: if mode.has_launch_overhead() {
+                cfg.kernel_launch_cycles
+            } else {
+                0
+            },
+            api_cycles: if mode.has_launch_overhead() {
+                cfg.launch_api_cycles
+            } else {
+                0
+            },
+            arrivals: BinaryHeap::new(),
+            dlb: DepListBuffer::new(),
+            pcb: ParentCounterBuffer::default(),
+            consumer_toggle: false,
+        };
+        // Seed initial data-readiness at time 0.
+        for k in 0..src.jit.len() {
+            src.seed_initial_readiness(k);
+        }
+        src.admit_kernels(0);
+        // Retire any zero-TB kernels immediately (defensive; workloads
+        // never produce them).
+        src.cascade_retirement(0);
+        src
+    }
+
+    /// Marks TBs whose dependencies are satisfied from the start.
+    fn seed_initial_readiness(&mut self, k: usize) {
+        let fine = self.mode.fine_grain();
+        let barrier = self.kernel_is_barriered(k);
+        let st = &mut self.kernels[k];
+        if k == 0 || !barrier {
+            // First kernel, or independent of its predecessor: every TB is
+            // data-ready at t=0 (fine-grain explicit handled below).
+            if st.counts.is_empty() {
+                for tb in 0..st.n_tbs as usize {
+                    st.data_ready[tb] = Some(0);
+                }
+                return;
+            }
+        }
+        if fine {
+            // Explicit graph: TBs with zero parents are data-ready now.
+            for tb in 0..st.n_tbs as usize {
+                if st.counts.get(tb).copied().unwrap_or(0) == 0 && !st.counts.is_empty() {
+                    st.data_ready[tb] = Some(0);
+                }
+            }
+        }
+    }
+
+    /// Whether kernel `k` waits on its predecessor as a whole
+    /// (coarse modes with any dependence, or fully-connected graphs).
+    fn kernel_is_barriered(&self, k: usize) -> bool {
+        if k == 0 {
+            return false;
+        }
+        let g = &self.jit[k].graph;
+        match g.kind() {
+            GraphKind::Independent => false,
+            GraphKind::FullyConnected => true,
+            GraphKind::Explicit(_) => !self.mode.fine_grain(),
+        }
+    }
+
+    /// Issues kernels into the active window as retirement frees slots.
+    fn admit_kernels(&mut self, now: u64) {
+        while self.issued_count < self.jit.len() && self.issued_count < self.retired + self.window
+        {
+            let k = self.issued_count;
+            let issue = now
+                .max(self.host_ready.get(k).copied().unwrap_or(0))
+                .max(self.next_issue_floor);
+            self.next_issue_floor = issue + self.api_cycles;
+            let arrival = issue + self.launch_cycles;
+            self.kernels[k].issued = true;
+            self.arrivals.push(Reverse((arrival, k)));
+            self.issued_count += 1;
+        }
+    }
+
+    fn gates_open(&self, k: usize) -> bool {
+        self.kernels[k]
+            .gates
+            .iter()
+            .all(|&g| self.kernels[g as usize].complete)
+    }
+
+    /// Pushes every eligible TB of kernel `k` into its ready queue.
+    fn flush_ready(&mut self, k: usize) {
+        if self.kernels[k].arrival.is_none() || !self.gates_open(k) {
+            return;
+        }
+        let st = &mut self.kernels[k];
+        for tb in 0..st.n_tbs as usize {
+            if !st.pushed[tb] && st.data_ready[tb].is_some() {
+                st.pushed[tb] = true;
+                st.ready.push_back(tb as u32);
+            }
+        }
+    }
+
+    /// Marks one TB data-ready and enqueues it if eligible.
+    fn mark_data_ready(&mut self, k: usize, tb: u32, now: u64) {
+        let eligible = self.kernels[k].arrival.is_some() && self.gates_open(k);
+        let st = &mut self.kernels[k];
+        if st.data_ready[tb as usize].is_none() {
+            st.data_ready[tb as usize] = Some(now);
+        }
+        if eligible && !st.pushed[tb as usize] {
+            st.pushed[tb as usize] = true;
+            st.ready.push_back(tb);
+        }
+    }
+
+    /// Called when kernel `k` has completed all TBs.
+    fn on_kernel_complete(&mut self, k: usize, now: u64) {
+        self.kernels[k].complete = true;
+        // Whole-kernel barrier children become data-ready.
+        if k + 1 < self.kernels.len() && self.kernel_is_barriered(k + 1) {
+            for tb in 0..self.kernels[k + 1].n_tbs {
+                self.mark_data_ready(k + 1, tb, now);
+            }
+        }
+        // Skip gates opened by this completion.
+        for j in 0..self.kernels.len() {
+            if self.kernels[j].gates.contains(&(k as u32)) {
+                self.flush_ready(j);
+            }
+        }
+        self.cascade_retirement(now);
+    }
+
+    /// In-order kernel completion: kernel `k` retires only after `k-1`
+    /// retired; retirement frees window slots for pre-launching.
+    fn cascade_retirement(&mut self, now: u64) {
+        while self.retired < self.kernels.len() && self.kernels[self.retired].complete {
+            self.retired += 1;
+        }
+        self.admit_kernels(now);
+    }
+
+    fn active_range(&self) -> std::ops::Range<usize> {
+        self.retired..self.issued_count
+    }
+}
+
+impl TbSource for EngineSource<'_> {
+    fn pop_ready(&mut self, _now: u64, fits: &dyn Fn(u32, u32) -> bool) -> Option<TbDescriptor> {
+        let range = self.active_range();
+        let order: Vec<usize> = if self.mode.consumer_priority() {
+            self.consumer_toggle = !self.consumer_toggle;
+            if self.consumer_toggle {
+                range.rev().collect()
+            } else {
+                range.collect()
+            }
+        } else {
+            range.collect()
+        };
+        for k in order {
+            let st = &self.kernels[k];
+            if st.arrival.is_none() || st.ready.is_empty() {
+                continue;
+            }
+            if !fits(st.threads, st.shared_bytes) {
+                continue;
+            }
+            let st = &mut self.kernels[k];
+            let tb = st.ready.pop_front().expect("checked non-empty");
+            return Some(TbDescriptor {
+                key: TbKey {
+                    kernel_seq: k as u32,
+                    tb,
+                },
+                threads: st.threads,
+                shared_bytes: st.shared_bytes,
+                duration: st.duration,
+            });
+        }
+        None
+    }
+
+    fn on_tb_start(&mut self, key: TbKey, _now: u64) {
+        let k = key.kernel_seq as usize;
+        // Buffer this TB's dependency-list entry: the children it must
+        // notify live in the *next* kernel's graph.
+        let (children, encoded) = match self.jit.get(k + 1) {
+            Some(next) if self.mode.fine_grain() => match next.graph.kind() {
+                GraphKind::Explicit(_) => (next.graph.children_of(key.tb), next.encoded),
+                // Symbolic graphs derive children; nothing to buffer.
+                _ => (Vec::new(), true),
+            },
+            _ => (Vec::new(), true),
+        };
+        self.dlb.insert(key, children, encoded);
+        // The child TB's own parent-counter entry is released when it is
+        // selected for execution (§III-D1).
+        self.pcb.release(key);
+    }
+
+    fn on_tb_complete(&mut self, key: TbKey, now: u64) {
+        let k = key.kernel_seq as usize;
+        let children = self.dlb.take(key);
+        {
+            let st = &mut self.kernels[k];
+            debug_assert!(!st.done[key.tb as usize], "double completion");
+            st.done[key.tb as usize] = true;
+            st.completed += 1;
+        }
+        // Fine-grain decrement of the children's parent counters.
+        if !children.is_empty() {
+            let ck = k + 1;
+            for c in children {
+                let child_key = TbKey {
+                    kernel_seq: ck as u32,
+                    tb: c,
+                };
+                let stored = self.kernels[ck].counts[c as usize];
+                let zero = self.pcb.decrement_with_refetch(child_key, stored);
+                self.kernels[ck].counts[c as usize] = stored - 1;
+                if zero {
+                    self.mark_data_ready(ck, c, now);
+                }
+            }
+        }
+        if self.kernels[k].completed == self.kernels[k].n_tbs {
+            self.on_kernel_complete(k, now);
+        }
+    }
+
+    fn next_event_at(&self, _now: u64) -> Option<u64> {
+        self.arrivals.peek().map(|Reverse((t, _))| *t)
+    }
+
+    fn on_time_advance(&mut self, now: u64) {
+        while let Some(Reverse((t, k))) = self.arrivals.peek().copied() {
+            if t > now {
+                break;
+            }
+            self.arrivals.pop();
+            self.kernels[k].arrival = Some(t);
+            self.flush_ready(k);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.retired == self.kernels.len()
+    }
+}
+
+fn assemble_report(
+    _cfg: &GpuConfig,
+    jit: &[JitKernel],
+    mode: ExecMode,
+    source: &EngineSource,
+    stats: DesStats,
+    epilogue: u64,
+) -> RunReport {
+    // Stalls: schedule start minus data-ready time, normalized by duration.
+    let mut stalls = Vec::with_capacity(stats.schedule.len());
+    for &(key, start, _finish) in &stats.schedule {
+        let k = key.kernel_seq as usize;
+        let ready = source.kernels[k].data_ready[key.tb as usize].unwrap_or(start);
+        let dur = source.kernels[k].duration.max(1) as f64;
+        stalls.push(start.saturating_sub(ready) as f64 / dur);
+    }
+    let baseline_mem: u64 = jit
+        .iter()
+        .map(|k| k.profile.n_tbs as u64 * k.profile.txns_per_tb)
+        .sum();
+    let mut traffic = source.dlb.traffic();
+    let pcb_t = source.pcb.traffic();
+    traffic.counter_fetches += pcb_t.counter_fetches;
+    traffic.counter_writebacks += pcb_t.counter_writebacks;
+    let storage_encoded: u64 = jit.iter().map(|k| k.storage.encoded_bytes).sum();
+    let storage_plain: u64 = jit.iter().map(|k| k.storage.plain_bytes).sum();
+    let patterns = jit
+        .iter()
+        .map(|k| (k.name.clone(), k.storage.pattern))
+        .collect();
+    RunReport {
+        mode,
+        total_cycles: stats.total_cycles + epilogue,
+        kernel_region_cycles: stats.total_cycles,
+        avg_concurrency: stats.avg_concurrency(),
+        stalls_normalized: stalls,
+        baseline_mem_requests: baseline_mem,
+        overhead_mem_requests: if mode.fine_grain() { traffic.total() } else { 0 },
+        hw_traffic: traffic,
+        storage_encoded,
+        storage_plain,
+        patterns,
+        schedule: stats.schedule,
+        num_kernels: jit.len(),
+        dlb_high_water: source.dlb.high_water(),
+        pcb_high_water: source.pcb.high_water(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_ptx::kernel::{ArgValue, Dim3, Launch};
+    use bm_ptx::mem::AddressSpace;
+    use bm_ptx::parser::parse_kernel;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// `Y[i] = X[i] + 1` — the canonical 1-to-1 kernel.
+    fn map_kernel() -> Arc<bm_ptx::kernel::Kernel> {
+        Arc::new(
+            parse_kernel(
+                r#".entry step(.param .u64 X, .param .u64 Y) {
+                     ld.param.u64 %rd1, [X];
+                     ld.param.u64 %rd2, [Y];
+                     mov.u32 %r1, %ctaid.x;
+                     mov.u32 %r2, %ntid.x;
+                     mov.u32 %r3, %tid.x;
+                     mad.lo.u32 %r4, %r1, %r2, %r3;
+                     mul.wide.u32 %rd3, %r4, 4;
+                     add.u64 %rd4, %rd1, %rd3;
+                     ld.global.f32 %f1, [%rd4];
+                     add.f32 %f2, %f1, 0f3F800000;
+                     add.u64 %rd5, %rd2, %rd3;
+                     st.global.f32 [%rd5], %f2;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        )
+    }
+
+    /// Builds an app launching `step` over the given buffer pairs.
+    fn chain_app(pairs: &[(usize, usize)], n_allocs: usize, tbs: u32) -> Application {
+        let n = tbs as u64 * 64;
+        let mut space = AddressSpace::new();
+        let allocs: Vec<_> = (0..n_allocs).map(|_| space.alloc(4 * n)).collect();
+        let k = map_kernel();
+        let calls = pairs
+            .iter()
+            .map(|&(x, y)| {
+                ApiCall::KernelLaunch(Launch::new(
+                    k.clone(),
+                    Dim3::x(tbs),
+                    Dim3::x(64),
+                    vec![
+                        ArgValue::Ptr(allocs[x].base),
+                        ArgValue::Ptr(allocs[y].base),
+                    ],
+                ))
+            })
+            .collect();
+        Application {
+            name: "test".into(),
+            space,
+            calls,
+            host_data: HashMap::new(),
+        }
+    }
+
+    fn starts_of(report: &RunReport, kernel: u32) -> Vec<u64> {
+        report
+            .schedule
+            .iter()
+            .filter(|(k, _, _)| k.kernel_seq == kernel)
+            .map(|&(_, s, _)| s)
+            .collect()
+    }
+
+    fn finishes_of(report: &RunReport, kernel: u32) -> Vec<u64> {
+        report
+            .schedule
+            .iter()
+            .filter(|(k, _, _)| k.kernel_seq == kernel)
+            .map(|&(_, _, f)| f)
+            .collect()
+    }
+
+    #[test]
+    fn baseline_serializes_with_launch_gap() {
+        let cfg = GpuConfig::titan_x_pascal();
+        // A -> B -> C chain.
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 4);
+        let r = run_app(&cfg, &app, ExecMode::Baseline);
+        let k1_done = *finishes_of(&r, 0).iter().max().unwrap();
+        let k2_start = *starts_of(&r, 1).iter().min().unwrap();
+        assert!(
+            k2_start >= k1_done + cfg.kernel_launch_cycles,
+            "baseline must pay the launch after completion: {k2_start} vs {k1_done}"
+        );
+    }
+
+    #[test]
+    fn prelaunch_masks_launch_but_keeps_barrier() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 4);
+        let r = run_app(&cfg, &app, ExecMode::PreLaunch { window: 2 });
+        let k1_done = *finishes_of(&r, 0).iter().max().unwrap();
+        let k2_start = *starts_of(&r, 1).iter().min().unwrap();
+        // Dependent kernel still waits for full producer completion...
+        assert!(k2_start >= k1_done);
+        // ...but the launch gap is (mostly) hidden.
+        assert!(
+            k2_start < k1_done + cfg.kernel_launch_cycles,
+            "pre-launching should hide the 5us gap: {k2_start} vs {k1_done}"
+        );
+    }
+
+    #[test]
+    fn fine_grain_overlaps_dependent_kernels() {
+        // Small GPU (16 TB slots) + 120-TB kernels: the producer's final
+        // wave is partial, so freed slots let 1-to-1 children start while
+        // the producer is still executing.
+        let cfg = GpuConfig::small();
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 120);
+        let r = run_app(&cfg, &app, ExecMode::ProducerPriority { window: 2 });
+        let k1_done = *finishes_of(&r, 0).iter().max().unwrap();
+        let k2_start = *starts_of(&r, 1).iter().min().unwrap();
+        assert!(
+            k2_start < k1_done,
+            "1-to-1 children must start before the whole producer finishes"
+        );
+    }
+
+    #[test]
+    fn independent_kernels_start_together() {
+        let cfg = GpuConfig::small();
+        // Two kernels on disjoint buffers, each using half the TB slots so
+        // both fit on the machine simultaneously.
+        let app = chain_app(&[(0, 1), (2, 3)], 4, 8);
+        let r = run_app(&cfg, &app, ExecMode::ProducerPriority { window: 2 });
+        let k1_start = *starts_of(&r, 0).iter().min().unwrap();
+        let k1_done = *finishes_of(&r, 0).iter().max().unwrap();
+        let k2_start = *starts_of(&r, 1).iter().min().unwrap();
+        // The second launch is pipelined behind the first — it must not be
+        // serialized after the first kernel's completion plus a launch.
+        assert!(k2_start <= k1_start + cfg.kernel_launch_cycles + cfg.launch_api_cycles);
+        assert!(
+            k2_start < k1_done + cfg.kernel_launch_cycles,
+            "independent kernels must not serialize: {k2_start} vs {k1_done}"
+        );
+    }
+
+    #[test]
+    fn skip_gate_blocks_window_runahead() {
+        let cfg = GpuConfig::small();
+        // K1: A->B, K2: C->D (unrelated), K3: B->E (skip dep on K1).
+        let app = chain_app(&[(0, 1), (2, 3), (1, 4)], 5, 128);
+        let jit = jit_analyze_app(&cfg, &app, HazardMode::Raw);
+        assert_eq!(jit[2].skip_gates, vec![0]);
+        assert!(jit[2].graph.is_independent());
+        let r = run_analyzed(&cfg, &app, &jit, ExecMode::ConsumerPriority { window: 3 });
+        let k1_done = *finishes_of(&r, 0).iter().max().unwrap();
+        let k3_start = *starts_of(&r, 2).iter().min().unwrap();
+        assert!(
+            k3_start >= k1_done,
+            "skip gate must hold K3 until K1 completes ({k3_start} vs {k1_done})"
+        );
+        // K2, however, overlaps K1 freely.
+        let k2_start = *starts_of(&r, 1).iter().min().unwrap();
+        assert!(k2_start < k1_done);
+    }
+
+    #[test]
+    fn window_limits_concurrent_kernels() {
+        let cfg = GpuConfig::small();
+        // Four mutually independent kernels; window 2 must keep kernel 2
+        // from starting until kernel 0 retires.
+        let app = chain_app(&[(0, 1), (2, 3), (4, 5), (6, 7)], 8, 128);
+        let r = run_app(&cfg, &app, ExecMode::ConsumerPriority { window: 2 });
+        let k0_done = *finishes_of(&r, 0).iter().max().unwrap();
+        let k2_start = *starts_of(&r, 2).iter().min().unwrap();
+        assert!(
+            k2_start >= k0_done,
+            "window 2 admits kernel 2 only after kernel 0 retires"
+        );
+        // With window 4 all four can be in flight together.
+        let r4 = run_app(&cfg, &app, ExecMode::ConsumerPriority { window: 4 });
+        let k0_done4 = *finishes_of(&r4, 0).iter().max().unwrap();
+        let k3_start4 = *starts_of(&r4, 3).iter().min().unwrap();
+        assert!(k3_start4 < k0_done4 + cfg.kernel_launch_cycles * 4);
+        assert!(r4.total_cycles <= r.total_cycles);
+    }
+
+    #[test]
+    fn report_accounts_storage_and_patterns() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 8);
+        let r = run_app(&cfg, &app, ExecMode::ProducerPriority { window: 2 });
+        assert_eq!(r.num_kernels, 2);
+        assert_eq!(r.patterns.len(), 2);
+        assert!(matches!(r.patterns[1].1, Pattern::OneToOne));
+        assert!(r.storage_encoded > 0);
+        assert!(r.storage_encoded <= r.storage_plain);
+        assert!(r.baseline_mem_requests > 0);
+        assert_eq!(r.schedule.len(), 16);
+        assert!(r.avg_concurrency > 0.0);
+        assert!(r.storage_ratio().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn cuda_graph_launch_pays_exactly_one_launch() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let app = chain_app(&[(0, 1), (1, 2), (2, 3)], 4, 4);
+        let base = run_app(&cfg, &app, ExecMode::Baseline);
+        let graph = run_app(&cfg, &app, ExecMode::GraphLaunch);
+        let ideal = run_app(&cfg, &app, ExecMode::IdealBaseline);
+        // Graph launch sits between baseline and ideal...
+        assert!(graph.total_cycles < base.total_cycles);
+        assert!(graph.total_cycles >= ideal.total_cycles);
+        // ...and for a serialized chain is the ideal plus one launch.
+        assert_eq!(
+            graph.kernel_region_cycles,
+            ideal.kernel_region_cycles + cfg.kernel_launch_cycles
+        );
+        // Kernels still never overlap.
+        for w in [1u32, 2] {
+            let k_done = *finishes_of(&graph, w - 1).iter().max().unwrap();
+            let k_start = *starts_of(&graph, w).iter().min().unwrap();
+            assert!(k_start >= k_done);
+        }
+        // On a multi-wave chain, BlockMaestro's TB overlap beats even the
+        // launch-free graph execution — the paper's point that CUDA Graphs
+        // "does not address under-utilization during dependent kernels".
+        let scfg = GpuConfig::small();
+        let sapp = chain_app(&[(0, 1), (1, 2), (2, 3)], 4, 120);
+        let sgraph = run_app(&scfg, &sapp, ExecMode::GraphLaunch);
+        let sbm = run_app(&scfg, &sapp, ExecMode::ProducerPriority { window: 2 });
+        assert!(
+            sbm.kernel_region_cycles < sgraph.kernel_region_cycles,
+            "bm {} vs graph {}",
+            sbm.kernel_region_cycles,
+            sgraph.kernel_region_cycles
+        );
+    }
+
+    #[test]
+    fn host_timeline_blocking_accumulates_costs() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let mut space = bm_ptx::mem::AddressSpace::new();
+        let a = space.alloc(4 * 25600);
+        let k = map_kernel();
+        let app = Application {
+            name: "host".into(),
+            space,
+            calls: vec![
+                ApiCall::Malloc { alloc: a.id },
+                ApiCall::MemcpyH2D { alloc: a.id, bytes: 4 * 25600 },
+                ApiCall::KernelLaunch(Launch::new(
+                    k,
+                    Dim3::x(4),
+                    Dim3::x(64),
+                    vec![ArgValue::Ptr(a.base), ArgValue::Ptr(a.base)],
+                )),
+                ApiCall::MemcpyD2H { alloc: a.id, bytes: 4 * 25600 },
+            ],
+            host_data: HashMap::new(),
+        };
+        let order = Reordering::identity(app.calls.len());
+        // Baseline: the kernel's host-ready time includes malloc + full copy.
+        let (ready, tail) = host_timeline(&cfg, &app, &order, ExecMode::Baseline);
+        let copy = cfg.memcpy_setup_cycles + 4 * 25600 / cfg.memcpy_bytes_per_cycle;
+        assert_eq!(ready, vec![cfg.malloc_cycles + copy]);
+        assert_eq!(tail, copy, "trailing D2H is epilogue");
+        // Pre-launching: the copy still gates the kernel (true data dep),
+        // but the host itself is only charged issue costs.
+        let (ready_nb, tail_nb) =
+            host_timeline(&cfg, &app, &order, ExecMode::ProducerPriority { window: 2 });
+        assert_eq!(ready_nb.len(), 1);
+        assert!(ready_nb[0] >= copy, "kernel must wait for its input copy");
+        assert!(ready_nb[0] <= ready[0], "non-blocking host is never later");
+        assert_eq!(tail_nb, copy);
+    }
+
+    #[test]
+    fn host_timeline_unrelated_copy_does_not_gate_kernel() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let mut space = bm_ptx::mem::AddressSpace::new();
+        let a = space.alloc(1024);
+        let b = space.alloc(4 * 1024 * 1024); // large unrelated buffer
+        let k = map_kernel();
+        let app = Application {
+            name: "host2".into(),
+            space,
+            calls: vec![
+                ApiCall::MemcpyH2D { alloc: a.id, bytes: 1024 },
+                ApiCall::MemcpyH2D { alloc: b.id, bytes: 4 * 1024 * 1024 },
+                ApiCall::KernelLaunch(Launch::new(
+                    k,
+                    Dim3::x(4),
+                    Dim3::x(64),
+                    vec![ArgValue::Ptr(a.base), ArgValue::Ptr(a.base)],
+                )),
+            ],
+            host_data: HashMap::new(),
+        };
+        let order = Reordering::identity(app.calls.len());
+        let (blocking, _) = host_timeline(&cfg, &app, &order, ExecMode::Baseline);
+        let (nonblocking, _) =
+            host_timeline(&cfg, &app, &order, ExecMode::ConsumerPriority { window: 2 });
+        // The huge unrelated copy delays the kernel under blocking
+        // semantics but not under BlockMaestro's non-blocking host...
+        let big_copy = 4 * 1024 * 1024 / cfg.memcpy_bytes_per_cycle;
+        assert!(blocking[0] >= big_copy);
+        // ...where only the small input copy gates it. The DMA engine is
+        // serial, so the small copy finishes before the big one starts
+        // only if it was issued first (it was).
+        let small_copy = cfg.memcpy_setup_cycles + 1024 / cfg.memcpy_bytes_per_cycle;
+        assert!(nonblocking[0] < big_copy);
+        assert!(nonblocking[0] >= small_copy);
+    }
+
+    #[test]
+    fn ideal_baseline_has_no_launch_gap() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 4);
+        let r = run_app(&cfg, &app, ExecMode::IdealBaseline);
+        let k1_done = *finishes_of(&r, 0).iter().max().unwrap();
+        let k2_start = *starts_of(&r, 1).iter().min().unwrap();
+        assert_eq!(k2_start, k1_done);
+    }
+}

@@ -1,0 +1,378 @@
+//! Kernel-launch-time ("just-in-time") analysis pipeline.
+//!
+//! For every kernel launch in an application this module produces what the
+//! hardware needs (paper Fig. 3): per-TB read/write sets via value-range
+//! analysis, the bipartite dependency graph against the previous kernel,
+//! its pattern encoding and storage cost, and — from the timing substrate —
+//! a per-TB duration and memory-transaction count.
+
+use bm_cmdq::{ApiCall, Application};
+use bm_depgraph::{build_graph, storage, BipartiteGraph, GraphStorage, HazardMode, Pattern};
+use bm_ptx::absint::analyze_launch;
+use bm_ptx::access::KernelAccess;
+use bm_ptx::kernel::Launch;
+use bm_ptx::mem::GlobalMem;
+use bm_ptx::trace::trace_block;
+use bm_simt::config::GpuConfig;
+use bm_simt::timing::simulate_sm;
+
+use crate::hw::MAX_COUNTER;
+
+/// Timing and resource profile of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchProfile {
+    /// Number of thread blocks.
+    pub n_tbs: u32,
+    /// Threads per block.
+    pub threads: u32,
+    /// Shared memory per block in bytes.
+    pub shared_bytes: u32,
+    /// Per-TB execution duration in cycles (at the kernel's occupancy).
+    pub duration: u64,
+    /// Coalesced global-memory transactions per TB.
+    pub txns_per_tb: u64,
+}
+
+/// Everything BlockMaestro's scheduler knows about one launched kernel.
+#[derive(Debug, Clone)]
+pub struct JitKernel {
+    /// Position in the application's kernel sequence.
+    pub seq: u32,
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Timing/resource profile.
+    pub profile: LaunchProfile,
+    /// Access sets from value-range analysis.
+    pub access: KernelAccess,
+    /// Dependency graph against the *previous* kernel (kernel 0 gets an
+    /// empty independent graph).
+    pub graph: BipartiteGraph,
+    /// Storage accounting for `graph`.
+    pub storage: GraphStorage,
+    /// Whether the graph is pattern-encoded (child ids derivable without
+    /// fetching explicit lists).
+    pub encoded: bool,
+    /// Earlier, non-consecutive kernels this kernel has a kernel-level RAW
+    /// dependency on. The paper's consecutive-pair tracking plus in-order
+    /// completion covers chains; these gates cover skip-level dependencies
+    /// (e.g. 3MM's K3 reading K1's output while K2 is unrelated) so that
+    /// windows larger than 2 remain correct.
+    pub skip_gates: Vec<u32>,
+}
+
+/// Analyzes every kernel of `app` in launch order.
+///
+/// This is the work the paper performs during PTX→SASS just-in-time
+/// compilation, masked by kernel pre-launching; here it runs up front,
+/// producing the inputs for the execution engine.
+pub fn jit_analyze_app(cfg: &GpuConfig, app: &Application, hazard: HazardMode) -> Vec<JitKernel> {
+    let launches: Vec<&Launch> = app.launches();
+    // Scratch functional memory for trace collection. Traces only shape
+    // timing; our kernels' control flow does not depend on float data, so
+    // executing on the evolving scratch state is fine.
+    let mut scratch = GlobalMem::for_space(&app.space);
+    for call in &app.calls {
+        if let ApiCall::MemcpyH2D { alloc, .. } = call {
+            if let Some(data) = app.host_data.get(alloc) {
+                scratch.copy_from_host_f32(app.space.info(*alloc).base, data);
+            }
+        }
+    }
+    let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
+    for (seq, launch) in launches.iter().enumerate() {
+        let access = analyze_launch(launch);
+        let profile = profile_launch(cfg, launch, &mut scratch);
+        let prev = out.last().map(|k: &JitKernel| &k.access);
+        let mut graph = match prev {
+            None => BipartiteGraph::independent(0, access.num_blocks() as u32),
+            Some(p) => build_graph(p, &access, hazard),
+        };
+        // Hardware fallback: parent counters are 6-bit; degrees above 63
+        // degrade to the fully-connected encoding (§IV-C).
+        if graph.max_child_degree() > MAX_COUNTER {
+            graph.degrade_to_fully_connected();
+        }
+        let st = storage(&graph);
+        let encoded = !matches!(st.pattern, Pattern::Irregular);
+        let skip_gates = find_skip_gates(&out, &access, seq as u32, hazard);
+        out.push(JitKernel {
+            seq: seq as u32,
+            name: launch.kernel.name.clone(),
+            profile,
+            access,
+            graph,
+            storage: st,
+            encoded,
+            skip_gates,
+        });
+    }
+    out
+}
+
+/// Kernel-level hazard screen against non-consecutive predecessors
+/// (RAW always; plus WAR/WAW when tracking all hazards).
+fn find_skip_gates(
+    done: &[JitKernel],
+    access: &KernelAccess,
+    seq: u32,
+    hazard: HazardMode,
+) -> Vec<u32> {
+    let mut gates = Vec::new();
+    if seq < 2 {
+        return gates;
+    }
+    for j in done.iter().take(seq as usize - 1) {
+        let mut dep = access.kernel_reads.intersects(&j.access.kernel_writes)
+            || access.non_static
+            || j.access.non_static;
+        if hazard == HazardMode::All {
+            dep = dep
+                || access.kernel_writes.intersects(&j.access.kernel_reads)
+                || access.kernel_writes.intersects(&j.access.kernel_writes);
+        }
+        if dep {
+            gates.push(j.seq);
+        }
+    }
+    gates
+}
+
+/// Profiles one launch: traces a representative TB and times it on one SM
+/// at the kernel's occupancy.
+pub fn profile_launch(cfg: &GpuConfig, launch: &Launch, scratch: &mut GlobalMem) -> LaunchProfile {
+    let n_tbs = launch.num_blocks();
+    let threads = launch.threads_per_block();
+    let shared_bytes = launch.kernel.shared_bytes;
+    // Middle block: avoids boundary blocks whose guards mask most work.
+    let rep = n_tbs / 2;
+    let trace = trace_block(launch, rep, scratch)
+        .unwrap_or_else(|e| panic!("kernel `{}` failed to trace: {e}", launch.kernel.name));
+    let occ = cfg.occupancy(threads, shared_bytes).max(1).min(n_tbs.max(1));
+    let traces: Vec<&bm_ptx::trace::TbTrace> = (0..occ).map(|_| &trace).collect();
+    let timing = simulate_sm(cfg, &traces);
+    LaunchProfile {
+        n_tbs,
+        threads,
+        shared_bytes,
+        duration: timing.per_tb_duration(),
+        txns_per_tb: trace.global_transactions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_ptx::kernel::{ArgValue, Dim3, Launch};
+    use bm_ptx::mem::AddressSpace;
+    use bm_ptx::parser::parse_kernel;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// Three-kernel pipeline: K1 writes B from A; K2 writes C from B;
+    /// K3 writes D from A (skip-level dependency on K1's *input* — no RAW)
+    /// and from C.
+    fn pipeline_app() -> Application {
+        let mut space = AddressSpace::new();
+        let n = 256u64;
+        let a = space.alloc(4 * n);
+        let b = space.alloc(4 * n);
+        let c = space.alloc(4 * n);
+        let d = space.alloc(4 * n);
+        let k = Arc::new(
+            parse_kernel(
+                r#".entry axpy(.param .u64 X, .param .u64 Y) {
+                     ld.param.u64 %rd1, [X];
+                     ld.param.u64 %rd2, [Y];
+                     mov.u32 %r1, %ctaid.x;
+                     mov.u32 %r2, %ntid.x;
+                     mov.u32 %r3, %tid.x;
+                     mad.lo.u32 %r4, %r1, %r2, %r3;
+                     mul.wide.u32 %rd3, %r4, 4;
+                     add.u64 %rd4, %rd1, %rd3;
+                     ld.global.f32 %f1, [%rd4];
+                     add.f32 %f2, %f1, 0f3F800000;
+                     add.u64 %rd5, %rd2, %rd3;
+                     st.global.f32 [%rd5], %f2;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        );
+        let launch = |x: u64, y: u64| {
+            ApiCall::KernelLaunch(Launch::new(
+                k.clone(),
+                Dim3::x(4),
+                Dim3::x(64),
+                vec![ArgValue::Ptr(x), ArgValue::Ptr(y)],
+            ))
+        };
+        Application {
+            name: "pipeline".into(),
+            space,
+            calls: vec![
+                ApiCall::MemcpyH2D { alloc: a.id, bytes: 4 * n },
+                launch(a.base, b.base), // K1: A -> B
+                launch(b.base, c.base), // K2: B -> C
+                launch(c.base, d.base), // K3: C -> D
+            ],
+            host_data: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn chain_produces_one_to_one_graphs() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let app = pipeline_app();
+        let ks = jit_analyze_app(&cfg, &app, HazardMode::Raw);
+        assert_eq!(ks.len(), 3);
+        assert!(ks[0].graph.is_independent());
+        for k in &ks[1..] {
+            assert_eq!(k.storage.pattern, Pattern::OneToOne, "kernel {}", k.seq);
+            assert!(k.encoded);
+            assert_eq!(k.graph.num_edges(), 4);
+            assert!(k.skip_gates.is_empty(), "chain has no skip-level deps");
+        }
+        for k in &ks {
+            assert!(k.profile.duration > 0);
+            assert!(k.profile.txns_per_tb > 0);
+            assert_eq!(k.profile.n_tbs, 4);
+        }
+    }
+
+    #[test]
+    fn skip_level_raw_gets_a_gate() {
+        // K1: A->B, K2: C->D (unrelated), K3 reads B (skip dependency on K1).
+        let mut space = AddressSpace::new();
+        let n = 128u64;
+        let a = space.alloc(4 * n);
+        let b = space.alloc(4 * n);
+        let c = space.alloc(4 * n);
+        let d = space.alloc(4 * n);
+        let e = space.alloc(4 * n);
+        let k = Arc::new(
+            parse_kernel(
+                r#".entry axpy(.param .u64 X, .param .u64 Y) {
+                     ld.param.u64 %rd1, [X];
+                     ld.param.u64 %rd2, [Y];
+                     mov.u32 %r1, %ctaid.x;
+                     mov.u32 %r2, %ntid.x;
+                     mov.u32 %r3, %tid.x;
+                     mad.lo.u32 %r4, %r1, %r2, %r3;
+                     mul.wide.u32 %rd3, %r4, 4;
+                     add.u64 %rd4, %rd1, %rd3;
+                     ld.global.f32 %f1, [%rd4];
+                     add.u64 %rd5, %rd2, %rd3;
+                     st.global.f32 [%rd5], %f1;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        );
+        let launch = |x: u64, y: u64| {
+            ApiCall::KernelLaunch(Launch::new(
+                k.clone(),
+                Dim3::x(2),
+                Dim3::x(64),
+                vec![ArgValue::Ptr(x), ArgValue::Ptr(y)],
+            ))
+        };
+        let app = Application {
+            name: "skip".into(),
+            space,
+            calls: vec![
+                launch(a.base, b.base), // K1 writes B
+                launch(c.base, d.base), // K2 unrelated
+                launch(b.base, e.base), // K3 reads B  <- skip dep on K1
+            ],
+            host_data: HashMap::new(),
+        };
+        let cfg = GpuConfig::titan_x_pascal();
+        let ks = jit_analyze_app(&cfg, &app, HazardMode::Raw);
+        // Consecutive graph K2->K3 is independent...
+        assert!(ks[2].graph.is_independent());
+        // ...so the skip gate on K1 is what protects correctness.
+        assert_eq!(ks[2].skip_gates, vec![0]);
+        assert!(ks[1].skip_gates.is_empty());
+    }
+
+    #[test]
+    fn high_degree_degrades_to_fully_connected() {
+        // Parent: 128 TBs each writing 4 bytes of A; child: every TB reads
+        // all of A -> degree 128 > 63 -> fully connected fallback.
+        let mut space = AddressSpace::new();
+        let a = space.alloc(4 * 128 * 64);
+        let b = space.alloc(4 * 128 * 64);
+        let writer = Arc::new(
+            parse_kernel(
+                r#".entry w(.param .u64 A) {
+                     ld.param.u64 %rd1, [A];
+                     mov.u32 %r1, %ctaid.x;
+                     mov.u32 %r2, %ntid.x;
+                     mov.u32 %r3, %tid.x;
+                     mad.lo.u32 %r4, %r1, %r2, %r3;
+                     mul.wide.u32 %rd2, %r4, 4;
+                     add.u64 %rd3, %rd1, %rd2;
+                     st.global.f32 [%rd3], 0f3F800000;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        );
+        // Reader: every thread loops over the entire array A.
+        let reader = Arc::new(
+            parse_kernel(
+                r#".entry r(.param .u64 A, .param .u64 B, .param .u32 n) {
+                     ld.param.u64 %rd1, [A];
+                     ld.param.u64 %rd2, [B];
+                     ld.param.u32 %r9, [n];
+                     mov.u32 %r1, 0;
+                     mov.f32 %f1, 0f00000000;
+                   $TOP:
+                     setp.ge.u32 %p1, %r1, %r9;
+                     @%p1 bra $OUT;
+                     mul.wide.u32 %rd3, %r1, 4;
+                     add.u64 %rd4, %rd1, %rd3;
+                     ld.global.f32 %f2, [%rd4];
+                     add.f32 %f1, %f1, %f2;
+                     add.u32 %r1, %r1, 64;
+                     bra $TOP;
+                   $OUT:
+                     mov.u32 %r5, %ctaid.x;
+                     mul.wide.u32 %rd5, %r5, 4;
+                     add.u64 %rd6, %rd2, %rd5;
+                     st.global.f32 [%rd6], %f1;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        );
+        let app = Application {
+            name: "degrade".into(),
+            space,
+            calls: vec![
+                ApiCall::KernelLaunch(Launch::new(
+                    writer,
+                    Dim3::x(128),
+                    Dim3::x(64),
+                    vec![ArgValue::Ptr(a.base)],
+                )),
+                ApiCall::KernelLaunch(Launch::new(
+                    reader,
+                    Dim3::x(8),
+                    Dim3::x(64),
+                    vec![
+                        ArgValue::Ptr(a.base),
+                        ArgValue::Ptr(b.base),
+                        ArgValue::U32(128 * 64),
+                    ],
+                )),
+            ],
+            host_data: HashMap::new(),
+        };
+        let cfg = GpuConfig::titan_x_pascal();
+        let ks = jit_analyze_app(&cfg, &app, HazardMode::Raw);
+        assert!(ks[1].graph.is_fully_connected());
+        assert_eq!(ks[1].storage.pattern, Pattern::FullyConnected);
+        assert_eq!(ks[1].storage.encoded_bytes, 4);
+    }
+}

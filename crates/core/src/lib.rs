@@ -1,0 +1,73 @@
+//! # blockmaestro — programmer-transparent task-based GPU execution
+//!
+//! Rust reproduction of *BlockMaestro: Enabling Programmer-Transparent
+//! Task-based Execution in GPU Systems* (ISCA 2021).
+//!
+//! BlockMaestro gives unmodified SIMT applications the benefits of
+//! task-based runtimes by combining:
+//!
+//! 1. **Kernel pre-launching** — masking the 5 µs kernel-launch overhead
+//!    by launching dependent kernels before their producers finish,
+//!    enabled by command-queue reordering ([`bm_cmdq`]);
+//! 2. **Launch-time static analysis** — extracting per-thread-block
+//!    read/write sets from PTX at kernel-launch time ([`bm_ptx::absint`])
+//!    and intersecting them into bipartite inter-kernel dependency graphs
+//!    ([`bm_depgraph`]);
+//! 3. **Hardware dependency resolution** — a dependency-list buffer and
+//!    parent-counter buffer in the TB scheduler ([`hw`]) dynamically
+//!    release consumer TBs the moment their producer TBs complete.
+//!
+//! The [`engine`] runs applications under the paper's execution modes
+//! (baseline, ideal, pre-launch only, producer priority, consumer
+//! priority), [`correctness`] proves schedules architecturally invisible,
+//! and [`compare`] models the CUDA Dynamic Parallelism and Wireframe
+//! comparison points of Fig. 14.
+//!
+//! ```
+//! use blockmaestro::{run_app, ExecMode};
+//! use bm_simt::GpuConfig;
+//! # use bm_cmdq::{ApiCall, Application};
+//! # use bm_ptx::{parser::parse_kernel, kernel::{ArgValue, Dim3, Launch}};
+//! # use bm_ptx::mem::AddressSpace;
+//! # use std::{collections::HashMap, sync::Arc};
+//! # let mut space = AddressSpace::new();
+//! # let a = space.alloc(1024);
+//! # let b = space.alloc(1024);
+//! # let k = Arc::new(parse_kernel(
+//! #   ".entry k(.param .u64 X, .param .u64 Y) {
+//! #      ld.param.u64 %rd1, [X]; ld.param.u64 %rd2, [Y];
+//! #      mov.u32 %r1, %ctaid.x; mov.u32 %r2, %ntid.x; mov.u32 %r3, %tid.x;
+//! #      mad.lo.u32 %r4, %r1, %r2, %r3;
+//! #      mul.wide.u32 %rd3, %r4, 4;
+//! #      add.u64 %rd4, %rd1, %rd3; ld.global.f32 %f1, [%rd4];
+//! #      add.u64 %rd5, %rd2, %rd3; st.global.f32 [%rd5], %f1;
+//! #      ret; }").unwrap());
+//! # let app = Application {
+//! #   name: "demo".into(), space,
+//! #   calls: vec![
+//! #     ApiCall::KernelLaunch(Launch::new(k.clone(), Dim3::x(4), Dim3::x(64),
+//! #       vec![ArgValue::Ptr(a.base), ArgValue::Ptr(b.base)])),
+//! #     ApiCall::KernelLaunch(Launch::new(k, Dim3::x(4), Dim3::x(64),
+//! #       vec![ArgValue::Ptr(b.base), ArgValue::Ptr(a.base)])),
+//! #   ],
+//! #   host_data: HashMap::new(),
+//! # };
+//! let cfg = GpuConfig::titan_x_pascal();
+//! let baseline = run_app(&cfg, &app, ExecMode::Baseline);
+//! let bm = run_app(&cfg, &app, ExecMode::ConsumerPriority { window: 2 });
+//! assert!(bm.kernel_region_cycles < baseline.kernel_region_cycles);
+//! ```
+
+pub mod compare;
+pub mod correctness;
+pub mod engine;
+pub mod hw;
+pub mod jit;
+pub mod modes;
+pub mod streams;
+
+pub use correctness::{check_no_races, check_schedule, Equivalence, Race};
+pub use engine::{run_app, run_app_with, run_analyzed, RunReport};
+pub use jit::{jit_analyze_app, JitKernel, LaunchProfile};
+pub use modes::ExecMode;
+pub use streams::{run_streams, StreamAssignment};

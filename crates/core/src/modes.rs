@@ -1,0 +1,132 @@
+//! Execution modes evaluated in the paper (Fig. 9).
+
+use std::fmt;
+
+/// How the GPU executes a multi-kernel application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Serialized kernels, full 5 µs launch overhead on the critical path.
+    Baseline,
+    /// Serialized kernels with zero launch overhead (the "ideal baseline"
+    /// reference bars of Fig. 9).
+    IdealBaseline,
+    /// CUDA-Graphs-style execution ("Tasks as Kernels", §V): the whole
+    /// kernel graph is instantiated and launched once — a single launch
+    /// overhead up front, then serialized kernels with no per-kernel
+    /// launch cost and no thread-block overlap.
+    GraphLaunch,
+    /// Kernel pre-launching only: launch overheads are masked, but a
+    /// dependent kernel's TBs wait until the *whole* producer kernel
+    /// completes (Fig. 2b).
+    PreLaunch {
+        /// Concurrently-active kernels (pre-launched + 1).
+        window: u32,
+    },
+    /// Fine-grain TB-level dependency resolution with scheduling priority
+    /// for the producing kernel's TBs (Fig. 2c).
+    ProducerPriority {
+        /// Concurrently-active kernels.
+        window: u32,
+    },
+    /// Fine-grain resolution with priority for the consuming kernel's TBs
+    /// ("run-ahead").
+    ConsumerPriority {
+        /// Concurrently-active kernels (2, 3, 4 ⇒ 1–3 pre-launched).
+        window: u32,
+    },
+}
+
+impl ExecMode {
+    /// The Fig. 9 variant set, in presentation order.
+    pub fn figure9_variants() -> Vec<ExecMode> {
+        vec![
+            ExecMode::PreLaunch { window: 2 },
+            ExecMode::ProducerPriority { window: 2 },
+            ExecMode::ConsumerPriority { window: 2 },
+            ExecMode::ConsumerPriority { window: 3 },
+            ExecMode::ConsumerPriority { window: 4 },
+            ExecMode::IdealBaseline,
+        ]
+    }
+
+    /// Number of concurrently-active kernels.
+    pub fn window(&self) -> u32 {
+        match self {
+            ExecMode::Baseline | ExecMode::IdealBaseline | ExecMode::GraphLaunch => 1,
+            ExecMode::PreLaunch { window }
+            | ExecMode::ProducerPriority { window }
+            | ExecMode::ConsumerPriority { window } => (*window).max(1),
+        }
+    }
+
+    /// Whether TB-level dependencies are resolved (vs whole-kernel
+    /// barriers).
+    pub fn fine_grain(&self) -> bool {
+        matches!(
+            self,
+            ExecMode::ProducerPriority { .. } | ExecMode::ConsumerPriority { .. }
+        )
+    }
+
+    /// Whether the consuming kernel's TBs get scheduling priority.
+    pub fn consumer_priority(&self) -> bool {
+        matches!(self, ExecMode::ConsumerPriority { .. })
+    }
+
+    /// Whether per-kernel launch overhead is charged (everything except
+    /// the ideal baseline and whole-graph launching).
+    pub fn has_launch_overhead(&self) -> bool {
+        !matches!(self, ExecMode::IdealBaseline | ExecMode::GraphLaunch)
+    }
+
+    /// Whether kernels may be pre-launched (window > 1 semantics plus
+    /// command reordering and non-blocking memory APIs).
+    pub fn prelaunches(&self) -> bool {
+        !matches!(
+            self,
+            ExecMode::Baseline | ExecMode::IdealBaseline | ExecMode::GraphLaunch
+        )
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecMode::Baseline => f.write_str("baseline"),
+            ExecMode::IdealBaseline => f.write_str("ideal-baseline"),
+            ExecMode::GraphLaunch => f.write_str("cuda-graph"),
+            ExecMode::PreLaunch { window } => write!(f, "prelaunch(w={window})"),
+            ExecMode::ProducerPriority { window } => write!(f, "producer(w={window})"),
+            ExecMode::ConsumerPriority { window } => write!(f, "consumer(w={window})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_and_flags() {
+        assert_eq!(ExecMode::Baseline.window(), 1);
+        assert_eq!(ExecMode::ConsumerPriority { window: 4 }.window(), 4);
+        assert!(!ExecMode::PreLaunch { window: 2 }.fine_grain());
+        assert!(ExecMode::ProducerPriority { window: 2 }.fine_grain());
+        assert!(ExecMode::ConsumerPriority { window: 2 }.consumer_priority());
+        assert!(!ExecMode::IdealBaseline.has_launch_overhead());
+        assert!(!ExecMode::Baseline.prelaunches());
+        assert!(ExecMode::PreLaunch { window: 2 }.prelaunches());
+        assert_eq!(ExecMode::GraphLaunch.window(), 1);
+        assert!(!ExecMode::GraphLaunch.has_launch_overhead());
+        assert!(!ExecMode::GraphLaunch.prelaunches());
+        assert_eq!(ExecMode::GraphLaunch.to_string(), "cuda-graph");
+    }
+
+    #[test]
+    fn figure9_set_is_complete() {
+        let v = ExecMode::figure9_variants();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[0], ExecMode::PreLaunch { window: 2 });
+        assert_eq!(*v.last().unwrap(), ExecMode::IdealBaseline);
+    }
+}

@@ -1,0 +1,123 @@
+//! Structural properties of the Fig. 14 comparison models, checked
+//! directly against the schedules they produce.
+
+use blockmaestro::compare::{
+    run_task_graph, CompareModel, TaskGraph, WIREFRAME_RUNAHEAD,
+};
+use bm_simt::des::TbKey;
+use bm_simt::GpuConfig;
+use std::collections::HashMap;
+
+fn level_finish_times(schedule: &[(TbKey, u64, u64)]) -> HashMap<u32, u64> {
+    let mut out: HashMap<u32, u64> = HashMap::new();
+    for &(k, _, f) in schedule {
+        let e = out.entry(k.kernel_seq).or_insert(0);
+        *e = (*e).max(f);
+    }
+    out
+}
+
+#[test]
+fn cdp_charges_launch_latency_per_task() {
+    let cfg = GpuConfig::titan_x_pascal();
+    let g = TaskGraph::diamond("t", 8, 1_000, 128);
+    let stats = run_task_graph(&cfg, &g, CompareModel::Cdp);
+    // Every task's start is at least launch latency after its parents'
+    // finishes.
+    let mut finish: HashMap<(u32, u32), u64> = HashMap::new();
+    for &(k, _, f) in &stats.schedule {
+        finish.insert((k.kernel_seq, k.tb), f);
+    }
+    for &(k, start, _) in &stats.schedule {
+        let level = k.kernel_seq as usize;
+        for p in g.parents(level, k.tb) {
+            let pf = finish[&(level as u32 - 1, p)];
+            assert!(
+                start >= pf + cfg.device_launch_cycles(),
+                "task ({level},{}) started {start}, parent finished {pf}",
+                k.tb
+            );
+        }
+    }
+}
+
+#[test]
+fn wireframe_respects_runahead_window() {
+    let cfg = GpuConfig::titan_x_pascal();
+    let g = TaskGraph::diamond("t", 16, 2_000, 128);
+    let stats = run_task_graph(&cfg, &g, CompareModel::Wireframe);
+    let level_done = level_finish_times(&stats.schedule);
+    for &(k, start, _) in &stats.schedule {
+        let level = k.kernel_seq as usize;
+        if level >= WIREFRAME_RUNAHEAD {
+            let gate = level_done[&(level as u32 - WIREFRAME_RUNAHEAD as u32)];
+            assert!(
+                start >= gate,
+                "level {level} ran ahead of the {WIREFRAME_RUNAHEAD}-wave window"
+            );
+        }
+    }
+}
+
+#[test]
+fn bm_window_limits_levels_in_flight() {
+    let cfg = GpuConfig::titan_x_pascal();
+    let g = TaskGraph::diamond("t", 16, 2_000, 128);
+    for (model, window) in [
+        (CompareModel::BmProducer, 2usize),
+        (CompareModel::BmConsumer, 4),
+    ] {
+        let stats = run_task_graph(&cfg, &g, model);
+        // At every task start, the set of levels with running tasks must
+        // span at most `window` distinct levels.
+        let mut events: Vec<(u64, i32, u32)> = Vec::new();
+        for &(k, s, f) in &stats.schedule {
+            events.push((s, 1, k.kernel_seq));
+            events.push((f, -1, k.kernel_seq));
+        }
+        events.sort_by_key(|&(t, d, _)| (t, d)); // finishes before starts at ties
+        let mut running: HashMap<u32, i64> = HashMap::new();
+        for (_, d, level) in events {
+            let e = running.entry(level).or_insert(0);
+            *e += d as i64;
+            if *e == 0 {
+                running.remove(&level);
+            }
+            let levels: Vec<u32> = running.keys().copied().collect();
+            if let (Some(&min), Some(&max)) =
+                (levels.iter().min(), levels.iter().max())
+            {
+                assert!(
+                    ((max - min) as usize) < window,
+                    "{}: levels {min}..{max} simultaneously running",
+                    model.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_models_respect_data_dependencies() {
+    let cfg = GpuConfig::titan_x_pascal();
+    let g = TaskGraph::diamond("t", 12, 1_500, 128);
+    for model in CompareModel::all() {
+        let stats = run_task_graph(&cfg, &g, model);
+        let mut finish: HashMap<(u32, u32), u64> = HashMap::new();
+        for &(k, _, f) in &stats.schedule {
+            finish.insert((k.kernel_seq, k.tb), f);
+        }
+        for &(k, start, _) in &stats.schedule {
+            let level = k.kernel_seq as usize;
+            for p in g.parents(level, k.tb) {
+                let pf = finish[&(level as u32 - 1, p)];
+                assert!(
+                    start >= pf,
+                    "{}: task ({level},{}) started before parent finished",
+                    model.label(),
+                    k.tb
+                );
+            }
+        }
+    }
+}

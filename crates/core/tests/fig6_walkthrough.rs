@@ -1,0 +1,105 @@
+//! Replays the paper's Fig. 6 thread-block scheduling example against the
+//! hardware buffer models: a parent kernel K1 of five TBs, a pre-launched
+//! child kernel K2 of four TBs, the dependency list indexed by parent TB,
+//! and parent counters that release child TBs as they reach zero.
+
+use blockmaestro::hw::{DepListBuffer, ParentCounterBuffer};
+use bm_depgraph::{classify, BipartiteGraph, Pattern};
+use bm_simt::des::TbKey;
+
+fn key(k: u32, tb: u32) -> TbKey {
+    TbKey {
+        kernel_seq: k,
+        tb,
+    }
+}
+
+/// The Fig. 6 bipartite graph: K1 has 5 TBs, K2 has 4.
+/// K1:0 → {K2:0, K2:1}; K1:1 → {K2:1, K2:2}; K1:2 → {K2:2};
+/// K1:3 → {K2:3}; K1:4 → {K2:3}.
+fn fig6_graph() -> BipartiteGraph {
+    BipartiteGraph::from_children(
+        5,
+        4,
+        vec![vec![0, 1], vec![1, 2], vec![2], vec![3], vec![3]],
+    )
+}
+
+#[test]
+fn fig6_parent_counts_match_the_figure() {
+    let g = fig6_graph();
+    // Parent count table from the figure: TB0:1, TB1:2, TB2:2, TB3:2.
+    assert_eq!(g.parent_counts(), vec![1, 2, 2, 2]);
+    assert_eq!(g.num_edges(), 7);
+    // Sliding windows over parents -> the overlapped pattern family.
+    assert!(matches!(
+        classify(&g),
+        Pattern::Overlapped { .. } | Pattern::Irregular
+    ));
+}
+
+#[test]
+fn fig6_scheduling_sequence() {
+    let g = fig6_graph();
+    let mut dlb = DepListBuffer::new();
+    let mut pcb = ParentCounterBuffer::default();
+    let counts = g.parent_counts();
+    // (a) K1 launched, K2 pre-launched: counters initialized.
+    for (tb, &c) in counts.iter().enumerate() {
+        pcb.init(key(2, tb as u32), c);
+    }
+    // (b) The device schedules K1's TBs 0..3 (4 concurrent slots); each
+    // buffers its dependency-list entry.
+    for tb in 0..4u32 {
+        dlb.insert(key(1, tb), g.children_of(tb), false);
+    }
+    // TB0 finishes: children K2:0, K2:1 decremented; K2:0 becomes ready.
+    let children = dlb.take(key(1, 0));
+    assert_eq!(children, vec![0, 1]);
+    let mut ready: Vec<u32> = Vec::new();
+    for c in children {
+        if pcb.decrement(key(2, c)) {
+            ready.push(c);
+        }
+    }
+    assert_eq!(ready, vec![0], "K2:0 is the first child released");
+    // The freed slot lets K1:4 start.
+    dlb.insert(key(1, 4), g.children_of(4), false);
+    // (c) K1 TBs 1..3 finish, releasing K2:1 and K2:2.
+    let mut released = Vec::new();
+    for tb in 1..4u32 {
+        for c in dlb.take(key(1, tb)) {
+            if pcb.decrement(key(2, c)) {
+                released.push(c);
+            }
+        }
+    }
+    assert_eq!(released, vec![1, 2]);
+    // (d) K1:4 finishes: K2:3's two parents were K1:3 (done) and K1:4.
+    let mut last = Vec::new();
+    for c in dlb.take(key(1, 4)) {
+        if pcb.decrement(key(2, c)) {
+            last.push(c);
+        }
+    }
+    assert_eq!(last, vec![3], "K2:3 released when both parents complete");
+    // Parent-counter entries deallocate as children get scheduled.
+    for tb in 0..4u32 {
+        pcb.release(key(2, tb));
+        assert_eq!(pcb.get(key(2, tb)), None);
+    }
+    // All dependency-list entries were consumed.
+    assert_eq!(dlb.take(key(1, 0)), Vec::<u32>::new());
+}
+
+#[test]
+fn fig6_storage_fits_buffer_entry_width() {
+    // Every parent in the figure has at most 2 children, comfortably
+    // within the 4-children-per-entry hardware width (§IV-C).
+    let g = fig6_graph();
+    for p in 0..5 {
+        assert!(g.children_of(p).len() <= blockmaestro::hw::CHILDREN_PER_ENTRY);
+    }
+    // Degrees stay within the 6-bit counter.
+    assert!(g.max_child_degree() <= blockmaestro::hw::MAX_COUNTER);
+}

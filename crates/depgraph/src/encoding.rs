@@ -1,0 +1,146 @@
+//! Encoded storage-cost model for dependency graphs (Table I, Table III).
+//!
+//! The thread-block scheduler stores each bipartite graph in global memory.
+//! Recognized patterns are stored encoded; this module computes the encoded
+//! and plain byte sizes so the evaluation can reproduce Table III's
+//! normalized storage and Fig. 13's memory-request overhead.
+
+use crate::graph::BipartiteGraph;
+use crate::pattern::{classify, Pattern};
+
+/// Bytes per stored id/counter word (32-bit, §IV-C area discussion).
+pub const WORD_BYTES: u64 = 4;
+
+/// Storage accounting for one inter-kernel dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStorage {
+    /// Pattern the encoder recognized.
+    pub pattern: Pattern,
+    /// Bytes used with pattern encoding.
+    pub encoded_bytes: u64,
+    /// Bytes used by plain (explicit edge-list) storage.
+    pub plain_bytes: u64,
+}
+
+impl GraphStorage {
+    /// `encoded / plain` — the quantity Table III reports per application.
+    /// Returns 1.0 for empty plain storage (independent kernels store
+    /// nothing either way).
+    pub fn ratio(&self) -> f64 {
+        if self.plain_bytes == 0 {
+            1.0
+        } else {
+            self.encoded_bytes as f64 / self.plain_bytes as f64
+        }
+    }
+}
+
+/// Plain (unencoded) storage: a per-parent offset table, one 32-bit child
+/// id per edge, and a 32-bit parent counter per child.
+pub fn plain_bytes(g: &BipartiteGraph) -> u64 {
+    if g.is_independent() {
+        return 0;
+    }
+    WORD_BYTES * (g.n_parent() as u64 + g.num_edges() + g.n_child() as u64)
+}
+
+/// Encoded storage per Table I.
+pub fn encoded_bytes(g: &BipartiteGraph, pattern: Pattern) -> u64 {
+    let n = g.n_parent() as u64;
+    let m = g.n_child() as u64;
+    match pattern {
+        Pattern::Independent => 0,
+        // A single flag word: "wait for the whole parent kernel".
+        Pattern::FullyConnected => WORD_BYTES,
+        Pattern::OneToOne => WORD_BYTES * n,
+        Pattern::OneToN => WORD_BYTES * (m + n),
+        Pattern::NToOne => WORD_BYTES * n,
+        Pattern::NGroupFullyConnected { .. } => WORD_BYTES * (m + n),
+        Pattern::Overlapped { max_degree } => WORD_BYTES * (n + m * max_degree as u64),
+        Pattern::Irregular => plain_bytes(g),
+    }
+}
+
+/// Classifies `g` and computes both storage figures.
+pub fn storage(g: &BipartiteGraph) -> GraphStorage {
+    let pattern = classify(g);
+    let encoded = encoded_bytes(g, pattern);
+    let plain = plain_bytes(g);
+    GraphStorage {
+        pattern,
+        // Encoding never does worse than plain storage: the device falls
+        // back to the explicit list if the pattern encoding is larger.
+        encoded_bytes: encoded.min(plain.max(if g.is_independent() { 0 } else { WORD_BYTES })),
+        plain_bytes: plain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BipartiteGraph;
+
+    #[test]
+    fn fully_connected_is_one_word() {
+        let g = BipartiteGraph::fully_connected(100, 200);
+        let s = storage(&g);
+        assert_eq!(s.encoded_bytes, WORD_BYTES);
+        // Plain would store all 20k edges plus tables.
+        assert_eq!(s.plain_bytes, WORD_BYTES * (100 + 20_000 + 200));
+        assert!(s.ratio() < 1e-3);
+    }
+
+    #[test]
+    fn independent_stores_nothing() {
+        let g = BipartiteGraph::independent(10, 10);
+        let s = storage(&g);
+        assert_eq!(s.encoded_bytes, 0);
+        assert_eq!(s.plain_bytes, 0);
+        assert_eq!(s.ratio(), 1.0);
+    }
+
+    #[test]
+    fn one_to_one_linear() {
+        let g =
+            BipartiteGraph::from_children(4, 4, vec![vec![0], vec![1], vec![2], vec![3]]);
+        let s = storage(&g);
+        assert_eq!(s.encoded_bytes, WORD_BYTES * 4);
+        assert_eq!(s.plain_bytes, WORD_BYTES * (4 + 4 + 4));
+        assert!(s.ratio() < 1.0);
+    }
+
+    #[test]
+    fn overlapped_scales_with_degree() {
+        let n = 8u32;
+        let mut children = vec![Vec::new(); n as usize];
+        for c in 0..n {
+            for p in c.saturating_sub(1)..=(c + 1).min(n - 1) {
+                children[p as usize].push(c);
+            }
+        }
+        let g = BipartiteGraph::from_children(n, n, children);
+        let s = storage(&g);
+        assert_eq!(
+            s.pattern,
+            crate::pattern::Pattern::Overlapped { max_degree: 3 }
+        );
+        assert_eq!(s.encoded_bytes, WORD_BYTES * (8 + 8 * 3));
+    }
+
+    #[test]
+    fn irregular_equals_plain() {
+        let g = BipartiteGraph::from_children(3, 2, vec![vec![0, 1], vec![1], vec![0]]);
+        let s = storage(&g);
+        assert_eq!(s.encoded_bytes, s.plain_bytes);
+        assert_eq!(s.ratio(), 1.0);
+    }
+
+    #[test]
+    fn encoding_never_exceeds_plain() {
+        // A degenerate overlapped graph where the Table I formula would be
+        // larger than plain storage must clamp to plain.
+        let g = BipartiteGraph::from_children(2, 2, vec![vec![0, 1], vec![1]]);
+        let s = storage(&g);
+        assert!(s.encoded_bytes <= s.plain_bytes.max(WORD_BYTES));
+    }
+}

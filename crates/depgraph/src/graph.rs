@@ -1,0 +1,252 @@
+//! Bipartite inter-kernel thread-block dependency graphs.
+//!
+//! Nodes are thread blocks of two *consecutive* kernels (parent `K_p`,
+//! child `K_c`); an edge means a child TB reads bytes a parent TB writes
+//! (RAW). BlockMaestro limits dependency tracking to consecutive kernels by
+//! enforcing in-order kernel completion (paper §III-B1), so a whole
+//! application is a series of these graphs (Fig. 1).
+
+use std::fmt;
+
+/// Edge structure of a bipartite dependency graph.
+///
+/// Fully-connected and independent graphs are represented symbolically so
+/// that a conv-layer pair with thousands of TBs does not materialize
+/// millions of edges — mirroring the paper's O(1) encodings (Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphKind {
+    /// No edges: the kernels are data-independent.
+    Independent,
+    /// Every child TB depends on every parent TB.
+    FullyConnected,
+    /// Explicit adjacency: `children[p]` lists child TBs depending on
+    /// parent TB `p`, each list sorted ascending.
+    Explicit(Vec<Vec<u32>>),
+}
+
+/// A bipartite dependency graph between a parent kernel with `n_parent` TBs
+/// and a child kernel with `n_child` TBs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipartiteGraph {
+    n_parent: u32,
+    n_child: u32,
+    kind: GraphKind,
+}
+
+impl BipartiteGraph {
+    /// An independent (edge-free) graph.
+    pub fn independent(n_parent: u32, n_child: u32) -> Self {
+        BipartiteGraph {
+            n_parent,
+            n_child,
+            kind: GraphKind::Independent,
+        }
+    }
+
+    /// A fully-connected graph.
+    pub fn fully_connected(n_parent: u32, n_child: u32) -> Self {
+        BipartiteGraph {
+            n_parent,
+            n_child,
+            kind: GraphKind::FullyConnected,
+        }
+    }
+
+    /// An explicit graph from per-parent child lists.
+    ///
+    /// Lists are sorted and deduplicated. If every possible edge is present
+    /// the representation collapses to [`GraphKind::FullyConnected`]; if no
+    /// edge is present it collapses to [`GraphKind::Independent`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children.len() != n_parent as usize` or any child id is
+    /// out of range.
+    pub fn from_children(n_parent: u32, n_child: u32, mut children: Vec<Vec<u32>>) -> Self {
+        assert_eq!(children.len(), n_parent as usize, "one list per parent TB");
+        let mut edges = 0u64;
+        for list in &mut children {
+            list.sort_unstable();
+            list.dedup();
+            if let Some(&max) = list.last() {
+                assert!(max < n_child, "child id {max} out of range");
+            }
+            edges += list.len() as u64;
+        }
+        let kind = if edges == 0 {
+            GraphKind::Independent
+        } else if n_parent > 0 && edges == n_parent as u64 * n_child as u64 {
+            GraphKind::FullyConnected
+        } else {
+            GraphKind::Explicit(children)
+        };
+        BipartiteGraph {
+            n_parent,
+            n_child,
+            kind,
+        }
+    }
+
+    /// Number of parent-kernel thread blocks.
+    pub fn n_parent(&self) -> u32 {
+        self.n_parent
+    }
+
+    /// Number of child-kernel thread blocks.
+    pub fn n_child(&self) -> u32 {
+        self.n_child
+    }
+
+    /// The symbolic edge structure.
+    pub fn kind(&self) -> &GraphKind {
+        &self.kind
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> u64 {
+        match &self.kind {
+            GraphKind::Independent => 0,
+            GraphKind::FullyConnected => self.n_parent as u64 * self.n_child as u64,
+            GraphKind::Explicit(c) => c.iter().map(|l| l.len() as u64).sum(),
+        }
+    }
+
+    /// Whether there are no edges.
+    pub fn is_independent(&self) -> bool {
+        matches!(self.kind, GraphKind::Independent)
+    }
+
+    /// Whether every edge is present.
+    pub fn is_fully_connected(&self) -> bool {
+        matches!(self.kind, GraphKind::FullyConnected)
+            || (self.n_parent > 0
+                && self.num_edges() == self.n_parent as u64 * self.n_child as u64)
+    }
+
+    /// Child TBs depending on parent TB `p`.
+    pub fn children_of(&self, p: u32) -> Vec<u32> {
+        match &self.kind {
+            GraphKind::Independent => Vec::new(),
+            GraphKind::FullyConnected => (0..self.n_child).collect(),
+            GraphKind::Explicit(c) => c[p as usize].clone(),
+        }
+    }
+
+    /// Number of parents each child TB depends on (its *parent count*,
+    /// the quantity the hardware parent-counter buffer tracks).
+    pub fn parent_counts(&self) -> Vec<u32> {
+        match &self.kind {
+            GraphKind::Independent => vec![0; self.n_child as usize],
+            GraphKind::FullyConnected => vec![self.n_parent; self.n_child as usize],
+            GraphKind::Explicit(c) => {
+                let mut counts = vec![0u32; self.n_child as usize];
+                for list in c {
+                    for &ch in list {
+                        counts[ch as usize] += 1;
+                    }
+                }
+                counts
+            }
+        }
+    }
+
+    /// Parent lists per child (the transposed adjacency).
+    pub fn parents_of_children(&self) -> Vec<Vec<u32>> {
+        match &self.kind {
+            GraphKind::Independent => vec![Vec::new(); self.n_child as usize],
+            GraphKind::FullyConnected => {
+                vec![(0..self.n_parent).collect(); self.n_child as usize]
+            }
+            GraphKind::Explicit(c) => {
+                let mut out = vec![Vec::new(); self.n_child as usize];
+                for (p, list) in c.iter().enumerate() {
+                    for &ch in list {
+                        out[ch as usize].push(p as u32);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Maximum parent count over all children (`deg_max` of Table I row 6).
+    pub fn max_child_degree(&self) -> u32 {
+        self.parent_counts().into_iter().max().unwrap_or(0)
+    }
+
+    /// Degrades the graph to fully connected (the hardware fallback when a
+    /// child's degree exceeds the parent-counter width, §IV-C).
+    pub fn degrade_to_fully_connected(&mut self) {
+        if !self.is_independent() {
+            self.kind = GraphKind::FullyConnected;
+        }
+    }
+}
+
+impl fmt::Display for BipartiteGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bipartite({} parents, {} children, {} edges)",
+            self.n_parent,
+            self.n_child,
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_collapses_to_symbolic_forms() {
+        let g = BipartiteGraph::from_children(2, 3, vec![vec![], vec![]]);
+        assert!(g.is_independent());
+        let g = BipartiteGraph::from_children(2, 2, vec![vec![0, 1], vec![1, 0]]);
+        assert!(g.is_fully_connected());
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn children_and_parent_counts() {
+        let g = BipartiteGraph::from_children(3, 3, vec![vec![0], vec![0, 1], vec![2]]);
+        assert_eq!(g.children_of(1), vec![0, 1]);
+        assert_eq!(g.parent_counts(), vec![2, 1, 1]);
+        assert_eq!(g.max_child_degree(), 2);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn transpose_round_trips_edge_count() {
+        let g = BipartiteGraph::from_children(4, 2, vec![vec![0], vec![0], vec![1], vec![0, 1]]);
+        let parents = g.parents_of_children();
+        let total: usize = parents.iter().map(|p| p.len()).sum();
+        assert_eq!(total as u64, g.num_edges());
+        assert_eq!(parents[0], vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn degrade_keeps_independent_untouched() {
+        let mut g = BipartiteGraph::independent(5, 5);
+        g.degrade_to_fully_connected();
+        assert!(g.is_independent());
+        let mut g = BipartiteGraph::from_children(2, 2, vec![vec![0], vec![]]);
+        g.degrade_to_fully_connected();
+        assert!(g.is_fully_connected());
+    }
+
+    #[test]
+    fn fully_connected_counts() {
+        let g = BipartiteGraph::fully_connected(10, 20);
+        assert_eq!(g.num_edges(), 200);
+        assert_eq!(g.parent_counts(), vec![10; 20]);
+        assert_eq!(g.children_of(3).len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_child_id_panics() {
+        BipartiteGraph::from_children(1, 2, vec![vec![5]]);
+    }
+}

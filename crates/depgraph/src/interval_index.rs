@@ -1,0 +1,155 @@
+//! Static interval index for fast "which parent TBs wrote these bytes"
+//! queries — the sweep structure behind the scalable dependency-graph
+//! builder.
+//!
+//! Classic augmented construction: intervals sorted by start, plus a prefix
+//! tree of maximum end values enabling `O(log n + k)` stabbing queries.
+
+/// An immutable index over half-open byte intervals tagged with a value.
+#[derive(Debug, Clone)]
+pub struct IntervalIndex<T> {
+    // Sorted by start.
+    starts: Vec<u64>,
+    ends: Vec<u64>,
+    tags: Vec<T>,
+    // Segment-tree-ish sparse max of `ends` over ranges: max_end[level][i]
+    // is the max end over a block of 2^level entries starting at i<<level.
+    max_end: Vec<Vec<u64>>,
+}
+
+impl<T: Copy> IntervalIndex<T> {
+    /// Builds an index from `(start, end, tag)` triples (half-open).
+    /// Empty intervals are ignored.
+    pub fn build(mut items: Vec<(u64, u64, T)>) -> Self {
+        items.retain(|&(s, e, _)| s < e);
+        items.sort_by_key(|&(s, _, _)| s);
+        let starts: Vec<u64> = items.iter().map(|i| i.0).collect();
+        let ends: Vec<u64> = items.iter().map(|i| i.1).collect();
+        let tags: Vec<T> = items.iter().map(|i| i.2).collect();
+        let mut max_end: Vec<Vec<u64>> = Vec::new();
+        if !ends.is_empty() {
+            max_end.push(ends.clone());
+            let mut level = 0;
+            while max_end[level].len() > 1 {
+                let prev = &max_end[level];
+                let next: Vec<u64> = prev
+                    .chunks(2)
+                    .map(|c| c.iter().copied().max().unwrap())
+                    .collect();
+                max_end.push(next);
+                level += 1;
+            }
+        }
+        IntervalIndex {
+            starts,
+            ends,
+            tags,
+            max_end,
+        }
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Calls `hit` for every interval overlapping `[qs, qe)`.
+    /// A tag may be reported multiple times if it owns several intervals.
+    pub fn query(&self, qs: u64, qe: u64, hit: &mut impl FnMut(T)) {
+        if qs >= qe || self.is_empty() {
+            return;
+        }
+        // Candidates: index range [0, hi) where start < qe.
+        let hi = self.starts.partition_point(|&s| s < qe);
+        self.visit(0, self.max_end.len() - 1, hi, qs, hit);
+    }
+
+    // Recursively visit node `i` at `level` (covering entries
+    // [i<<level, (i+1)<<level)), pruning subtrees whose max end <= qs and
+    // entries at index >= hi.
+    fn visit(&self, i: usize, level: usize, hi: usize, qs: u64, hit: &mut impl FnMut(T)) {
+        let lo_entry = i << level;
+        if lo_entry >= hi || i >= self.max_end[level].len() {
+            return;
+        }
+        if self.max_end[level][i] <= qs {
+            return;
+        }
+        if level == 0 {
+            if self.ends[i] > qs {
+                hit(self.tags[i]);
+            }
+            return;
+        }
+        self.visit(2 * i, level - 1, hi, qs, hit);
+        self.visit(2 * i + 1, level - 1, hi, qs, hit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive(items: &[(u64, u64, u32)], qs: u64, qe: u64) -> Vec<u32> {
+        if qs >= qe {
+            return Vec::new();
+        }
+        let mut out: Vec<u32> = items
+            .iter()
+            .filter(|&&(s, e, _)| s < e && s < qe && qs < e)
+            .map(|&(_, _, t)| t)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn simple_queries() {
+        let idx = IntervalIndex::build(vec![(0, 10, 1u32), (5, 15, 2), (20, 30, 3)]);
+        let mut hits = Vec::new();
+        idx.query(8, 22, &mut |t| hits.push(t));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2, 3]);
+        hits.clear();
+        idx.query(15, 20, &mut |t| hits.push(t));
+        assert!(hits.is_empty());
+        hits.clear();
+        idx.query(10, 11, &mut |t| hits.push(t));
+        assert_eq!(hits, vec![2]);
+    }
+
+    #[test]
+    fn empty_index_and_empty_query() {
+        let idx = IntervalIndex::<u32>::build(vec![]);
+        let mut hits = Vec::new();
+        idx.query(0, 100, &mut |t| hits.push(t));
+        assert!(hits.is_empty());
+        let idx = IntervalIndex::build(vec![(0, 10, 1u32)]);
+        idx.query(5, 5, &mut |t| hits.push(t));
+        assert!(hits.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_scan(
+            items in prop::collection::vec((0u64..200, 0u64..200, 0u32..50), 0..60),
+            qs in 0u64..200,
+            len in 0u64..80,
+        ) {
+            let items: Vec<(u64, u64, u32)> =
+                items.into_iter().map(|(a, b, t)| (a.min(b), a.max(b), t)).collect();
+            let idx = IntervalIndex::build(items.clone());
+            let qe = qs + len;
+            let mut hits = Vec::new();
+            idx.query(qs, qe, &mut |t| hits.push(t));
+            hits.sort_unstable();
+            prop_assert_eq!(hits, naive(&items, qs, qe));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Dependency-pattern classification (paper Fig. 8 / Table I).
+//!
+//! Real inter-kernel graphs are rarely arbitrary; classifying them lets the
+//! hardware store them encoded (Table I) instead of as explicit edge lists.
+
+use crate::graph::{BipartiteGraph, GraphKind};
+use std::fmt;
+
+/// The dependency-pattern classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// (7) No dependencies between the kernels.
+    Independent,
+    /// (1) Every child TB depends on every parent TB — functionally a
+    /// kernel-wide barrier.
+    FullyConnected,
+    /// (3) Each child has exactly one parent and vice versa (`M = N`).
+    OneToOne,
+    /// (4) Each parent owns an exclusive group of children.
+    OneToN,
+    /// (5) Each child aggregates an exclusive group of parents.
+    NToOne,
+    /// (2) Disjoint complete-bipartite blocks.
+    NGroupFullyConnected {
+        /// Number of groups.
+        groups: u32,
+    },
+    /// (6) Children depend on sliding, overlapping windows of parents
+    /// (stencil halos).
+    Overlapped {
+        /// Maximum parents per child.
+        max_degree: u32,
+    },
+    /// No recognized structure: stored as a plain edge list.
+    Irregular,
+}
+
+impl Pattern {
+    /// Table I row number for this pattern.
+    pub fn table_row(&self) -> u8 {
+        match self {
+            Pattern::FullyConnected => 1,
+            Pattern::NGroupFullyConnected { .. } => 2,
+            Pattern::OneToOne => 3,
+            Pattern::OneToN => 4,
+            Pattern::NToOne => 5,
+            Pattern::Overlapped { .. } => 6,
+            Pattern::Independent => 7,
+            Pattern::Irregular => 0,
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Independent => f.write_str("independent"),
+            Pattern::FullyConnected => f.write_str("fully-connected"),
+            Pattern::OneToOne => f.write_str("1-to-1"),
+            Pattern::OneToN => f.write_str("1-to-n"),
+            Pattern::NToOne => f.write_str("n-to-1"),
+            Pattern::NGroupFullyConnected { groups } => {
+                write!(f, "n-group fully-connected ({groups} groups)")
+            }
+            Pattern::Overlapped { max_degree } => write!(f, "overlapped (deg≤{max_degree})"),
+            Pattern::Irregular => f.write_str("irregular"),
+        }
+    }
+}
+
+/// Classifies a graph into the most specific Table I pattern.
+pub fn classify(g: &BipartiteGraph) -> Pattern {
+    match g.kind() {
+        GraphKind::Independent => return Pattern::Independent,
+        GraphKind::FullyConnected => return Pattern::FullyConnected,
+        GraphKind::Explicit(_) => {}
+    }
+    if g.is_fully_connected() {
+        return Pattern::FullyConnected;
+    }
+    let parents = g.parents_of_children();
+    let children: Vec<Vec<u32>> = (0..g.n_parent()).map(|p| g.children_of(p)).collect();
+    let max_parent_deg = parents.iter().map(|p| p.len()).max().unwrap_or(0);
+    let max_child_deg = children.iter().map(|c| c.len()).max().unwrap_or(0);
+    // 1-to-1: all degrees at most one on both sides.
+    if max_parent_deg <= 1 && max_child_deg <= 1 {
+        return Pattern::OneToOne;
+    }
+    // 1-to-n: no child shared between parents.
+    if max_parent_deg <= 1 {
+        return Pattern::OneToN;
+    }
+    // n-to-1: no parent shared between children.
+    if max_child_deg <= 1 {
+        return Pattern::NToOne;
+    }
+    if let Some(groups) = detect_ngroup(&children, &parents) {
+        return Pattern::NGroupFullyConnected { groups };
+    }
+    if detect_overlapped(&parents) {
+        return Pattern::Overlapped {
+            max_degree: max_parent_deg as u32,
+        };
+    }
+    Pattern::Irregular
+}
+
+/// Detects a disjoint union of complete bipartite blocks: children with the
+/// same parent set form a group, and each parent in that set must have
+/// exactly that group as its children.
+fn detect_ngroup(children: &[Vec<u32>], parents: &[Vec<u32>]) -> Option<u32> {
+    use std::collections::HashMap;
+    let mut groups: HashMap<&[u32], Vec<u32>> = HashMap::new();
+    for (c, ps) in parents.iter().enumerate() {
+        if !ps.is_empty() {
+            groups.entry(ps.as_slice()).or_default().push(c as u32);
+        }
+    }
+    for (pset, cgroup) in &groups {
+        for &p in *pset {
+            if children[p as usize] != *cgroup {
+                return None;
+            }
+        }
+    }
+    Some(groups.len() as u32)
+}
+
+/// Detects sliding-window structure: each child's parent set is a
+/// contiguous range and the windows move monotonically with child id while
+/// overlapping at least once.
+fn detect_overlapped(parents: &[Vec<u32>]) -> bool {
+    let mut prev: Option<(u32, u32)> = None;
+    let mut any_overlap = false;
+    for ps in parents {
+        if ps.is_empty() {
+            continue;
+        }
+        let lo = ps[0];
+        let hi = *ps.last().unwrap();
+        if (hi - lo) as usize + 1 != ps.len() {
+            return false; // not contiguous
+        }
+        if let Some((plo, phi)) = prev {
+            if lo < plo || hi < phi {
+                return false; // windows must slide forward
+            }
+            if lo <= phi && (lo, hi) != (plo, phi) {
+                any_overlap = true;
+            }
+            if (lo, hi) == (plo, phi) {
+                any_overlap = true;
+            }
+        }
+        prev = Some((lo, hi));
+    }
+    any_overlap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BipartiteGraph;
+
+    fn explicit(np: u32, nc: u32, edges: Vec<Vec<u32>>) -> BipartiteGraph {
+        BipartiteGraph::from_children(np, nc, edges)
+    }
+
+    #[test]
+    fn symbolic_kinds() {
+        assert_eq!(
+            classify(&BipartiteGraph::independent(3, 3)),
+            Pattern::Independent
+        );
+        assert_eq!(
+            classify(&BipartiteGraph::fully_connected(3, 3)),
+            Pattern::FullyConnected
+        );
+    }
+
+    #[test]
+    fn one_to_one() {
+        let g = explicit(3, 3, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(classify(&g), Pattern::OneToOne);
+        // A permutation still counts as 1-to-1.
+        let g = explicit(3, 3, vec![vec![2], vec![0], vec![1]]);
+        assert_eq!(classify(&g), Pattern::OneToOne);
+    }
+
+    #[test]
+    fn one_to_n_and_n_to_one() {
+        // Each parent owns two exclusive children.
+        let g = explicit(2, 4, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(classify(&g), Pattern::OneToN);
+        // Each child aggregates two exclusive parents.
+        let g = explicit(4, 2, vec![vec![0], vec![0], vec![1], vec![1]]);
+        assert_eq!(classify(&g), Pattern::NToOne);
+    }
+
+    #[test]
+    fn n_group() {
+        // Two complete 2x2 blocks.
+        let g = explicit(4, 4, vec![vec![0, 1], vec![0, 1], vec![2, 3], vec![2, 3]]);
+        assert_eq!(classify(&g), Pattern::NGroupFullyConnected { groups: 2 });
+    }
+
+    #[test]
+    fn overlapped_stencil() {
+        // Child i depends on parents {i-1, i, i+1}.
+        let n = 6u32;
+        let mut children = vec![Vec::new(); n as usize];
+        for c in 0..n {
+            for p in c.saturating_sub(1)..=(c + 1).min(n - 1) {
+                children[p as usize].push(c);
+            }
+        }
+        let g = explicit(n, n, children);
+        assert_eq!(classify(&g), Pattern::Overlapped { max_degree: 3 });
+    }
+
+    #[test]
+    fn irregular_fallback() {
+        // Child 0 depends on parents {0, 2} (non-contiguous) and child 1
+        // shares parent 0 — breaks every structured class.
+        let g = explicit(3, 2, vec![vec![0, 1], vec![1], vec![0]]);
+        assert_eq!(classify(&g), Pattern::Irregular);
+    }
+
+    #[test]
+    fn table_rows() {
+        assert_eq!(Pattern::FullyConnected.table_row(), 1);
+        assert_eq!(Pattern::Independent.table_row(), 7);
+        assert_eq!(Pattern::Overlapped { max_degree: 3 }.table_row(), 6);
+    }
+}

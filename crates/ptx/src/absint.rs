@@ -1,0 +1,856 @@
+//! Kernel-launch-time value-range analysis (paper §III-B2).
+//!
+//! For every thread block of a launch, all registers are evaluated over an
+//! interval domain with `ctaid` pinned to the block's coordinates and `tid`
+//! ranging over `[0, ntid-1]`. Loops reach a fixpoint via widening followed
+//! by narrowing passes with branch-guard refinement. Every global load and
+//! store then yields a byte range, producing the per-TB read/write sets the
+//! thread-block scheduler enforces at run time.
+//!
+//! Addresses that derive from the *result of another load* carry a taint
+//! bit; a tainted address reproduces Algorithm 1's conservative bail-out:
+//! the whole kernel is treated as dependent on its predecessor.
+
+use crate::access::{KernelAccess, TbAccess};
+use crate::cfg::Cfg;
+use crate::interval::Interval;
+use crate::isa::*;
+use crate::kernel::{ArgValue, Launch};
+
+/// Joins applied to a block's in-state before widening kicks in.
+const WIDEN_AFTER: u32 = 4;
+/// Narrowing passes after the widened fixpoint.
+const NARROW_PASSES: usize = 2;
+/// Safety cap on worklist pops, per thread block.
+const MAX_POPS_FACTOR: usize = 128;
+/// Address intervals wider than this are treated as unbounded.
+const MAX_ACCESS_SPAN: i128 = 1 << 42;
+
+/// An abstract register value: an interval plus a "derived from a loaded
+/// value" taint bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Possible integer values.
+    pub iv: Interval,
+    /// Whether the value (possibly) derives from a memory load.
+    pub taint: bool,
+}
+
+impl AbsVal {
+    /// Unknown, untainted value.
+    pub const TOP: AbsVal = AbsVal {
+        iv: Interval::TOP,
+        taint: false,
+    };
+
+    /// Unknown value derived from a load.
+    pub const TAINTED: AbsVal = AbsVal {
+        iv: Interval::TOP,
+        taint: true,
+    };
+
+    /// Exact launch-time-known value.
+    pub fn point(v: i128) -> Self {
+        AbsVal {
+            iv: Interval::point(v),
+            taint: false,
+        }
+    }
+
+    fn hull(&self, o: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: self.iv.hull(&o.iv),
+            taint: self.taint || o.taint,
+        }
+    }
+
+    fn widen(&self, o: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: self.iv.widen(&o.iv),
+            taint: self.taint || o.taint,
+        }
+    }
+
+    fn binop(f: impl Fn(&Interval, &Interval) -> Interval, a: &AbsVal, b: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: f(&a.iv, &b.iv),
+            taint: a.taint || b.taint,
+        }
+    }
+}
+
+/// Most recent `setp` feeding a predicate register, used to refine operand
+/// intervals along branch edges. Invalidated when any referenced register
+/// is overwritten.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PredDef {
+    cmp: CmpOp,
+    a: Operand,
+    b: Operand,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct AbsState {
+    r32: Vec<AbsVal>,
+    r64: Vec<AbsVal>,
+    f32_taint: Vec<bool>,
+    pred: Vec<AbsVal>,
+    pred_defs: Vec<Option<PredDef>>,
+}
+
+impl AbsState {
+    fn new(counts: [usize; 4]) -> Self {
+        AbsState {
+            r32: vec![AbsVal::TOP; counts[0]],
+            r64: vec![AbsVal::TOP; counts[1]],
+            f32_taint: vec![false; counts[2]],
+            pred: vec![AbsVal::TOP; counts[3]],
+            pred_defs: vec![None; counts[3]],
+        }
+    }
+
+    /// Joins `other` into `self`; returns whether anything changed.
+    fn join(&mut self, other: &AbsState, widen: bool) -> bool {
+        let mut changed = false;
+        let comb = |a: &AbsVal, b: &AbsVal| if widen { a.widen(b) } else { a.hull(b) };
+        for (a, b) in self.r32.iter_mut().zip(&other.r32) {
+            let n = comb(a, b);
+            if n != *a {
+                *a = n;
+                changed = true;
+            }
+        }
+        for (a, b) in self.r64.iter_mut().zip(&other.r64) {
+            let n = comb(a, b);
+            if n != *a {
+                *a = n;
+                changed = true;
+            }
+        }
+        for (a, b) in self.f32_taint.iter_mut().zip(&other.f32_taint) {
+            if *b && !*a {
+                *a = true;
+                changed = true;
+            }
+        }
+        for (a, b) in self.pred.iter_mut().zip(&other.pred) {
+            let n = comb(a, b);
+            if n != *a {
+                *a = n;
+                changed = true;
+            }
+        }
+        for (a, b) in self.pred_defs.iter_mut().zip(&other.pred_defs) {
+            if *a != *b && a.is_some() {
+                *a = None;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn get(&self, r: Reg) -> AbsVal {
+        match r.class {
+            RegClass::R32 => self.r32[r.idx as usize],
+            RegClass::R64 => self.r64[r.idx as usize],
+            RegClass::F32 => AbsVal {
+                iv: Interval::TOP,
+                taint: self.f32_taint[r.idx as usize],
+            },
+            RegClass::Pred => self.pred[r.idx as usize],
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: AbsVal, weak: bool) {
+        // Any write invalidates predicate definitions that mention `r`.
+        for d in self.pred_defs.iter_mut() {
+            if let Some(def) = d {
+                let mentions = |o: &Operand| matches!(o, Operand::Reg(x) if *x == r);
+                if mentions(&def.a) || mentions(&def.b) {
+                    *d = None;
+                }
+            }
+        }
+        let slot = match r.class {
+            RegClass::R32 => &mut self.r32[r.idx as usize],
+            RegClass::R64 => &mut self.r64[r.idx as usize],
+            RegClass::Pred => {
+                self.pred_defs[r.idx as usize] = None;
+                &mut self.pred[r.idx as usize]
+            }
+            RegClass::F32 => {
+                let t = if weak {
+                    self.f32_taint[r.idx as usize] || v.taint
+                } else {
+                    v.taint
+                };
+                self.f32_taint[r.idx as usize] = t;
+                return;
+            }
+        };
+        *slot = if weak { slot.hull(&v) } else { v };
+    }
+}
+
+/// Per-TB launch-time environment.
+#[derive(Debug, Clone, Copy)]
+struct Env<'a> {
+    launch: &'a Launch,
+    bx: u32,
+    by: u32,
+}
+
+impl Env<'_> {
+    fn special(&self, s: Special) -> Interval {
+        let b = self.launch.block;
+        let g = self.launch.grid;
+        match s {
+            Special::TidX => Interval::new(0, b.x as i128 - 1),
+            Special::TidY => Interval::new(0, b.y as i128 - 1),
+            Special::NtidX => Interval::point(b.x as i128),
+            Special::NtidY => Interval::point(b.y as i128),
+            Special::CtaidX => Interval::point(self.bx as i128),
+            Special::CtaidY => Interval::point(self.by as i128),
+            Special::NctaidX => Interval::point(g.x as i128),
+            Special::NctaidY => Interval::point(g.y as i128),
+        }
+    }
+
+    fn eval(&self, st: &AbsState, o: &Operand) -> AbsVal {
+        match o {
+            Operand::Reg(r) => st.get(*r),
+            Operand::ImmI(v) => AbsVal::point(*v as i128),
+            Operand::ImmF(_) => AbsVal::TOP,
+            Operand::Special(s) => AbsVal {
+                iv: self.special(*s),
+                taint: false,
+            },
+        }
+    }
+}
+
+fn transfer(env: &Env, st: &mut AbsState, inst: &Inst) {
+    let weak = inst.guard.is_some();
+    let ev = |st: &AbsState, o: &Operand| env.eval(st, o);
+    match &inst.op {
+        Op::Mov { dst, src } | Op::Cvt { dst, src } => {
+            let v = ev(st, src);
+            st.set(*dst, v, weak);
+        }
+        Op::Int { op, dst, a, b, .. } => {
+            let (x, y) = (ev(st, a), ev(st, b));
+            let iv = match op {
+                IntOp::Add => AbsVal::binop(Interval::add, &x, &y),
+                IntOp::Sub => AbsVal::binop(Interval::sub, &x, &y),
+                IntOp::Mul => AbsVal::binop(Interval::mul, &x, &y),
+                IntOp::Div => AbsVal::binop(Interval::div, &x, &y),
+                IntOp::Rem => AbsVal::binop(Interval::rem, &x, &y),
+                IntOp::Min => AbsVal::binop(Interval::min_op, &x, &y),
+                IntOp::Max => AbsVal::binop(Interval::max_op, &x, &y),
+                IntOp::And => AbsVal::binop(Interval::and, &x, &y),
+                IntOp::Or => AbsVal::binop(Interval::or, &x, &y),
+                IntOp::Xor => AbsVal::binop(Interval::xor, &x, &y),
+                IntOp::Shl => AbsVal::binop(Interval::shl, &x, &y),
+                IntOp::Shr => AbsVal::binop(Interval::shr, &x, &y),
+            };
+            st.set(*dst, iv, weak);
+        }
+        Op::Mad { dst, a, b, c, .. } | Op::MadWide { dst, a, b, c } => {
+            let v = AbsVal::binop(
+                Interval::add,
+                &AbsVal::binop(Interval::mul, &ev(st, a), &ev(st, b)),
+                &ev(st, c),
+            );
+            st.set(*dst, v, weak);
+        }
+        Op::MulWide { dst, a, b } => {
+            let v = AbsVal::binop(Interval::mul, &ev(st, a), &ev(st, b));
+            st.set(*dst, v, weak);
+        }
+        Op::Float { dst, a, b, .. } => {
+            let t = ev(st, a).taint || ev(st, b).taint;
+            st.set(
+                *dst,
+                AbsVal {
+                    iv: Interval::TOP,
+                    taint: t,
+                },
+                weak,
+            );
+        }
+        Op::Fma { dst, a, b, c } => {
+            let t = ev(st, a).taint || ev(st, b).taint || ev(st, c).taint;
+            st.set(
+                *dst,
+                AbsVal {
+                    iv: Interval::TOP,
+                    taint: t,
+                },
+                weak,
+            );
+        }
+        Op::Sqrt { dst, a } => {
+            let t = ev(st, a).taint;
+            st.set(
+                *dst,
+                AbsVal {
+                    iv: Interval::TOP,
+                    taint: t,
+                },
+                weak,
+            );
+        }
+        Op::Setp { cmp, dst, a, b, .. } => {
+            let t = ev(st, a).taint || ev(st, b).taint;
+            st.set(
+                *dst,
+                AbsVal {
+                    iv: Interval::new(0, 1),
+                    taint: t,
+                },
+                weak,
+            );
+            if !weak && !t {
+                st.pred_defs[dst.idx as usize] = Some(PredDef {
+                    cmp: *cmp,
+                    a: *a,
+                    b: *b,
+                });
+            }
+        }
+        Op::SetpF { dst, a, b, .. } => {
+            let t = ev(st, a).taint || ev(st, b).taint;
+            st.set(
+                *dst,
+                AbsVal {
+                    iv: Interval::new(0, 1),
+                    taint: t,
+                },
+                weak,
+            );
+        }
+        Op::Selp { dst, a, b, .. } => {
+            let v = ev(st, a).hull(&ev(st, b));
+            st.set(*dst, v, weak);
+        }
+        Op::Ld { dst, .. } => {
+            st.set(*dst, AbsVal::TAINTED, weak);
+        }
+        Op::St { .. } => {}
+        Op::LdParam { dst, param } => {
+            let v = match env.launch.args[*param as usize] {
+                ArgValue::U32(v) => AbsVal::point(v as i128),
+                ArgValue::U64(v) => AbsVal::point(v as i128),
+                ArgValue::Ptr(v) => AbsVal::point(v as i128),
+                ArgValue::F32(_) => AbsVal::TOP,
+            };
+            st.set(*dst, v, weak);
+        }
+        Op::Bra { .. } | Op::Bar | Op::Ret => {}
+    }
+}
+
+/// Refines `st` assuming predicate `pred` evaluates to `holds`.
+fn refine_by_pred(env: &Env, st: &mut AbsState, pred: Reg, holds: bool) {
+    // The predicate value itself is now known.
+    let pv = AbsVal {
+        iv: Interval::point(holds as i128),
+        taint: st.pred[pred.idx as usize].taint,
+    };
+    st.pred[pred.idx as usize] = pv;
+    let Some(def) = st.pred_defs[pred.idx as usize] else {
+        return;
+    };
+    let cmp = if holds { def.cmp } else { def.cmp.negated() };
+    let bv = env.eval(st, &def.b);
+    let av = env.eval(st, &def.a);
+    if let Operand::Reg(r) = def.a {
+        if matches!(r.class, RegClass::R32 | RegClass::R64) {
+            let refined = AbsVal {
+                iv: av.iv.refine(cmp, &bv.iv),
+                taint: av.taint,
+            };
+            set_no_invalidate(st, r, refined);
+        }
+    }
+    if let Operand::Reg(r) = def.b {
+        if matches!(r.class, RegClass::R32 | RegClass::R64) {
+            let refined = AbsVal {
+                iv: bv.iv.refine(cmp.swapped(), &av.iv),
+                taint: bv.taint,
+            };
+            set_no_invalidate(st, r, refined);
+        }
+    }
+}
+
+/// Writes a refined value without invalidating predicate definitions
+/// (refinement only shrinks the set of possible values).
+fn set_no_invalidate(st: &mut AbsState, r: Reg, v: AbsVal) {
+    match r.class {
+        RegClass::R32 => st.r32[r.idx as usize] = v,
+        RegClass::R64 => st.r64[r.idx as usize] = v,
+        _ => {}
+    }
+}
+
+/// Why a launch could not be statically analyzed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonStaticReason {
+    /// An address derives from a loaded value (Algorithm 1 bail-out).
+    TaintedAddress,
+    /// The fixpoint did not converge within the iteration budget.
+    NoConvergence,
+}
+
+impl std::fmt::Display for NonStaticReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NonStaticReason::TaintedAddress => {
+                f.write_str("address derives from a loaded value")
+            }
+            NonStaticReason::NoConvergence => f.write_str("value-range fixpoint did not converge"),
+        }
+    }
+}
+
+/// Analyzes every thread block of `launch`, producing per-TB read/write
+/// sets, or the conservative non-static verdict.
+///
+/// This is the paper's kernel-launch-time just-in-time analysis: it runs
+/// when the kernel command is processed (masked by pre-launching) and its
+/// output feeds the bipartite dependency-graph builder.
+///
+/// # Examples
+///
+/// ```
+/// # use bm_ptx::{parser::parse_kernel, kernel::*, absint::analyze_launch};
+/// # use std::sync::Arc;
+/// let k = Arc::new(parse_kernel(
+///     ".entry w(.param .u64 A) {
+///        ld.param.u64 %rd1, [A];
+///        mov.u32 %r1, %tid.x;
+///        mad.wide.u32 %rd2, %r1, 4, %rd1;
+///        st.global.f32 [%rd2], 0f00000000;
+///        ret;
+///      }",
+/// ).unwrap());
+/// let launch = Launch::new(k, Dim3::x(2), Dim3::x(32), vec![ArgValue::Ptr(0x1000)]);
+/// let acc = analyze_launch(&launch);
+/// assert!(!acc.non_static);
+/// assert_eq!(acc.per_tb[0].writes.ranges(), &[(0x1000, 0x1000 + 128)]);
+/// ```
+pub fn analyze_launch(launch: &Launch) -> KernelAccess {
+    let cfg = Cfg::build(&launch.kernel);
+    let counts = max_reg_counts(&launch.kernel.body);
+    let n = launch.num_blocks();
+    let mut per_tb = Vec::with_capacity(n as usize);
+    for tb in 0..n {
+        match analyze_block(launch, &cfg, counts, tb) {
+            Ok(acc) => per_tb.push(acc),
+            Err(_) => {
+                // Conservative: the kernel is fully dependent on its
+                // predecessor; access sets are unusable.
+                per_tb.resize(n as usize, TbAccess::default());
+                return KernelAccess::from_per_tb(per_tb, true);
+            }
+        }
+    }
+    KernelAccess::from_per_tb(per_tb, false)
+}
+
+/// Analyzes a single thread block.
+///
+/// # Errors
+///
+/// Returns [`NonStaticReason`] if any global access address is tainted or
+/// the fixpoint iteration budget is exhausted.
+pub fn analyze_block(
+    launch: &Launch,
+    cfg: &Cfg,
+    counts: [usize; 4],
+    tb: u32,
+) -> Result<TbAccess, NonStaticReason> {
+    let (bx, by) = launch.block_coords(tb);
+    let env = Env { launch, bx, by };
+    let body = &launch.kernel.body;
+    let nb = cfg.blocks.len();
+    if nb == 0 {
+        return Ok(TbAccess::default());
+    }
+    let mut in_states: Vec<Option<AbsState>> = vec![None; nb];
+    let mut out_states: Vec<Option<AbsState>> = vec![None; nb];
+    in_states[0] = Some(AbsState::new(counts));
+    let mut join_count = vec![0u32; nb];
+    let mut queued = vec![false; nb];
+    let mut work: Vec<usize> = vec![0];
+    queued[0] = true;
+    let mut pops = 0usize;
+    let max_pops = nb * MAX_POPS_FACTOR;
+    while let Some(b) = work.pop() {
+        queued[b] = false;
+        pops += 1;
+        if pops > max_pops {
+            return Err(NonStaticReason::NoConvergence);
+        }
+        let mut st = in_states[b].clone().expect("queued block has in-state");
+        for i in cfg.blocks[b].start..cfg.blocks[b].end {
+            transfer(&env, &mut st, &body[i]);
+        }
+        let term = &body[cfg.blocks[b].end - 1];
+        out_states[b] = Some(st.clone());
+        for e in &cfg.blocks[b].succs {
+            let mut es = st.clone();
+            if let (Some(taken), Some(g)) = (e.taken, term.guard) {
+                // Branch taken <=> guard passed <=> pred == !negated.
+                let holds = taken != g.negated;
+                refine_by_pred(&env, &mut es, g.pred, holds);
+            }
+            let changed = match &mut in_states[e.to] {
+                Some(cur) => {
+                    let widen = join_count[e.to] > WIDEN_AFTER;
+                    cur.join(&es, widen)
+                }
+                slot @ None => {
+                    *slot = Some(es);
+                    true
+                }
+            };
+            if changed {
+                join_count[e.to] += 1;
+                if !queued[e.to] {
+                    queued[e.to] = true;
+                    work.push(e.to);
+                }
+            }
+        }
+    }
+    // Narrowing: recompute in-states from predecessor outs (with edge
+    // refinement) a bounded number of times; this claws back precision the
+    // widening gave up, e.g. loop-counter upper bounds.
+    for _ in 0..NARROW_PASSES {
+        for &b in &cfg.rpo {
+            if b != 0 {
+                let mut acc: Option<AbsState> = None;
+                for &p in &cfg.blocks[b].preds {
+                    let Some(po) = &out_states[p] else { continue };
+                    let term = &body[cfg.blocks[p].end - 1];
+                    let edge = cfg.blocks[p].succs.iter().find(|e| e.to == b);
+                    let mut es = po.clone();
+                    if let (Some(e), Some(g)) = (edge, term.guard) {
+                        if let Some(t) = e.taken {
+                            let holds = t != g.negated;
+                            refine_by_pred(&env, &mut es, g.pred, holds);
+                        }
+                    }
+                    match &mut acc {
+                        Some(a) => {
+                            a.join(&es, false);
+                        }
+                        None => acc = Some(es),
+                    }
+                }
+                if let Some(a) = acc {
+                    in_states[b] = Some(a);
+                }
+            }
+            if let Some(ins) = &in_states[b] {
+                let mut st = ins.clone();
+                for i in cfg.blocks[b].start..cfg.blocks[b].end {
+                    transfer(&env, &mut st, &body[i]);
+                }
+                out_states[b] = Some(st);
+            }
+        }
+    }
+    // Collection pass: record every global access range.
+    let mut acc = TbAccess::default();
+    for &b in &cfg.rpo {
+        let Some(ins) = &in_states[b] else { continue };
+        let mut st = ins.clone();
+        for i in cfg.blocks[b].start..cfg.blocks[b].end {
+            let inst = &body[i];
+            if let Op::Ld {
+                space: MemSpace::Global,
+                addr,
+                ty,
+                ..
+            }
+            | Op::St {
+                space: MemSpace::Global,
+                addr,
+                ty,
+                ..
+            } = &inst.op
+            {
+                // If the access is guarded and the guard has a known setp,
+                // refine a copy of the state first for a tighter range.
+                let mut view = st.clone();
+                if let Some(g) = inst.guard {
+                    refine_by_pred(&env, &mut view, g.pred, !g.negated);
+                }
+                let base = view.get(addr.base);
+                if base.taint {
+                    return Err(NonStaticReason::TaintedAddress);
+                }
+                let range = base.iv.add(&Interval::point(addr.offset as i128));
+                let (lo, hi) = if range.is_empty() {
+                    continue; // guard proves the access never executes
+                } else if range.is_unbounded()
+                    || range.lo() < 0
+                    || range.hi() - range.lo() > MAX_ACCESS_SPAN
+                {
+                    // Static but unboundable: cover all of device memory.
+                    (0u64, u64::MAX)
+                } else {
+                    (range.lo() as u64, range.hi() as u64 + ty.bytes())
+                };
+                let is_store = matches!(inst.op, Op::St { .. });
+                if is_store {
+                    acc.writes.insert(lo, hi);
+                } else {
+                    acc.reads.insert(lo, hi);
+                }
+            }
+            transfer(&env, &mut st, inst);
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ArgValue, Dim3, Launch};
+    use crate::parser::parse_kernel;
+    use std::sync::Arc;
+
+    fn launch_1d(src: &str, grid: u32, block: u32, args: Vec<ArgValue>) -> Launch {
+        let k = Arc::new(parse_kernel(src).unwrap());
+        Launch::new(k, Dim3::x(grid), Dim3::x(block), args)
+    }
+
+    const VECADD: &str = r#"
+.entry vecadd(.param .u64 A, .param .u64 B, .param .u64 C, .param .u32 n)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [B];
+  ld.param.u64 %rd3, [C];
+  ld.param.u32 %r4, [n];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r5, %r1, %r2, %r3;
+  setp.ge.u32 %p1, %r5, %r4;
+  @%p1 bra $DONE;
+  mul.wide.u32 %rd4, %r5, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  add.u64 %rd6, %rd2, %rd4;
+  ld.global.f32 %f2, [%rd6];
+  add.f32 %f3, %f1, %f2;
+  add.u64 %rd7, %rd3, %rd4;
+  st.global.f32 [%rd7], %f3;
+$DONE:
+  ret;
+}
+"#;
+
+    #[test]
+    fn vecadd_per_tb_ranges_are_disjoint_slices() {
+        let (a, b, c) = (0x10000u64, 0x20000u64, 0x30000u64);
+        let launch = launch_1d(
+            VECADD,
+            4,
+            64,
+            vec![
+                ArgValue::Ptr(a),
+                ArgValue::Ptr(b),
+                ArgValue::Ptr(c),
+                ArgValue::U32(256),
+            ],
+        );
+        let acc = analyze_launch(&launch);
+        assert!(!acc.non_static);
+        assert_eq!(acc.per_tb.len(), 4);
+        for (tb, t) in acc.per_tb.iter().enumerate() {
+            let lo = tb as u64 * 64 * 4;
+            let hi = lo + 64 * 4;
+            assert_eq!(t.writes.ranges(), &[(c + lo, c + hi)], "tb{tb}");
+            assert_eq!(t.reads.ranges(), &[(a + lo, a + hi), (b + lo, b + hi)]);
+        }
+        // Neighbouring blocks don't overlap in writes.
+        assert!(!acc.per_tb[0].writes.intersects(&acc.per_tb[1].writes));
+    }
+
+    #[test]
+    fn guard_prunes_out_of_range_tail_block() {
+        // n=100, 2 blocks of 64: block 1 covers indices 64..99 only.
+        let c = 0x30000u64;
+        let launch = launch_1d(
+            VECADD,
+            2,
+            64,
+            vec![
+                ArgValue::Ptr(0x10000),
+                ArgValue::Ptr(0x20000),
+                ArgValue::Ptr(c),
+                ArgValue::U32(100),
+            ],
+        );
+        let acc = analyze_launch(&launch);
+        assert!(!acc.non_static);
+        assert_eq!(acc.per_tb[1].writes.ranges(), &[(c + 256, c + 400)]);
+    }
+
+    #[test]
+    fn indirect_gather_is_non_static() {
+        let src = r#"
+.entry gather(.param .u64 A, .param .u64 B)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [B];
+  mov.u32 %r1, %tid.x;
+  mul.wide.u32 %rd3, %r1, 4;
+  add.u64 %rd4, %rd1, %rd3;
+  ld.global.u32 %r2, [%rd4];
+  mul.wide.u32 %rd5, %r2, 4;
+  add.u64 %rd6, %rd2, %rd5;
+  ld.global.f32 %f1, [%rd6];
+  ret;
+}
+"#;
+        let launch = launch_1d(
+            src,
+            1,
+            32,
+            vec![ArgValue::Ptr(0x1000), ArgValue::Ptr(0x2000)],
+        );
+        let acc = analyze_launch(&launch);
+        assert!(acc.non_static);
+    }
+
+    #[test]
+    fn loop_over_row_yields_row_range() {
+        // Each thread sums row `gid` of an NxN matrix: reads the whole row
+        // A[gid*N .. gid*N+N) via a loop — narrowing must recover the bound.
+        let src = r#"
+.entry rowsum(.param .u64 A, .param .u64 O, .param .u32 n)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [O];
+  ld.param.u32 %r9, [n];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+  mul.lo.u32 %r5, %r4, %r9;
+  mov.u32 %r6, 0;
+  mov.f32 %f1, 0f00000000;
+$TOP:
+  setp.ge.u32 %p1, %r6, %r9;
+  @%p1 bra $OUT;
+  add.u32 %r7, %r5, %r6;
+  mul.wide.u32 %rd3, %r7, 4;
+  add.u64 %rd4, %rd1, %rd3;
+  ld.global.f32 %f2, [%rd4];
+  add.f32 %f1, %f1, %f2;
+  add.u32 %r6, %r6, 1;
+  bra $TOP;
+$OUT:
+  mul.wide.u32 %rd5, %r4, 4;
+  add.u64 %rd6, %rd2, %rd5;
+  st.global.f32 [%rd6], %f1;
+  ret;
+}
+"#;
+        let a = 0x100000u64;
+        let o = 0x200000u64;
+        let n = 16u32;
+        // 2 blocks x 8 threads: block 0 handles rows 0..8.
+        let launch = launch_1d(
+            src,
+            2,
+            8,
+            vec![ArgValue::Ptr(a), ArgValue::Ptr(o), ArgValue::U32(n)],
+        );
+        let acc = analyze_launch(&launch);
+        assert!(!acc.non_static, "loop kernel should stay static");
+        // Block 0: rows 0..8 -> elements 0 .. 8*16 => bytes a .. a+512.
+        let r0 = &acc.per_tb[0].reads;
+        assert_eq!(r0.bounds(), Some((a, a + 8 * 16 * 4)));
+        // Block 1: rows 8..16.
+        let r1 = &acc.per_tb[1].reads;
+        assert_eq!(r1.bounds(), Some((a + 8 * 16 * 4, a + 16 * 16 * 4)));
+        assert_eq!(acc.per_tb[0].writes.ranges(), &[(o, o + 32)]);
+    }
+
+    #[test]
+    fn stencil_reads_extend_one_past_block() {
+        // out[i] = in[i-1] + in[i+1] with interior guard.
+        let src = r#"
+.entry stencil(.param .u64 I, .param .u64 O, .param .u32 n)
+{
+  ld.param.u64 %rd1, [I];
+  ld.param.u64 %rd2, [O];
+  ld.param.u32 %r9, [n];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+  setp.eq.u32 %p1, %r4, 0;
+  @%p1 bra $DONE;
+  sub.u32 %r8, %r9, 1;
+  setp.ge.u32 %p2, %r4, %r8;
+  @%p2 bra $DONE;
+  sub.u32 %r5, %r4, 1;
+  mul.wide.u32 %rd3, %r5, 4;
+  add.u64 %rd4, %rd1, %rd3;
+  ld.global.f32 %f1, [%rd4];
+  add.u32 %r6, %r4, 1;
+  mul.wide.u32 %rd5, %r6, 4;
+  add.u64 %rd6, %rd1, %rd5;
+  ld.global.f32 %f2, [%rd6];
+  add.f32 %f3, %f1, %f2;
+  mul.wide.u32 %rd7, %r4, 4;
+  add.u64 %rd8, %rd2, %rd7;
+  st.global.f32 [%rd8], %f3;
+$DONE:
+  ret;
+}
+"#;
+        let i = 0x10000u64;
+        let o = 0x20000u64;
+        let launch = launch_1d(
+            src,
+            4,
+            32,
+            vec![ArgValue::Ptr(i), ArgValue::Ptr(o), ArgValue::U32(128)],
+        );
+        let acc = analyze_launch(&launch);
+        assert!(!acc.non_static);
+        // Interior block 1 (indices 32..63): reads 31..65 elements.
+        let t1 = &acc.per_tb[1];
+        assert_eq!(t1.reads.bounds(), Some((i + 31 * 4, i + 65 * 4)));
+        assert_eq!(t1.writes.bounds(), Some((o + 32 * 4, o + 64 * 4)));
+        // Inter-kernel view: a second stencil launch ping-pongs the buffers
+        // (reads O, writes I). Its block 1 reads must overlap the writes of
+        // blocks 0, 1, and 2 of the first launch — the halo that makes
+        // stencils an "overlapped" dependency pattern (Fig. 8f).
+        let launch2 = launch_1d(
+            src,
+            4,
+            32,
+            vec![ArgValue::Ptr(o), ArgValue::Ptr(i), ArgValue::U32(128)],
+        );
+        let acc2 = analyze_launch(&launch2);
+        let child = &acc2.per_tb[1];
+        for parent_tb in [0usize, 1, 2] {
+            assert!(
+                child.reads.intersects(&acc.per_tb[parent_tb].writes),
+                "child TB1 should depend on parent TB{parent_tb}"
+            );
+        }
+        assert!(!child.reads.intersects(&acc.per_tb[3].writes));
+    }
+}

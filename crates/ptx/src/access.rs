@@ -1,0 +1,277 @@
+//! Byte-address range sets describing what a thread block reads and writes.
+//!
+//! Ranges are half-open `[start, end)` byte intervals in the flat device
+//! address space, kept sorted and coalesced. These are the "read and write
+//! sets per TB" of the paper's value-range analysis (§III-B2).
+
+use std::fmt;
+
+/// A sorted, coalesced set of half-open byte ranges `[start, end)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct RangeSet {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl RangeSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        RangeSet::default()
+    }
+
+    /// A set with a single range `[start, end)`. Empty if `start >= end`.
+    pub fn single(start: u64, end: u64) -> Self {
+        let mut s = RangeSet::new();
+        s.insert(start, end);
+        s
+    }
+
+    /// Whether the set contains no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of maximal disjoint ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The ranges, sorted and disjoint.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Total number of bytes covered.
+    pub fn total_bytes(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Smallest range covering the whole set, if non-empty.
+    pub fn bounds(&self) -> Option<(u64, u64)> {
+        if self.ranges.is_empty() {
+            None
+        } else {
+            Some((self.ranges[0].0, self.ranges.last().unwrap().1))
+        }
+    }
+
+    /// Inserts `[start, end)`, merging with touching/overlapping ranges.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find insertion window: all ranges with r.start <= end and
+        // r.end >= start merge with the new range.
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        let hi = self.ranges.partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            self.ranges.insert(lo, (start, end));
+        } else {
+            let new_start = start.min(self.ranges[lo].0);
+            let new_end = end.max(self.ranges[hi - 1].1);
+            self.ranges.drain(lo..hi);
+            self.ranges.insert(lo, (new_start, new_end));
+        }
+    }
+
+    /// Unions another set into this one.
+    pub fn union_with(&mut self, other: &RangeSet) {
+        for &(s, e) in &other.ranges {
+            self.insert(s, e);
+        }
+    }
+
+    /// Whether any byte is shared with `other`.
+    pub fn intersects(&self, other: &RangeSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (s1, e1) = self.ranges[i];
+            let (s2, e2) = other.ranges[j];
+            if s1 < e2 && s2 < e1 {
+                return true;
+            }
+            if e1 <= e2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// The intersection with another set.
+    pub fn intersection(&self, other: &RangeSet) -> RangeSet {
+        let mut out = RangeSet::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (s1, e1) = self.ranges[i];
+            let (s2, e2) = other.ranges[j];
+            let s = s1.max(s2);
+            let e = e1.min(e2);
+            if s < e {
+                out.insert(s, e);
+            }
+            if e1 <= e2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Whether `addr` is covered.
+    pub fn contains(&self, addr: u64) -> bool {
+        let i = self.ranges.partition_point(|&(_, e)| e <= addr);
+        i < self.ranges.len() && self.ranges[i].0 <= addr
+    }
+}
+
+impl FromIterator<(u64, u64)> for RangeSet {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Self {
+        let mut s = RangeSet::new();
+        for (a, b) in iter {
+            s.insert(a, b);
+        }
+        s
+    }
+}
+
+impl Extend<(u64, u64)> for RangeSet {
+    fn extend<T: IntoIterator<Item = (u64, u64)>>(&mut self, iter: T) {
+        for (a, b) in iter {
+            self.insert(a, b);
+        }
+    }
+}
+
+impl fmt::Display for RangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (s, e)) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "[{s:#x}, {e:#x})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The read and write sets of one thread block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TbAccess {
+    /// Global-memory bytes the block may read.
+    pub reads: RangeSet,
+    /// Global-memory bytes the block may write.
+    pub writes: RangeSet,
+}
+
+/// Result of launch-time analysis for one kernel launch: per-TB access sets
+/// plus kernel-level unions, or the conservative "non-static" verdict.
+#[derive(Debug, Clone)]
+pub struct KernelAccess {
+    /// Per-thread-block access sets, indexed by linear block id.
+    pub per_tb: Vec<TbAccess>,
+    /// Union of all TB read sets.
+    pub kernel_reads: RangeSet,
+    /// Union of all TB write sets.
+    pub kernel_writes: RangeSet,
+    /// Set when Algorithm 1 bails out (address derived from a loaded value):
+    /// the kernel must be treated as fully dependent on its predecessor.
+    pub non_static: bool,
+}
+
+impl KernelAccess {
+    /// Builds the kernel-level unions from per-TB sets.
+    pub fn from_per_tb(per_tb: Vec<TbAccess>, non_static: bool) -> Self {
+        let mut kernel_reads = RangeSet::new();
+        let mut kernel_writes = RangeSet::new();
+        for tb in &per_tb {
+            kernel_reads.union_with(&tb.reads);
+            kernel_writes.union_with(&tb.writes);
+        }
+        KernelAccess {
+            per_tb,
+            kernel_reads,
+            kernel_writes,
+            non_static,
+        }
+    }
+
+    /// Number of thread blocks analyzed.
+    pub fn num_blocks(&self) -> usize {
+        self.per_tb.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_merges_overlaps_and_touching() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert_eq!(s.len(), 2);
+        s.insert(20, 30); // touches both
+        assert_eq!(s.ranges(), &[(10, 40)]);
+        s.insert(5, 12);
+        assert_eq!(s.ranges(), &[(5, 40)]);
+        s.insert(100, 100); // empty no-op
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_keeps_disjoint_sorted() {
+        let mut s = RangeSet::new();
+        for (a, b) in [(50u64, 60u64), (10, 20), (30, 40), (0, 5)] {
+            s.insert(a, b);
+        }
+        assert_eq!(s.ranges(), &[(0, 5), (10, 20), (30, 40), (50, 60)]);
+        assert_eq!(s.total_bytes(), 5 + 10 + 10 + 10);
+        assert_eq!(s.bounds(), Some((0, 60)));
+    }
+
+    #[test]
+    fn intersection_and_intersects_agree() {
+        let a: RangeSet = [(0u64, 10u64), (20, 30)].into_iter().collect();
+        let b: RangeSet = [(5u64, 25u64)].into_iter().collect();
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b);
+        assert_eq!(i.ranges(), &[(5, 10), (20, 25)]);
+        let c: RangeSet = [(10u64, 20u64)].into_iter().collect();
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn contains_points() {
+        let s: RangeSet = [(10u64, 20u64), (30, 40)].into_iter().collect();
+        assert!(s.contains(10));
+        assert!(s.contains(19));
+        assert!(!s.contains(20));
+        assert!(!s.contains(25));
+        assert!(s.contains(39));
+        assert!(!s.contains(9));
+    }
+
+    #[test]
+    fn kernel_access_unions() {
+        let per_tb = vec![
+            TbAccess {
+                reads: RangeSet::single(0, 8),
+                writes: RangeSet::single(100, 108),
+            },
+            TbAccess {
+                reads: RangeSet::single(8, 16),
+                writes: RangeSet::single(108, 116),
+            },
+        ];
+        let ka = KernelAccess::from_per_tb(per_tb, false);
+        assert_eq!(ka.kernel_reads.ranges(), &[(0, 16)]);
+        assert_eq!(ka.kernel_writes.ranges(), &[(100, 116)]);
+        assert_eq!(ka.num_blocks(), 2);
+        assert!(!ka.non_static);
+    }
+}

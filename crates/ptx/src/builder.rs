@@ -1,0 +1,413 @@
+//! Programmatic kernel construction — a typed alternative to writing
+//! mini-PTX text, with label resolution and the common address-arithmetic
+//! idioms as one-call helpers.
+//!
+//! ```
+//! use bm_ptx::builder::KernelBuilder;
+//! use bm_ptx::isa::{IntOp, ParamTy, Reg};
+//!
+//! # fn main() -> Result<(), bm_ptx::builder::BuildError> {
+//! let mut b = KernelBuilder::new("scale");
+//! let a = b.param("A", ParamTy::U64);
+//! let gid = b.global_id();
+//! let base = b.ld_param_u64(a);
+//! let addr = b.elem_addr(base, gid, 4);
+//! let v = b.ld_global_f32(addr, 0);
+//! let doubled = b.fmul(v, 2.0f32);
+//! b.st_global_f32(addr, 0, doubled);
+//! b.ret();
+//! let kernel = b.finish()?;
+//! assert_eq!(kernel.name, "scale");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::isa::*;
+use crate::kernel::{Kernel, Param};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from [`KernelBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A branch referenced a label that was never placed.
+    UnresolvedLabel(String),
+    /// The same label was placed twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnresolvedLabel(l) => write!(f, "unresolved label `{l}`"),
+            BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Handle to a declared kernel parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamHandle(u16);
+
+/// Incremental kernel builder with automatic register allocation.
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<Param>,
+    body: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+    next_reg: [u16; 4],
+    shared_bytes: u32,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            ..KernelBuilder::default()
+        }
+    }
+
+    /// Declares a parameter and returns its handle.
+    pub fn param(&mut self, name: impl Into<String>, ty: ParamTy) -> ParamHandle {
+        self.params.push(Param {
+            name: name.into(),
+            ty,
+        });
+        ParamHandle(self.params.len() as u16 - 1)
+    }
+
+    /// Declares static shared memory.
+    pub fn shared(&mut self, bytes: u32) -> &mut Self {
+        self.shared_bytes = bytes;
+        self
+    }
+
+    fn fresh(&mut self, class: RegClass) -> Reg {
+        let i = match class {
+            RegClass::R32 => 0,
+            RegClass::R64 => 1,
+            RegClass::F32 => 2,
+            RegClass::Pred => 3,
+        };
+        let idx = self.next_reg[i];
+        self.next_reg[i] += 1;
+        Reg { class, idx }
+    }
+
+    /// Appends a raw instruction.
+    pub fn inst(&mut self, op: Op) -> &mut Self {
+        self.body.push(Inst::new(op));
+        self
+    }
+
+    /// Appends a guarded instruction (`@%p` / `@!%p`).
+    pub fn guarded(&mut self, pred: Reg, negated: bool, op: Op) -> &mut Self {
+        self.body.push(Inst::guarded(pred, negated, op));
+        self
+    }
+
+    /// Places a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.body.len()).is_some() {
+            // Deferred to finish() so the builder stays chainable.
+            self.fixups.push((usize::MAX, name));
+        }
+        self
+    }
+
+    /// Unconditional branch to `label`.
+    pub fn bra(&mut self, label: impl Into<String>) -> &mut Self {
+        self.fixups.push((self.body.len(), label.into()));
+        self.body.push(Inst::new(Op::Bra { target: usize::MAX }));
+        self
+    }
+
+    /// Branch to `label` when `pred` is true (or false with `negated`).
+    pub fn bra_if(&mut self, pred: Reg, negated: bool, label: impl Into<String>) -> &mut Self {
+        self.fixups.push((self.body.len(), label.into()));
+        self.body
+            .push(Inst::guarded(pred, negated, Op::Bra { target: usize::MAX }));
+        self
+    }
+
+    /// Block-wide barrier.
+    pub fn bar(&mut self) -> &mut Self {
+        self.inst(Op::Bar)
+    }
+
+    /// Thread exit.
+    pub fn ret(&mut self) -> &mut Self {
+        self.inst(Op::Ret)
+    }
+
+    /// Emits the canonical global-thread-id computation
+    /// (`ctaid.x * ntid.x + tid.x`) into a fresh register.
+    pub fn global_id(&mut self) -> Reg {
+        let bx = self.mov_u32(Special::CtaidX);
+        let nt = self.mov_u32(Special::NtidX);
+        let tx = self.mov_u32(Special::TidX);
+        let dst = self.fresh(RegClass::R32);
+        self.inst(Op::Mad {
+            ty: IntTy::U32,
+            dst,
+            a: bx.into(),
+            b: nt.into(),
+            c: tx.into(),
+        });
+        dst
+    }
+
+    /// `mov.u32` of any operand into a fresh register.
+    pub fn mov_u32(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.fresh(RegClass::R32);
+        self.inst(Op::Mov {
+            dst,
+            src: src.into(),
+        });
+        dst
+    }
+
+    /// `mov.f32` of any operand into a fresh register.
+    pub fn mov_f32(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.fresh(RegClass::F32);
+        self.inst(Op::Mov {
+            dst,
+            src: src.into(),
+        });
+        dst
+    }
+
+    /// Loads a `u64` parameter (pointers).
+    pub fn ld_param_u64(&mut self, p: ParamHandle) -> Reg {
+        let dst = self.fresh(RegClass::R64);
+        self.inst(Op::LdParam { dst, param: p.0 });
+        dst
+    }
+
+    /// Loads a `u32` parameter.
+    pub fn ld_param_u32(&mut self, p: ParamHandle) -> Reg {
+        let dst = self.fresh(RegClass::R32);
+        self.inst(Op::LdParam { dst, param: p.0 });
+        dst
+    }
+
+    /// Integer binary op into a fresh `r32`.
+    pub fn iop(&mut self, op: IntOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.fresh(RegClass::R32);
+        self.inst(Op::Int {
+            op,
+            ty: IntTy::U32,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// `addr = base + index * stride` (widening multiply-add).
+    pub fn elem_addr(&mut self, base: Reg, index: impl Into<Operand>, stride: u32) -> Reg {
+        let dst = self.fresh(RegClass::R64);
+        self.inst(Op::MadWide {
+            dst,
+            a: index.into(),
+            b: Operand::ImmI(stride as i64),
+            c: base.into(),
+        });
+        dst
+    }
+
+    /// Global `f32` load at `[addr + offset]`.
+    pub fn ld_global_f32(&mut self, addr: Reg, offset: i64) -> Reg {
+        let dst = self.fresh(RegClass::F32);
+        self.inst(Op::Ld {
+            space: MemSpace::Global,
+            ty: MemTy::F32,
+            dst,
+            addr: Addr { base: addr, offset },
+        });
+        dst
+    }
+
+    /// Global `f32` store at `[addr + offset]`.
+    pub fn st_global_f32(&mut self, addr: Reg, offset: i64, src: impl Into<Operand>) -> &mut Self {
+        self.inst(Op::St {
+            space: MemSpace::Global,
+            ty: MemTy::F32,
+            src: src.into(),
+            addr: Addr { base: addr, offset },
+        })
+    }
+
+    /// Float add into a fresh register.
+    pub fn fadd(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.fop(FloatOp::Add, a, b)
+    }
+
+    /// Float multiply into a fresh register.
+    pub fn fmul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.fop(FloatOp::Mul, a, b)
+    }
+
+    /// Float binary op into a fresh register.
+    pub fn fop(&mut self, op: FloatOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.fresh(RegClass::F32);
+        self.inst(Op::Float {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Integer comparison into a fresh predicate register.
+    pub fn setp(&mut self, cmp: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.fresh(RegClass::Pred);
+        self.inst(Op::Setp {
+            cmp,
+            ty: IntTy::U32,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Resolves labels and produces the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on unresolved or duplicate labels.
+    pub fn finish(mut self) -> Result<Kernel, BuildError> {
+        for (idx, label) in self.fixups {
+            if idx == usize::MAX {
+                return Err(BuildError::DuplicateLabel(label));
+            }
+            let target = *self
+                .labels
+                .get(&label)
+                .ok_or_else(|| BuildError::UnresolvedLabel(label.clone()))?;
+            if let Op::Bra { target: t } = &mut self.body[idx].op {
+                *t = target;
+            }
+        }
+        Ok(Kernel {
+            name: self.name,
+            params: self.params,
+            body: self.body,
+            shared_bytes: self.shared_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute_launch;
+    use crate::kernel::{ArgValue, Dim3, Launch};
+    use crate::mem::{AddressSpace, GlobalMem};
+    use std::sync::Arc;
+
+    /// Builds vecadd programmatically and checks it against functional
+    /// execution.
+    #[test]
+    fn built_vecadd_executes_correctly() {
+        let mut b = KernelBuilder::new("vecadd");
+        let pa = b.param("A", ParamTy::U64);
+        let pb = b.param("B", ParamTy::U64);
+        let pc = b.param("C", ParamTy::U64);
+        let pn = b.param("n", ParamTy::U32);
+        let gid = b.global_id();
+        let n = b.ld_param_u32(pn);
+        let oob = b.setp(CmpOp::Ge, gid, n);
+        b.bra_if(oob, false, "done");
+        let a = b.ld_param_u64(pa);
+        let bb = b.ld_param_u64(pb);
+        let c = b.ld_param_u64(pc);
+        let aa = b.elem_addr(a, gid, 4);
+        let ba = b.elem_addr(bb, gid, 4);
+        let ca = b.elem_addr(c, gid, 4);
+        let x = b.ld_global_f32(aa, 0);
+        let y = b.ld_global_f32(ba, 0);
+        let s = b.fadd(x, y);
+        b.st_global_f32(ca, 0, s);
+        b.label("done");
+        b.ret();
+        let kernel = Arc::new(b.finish().unwrap());
+
+        let mut sp = AddressSpace::new();
+        let (a, bb, c) = (sp.alloc(256), sp.alloc(256), sp.alloc(256));
+        let mut mem = GlobalMem::for_space(&sp);
+        mem.copy_from_host_f32(a.base, &[1.5; 64]);
+        mem.copy_from_host_f32(bb.base, &[2.5; 64]);
+        let launch = Launch::new(
+            kernel,
+            Dim3::x(2),
+            Dim3::x(32),
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(bb.base),
+                ArgValue::Ptr(c.base),
+                ArgValue::U32(60),
+            ],
+        );
+        execute_launch(&launch, &mut mem).unwrap();
+        let cv = mem.copy_to_host_f32(c.base, 64);
+        for i in 0..60 {
+            assert_eq!(cv[i], 4.0);
+        }
+        for i in 60..64 {
+            assert_eq!(cv[i], 0.0, "guard must mask tail threads");
+        }
+    }
+
+    #[test]
+    fn built_kernel_round_trips_through_text() {
+        let mut b = KernelBuilder::new("loopy");
+        let pa = b.param("A", ParamTy::U64);
+        let base = b.ld_param_u64(pa);
+        let i = b.mov_u32(0u32);
+        b.label("top");
+        let addr = b.elem_addr(base, i, 4);
+        b.st_global_f32(addr, 0, 1.0f32);
+        let i2 = b.iop(IntOp::Add, i, 1u32);
+        // Loop with an explicit register copy to keep `i` stable.
+        b.inst(Op::Mov {
+            dst: i,
+            src: i2.into(),
+        });
+        let p = b.setp(CmpOp::Lt, i, 8u32);
+        b.bra_if(p, false, "top");
+        b.ret();
+        let k = b.finish().unwrap();
+        let reparsed = crate::parser::parse_kernel(&k.to_string()).unwrap();
+        assert_eq!(k, reparsed);
+    }
+
+    #[test]
+    fn unresolved_label_is_an_error() {
+        let mut b = KernelBuilder::new("bad");
+        b.bra("nowhere");
+        b.ret();
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::UnresolvedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut b = KernelBuilder::new("bad");
+        b.label("x");
+        b.ret();
+        b.label("x");
+        b.ret();
+        assert!(matches!(b.finish(), Err(BuildError::DuplicateLabel(_))));
+    }
+}

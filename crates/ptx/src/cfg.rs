@@ -1,0 +1,242 @@
+//! Control-flow graph construction over the flat instruction body.
+
+use crate::isa::Op;
+use crate::kernel::Kernel;
+
+/// A basic block: a maximal straight-line instruction range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction index (inclusive).
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor edges.
+    pub succs: Vec<Edge>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+/// A control-flow edge with its branch polarity for guard refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Target block id.
+    pub to: usize,
+    /// Polarity: `Some(true)` = the terminating guarded branch was taken,
+    /// `Some(false)` = fell through a guarded branch, `None` = unconditional.
+    pub taken: Option<bool>,
+}
+
+/// The control-flow graph of a kernel.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Reverse post-order over blocks (entry first).
+    pub rpo: Vec<usize>,
+    /// For each instruction, which block contains it.
+    pub block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `kernel`.
+    pub fn build(kernel: &Kernel) -> Cfg {
+        let n = kernel.body.len();
+        let mut leaders = vec![false; n + 1];
+        if n > 0 {
+            leaders[0] = true;
+        }
+        for (i, inst) in kernel.body.iter().enumerate() {
+            if let Op::Bra { target } = inst.op {
+                if target <= n {
+                    leaders[target] = true;
+                }
+                if i + 1 <= n {
+                    leaders[i + 1] = true;
+                }
+            }
+            if matches!(inst.op, Op::Ret) && i + 1 <= n {
+                leaders[i + 1] = true;
+            }
+        }
+        // Collect block boundaries.
+        let starts: Vec<usize> = (0..n).filter(|&i| leaders[i]).collect();
+        let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
+        let mut block_of = vec![0usize; n];
+        for (b, &s) in starts.iter().enumerate() {
+            let e = if b + 1 < starts.len() { starts[b + 1] } else { n };
+            for i in s..e {
+                block_of[i] = b;
+            }
+            blocks.push(Block {
+                start: s,
+                end: e,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+        // A target one past the end exits the kernel (no successor edge).
+        let block_at = |idx: usize| -> Option<usize> { (idx < n).then(|| block_of[idx]) };
+        // Successor edges.
+        for b in 0..blocks.len() {
+            let last = blocks[b].end - 1;
+            let inst = &kernel.body[last];
+            let mut succs = Vec::new();
+            match &inst.op {
+                Op::Ret => {}
+                Op::Bra { target } => {
+                    let guarded = inst.guard.is_some();
+                    if let Some(t) = block_at(*target) {
+                        succs.push(Edge {
+                            to: t,
+                            taken: guarded.then_some(true),
+                        });
+                    }
+                    if guarded {
+                        if let Some(f) = block_at(last + 1) {
+                            succs.push(Edge {
+                                to: f,
+                                taken: Some(false),
+                            });
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(f) = block_at(last + 1) {
+                        succs.push(Edge { to: f, taken: None });
+                    }
+                }
+            }
+            blocks[b].succs = succs;
+        }
+        // Predecessors.
+        for b in 0..blocks.len() {
+            for e in blocks[b].succs.clone() {
+                blocks[e.to].preds.push(b);
+            }
+        }
+        // Reverse post-order from entry.
+        let mut rpo = Vec::with_capacity(blocks.len());
+        let mut visited = vec![false; blocks.len()];
+        let mut post = Vec::with_capacity(blocks.len());
+        if !blocks.is_empty() {
+            // Iterative DFS with an explicit stack.
+            let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+            visited[0] = true;
+            while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+                if *i < blocks[b].succs.len() {
+                    let nxt = blocks[b].succs[*i].to;
+                    *i += 1;
+                    if !visited[nxt] {
+                        visited[nxt] = true;
+                        stack.push((nxt, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        rpo.extend(post.into_iter().rev());
+        Cfg {
+            blocks,
+            rpo,
+            block_of,
+        }
+    }
+
+    /// Whether the CFG contains a back edge (i.e. a loop) w.r.t. RPO order.
+    pub fn has_loop(&self) -> bool {
+        let mut order = vec![usize::MAX; self.blocks.len()];
+        for (i, &b) in self.rpo.iter().enumerate() {
+            order[b] = i;
+        }
+        self.blocks.iter().enumerate().any(|(b, blk)| {
+            blk.succs
+                .iter()
+                .any(|e| order[e.to] != usize::MAX && order[e.to] <= order[b])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let k = parse_kernel(
+            ".entry k(.param .u64 A) { ld.param.u64 %rd1, [A]; st.global.f32 [%rd1], 0f00000000; ret; }",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert!(!cfg.has_loop());
+        assert_eq!(cfg.rpo, vec![0]);
+    }
+
+    #[test]
+    fn guarded_branch_splits_blocks() {
+        let k = parse_kernel(
+            r#".entry k(.param .u32 n) {
+                 ld.param.u32 %r1, [n];
+                 setp.ge.u32 %p1, %r1, 10;
+                 @%p1 bra $OUT;
+                 add.u32 %r1, %r1, 1;
+               $OUT:
+                 ret;
+               }"#,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.blocks.len(), 3);
+        let b0 = &cfg.blocks[0];
+        assert_eq!(b0.succs.len(), 2);
+        assert!(b0.succs.iter().any(|e| e.taken == Some(true)));
+        assert!(b0.succs.iter().any(|e| e.taken == Some(false)));
+        assert!(!cfg.has_loop());
+    }
+
+    #[test]
+    fn loop_detected() {
+        let k = parse_kernel(
+            r#".entry k(.param .u32 n) {
+                 ld.param.u32 %r9, [n];
+                 mov.u32 %r1, 0;
+               $TOP:
+                 add.u32 %r1, %r1, 1;
+                 setp.lt.u32 %p1, %r1, %r9;
+                 @%p1 bra $TOP;
+                 ret;
+               }"#,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&k);
+        assert!(cfg.has_loop());
+        // Loop head has two predecessors: entry and itself (the latch).
+        let head = cfg.block_of[2];
+        assert_eq!(cfg.blocks[head].preds.len(), 2);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let k = parse_kernel(
+            r#".entry k(.param .u32 n) {
+                 ld.param.u32 %r9, [n];
+                 setp.lt.u32 %p1, %r9, 5;
+                 @%p1 bra $A;
+                 mov.u32 %r1, 1;
+                 bra $B;
+               $A:
+                 mov.u32 %r1, 2;
+               $B:
+                 ret;
+               }"#,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.rpo[0], 0);
+        assert_eq!(cfg.rpo.len(), cfg.blocks.len());
+    }
+}

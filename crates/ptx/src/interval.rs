@@ -1,0 +1,468 @@
+//! Saturating integer interval arithmetic for value-range analysis.
+//!
+//! Bounds are `i128` so that 64-bit address arithmetic never overflows the
+//! analysis domain. Unbounded ends are represented by large sentinels and
+//! every operation saturates into them.
+
+use std::fmt;
+
+/// Sentinel for "unbounded below". Kept far from `i128::MIN` so arithmetic
+/// on sentinels cannot wrap.
+pub const NEG_INF: i128 = i128::MIN / 4;
+/// Sentinel for "unbounded above".
+pub const POS_INF: i128 = i128::MAX / 4;
+
+fn sat(v: i128) -> i128 {
+    v.clamp(NEG_INF, POS_INF)
+}
+
+/// A closed integer interval `[lo, hi]`, or the empty interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: i128,
+    hi: i128,
+}
+
+impl Interval {
+    /// The interval containing every representable value.
+    pub const TOP: Interval = Interval {
+        lo: NEG_INF,
+        hi: POS_INF,
+    };
+
+    /// The empty interval.
+    pub const EMPTY: Interval = Interval { lo: 1, hi: 0 };
+
+    /// The interval `[lo, hi]`. Returns [`Interval::EMPTY`] if `lo > hi`.
+    pub fn new(lo: i128, hi: i128) -> Self {
+        if lo > hi {
+            Interval::EMPTY
+        } else {
+            Interval {
+                lo: sat(lo),
+                hi: sat(hi),
+            }
+        }
+    }
+
+    /// The singleton interval `[v, v]`.
+    pub fn point(v: i128) -> Self {
+        Interval::new(v, v)
+    }
+
+    /// Lower bound. Meaningless for the empty interval.
+    pub fn lo(&self) -> i128 {
+        self.lo
+    }
+
+    /// Upper bound. Meaningless for the empty interval.
+    pub fn hi(&self) -> i128 {
+        self.hi
+    }
+
+    /// Whether the interval contains no values.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether either end is unbounded.
+    pub fn is_unbounded(&self) -> bool {
+        !self.is_empty() && (self.lo <= NEG_INF || self.hi >= POS_INF)
+    }
+
+    /// Whether this is a single value, and which.
+    pub fn as_point(&self) -> Option<i128> {
+        (!self.is_empty() && self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: i128) -> bool {
+        !self.is_empty() && self.lo <= v && v <= self.hi
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            *other
+        } else if other.is_empty() {
+            *self
+        } else {
+            Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            Interval::EMPTY
+        } else {
+            Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+        }
+    }
+
+    /// Standard widening: any bound that grew jumps to infinity.
+    pub fn widen(&self, next: &Interval) -> Interval {
+        if self.is_empty() {
+            return *next;
+        }
+        if next.is_empty() {
+            return *self;
+        }
+        let lo = if next.lo < self.lo { NEG_INF } else { self.lo };
+        let hi = if next.hi > self.hi { POS_INF } else { self.hi };
+        Interval::new(lo, hi)
+    }
+
+    /// Interval addition.
+    pub fn add(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(
+            sat(self.lo.saturating_add(other.lo)),
+            sat(self.hi.saturating_add(other.hi)),
+        )
+    }
+
+    /// Interval subtraction.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(
+            sat(self.lo.saturating_sub(other.hi)),
+            sat(self.hi.saturating_sub(other.lo)),
+        )
+    }
+
+    /// Interval multiplication (four-corner rule).
+    pub fn mul(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        if self.is_unbounded() || other.is_unbounded() {
+            // Multiplying by an exact zero still yields zero.
+            if self.as_point() == Some(0) || other.as_point() == Some(0) {
+                return Interval::point(0);
+            }
+            return Interval::TOP;
+        }
+        let corners = [
+            self.lo.saturating_mul(other.lo),
+            self.lo.saturating_mul(other.hi),
+            self.hi.saturating_mul(other.lo),
+            self.hi.saturating_mul(other.hi),
+        ];
+        Interval::new(
+            sat(*corners.iter().min().unwrap()),
+            sat(*corners.iter().max().unwrap()),
+        )
+    }
+
+    /// Division by an interval; exact only for constant positive divisors.
+    pub fn div(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        match other.as_point() {
+            Some(d) if d > 0 && !self.is_unbounded() => {
+                Interval::new(self.lo.div_euclid(d), self.hi.div_euclid(d))
+            }
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Remainder; exact bounds only for constant positive divisors.
+    pub fn rem(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        match other.as_point() {
+            Some(d) if d > 0 => {
+                if !self.is_unbounded() && self.hi - self.lo < d && self.lo.rem_euclid(d) <= self.hi.rem_euclid(d)
+                {
+                    // The whole interval maps into one residue window.
+                    Interval::new(self.lo.rem_euclid(d), self.hi.rem_euclid(d))
+                } else {
+                    Interval::new(0, d - 1)
+                }
+            }
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Left shift by a constant amount.
+    pub fn shl(&self, other: &Interval) -> Interval {
+        match other.as_point() {
+            Some(s) if (0..=63).contains(&s) => self.mul(&Interval::point(1i128 << s)),
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Logical/arithmetic right shift by a constant (exact for non-negative).
+    pub fn shr(&self, other: &Interval) -> Interval {
+        match other.as_point() {
+            Some(s) if (0..=63).contains(&s) => {
+                if self.is_empty() {
+                    Interval::EMPTY
+                } else if self.lo >= 0 && !self.is_unbounded() {
+                    Interval::new(self.lo >> s, self.hi >> s)
+                } else {
+                    Interval::TOP
+                }
+            }
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Bitwise AND; precise only against constant non-negative masks.
+    pub fn and(&self, other: &Interval) -> Interval {
+        let mask = |m: i128, v: &Interval| -> Interval {
+            if m >= 0 {
+                if v.is_empty() {
+                    Interval::EMPTY
+                } else if v.lo >= 0 && !v.is_unbounded() && v.hi & m == v.hi && v.lo & m == v.lo && {
+                    // If all values in [lo,hi] keep their masked bits (mask is
+                    // a suffix of ones covering hi), the AND is the identity.
+                    (m + 1) & m == 0 && v.hi < m + 1 // m+1 is a power of two
+                } {
+                    *v
+                } else {
+                    Interval::new(0, m)
+                }
+            } else {
+                Interval::TOP
+            }
+        };
+        match (self.as_point(), other.as_point()) {
+            (Some(a), Some(b)) => Interval::point(a & b),
+            (Some(m), None) => mask(m, other),
+            (None, Some(m)) => mask(m, self),
+            (None, None) => {
+                if !self.is_empty() && !other.is_empty() && self.lo >= 0 && other.lo >= 0 {
+                    Interval::new(0, self.hi.min(other.hi).max(0))
+                } else {
+                    Interval::TOP
+                }
+            }
+        }
+    }
+
+    /// Upper bound for OR/XOR of non-negative values bounded by `hi`:
+    /// the next power of two above `hi`, minus one.
+    fn pow2_bound(hi: i128) -> i128 {
+        if hi <= 0 {
+            0
+        } else {
+            let bits = 128 - (hi as u128).leading_zeros();
+            if bits >= 126 {
+                POS_INF
+            } else {
+                (1i128 << bits) - 1
+            }
+        }
+    }
+
+    /// Bitwise OR; bounded above for non-negative operands.
+    pub fn or(&self, other: &Interval) -> Interval {
+        match (self.as_point(), other.as_point()) {
+            (Some(a), Some(b)) => Interval::point(a | b),
+            _ => {
+                if !self.is_empty()
+                    && !other.is_empty()
+                    && self.lo >= 0
+                    && other.lo >= 0
+                    && !self.is_unbounded()
+                    && !other.is_unbounded()
+                {
+                    // OR never clears bits, so the larger minimum is a
+                    // valid lower bound.
+                    Interval::new(
+                        self.lo.max(other.lo),
+                        Self::pow2_bound(self.hi.max(other.hi)),
+                    )
+                } else {
+                    Interval::TOP
+                }
+            }
+        }
+    }
+
+    /// Bitwise XOR; precise only for points. Unlike OR, XOR can clear
+    /// bits, so the lower bound for non-point operands is zero.
+    pub fn xor(&self, other: &Interval) -> Interval {
+        match (self.as_point(), other.as_point()) {
+            (Some(a), Some(b)) => Interval::point(a ^ b),
+            _ => {
+                if !self.is_empty()
+                    && !other.is_empty()
+                    && self.lo >= 0
+                    && other.lo >= 0
+                    && !self.is_unbounded()
+                    && !other.is_unbounded()
+                {
+                    Interval::new(0, Self::pow2_bound(self.hi.max(other.hi)))
+                } else {
+                    Interval::TOP
+                }
+            }
+        }
+    }
+
+    /// Elementwise minimum.
+    pub fn min_op(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(self.lo.min(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Elementwise maximum.
+    pub fn max_op(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(self.lo.max(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Refines `self` assuming `self cmp other` holds (for branch pruning).
+    pub fn refine(&self, cmp: crate::isa::CmpOp, other: &Interval) -> Interval {
+        use crate::isa::CmpOp;
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        match cmp {
+            CmpOp::Eq => self.intersect(other),
+            CmpOp::Ne => {
+                // Only shave exact endpoints.
+                if let Some(p) = other.as_point() {
+                    if self.as_point() == Some(p) {
+                        Interval::EMPTY
+                    } else if self.lo == p {
+                        Interval::new(self.lo + 1, self.hi)
+                    } else if self.hi == p {
+                        Interval::new(self.lo, self.hi - 1)
+                    } else {
+                        *self
+                    }
+                } else {
+                    *self
+                }
+            }
+            CmpOp::Lt => self.intersect(&Interval::new(NEG_INF, other.hi.saturating_sub(1))),
+            CmpOp::Le => self.intersect(&Interval::new(NEG_INF, other.hi)),
+            CmpOp::Gt => self.intersect(&Interval::new(other.lo.saturating_add(1), POS_INF)),
+            CmpOp::Ge => self.intersect(&Interval::new(other.lo, POS_INF)),
+        }
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::TOP
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("⊥");
+        }
+        match (self.lo <= NEG_INF, self.hi >= POS_INF) {
+            (true, true) => f.write_str("⊤"),
+            (true, false) => write!(f, "[-∞, {}]", self.hi),
+            (false, true) => write!(f, "[{}, +∞]", self.lo),
+            (false, false) => write!(f, "[{}, {}]", self.lo, self.hi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::CmpOp;
+
+    #[test]
+    fn basic_arith() {
+        let a = Interval::new(1, 3);
+        let b = Interval::new(10, 20);
+        assert_eq!(a.add(&b), Interval::new(11, 23));
+        assert_eq!(b.sub(&a), Interval::new(7, 19));
+        assert_eq!(a.mul(&b), Interval::new(10, 60));
+        let n = Interval::new(-2, 3);
+        assert_eq!(n.mul(&b), Interval::new(-40, 60));
+    }
+
+    #[test]
+    fn mul_by_zero_point_is_zero_even_when_unbounded() {
+        assert_eq!(Interval::TOP.mul(&Interval::point(0)), Interval::point(0));
+    }
+
+    #[test]
+    fn shifts_and_div() {
+        let a = Interval::new(4, 12);
+        assert_eq!(a.shl(&Interval::point(2)), Interval::new(16, 48));
+        assert_eq!(a.shr(&Interval::point(2)), Interval::new(1, 3));
+        assert_eq!(a.div(&Interval::point(4)), Interval::new(1, 3));
+        assert_eq!(a.rem(&Interval::point(4)), Interval::new(0, 3));
+    }
+
+    #[test]
+    fn rem_one_window() {
+        // [32,35] % 64 fits in one residue window -> [32,35].
+        let a = Interval::new(32, 35);
+        assert_eq!(a.rem(&Interval::point(64)), Interval::new(32, 35));
+    }
+
+    #[test]
+    fn hull_intersect_widen() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.hull(&b), Interval::new(0, 20));
+        assert_eq!(a.intersect(&b), Interval::new(5, 10));
+        assert!(a.intersect(&Interval::new(11, 12)).is_empty());
+        let w = a.widen(&Interval::new(0, 11));
+        assert_eq!(w.lo(), 0);
+        assert!(w.hi() >= POS_INF);
+        // Widening against a smaller interval keeps the original.
+        assert_eq!(a.widen(&Interval::new(2, 8)), a);
+    }
+
+    #[test]
+    fn refinement_rules() {
+        let a = Interval::new(0, 100);
+        let n = Interval::point(50);
+        assert_eq!(a.refine(CmpOp::Lt, &n), Interval::new(0, 49));
+        assert_eq!(a.refine(CmpOp::Le, &n), Interval::new(0, 50));
+        assert_eq!(a.refine(CmpOp::Gt, &n), Interval::new(51, 100));
+        assert_eq!(a.refine(CmpOp::Ge, &n), Interval::new(50, 100));
+        assert_eq!(a.refine(CmpOp::Eq, &n), Interval::point(50));
+        assert_eq!(
+            Interval::point(50).refine(CmpOp::Ne, &n),
+            Interval::EMPTY
+        );
+    }
+
+    #[test]
+    fn empty_propagates() {
+        assert!(Interval::EMPTY.add(&Interval::point(1)).is_empty());
+        assert!(Interval::new(5, 2).is_empty());
+        assert!(Interval::EMPTY.hull(&Interval::point(3)).as_point() == Some(3));
+    }
+
+    #[test]
+    fn and_with_pow2_mask() {
+        // tid in [0,255] & 0xFF is the identity.
+        let tid = Interval::new(0, 255);
+        assert_eq!(tid.and(&Interval::point(0xFF)), tid);
+        // tid in [0,255] & 0x1F is bounded by the mask.
+        assert_eq!(tid.and(&Interval::point(0x1F)), Interval::new(0, 0x1F));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Interval::new(1, 2).to_string(), "[1, 2]");
+        assert_eq!(Interval::TOP.to_string(), "⊤");
+        assert_eq!(Interval::EMPTY.to_string(), "⊥");
+    }
+}

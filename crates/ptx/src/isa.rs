@@ -1,0 +1,735 @@
+//! Instruction-set definition for the mini-PTX IR.
+//!
+//! The ISA mirrors the subset of NVIDIA PTX that matters for
+//! kernel-launch-time dependency analysis: integer address arithmetic over
+//! the SIMT special registers (`%tid`, `%ctaid`, `%ntid`, `%nctaid`),
+//! parameter loads, predicated branches, and global/shared memory accesses.
+
+use std::fmt;
+
+/// Register class of the mini-PTX register file.
+///
+/// Matches PTX virtual register conventions: `%p` predicates, `%r` 32-bit
+/// integers, `%rd` 64-bit integers (addresses), `%f` 32-bit floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// One-bit predicate register (`%p`).
+    Pred,
+    /// 32-bit integer register (`%r`).
+    R32,
+    /// 64-bit integer register (`%rd`), used for addresses.
+    R64,
+    /// 32-bit floating-point register (`%f`).
+    F32,
+}
+
+impl RegClass {
+    /// Printable PTX prefix for this class.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            RegClass::Pred => "%p",
+            RegClass::R32 => "%r",
+            RegClass::R64 => "%rd",
+            RegClass::F32 => "%f",
+        }
+    }
+}
+
+/// A virtual register: a class plus an index within that class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg {
+    /// Register class.
+    pub class: RegClass,
+    /// Index within the class's register file.
+    pub idx: u16,
+}
+
+impl Reg {
+    /// Creates a register of `class` with index `idx`.
+    pub fn new(class: RegClass, idx: u16) -> Self {
+        Reg { class, idx }
+    }
+
+    /// Shorthand for a 32-bit integer register.
+    pub fn r32(idx: u16) -> Self {
+        Reg::new(RegClass::R32, idx)
+    }
+
+    /// Shorthand for a 64-bit integer register.
+    pub fn r64(idx: u16) -> Self {
+        Reg::new(RegClass::R64, idx)
+    }
+
+    /// Shorthand for a float register.
+    pub fn f32(idx: u16) -> Self {
+        Reg::new(RegClass::F32, idx)
+    }
+
+    /// Shorthand for a predicate register.
+    pub fn pred(idx: u16) -> Self {
+        Reg::new(RegClass::Pred, idx)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.class.prefix(), self.idx)
+    }
+}
+
+/// SIMT special registers readable by `mov`.
+///
+/// These are the kernel-launch-time-known quantities that value-range
+/// analysis exploits (paper §III-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Special {
+    /// Thread index within the block, x dimension (`%tid.x`).
+    TidX,
+    /// Thread index within the block, y dimension (`%tid.y`).
+    TidY,
+    /// Block dimension, x (`%ntid.x`).
+    NtidX,
+    /// Block dimension, y (`%ntid.y`).
+    NtidY,
+    /// Block index within the grid, x (`%ctaid.x`).
+    CtaidX,
+    /// Block index within the grid, y (`%ctaid.y`).
+    CtaidY,
+    /// Grid dimension, x (`%nctaid.x`).
+    NctaidX,
+    /// Grid dimension, y (`%nctaid.y`).
+    NctaidY,
+}
+
+impl Special {
+    /// All special registers, for iteration in tests.
+    pub const ALL: [Special; 8] = [
+        Special::TidX,
+        Special::TidY,
+        Special::NtidX,
+        Special::NtidY,
+        Special::CtaidX,
+        Special::CtaidY,
+        Special::NctaidX,
+        Special::NctaidY,
+    ];
+
+    /// PTX spelling, e.g. `%tid.x`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Special::TidX => "%tid.x",
+            Special::TidY => "%tid.y",
+            Special::NtidX => "%ntid.x",
+            Special::NtidY => "%ntid.y",
+            Special::CtaidX => "%ctaid.x",
+            Special::CtaidY => "%ctaid.y",
+            Special::NctaidX => "%nctaid.x",
+            Special::NctaidY => "%nctaid.y",
+        }
+    }
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(Reg),
+    /// A signed integer immediate.
+    ImmI(i64),
+    /// A float immediate.
+    ImmF(f32),
+    /// A SIMT special register.
+    Special(Special),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Special> for Operand {
+    fn from(s: Special) -> Self {
+        Operand::Special(s)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::ImmI(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::ImmI(v as i64)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Self {
+        Operand::ImmI(v as i64)
+    }
+}
+
+impl From<f32> for Operand {
+    fn from(v: f32) -> Self {
+        Operand::ImmF(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::ImmI(v) => write!(f, "{v}"),
+            Operand::ImmF(v) => write!(f, "0f{:08X}", v.to_bits()),
+            Operand::Special(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Integer operation type qualifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntTy {
+    /// Unsigned 32-bit.
+    U32,
+    /// Signed 32-bit.
+    S32,
+    /// Unsigned 64-bit.
+    U64,
+}
+
+impl IntTy {
+    /// PTX type suffix.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            IntTy::U32 => "u32",
+            IntTy::S32 => "s32",
+            IntTy::U64 => "u64",
+        }
+    }
+
+    /// Register class that holds values of this type.
+    pub fn reg_class(self) -> RegClass {
+        match self {
+            IntTy::U32 | IntTy::S32 => RegClass::R32,
+            IntTy::U64 => RegClass::R64,
+        }
+    }
+}
+
+/// Binary integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl IntOp {
+    /// PTX mnemonic stem (without type suffix).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntOp::Add => "add",
+            IntOp::Sub => "sub",
+            IntOp::Mul => "mul.lo",
+            IntOp::Div => "div",
+            IntOp::Rem => "rem",
+            IntOp::Min => "min",
+            IntOp::Max => "max",
+            IntOp::And => "and",
+            IntOp::Or => "or",
+            IntOp::Xor => "xor",
+            IntOp::Shl => "shl",
+            IntOp::Shr => "shr",
+        }
+    }
+}
+
+/// Binary floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+impl FloatOp {
+    /// PTX mnemonic stem.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FloatOp::Add => "add",
+            FloatOp::Sub => "sub",
+            FloatOp::Mul => "mul",
+            FloatOp::Div => "div.rn",
+            FloatOp::Min => "min",
+            FloatOp::Max => "max",
+        }
+    }
+}
+
+/// Comparison operators for `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// PTX comparison suffix.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// The comparison with operands swapped (`a op b` == `b op.swap a`).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation of the comparison.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// State space of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Device global memory — the state space dependency analysis tracks.
+    Global,
+    /// Per-block shared memory (scratchpad).
+    Shared,
+}
+
+/// Access width/type of a memory operation. All accesses are 4 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemTy {
+    /// 32-bit unsigned integer.
+    U32,
+    /// 32-bit float.
+    F32,
+}
+
+impl MemTy {
+    /// Width of the access in bytes.
+    pub const fn bytes(self) -> u64 {
+        4
+    }
+
+    /// PTX type suffix.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MemTy::U32 => "u32",
+            MemTy::F32 => "f32",
+        }
+    }
+
+    /// Register class that holds loaded values of this type.
+    pub fn reg_class(self) -> RegClass {
+        match self {
+            MemTy::U32 => RegClass::R32,
+            MemTy::F32 => RegClass::F32,
+        }
+    }
+}
+
+/// A register-plus-immediate memory address, e.g. `[%rd3+8]`.
+///
+/// Global addresses use an `R64` base; shared-memory addresses use `R32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Addr {
+    /// Base address register.
+    pub base: Reg,
+    /// Byte offset added to the base.
+    pub offset: i64,
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "[{}]", self.base)
+        } else if self.offset > 0 {
+            write!(f, "[{}+{}]", self.base, self.offset)
+        } else {
+            write!(f, "[{}{}]", self.base, self.offset)
+        }
+    }
+}
+
+/// Type of a kernel parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamTy {
+    /// 32-bit scalar.
+    U32,
+    /// 64-bit scalar — by convention, global-memory pointers.
+    U64,
+    /// 32-bit float scalar.
+    F32,
+}
+
+impl ParamTy {
+    /// PTX type suffix.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            ParamTy::U32 => "u32",
+            ParamTy::U64 => "u64",
+            ParamTy::F32 => "f32",
+        }
+    }
+
+    /// Register class holding a loaded parameter of this type.
+    pub fn reg_class(self) -> RegClass {
+        match self {
+            ParamTy::U32 => RegClass::R32,
+            ParamTy::U64 => RegClass::R64,
+            ParamTy::F32 => RegClass::F32,
+        }
+    }
+}
+
+/// The operation part of an instruction (without the optional guard).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `mov.<ty> dst, src` — also reads special registers.
+    Mov { dst: Reg, src: Operand },
+    /// `cvt.<dty>.<sty> dst, src` — width/kind conversion between classes.
+    Cvt { dst: Reg, src: Operand },
+    /// Binary integer ALU op: `add.u32 dst, a, b` etc.
+    Int {
+        op: IntOp,
+        ty: IntTy,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `mad.lo.<ty> dst, a, b, c` — dst = lo(a*b) + c.
+    Mad {
+        ty: IntTy,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
+    /// `mul.wide.u32 dst(rd), a(r), b(r)` — 32x32 -> 64-bit product.
+    MulWide { dst: Reg, a: Operand, b: Operand },
+    /// `mad.wide.u32 dst(rd), a(r), b(r), c(rd)` — widening multiply-add.
+    MadWide {
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
+    /// Binary float op: `add.f32 dst, a, b` etc.
+    Float {
+        op: FloatOp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `fma.rn.f32 dst, a, b, c`.
+    Fma {
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
+    /// `sqrt.rn.f32 dst, a`.
+    Sqrt { dst: Reg, a: Operand },
+    /// Integer compare: `setp.<cmp>.<ty> p, a, b`.
+    Setp {
+        cmp: CmpOp,
+        ty: IntTy,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// Float compare: `setp.<cmp>.f32 p, a, b`.
+    SetpF {
+        cmp: CmpOp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `selp.<ty> dst, a, b, p` — dst = p ? a : b.
+    Selp {
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        p: Reg,
+    },
+    /// Memory load (`ld.global`/`ld.shared`).
+    Ld {
+        space: MemSpace,
+        ty: MemTy,
+        dst: Reg,
+        addr: Addr,
+    },
+    /// Memory store (`st.global`/`st.shared`).
+    St {
+        space: MemSpace,
+        ty: MemTy,
+        src: Operand,
+        addr: Addr,
+    },
+    /// `ld.param.<ty> dst, [name]` — parameter index resolved at parse.
+    LdParam { dst: Reg, param: u16 },
+    /// Branch to an instruction index (label resolved at parse time).
+    Bra { target: usize },
+    /// `bar.sync 0` — block-wide barrier.
+    Bar,
+    /// `ret` — thread exit.
+    Ret,
+}
+
+impl Op {
+    /// The destination register written by this op, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match self {
+            Op::Mov { dst, .. }
+            | Op::Cvt { dst, .. }
+            | Op::Int { dst, .. }
+            | Op::Mad { dst, .. }
+            | Op::MulWide { dst, .. }
+            | Op::MadWide { dst, .. }
+            | Op::Float { dst, .. }
+            | Op::Fma { dst, .. }
+            | Op::Sqrt { dst, .. }
+            | Op::Setp { dst, .. }
+            | Op::SetpF { dst, .. }
+            | Op::Selp { dst, .. }
+            | Op::Ld { dst, .. }
+            | Op::LdParam { dst, .. } => Some(*dst),
+            Op::St { .. } | Op::Bra { .. } | Op::Bar | Op::Ret => None,
+        }
+    }
+
+    /// Source operands read by this op (not counting address base registers).
+    pub fn srcs(&self) -> Vec<Operand> {
+        match self {
+            Op::Mov { src, .. } | Op::Cvt { src, .. } | Op::Sqrt { a: src, .. } => vec![*src],
+            Op::Int { a, b, .. }
+            | Op::MulWide { a, b, .. }
+            | Op::Float { a, b, .. }
+            | Op::Setp { a, b, .. }
+            | Op::SetpF { a, b, .. } => vec![*a, *b],
+            Op::Mad { a, b, c, .. } | Op::MadWide { a, b, c, .. } | Op::Fma { a, b, c, .. } => {
+                vec![*a, *b, *c]
+            }
+            Op::Selp { a, b, p, .. } => vec![*a, *b, Operand::Reg(*p)],
+            Op::Ld { addr, .. } => vec![Operand::Reg(addr.base)],
+            Op::St { src, addr, .. } => vec![*src, Operand::Reg(addr.base)],
+            Op::LdParam { .. } | Op::Bra { .. } | Op::Bar | Op::Ret => vec![],
+        }
+    }
+
+    /// Whether this is a global-memory load (Algorithm 1's bail-out trigger).
+    pub fn is_global_load(&self) -> bool {
+        matches!(
+            self,
+            Op::Ld {
+                space: MemSpace::Global,
+                ..
+            }
+        )
+    }
+
+    /// Whether this op is a memory access (any space).
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Op::Ld { .. } | Op::St { .. })
+    }
+}
+
+/// Register-file sizes required by an instruction body, indexed as
+/// `[r32, r64, f32, pred]`.
+pub fn max_reg_counts(body: &[Inst]) -> [usize; 4] {
+    let mut sizes = [0usize; 4];
+    let mut see = |r: Reg| {
+        let i = match r.class {
+            RegClass::R32 => 0,
+            RegClass::R64 => 1,
+            RegClass::F32 => 2,
+            RegClass::Pred => 3,
+        };
+        sizes[i] = sizes[i].max(r.idx as usize + 1);
+    };
+    for inst in body {
+        if let Some(d) = inst.op.dst() {
+            see(d);
+        }
+        for s in inst.op.srcs() {
+            if let Operand::Reg(r) = s {
+                see(r);
+            }
+        }
+        if let Some(g) = inst.guard {
+            see(g.pred);
+        }
+        match &inst.op {
+            Op::Ld { addr, .. } | Op::St { addr, .. } => see(addr.base),
+            _ => {}
+        }
+    }
+    sizes
+}
+
+/// A guard predicate attached to an instruction: `@%p` or `@!%p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Guard {
+    /// The predicate register tested.
+    pub pred: Reg,
+    /// If true, the instruction executes when the predicate is *false*.
+    pub negated: bool,
+}
+
+/// A full instruction: an optional guard plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// Optional `@%p` / `@!%p` guard.
+    pub guard: Option<Guard>,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Inst {
+    /// An unguarded instruction.
+    pub fn new(op: Op) -> Self {
+        Inst { guard: None, op }
+    }
+
+    /// A guarded instruction.
+    pub fn guarded(pred: Reg, negated: bool, op: Op) -> Self {
+        Inst {
+            guard: Some(Guard { pred, negated }),
+            op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_matches_ptx_spelling() {
+        assert_eq!(Reg::r32(4).to_string(), "%r4");
+        assert_eq!(Reg::r64(1).to_string(), "%rd1");
+        assert_eq!(Reg::f32(2).to_string(), "%f2");
+        assert_eq!(Reg::pred(7).to_string(), "%p7");
+    }
+
+    #[test]
+    fn cmp_swapped_is_involutive() {
+        for cmp in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(cmp.swapped().swapped(), cmp);
+            assert_eq!(cmp.negated().negated(), cmp);
+        }
+    }
+
+    #[test]
+    fn op_dst_and_srcs_cover_arithmetic() {
+        let op = Op::Mad {
+            ty: IntTy::U32,
+            dst: Reg::r32(5),
+            a: Operand::Reg(Reg::r32(1)),
+            b: Operand::Reg(Reg::r32(2)),
+            c: Operand::ImmI(3),
+        };
+        assert_eq!(op.dst(), Some(Reg::r32(5)));
+        assert_eq!(op.srcs().len(), 3);
+    }
+
+    #[test]
+    fn global_load_detection() {
+        let ld = Op::Ld {
+            space: MemSpace::Global,
+            ty: MemTy::F32,
+            dst: Reg::f32(0),
+            addr: Addr {
+                base: Reg::r64(0),
+                offset: 0,
+            },
+        };
+        assert!(ld.is_global_load());
+        assert!(ld.is_mem());
+        let lds = Op::Ld {
+            space: MemSpace::Shared,
+            ty: MemTy::F32,
+            dst: Reg::f32(0),
+            addr: Addr {
+                base: Reg::r32(0),
+                offset: 0,
+            },
+        };
+        assert!(!lds.is_global_load());
+    }
+
+    #[test]
+    fn addr_display_includes_offset_sign() {
+        let a = Addr {
+            base: Reg::r64(2),
+            offset: 8,
+        };
+        assert_eq!(a.to_string(), "[%rd2+8]");
+        let b = Addr {
+            base: Reg::r64(2),
+            offset: -4,
+        };
+        assert_eq!(b.to_string(), "[%rd2-4]");
+        let c = Addr {
+            base: Reg::r64(2),
+            offset: 0,
+        };
+        assert_eq!(c.to_string(), "[%rd2]");
+    }
+}

@@ -1,0 +1,236 @@
+//! Kernel objects and launch descriptors.
+
+use crate::isa::{Inst, ParamTy};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named kernel parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name as written in the `.entry` signature.
+    pub name: String,
+    /// Parameter type.
+    pub ty: ParamTy,
+}
+
+/// A compiled mini-PTX kernel: signature plus a flat instruction body with
+/// branch targets resolved to instruction indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel (entry) name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Flat instruction list; `Bra` targets index into this vector.
+    pub body: Vec<Inst>,
+    /// Statically-declared shared memory in bytes (`.shared` directive).
+    pub shared_bytes: u32,
+}
+
+impl Kernel {
+    /// Index of a parameter by name.
+    pub fn param_index(&self, name: &str) -> Option<u16> {
+        self.params
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| i as u16)
+    }
+}
+
+/// Grid or block dimensions. `z` is accepted but the toolchain only models
+/// x/y indexing (all evaluation workloads are 1-D or 2-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A 1-D extent.
+    pub fn x(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D extent.
+    pub fn xy(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// Total number of elements (threads or blocks).
+    pub fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3 { x: 1, y: 1, z: 1 }
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+/// A concrete kernel argument value.
+///
+/// Pointer arguments carry the *virtual device address* of the allocation
+/// (see [`crate::mem::AddressSpace`]); this is what makes launch-time
+/// value-range analysis possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// 32-bit scalar.
+    U32(u32),
+    /// 64-bit scalar.
+    U64(u64),
+    /// Float scalar.
+    F32(f32),
+    /// Device pointer (virtual address into the flat device address space).
+    Ptr(u64),
+}
+
+impl ArgValue {
+    /// The raw 64-bit representation loaded by `ld.param.u64`.
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            ArgValue::U32(v) => *v as u64,
+            ArgValue::U64(v) => *v,
+            ArgValue::F32(v) => v.to_bits() as u64,
+            ArgValue::Ptr(v) => *v,
+        }
+    }
+}
+
+/// A kernel launch: the kernel plus its launch-time-known configuration.
+///
+/// This is the unit the paper's just-in-time analysis operates on — grid and
+/// block dimensions and argument values are exactly the quantities that are
+/// unknown at compile time but known at kernel-launch time (paper §III-B2).
+#[derive(Debug, Clone)]
+pub struct Launch {
+    /// The kernel being launched.
+    pub kernel: Arc<Kernel>,
+    /// Grid dimensions (blocks).
+    pub grid: Dim3,
+    /// Block dimensions (threads per block).
+    pub block: Dim3,
+    /// Argument values in parameter order.
+    pub args: Vec<ArgValue>,
+}
+
+impl Launch {
+    /// Creates a launch descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of arguments differs from the kernel's
+    /// parameter count.
+    pub fn new(kernel: Arc<Kernel>, grid: Dim3, block: Dim3, args: Vec<ArgValue>) -> Self {
+        assert_eq!(
+            kernel.params.len(),
+            args.len(),
+            "kernel `{}` expects {} arguments, got {}",
+            kernel.name,
+            kernel.params.len(),
+            args.len()
+        );
+        Launch {
+            kernel,
+            grid,
+            block,
+            args,
+        }
+    }
+
+    /// Number of thread blocks in the grid.
+    pub fn num_blocks(&self) -> u32 {
+        self.grid.count() as u32
+    }
+
+    /// Number of threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Number of 32-wide warps per block (rounded up).
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block().div_ceil(32)
+    }
+
+    /// Converts a linear block id to `(ctaid.x, ctaid.y)`.
+    pub fn block_coords(&self, tb: u32) -> (u32, u32) {
+        (tb % self.grid.x, tb / self.grid.x)
+    }
+
+    /// Converts `(ctaid.x, ctaid.y)` to a linear block id.
+    pub fn block_id(&self, bx: u32, by: u32) -> u32 {
+        by * self.grid.x + bx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Op;
+
+    fn dummy_kernel(nparams: usize) -> Arc<Kernel> {
+        Arc::new(Kernel {
+            name: "k".into(),
+            params: (0..nparams)
+                .map(|i| Param {
+                    name: format!("p{i}"),
+                    ty: ParamTy::U64,
+                })
+                .collect(),
+            body: vec![Inst::new(Op::Ret)],
+            shared_bytes: 0,
+        })
+    }
+
+    #[test]
+    fn dim3_counts() {
+        assert_eq!(Dim3::x(7).count(), 7);
+        assert_eq!(Dim3::xy(3, 4).count(), 12);
+        assert_eq!(Dim3::default().count(), 1);
+    }
+
+    #[test]
+    fn launch_block_coords_round_trip() {
+        let l = Launch::new(
+            dummy_kernel(0),
+            Dim3::xy(5, 3),
+            Dim3::x(64),
+            vec![],
+        );
+        for tb in 0..l.num_blocks() {
+            let (bx, by) = l.block_coords(tb);
+            assert_eq!(l.block_id(bx, by), tb);
+            assert!(bx < 5 && by < 3);
+        }
+        assert_eq!(l.num_blocks(), 15);
+        assert_eq!(l.warps_per_block(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 arguments")]
+    fn launch_arg_count_mismatch_panics() {
+        Launch::new(dummy_kernel(2), Dim3::x(1), Dim3::x(32), vec![]);
+    }
+
+    #[test]
+    fn param_index_lookup() {
+        let k = dummy_kernel(3);
+        assert_eq!(k.param_index("p1"), Some(1));
+        assert_eq!(k.param_index("zzz"), None);
+    }
+
+    #[test]
+    fn arg_value_raw_bits() {
+        assert_eq!(ArgValue::U32(7).as_u64(), 7);
+        assert_eq!(ArgValue::Ptr(0x1000).as_u64(), 0x1000);
+        assert_eq!(ArgValue::F32(1.0).as_u64(), 1.0f32.to_bits() as u64);
+    }
+}

@@ -1,0 +1,238 @@
+//! Tokenizer for the mini-PTX textual form.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier-like word: mnemonics (`mad.lo.u32`), registers (`%rd3`),
+    /// special registers (`%ctaid.x`), labels, directives (`.entry`).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (from `0fXXXXXXXX` bit form or a decimal with a point).
+    Float(f32),
+    /// Single punctuation character: `, ; ( ) { } [ ] + - : @ !`.
+    Punct(char),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Word(w) => write!(f, "`{w}`"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Punct(c) => write!(f, "`{c}`"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number for diagnostics.
+    pub line: u32,
+}
+
+/// Error produced while tokenizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the bad input.
+    pub message: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_word_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '%' || c == '.' || c == '$'
+}
+
+fn is_word_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$'
+}
+
+/// Tokenizes mini-PTX source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unexpected characters or malformed numeric
+/// literals.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(LexError {
+                        message: "unexpected `/` (only `//` comments are supported)".into(),
+                        line,
+                    });
+                }
+            }
+            ',' | ';' | '(' | ')' | '{' | '}' | '[' | ']' | '+' | '-' | ':' | '@' | '!' => {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                chars.next();
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = parse_number(&s).ok_or_else(|| LexError {
+                    message: format!("malformed numeric literal `{s}`"),
+                    line,
+                })?;
+                out.push(SpannedTok { tok, line });
+            }
+            c if is_word_start(c) => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_word_continue(c) || (s.is_empty() && is_word_start(c)) || c == '%' {
+                        if c == '%' && !s.is_empty() {
+                            break;
+                        }
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Word(s),
+                    line,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_number(s: &str) -> Option<Tok> {
+    if let Some(hex) = s.strip_prefix("0f").or_else(|| s.strip_prefix("0F")) {
+        let bits = u32::from_str_radix(hex, 16).ok()?;
+        return Some(Tok::Float(f32::from_bits(bits)));
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return Some(Tok::Int(i64::from_str_radix(hex, 16).ok()?));
+    }
+    if s.contains('.') {
+        return Some(Tok::Float(s.parse::<f32>().ok()?));
+    }
+    Some(Tok::Int(s.parse::<i64>().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn words_keep_dots_and_percent() {
+        assert_eq!(
+            toks("mad.lo.u32 %r4, %ctaid.x;"),
+            vec![
+                Tok::Word("mad.lo.u32".into()),
+                Tok::Word("%r4".into()),
+                Tok::Punct(','),
+                Tok::Word("%ctaid.x".into()),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(toks("42"), vec![Tok::Int(42)]);
+        assert_eq!(toks("0x10"), vec![Tok::Int(16)]);
+        assert_eq!(toks("0f3F800000"), vec![Tok::Float(1.0)]);
+        assert_eq!(toks("2.5"), vec![Tok::Float(2.5)]);
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_counted() {
+        let ts = lex("a // hi\nb").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn address_brackets() {
+        assert_eq!(
+            toks("[%rd3+8]"),
+            vec![
+                Tok::Punct('['),
+                Tok::Word("%rd3".into()),
+                Tok::Punct('+'),
+                Tok::Int(8),
+                Tok::Punct(']'),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_char_reports_line() {
+        let err = lex("ok\n  ^bad").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn guard_tokens() {
+        assert_eq!(
+            toks("@!%p1 bra $L0;"),
+            vec![
+                Tok::Punct('@'),
+                Tok::Punct('!'),
+                Tok::Word("%p1".into()),
+                Tok::Word("bra".into()),
+                Tok::Word("$L0".into()),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Flat device virtual-address space and functional global memory.
+//!
+//! Allocations (`cudaMalloc` equivalents) are carved out of a single 64-bit
+//! address space with generous alignment, so launch-time analysis can work
+//! with plain byte intervals and map any address back to its allocation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocId(pub u32);
+
+impl fmt::Display for AllocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alloc#{}", self.0)
+    }
+}
+
+/// Metadata for one allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocInfo {
+    /// The allocation id.
+    pub id: AllocId,
+    /// Base virtual address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl AllocInfo {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.base + self.size
+    }
+
+    /// Whether `addr` falls inside the allocation.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// Bump allocator over the flat device address space.
+///
+/// The base address starts away from zero (as on real GPUs) and each
+/// allocation is aligned to 256 bytes so that range analysis and coalescing
+/// see realistic addresses.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    allocs: Vec<AllocInfo>,
+    next: u64,
+}
+
+/// Alignment of every allocation, matching CUDA's `cudaMalloc` guarantee.
+pub const ALLOC_ALIGN: u64 = 256;
+/// First device virtual address handed out.
+pub const DEVICE_BASE: u64 = 0x7f00_0000_0000;
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> Self {
+        AddressSpace {
+            allocs: Vec::new(),
+            next: DEVICE_BASE,
+        }
+    }
+
+    /// Reserves `size` bytes and returns the new allocation's metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn alloc(&mut self, size: u64) -> AllocInfo {
+        assert!(size > 0, "zero-sized device allocation");
+        let base = self.next;
+        let id = AllocId(self.allocs.len() as u32);
+        let info = AllocInfo { id, base, size };
+        self.allocs.push(info);
+        self.next = (base + size).next_multiple_of(ALLOC_ALIGN);
+        info
+    }
+
+    /// All allocations in creation order.
+    pub fn allocs(&self) -> &[AllocInfo] {
+        &self.allocs
+    }
+
+    /// Looks up an allocation by id.
+    pub fn info(&self, id: AllocId) -> AllocInfo {
+        self.allocs[id.0 as usize]
+    }
+
+    /// Finds the allocation containing `addr`, if any.
+    pub fn find(&self, addr: u64) -> Option<AllocInfo> {
+        let i = self.allocs.partition_point(|a| a.base <= addr);
+        if i == 0 {
+            return None;
+        }
+        let a = self.allocs[i - 1];
+        a.contains(addr).then_some(a)
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        AddressSpace::new()
+    }
+}
+
+/// Byte-addressable functional device memory backing the interpreter.
+///
+/// Backed by per-allocation byte vectors created lazily; reads of
+/// never-written memory return zeroes (deterministic, like `cudaMemset` 0).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMem {
+    pages: BTreeMap<u64, Vec<u8>>, // keyed by allocation base
+    bases: Vec<(u64, u64)>,        // (base, size) sorted by base
+}
+
+impl GlobalMem {
+    /// Creates memory with backing for every allocation in `space`.
+    pub fn for_space(space: &AddressSpace) -> Self {
+        let mut m = GlobalMem::default();
+        for a in space.allocs() {
+            m.add_region(a.base, a.size);
+        }
+        m
+    }
+
+    /// Registers a backing region (idempotent for the same base).
+    pub fn add_region(&mut self, base: u64, size: u64) {
+        self.pages.entry(base).or_insert_with(|| vec![0; size as usize]);
+        if let Err(i) = self.bases.binary_search_by_key(&base, |&(b, _)| b) {
+            self.bases.insert(i, (base, size));
+        }
+    }
+
+    fn locate(&self, addr: u64, len: u64) -> Option<(u64, usize)> {
+        let i = self.bases.partition_point(|&(b, _)| b <= addr);
+        if i == 0 {
+            return None;
+        }
+        let (base, size) = self.bases[i - 1];
+        (addr + len <= base + size).then(|| (base, (addr - base) as usize))
+    }
+
+    /// Reads a 32-bit little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds device address (a functional-model bug in
+    /// the kernel under test — surfaced loudly on purpose).
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let (base, off) = self
+            .locate(addr, 4)
+            .unwrap_or_else(|| panic!("device read of unmapped address {addr:#x}"));
+        let p = &self.pages[&base];
+        u32::from_le_bytes(p[off..off + 4].try_into().unwrap())
+    }
+
+    /// Writes a 32-bit little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds device address.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        let (base, off) = self
+            .locate(addr, 4)
+            .unwrap_or_else(|| panic!("device write of unmapped address {addr:#x}"));
+        let p = self.pages.get_mut(&base).unwrap();
+        p[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads an `f32`.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32`.
+    pub fn write_f32(&mut self, addr: u64, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Copies a slice of `f32`s to device memory (host-to-device memcpy).
+    pub fn copy_from_host_f32(&mut self, addr: u64, data: &[f32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Copies device memory into a vector of `f32`s (device-to-host memcpy).
+    pub fn copy_to_host_f32(&self, addr: u64, count: usize) -> Vec<f32> {
+        (0..count).map(|i| self.read_f32(addr + 4 * i as u64)).collect()
+    }
+
+    /// A stable fingerprint of all memory contents, for equivalence tests.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over all regions in address order.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (base, page) in &self.pages {
+            for b in base.to_le_bytes().iter().chain(page.iter()) {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(100);
+        let b = sp.alloc(1000);
+        assert_eq!(a.base % ALLOC_ALIGN, 0);
+        assert_eq!(b.base % ALLOC_ALIGN, 0);
+        assert!(a.end() <= b.base);
+        assert_eq!(sp.find(a.base + 50), Some(a));
+        assert_eq!(sp.find(b.base + 999), Some(b));
+        assert_eq!(sp.find(b.end()), None);
+        assert_eq!(sp.find(0), None);
+        assert_eq!(sp.info(a.id), a);
+    }
+
+    #[test]
+    fn mem_round_trip() {
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(64);
+        let mut m = GlobalMem::for_space(&sp);
+        m.write_f32(a.base + 8, 3.5);
+        assert_eq!(m.read_f32(a.base + 8), 3.5);
+        assert_eq!(m.read_f32(a.base), 0.0); // untouched memory reads zero
+        m.write_u32(a.base + 60, u32::MAX);
+        assert_eq!(m.read_u32(a.base + 60), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn oob_read_panics() {
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(8);
+        let m = GlobalMem::for_space(&sp);
+        m.read_u32(a.base + 6); // crosses the end
+    }
+
+    #[test]
+    fn host_copies() {
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(16);
+        let mut m = GlobalMem::for_space(&sp);
+        m.copy_from_host_f32(a.base, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.copy_to_host_f32(a.base, 4), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_contents() {
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(16);
+        let mut m = GlobalMem::for_space(&sp);
+        let f0 = m.fingerprint();
+        m.write_u32(a.base, 1);
+        assert_ne!(m.fingerprint(), f0);
+    }
+}

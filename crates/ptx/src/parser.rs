@@ -1,0 +1,540 @@
+//! Parser turning mini-PTX text into [`Kernel`] objects.
+
+use crate::isa::*;
+use crate::kernel::{Kernel, Param};
+use crate::lexer::{lex, LexError, SpannedTok, Tok};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while parsing mini-PTX source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line, 0 for end-of-input.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parses a source file containing one or more `.entry` kernels.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line on any syntactic or
+/// semantic problem (unknown mnemonic, undefined label, bad register class).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), bm_ptx::parser::ParseError> {
+/// let kernels = bm_ptx::parser::parse_kernels(
+///     ".entry noop() { ret; }",
+/// )?;
+/// assert_eq!(kernels[0].name, "noop");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_kernels(src: &str) -> Result<Vec<Kernel>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut kernels = Vec::new();
+    while !p.at_end() {
+        kernels.push(p.kernel()?);
+    }
+    Ok(kernels)
+}
+
+/// Parses a source expected to contain exactly one kernel.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if parsing fails or the source does not contain
+/// exactly one `.entry`.
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    let mut ks = parse_kernels(src)?;
+    if ks.len() != 1 {
+        return Err(ParseError {
+            message: format!("expected exactly one kernel, found {}", ks.len()),
+            line: 0,
+        });
+    }
+    Ok(ks.pop().unwrap())
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError {
+                message: "unexpected end of input".into(),
+                line: 0,
+            })?;
+        self.pos += 1;
+        Ok(t.tok)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next()? {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => self.err(format!("expected `{c}`, found {other}")),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Word(w) => Ok(w),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.next()? {
+            Tok::Int(v) => Ok(v),
+            other => self.err(format!("expected integer, found {other}")),
+        }
+    }
+
+    fn kernel(&mut self) -> Result<Kernel, ParseError> {
+        let kw = self.expect_word()?;
+        if kw != ".entry" {
+            return self.err(format!("expected `.entry`, found `{kw}`"));
+        }
+        let name = self.expect_word()?;
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        if !self.eat_punct(')') {
+            loop {
+                let d = self.expect_word()?;
+                if d != ".param" {
+                    return self.err(format!("expected `.param`, found `{d}`"));
+                }
+                let ty = match self.expect_word()?.as_str() {
+                    ".u32" => ParamTy::U32,
+                    ".u64" => ParamTy::U64,
+                    ".f32" => ParamTy::F32,
+                    other => return self.err(format!("unknown param type `{other}`")),
+                };
+                let pname = self.expect_word()?;
+                params.push(Param { name: pname, ty });
+                if self.eat_punct(')') {
+                    break;
+                }
+                self.expect_punct(',')?;
+            }
+        }
+        self.expect_punct('{')?;
+        let mut shared_bytes = 0u32;
+        let mut body: Vec<Inst> = Vec::new();
+        let mut labels: HashMap<String, usize> = HashMap::new();
+        let mut fixups: Vec<(usize, String, u32)> = Vec::new(); // (inst idx, label, line)
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            // Guard?
+            let guard = if self.eat_punct('@') {
+                let negated = self.eat_punct('!');
+                let w = self.expect_word()?;
+                let pred = self.reg(&w)?;
+                if pred.class != RegClass::Pred {
+                    return self.err(format!("guard register `{w}` is not a predicate"));
+                }
+                Some(Guard { pred, negated })
+            } else {
+                None
+            };
+            let w = self.expect_word()?;
+            // Label?
+            if guard.is_none() && self.eat_punct(':') {
+                if labels.insert(w.clone(), body.len()).is_some() {
+                    return self.err(format!("duplicate label `{w}`"));
+                }
+                continue;
+            }
+            // Directive?
+            if w == ".shared" {
+                shared_bytes = self.expect_int()? as u32;
+                self.expect_punct(';')?;
+                continue;
+            }
+            let line = self.line();
+            let op = self.instruction(&w, &params, &mut fixups, body.len(), line)?;
+            self.expect_punct(';')?;
+            body.push(Inst { guard, op });
+        }
+        // Resolve branch targets.
+        for (idx, label, line) in fixups {
+            let target = *labels.get(&label).ok_or_else(|| ParseError {
+                message: format!("undefined label `{label}`"),
+                line,
+            })?;
+            if let Op::Bra { target: t } = &mut body[idx].op {
+                *t = target;
+            }
+        }
+        Ok(Kernel {
+            name,
+            params,
+            body,
+            shared_bytes,
+        })
+    }
+
+    fn reg(&self, w: &str) -> Result<Reg, ParseError> {
+        let (class, rest) = if let Some(r) = w.strip_prefix("%rd") {
+            (RegClass::R64, r)
+        } else if let Some(r) = w.strip_prefix("%r") {
+            (RegClass::R32, r)
+        } else if let Some(r) = w.strip_prefix("%f") {
+            (RegClass::F32, r)
+        } else if let Some(r) = w.strip_prefix("%p") {
+            (RegClass::Pred, r)
+        } else {
+            return Err(ParseError {
+                message: format!("expected register, found `{w}`"),
+                line: self.line(),
+            });
+        };
+        let idx: u16 = rest.parse().map_err(|_| ParseError {
+            message: format!("bad register index in `{w}`"),
+            line: self.line(),
+        })?;
+        Ok(Reg { class, idx })
+    }
+
+    fn special(w: &str) -> Option<Special> {
+        Special::ALL.iter().copied().find(|s| s.name() == w)
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.next()? {
+            Tok::Word(w) => {
+                if let Some(s) = Self::special(&w) {
+                    Ok(Operand::Special(s))
+                } else {
+                    Ok(Operand::Reg(self.reg(&w)?))
+                }
+            }
+            Tok::Int(v) => Ok(Operand::ImmI(v)),
+            Tok::Float(v) => Ok(Operand::ImmF(v)),
+            Tok::Punct('-') => match self.next()? {
+                Tok::Int(v) => Ok(Operand::ImmI(-v)),
+                Tok::Float(v) => Ok(Operand::ImmF(-v)),
+                other => self.err(format!("expected number after `-`, found {other}")),
+            },
+            other => self.err(format!("expected operand, found {other}")),
+        }
+    }
+
+    fn dst_reg(&mut self) -> Result<Reg, ParseError> {
+        let w = self.expect_word()?;
+        self.reg(&w)
+    }
+
+    fn addr(&mut self) -> Result<Addr, ParseError> {
+        self.expect_punct('[')?;
+        let w = self.expect_word()?;
+        let base = self.reg(&w)?;
+        let mut offset = 0i64;
+        if self.eat_punct('+') {
+            offset = self.expect_int()?;
+        } else if self.eat_punct('-') {
+            offset = -self.expect_int()?;
+        }
+        self.expect_punct(']')?;
+        Ok(Addr { base, offset })
+    }
+
+    fn int_ty(&self, s: &str) -> Result<IntTy, ParseError> {
+        match s {
+            "u32" | "b32" => Ok(IntTy::U32),
+            "s32" => Ok(IntTy::S32),
+            "u64" | "b64" | "s64" => Ok(IntTy::U64),
+            other => Err(ParseError {
+                message: format!("unknown integer type `{other}`"),
+                line: self.line(),
+            }),
+        }
+    }
+
+    fn mem_ty(&self, s: &str) -> Result<MemTy, ParseError> {
+        match s {
+            "u32" | "b32" | "s32" => Ok(MemTy::U32),
+            "f32" => Ok(MemTy::F32),
+            other => Err(ParseError {
+                message: format!("unsupported memory access type `{other}`"),
+                line: self.line(),
+            }),
+        }
+    }
+
+    fn cmp_op(&self, s: &str) -> Result<CmpOp, ParseError> {
+        Ok(match s {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            other => {
+                return Err(ParseError {
+                    message: format!("unknown comparison `{other}`"),
+                    line: self.line(),
+                })
+            }
+        })
+    }
+
+    fn bin3(&mut self) -> Result<(Reg, Operand, Operand), ParseError> {
+        let dst = self.dst_reg()?;
+        self.expect_punct(',')?;
+        let a = self.operand()?;
+        self.expect_punct(',')?;
+        let b = self.operand()?;
+        Ok((dst, a, b))
+    }
+
+    fn instruction(
+        &mut self,
+        mnemonic: &str,
+        params: &[Param],
+        fixups: &mut Vec<(usize, String, u32)>,
+        inst_idx: usize,
+        line: u32,
+    ) -> Result<Op, ParseError> {
+        let parts: Vec<&str> = mnemonic.split('.').collect();
+        let int_bin = |op: IntOp| op;
+        match parts.as_slice() {
+            ["mov", _ty] => {
+                let dst = self.dst_reg()?;
+                self.expect_punct(',')?;
+                let src = self.operand()?;
+                Ok(Op::Mov { dst, src })
+            }
+            ["cvt", ..] => {
+                let dst = self.dst_reg()?;
+                self.expect_punct(',')?;
+                let src = self.operand()?;
+                Ok(Op::Cvt { dst, src })
+            }
+            ["mul", "wide", "u32"] => {
+                let (dst, a, b) = self.bin3()?;
+                Ok(Op::MulWide { dst, a, b })
+            }
+            ["mad", "wide", "u32"] => {
+                let (dst, a, b) = self.bin3()?;
+                self.expect_punct(',')?;
+                let c = self.operand()?;
+                Ok(Op::MadWide { dst, a, b, c })
+            }
+            ["mad", "lo", ty] => {
+                let ty = self.int_ty(ty)?;
+                let (dst, a, b) = self.bin3()?;
+                self.expect_punct(',')?;
+                let c = self.operand()?;
+                Ok(Op::Mad { ty, dst, a, b, c })
+            }
+            ["fma", "rn", "f32"] => {
+                let (dst, a, b) = self.bin3()?;
+                self.expect_punct(',')?;
+                let c = self.operand()?;
+                Ok(Op::Fma { dst, a, b, c })
+            }
+            ["sqrt", "rn", "f32"] | ["sqrt", "approx", "f32"] => {
+                let dst = self.dst_reg()?;
+                self.expect_punct(',')?;
+                let a = self.operand()?;
+                Ok(Op::Sqrt { dst, a })
+            }
+            [op @ ("add" | "sub" | "mul" | "min" | "max"), "f32"]
+            | [op @ "div", "rn", "f32"]
+            | [op @ "mul", "rn", "f32"] => {
+                let fop = match *op {
+                    "add" => FloatOp::Add,
+                    "sub" => FloatOp::Sub,
+                    "mul" => FloatOp::Mul,
+                    "div" => FloatOp::Div,
+                    "min" => FloatOp::Min,
+                    "max" => FloatOp::Max,
+                    _ => unreachable!(),
+                };
+                let (dst, a, b) = self.bin3()?;
+                Ok(Op::Float { op: fop, dst, a, b })
+            }
+            [op, "lo", ty] if *op == "mul" => {
+                let ty = self.int_ty(ty)?;
+                let (dst, a, b) = self.bin3()?;
+                Ok(Op::Int {
+                    op: int_bin(IntOp::Mul),
+                    ty,
+                    dst,
+                    a,
+                    b,
+                })
+            }
+            [op, ty]
+                if matches!(
+                    *op,
+                    "add" | "sub" | "div" | "rem" | "min" | "max" | "and" | "or" | "xor"
+                        | "shl" | "shr" | "mul"
+                ) =>
+            {
+                let iop = match *op {
+                    "add" => IntOp::Add,
+                    "sub" => IntOp::Sub,
+                    "mul" => IntOp::Mul,
+                    "div" => IntOp::Div,
+                    "rem" => IntOp::Rem,
+                    "min" => IntOp::Min,
+                    "max" => IntOp::Max,
+                    "and" => IntOp::And,
+                    "or" => IntOp::Or,
+                    "xor" => IntOp::Xor,
+                    "shl" => IntOp::Shl,
+                    "shr" => IntOp::Shr,
+                    _ => unreachable!(),
+                };
+                let ty = self.int_ty(ty)?;
+                let (dst, a, b) = self.bin3()?;
+                Ok(Op::Int {
+                    op: iop,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                })
+            }
+            ["setp", cmp, "f32"] => {
+                let cmp = self.cmp_op(cmp)?;
+                let (dst, a, b) = self.bin3()?;
+                Ok(Op::SetpF { cmp, dst, a, b })
+            }
+            ["setp", cmp, ty] => {
+                let cmp = self.cmp_op(cmp)?;
+                let ty = self.int_ty(ty)?;
+                let (dst, a, b) = self.bin3()?;
+                Ok(Op::Setp { cmp, ty, dst, a, b })
+            }
+            ["selp", _ty] => {
+                let (dst, a, b) = self.bin3()?;
+                self.expect_punct(',')?;
+                let w = self.expect_word()?;
+                let p = self.reg(&w)?;
+                Ok(Op::Selp { dst, a, b, p })
+            }
+            ["ld", "param", _ty] => {
+                let dst = self.dst_reg()?;
+                self.expect_punct(',')?;
+                self.expect_punct('[')?;
+                let pname = self.expect_word()?;
+                self.expect_punct(']')?;
+                let param = params
+                    .iter()
+                    .position(|p| p.name == pname)
+                    .ok_or(ParseError {
+                        message: format!("unknown parameter `{pname}`"),
+                        line,
+                    })? as u16;
+                Ok(Op::LdParam { dst, param })
+            }
+            ["ld", space @ ("global" | "shared"), ty] => {
+                let ty = self.mem_ty(ty)?;
+                let space = if *space == "global" {
+                    MemSpace::Global
+                } else {
+                    MemSpace::Shared
+                };
+                let dst = self.dst_reg()?;
+                self.expect_punct(',')?;
+                let addr = self.addr()?;
+                Ok(Op::Ld {
+                    space,
+                    ty,
+                    dst,
+                    addr,
+                })
+            }
+            ["st", space @ ("global" | "shared"), ty] => {
+                let ty = self.mem_ty(ty)?;
+                let space = if *space == "global" {
+                    MemSpace::Global
+                } else {
+                    MemSpace::Shared
+                };
+                let addr = self.addr()?;
+                self.expect_punct(',')?;
+                let src = self.operand()?;
+                Ok(Op::St {
+                    space,
+                    ty,
+                    src,
+                    addr,
+                })
+            }
+            ["bra"] => {
+                let label = self.expect_word()?;
+                fixups.push((inst_idx, label, line));
+                Ok(Op::Bra { target: usize::MAX })
+            }
+            ["bar", "sync"] => {
+                let _ = self.expect_int()?;
+                Ok(Op::Bar)
+            }
+            ["ret"] => Ok(Op::Ret),
+            _ => self.err(format!("unknown mnemonic `{mnemonic}`")),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Canonical textual emission of kernels (the inverse of the parser).
+//!
+//! `Kernel: Display` prints a form that [`crate::parser::parse_kernel`]
+//! accepts and that round-trips to an identical `Kernel` (property-tested).
+
+use crate::isa::*;
+use crate::kernel::Kernel;
+use std::collections::BTreeSet;
+use std::fmt;
+
+fn mnemonic(op: &Op) -> String {
+    match op {
+        Op::Mov { dst, .. } => match dst.class {
+            RegClass::F32 => "mov.f32".into(),
+            RegClass::R64 => "mov.u64".into(),
+            RegClass::Pred => "mov.pred".into(),
+            RegClass::R32 => "mov.u32".into(),
+        },
+        Op::Cvt { dst, src } => {
+            let sc = match src {
+                Operand::Reg(r) => r.class,
+                Operand::ImmF(_) => RegClass::F32,
+                _ => RegClass::R32,
+            };
+            match (dst.class, sc) {
+                (RegClass::R64, RegClass::R32) => "cvt.u64.u32".into(),
+                (RegClass::R32, RegClass::R64) => "cvt.u32.u64".into(),
+                (RegClass::F32, RegClass::R32) => "cvt.rn.f32.u32".into(),
+                (RegClass::R32, RegClass::F32) => "cvt.rzi.u32.f32".into(),
+                (a, b) => format!(
+                    "cvt.{}.{}",
+                    class_ty(a),
+                    class_ty(b)
+                ),
+            }
+        }
+        Op::Int { op, ty, .. } => match op {
+            IntOp::Mul => format!("mul.lo.{}", ty.suffix()),
+            other => format!("{}.{}", other.mnemonic(), ty.suffix()),
+        },
+        Op::Mad { ty, .. } => format!("mad.lo.{}", ty.suffix()),
+        Op::MulWide { .. } => "mul.wide.u32".into(),
+        Op::MadWide { .. } => "mad.wide.u32".into(),
+        Op::Float { op, .. } => format!("{}.f32", op.mnemonic()),
+        Op::Fma { .. } => "fma.rn.f32".into(),
+        Op::Sqrt { .. } => "sqrt.rn.f32".into(),
+        Op::Setp { cmp, ty, .. } => format!("setp.{}.{}", cmp.suffix(), ty.suffix()),
+        Op::SetpF { cmp, .. } => format!("setp.{}.f32", cmp.suffix()),
+        Op::Selp { dst, .. } => match dst.class {
+            RegClass::R64 => "selp.b64".into(),
+            RegClass::F32 => "selp.f32".into(),
+            _ => "selp.b32".into(),
+        },
+        Op::Ld { space, ty, .. } => format!("ld.{}.{}", space_name(*space), ty.suffix()),
+        Op::St { space, ty, .. } => format!("st.{}.{}", space_name(*space), ty.suffix()),
+        Op::LdParam { dst, .. } => match dst.class {
+            RegClass::R64 => "ld.param.u64".into(),
+            RegClass::F32 => "ld.param.f32".into(),
+            _ => "ld.param.u32".into(),
+        },
+        Op::Bra { .. } => "bra".into(),
+        Op::Bar => "bar.sync".into(),
+        Op::Ret => "ret".into(),
+    }
+}
+
+fn class_ty(c: RegClass) -> &'static str {
+    match c {
+        RegClass::Pred => "pred",
+        RegClass::R32 => "u32",
+        RegClass::R64 => "u64",
+        RegClass::F32 => "f32",
+    }
+}
+
+fn space_name(s: MemSpace) -> &'static str {
+    match s {
+        MemSpace::Global => "global",
+        MemSpace::Shared => "shared",
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".entry {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, ".param .{} {}", p.ty.suffix(), p.name)?;
+        }
+        writeln!(f, ")")?;
+        writeln!(f, "{{")?;
+        if self.shared_bytes > 0 {
+            writeln!(f, "  .shared {};", self.shared_bytes)?;
+        }
+        let targets: BTreeSet<usize> = self
+            .body
+            .iter()
+            .filter_map(|i| match i.op {
+                Op::Bra { target } => Some(target),
+                _ => None,
+            })
+            .collect();
+        for (idx, inst) in self.body.iter().enumerate() {
+            if targets.contains(&idx) {
+                writeln!(f, "$L{idx}:")?;
+            }
+            write!(f, "  ")?;
+            if let Some(g) = inst.guard {
+                write!(f, "@{}{} ", if g.negated { "!" } else { "" }, g.pred)?;
+            }
+            write!(f, "{}", mnemonic(&inst.op))?;
+            write_operands(f, &inst.op, self)?;
+            writeln!(f, ";")?;
+        }
+        // A branch may target one past the last instruction (loop exits).
+        if targets.contains(&self.body.len()) {
+            writeln!(f, "$L{}:", self.body.len())?;
+            writeln!(f, "  ret;")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+fn write_operands(f: &mut fmt::Formatter<'_>, op: &Op, k: &Kernel) -> fmt::Result {
+    match op {
+        Op::Mov { dst, src } | Op::Cvt { dst, src } => write!(f, " {dst}, {src}"),
+        Op::Int { dst, a, b, .. }
+        | Op::MulWide { dst, a, b }
+        | Op::Float { dst, a, b, .. }
+        | Op::Setp { dst, a, b, .. }
+        | Op::SetpF { dst, a, b, .. } => write!(f, " {dst}, {a}, {b}"),
+        Op::Mad { dst, a, b, c, .. } | Op::MadWide { dst, a, b, c } | Op::Fma { dst, a, b, c } => {
+            write!(f, " {dst}, {a}, {b}, {c}")
+        }
+        Op::Sqrt { dst, a } => write!(f, " {dst}, {a}"),
+        Op::Selp { dst, a, b, p } => write!(f, " {dst}, {a}, {b}, {p}"),
+        Op::Ld { dst, addr, .. } => write!(f, " {dst}, {addr}"),
+        Op::St { src, addr, .. } => write!(f, " {addr}, {src}"),
+        Op::LdParam { dst, param } => {
+            write!(f, " {dst}, [{}]", k.params[*param as usize].name)
+        }
+        Op::Bra { target } => write!(f, " $L{target}"),
+        Op::Bar => write!(f, " 0"),
+        Op::Ret => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_kernel;
+
+    const VECADD: &str = r#"
+.entry vecadd(.param .u64 A, .param .u64 B, .param .u64 C, .param .u32 n)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [B];
+  ld.param.u64 %rd3, [C];
+  ld.param.u32 %r4, [n];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r5, %r1, %r2, %r3;
+  setp.ge.u32 %p1, %r5, %r4;
+  @%p1 bra $DONE;
+  mul.wide.u32 %rd4, %r5, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  add.u64 %rd6, %rd2, %rd4;
+  ld.global.f32 %f2, [%rd6];
+  add.f32 %f3, %f1, %f2;
+  add.u64 %rd7, %rd3, %rd4;
+  st.global.f32 [%rd7], %f3;
+$DONE:
+  ret;
+}
+"#;
+
+    #[test]
+    fn round_trip_vecadd() {
+        let k1 = parse_kernel(VECADD).unwrap();
+        let text = k1.to_string();
+        let k2 = parse_kernel(&text).unwrap();
+        assert_eq!(k1, k2, "printed form:\n{text}");
+    }
+
+    #[test]
+    fn round_trip_with_loop_and_shared() {
+        let src = r#"
+.entry loopy(.param .u64 A, .param .u32 n)
+{
+  .shared 128;
+  ld.param.u64 %rd1, [A];
+  ld.param.u32 %r9, [n];
+  mov.u32 %r1, 0;
+$TOP:
+  mul.wide.u32 %rd2, %r1, 4;
+  add.u64 %rd3, %rd1, %rd2;
+  ld.global.f32 %f1, [%rd3];
+  st.shared.f32 [%r1], %f1;
+  bar.sync 0;
+  add.u32 %r1, %r1, 1;
+  setp.lt.u32 %p1, %r1, %r9;
+  @%p1 bra $TOP;
+  ret;
+}
+"#;
+        let k1 = parse_kernel(src).unwrap();
+        let k2 = parse_kernel(&k1.to_string()).unwrap();
+        assert_eq!(k1, k2);
+        assert_eq!(k1.shared_bytes, 128);
+    }
+
+    #[test]
+    fn round_trip_selp_fma_cvt() {
+        let src = r#"
+.entry mixed(.param .u64 A, .param .f32 alpha)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.f32 %f9, [alpha];
+  mov.u32 %r1, %tid.x;
+  cvt.u64.u32 %rd2, %r1;
+  setp.eq.u32 %p1, %r1, 0;
+  selp.b32 %r2, 1, 2, %p1;
+  cvt.rn.f32.u32 %f1, %r2;
+  fma.rn.f32 %f2, %f1, %f9, 0f3F800000;
+  sqrt.rn.f32 %f3, %f2;
+  min.f32 %f4, %f3, %f2;
+  st.global.f32 [%rd1], %f4;
+  ret;
+}
+"#;
+        let k1 = parse_kernel(src).unwrap();
+        let k2 = parse_kernel(&k1.to_string()).unwrap();
+        assert_eq!(k1, k2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Algorithm 1 of the paper: the backward slice over load/store address
+//! operands that decides whether a kernel's memory accesses are *static*
+//! (derivable from kernel-launch-time values) or *non-static* (derived from
+//! another memory load, e.g. `A[B[i]]`).
+//!
+//! This is the literal backward pass of the paper's pseudo-code, operating
+//! on the linearized instruction list. The flow-sensitive abstract
+//! interpreter in [`crate::absint`] reaches the same verdicts on structured
+//! kernels; a unit test pins their agreement on representative programs.
+
+use crate::isa::{MemSpace, Op, Operand, Reg};
+use crate::kernel::Kernel;
+use std::collections::HashSet;
+
+/// Verdict for a single global load/store instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Staticness {
+    /// All address sources derive from launch-time-known values.
+    Static,
+    /// The address (possibly) derives from a loaded value — the paper's
+    /// "possible non-static dependency" bail-out (Algorithm 1 lines 7–9).
+    NonStatic,
+}
+
+/// Result of running Algorithm 1 over a kernel.
+#[derive(Debug, Clone)]
+pub struct SliceReport {
+    /// `(instruction index, verdict)` for every global load/store.
+    pub per_access: Vec<(usize, Staticness)>,
+}
+
+impl SliceReport {
+    /// Whether every global access in the kernel is static.
+    pub fn all_static(&self) -> bool {
+        self.per_access
+            .iter()
+            .all(|(_, s)| *s == Staticness::Static)
+    }
+}
+
+/// Runs the backward address-origin slice on every global load/store.
+///
+/// For each access, the source set `S` starts with the address base
+/// register; walking backwards, any instruction defining a register in `S`
+/// replaces it with that instruction's register sources. Encountering a
+/// memory load that defines a register in `S` yields
+/// [`Staticness::NonStatic`].
+pub fn slice_kernel(kernel: &Kernel) -> SliceReport {
+    let mut per_access = Vec::new();
+    for (i, inst) in kernel.body.iter().enumerate() {
+        let addr = match &inst.op {
+            Op::Ld {
+                space: MemSpace::Global,
+                addr,
+                ..
+            }
+            | Op::St {
+                space: MemSpace::Global,
+                addr,
+                ..
+            } => addr,
+            _ => continue,
+        };
+        per_access.push((i, slice_from(kernel, i, addr.base)));
+    }
+    SliceReport { per_access }
+}
+
+fn slice_from(kernel: &Kernel, access_idx: usize, base: Reg) -> Staticness {
+    let mut s: HashSet<Reg> = HashSet::new();
+    s.insert(base);
+    for j in (0..access_idx).rev() {
+        if s.is_empty() {
+            break;
+        }
+        let op = &kernel.body[j].op;
+        let Some(dst) = op.dst() else { continue };
+        if !s.contains(&dst) {
+            continue;
+        }
+        // The address derives from a loaded value: bail out conservatively.
+        // (Shared-memory loads count too: their contents ultimately come
+        // from memory and are not launch-time-known.)
+        if matches!(op, Op::Ld { .. }) {
+            return Staticness::NonStatic;
+        }
+        s.remove(&dst);
+        for src in op.srcs() {
+            if let Operand::Reg(r) = src {
+                s.insert(r);
+            }
+        }
+    }
+    Staticness::Static
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+
+    #[test]
+    fn affine_addressing_is_static() {
+        let k = parse_kernel(
+            r#".entry k(.param .u64 A) {
+                 ld.param.u64 %rd1, [A];
+                 mov.u32 %r1, %tid.x;
+                 mov.u32 %r2, %ctaid.x;
+                 mov.u32 %r3, %ntid.x;
+                 mad.lo.u32 %r4, %r2, %r3, %r1;
+                 mul.wide.u32 %rd2, %r4, 4;
+                 add.u64 %rd3, %rd1, %rd2;
+                 ld.global.f32 %f1, [%rd3];
+                 st.global.f32 [%rd3], %f1;
+                 ret;
+               }"#,
+        )
+        .unwrap();
+        let rep = slice_kernel(&k);
+        assert_eq!(rep.per_access.len(), 2);
+        assert!(rep.all_static());
+    }
+
+    #[test]
+    fn indirect_access_is_non_static() {
+        // B[A[i]] — the second access's address derives from the first load.
+        let k = parse_kernel(
+            r#".entry gather(.param .u64 A, .param .u64 B) {
+                 ld.param.u64 %rd1, [A];
+                 ld.param.u64 %rd2, [B];
+                 mov.u32 %r1, %tid.x;
+                 mul.wide.u32 %rd3, %r1, 4;
+                 add.u64 %rd4, %rd1, %rd3;
+                 ld.global.u32 %r2, [%rd4];
+                 mul.wide.u32 %rd5, %r2, 4;
+                 add.u64 %rd6, %rd2, %rd5;
+                 ld.global.f32 %f1, [%rd6];
+                 ret;
+               }"#,
+        )
+        .unwrap();
+        let rep = slice_kernel(&k);
+        assert_eq!(rep.per_access.len(), 2);
+        assert_eq!(rep.per_access[0].1, Staticness::Static);
+        assert_eq!(rep.per_access[1].1, Staticness::NonStatic);
+        assert!(!rep.all_static());
+    }
+
+    #[test]
+    fn shared_load_taints_addresses() {
+        let k = parse_kernel(
+            r#".entry s(.param .u64 A) {
+                 .shared 64;
+                 ld.param.u64 %rd1, [A];
+                 mov.u32 %r1, 0;
+                 ld.shared.u32 %r2, [%r1];
+                 cvt.u64.u32 %rd2, %r2;
+                 add.u64 %rd3, %rd1, %rd2;
+                 st.global.f32 [%rd3], 0f00000000;
+                 ret;
+               }"#,
+        )
+        .unwrap();
+        let rep = slice_kernel(&k);
+        assert_eq!(rep.per_access.len(), 1);
+        assert_eq!(rep.per_access[0].1, Staticness::NonStatic);
+    }
+
+    #[test]
+    fn loaded_data_not_used_for_address_stays_static() {
+        // The loaded float flows to the stored *value*, not the address.
+        let k = parse_kernel(
+            r#".entry copy(.param .u64 A, .param .u64 B) {
+                 ld.param.u64 %rd1, [A];
+                 ld.param.u64 %rd2, [B];
+                 mov.u32 %r1, %tid.x;
+                 mul.wide.u32 %rd3, %r1, 4;
+                 add.u64 %rd4, %rd1, %rd3;
+                 ld.global.f32 %f1, [%rd4];
+                 add.u64 %rd5, %rd2, %rd3;
+                 st.global.f32 [%rd5], %f1;
+                 ret;
+               }"#,
+        )
+        .unwrap();
+        assert!(slice_kernel(&k).all_static());
+    }
+}

@@ -1,0 +1,315 @@
+//! Dynamic warp traces: the interface between functional execution and the
+//! timing model.
+//!
+//! A [`TbTrace`] summarizes one thread block's execution as per-warp event
+//! streams (compute bursts, coalesced global-memory transactions, barriers).
+//! The SM timing model in `bm-simt` replays these streams under GTO warp
+//! scheduling to derive thread-block durations and memory-request counts.
+
+use crate::interp::{execute_block, ExecError, ExecObserver, ThreadId};
+use crate::isa::{MemSpace, Op};
+use crate::kernel::Launch;
+use crate::mem::GlobalMem;
+use std::collections::HashMap;
+
+/// Size of a coalesced memory transaction in bytes (one cache sector line).
+pub const SEGMENT_BYTES: u64 = 128;
+
+/// One event in a warp's dynamic execution stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEv {
+    /// `n` back-to-back non-memory instructions.
+    Compute(u32),
+    /// A global-memory instruction generating `segments` transactions.
+    Mem {
+        /// Number of 128-byte segments touched by the warp.
+        segments: u32,
+        /// Whether the access is a store.
+        store: bool,
+    },
+    /// A block-wide barrier.
+    Bar,
+}
+
+/// Dynamic event stream of one warp.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarpTrace {
+    /// Events in execution order.
+    pub events: Vec<TraceEv>,
+}
+
+impl WarpTrace {
+    /// Total dynamic instructions represented.
+    pub fn dyn_instrs(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEv::Compute(n) => *n as u64,
+                TraceEv::Mem { .. } => 1,
+                TraceEv::Bar => 1,
+            })
+            .sum()
+    }
+}
+
+/// Trace of one thread block: per-warp streams plus summary counters.
+#[derive(Debug, Clone, Default)]
+pub struct TbTrace {
+    /// Per-warp event streams.
+    pub warps: Vec<WarpTrace>,
+    /// Dynamic instructions across all threads.
+    pub dyn_instrs: u64,
+    /// Coalesced global-memory transactions across all warps.
+    pub global_transactions: u64,
+    /// Raw global accesses (per thread).
+    pub global_accesses: u64,
+}
+
+#[derive(Default)]
+struct TraceObserver {
+    // Per-thread event streams: (inst_idx, is_mem, is_store).
+    streams: Vec<Vec<(u32, bool, bool)>>,
+    // (warp, inst_idx, occurrence) -> segment set for the current access.
+    segs: HashMap<(u32, u32, u32), Vec<u64>>,
+    // Per-thread per-inst occurrence counters for grouping lanes.
+    occ: Vec<HashMap<u32, u32>>,
+    accesses: u64,
+}
+
+impl TraceObserver {
+    fn ensure(&mut self, tid: usize) {
+        if self.streams.len() <= tid {
+            self.streams.resize_with(tid + 1, Vec::new);
+            self.occ.resize_with(tid + 1, HashMap::new);
+        }
+    }
+}
+
+impl ExecObserver for TraceObserver {
+    fn on_inst(&mut self, t: ThreadId, inst_idx: usize, op: &Op) {
+        let tid = t.tid as usize;
+        self.ensure(tid);
+        let is_mem = matches!(
+            op,
+            Op::Ld {
+                space: MemSpace::Global,
+                ..
+            } | Op::St {
+                space: MemSpace::Global,
+                ..
+            }
+        );
+        let is_store = matches!(
+            op,
+            Op::St {
+                space: MemSpace::Global,
+                ..
+            }
+        );
+        let kind_bar = matches!(op, Op::Bar);
+        // Encode barriers as inst_idx with is_mem=false; the rebuild pass
+        // re-detects them by index, so we only need the ordered stream.
+        let _ = kind_bar;
+        self.streams[tid].push((inst_idx as u32, is_mem, is_store));
+    }
+
+    fn on_global_access(&mut self, t: ThreadId, inst_idx: usize, addr: u64, _store: bool) {
+        self.accesses += 1;
+        let tid = t.tid as usize;
+        self.ensure(tid);
+        let occ = self.occ[tid].entry(inst_idx as u32).or_insert(0);
+        let key = (t.warp(), inst_idx as u32, *occ);
+        *occ += 1;
+        let seg = addr / SEGMENT_BYTES;
+        let v = self.segs.entry(key).or_default();
+        if !v.contains(&seg) {
+            v.push(seg);
+        }
+    }
+}
+
+/// Functionally executes block `tb` of `launch`, producing its trace.
+///
+/// Memory *is* mutated (the trace run is a real execution); callers that
+/// only want timing typically pass a scratch [`GlobalMem`].
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from the underlying execution.
+pub fn trace_block(launch: &Launch, tb: u32, mem: &mut GlobalMem) -> Result<TbTrace, ExecError> {
+    let mut obs = TraceObserver::default();
+    let stats = execute_block(launch, tb, mem, &mut obs)?;
+    let nthreads = launch.threads_per_block();
+    let nwarps = launch.warps_per_block();
+    let body = &launch.kernel.body;
+    let mut warps = Vec::with_capacity(nwarps as usize);
+    let mut total_segments = 0u64;
+    for w in 0..nwarps {
+        // Representative lane: the one with the longest stream (divergent
+        // warps are approximated by their longest path).
+        let lanes = (w * 32)..((w * 32 + 32).min(nthreads));
+        let rep = lanes
+            .clone()
+            .filter(|&t| (t as usize) < obs.streams.len())
+            .max_by_key(|&t| obs.streams[t as usize].len());
+        let mut wt = WarpTrace::default();
+        let Some(rep) = rep else {
+            warps.push(wt);
+            continue;
+        };
+        let mut occ_count: HashMap<u32, u32> = HashMap::new();
+        let mut run = 0u32;
+        for &(inst_idx, is_mem, is_store) in &obs.streams[rep as usize] {
+            let is_bar = matches!(body[inst_idx as usize].op, Op::Bar);
+            if is_mem {
+                if run > 0 {
+                    wt.events.push(TraceEv::Compute(run));
+                    run = 0;
+                }
+                let occ = occ_count.entry(inst_idx).or_insert(0);
+                let key = (w, inst_idx, *occ);
+                *occ += 1;
+                let segments = obs.segs.get(&key).map_or(1, |v| v.len() as u32);
+                total_segments += segments as u64;
+                wt.events.push(TraceEv::Mem {
+                    segments,
+                    store: is_store,
+                });
+            } else if is_bar {
+                if run > 0 {
+                    wt.events.push(TraceEv::Compute(run));
+                    run = 0;
+                }
+                wt.events.push(TraceEv::Bar);
+            } else {
+                run += 1;
+            }
+        }
+        if run > 0 {
+            wt.events.push(TraceEv::Compute(run));
+        }
+        warps.push(wt);
+    }
+    Ok(TbTrace {
+        warps,
+        dyn_instrs: stats.instructions,
+        global_transactions: total_segments,
+        global_accesses: obs.accesses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ArgValue, Dim3, Launch};
+    use crate::mem::AddressSpace;
+    use crate::parser::parse_kernel;
+    use std::sync::Arc;
+
+    fn copy_kernel() -> Arc<crate::kernel::Kernel> {
+        Arc::new(
+            parse_kernel(
+                r#".entry copy(.param .u64 A, .param .u64 B) {
+                     ld.param.u64 %rd1, [A];
+                     ld.param.u64 %rd2, [B];
+                     mov.u32 %r1, %ctaid.x;
+                     mov.u32 %r2, %ntid.x;
+                     mov.u32 %r3, %tid.x;
+                     mad.lo.u32 %r4, %r1, %r2, %r3;
+                     mul.wide.u32 %rd3, %r4, 4;
+                     add.u64 %rd4, %rd1, %rd3;
+                     ld.global.f32 %f1, [%rd4];
+                     add.u64 %rd5, %rd2, %rd3;
+                     st.global.f32 [%rd5], %f1;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn coalesced_copy_one_segment_per_warp_access() {
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(4 * 128);
+        let b = sp.alloc(4 * 128);
+        let mut mem = GlobalMem::for_space(&sp);
+        let launch = Launch::new(
+            copy_kernel(),
+            Dim3::x(2),
+            Dim3::x(64),
+            vec![ArgValue::Ptr(a.base), ArgValue::Ptr(b.base)],
+        );
+        let tr = trace_block(&launch, 0, &mut mem).unwrap();
+        assert_eq!(tr.warps.len(), 2);
+        // 32 consecutive f32 = 128 bytes = exactly 1 segment per warp access.
+        for w in &tr.warps {
+            let mems: Vec<_> = w
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEv::Mem { segments, store } => Some((*segments, *store)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(mems.len(), 2); // one load + one store
+            assert_eq!(mems[0], (1, false));
+            assert_eq!(mems[1], (1, true));
+        }
+        // 2 warps x (1 load + 1 store) = 4 transactions.
+        assert_eq!(tr.global_transactions, 4);
+        assert_eq!(tr.global_accesses, 64 * 2);
+        assert!(tr.dyn_instrs > 0);
+    }
+
+    #[test]
+    fn strided_access_generates_many_segments() {
+        // Each thread accesses A[tid * 32] — 32 lanes hit 32 segments.
+        let src = r#"
+.entry strided(.param .u64 A) {
+  ld.param.u64 %rd1, [A];
+  mov.u32 %r1, %tid.x;
+  shl.b32 %r2, %r1, 5;
+  mul.wide.u32 %rd2, %r2, 4;
+  add.u64 %rd3, %rd1, %rd2;
+  st.global.f32 [%rd3], 0f00000000;
+  ret;
+}
+"#;
+        let k = Arc::new(parse_kernel(src).unwrap());
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(4 * 32 * 32);
+        let mut mem = GlobalMem::for_space(&sp);
+        let launch = Launch::new(k, Dim3::x(1), Dim3::x(32), vec![ArgValue::Ptr(a.base)]);
+        let tr = trace_block(&launch, 0, &mut mem).unwrap();
+        assert_eq!(tr.global_transactions, 32);
+    }
+
+    #[test]
+    fn barrier_appears_in_stream() {
+        let src = r#"
+.entry b(.param .u64 A) {
+  .shared 256;
+  ld.param.u64 %rd1, [A];
+  mov.u32 %r1, %tid.x;
+  shl.b32 %r2, %r1, 2;
+  st.shared.f32 [%r2], 0f00000000;
+  bar.sync 0;
+  ld.shared.f32 %f1, [%r2];
+  mul.wide.u32 %rd2, %r1, 4;
+  add.u64 %rd3, %rd1, %rd2;
+  st.global.f32 [%rd3], %f1;
+  ret;
+}
+"#;
+        let k = Arc::new(parse_kernel(src).unwrap());
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(4 * 64);
+        let mut mem = GlobalMem::for_space(&sp);
+        let launch = Launch::new(k, Dim3::x(1), Dim3::x(64), vec![ArgValue::Ptr(a.base)]);
+        let tr = trace_block(&launch, 0, &mut mem).unwrap();
+        for w in &tr.warps {
+            assert!(w.events.contains(&TraceEv::Bar));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Soundness property tests for the interval domain: for every concrete
+//! pair `x ∈ A, y ∈ B`, the concrete result of each operation must lie in
+//! the abstract result — the property the whole value-range analysis
+//! rests on.
+
+use bm_ptx::interval::Interval;
+use bm_ptx::isa::CmpOp;
+use proptest::prelude::*;
+
+/// Strategy: an interval plus a member of it.
+fn interval_with_member() -> impl Strategy<Value = (Interval, i128)> {
+    (-10_000i128..10_000, 0i128..200).prop_flat_map(|(lo, width)| {
+        let hi = lo + width;
+        (Just(Interval::new(lo, hi)), lo..=hi)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn add_sub_mul_are_sound(
+        (a, x) in interval_with_member(),
+        (b, y) in interval_with_member(),
+    ) {
+        prop_assert!(a.add(&b).contains(x + y));
+        prop_assert!(a.sub(&b).contains(x - y));
+        prop_assert!(a.mul(&b).contains(x * y));
+    }
+
+    #[test]
+    fn min_max_are_sound(
+        (a, x) in interval_with_member(),
+        (b, y) in interval_with_member(),
+    ) {
+        prop_assert!(a.min_op(&b).contains(x.min(y)));
+        prop_assert!(a.max_op(&b).contains(x.max(y)));
+    }
+
+    #[test]
+    fn div_rem_by_positive_constant_are_sound(
+        (a, x) in interval_with_member(),
+        d in 1i128..64,
+    ) {
+        let div = a.div(&Interval::point(d));
+        prop_assert!(div.contains(x.div_euclid(d)), "{a} / {d}: {} not in {div}", x.div_euclid(d));
+        let rem = a.rem(&Interval::point(d));
+        prop_assert!(rem.contains(x.rem_euclid(d)), "{a} % {d}: {} not in {rem}", x.rem_euclid(d));
+    }
+
+    #[test]
+    fn shifts_by_constant_are_sound(
+        (a, x) in interval_with_member(),
+        s in 0i128..8,
+    ) {
+        prop_assert!(a.shl(&Interval::point(s)).contains(x << s));
+        if x >= 0 {
+            prop_assert!(a.shr(&Interval::point(s)).contains(x >> s));
+        }
+    }
+
+    #[test]
+    fn bitwise_ops_are_sound_for_nonnegative(
+        (a, x) in interval_with_member(),
+        (b, y) in interval_with_member(),
+    ) {
+        // The analysis only relies on bitwise precision for non-negative
+        // values (thread/block indices); negatives fall back to TOP.
+        let (x, y) = (x.abs(), y.abs());
+        let a = Interval::new(a.lo().abs().min(x), a.hi().abs().max(x));
+        let b = Interval::new(b.lo().abs().min(y), b.hi().abs().max(y));
+        prop_assert!(a.and(&b).contains(x & y), "{a} & {b} missing {}", x & y);
+        prop_assert!(a.or(&b).contains(x | y), "{a} | {b} missing {}", x | y);
+        prop_assert!(a.xor(&b).contains(x ^ y), "{a} ^ {b} missing {}", x ^ y);
+    }
+
+    #[test]
+    fn hull_and_intersect_are_lattice_ops(
+        (a, x) in interval_with_member(),
+        (b, y) in interval_with_member(),
+    ) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains(x) && h.contains(y));
+        let i = a.intersect(&b);
+        if a.contains(y) {
+            prop_assert!(i.contains(y));
+        }
+        if b.contains(x) {
+            prop_assert!(i.contains(x));
+        }
+    }
+
+    #[test]
+    fn widen_only_grows(
+        (a, x) in interval_with_member(),
+        (b, y) in interval_with_member(),
+    ) {
+        let w = a.widen(&b);
+        prop_assert!(w.contains(x), "widen lost old member");
+        prop_assert!(w.contains(y), "widen lost new member");
+    }
+
+    #[test]
+    fn refine_keeps_satisfying_members(
+        (a, x) in interval_with_member(),
+        (b, y) in interval_with_member(),
+    ) {
+        for cmp in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let holds = match cmp {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            };
+            if holds {
+                let r = a.refine(cmp, &b);
+                prop_assert!(
+                    r.contains(x),
+                    "refine({a}, {cmp:?}, {b}) dropped {x} (witness y={y})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property test: the canonical printer and the parser are exact inverses
+//! over randomly-generated kernels.
+
+use bm_ptx::isa::*;
+use bm_ptx::kernel::{Kernel, Param};
+use bm_ptx::parser::parse_kernel;
+use proptest::prelude::*;
+
+fn reg_strategy(class: RegClass) -> impl Strategy<Value = Reg> {
+    (0u16..12).prop_map(move |idx| Reg { class, idx })
+}
+
+fn int_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg_strategy(RegClass::R32).prop_map(Operand::Reg),
+        (-1000i64..1000).prop_map(Operand::ImmI),
+        prop_oneof![
+            Just(Special::TidX),
+            Just(Special::CtaidX),
+            Just(Special::NtidX),
+            Just(Special::NctaidX),
+            Just(Special::TidY),
+            Just(Special::CtaidY),
+        ]
+        .prop_map(Operand::Special),
+    ]
+}
+
+fn float_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg_strategy(RegClass::F32).prop_map(Operand::Reg),
+        (-100i32..100).prop_map(|v| Operand::ImmF(v as f32 * 0.5)),
+    ]
+}
+
+fn int_op() -> impl Strategy<Value = IntOp> {
+    prop_oneof![
+        Just(IntOp::Add),
+        Just(IntOp::Sub),
+        Just(IntOp::Mul),
+        Just(IntOp::Div),
+        Just(IntOp::Rem),
+        Just(IntOp::Min),
+        Just(IntOp::Max),
+        Just(IntOp::And),
+        Just(IntOp::Or),
+        Just(IntOp::Xor),
+        Just(IntOp::Shl),
+        Just(IntOp::Shr),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn op_strategy(nparams: u16, body_len: usize) -> impl Strategy<Value = Op> {
+    let r32 = || reg_strategy(RegClass::R32);
+    let r64 = || reg_strategy(RegClass::R64);
+    let f32r = || reg_strategy(RegClass::F32);
+    let pred = || reg_strategy(RegClass::Pred);
+    prop_oneof![
+        (r32(), int_operand()).prop_map(|(dst, src)| Op::Mov { dst, src }),
+        (f32r(), float_operand()).prop_map(|(dst, src)| Op::Mov { dst, src }),
+        (r64(), r32()).prop_map(|(dst, src)| Op::Cvt {
+            dst,
+            src: Operand::Reg(src)
+        }),
+        (int_op(), r32(), int_operand(), int_operand()).prop_map(|(op, dst, a, b)| Op::Int {
+            op,
+            ty: IntTy::U32,
+            dst,
+            a,
+            b
+        }),
+        (int_op(), r64(), r64().prop_map(Operand::Reg), r64().prop_map(Operand::Reg))
+            .prop_map(|(op, dst, a, b)| Op::Int {
+                op,
+                ty: IntTy::U64,
+                dst,
+                a,
+                b
+            }),
+        (r32(), int_operand(), int_operand(), int_operand()).prop_map(|(dst, a, b, c)| {
+            Op::Mad {
+                ty: IntTy::U32,
+                dst,
+                a,
+                b,
+                c,
+            }
+        }),
+        (r64(), int_operand(), int_operand()).prop_map(|(dst, a, b)| Op::MulWide { dst, a, b }),
+        (r64(), int_operand(), int_operand(), r64().prop_map(Operand::Reg))
+            .prop_map(|(dst, a, b, c)| Op::MadWide { dst, a, b, c }),
+        (f32r(), float_operand(), float_operand()).prop_map(|(dst, a, b)| Op::Float {
+            op: FloatOp::Add,
+            dst,
+            a,
+            b
+        }),
+        (f32r(), float_operand(), float_operand(), float_operand())
+            .prop_map(|(dst, a, b, c)| Op::Fma { dst, a, b, c }),
+        (f32r(), float_operand()).prop_map(|(dst, a)| Op::Sqrt { dst, a }),
+        (cmp_op(), pred(), int_operand(), int_operand()).prop_map(|(cmp, dst, a, b)| Op::Setp {
+            cmp,
+            ty: IntTy::U32,
+            dst,
+            a,
+            b
+        }),
+        (cmp_op(), pred(), float_operand(), float_operand())
+            .prop_map(|(cmp, dst, a, b)| Op::SetpF { cmp, dst, a, b }),
+        (r32(), int_operand(), int_operand(), pred())
+            .prop_map(|(dst, a, b, p)| Op::Selp { dst, a, b, p }),
+        (f32r(), r64(), -64i64..64).prop_map(|(dst, base, offset)| Op::Ld {
+            space: MemSpace::Global,
+            ty: MemTy::F32,
+            dst,
+            addr: Addr { base, offset: offset * 4 },
+        }),
+        (float_operand(), r64(), -64i64..64).prop_map(|(src, base, offset)| Op::St {
+            space: MemSpace::Global,
+            ty: MemTy::F32,
+            src,
+            addr: Addr { base, offset: offset * 4 },
+        }),
+        (r32(), r32()).prop_map(|(dst, base)| Op::Ld {
+            space: MemSpace::Shared,
+            ty: MemTy::U32,
+            dst,
+            addr: Addr { base, offset: 0 },
+        }),
+        (r64(), 0..nparams.max(1)).prop_map(|(dst, param)| Op::LdParam { dst, param }),
+        (0..body_len).prop_map(|target| Op::Bra { target }),
+        Just(Op::Bar),
+    ]
+}
+
+fn kernel_strategy() -> impl Strategy<Value = Kernel> {
+    (1usize..4, 1usize..40).prop_flat_map(|(nparams, body_len)| {
+        let ops = prop::collection::vec(
+            (
+                op_strategy(nparams as u16, body_len),
+                prop::option::of((reg_strategy(RegClass::Pred), any::<bool>())),
+            ),
+            body_len,
+        );
+        ops.prop_map(move |ops| {
+            let mut body: Vec<Inst> = ops
+                .into_iter()
+                .map(|(op, guard)| Inst {
+                    guard: guard.map(|(pred, negated)| Guard { pred, negated }),
+                    op,
+                })
+                .collect();
+            body.push(Inst::new(Op::Ret));
+            Kernel {
+                name: "prop".into(),
+                params: (0..nparams)
+                    .map(|i| Param {
+                        name: format!("p{i}"),
+                        ty: ParamTy::U64,
+                    })
+                    .collect(),
+                body,
+                shared_bytes: 256,
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn print_then_parse_is_identity(kernel in kernel_strategy()) {
+        let text = kernel.to_string();
+        let reparsed = parse_kernel(&text)
+            .unwrap_or_else(|e| panic!("printed kernel failed to parse: {e}\n{text}"));
+        prop_assert_eq!(kernel, reparsed);
+    }
+}

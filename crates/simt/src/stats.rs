@@ -1,0 +1,123 @@
+//! Statistics helpers shared by the evaluation harnesses: box-plot
+//! summaries (Fig. 11), geometric means (Fig. 9/14), and speedup math.
+
+/// Five-number box-plot summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary of `values`. Returns `None` when empty.
+    ///
+    /// Quartiles use linear interpolation between closest ranks (the same
+    /// convention as NumPy's default percentile).
+    pub fn compute(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in box-plot input"));
+        Some(BoxStats {
+            min: v[0],
+            q1: percentile(&v, 25.0),
+            median: percentile(&v, 50.0),
+            q3: percentile(&v, 75.0),
+            max: v[v.len() - 1],
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Geometric mean; the paper reports geomean speedups.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive or the slice is empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Speedup of `variant` over `baseline` (in execution cycles).
+pub fn speedup(baseline_cycles: u64, variant_cycles: u64) -> f64 {
+    baseline_cycles as f64 / variant_cycles.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_known_data() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxStats::compute(&v).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.max, 5.0);
+        assert!(BoxStats::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert_eq!(speedup(200, 100), 2.0);
+        assert_eq!(speedup(100, 200), 0.5);
+        assert_eq!(speedup(5, 0), 5.0); // clamped divisor
+    }
+}

@@ -1,0 +1,375 @@
+//! Warp-level SM timing model with greedy-then-oldest (GTO) scheduling.
+//!
+//! Replays the dynamic warp traces produced by `bm_ptx::trace` on one SM:
+//! each cycle up to `issue_width` ready warps issue one instruction; a
+//! global-memory instruction serializes its coalesced transactions through
+//! the SM's DRAM-bandwidth share and stalls the warp for the round-trip
+//! latency; barriers synchronize the warps of a block.
+//!
+//! The engine's purpose is to derive realistic *thread-block durations* and
+//! memory-request counts for the TB-granularity discrete-event simulator:
+//! one timing run per kernel launch, with the kernel's occupancy worth of
+//! co-resident blocks.
+
+use crate::config::GpuConfig;
+use bm_ptx::trace::{TbTrace, TraceEv, WarpTrace};
+
+/// Result of simulating one SM's worth of thread blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmTiming {
+    /// Completion cycle of each simulated thread block.
+    pub tb_finish: Vec<u64>,
+    /// Cycle when the last block finished.
+    pub makespan: u64,
+    /// Total warp-instructions issued.
+    pub issued: u64,
+    /// Total memory transactions serviced.
+    pub transactions: u64,
+}
+
+impl SmTiming {
+    /// Duration to bill one resident thread block in the DES: with `n`
+    /// blocks co-resident finishing at `makespan`, each block effectively
+    /// occupies its slot for the makespan.
+    pub fn per_tb_duration(&self) -> u64 {
+        self.makespan.max(1)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WarpState {
+    Ready,
+    /// Stalled on memory until the given cycle.
+    WaitMem(u64),
+    /// Parked at a barrier.
+    AtBarrier,
+    Done,
+}
+
+struct Warp<'a> {
+    trace: &'a WarpTrace,
+    ev: usize,
+    /// Remaining instructions in the current compute burst.
+    burst: u32,
+    state: WarpState,
+    tb: usize,
+}
+
+/// Simulates `traces` (one per co-resident thread block) on a single SM.
+///
+/// All blocks start at cycle 0; the returned [`SmTiming`] gives per-block
+/// completion times under GTO issue and bandwidth/latency constraints.
+pub fn simulate_sm(cfg: &GpuConfig, traces: &[&TbTrace]) -> SmTiming {
+    let mut warps: Vec<Warp> = Vec::new();
+    let mut tb_warp_ranges = Vec::new();
+    for (tb, t) in traces.iter().enumerate() {
+        let start = warps.len();
+        for w in &t.warps {
+            warps.push(Warp {
+                trace: w,
+                ev: 0,
+                burst: 0,
+                state: if w.events.is_empty() {
+                    WarpState::Done
+                } else {
+                    WarpState::Ready
+                },
+                tb,
+            });
+        }
+        tb_warp_ranges.push(start..warps.len());
+    }
+    let n_warps = warps.len();
+    let mut tb_finish = vec![0u64; traces.len()];
+    let mut live_warps: Vec<usize> = (0..n_warps)
+        .filter(|&w| warps[w].state != WarpState::Done)
+        .collect();
+    let mut cycle: u64 = 0;
+    let mut mem_port_free: u64 = 0;
+    let mut issued: u64 = 0;
+    let mut transactions: u64 = 0;
+    // GTO: per scheduler we keep issuing the same warp until it stalls,
+    // then fall back to the oldest ready warp. Warps are distributed
+    // round-robin over `issue_width` schedulers by index.
+    let nsched = cfg.issue_width as usize;
+    let mut greedy: Vec<Option<usize>> = vec![None; nsched];
+    while !live_warps.is_empty() {
+        // Wake memory-stalled warps.
+        let mut any_ready = false;
+        let mut next_wake = u64::MAX;
+        for &w in &live_warps {
+            match warps[w].state {
+                WarpState::WaitMem(t) => {
+                    if t <= cycle {
+                        warps[w].state = WarpState::Ready;
+                        any_ready = true;
+                    } else {
+                        next_wake = next_wake.min(t);
+                    }
+                }
+                WarpState::Ready => any_ready = true,
+                _ => {}
+            }
+        }
+        if !any_ready {
+            if next_wake == u64::MAX {
+                // Only barrier-parked warps remain live: release barriers
+                // where every live warp of the block is parked.
+                release_barriers(&mut warps, &tb_warp_ranges, &live_warps);
+                if !live_warps
+                    .iter()
+                    .any(|&w| warps[w].state == WarpState::Ready)
+                {
+                    // No progress possible; malformed trace. Bail out.
+                    break;
+                }
+                continue;
+            }
+            cycle = next_wake;
+            continue;
+        }
+        // Issue phase: each scheduler issues at most one instruction.
+        for s in 0..nsched {
+            // Greedy warp first.
+            let pick = match greedy[s] {
+                Some(w) if warps[w].state == WarpState::Ready => Some(w),
+                _ => live_warps
+                    .iter()
+                    .copied()
+                    .filter(|&w| w % nsched == s && warps[w].state == WarpState::Ready)
+                    .min(), // oldest = lowest index
+            };
+            let Some(w) = pick else {
+                greedy[s] = None;
+                continue;
+            };
+            greedy[s] = Some(w);
+            issue_one(
+                cfg,
+                &mut warps[w],
+                cycle,
+                &mut mem_port_free,
+                &mut issued,
+                &mut transactions,
+            );
+        }
+        // Barrier release check (cheap: only when someone is parked).
+        if live_warps
+            .iter()
+            .any(|&w| warps[w].state == WarpState::AtBarrier)
+        {
+            release_barriers(&mut warps, &tb_warp_ranges, &live_warps);
+        }
+        // Retire finished warps and record block completion.
+        live_warps.retain(|&w| {
+            if warps[w].state == WarpState::Done {
+                let tb = warps[w].tb;
+                tb_finish[tb] = tb_finish[tb].max(cycle + 1);
+                false
+            } else {
+                true
+            }
+        });
+        cycle += 1;
+    }
+    let makespan = tb_finish.iter().copied().max().unwrap_or(0);
+    SmTiming {
+        tb_finish,
+        makespan,
+        issued,
+        transactions,
+    }
+}
+
+fn issue_one(
+    cfg: &GpuConfig,
+    w: &mut Warp,
+    cycle: u64,
+    mem_port_free: &mut u64,
+    issued: &mut u64,
+    transactions: &mut u64,
+) {
+    if w.burst == 0 {
+        // Load the next event.
+        match w.trace.events.get(w.ev) {
+            None => {
+                w.state = WarpState::Done;
+                return;
+            }
+            Some(TraceEv::Compute(n)) => {
+                w.burst = *n;
+            }
+            Some(TraceEv::Mem { segments, .. }) => {
+                *issued += 1;
+                let start = (*mem_port_free).max(cycle);
+                let done = start + *segments as u64 * cfg.mem_cycles_per_txn;
+                *mem_port_free = done;
+                *transactions += *segments as u64;
+                w.state = WarpState::WaitMem(done + cfg.mem_latency);
+                w.ev += 1;
+                return;
+            }
+            Some(TraceEv::Bar) => {
+                *issued += 1;
+                w.state = WarpState::AtBarrier;
+                w.ev += 1;
+                return;
+            }
+        }
+    }
+    // Issue one compute instruction from the burst.
+    *issued += 1;
+    w.burst -= 1;
+    if w.burst == 0 {
+        w.ev += 1;
+        if w.ev >= w.trace.events.len() {
+            w.state = WarpState::Done;
+        }
+    }
+}
+
+fn release_barriers(
+    warps: &mut [Warp],
+    tb_ranges: &[std::ops::Range<usize>],
+    live: &[usize],
+) {
+    for range in tb_ranges {
+        let mut all_parked = true;
+        let mut any_parked = false;
+        for w in range.clone() {
+            match warps[w].state {
+                WarpState::AtBarrier => any_parked = true,
+                WarpState::Done => {}
+                _ => {
+                    if live.contains(&w) {
+                        all_parked = false;
+                    }
+                }
+            }
+        }
+        if any_parked && all_parked {
+            for w in range.clone() {
+                if warps[w].state == WarpState::AtBarrier {
+                    warps[w].state = WarpState::Ready;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_ptx::trace::WarpTrace;
+
+    fn tb_of(warps: Vec<Vec<TraceEv>>) -> TbTrace {
+        TbTrace {
+            warps: warps
+                .into_iter()
+                .map(|events| WarpTrace { events })
+                .collect(),
+            dyn_instrs: 0,
+            global_transactions: 0,
+            global_accesses: 0,
+        }
+    }
+
+    #[test]
+    fn single_warp_compute_takes_n_cycles() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let tb = tb_of(vec![vec![TraceEv::Compute(100)]]);
+        let t = simulate_sm(&cfg, &[&tb]);
+        assert_eq!(t.makespan, 100);
+        assert_eq!(t.issued, 100);
+    }
+
+    #[test]
+    fn memory_latency_dominates_single_warp() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let tb = tb_of(vec![vec![
+            TraceEv::Mem {
+                segments: 1,
+                store: false,
+            },
+            TraceEv::Compute(1),
+        ]]);
+        let t = simulate_sm(&cfg, &[&tb]);
+        // 1 txn (8 cycles) + 400 latency + 1 compute + retire.
+        assert!(t.makespan >= cfg.mem_latency);
+        assert_eq!(t.transactions, 1);
+    }
+
+    #[test]
+    fn many_warps_hide_memory_latency() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let mk = |n| {
+            tb_of(
+                (0..n)
+                    .map(|_| {
+                        vec![
+                            TraceEv::Mem {
+                                segments: 1,
+                                store: false,
+                            },
+                            TraceEv::Compute(50),
+                        ]
+                    })
+                    .collect(),
+            )
+        };
+        let one = simulate_sm(&cfg, &[&mk(1)]);
+        let many_tb = mk(16);
+        let many = simulate_sm(&cfg, &[&many_tb]);
+        // 16 warps' worth of work in much less than 16x the time.
+        assert!(many.makespan < one.makespan * 4);
+        assert_eq!(many.transactions, 16);
+    }
+
+    #[test]
+    fn bandwidth_serializes_transactions() {
+        let cfg = GpuConfig::titan_x_pascal();
+        // One warp issuing a 32-segment (fully uncoalesced) access.
+        let tb = tb_of(vec![vec![TraceEv::Mem {
+            segments: 32,
+            store: true,
+        }]]);
+        let t = simulate_sm(&cfg, &[&tb]);
+        assert_eq!(t.transactions, 32);
+        assert!(t.makespan >= 32 * cfg.mem_cycles_per_txn + cfg.mem_latency);
+    }
+
+    #[test]
+    fn barrier_joins_warps() {
+        let cfg = GpuConfig::titan_x_pascal();
+        // Warp 0 computes 10 then bars; warp 1 computes 200 then bars; both
+        // then compute 5 more. Total bounded below by the slow warp.
+        let tb = tb_of(vec![
+            vec![TraceEv::Compute(10), TraceEv::Bar, TraceEv::Compute(5)],
+            vec![TraceEv::Compute(200), TraceEv::Bar, TraceEv::Compute(5)],
+        ]);
+        let t = simulate_sm(&cfg, &[&tb]);
+        assert!(t.makespan >= 200 / cfg.issue_width as u64);
+        assert!(t.makespan < 400);
+    }
+
+    #[test]
+    fn co_resident_blocks_share_issue_bandwidth() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let tb = tb_of(vec![vec![TraceEv::Compute(1000)]; 4]);
+        let alone = simulate_sm(&cfg, &[&tb]);
+        let tbs: Vec<&TbTrace> = vec![&tb; 8];
+        let crowded = simulate_sm(&cfg, &tbs);
+        // 8 blocks x 4 warps = 32 warps on 4 schedulers: ~8x slower than
+        // 4 warps on 4 schedulers.
+        assert!(crowded.makespan > alone.makespan * 6);
+        assert_eq!(crowded.tb_finish.len(), 8);
+    }
+
+    #[test]
+    fn empty_trace_finishes_instantly() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let tb = tb_of(vec![]);
+        let t = simulate_sm(&cfg, &[&tb]);
+        assert_eq!(t.makespan, 0);
+    }
+}

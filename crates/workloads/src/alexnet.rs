@@ -1,0 +1,313 @@
+//! AlexNet (Tango): a 22-kernel CNN inference pipeline — five convolution
+//! stages with ReLU/pool/normalization layers followed by three
+//! fully-connected layers and a softmax. Convolutions and FC layers read
+//! entire input activations (fully-connected dependency, Table II pattern
+//! 1); ReLU/norm are 1-to-1 (pattern 3); pooling contracts 2-to-1
+//! (pattern 4/5 family).
+
+use crate::common::{blocks_for, elementwise_map, kernel, test_data, AppBuilder, Scale};
+use bm_cmdq::Application;
+use bm_ptx::kernel::{ArgValue, Kernel};
+use bm_ptx::mem::AllocInfo;
+use std::sync::Arc;
+
+/// 1-D multi-channel convolution: `out[co][p] = Σ_{ci,k} in[ci][clamp(p+k-f/2)] · w[co][ci][k]`.
+fn conv_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry conv(.param .u64 IN, .param .u64 W, .param .u64 OUT,
+                       .param .u32 hw, .param .u32 cin, .param .u32 cout, .param .u32 f)
+{
+  ld.param.u64 %rd1, [IN];
+  ld.param.u64 %rd2, [W];
+  ld.param.u64 %rd3, [OUT];
+  ld.param.u32 %r20, [hw];
+  ld.param.u32 %r21, [cin];
+  ld.param.u32 %r22, [cout];
+  ld.param.u32 %r23, [f];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+  mul.lo.u32 %r5, %r22, %r20;
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra $DONE;
+  div.u32 %r6, %r4, %r20;
+  rem.u32 %r7, %r4, %r20;
+  mul.lo.u32 %r8, %r21, %r23;
+  mul.lo.u32 %r9, %r6, %r8;
+  shr.u32 %r10, %r23, 1;
+  sub.u32 %r11, %r20, 1;
+  mov.u32 %r12, 0;
+  mov.f32 %f1, 0f00000000;
+$LOOP:
+  setp.ge.u32 %p2, %r12, %r8;
+  @%p2 bra $STORE;
+  div.u32 %r13, %r12, %r23;
+  rem.u32 %r14, %r12, %r23;
+  add.u32 %r15, %r7, %r14;
+  max.u32 %r15, %r15, %r10;
+  sub.u32 %r15, %r15, %r10;
+  min.u32 %r15, %r15, %r11;
+  mad.lo.u32 %r16, %r13, %r20, %r15;
+  mul.wide.u32 %rd4, %r16, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f2, [%rd5];
+  add.u32 %r17, %r9, %r12;
+  mul.wide.u32 %rd6, %r17, 4;
+  add.u64 %rd7, %rd2, %rd6;
+  ld.global.f32 %f3, [%rd7];
+  fma.rn.f32 %f1, %f2, %f3, %f1;
+  add.u32 %r12, %r12, 1;
+  bra $LOOP;
+$STORE:
+  mul.wide.u32 %rd8, %r4, 4;
+  add.u64 %rd9, %rd3, %rd8;
+  st.global.f32 [%rd9], %f1;
+$DONE:
+  ret;
+}"#,
+    )
+}
+
+/// 2:1 max pooling per channel: `out[c][q] = max(in[c][2q], in[c][2q+1])`.
+fn pool_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry pool(.param .u64 IN, .param .u64 OUT, .param .u32 hwo, .param .u32 c)
+{
+  ld.param.u64 %rd1, [IN];
+  ld.param.u64 %rd2, [OUT];
+  ld.param.u32 %r20, [hwo];
+  ld.param.u32 %r21, [c];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+  mul.lo.u32 %r5, %r21, %r20;
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra $DONE;
+  div.u32 %r6, %r4, %r20;
+  rem.u32 %r7, %r4, %r20;
+  shl.b32 %r8, %r20, 1;
+  mul.lo.u32 %r9, %r6, %r8;
+  shl.b32 %r10, %r7, 1;
+  add.u32 %r11, %r9, %r10;
+  mul.wide.u32 %rd3, %r11, 4;
+  add.u64 %rd4, %rd1, %rd3;
+  ld.global.f32 %f1, [%rd4];
+  ld.global.f32 %f2, [%rd4+4];
+  max.f32 %f3, %f1, %f2;
+  mul.wide.u32 %rd5, %r4, 4;
+  add.u64 %rd6, %rd2, %rd5;
+  st.global.f32 [%rd6], %f3;
+$DONE:
+  ret;
+}"#,
+    )
+}
+
+/// Pseudo-softmax over a small vector: thread 0 normalizes squared
+/// activations by their sum.
+fn softmax_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry softmax(.param .u64 IN, .param .u64 OUT, .param .u32 n)
+{
+  ld.param.u64 %rd1, [IN];
+  ld.param.u64 %rd2, [OUT];
+  ld.param.u32 %r20, [n];
+  mov.u32 %r3, %tid.x;
+  setp.ne.u32 %p1, %r3, 0;
+  @%p1 bra $DONE;
+  mov.u32 %r5, 0;
+  mov.f32 %f1, 0f33D6BF95;
+$SUM:
+  setp.ge.u32 %p2, %r5, %r20;
+  @%p2 bra $WRITE;
+  mul.wide.u32 %rd3, %r5, 4;
+  add.u64 %rd4, %rd1, %rd3;
+  ld.global.f32 %f2, [%rd4];
+  fma.rn.f32 %f1, %f2, %f2, %f1;
+  add.u32 %r5, %r5, 1;
+  bra $SUM;
+$WRITE:
+  mov.u32 %r5, 0;
+$WLOOP:
+  setp.ge.u32 %p3, %r5, %r20;
+  @%p3 bra $DONE;
+  mul.wide.u32 %rd5, %r5, 4;
+  add.u64 %rd6, %rd1, %rd5;
+  ld.global.f32 %f3, [%rd6];
+  mul.f32 %f4, %f3, %f3;
+  div.rn.f32 %f5, %f4, %f1;
+  add.u64 %rd7, %rd2, %rd5;
+  st.global.f32 [%rd7], %f5;
+  add.u32 %r5, %r5, 1;
+  bra $WLOOP;
+$DONE:
+  ret;
+}"#,
+    )
+}
+
+/// Layer dimensions, scaled for `Full`/`Small`.
+struct Dims {
+    hw0: u32,
+}
+
+/// Builds the 22-kernel AlexNet pipeline.
+pub fn build(scale: Scale) -> Application {
+    let dims = match scale {
+        Scale::Full => Dims { hw0: 512 },
+        Scale::Small => Dims { hw0: 64 },
+    };
+    let hw0 = dims.hw0;
+    let block = 256u32;
+    let mut b = AppBuilder::new("AlexNet");
+    let conv = conv_kernel();
+    let pool = pool_kernel();
+    let soft = softmax_kernel();
+    let relu = kernel(&elementwise_map("relu", "max.f32 %f2, %f1, 0f00000000;"));
+    let norm = kernel(&elementwise_map(
+        "lrn",
+        "fma.rn.f32 %f3, %f1, %f1, 0f3F800000;\n  div.rn.f32 %f2, %f1, %f3;",
+    ));
+    let input = b.alloc_f32(3 * hw0 as u64);
+    b.h2d(input, test_data(3 * hw0 as u64, 101));
+    let weight_seed = std::cell::Cell::new(200u64);
+    let w = |b: &mut AppBuilder, n: u64| -> AllocInfo {
+        weight_seed.set(weight_seed.get() + 1);
+        let a = b.alloc_f32(n);
+        b.h2d(a, test_data(n, weight_seed.get()));
+        a
+    };
+    // Helper closures for each layer kind; each returns its output buffer.
+    let launch_conv = |b: &mut AppBuilder, inp: AllocInfo, hw: u32, cin: u32, cout: u32, f: u32| {
+        let wts = w(b, cout as u64 * cin as u64 * f as u64);
+        let out = b.alloc_f32(cout as u64 * hw as u64);
+        b.launch(
+            &conv,
+            blocks_for(cout as u64 * hw as u64, block),
+            block,
+            vec![
+                ArgValue::Ptr(inp.base),
+                ArgValue::Ptr(wts.base),
+                ArgValue::Ptr(out.base),
+                ArgValue::U32(hw),
+                ArgValue::U32(cin),
+                ArgValue::U32(cout),
+                ArgValue::U32(f),
+            ],
+        );
+        out
+    };
+    let launch_relu = |b: &mut AppBuilder, k: &Arc<Kernel>, inp: AllocInfo, n: u64| {
+        let out = b.alloc_f32(n);
+        b.launch(
+            k,
+            blocks_for(n, block),
+            block,
+            vec![
+                ArgValue::Ptr(inp.base),
+                ArgValue::Ptr(out.base),
+                ArgValue::U32(n as u32),
+            ],
+        );
+        out
+    };
+    let launch_pool = |b: &mut AppBuilder, k: &Arc<Kernel>, inp: AllocInfo, hwo: u32, c: u32| {
+        let out = b.alloc_f32(c as u64 * hwo as u64);
+        b.launch(
+            k,
+            blocks_for(c as u64 * hwo as u64, block),
+            block,
+            vec![
+                ArgValue::Ptr(inp.base),
+                ArgValue::Ptr(out.base),
+                ArgValue::U32(hwo),
+                ArgValue::U32(c),
+            ],
+        );
+        out
+    };
+    // FC layers use the transposed layout (weights stored `[I × O]`) so a
+    // warp's lanes read consecutive weights — the coalesced formulation
+    // every GEMV library uses.
+    let fc_kernel = kernel(&crate::common::matvec_col_kernel("fc"));
+    let launch_fc = |b: &mut AppBuilder, inp: AllocInfo, i: u32, o: u32| {
+        let wts = w(b, o as u64 * i as u64);
+        let out = b.alloc_f32(o as u64);
+        b.launch(
+            &fc_kernel,
+            blocks_for(o as u64, block),
+            block,
+            vec![
+                ArgValue::Ptr(wts.base),
+                ArgValue::Ptr(inp.base),
+                ArgValue::Ptr(out.base),
+                ArgValue::U32(i),
+                ArgValue::U32(o),
+            ],
+        );
+        out
+    };
+    // conv1 -> relu -> pool -> norm
+    let c1 = launch_conv(&mut b, input, hw0, 3, 16, 5);
+    let r1 = launch_relu(&mut b, &relu, c1, 16 * hw0 as u64);
+    let p1 = launch_pool(&mut b, &pool, r1, hw0 / 2, 16);
+    let n1 = launch_relu(&mut b, &norm, p1, 16 * (hw0 / 2) as u64);
+    // conv2 -> relu -> pool -> norm
+    let c2 = launch_conv(&mut b, n1, hw0 / 2, 16, 32, 5);
+    let r2 = launch_relu(&mut b, &relu, c2, 32 * (hw0 / 2) as u64);
+    let p2 = launch_pool(&mut b, &pool, r2, hw0 / 4, 32);
+    let n2 = launch_relu(&mut b, &norm, p2, 32 * (hw0 / 4) as u64);
+    // conv3..conv5 with relus
+    let c3 = launch_conv(&mut b, n2, hw0 / 4, 32, 32, 3);
+    let r3 = launch_relu(&mut b, &relu, c3, 32 * (hw0 / 4) as u64);
+    let c4 = launch_conv(&mut b, r3, hw0 / 4, 32, 32, 3);
+    let r4 = launch_relu(&mut b, &relu, c4, 32 * (hw0 / 4) as u64);
+    let c5 = launch_conv(&mut b, r4, hw0 / 4, 32, 16, 3);
+    let r5 = launch_relu(&mut b, &relu, c5, 16 * (hw0 / 4) as u64);
+    let p5 = launch_pool(&mut b, &pool, r5, hw0 / 8, 16);
+    // fc6..fc8 with relus, then softmax
+    let flat = 16 * (hw0 / 8);
+    let f6 = launch_fc(&mut b, p5, flat, 512.min(flat));
+    let r6 = launch_relu(&mut b, &relu, f6, 512.min(flat) as u64);
+    let f7 = launch_fc(&mut b, r6, 512.min(flat), 128);
+    let r7 = launch_relu(&mut b, &relu, f7, 128);
+    let f8 = launch_fc(&mut b, r7, 128, 10);
+    let r8 = launch_relu(&mut b, &relu, f8, 10);
+    let out = b.alloc_f32(10);
+    b.launch(
+        &soft,
+        1,
+        32,
+        vec![
+            ArgValue::Ptr(r8.base),
+            ArgValue::Ptr(out.base),
+            ArgValue::U32(10),
+        ],
+    );
+    b.d2h(out);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_count_matches_table2() {
+        assert_eq!(build(Scale::Full).num_kernels(), 22);
+        assert_eq!(build(Scale::Small).num_kernels(), 22);
+    }
+
+    #[test]
+    fn pipeline_produces_a_distribution() {
+        let app = build(Scale::Small);
+        let mem = app.run_serialized().unwrap();
+        let out = app.space.allocs().last().copied().unwrap();
+        let v = mem.copy_to_host_f32(out.base, 10);
+        assert!(v.iter().all(|x| x.is_finite() && *x >= 0.0));
+        let sum: f32 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "pseudo-softmax sums to {sum}");
+    }
+}

@@ -1,0 +1,80 @@
+//! BICG (PolyBench): the BiCG sub-kernel of the BiCGStab linear solver.
+//! Two kernels, `q = A·p` and `s = Aᵀ·r`, which only *read* the shared
+//! matrix — they are data-independent (Table II pattern 7) and
+//! BlockMaestro runs them concurrently.
+
+use crate::common::{
+    blocks_for, kernel, matvec_col_kernel, matvec_row_kernel, test_data, AppBuilder, Scale,
+};
+use bm_cmdq::Application;
+use bm_ptx::kernel::ArgValue;
+
+/// Builds BICG at the given scale (`rows × cols` matrix).
+pub fn build(scale: Scale) -> Application {
+    let n: u32 = match scale {
+        Scale::Full => 1024,
+        Scale::Small => 32,
+    };
+    let block = 256u32;
+    let elems = (n as u64) * (n as u64);
+    let mut b = AppBuilder::new("BICG");
+    let a = b.alloc_f32(elems);
+    let p = b.alloc_f32(n as u64);
+    let r = b.alloc_f32(n as u64);
+    let q = b.alloc_f32(n as u64);
+    let s = b.alloc_f32(n as u64);
+    b.h2d(a, test_data(elems, 5));
+    b.h2d(p, test_data(n as u64, 6));
+    b.h2d(r, test_data(n as u64, 7));
+    let row = kernel(&matvec_row_kernel("bicg_q"));
+    let col = kernel(&matvec_col_kernel("bicg_s"));
+    let grid = blocks_for(n as u64, block);
+    b.launch(
+        &row,
+        grid,
+        block,
+        vec![
+            ArgValue::Ptr(a.base),
+            ArgValue::Ptr(p.base),
+            ArgValue::Ptr(q.base),
+            ArgValue::U32(n),
+            ArgValue::U32(n),
+        ],
+    );
+    b.launch(
+        &col,
+        grid,
+        block,
+        vec![
+            ArgValue::Ptr(a.base),
+            ArgValue::Ptr(r.base),
+            ArgValue::Ptr(s.base),
+            ArgValue::U32(n),
+            ArgValue::U32(n),
+        ],
+    );
+    b.d2h(q);
+    b.d2h(s);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_independent_kernels() {
+        let app = build(Scale::Small);
+        assert_eq!(app.num_kernels(), 2);
+        let mem = app.run_serialized().unwrap();
+        let n = 32usize;
+        let allocs = app.space.allocs();
+        let av = mem.copy_to_host_f32(allocs[0].base, n * n);
+        let pv = mem.copy_to_host_f32(allocs[1].base, n);
+        let qv = mem.copy_to_host_f32(allocs[3].base, n);
+        for i in [0usize, 15, 31] {
+            let want: f32 = (0..n).map(|j| av[i * n + j] * pv[j]).sum();
+            assert!((qv[i] - want).abs() < 1e-3);
+        }
+    }
+}

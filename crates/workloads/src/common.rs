@@ -1,0 +1,440 @@
+//! Shared helpers for constructing workload applications: an application
+//! builder over the command-queue API and common mini-PTX kernel sources.
+
+use bm_cmdq::{ApiCall, Application};
+use bm_ptx::kernel::{ArgValue, Dim3, Kernel, Launch};
+use bm_ptx::mem::{AddressSpace, AllocInfo};
+use bm_ptx::parser::parse_kernel;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Workload scale: `Full` matches the paper's kernel counts; `Small` keeps
+/// the same structure at sizes suitable for functional correctness tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale instance.
+    Full,
+    /// Reduced instance for fast functional testing.
+    Small,
+}
+
+/// Incremental builder for [`Application`]s.
+#[derive(Debug)]
+pub struct AppBuilder {
+    name: String,
+    space: AddressSpace,
+    calls: Vec<ApiCall>,
+    host_data: HashMap<bm_ptx::mem::AllocId, Vec<f32>>,
+}
+
+impl AppBuilder {
+    /// Starts a new application.
+    pub fn new(name: impl Into<String>) -> Self {
+        AppBuilder {
+            name: name.into(),
+            space: AddressSpace::new(),
+            calls: Vec::new(),
+            host_data: HashMap::new(),
+        }
+    }
+
+    /// `cudaMalloc` for `n` f32 elements; records the API call.
+    pub fn alloc_f32(&mut self, n: u64) -> AllocInfo {
+        let info = self.space.alloc(4 * n.max(1));
+        self.calls.push(ApiCall::Malloc { alloc: info.id });
+        info
+    }
+
+    /// Host-to-device copy of `data` into `alloc`.
+    pub fn h2d(&mut self, alloc: AllocInfo, data: Vec<f32>) {
+        self.calls.push(ApiCall::MemcpyH2D {
+            alloc: alloc.id,
+            bytes: 4 * data.len() as u64,
+        });
+        self.host_data.insert(alloc.id, data);
+    }
+
+    /// Device-to-host copy (typically the result readback).
+    pub fn d2h(&mut self, alloc: AllocInfo) {
+        self.calls.push(ApiCall::MemcpyD2H {
+            alloc: alloc.id,
+            bytes: alloc.size,
+        });
+    }
+
+    /// Kernel launch with a 1-D grid.
+    pub fn launch(
+        &mut self,
+        kernel: &Arc<Kernel>,
+        grid: u32,
+        block: u32,
+        args: Vec<ArgValue>,
+    ) {
+        self.calls.push(ApiCall::KernelLaunch(Launch::new(
+            kernel.clone(),
+            Dim3::x(grid.max(1)),
+            Dim3::x(block),
+            args,
+        )));
+    }
+
+    /// Finishes the application.
+    pub fn build(self) -> Application {
+        Application {
+            name: self.name,
+            space: self.space,
+            calls: self.calls,
+            host_data: self.host_data,
+        }
+    }
+}
+
+/// Parses a kernel source, panicking with the source on error (workload
+/// sources are static and must parse).
+pub fn kernel(src: &str) -> Arc<Kernel> {
+    match parse_kernel(src) {
+        Ok(k) => Arc::new(k),
+        Err(e) => panic!("workload kernel failed to parse: {e}\n{src}"),
+    }
+}
+
+/// Number of thread blocks covering `n` elements with `block` threads.
+pub fn blocks_for(n: u64, block: u32) -> u32 {
+    (n.div_ceil(block as u64)).max(1) as u32
+}
+
+/// The standard global-thread-id prologue: leaves `gid` in `%r4`
+/// (clobbers `%r1..%r4`).
+pub const GID: &str = "
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+";
+
+/// Elementwise binary kernel source: `C[gid] = A[gid] <op> B[gid]` with an
+/// `n` bound guard. `op` is a float mnemonic body using `%f1`, `%f2` into
+/// `%f3`, e.g. `"add.f32 %f3, %f1, %f2;"`.
+pub fn elementwise_binop(name: &str, op_line: &str) -> String {
+    format!(
+        r#".entry {name}(.param .u64 A, .param .u64 B, .param .u64 C, .param .u32 n)
+{{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [B];
+  ld.param.u64 %rd3, [C];
+  ld.param.u32 %r9, [n];
+{GID}
+  setp.ge.u32 %p1, %r4, %r9;
+  @%p1 bra $DONE;
+  mul.wide.u32 %rd4, %r4, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  add.u64 %rd6, %rd2, %rd4;
+  ld.global.f32 %f2, [%rd6];
+  {op_line}
+  add.u64 %rd7, %rd3, %rd4;
+  st.global.f32 [%rd7], %f3;
+$DONE:
+  ret;
+}}"#
+    )
+}
+
+/// Elementwise unary kernel: `B[gid] = f(A[gid])`, `f` filling `%f2` from
+/// `%f1` (e.g. relu: `"max.f32 %f2, %f1, 0f00000000;"`).
+pub fn elementwise_map(name: &str, op_line: &str) -> String {
+    format!(
+        r#".entry {name}(.param .u64 A, .param .u64 B, .param .u32 n)
+{{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [B];
+  ld.param.u32 %r9, [n];
+{GID}
+  setp.ge.u32 %p1, %r4, %r9;
+  @%p1 bra $DONE;
+  mul.wide.u32 %rd4, %r4, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  {op_line}
+  add.u64 %rd6, %rd2, %rd4;
+  st.global.f32 [%rd6], %f2;
+$DONE:
+  ret;
+}}"#
+    )
+}
+
+/// Dense matrix multiply `C[m×n] = A[m×k] · B[k×n]` (row-major), one
+/// thread per output element, k-loop per thread.
+pub fn matmul_kernel(name: &str) -> String {
+    format!(
+        r#".entry {name}(.param .u64 A, .param .u64 B, .param .u64 C,
+                         .param .u32 m, .param .u32 n, .param .u32 k)
+{{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [B];
+  ld.param.u64 %rd3, [C];
+  ld.param.u32 %r20, [m];
+  ld.param.u32 %r21, [n];
+  ld.param.u32 %r22, [k];
+{GID}
+  mul.lo.u32 %r23, %r20, %r21;
+  setp.ge.u32 %p1, %r4, %r23;
+  @%p1 bra $DONE;
+  div.u32 %r5, %r4, %r21;
+  rem.u32 %r6, %r4, %r21;
+  mul.lo.u32 %r7, %r5, %r22;
+  mov.u32 %r8, 0;
+  mov.f32 %f3, 0f00000000;
+$LOOP:
+  setp.ge.u32 %p2, %r8, %r22;
+  @%p2 bra $STORE;
+  add.u32 %r10, %r7, %r8;
+  mul.wide.u32 %rd4, %r10, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  mad.lo.u32 %r11, %r8, %r21, %r6;
+  mul.wide.u32 %rd6, %r11, 4;
+  add.u64 %rd7, %rd2, %rd6;
+  ld.global.f32 %f2, [%rd7];
+  fma.rn.f32 %f3, %f1, %f2, %f3;
+  add.u32 %r8, %r8, 1;
+  bra $LOOP;
+$STORE:
+  mul.wide.u32 %rd8, %r4, 4;
+  add.u64 %rd9, %rd3, %rd8;
+  st.global.f32 [%rd9], %f3;
+$DONE:
+  ret;
+}}"#
+    )
+}
+
+/// Matrix–vector product `y[row] = Σ_j A[row·n + j] · x[j]`, one thread
+/// per row, j-loop per thread.
+pub fn matvec_row_kernel(name: &str) -> String {
+    format!(
+        r#".entry {name}(.param .u64 A, .param .u64 X, .param .u64 Y,
+                         .param .u32 rows, .param .u32 n)
+{{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [X];
+  ld.param.u64 %rd3, [Y];
+  ld.param.u32 %r20, [rows];
+  ld.param.u32 %r21, [n];
+{GID}
+  setp.ge.u32 %p1, %r4, %r20;
+  @%p1 bra $DONE;
+  mul.lo.u32 %r7, %r4, %r21;
+  mov.u32 %r8, 0;
+  mov.f32 %f3, 0f00000000;
+$LOOP:
+  setp.ge.u32 %p2, %r8, %r21;
+  @%p2 bra $STORE;
+  add.u32 %r10, %r7, %r8;
+  mul.wide.u32 %rd4, %r10, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  mul.wide.u32 %rd6, %r8, 4;
+  add.u64 %rd7, %rd2, %rd6;
+  ld.global.f32 %f2, [%rd7];
+  fma.rn.f32 %f3, %f1, %f2, %f3;
+  add.u32 %r8, %r8, 1;
+  bra $LOOP;
+$STORE:
+  mul.wide.u32 %rd8, %r4, 4;
+  add.u64 %rd9, %rd3, %rd8;
+  st.global.f32 [%rd9], %f3;
+$DONE:
+  ret;
+}}"#
+    )
+}
+
+/// Transposed matrix–vector product `y[col] = Σ_i A[i·n + col] · x[i]`,
+/// one thread per column (strided reads).
+pub fn matvec_col_kernel(name: &str) -> String {
+    format!(
+        r#".entry {name}(.param .u64 A, .param .u64 X, .param .u64 Y,
+                         .param .u32 rows, .param .u32 n)
+{{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [X];
+  ld.param.u64 %rd3, [Y];
+  ld.param.u32 %r20, [rows];
+  ld.param.u32 %r21, [n];
+{GID}
+  setp.ge.u32 %p1, %r4, %r21;
+  @%p1 bra $DONE;
+  mov.u32 %r8, 0;
+  mov.f32 %f3, 0f00000000;
+$LOOP:
+  setp.ge.u32 %p2, %r8, %r20;
+  @%p2 bra $STORE;
+  mad.lo.u32 %r10, %r8, %r21, %r4;
+  mul.wide.u32 %rd4, %r10, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  mul.wide.u32 %rd6, %r8, 4;
+  add.u64 %rd7, %rd2, %rd6;
+  ld.global.f32 %f2, [%rd7];
+  fma.rn.f32 %f3, %f1, %f2, %f3;
+  add.u32 %r8, %r8, 1;
+  bra $LOOP;
+$STORE:
+  mul.wide.u32 %rd8, %r4, 4;
+  add.u64 %rd9, %rd3, %rd8;
+  st.global.f32 [%rd9], %f3;
+$DONE:
+  ret;
+}}"#
+    )
+}
+
+/// Deterministic pseudo-random f32 data in `[0, 1)` for host buffers.
+pub fn test_data(n: u64, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) & 0xFFFF) as f32 / 65536.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_ptx::interp::execute_launch;
+    use bm_ptx::mem::GlobalMem;
+
+    #[test]
+    fn matmul_kernel_computes_product() {
+        let k = kernel(&matmul_kernel("mm"));
+        let mut sp = AddressSpace::new();
+        let (m, n, kk) = (4u32, 3u32, 5u32);
+        let a = sp.alloc(4 * (m * kk) as u64);
+        let b = sp.alloc(4 * (kk * n) as u64);
+        let c = sp.alloc(4 * (m * n) as u64);
+        let mut mem = GlobalMem::for_space(&sp);
+        let av: Vec<f32> = (0..m * kk).map(|i| (i % 7) as f32).collect();
+        let bv: Vec<f32> = (0..kk * n).map(|i| (i % 5) as f32).collect();
+        mem.copy_from_host_f32(a.base, &av);
+        mem.copy_from_host_f32(b.base, &bv);
+        let launch = Launch::new(
+            k,
+            Dim3::x(1),
+            Dim3::x(32),
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(b.base),
+                ArgValue::Ptr(c.base),
+                ArgValue::U32(m),
+                ArgValue::U32(n),
+                ArgValue::U32(kk),
+            ],
+        );
+        execute_launch(&launch, &mut mem).unwrap();
+        let cv = mem.copy_to_host_f32(c.base, (m * n) as usize);
+        for row in 0..m {
+            for col in 0..n {
+                let mut acc = 0.0f32;
+                for x in 0..kk {
+                    acc += av[(row * kk + x) as usize] * bv[(x * n + col) as usize];
+                }
+                assert_eq!(cv[(row * n + col) as usize], acc, "({row},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_row_and_col_agree_with_reference() {
+        let kr = kernel(&matvec_row_kernel("mvr"));
+        let kc = kernel(&matvec_col_kernel("mvc"));
+        let (rows, n) = (6u32, 4u32);
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(4 * (rows * n) as u64);
+        let x = sp.alloc(4 * n.max(rows) as u64);
+        let y1 = sp.alloc(4 * rows as u64);
+        let y2 = sp.alloc(4 * n as u64);
+        let mut mem = GlobalMem::for_space(&sp);
+        let av = test_data((rows * n) as u64, 1);
+        let xv = test_data(n.max(rows) as u64, 2);
+        mem.copy_from_host_f32(a.base, &av);
+        mem.copy_from_host_f32(x.base, &xv);
+        let l1 = Launch::new(
+            kr,
+            Dim3::x(1),
+            Dim3::x(32),
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(x.base),
+                ArgValue::Ptr(y1.base),
+                ArgValue::U32(rows),
+                ArgValue::U32(n),
+            ],
+        );
+        let l2 = Launch::new(
+            kc,
+            Dim3::x(1),
+            Dim3::x(32),
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(x.base),
+                ArgValue::Ptr(y2.base),
+                ArgValue::U32(rows),
+                ArgValue::U32(n),
+            ],
+        );
+        execute_launch(&l1, &mut mem).unwrap();
+        execute_launch(&l2, &mut mem).unwrap();
+        let y1v = mem.copy_to_host_f32(y1.base, rows as usize);
+        let y2v = mem.copy_to_host_f32(y2.base, n as usize);
+        for r in 0..rows as usize {
+            let want: f32 = (0..n as usize).map(|j| av[r * n as usize + j] * xv[j]).sum();
+            assert!((y1v[r] - want).abs() < 1e-4);
+        }
+        for c in 0..n as usize {
+            let want: f32 = (0..rows as usize)
+                .map(|i| av[i * n as usize + c] * xv[i])
+                .sum();
+            assert!((y2v[c] - want).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn builder_assembles_calls_in_order() {
+        let mut b = AppBuilder::new("t");
+        let a = b.alloc_f32(16);
+        b.h2d(a, vec![1.0; 16]);
+        let k = kernel(&elementwise_map("relu", "max.f32 %f2, %f1, 0f00000000;"));
+        let out = b.alloc_f32(16);
+        b.launch(
+            &k,
+            1,
+            32,
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(out.base),
+                ArgValue::U32(16),
+            ],
+        );
+        b.d2h(out);
+        let app = b.build();
+        assert_eq!(app.calls.len(), 5);
+        assert_eq!(app.num_kernels(), 1);
+        let mem = app.run_serialized().unwrap();
+        assert_eq!(mem.read_f32(out.base), 1.0);
+    }
+
+    #[test]
+    fn test_data_is_deterministic_and_bounded() {
+        let a = test_data(100, 7);
+        let b = test_data(100, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (0.0..1.0).contains(v)));
+        assert_ne!(test_data(100, 8), a);
+    }
+}

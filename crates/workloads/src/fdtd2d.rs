@@ -1,0 +1,196 @@
+//! FDTD-2D (PolyBench): 2-D finite-difference time-domain electromagnetic
+//! solver. Each time step launches three kernels updating the `ey`, `ex`,
+//! and `hz` fields. The `ey` and `ex` updates are mutually independent
+//! (pattern 7); `hz` aggregates both fields (pattern 5/6 style halo
+//! dependencies).
+
+use crate::common::{kernel, test_data, AppBuilder, Scale};
+use bm_cmdq::Application;
+use bm_ptx::kernel::{ArgValue, Kernel};
+use std::sync::Arc;
+
+/// Row-band field-update kernel builder. The block owns `R` rows of a
+/// `H × W` grid with one thread per column (`W` = blockDim.x).
+///
+/// `body` computes `%f9` (the new field value) from:
+/// `%f1` = fld[i][j], `%f2` = aux[i][j], `%f3` = aux[i-1][j] (clamped),
+/// `%f4` = aux[i][j-1] (clamped), `%f5` = aux2[i+1][j] (clamped),
+/// `%f6` = aux2[i][j+1] (clamped).
+fn field_kernel(name: &str, body: &str) -> Arc<Kernel> {
+    kernel(&format!(
+        r#".entry {name}(.param .u64 FLD, .param .u64 AUX, .param .u64 AUX2,
+                         .param .u32 h, .param .u32 r, .param .f32 fict)
+{{
+  ld.param.u64 %rd1, [FLD];
+  ld.param.u64 %rd2, [AUX];
+  ld.param.u64 %rd3, [AUX2];
+  ld.param.u32 %r20, [h];
+  ld.param.u32 %r21, [r];
+  ld.param.f32 %f20, [fict];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mul.lo.u32 %r5, %r1, %r21;
+  mov.u32 %r6, 0;
+$ROW:
+  setp.ge.u32 %p1, %r6, %r21;
+  @%p1 bra $END;
+  add.u32 %r7, %r5, %r6;
+  setp.ge.u32 %p2, %r7, %r20;
+  @%p2 bra $NEXT;
+  // idx = i*W + j ; clamped neighbours.
+  mad.lo.u32 %r8, %r7, %r2, %r3;
+  max.u32 %r9, %r7, 1;
+  sub.u32 %r9, %r9, 1;
+  mad.lo.u32 %r10, %r9, %r2, %r3;
+  max.u32 %r11, %r3, 1;
+  sub.u32 %r11, %r11, 1;
+  mad.lo.u32 %r12, %r7, %r2, %r11;
+  add.u32 %r13, %r7, 1;
+  sub.u32 %r14, %r20, 1;
+  min.u32 %r13, %r13, %r14;
+  mad.lo.u32 %r15, %r13, %r2, %r3;
+  add.u32 %r16, %r3, 1;
+  sub.u32 %r17, %r2, 1;
+  min.u32 %r16, %r16, %r17;
+  mad.lo.u32 %r18, %r7, %r2, %r16;
+  mul.wide.u32 %rd4, %r8, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  add.u64 %rd6, %rd2, %rd4;
+  ld.global.f32 %f2, [%rd6];
+  mul.wide.u32 %rd7, %r10, 4;
+  add.u64 %rd8, %rd2, %rd7;
+  ld.global.f32 %f3, [%rd8];
+  mul.wide.u32 %rd9, %r12, 4;
+  add.u64 %rd10, %rd2, %rd9;
+  ld.global.f32 %f4, [%rd10];
+  mul.wide.u32 %rd11, %r15, 4;
+  add.u64 %rd12, %rd3, %rd11;
+  ld.global.f32 %f5, [%rd12];
+  mul.wide.u32 %rd13, %r18, 4;
+  add.u64 %rd14, %rd3, %rd13;
+  ld.global.f32 %f6, [%rd14];
+{body}
+  st.global.f32 [%rd5], %f9;
+$NEXT:
+  add.u32 %r6, %r6, 1;
+  bra $ROW;
+$END:
+  ret;
+}}"#
+    ))
+}
+
+/// Builds FDTD-2D: `iters` steps × 3 field kernels.
+pub fn build(scale: Scale) -> Application {
+    let (h, w, rows_per_tb, iters) = match scale {
+        // 256 row-band TBs per kernel (multi-wave at 256 threads/block).
+        Scale::Full => (512u32, 256u32, 2u32, 8usize),
+        Scale::Small => (32, 64, 4, 3),
+    };
+    let elems = (h as u64) * (w as u64);
+    let mut b = AppBuilder::new("FDTD-2D");
+    let ex = b.alloc_f32(elems);
+    let ey = b.alloc_f32(elems);
+    let hz = b.alloc_f32(elems);
+    b.h2d(ex, test_data(elems, 51));
+    b.h2d(ey, test_data(elems, 52));
+    b.h2d(hz, test_data(elems, 53));
+    // ey[i][j] -= 0.5*(hz[i][j] - hz[i-1][j]); source row folds fict in.
+    let key = field_kernel(
+        "fdtd_ey",
+        "  sub.f32 %f7, %f2, %f3;\n  fma.rn.f32 %f8, %f7, 0fBF000000, %f1;\n  add.f32 %f9, %f8, %f20;",
+    );
+    // ex[i][j] -= 0.5*(hz[i][j] - hz[i][j-1]).
+    let kex = field_kernel(
+        "fdtd_ex",
+        "  sub.f32 %f7, %f2, %f4;\n  fma.rn.f32 %f8, %f7, 0fBF000000, %f1;\n  mov.f32 %f9, %f8;",
+    );
+    // hz[i][j] -= 0.7*(ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]).
+    let khz = field_kernel(
+        "fdtd_hz",
+        "  sub.f32 %f7, %f6, %f2;\n  sub.f32 %f8, %f5, %f4;\n  add.f32 %f10, %f7, %f8;\n  fma.rn.f32 %f9, %f10, 0fBF333333, %f1;",
+    );
+    let grid = h.div_ceil(rows_per_tb);
+    for t in 0..iters {
+        let fict = t as f32 * 0.01;
+        // ey update reads hz (aux) only.
+        b.launch(
+            &key,
+            grid,
+            w,
+            vec![
+                ArgValue::Ptr(ey.base),
+                ArgValue::Ptr(hz.base),
+                ArgValue::Ptr(hz.base),
+                ArgValue::U32(h),
+                ArgValue::U32(rows_per_tb),
+                ArgValue::F32(fict),
+            ],
+        );
+        // ex update reads hz only.
+        b.launch(
+            &kex,
+            grid,
+            w,
+            vec![
+                ArgValue::Ptr(ex.base),
+                ArgValue::Ptr(hz.base),
+                ArgValue::Ptr(hz.base),
+                ArgValue::U32(h),
+                ArgValue::U32(rows_per_tb),
+                ArgValue::F32(0.0),
+            ],
+        );
+        // hz update reads ex (aux: center + j-1) and pairs (i+1 / j+1)
+        // from ey and ex via aux2; pass aux = ex, aux2 = ey.
+        b.launch(
+            &khz,
+            grid,
+            w,
+            vec![
+                ArgValue::Ptr(hz.base),
+                ArgValue::Ptr(ex.base),
+                ArgValue::Ptr(ey.base),
+                ArgValue::U32(h),
+                ArgValue::U32(rows_per_tb),
+                ArgValue::F32(0.0),
+            ],
+        );
+    }
+    b.d2h(hz);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_count_matches_table2() {
+        assert_eq!(build(Scale::Full).num_kernels(), 24);
+    }
+
+    #[test]
+    fn fields_stay_finite() {
+        let app = build(Scale::Small);
+        let mem = app.run_serialized().unwrap();
+        let hz = app.space.allocs()[2];
+        let v = mem.copy_to_host_f32(hz.base, 32 * 64);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn ey_and_ex_are_independent_wrt_writes() {
+        use bm_depgraph::{build_graph, HazardMode};
+        use bm_ptx::absint::analyze_launch;
+        let app = build(Scale::Small);
+        let l = app.launches();
+        let ey = analyze_launch(l[0]);
+        let ex = analyze_launch(l[1]);
+        assert!(!ey.non_static && !ex.non_static);
+        let g = build_graph(&ey, &ex, HazardMode::Raw);
+        assert!(g.is_independent(), "ey->ex should carry no RAW edges");
+    }
+}

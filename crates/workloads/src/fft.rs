@@ -1,0 +1,143 @@
+//! FFT (SHOC): batched transform built from Stockham-style butterfly
+//! stages, one kernel per stage, ping-ponging between two buffers. Within
+//! a batch, stage `s+1` reads what stage `s` wrote (group patterns 3/5);
+//! the first stage of each batch is independent of the previous batch's
+//! last stage (pattern 7) because batches use disjoint signal slices.
+//!
+//! The butterfly uses the Haar pair `(a+b, a-b)` — the same data movement
+//! as a radix-2 FFT stage without complex twiddles, which is what the
+//! dependency analysis and timing care about.
+
+use crate::common::{blocks_for, kernel, test_data, AppBuilder, Scale};
+use bm_cmdq::Application;
+use bm_ptx::kernel::{ArgValue, Kernel};
+use std::sync::Arc;
+
+/// One Stockham butterfly stage over `n` elements: thread `t` (of `n/2`)
+/// reads `in[2t]`, `in[2t+1]` and writes `out[t]`, `out[t + n/2]`.
+fn stage_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry fft_stage(.param .u64 IN, .param .u64 OUT, .param .u32 half)
+{
+  ld.param.u64 %rd1, [IN];
+  ld.param.u64 %rd2, [OUT];
+  ld.param.u32 %r20, [half];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+  setp.ge.u32 %p1, %r4, %r20;
+  @%p1 bra $DONE;
+  shl.b32 %r5, %r4, 1;
+  mul.wide.u32 %rd3, %r5, 4;
+  add.u64 %rd4, %rd1, %rd3;
+  ld.global.f32 %f1, [%rd4];
+  ld.global.f32 %f2, [%rd4+4];
+  add.f32 %f3, %f1, %f2;
+  sub.f32 %f4, %f1, %f2;
+  mul.wide.u32 %rd5, %r4, 4;
+  add.u64 %rd6, %rd2, %rd5;
+  st.global.f32 [%rd6], %f3;
+  add.u32 %r6, %r4, %r20;
+  mul.wide.u32 %rd7, %r6, 4;
+  add.u64 %rd8, %rd2, %rd7;
+  st.global.f32 [%rd8], %f4;
+$DONE:
+  ret;
+}"#,
+    )
+}
+
+/// Builds the FFT workload: `batches` independent transforms of `n`
+/// points, `log2(n)` stage kernels each.
+pub fn build(scale: Scale) -> Application {
+    let (n, batches) = match scale {
+        Scale::Full => (4_096u64, 5usize), // 5 x 12 stages = 60 kernels
+        Scale::Small => (256, 2),          // 2 x 8 = 16 kernels
+    };
+    let stages = n.trailing_zeros() as usize;
+    let block = 256u32;
+    let mut b = AppBuilder::new("FFT");
+    let x = b.alloc_f32(n * batches as u64);
+    let y = b.alloc_f32(n * batches as u64);
+    b.h2d(x, test_data(n * batches as u64, 61));
+    let k = stage_kernel();
+    for batch in 0..batches {
+        let off = 4 * n * batch as u64;
+        let mut bufs = [x.base + off, y.base + off];
+        for _ in 0..stages {
+            b.launch(
+                &k,
+                blocks_for(n / 2, block),
+                block,
+                vec![
+                    ArgValue::Ptr(bufs[0]),
+                    ArgValue::Ptr(bufs[1]),
+                    ArgValue::U32((n / 2) as u32),
+                ],
+            );
+            bufs.swap(0, 1);
+        }
+    }
+    let result = if stages % 2 == 0 { x } else { y };
+    b.d2h(result);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_count_matches_table2() {
+        assert_eq!(build(Scale::Full).num_kernels(), 60);
+    }
+
+    #[test]
+    fn haar_cascade_matches_host_reference() {
+        let app = build(Scale::Small);
+        let mem = app.run_serialized().unwrap();
+        let n = 256usize;
+        let input = test_data((n * 2) as u64, 61);
+        // Host model of one batch.
+        let host_stage = |x: &[f32]| -> Vec<f32> {
+            let h = x.len() / 2;
+            let mut out = vec![0.0f32; x.len()];
+            for t in 0..h {
+                out[t] = x[2 * t] + x[2 * t + 1];
+                out[t + h] = x[2 * t] - x[2 * t + 1];
+            }
+            out
+        };
+        let mut cur = input[..n].to_vec();
+        for _ in 0..8 {
+            cur = host_stage(&cur);
+        }
+        let result_alloc = app.space.allocs()[0]; // 8 stages: ends in x
+        let got = mem.copy_to_host_f32(result_alloc.base, n);
+        for i in [0usize, 1, 100, n - 1] {
+            assert!((got[i] - cur[i]).abs() < 1e-2, "i={i}: {} vs {}", got[i], cur[i]);
+        }
+    }
+
+    #[test]
+    fn batches_are_independent() {
+        use bm_depgraph::{build_graph, HazardMode};
+        use bm_ptx::absint::analyze_launch;
+        let app = build(Scale::Small);
+        let l = app.launches();
+        // Last stage of batch 0 (index 7) vs first of batch 1 (index 8).
+        let a = analyze_launch(l[7]);
+        let b2 = analyze_launch(l[8]);
+        let g = build_graph(&a, &b2, HazardMode::Raw);
+        assert!(g.is_independent());
+        // Consecutive stages inside a batch do depend.
+        let c = analyze_launch(l[1]);
+        let g2 = build_graph(&a, &c, HazardMode::Raw);
+        let _ = g2; // stages 7->1 unrelated order; check 0->1 instead
+        let s0 = analyze_launch(l[0]);
+        let s1 = analyze_launch(l[1]);
+        let g3 = build_graph(&s0, &s1, HazardMode::Raw);
+        assert!(!g3.is_independent());
+    }
+}

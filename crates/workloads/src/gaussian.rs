@@ -1,0 +1,189 @@
+//! GAUSSIAN (Rodinia): Gaussian elimination. Every pivot step launches two
+//! small, fast kernels — Fan1 computes the column of multipliers, Fan2
+//! applies the row updates — so an `n × n` system launches `2(n-1)`
+//! kernels and the launch overhead dominates (the paper's biggest
+//! pre-launching win). Patterns: Fan1→Fan2 is 1-to-n, Fan2→Fan1 n-to-1
+//! (Table II patterns 4, 5).
+
+use crate::common::{blocks_for, kernel, test_data, AppBuilder, Scale};
+use bm_cmdq::Application;
+use bm_ptx::kernel::{ArgValue, Kernel};
+use std::sync::Arc;
+
+/// Fan1: `m[i] = A[i][t] / A[t][t]` for `i in t+1..n`.
+fn fan1_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry fan1(.param .u64 A, .param .u64 M, .param .u32 n, .param .u32 t)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [M];
+  ld.param.u32 %r20, [n];
+  ld.param.u32 %r21, [t];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+  sub.u32 %r5, %r20, %r21;
+  sub.u32 %r5, %r5, 1;
+  setp.ge.u32 %p1, %r4, %r5;
+  @%p1 bra $DONE;
+  add.u32 %r6, %r4, %r21;
+  add.u32 %r6, %r6, 1;
+  mad.lo.u32 %r7, %r6, %r20, %r21;
+  mul.wide.u32 %rd3, %r7, 4;
+  add.u64 %rd4, %rd1, %rd3;
+  ld.global.f32 %f1, [%rd4];
+  mad.lo.u32 %r8, %r21, %r20, %r21;
+  mul.wide.u32 %rd5, %r8, 4;
+  add.u64 %rd6, %rd1, %rd5;
+  ld.global.f32 %f2, [%rd6];
+  div.rn.f32 %f3, %f1, %f2;
+  mul.wide.u32 %rd7, %r6, 4;
+  add.u64 %rd8, %rd2, %rd7;
+  st.global.f32 [%rd8], %f3;
+$DONE:
+  ret;
+}"#,
+    )
+}
+
+/// Fan2: `A[i][j] -= m[i] · A[t][j]` for `i in t+1..n`, all `j`;
+/// additionally `B[i] -= m[i] · B[t]` on the `j == 0` lane.
+fn fan2_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry fan2(.param .u64 A, .param .u64 B, .param .u64 M,
+                       .param .u32 n, .param .u32 t)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [B];
+  ld.param.u64 %rd3, [M];
+  ld.param.u32 %r20, [n];
+  ld.param.u32 %r21, [t];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+  sub.u32 %r5, %r20, %r21;
+  sub.u32 %r5, %r5, 1;
+  mul.lo.u32 %r6, %r5, %r20;
+  setp.ge.u32 %p1, %r4, %r6;
+  @%p1 bra $DONE;
+  div.u32 %r7, %r4, %r20;
+  rem.u32 %r8, %r4, %r20;
+  add.u32 %r9, %r7, %r21;
+  add.u32 %r9, %r9, 1;
+  mul.wide.u32 %rd4, %r9, 4;
+  add.u64 %rd5, %rd3, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  mad.lo.u32 %r10, %r21, %r20, %r8;
+  mul.wide.u32 %rd6, %r10, 4;
+  add.u64 %rd7, %rd1, %rd6;
+  ld.global.f32 %f2, [%rd7];
+  mad.lo.u32 %r11, %r9, %r20, %r8;
+  mul.wide.u32 %rd8, %r11, 4;
+  add.u64 %rd9, %rd1, %rd8;
+  ld.global.f32 %f3, [%rd9];
+  mul.f32 %f4, %f1, %f2;
+  sub.f32 %f5, %f3, %f4;
+  st.global.f32 [%rd9], %f5;
+  setp.ne.u32 %p2, %r8, 0;
+  @%p2 bra $DONE;
+  mul.wide.u32 %rd10, %r21, 4;
+  add.u64 %rd11, %rd2, %rd10;
+  ld.global.f32 %f6, [%rd11];
+  mul.wide.u32 %rd12, %r9, 4;
+  add.u64 %rd13, %rd2, %rd12;
+  ld.global.f32 %f7, [%rd13];
+  mul.f32 %f8, %f1, %f6;
+  sub.f32 %f9, %f7, %f8;
+  st.global.f32 [%rd13], %f9;
+$DONE:
+  ret;
+}"#,
+    )
+}
+
+/// Builds GAUSSIAN for an `n × n` system: `2(n-1)` kernels.
+pub fn build(scale: Scale) -> Application {
+    let n: u32 = match scale {
+        Scale::Full => 256, // 510 kernels
+        Scale::Small => 16, // 30 kernels
+    };
+    let block = 256u32;
+    let elems = (n as u64) * (n as u64);
+    let mut b = AppBuilder::new("GAUSSIAN");
+    let a = b.alloc_f32(elems);
+    let bv = b.alloc_f32(n as u64);
+    let m = b.alloc_f32(n as u64);
+    // Diagonally-dominant matrix keeps the elimination well-conditioned.
+    let mut data = test_data(elems, 71);
+    for i in 0..n as usize {
+        data[i * n as usize + i] += n as f32;
+    }
+    b.h2d(a, data);
+    b.h2d(bv, test_data(n as u64, 72));
+    let f1 = fan1_kernel();
+    let f2 = fan2_kernel();
+    for t in 0..n - 1 {
+        let rows = (n - t - 1) as u64;
+        b.launch(
+            &f1,
+            blocks_for(rows, block),
+            block,
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(m.base),
+                ArgValue::U32(n),
+                ArgValue::U32(t),
+            ],
+        );
+        b.launch(
+            &f2,
+            blocks_for(rows * n as u64, block),
+            block,
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(bv.base),
+                ArgValue::Ptr(m.base),
+                ArgValue::U32(n),
+                ArgValue::U32(t),
+            ],
+        );
+    }
+    b.d2h(a);
+    b.d2h(bv);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_count_matches_table2() {
+        assert_eq!(build(Scale::Full).num_kernels(), 510);
+    }
+
+    #[test]
+    fn elimination_produces_upper_triangular() {
+        let app = build(Scale::Small);
+        let mem = app.run_serialized().unwrap();
+        let n = 16usize;
+        let a = app.space.allocs()[0];
+        let av = mem.copy_to_host_f32(a.base, n * n);
+        // Below-diagonal entries should be (numerically) eliminated.
+        for i in 1..n {
+            for j in 0..i {
+                assert!(
+                    av[i * n + j].abs() < 1e-2,
+                    "A[{i}][{j}] = {} not eliminated",
+                    av[i * n + j]
+                );
+            }
+        }
+        // Diagonal stays dominant (non-zero pivots).
+        for i in 0..n {
+            assert!(av[i * n + i].abs() > 1.0);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! GRAMSCHM (PolyBench): classical Gram–Schmidt QR decomposition of an
+//! `N × M` column-major matrix. Every column k launches three kernels:
+//! norm (reduction over column k), normalize (scales column k of Q), and
+//! update (orthogonalizes the trailing columns) — 3M kernels total, with
+//! fully-connected, 1-to-n, and n-to-1 patterns (Table II: 1, 4, 5).
+
+use crate::common::{blocks_for, kernel, test_data, AppBuilder, Scale};
+use bm_cmdq::Application;
+use bm_ptx::kernel::{ArgValue, Kernel};
+use std::sync::Arc;
+
+/// Norm of column k: one block; every thread reduces a strided slice of
+/// the column into shared memory, thread 0 finishes the reduction and
+/// stores `r[k] = sqrt(Σ A[k·N + i]²)`.
+fn norm_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry gs_norm(.param .u64 A, .param .u64 R, .param .u32 n, .param .u32 k)
+{
+  .shared 512;
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [R];
+  ld.param.u32 %r20, [n];
+  ld.param.u32 %r21, [k];
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mul.lo.u32 %r5, %r21, %r20;
+  mov.u32 %r6, %r3;
+  mov.f32 %f1, 0f00000000;
+$LOOP:
+  setp.ge.u32 %p2, %r6, %r20;
+  @%p2 bra $RED;
+  add.u32 %r7, %r5, %r6;
+  mul.wide.u32 %rd3, %r7, 4;
+  add.u64 %rd4, %rd1, %rd3;
+  ld.global.f32 %f2, [%rd4];
+  fma.rn.f32 %f1, %f2, %f2, %f1;
+  add.u32 %r6, %r6, %r2;
+  bra $LOOP;
+$RED:
+  shl.b32 %r8, %r3, 2;
+  st.shared.f32 [%r8], %f1;
+  bar.sync 0;
+  setp.ne.u32 %p1, %r3, 0;
+  @%p1 bra $DONE;
+  mov.u32 %r9, 0;
+  mov.f32 %f3, 0f00000000;
+$SUM:
+  setp.ge.u32 %p3, %r9, %r2;
+  @%p3 bra $OUT;
+  shl.b32 %r10, %r9, 2;
+  ld.shared.f32 %f4, [%r10];
+  add.f32 %f3, %f3, %f4;
+  add.u32 %r9, %r9, 1;
+  bra $SUM;
+$OUT:
+  sqrt.rn.f32 %f5, %f3;
+  mul.wide.u32 %rd5, %r21, 4;
+  add.u64 %rd6, %rd2, %rd5;
+  st.global.f32 [%rd6], %f5;
+$DONE:
+  ret;
+}"#,
+    )
+}
+
+/// Normalize: `Q[k·N + i] = A[k·N + i] / r[k]`, one thread per row.
+fn normalize_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry gs_normalize(.param .u64 A, .param .u64 R, .param .u64 Q,
+                               .param .u32 n, .param .u32 k)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [R];
+  ld.param.u64 %rd3, [Q];
+  ld.param.u32 %r20, [n];
+  ld.param.u32 %r21, [k];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+  setp.ge.u32 %p1, %r4, %r20;
+  @%p1 bra $DONE;
+  mad.lo.u32 %r5, %r21, %r20, %r4;
+  mul.wide.u32 %rd4, %r5, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  mul.wide.u32 %rd6, %r21, 4;
+  add.u64 %rd7, %rd2, %rd6;
+  ld.global.f32 %f2, [%rd7];
+  div.rn.f32 %f3, %f1, %f2;
+  add.u64 %rd8, %rd3, %rd4;
+  st.global.f32 [%rd8], %f3;
+$DONE:
+  ret;
+}"#,
+    )
+}
+
+/// Update: one *block* per trailing column `j in k+1..m`. Phase 1 reduces
+/// `r = Q[:,k]·A[:,j]` across the block via shared memory; phase 2 applies
+/// `A[:,j] -= r · Q[:,k]` with all threads striding the column.
+fn update_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry gs_update(.param .u64 A, .param .u64 Q, .param .u64 RO,
+                            .param .u32 n, .param .u32 m, .param .u32 k)
+{
+  .shared 512;
+  ld.param.u64 %rd1, [A];
+  ld.param.u64 %rd2, [Q];
+  ld.param.u64 %rd3, [RO];
+  ld.param.u32 %r20, [n];
+  ld.param.u32 %r21, [m];
+  ld.param.u32 %r22, [k];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  add.u32 %r5, %r22, 1;
+  add.u32 %r5, %r5, %r1;
+  setp.ge.u32 %p1, %r5, %r21;
+  @%p1 bra $DONE;
+  mul.lo.u32 %r6, %r22, %r20;
+  mul.lo.u32 %r7, %r5, %r20;
+  mov.u32 %r8, %r3;
+  mov.f32 %f1, 0f00000000;
+$DOT:
+  setp.ge.u32 %p2, %r8, %r20;
+  @%p2 bra $RED;
+  add.u32 %r9, %r6, %r8;
+  mul.wide.u32 %rd4, %r9, 4;
+  add.u64 %rd5, %rd2, %rd4;
+  ld.global.f32 %f2, [%rd5];
+  add.u32 %r10, %r7, %r8;
+  mul.wide.u32 %rd6, %r10, 4;
+  add.u64 %rd7, %rd1, %rd6;
+  ld.global.f32 %f3, [%rd7];
+  fma.rn.f32 %f1, %f2, %f3, %f1;
+  add.u32 %r8, %r8, %r2;
+  bra $DOT;
+$RED:
+  shl.b32 %r11, %r3, 2;
+  st.shared.f32 [%r11], %f1;
+  bar.sync 0;
+  setp.ne.u32 %p3, %r3, 0;
+  @%p3 bra $WAIT;
+  mov.u32 %r12, 0;
+  mov.f32 %f4, 0f00000000;
+$SUM:
+  setp.ge.u32 %p4, %r12, %r2;
+  @%p4 bra $SDONE;
+  shl.b32 %r13, %r12, 2;
+  ld.shared.f32 %f5, [%r13];
+  add.f32 %f4, %f4, %f5;
+  add.u32 %r12, %r12, 1;
+  bra $SUM;
+$SDONE:
+  mov.u32 %r16, 0;
+  st.shared.f32 [%r16], %f4;
+  mad.lo.u32 %r14, %r22, %r21, %r5;
+  mul.wide.u32 %rd8, %r14, 4;
+  add.u64 %rd9, %rd3, %rd8;
+  st.global.f32 [%rd9], %f4;
+$WAIT:
+  bar.sync 0;
+  mov.u32 %r15, 0;
+  ld.shared.f32 %f6, [%r15];
+  mov.u32 %r8, %r3;
+$SUB:
+  setp.ge.u32 %p5, %r8, %r20;
+  @%p5 bra $DONE;
+  add.u32 %r9, %r6, %r8;
+  mul.wide.u32 %rd10, %r9, 4;
+  add.u64 %rd11, %rd2, %rd10;
+  ld.global.f32 %f7, [%rd11];
+  add.u32 %r10, %r7, %r8;
+  mul.wide.u32 %rd12, %r10, 4;
+  add.u64 %rd13, %rd1, %rd12;
+  ld.global.f32 %f8, [%rd13];
+  mul.f32 %f9, %f6, %f7;
+  sub.f32 %f10, %f8, %f9;
+  st.global.f32 [%rd13], %f10;
+  add.u32 %r8, %r8, %r2;
+  bra $SUB;
+$DONE:
+  ret;
+}"#,
+    )
+}
+
+/// Builds GRAMSCHM: `3·M` kernels over an `N × M` column-major matrix.
+pub fn build(scale: Scale) -> Application {
+    let (n, m): (u32, u32) = match scale {
+        Scale::Full => (256, 64), // 192 kernels
+        Scale::Small => (32, 8),  // 24 kernels
+    };
+    let block = 128u32;
+    let mut b = AppBuilder::new("GRAMSCHM");
+    let a = b.alloc_f32(n as u64 * m as u64);
+    let q = b.alloc_f32(n as u64 * m as u64);
+    let r = b.alloc_f32(m as u64);
+    let ro = b.alloc_f32(m as u64 * m as u64);
+    b.h2d(a, test_data(n as u64 * m as u64, 81));
+    let kn = norm_kernel();
+    let kz = normalize_kernel();
+    let ku = update_kernel();
+    for k in 0..m {
+        b.launch(
+            &kn,
+            1,
+            128,
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(r.base),
+                ArgValue::U32(n),
+                ArgValue::U32(k),
+            ],
+        );
+        b.launch(
+            &kz,
+            blocks_for(n as u64, block),
+            block,
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(r.base),
+                ArgValue::Ptr(q.base),
+                ArgValue::U32(n),
+                ArgValue::U32(k),
+            ],
+        );
+        // One block per trailing column.
+        b.launch(
+            &ku,
+            (m - k).max(1),
+            block,
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(q.base),
+                ArgValue::Ptr(ro.base),
+                ArgValue::U32(n),
+                ArgValue::U32(m),
+                ArgValue::U32(k),
+            ],
+        );
+    }
+    b.d2h(q);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_count_matches_table2() {
+        assert_eq!(build(Scale::Full).num_kernels(), 192);
+    }
+
+    #[test]
+    fn columns_become_orthonormal() {
+        let app = build(Scale::Small);
+        let mem = app.run_serialized().unwrap();
+        let (n, m) = (32usize, 8usize);
+        let q = app.space.allocs()[1];
+        let qv = mem.copy_to_host_f32(q.base, n * m);
+        let dot = |a: usize, b: usize| -> f32 {
+            (0..n).map(|i| qv[a * n + i] * qv[b * n + i]).sum()
+        };
+        for k in 0..m {
+            assert!((dot(k, k) - 1.0).abs() < 1e-2, "‖Q[:,{k}]‖ = {}", dot(k, k));
+            for j in 0..k {
+                assert!(dot(j, k).abs() < 1e-2, "Q[:,{j}]·Q[:,{k}] = {}", dot(j, k));
+            }
+        }
+    }
+}

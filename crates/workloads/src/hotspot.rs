@@ -1,0 +1,162 @@
+//! HS — Hotspot (Rodinia): iterative 2-D thermal simulation. Each kernel
+//! advances the temperature grid one step, ping-ponging between two
+//! buffers; thread blocks own row bands and read a one-row halo, giving
+//! the *overlapped* dependency pattern (Table II pattern 6).
+
+use crate::common::{kernel, test_data, AppBuilder, Scale};
+use bm_cmdq::Application;
+use bm_ptx::kernel::ArgValue;
+use std::sync::Arc;
+
+/// Row-band stencil kernel: the block owns `R` rows of a `H × W` grid
+/// (`W` = blockDim.x, one thread per column), updating interior cells from
+/// the 4-neighbourhood plus a power term and copying boundary cells.
+fn hotspot_kernel() -> Arc<bm_ptx::kernel::Kernel> {
+    kernel(
+        r#".entry hotspot(.param .u64 IN, .param .u64 POWER, .param .u64 OUT,
+                          .param .u32 h, .param .u32 r)
+{
+  ld.param.u64 %rd1, [IN];
+  ld.param.u64 %rd2, [POWER];
+  ld.param.u64 %rd3, [OUT];
+  ld.param.u32 %r20, [h];
+  ld.param.u32 %r21, [r];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mul.lo.u32 %r5, %r1, %r21;
+  mov.u32 %r6, 0;
+$ROW:
+  setp.ge.u32 %p1, %r6, %r21;
+  @%p1 bra $END;
+  add.u32 %r7, %r5, %r6;
+  setp.ge.u32 %p2, %r7, %r20;
+  @%p2 bra $NEXT;
+  mad.lo.u32 %r8, %r7, %r2, %r3;
+  mul.wide.u32 %rd4, %r8, 4;
+  setp.eq.u32 %p3, %r7, 0;
+  @%p3 bra $COPY;
+  sub.u32 %r9, %r20, 1;
+  setp.ge.u32 %p4, %r7, %r9;
+  @%p4 bra $COPY;
+  setp.eq.u32 %p5, %r3, 0;
+  @%p5 bra $COPY;
+  sub.u32 %r10, %r2, 1;
+  setp.ge.u32 %p6, %r3, %r10;
+  @%p6 bra $COPY;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  sub.u32 %r11, %r8, %r2;
+  mul.wide.u32 %rd6, %r11, 4;
+  add.u64 %rd7, %rd1, %rd6;
+  ld.global.f32 %f2, [%rd7];
+  add.u32 %r12, %r8, %r2;
+  mul.wide.u32 %rd8, %r12, 4;
+  add.u64 %rd9, %rd1, %rd8;
+  ld.global.f32 %f3, [%rd9];
+  ld.global.f32 %f4, [%rd5-4];
+  ld.global.f32 %f5, [%rd5+4];
+  add.u64 %rd10, %rd2, %rd4;
+  ld.global.f32 %f6, [%rd10];
+  add.f32 %f7, %f2, %f3;
+  add.f32 %f8, %f4, %f5;
+  add.f32 %f9, %f7, %f8;
+  mul.f32 %f10, %f1, 0f40800000;
+  sub.f32 %f11, %f9, %f10;
+  fma.rn.f32 %f12, %f11, 0f3E000000, %f1;
+  fma.rn.f32 %f13, %f6, 0f3D800000, %f12;
+  add.u64 %rd11, %rd3, %rd4;
+  st.global.f32 [%rd11], %f13;
+  bra $NEXT;
+$COPY:
+  add.u64 %rd12, %rd1, %rd4;
+  ld.global.f32 %f14, [%rd12];
+  add.u64 %rd13, %rd3, %rd4;
+  st.global.f32 [%rd13], %f14;
+$NEXT:
+  add.u32 %r6, %r6, 1;
+  bra $ROW;
+$END:
+  ret;
+}"#,
+    )
+}
+
+/// Builds Hotspot: `iters` ping-pong steps over an `h × w` grid.
+pub fn build(scale: Scale) -> Application {
+    let (h, w, rows_per_tb, iters) = match scale {
+        // 256 row-band TBs per kernel: more resident-TB demand than the
+        // 28x8 slots available at 256 threads/block, so fine-grain
+        // dependency resolution has waves to overlap.
+        Scale::Full => (512u32, 256u32, 2u32, 10usize),
+        Scale::Small => (32, 64, 4, 4),
+    };
+    let elems = (h as u64) * (w as u64);
+    let mut b = AppBuilder::new("HS");
+    let t0 = b.alloc_f32(elems);
+    let t1 = b.alloc_f32(elems);
+    let power = b.alloc_f32(elems);
+    b.h2d(t0, test_data(elems, 31));
+    b.h2d(power, test_data(elems, 32));
+    let k = hotspot_kernel();
+    let grid = h.div_ceil(rows_per_tb);
+    let mut bufs = [t0, t1];
+    for _ in 0..iters {
+        b.launch(
+            &k,
+            grid,
+            w,
+            vec![
+                ArgValue::Ptr(bufs[0].base),
+                ArgValue::Ptr(power.base),
+                ArgValue::Ptr(bufs[1].base),
+                ArgValue::U32(h),
+                ArgValue::U32(rows_per_tb),
+            ],
+        );
+        bufs.swap(0, 1);
+    }
+    b.d2h(bufs[0]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_ptx::absint::analyze_launch;
+
+    #[test]
+    fn kernel_count_matches_table2() {
+        assert_eq!(build(Scale::Full).num_kernels(), 10);
+    }
+
+    #[test]
+    fn stencil_runs_and_stays_bounded() {
+        let app = build(Scale::Small);
+        let mem = app.run_serialized().unwrap();
+        let out = app.space.allocs()[0]; // even number of iters -> t0
+        let v = mem.copy_to_host_f32(out.base, 32 * 64);
+        assert!(v.iter().all(|x| x.is_finite()));
+        // Temperatures stay in a plausible range for [0,1) inputs.
+        assert!(v.iter().all(|&x| (-2.0..4.0).contains(&x)));
+    }
+
+    #[test]
+    fn row_bands_read_one_row_halo() {
+        let app = build(Scale::Small);
+        let launches = app.launches();
+        let acc = analyze_launch(launches[0]);
+        assert!(!acc.non_static);
+        let w = 64u64 * 4;
+        // Interior band 1 covers rows 4..8; reads rows 3..9.
+        let t = &acc.per_tb[1];
+        let (rlo, rhi) = t.reads.bounds().unwrap();
+        let in_base = app.space.allocs()[0].base;
+        assert!(rlo <= in_base + 3 * w && rlo >= in_base + 2 * w, "halo row above");
+        assert!(rhi >= in_base + 8 * w, "halo row below");
+        let (wlo, whi) = t.writes.bounds().unwrap();
+        let out_base = app.space.allocs()[1].base;
+        assert_eq!(wlo, out_base + 4 * w);
+        assert_eq!(whi, out_base + 8 * w);
+    }
+}

@@ -1,0 +1,173 @@
+//! # bm-workloads — the BlockMaestro evaluation suite
+//!
+//! Regenerated versions of the twelve multi-kernel applications of the
+//! paper's Table II (Rodinia, PolyBench, SHOC, and Tango suites), the
+//! VectorAdd interconnectivity microbenchmark of Fig. 12, and — via
+//! `blockmaestro::compare::taskgraph` — the wavefront suite of Fig. 14.
+//!
+//! Each application is a genuine multi-kernel mini-PTX program built
+//! through the command-queue API: its kernels are parsed, functionally
+//! executable, and analyzed by the real launch-time value-range pipeline —
+//! nothing about the dependency structure is hand-declared.
+//!
+//! ```
+//! use bm_workloads::{suite, Scale};
+//!
+//! let apps = suite();
+//! assert_eq!(apps.len(), 12);
+//! let gaussian = apps.iter().find(|b| b.name == "GAUSSIAN").unwrap();
+//! let app = (gaussian.build)(Scale::Full);
+//! assert_eq!(app.num_kernels(), 510); // Table II
+//! ```
+
+pub mod alexnet;
+pub mod bicg;
+pub mod common;
+pub mod fdtd2d;
+pub mod fft;
+pub mod gaussian;
+pub mod gramschm;
+pub mod hotspot;
+pub mod lud;
+pub mod mvt;
+pub mod nw;
+pub mod pathfinder;
+pub mod threemm;
+pub mod vectoradd;
+
+pub use common::Scale;
+
+use bm_cmdq::Application;
+
+/// A Table II benchmark entry.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Application name as it appears in Table II.
+    pub name: &'static str,
+    /// Short description from Table II.
+    pub description: &'static str,
+    /// Kernel count at [`Scale::Full`] (the `# Kernels` column).
+    pub expected_kernels: usize,
+    /// Table I pattern classes the paper lists for this app (`P#` column).
+    pub paper_patterns: &'static [u8],
+    /// Constructor.
+    pub build: fn(Scale) -> Application,
+}
+
+/// The full Table II benchmark suite, in the paper's order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "3MM",
+            description: "3 Matrix Multiplications",
+            expected_kernels: 3,
+            paper_patterns: &[2, 7],
+            build: threemm::build,
+        },
+        Benchmark {
+            name: "AlexNet",
+            description: "AlexNet network",
+            expected_kernels: 22,
+            paper_patterns: &[1, 3, 4],
+            build: alexnet::build,
+        },
+        Benchmark {
+            name: "BICG",
+            description: "BiCG Sub Kernel of BiCGStab Linear Solver",
+            expected_kernels: 2,
+            paper_patterns: &[7],
+            build: bicg::build,
+        },
+        Benchmark {
+            name: "FDTD-2D",
+            description: "2D Finite Different Time Domain",
+            expected_kernels: 24,
+            paper_patterns: &[5, 7],
+            build: fdtd2d::build,
+        },
+        Benchmark {
+            name: "FFT",
+            description: "Fast Fourier Transform",
+            expected_kernels: 60,
+            paper_patterns: &[3, 5, 7],
+            build: fft::build,
+        },
+        Benchmark {
+            name: "GAUSSIAN",
+            description: "Gaussian Elimination",
+            expected_kernels: 510,
+            paper_patterns: &[4, 5],
+            build: gaussian::build,
+        },
+        Benchmark {
+            name: "GRAMSCHM",
+            description: "Gram-Schmidt Decomposition",
+            expected_kernels: 192,
+            paper_patterns: &[1, 4, 5],
+            build: gramschm::build,
+        },
+        Benchmark {
+            name: "HS",
+            description: "Hotspot",
+            expected_kernels: 10,
+            paper_patterns: &[6],
+            build: hotspot::build,
+        },
+        Benchmark {
+            name: "LUD",
+            description: "LU Decomposition",
+            expected_kernels: 46,
+            paper_patterns: &[3, 4, 5],
+            build: lud::build,
+        },
+        Benchmark {
+            name: "MVT",
+            description: "Matrix Vector Product and Transpose",
+            expected_kernels: 2,
+            paper_patterns: &[7],
+            build: mvt::build,
+        },
+        Benchmark {
+            name: "NW",
+            description: "Needleman-Wunsch",
+            expected_kernels: 255,
+            paper_patterns: &[4, 5],
+            build: nw::build,
+        },
+        Benchmark {
+            name: "PATH",
+            description: "Path Finder",
+            expected_kernels: 5,
+            paper_patterns: &[6],
+            build: pathfinder::build,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table2_kernel_counts() {
+        for b in suite() {
+            let app = (b.build)(Scale::Full);
+            assert_eq!(
+                app.num_kernels(),
+                b.expected_kernels,
+                "{} kernel count",
+                b.name
+            );
+            assert_eq!(app.name, b.name);
+        }
+    }
+
+    #[test]
+    fn small_scale_apps_are_well_formed() {
+        for b in suite() {
+            let app = (b.build)(Scale::Small);
+            assert!(app.num_kernels() >= 2, "{}", b.name);
+            assert!(!app.space.allocs().is_empty());
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! LUD (Rodinia): blocked LU decomposition of an `N × N` matrix with
+//! block size `B`. Iteration `t` launches a diagonal kernel (in-place
+//! Doolittle factorization of block `(t,t)`), a perimeter kernel (solves
+//! the block row/column against the diagonal factors), and an internal
+//! kernel (rank-B update of the trailing submatrix); a final diagonal
+//! kernel closes the factorization: `3(T-1) + 1` kernels (46 for `T=16`).
+//! Patterns: 1-to-n (diag→perimeter), n-to-1 and 1-to-1 across
+//! iterations (Table II: 3, 4, 5).
+
+use crate::common::{kernel, test_data, AppBuilder, Scale};
+use bm_cmdq::Application;
+use bm_ptx::kernel::{ArgValue, Kernel};
+use std::sync::Arc;
+
+/// Diagonal kernel: one block of `B×B` threads factorizes block `(t,t)`
+/// in place (Doolittle, no pivoting), synchronizing per elimination step.
+fn diag_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry lud_diag(.param .u64 A, .param .u32 n, .param .u32 t, .param .u32 bs)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u32 %r20, [n];
+  ld.param.u32 %r21, [t];
+  ld.param.u32 %r22, [bs];
+  mov.u32 %r3, %tid.x;
+  div.u32 %r5, %r3, %r22;
+  rem.u32 %r6, %r3, %r22;
+  mul.lo.u32 %r7, %r21, %r22;
+  add.u32 %r8, %r7, %r5;
+  add.u32 %r9, %r7, %r6;
+  mad.lo.u32 %r10, %r8, %r20, %r9;
+  mul.wide.u32 %rd2, %r10, 4;
+  add.u64 %rd3, %rd1, %rd2;
+  mov.u32 %r11, 0;
+  sub.u32 %r12, %r22, 1;
+$KLOOP:
+  setp.ge.u32 %p1, %r11, %r12;
+  @%p1 bra $END;
+  bar.sync 0;
+  // Phase 1: column scale — ti > k, tj == k.
+  setp.le.u32 %p2, %r5, %r11;
+  @%p2 bra $P2;
+  setp.ne.u32 %p3, %r6, %r11;
+  @%p3 bra $P2;
+  add.u32 %r13, %r7, %r11;
+  mad.lo.u32 %r14, %r13, %r20, %r13;
+  mul.wide.u32 %rd4, %r14, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  ld.global.f32 %f2, [%rd3];
+  div.rn.f32 %f3, %f2, %f1;
+  st.global.f32 [%rd3], %f3;
+$P2:
+  bar.sync 0;
+  // Phase 2: trailing update — ti > k, tj > k.
+  setp.le.u32 %p4, %r5, %r11;
+  @%p4 bra $NEXT;
+  setp.le.u32 %p5, %r6, %r11;
+  @%p5 bra $NEXT;
+  add.u32 %r13, %r7, %r11;
+  mad.lo.u32 %r15, %r8, %r20, %r13;
+  mul.wide.u32 %rd6, %r15, 4;
+  add.u64 %rd7, %rd1, %rd6;
+  ld.global.f32 %f4, [%rd7];
+  mad.lo.u32 %r16, %r13, %r20, %r9;
+  mul.wide.u32 %rd8, %r16, 4;
+  add.u64 %rd9, %rd1, %rd8;
+  ld.global.f32 %f5, [%rd9];
+  ld.global.f32 %f6, [%rd3];
+  mul.f32 %f7, %f4, %f5;
+  sub.f32 %f8, %f6, %f7;
+  st.global.f32 [%rd3], %f8;
+$NEXT:
+  add.u32 %r11, %r11, 1;
+  bra $KLOOP;
+$END:
+  ret;
+}"#,
+    )
+}
+
+/// Perimeter kernel: `2(T-t-1)` blocks. The first half solves row blocks
+/// `(t, t+1+b)` against unit-lower `L` (forward substitution); the second
+/// half solves column blocks `(t+1+b, t)` against upper `U`.
+fn perimeter_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry lud_perimeter(.param .u64 A, .param .u32 n, .param .u32 t,
+                                .param .u32 bs, .param .u32 half)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u32 %r20, [n];
+  ld.param.u32 %r21, [t];
+  ld.param.u32 %r22, [bs];
+  ld.param.u32 %r23, [half];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r3, %tid.x;
+  div.u32 %r5, %r3, %r22;
+  rem.u32 %r6, %r3, %r22;
+  mul.lo.u32 %r7, %r21, %r22;
+  // Diagonal block corner element address helper base: (tB + x)*n + tB + y.
+  setp.ge.u32 %p1, %r1, %r23;
+  @%p1 bra $COLS;
+  // Row block (t, t+1+ctaid): forward substitution with unit L.
+  add.u32 %r8, %r21, 1;
+  add.u32 %r8, %r8, %r1;
+  mul.lo.u32 %r9, %r8, %r22;
+  add.u32 %r10, %r7, %r5;
+  add.u32 %r11, %r9, %r6;
+  mad.lo.u32 %r12, %r10, %r20, %r11;
+  mul.wide.u32 %rd2, %r12, 4;
+  add.u64 %rd3, %rd1, %rd2;
+  mov.u32 %r13, 0;
+  sub.u32 %r14, %r22, 1;
+$RLOOP:
+  setp.ge.u32 %p2, %r13, %r14;
+  @%p2 bra $END;
+  bar.sync 0;
+  setp.le.u32 %p3, %r5, %r13;
+  @%p3 bra $RNEXT;
+  add.u32 %r15, %r7, %r13;
+  mad.lo.u32 %r16, %r10, %r20, %r15;
+  mul.wide.u32 %rd4, %r16, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  add.u32 %r17, %r9, %r6;
+  mad.lo.u32 %r18, %r15, %r20, %r17;
+  mul.wide.u32 %rd6, %r18, 4;
+  add.u64 %rd7, %rd1, %rd6;
+  ld.global.f32 %f2, [%rd7];
+  ld.global.f32 %f3, [%rd3];
+  mul.f32 %f4, %f1, %f2;
+  sub.f32 %f5, %f3, %f4;
+  st.global.f32 [%rd3], %f5;
+$RNEXT:
+  add.u32 %r13, %r13, 1;
+  bra $RLOOP;
+$COLS:
+  // Column block (t+1+(ctaid-half), t): solve X·U = A column by column.
+  sub.u32 %r8, %r1, %r23;
+  add.u32 %r8, %r8, %r21;
+  add.u32 %r8, %r8, 1;
+  mul.lo.u32 %r9, %r8, %r22;
+  add.u32 %r10, %r9, %r5;
+  add.u32 %r11, %r7, %r6;
+  mad.lo.u32 %r12, %r10, %r20, %r11;
+  mul.wide.u32 %rd2, %r12, 4;
+  add.u64 %rd3, %rd1, %rd2;
+  mov.u32 %r13, 0;
+$CLOOP:
+  setp.ge.u32 %p4, %r13, %r22;
+  @%p4 bra $END;
+  bar.sync 0;
+  setp.ne.u32 %p5, %r6, %r13;
+  @%p5 bra $CNEXT;
+  // acc = sum_{s<k} X[ti][s] * U[s][k]
+  mov.u32 %r15, 0;
+  mov.f32 %f1, 0f00000000;
+$CSUM:
+  setp.ge.u32 %p6, %r15, %r13;
+  @%p6 bra $CDIV;
+  add.u32 %r16, %r7, %r15;
+  mad.lo.u32 %r17, %r10, %r20, %r16;
+  mul.wide.u32 %rd4, %r17, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f2, [%rd5];
+  add.u32 %r18, %r7, %r13;
+  mad.lo.u32 %r19, %r16, %r20, %r18;
+  mul.wide.u32 %rd6, %r19, 4;
+  add.u64 %rd7, %rd1, %rd6;
+  ld.global.f32 %f3, [%rd7];
+  fma.rn.f32 %f1, %f2, %f3, %f1;
+  add.u32 %r15, %r15, 1;
+  bra $CSUM;
+$CDIV:
+  add.u32 %r18, %r7, %r13;
+  mad.lo.u32 %r19, %r18, %r20, %r18;
+  mul.wide.u32 %rd8, %r19, 4;
+  add.u64 %rd9, %rd1, %rd8;
+  ld.global.f32 %f4, [%rd9];
+  ld.global.f32 %f5, [%rd3];
+  sub.f32 %f6, %f5, %f1;
+  div.rn.f32 %f7, %f6, %f4;
+  st.global.f32 [%rd3], %f7;
+$CNEXT:
+  add.u32 %r13, %r13, 1;
+  bra $CLOOP;
+$END:
+  ret;
+}"#,
+    )
+}
+
+/// Internal kernel: `(T-t-1)²` blocks; block `(i,j)` receives the rank-B
+/// update `A(i,j) -= L(i,t) · U(t,j)`.
+fn internal_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry lud_internal(.param .u64 A, .param .u32 n, .param .u32 t,
+                               .param .u32 bs, .param .u32 width)
+{
+  ld.param.u64 %rd1, [A];
+  ld.param.u32 %r20, [n];
+  ld.param.u32 %r21, [t];
+  ld.param.u32 %r22, [bs];
+  ld.param.u32 %r23, [width];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r3, %tid.x;
+  div.u32 %r5, %r3, %r22;
+  rem.u32 %r6, %r3, %r22;
+  div.u32 %r7, %r1, %r23;
+  rem.u32 %r8, %r1, %r23;
+  add.u32 %r9, %r21, 1;
+  add.u32 %r10, %r9, %r7;
+  add.u32 %r11, %r9, %r8;
+  mul.lo.u32 %r12, %r21, %r22;
+  mul.lo.u32 %r13, %r10, %r22;
+  mul.lo.u32 %r14, %r11, %r22;
+  add.u32 %r15, %r13, %r5;
+  add.u32 %r16, %r14, %r6;
+  mad.lo.u32 %r17, %r15, %r20, %r16;
+  mul.wide.u32 %rd2, %r17, 4;
+  add.u64 %rd3, %rd1, %rd2;
+  mov.u32 %r18, 0;
+  mov.f32 %f1, 0f00000000;
+$LOOP:
+  setp.ge.u32 %p1, %r18, %r22;
+  @%p1 bra $STORE;
+  add.u32 %r19, %r12, %r18;
+  mad.lo.u32 %r24, %r15, %r20, %r19;
+  mul.wide.u32 %rd4, %r24, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f2, [%rd5];
+  mad.lo.u32 %r25, %r19, %r20, %r16;
+  mul.wide.u32 %rd6, %r25, 4;
+  add.u64 %rd7, %rd1, %rd6;
+  ld.global.f32 %f3, [%rd7];
+  fma.rn.f32 %f1, %f2, %f3, %f1;
+  add.u32 %r18, %r18, 1;
+  bra $LOOP;
+$STORE:
+  ld.global.f32 %f4, [%rd3];
+  sub.f32 %f5, %f4, %f1;
+  st.global.f32 [%rd3], %f5;
+  ret;
+}"#,
+    )
+}
+
+/// Builds LUD: `3(T-1) + 1` kernels over an `N × N` matrix, `N = B·T`.
+pub fn build(scale: Scale) -> Application {
+    let (bs, t_blocks): (u32, u32) = match scale {
+        Scale::Full => (16, 16), // N=256, 46 kernels
+        Scale::Small => (8, 4),  // N=32, 10 kernels
+    };
+    let n = bs * t_blocks;
+    let elems = (n as u64) * (n as u64);
+    let mut b = AppBuilder::new("LUD");
+    let a = b.alloc_f32(elems);
+    // Diagonally dominant input for a stable factorization.
+    let mut data = test_data(elems, 91);
+    for i in 0..n as usize {
+        data[i * n as usize + i] += n as f32;
+    }
+    b.h2d(a, data);
+    let kd = diag_kernel();
+    let kp = perimeter_kernel();
+    let ki = internal_kernel();
+    let threads = bs * bs;
+    for t in 0..t_blocks - 1 {
+        let rem = t_blocks - t - 1;
+        b.launch(
+            &kd,
+            1,
+            threads,
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::U32(n),
+                ArgValue::U32(t),
+                ArgValue::U32(bs),
+            ],
+        );
+        b.launch(
+            &kp,
+            2 * rem,
+            threads,
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::U32(n),
+                ArgValue::U32(t),
+                ArgValue::U32(bs),
+                ArgValue::U32(rem),
+            ],
+        );
+        b.launch(
+            &ki,
+            rem * rem,
+            threads,
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::U32(n),
+                ArgValue::U32(t),
+                ArgValue::U32(bs),
+                ArgValue::U32(rem),
+            ],
+        );
+    }
+    b.launch(
+        &kd,
+        1,
+        threads,
+        vec![
+            ArgValue::Ptr(a.base),
+            ArgValue::U32(n),
+            ArgValue::U32(t_blocks - 1),
+            ArgValue::U32(bs),
+        ],
+    );
+    b.d2h(a);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_count_matches_table2() {
+        assert_eq!(build(Scale::Full).num_kernels(), 46);
+    }
+
+    #[test]
+    fn lu_factors_reconstruct_the_matrix() {
+        let app = build(Scale::Small);
+        let mem = app.run_serialized().unwrap();
+        let n = 32usize;
+        // Original input.
+        let mut orig = test_data((n * n) as u64, 91);
+        for i in 0..n {
+            orig[i * n + i] += n as f32;
+        }
+        let a = app.space.allocs()[0];
+        let lu = mem.copy_to_host_f32(a.base, n * n);
+        // Reconstruct L·U (unit-diagonal L below, U on/above diagonal).
+        for i in (0..n).step_by(7) {
+            for j in (0..n).step_by(5) {
+                let mut acc = 0.0f32;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { lu[i * n + k] };
+                    let u = lu[k * n + j];
+                    acc += l * u;
+                }
+                let rel = (acc - orig[i * n + j]).abs() / orig[i * n + j].abs().max(1.0);
+                assert!(
+                    rel < 5e-2,
+                    "LU reconstruction off at ({i},{j}): {acc} vs {}",
+                    orig[i * n + j]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! MVT (PolyBench): matrix–vector product and transposed product,
+//! `x1 = A·y1` and `x2 = Aᵀ·y2`. Like BICG, the two kernels are
+//! data-independent (Table II pattern 7).
+
+use crate::common::{
+    blocks_for, kernel, matvec_col_kernel, matvec_row_kernel, test_data, AppBuilder, Scale,
+};
+use bm_cmdq::Application;
+use bm_ptx::kernel::ArgValue;
+
+/// Builds MVT at the given scale.
+pub fn build(scale: Scale) -> Application {
+    let n: u32 = match scale {
+        Scale::Full => 1024,
+        Scale::Small => 32,
+    };
+    let block = 256u32;
+    let elems = (n as u64) * (n as u64);
+    let mut b = AppBuilder::new("MVT");
+    let a = b.alloc_f32(elems);
+    let y1 = b.alloc_f32(n as u64);
+    let y2 = b.alloc_f32(n as u64);
+    let x1 = b.alloc_f32(n as u64);
+    let x2 = b.alloc_f32(n as u64);
+    b.h2d(a, test_data(elems, 8));
+    b.h2d(y1, test_data(n as u64, 9));
+    b.h2d(y2, test_data(n as u64, 10));
+    let row = kernel(&matvec_row_kernel("mvt_x1"));
+    let col = kernel(&matvec_col_kernel("mvt_x2"));
+    let grid = blocks_for(n as u64, block);
+    b.launch(
+        &row,
+        grid,
+        block,
+        vec![
+            ArgValue::Ptr(a.base),
+            ArgValue::Ptr(y1.base),
+            ArgValue::Ptr(x1.base),
+            ArgValue::U32(n),
+            ArgValue::U32(n),
+        ],
+    );
+    b.launch(
+        &col,
+        grid,
+        block,
+        vec![
+            ArgValue::Ptr(a.base),
+            ArgValue::Ptr(y2.base),
+            ArgValue::Ptr(x2.base),
+            ArgValue::U32(n),
+            ArgValue::U32(n),
+        ],
+    );
+    b.d2h(x1);
+    b.d2h(x2);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transposed_product_is_correct() {
+        let app = build(Scale::Small);
+        assert_eq!(app.num_kernels(), 2);
+        let mem = app.run_serialized().unwrap();
+        let n = 32usize;
+        let allocs = app.space.allocs();
+        let av = mem.copy_to_host_f32(allocs[0].base, n * n);
+        let y2v = mem.copy_to_host_f32(allocs[2].base, n);
+        let x2v = mem.copy_to_host_f32(allocs[4].base, n);
+        for c in [0usize, 16, 31] {
+            let want: f32 = (0..n).map(|i| av[i * n + c] * y2v[i]).sum();
+            assert!((x2v[c] - want).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! NW — Needleman-Wunsch (Rodinia): global sequence alignment by dynamic
+//! programming over a `(n+1) × (n+1)` score matrix, processed in `B × B`
+//! tiles along anti-diagonals. One kernel per tile diagonal: `T` kernels
+//! sweeping down-right and `T-1` back up — `2T - 1` kernels (255 for
+//! `T = 128`). Neighbouring diagonals exchange tile edges, producing
+//! 1-to-n / n-to-1 patterns (Table II: 4, 5).
+
+use crate::common::{kernel, test_data, AppBuilder, Scale};
+use bm_cmdq::Application;
+use bm_ptx::kernel::{ArgValue, Kernel};
+use std::sync::Arc;
+
+/// Tile kernel: block `b` processes tile `(rb + b, cb - b)`; threads
+/// `(ti, tj)` sweep the tile's internal anti-diagonals with barriers,
+/// computing `max(diag + ref, up - P, left - P)`.
+fn nw_kernel() -> Arc<Kernel> {
+    kernel(
+        r#".entry nw(.param .u64 ITEMS, .param .u64 REF, .param .u32 cols,
+                     .param .u32 bs, .param .u32 rb, .param .u32 cb)
+{
+  ld.param.u64 %rd1, [ITEMS];
+  ld.param.u64 %rd2, [REF];
+  ld.param.u32 %r20, [cols];
+  ld.param.u32 %r21, [bs];
+  ld.param.u32 %r22, [rb];
+  ld.param.u32 %r23, [cb];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r3, %tid.x;
+  div.u32 %r5, %r3, %r21;
+  rem.u32 %r6, %r3, %r21;
+  add.u32 %r7, %r22, %r1;
+  sub.u32 %r8, %r23, %r1;
+  // Global cell (gi, gj) = (r*B + 1 + ti, c*B + 1 + tj).
+  mul.lo.u32 %r9, %r7, %r21;
+  add.u32 %r9, %r9, 1;
+  add.u32 %r9, %r9, %r5;
+  mul.lo.u32 %r10, %r8, %r21;
+  add.u32 %r10, %r10, 1;
+  add.u32 %r10, %r10, %r6;
+  mad.lo.u32 %r11, %r9, %r20, %r10;
+  mul.wide.u32 %rd3, %r11, 4;
+  add.u64 %rd4, %rd1, %rd3;
+  add.u64 %rd5, %rd2, %rd3;
+  // Neighbour addresses: up = idx - cols, left = idx - 1, diag = up - 1.
+  sub.u32 %r12, %r11, %r20;
+  mul.wide.u32 %rd6, %r12, 4;
+  add.u64 %rd7, %rd1, %rd6;
+  // Wavefront steps s = 0 .. 2B-2; thread acts when ti + tj == s.
+  add.u32 %r13, %r5, %r6;
+  shl.b32 %r14, %r21, 1;
+  sub.u32 %r14, %r14, 1;
+  mov.u32 %r15, 0;
+$STEP:
+  setp.ge.u32 %p1, %r15, %r14;
+  @%p1 bra $END;
+  bar.sync 0;
+  setp.ne.u32 %p2, %r13, %r15;
+  @%p2 bra $NEXT;
+  ld.global.f32 %f1, [%rd7-4];
+  ld.global.f32 %f2, [%rd5];
+  add.f32 %f3, %f1, %f2;
+  ld.global.f32 %f4, [%rd7];
+  sub.f32 %f5, %f4, 0f3F800000;
+  ld.global.f32 %f6, [%rd4-4];
+  sub.f32 %f7, %f6, 0f3F800000;
+  max.f32 %f8, %f3, %f5;
+  max.f32 %f9, %f8, %f7;
+  st.global.f32 [%rd4], %f9;
+$NEXT:
+  add.u32 %r15, %r15, 1;
+  bra $STEP;
+$END:
+  ret;
+}"#,
+    )
+}
+
+/// Builds NW over a `T·B × T·B` cell grid: `2T - 1` kernels.
+pub fn build(scale: Scale) -> Application {
+    let (bs, t_blocks): (u32, u32) = match scale {
+        Scale::Full => (16, 128), // 255 kernels, 2048x2048 cells
+        Scale::Small => (8, 8),   // 15 kernels, 64x64 cells
+    };
+    let n = bs * t_blocks;
+    let cols = n + 1;
+    let elems = (cols as u64) * (cols as u64);
+    let mut b = AppBuilder::new("NW");
+    let items = b.alloc_f32(elems);
+    let reference = b.alloc_f32(elems);
+    // Initial scores: first row/column hold gap penalties, interior zero.
+    let mut init = vec![0.0f32; elems as usize];
+    for i in 0..cols as usize {
+        init[i] = -(i as f32);
+        init[i * cols as usize] = -(i as f32);
+    }
+    b.h2d(items, init);
+    b.h2d(reference, test_data(elems, 111));
+    let k = nw_kernel();
+    let threads = bs * bs;
+    let args = |rb: u32, cb: u32| {
+        vec![
+            ArgValue::Ptr(items.base),
+            ArgValue::Ptr(reference.base),
+            ArgValue::U32(cols),
+            ArgValue::U32(bs),
+            ArgValue::U32(rb),
+            ArgValue::U32(cb),
+        ]
+    };
+    // Forward sweep: diagonals with d = 1..T tiles.
+    for d in 1..=t_blocks {
+        b.launch(&k, d, threads, args(0, d - 1));
+    }
+    // Backward sweep: diagonals shrinking from T-1 down to 1 tiles.
+    for d in (1..t_blocks).rev() {
+        b.launch(&k, d, threads, args(t_blocks - d, t_blocks - 1));
+    }
+    b.d2h(items);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_count_matches_table2() {
+        assert_eq!(build(Scale::Full).num_kernels(), 255);
+    }
+
+    #[test]
+    fn dp_matches_host_reference() {
+        let app = build(Scale::Small);
+        let mem = app.run_serialized().unwrap();
+        let cols = 65usize;
+        let reference = test_data((cols * cols) as u64, 111);
+        let mut score = vec![0.0f32; cols * cols];
+        for i in 0..cols {
+            score[i] = -(i as f32);
+            score[i * cols] = -(i as f32);
+        }
+        for i in 1..cols {
+            for j in 1..cols {
+                let d = score[(i - 1) * cols + j - 1] + reference[i * cols + j];
+                let u = score[(i - 1) * cols + j] - 1.0;
+                let l = score[i * cols + j - 1] - 1.0;
+                score[i * cols + j] = d.max(u).max(l);
+            }
+        }
+        let got = mem.copy_to_host_f32(app.space.allocs()[0].base, cols * cols);
+        for probe in [cols + 1, 10 * cols + 7, 40 * cols + 60, 64 * cols + 64] {
+            assert!(
+                (got[probe] - score[probe]).abs() < 1e-3,
+                "cell {probe}: {} vs {}",
+                got[probe],
+                score[probe]
+            );
+        }
+    }
+}

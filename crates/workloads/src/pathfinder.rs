@@ -1,0 +1,123 @@
+//! PATH — PathFinder (Rodinia): dynamic-programming search for the
+//! cheapest path down a grid. Each kernel advances one row step; a cell
+//! reads the three neighbours of the previous row, so thread blocks read a
+//! one-block halo — the *overlapped* pattern (Table II pattern 6).
+
+use crate::common::{blocks_for, kernel, test_data, AppBuilder, Scale};
+use bm_cmdq::Application;
+use bm_ptx::kernel::ArgValue;
+use std::sync::Arc;
+
+/// One DP step: `dst[j] = wall[j] + min(src[j-1], src[j], src[j+1])`
+/// with clamped edges (branch-free via `min`/`max`).
+fn path_kernel() -> Arc<bm_ptx::kernel::Kernel> {
+    kernel(
+        r#".entry pathfinder(.param .u64 SRC, .param .u64 WALL, .param .u64 DST,
+                             .param .u32 w)
+{
+  ld.param.u64 %rd1, [SRC];
+  ld.param.u64 %rd2, [WALL];
+  ld.param.u64 %rd3, [DST];
+  ld.param.u32 %r20, [w];
+  mov.u32 %r1, %ctaid.x;
+  mov.u32 %r2, %ntid.x;
+  mov.u32 %r3, %tid.x;
+  mad.lo.u32 %r4, %r1, %r2, %r3;
+  setp.ge.u32 %p1, %r4, %r20;
+  @%p1 bra $DONE;
+  max.u32 %r5, %r4, 1;
+  sub.u32 %r5, %r5, 1;
+  add.u32 %r6, %r4, 1;
+  sub.u32 %r7, %r20, 1;
+  min.u32 %r6, %r6, %r7;
+  mul.wide.u32 %rd4, %r5, 4;
+  add.u64 %rd5, %rd1, %rd4;
+  ld.global.f32 %f1, [%rd5];
+  mul.wide.u32 %rd6, %r4, 4;
+  add.u64 %rd7, %rd1, %rd6;
+  ld.global.f32 %f2, [%rd7];
+  mul.wide.u32 %rd8, %r6, 4;
+  add.u64 %rd9, %rd1, %rd8;
+  ld.global.f32 %f3, [%rd9];
+  min.f32 %f4, %f1, %f2;
+  min.f32 %f4, %f4, %f3;
+  add.u64 %rd10, %rd2, %rd6;
+  ld.global.f32 %f5, [%rd10];
+  add.f32 %f6, %f4, %f5;
+  add.u64 %rd11, %rd3, %rd6;
+  st.global.f32 [%rd11], %f6;
+$DONE:
+  ret;
+}"#,
+    )
+}
+
+/// Builds PathFinder: `steps` DP row steps over a width-`w` grid.
+pub fn build(scale: Scale) -> Application {
+    let (w, steps) = match scale {
+        Scale::Full => (65_536u64, 5usize),
+        Scale::Small => (1_024, 5),
+    };
+    let block = 256u32;
+    let mut b = AppBuilder::new("PATH");
+    let src = b.alloc_f32(w);
+    let dst = b.alloc_f32(w);
+    let wall = b.alloc_f32(w * steps as u64);
+    b.h2d(src, test_data(w, 41));
+    b.h2d(wall, test_data(w * steps as u64, 42));
+    let k = path_kernel();
+    let mut bufs = [src, dst];
+    for s in 0..steps {
+        b.launch(
+            &k,
+            blocks_for(w, block),
+            block,
+            vec![
+                ArgValue::Ptr(bufs[0].base),
+                ArgValue::Ptr(wall.base + 4 * w * s as u64),
+                ArgValue::Ptr(bufs[1].base),
+                ArgValue::U32(w as u32),
+            ],
+        );
+        bufs.swap(0, 1);
+    }
+    b.d2h(bufs[0]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_count_matches_table2() {
+        assert_eq!(build(Scale::Full).num_kernels(), 5);
+    }
+
+    #[test]
+    fn dp_matches_host_reference() {
+        let app = build(Scale::Small);
+        let mem = app.run_serialized().unwrap();
+        let w = 1024usize;
+        let steps = 5usize;
+        let src0 = test_data(w as u64, 41);
+        let wall = test_data((w * steps) as u64, 42);
+        let mut cur = src0;
+        for s in 0..steps {
+            let mut next = vec![0.0f32; w];
+            for j in 0..w {
+                let lo = cur[j.saturating_sub(1)];
+                let mid = cur[j];
+                let hi = cur[(j + 1).min(w - 1)];
+                next[j] = wall[s * w + j] + lo.min(mid).min(hi);
+            }
+            cur = next;
+        }
+        // Odd number of steps -> result in the second buffer.
+        let out = app.space.allocs()[1];
+        let got = mem.copy_to_host_f32(out.base, w);
+        for j in [0usize, 1, 500, w - 1] {
+            assert!((got[j] - cur[j]).abs() < 1e-4, "col {j}: {} vs {}", got[j], cur[j]);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! VectorAdd microbenchmark for the interconnectivity analysis (Fig. 12).
+//!
+//! Two equal-size kernels with a natural 1-to-1 dependency: K1 computes
+//! `C = A + B`, K2 computes `D = C + B`. The Fig. 12 harness sweeps the
+//! dependency *degree* by replacing K2's dependency graph with synthetic
+//! n-group fully-connected patterns, exactly as the paper artificially
+//! injects dependencies.
+
+use crate::common::{blocks_for, elementwise_binop, kernel, test_data, AppBuilder};
+use bm_cmdq::Application;
+use bm_depgraph::BipartiteGraph;
+use bm_ptx::kernel::ArgValue;
+
+/// Threads per block used by the microbenchmark.
+pub const BLOCK: u32 = 256;
+
+/// Builds the two-kernel VectorAdd application with `n_tbs` thread blocks
+/// per kernel.
+pub fn build(n_tbs: u32) -> Application {
+    let n = n_tbs as u64 * BLOCK as u64;
+    let mut b = AppBuilder::new(format!("VECTORADD-{n_tbs}"));
+    let a = b.alloc_f32(n);
+    let bb = b.alloc_f32(n);
+    let c = b.alloc_f32(n);
+    let d = b.alloc_f32(n);
+    b.h2d(a, test_data(n, 11));
+    b.h2d(bb, test_data(n, 22));
+    let k = kernel(&elementwise_binop("vecadd", "add.f32 %f3, %f1, %f2;"));
+    let args = |x: u64, y: u64, z: u64| {
+        vec![
+            ArgValue::Ptr(x),
+            ArgValue::Ptr(y),
+            ArgValue::Ptr(z),
+            ArgValue::U32(n as u32),
+        ]
+    };
+    b.launch(&k, blocks_for(n, BLOCK), BLOCK, args(a.base, bb.base, c.base));
+    b.launch(&k, blocks_for(n, BLOCK), BLOCK, args(c.base, bb.base, d.base));
+    b.d2h(d);
+    b.build()
+}
+
+/// Synthetic n-group fully-connected dependency graph of `degree` between
+/// two kernels of `n_tbs` blocks each: consecutive groups of `degree` K1
+/// TBs are fully connected to the matching group of K2 TBs (paper §IV-C:
+/// "a degree of 4 … resulting in a 4-to-1 dependency pattern").
+pub fn synthetic_degree_graph(n_tbs: u32, degree: u32) -> BipartiteGraph {
+    let d = degree.clamp(1, n_tbs);
+    let children: Vec<Vec<u32>> = (0..n_tbs)
+        .map(|p| {
+            let group = p / d;
+            let start = group * d;
+            let end = (start + d).min(n_tbs);
+            (start..end).collect()
+        })
+        .collect();
+    BipartiteGraph::from_children(n_tbs, n_tbs, children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_depgraph::{classify, Pattern};
+
+    #[test]
+    fn app_has_two_dependent_kernels() {
+        let app = build(8);
+        assert_eq!(app.num_kernels(), 2);
+        let mem = app.run_serialized().unwrap();
+        // D = A + 2B.
+        let allocs = app.space.allocs();
+        let (a, b, d) = (allocs[0], allocs[1], allocs[3]);
+        let av = mem.copy_to_host_f32(a.base, 4);
+        let bv = mem.copy_to_host_f32(b.base, 4);
+        let dv = mem.copy_to_host_f32(d.base, 4);
+        for i in 0..4 {
+            assert!((dv[i] - (av[i] + 2.0 * bv[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn degree_one_is_one_to_one() {
+        let g = synthetic_degree_graph(16, 1);
+        assert_eq!(classify(&g), Pattern::OneToOne);
+    }
+
+    #[test]
+    fn degree_groups_are_ngroup_fully_connected() {
+        let g = synthetic_degree_graph(16, 4);
+        assert_eq!(classify(&g), Pattern::NGroupFullyConnected { groups: 4 });
+        assert_eq!(g.max_child_degree(), 4);
+        assert_eq!(g.num_edges(), 16 * 4);
+    }
+
+    #[test]
+    fn degree_n_is_fully_connected() {
+        let g = synthetic_degree_graph(8, 8);
+        assert!(g.is_fully_connected());
+        // Degrees beyond n clamp.
+        let g = synthetic_degree_graph(8, 100);
+        assert!(g.is_fully_connected());
+    }
+}

@@ -1,0 +1,66 @@
+//! Stencil and wavefront workloads: the two dependency shapes where
+//! thread-block-level resolution shines. Runs Hotspot (overlapped halo
+//! pattern) through the full engine, then a 4K-task wavefront through the
+//! Fig. 14 comparison models (CDP, Wireframe, BlockMaestro).
+//!
+//! Run with: `cargo run --release --example stencil_wavefront`
+
+use blockmaestro::compare::{run_task_graph, CompareModel, TaskGraph};
+use blockmaestro::{check_schedule, run_app, ExecMode};
+use bm_simt::GpuConfig;
+use bm_workloads::{hotspot, Scale};
+
+fn main() {
+    let cfg = GpuConfig::titan_x_pascal();
+
+    // --- Part 1: Hotspot, an overlapped-pattern stencil -----------------
+    let app = hotspot::build(Scale::Full);
+    println!(
+        "Hotspot: {} ping-pong stencil kernels, overlapped halos",
+        app.num_kernels()
+    );
+    let baseline = run_app(&cfg, &app, ExecMode::Baseline);
+    let coarse = run_app(&cfg, &app, ExecMode::PreLaunch { window: 2 });
+    let fine = run_app(&cfg, &app, ExecMode::ProducerPriority { window: 2 });
+    println!(
+        "  baseline            : {:>9} cycles",
+        baseline.total_cycles
+    );
+    println!(
+        "  pre-launch only     : {:>9} cycles ({:.3}x)",
+        coarse.total_cycles,
+        baseline.total_cycles as f64 / coarse.total_cycles as f64
+    );
+    println!(
+        "  + TB-level deps     : {:>9} cycles ({:.3}x)",
+        fine.total_cycles,
+        baseline.total_cycles as f64 / fine.total_cycles as f64
+    );
+    let eq = check_schedule(&app, &fine.schedule).expect("replay");
+    println!("  correctness         : {eq}");
+    assert!(eq.is_match());
+
+    // --- Part 2: a 4K-task wavefront under four execution models --------
+    let g = TaskGraph::diamond("SW", 64, 3_000, 128);
+    println!(
+        "\nWavefront '{}': {} tasks over {} waves",
+        g.name,
+        g.num_tasks(),
+        g.num_levels()
+    );
+    let cdp = run_task_graph(&cfg, &g, CompareModel::Cdp).total_cycles;
+    for m in CompareModel::all() {
+        let t = run_task_graph(&cfg, &g, m).total_cycles;
+        println!(
+            "  {:<12}: {:>9} cycles ({:.3}x vs CDP)",
+            m.label(),
+            t,
+            cdp as f64 / t as f64
+        );
+    }
+    println!(
+        "\nBlockMaestro's consumer-priority run-ahead reaches ~2x over CDP\n\
+         without any task-graph programming — the dependency graphs come\n\
+         from launch-time PTX analysis alone."
+    );
+}

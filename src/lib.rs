@@ -1,0 +1,18 @@
+//! Umbrella crate for the BlockMaestro reproduction workspace.
+//!
+//! This package exists to host the workspace-level `examples/` and `tests/`
+//! directories. All functionality lives in the member crates:
+//!
+//! * [`bm_ptx`] — mini-PTX ISA, parser, and static analysis
+//! * [`bm_simt`] — GPU timing simulator substrate
+//! * [`bm_cmdq`] — CUDA-like command queue model
+//! * [`bm_depgraph`] — bipartite dependency graphs and encodings
+//! * [`bm_workloads`] — the evaluation benchmark suite
+//! * [`blockmaestro`] — the paper's core contribution
+
+pub use blockmaestro;
+pub use bm_cmdq;
+pub use bm_depgraph;
+pub use bm_ptx;
+pub use bm_simt;
+pub use bm_workloads;

@@ -1,0 +1,99 @@
+//! Pins the dependency-pattern classes the launch-time analysis detects
+//! for each benchmark (the "measured P#" column documented in
+//! EXPERIMENTS.md). A change here means the analysis precision or a
+//! workload's access structure changed — both worth noticing.
+
+use blockmaestro::jit_analyze_app;
+use bm_depgraph::{HazardMode, Pattern};
+use bm_simt::GpuConfig;
+use bm_workloads::{suite, Scale};
+use std::collections::BTreeSet;
+
+fn measured(name: &str) -> BTreeSet<u8> {
+    let cfg = GpuConfig::titan_x_pascal();
+    let bench = suite().into_iter().find(|b| b.name == name).unwrap();
+    let app = (bench.build)(Scale::Small);
+    let jit = jit_analyze_app(&cfg, &app, HazardMode::Raw);
+    jit.iter()
+        .skip(1)
+        .map(|k| k.storage.pattern.table_row())
+        .collect()
+}
+
+#[test]
+fn independent_apps_detect_pattern_7() {
+    assert_eq!(measured("BICG"), BTreeSet::from([7]));
+    assert_eq!(measured("MVT"), BTreeSet::from([7]));
+}
+
+#[test]
+fn stencils_detect_overlapped() {
+    assert!(measured("HS").contains(&6), "hotspot halos are overlapped");
+    assert!(measured("PATH").contains(&6), "pathfinder halos are overlapped");
+    let fdtd = measured("FDTD-2D");
+    assert!(fdtd.contains(&6) && fdtd.contains(&7), "fdtd: overlapped + independent");
+}
+
+#[test]
+fn conv_nets_detect_fully_connected_and_elementwise() {
+    let alex = measured("AlexNet");
+    assert!(alex.contains(&1), "conv/fc layers are fully connected");
+    assert!(alex.contains(&3), "relu/norm layers are 1-to-1");
+}
+
+#[test]
+fn no_app_is_entirely_irregular() {
+    for bench in suite() {
+        let m = measured(bench.name);
+        let non_irregular = m.iter().filter(|&&p| p != 0).count();
+        assert!(
+            non_irregular > 0,
+            "{}: every graph fell back to irregular storage: {m:?}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn every_graph_is_encodable_or_degraded() {
+    // After the 6-bit-counter degrade rule, no kernel pair's max child
+    // degree may exceed the counter range.
+    let cfg = GpuConfig::titan_x_pascal();
+    for bench in suite() {
+        let app = (bench.build)(Scale::Small);
+        let jit = jit_analyze_app(&cfg, &app, HazardMode::Raw);
+        for k in &jit {
+            if k.graph.is_fully_connected() || k.graph.is_independent() {
+                continue; // symbolic encodings need no counters beyond one
+            }
+            assert!(
+                k.graph.max_child_degree() <= blockmaestro::hw::MAX_COUNTER,
+                "{} kernel {}: degree {} survived the degrade rule",
+                bench.name,
+                k.seq,
+                k.graph.max_child_degree()
+            );
+        }
+    }
+}
+
+#[test]
+fn pattern_display_is_informative() {
+    // Debuggability: every pattern has a non-empty, distinct display form.
+    let patterns = [
+        Pattern::Independent,
+        Pattern::FullyConnected,
+        Pattern::OneToOne,
+        Pattern::OneToN,
+        Pattern::NToOne,
+        Pattern::NGroupFullyConnected { groups: 3 },
+        Pattern::Overlapped { max_degree: 5 },
+        Pattern::Irregular,
+    ];
+    let mut seen = BTreeSet::new();
+    for p in patterns {
+        let s = p.to_string();
+        assert!(!s.is_empty());
+        assert!(seen.insert(s));
+    }
+}

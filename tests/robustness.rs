@@ -1,0 +1,127 @@
+//! Degenerate-input robustness: single-thread launches, one-TB grids,
+//! kernel-free applications, and extreme windows must not panic or
+//! deadlock anywhere in the pipeline.
+
+use blockmaestro::{check_schedule, run_app, ExecMode};
+use bm_cmdq::{ApiCall, Application};
+use bm_ptx::absint::analyze_launch;
+use bm_ptx::kernel::{ArgValue, Dim3, Launch};
+use bm_ptx::mem::AddressSpace;
+use bm_ptx::parser::parse_kernel;
+use bm_simt::GpuConfig;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn one_store_kernel() -> Arc<bm_ptx::kernel::Kernel> {
+    Arc::new(
+        parse_kernel(
+            r#".entry one(.param .u64 A) {
+                 ld.param.u64 %rd1, [A];
+                 mov.u32 %r1, %tid.x;
+                 mul.wide.u32 %rd2, %r1, 4;
+                 add.u64 %rd3, %rd1, %rd2;
+                 st.global.f32 [%rd3], 0f3F800000;
+                 ret;
+               }"#,
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn single_thread_single_block_launch() {
+    let mut space = AddressSpace::new();
+    let a = space.alloc(4);
+    let launch = Launch::new(
+        one_store_kernel(),
+        Dim3::x(1),
+        Dim3::x(1),
+        vec![ArgValue::Ptr(a.base)],
+    );
+    let acc = analyze_launch(&launch);
+    assert!(!acc.non_static);
+    assert_eq!(acc.per_tb.len(), 1);
+    assert_eq!(acc.per_tb[0].writes.total_bytes(), 4);
+    let app = Application {
+        name: "tiny".into(),
+        space,
+        calls: vec![ApiCall::KernelLaunch(launch)],
+        host_data: HashMap::new(),
+    };
+    let cfg = GpuConfig::titan_x_pascal();
+    for mode in [ExecMode::Baseline, ExecMode::ConsumerPriority { window: 4 }] {
+        let r = run_app(&cfg, &app, mode);
+        assert_eq!(r.schedule.len(), 1);
+        assert!(check_schedule(&app, &r.schedule).unwrap().is_match());
+    }
+}
+
+#[test]
+fn application_without_kernels() {
+    let mut space = AddressSpace::new();
+    let a = space.alloc(64);
+    let app = Application {
+        name: "nokernels".into(),
+        space,
+        calls: vec![
+            ApiCall::Malloc { alloc: a.id },
+            ApiCall::MemcpyH2D { alloc: a.id, bytes: 64 },
+            ApiCall::MemcpyD2H { alloc: a.id, bytes: 64 },
+        ],
+        host_data: HashMap::new(),
+    };
+    let cfg = GpuConfig::titan_x_pascal();
+    let r = run_app(&cfg, &app, ExecMode::Baseline);
+    assert_eq!(r.num_kernels, 0);
+    assert!(r.schedule.is_empty());
+    assert!(check_schedule(&app, &r.schedule).unwrap().is_match());
+}
+
+#[test]
+fn window_larger_than_kernel_count() {
+    let mut space = AddressSpace::new();
+    let a = space.alloc(256);
+    let k = one_store_kernel();
+    let app = Application {
+        name: "widewindow".into(),
+        space,
+        calls: vec![
+            ApiCall::KernelLaunch(Launch::new(
+                k.clone(),
+                Dim3::x(1),
+                Dim3::x(32),
+                vec![ArgValue::Ptr(a.base)],
+            )),
+            ApiCall::KernelLaunch(Launch::new(
+                k,
+                Dim3::x(1),
+                Dim3::x(32),
+                vec![ArgValue::Ptr(a.base)],
+            )),
+        ],
+        host_data: HashMap::new(),
+    };
+    let cfg = GpuConfig::titan_x_pascal();
+    let r = run_app(&cfg, &app, ExecMode::ConsumerPriority { window: 64 });
+    assert_eq!(r.schedule.len(), 2);
+    assert!(check_schedule(&app, &r.schedule).unwrap().is_match());
+}
+
+#[test]
+fn block_larger_than_data_guards_out_cleanly() {
+    // 1024-thread block storing only via tid < grid extent: the kernel
+    // writes 1024 lanes into a 1024-element buffer exactly; shrinking the
+    // buffer is a functional-model bug and must panic loudly, so size it
+    // exactly and check the boundary write.
+    let mut space = AddressSpace::new();
+    let a = space.alloc(4 * 1024);
+    let launch = Launch::new(
+        one_store_kernel(),
+        Dim3::x(1),
+        Dim3::x(1024),
+        vec![ArgValue::Ptr(a.base)],
+    );
+    let mut mem = bm_ptx::mem::GlobalMem::for_space(&space);
+    bm_ptx::interp::execute_launch(&launch, &mut mem).unwrap();
+    assert_eq!(mem.read_f32(a.base + 4 * 1023), 1.0);
+}
