@@ -1,9 +1,13 @@
-//! Criterion microbenchmarks of the BlockMaestro toolchain itself: parsing,
+//! Microbenchmarks of the BlockMaestro toolchain itself: parsing,
 //! launch-time analysis, dependency-graph construction (fast vs. naive),
-//! the SM timing model, and the full engine.
+//! and the full engine.
+//!
+//! Uses a small std-only harness (`harness = false`) so the workspace
+//! builds hermetically without crates.io access. Run with
+//! `cargo bench -p bm-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use blockmaestro::{jit_analyze_app, run_analyzed, ExecMode};
 use bm_depgraph::{build_graph, build_graph_naive, HazardMode};
@@ -40,13 +44,37 @@ $DONE:
 }
 "#;
 
-fn bench_parser(c: &mut Criterion) {
-    c.bench_function("parse_vecadd", |b| {
-        b.iter(|| parse_kernel(black_box(VECADD_SRC)).unwrap())
+/// Times `f` with warmup and enough iterations to cross a 200 ms budget,
+/// printing a criterion-style mean-per-iteration line.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warmup and single-shot estimate.
+    let t0 = Instant::now();
+    black_box(f());
+    let est = t0.elapsed();
+    let iters = (200_000_000u128 / est.as_nanos().max(1)).clamp(1, 100_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let total = start.elapsed();
+    let per_iter = total.as_nanos() / iters as u128;
+    let (val, unit) = if per_iter >= 1_000_000 {
+        (per_iter as f64 / 1e6, "ms")
+    } else if per_iter >= 1_000 {
+        (per_iter as f64 / 1e3, "us")
+    } else {
+        (per_iter as f64, "ns")
+    };
+    println!("{name:<40} {val:>10.2} {unit}/iter   ({iters} iters)");
+}
+
+fn bench_parser() {
+    bench("parse_vecadd", || {
+        parse_kernel(black_box(VECADD_SRC)).unwrap()
     });
 }
 
-fn bench_value_range_analysis(c: &mut Criterion) {
+fn bench_value_range_analysis() {
     let kernel = Arc::new(parse_kernel(VECADD_SRC).unwrap());
     for tbs in [64u32, 512] {
         let launch = Launch::new(
@@ -60,13 +88,13 @@ fn bench_value_range_analysis(c: &mut Criterion) {
                 ArgValue::U32(tbs * 256),
             ],
         );
-        c.bench_function(&format!("analyze_launch/{tbs}tbs"), |b| {
-            b.iter(|| analyze_launch(black_box(&launch)))
+        bench(&format!("analyze_launch/{tbs}tbs"), || {
+            analyze_launch(black_box(&launch))
         });
     }
 }
 
-fn bench_graph_builders(c: &mut Criterion) {
+fn bench_graph_builders() {
     // Stencil-shaped access sets: a case with real edge structure.
     let kernel = Arc::new(parse_kernel(VECADD_SRC).unwrap());
     let mk = |base: u64, tbs: u32| {
@@ -96,44 +124,37 @@ fn bench_graph_builders(c: &mut Criterion) {
         ],
     );
     let child = analyze_launch(&child);
-    c.bench_function("build_graph/sweep/256x256", |b| {
-        b.iter(|| build_graph(black_box(&parent), black_box(&child), HazardMode::Raw))
+    bench("build_graph/sweep/256x256", || {
+        build_graph(black_box(&parent), black_box(&child), HazardMode::Raw)
     });
-    c.bench_function("build_graph/naive/256x256", |b| {
-        b.iter(|| build_graph_naive(black_box(&parent), black_box(&child), HazardMode::Raw))
+    bench("build_graph/naive/256x256", || {
+        build_graph_naive(black_box(&parent), black_box(&child), HazardMode::Raw)
     });
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     let cfg = GpuConfig::titan_x_pascal();
     let app = hotspot::build(Scale::Small);
     let jit = jit_analyze_app(&cfg, &app, HazardMode::Raw);
-    c.bench_function("jit_analyze/hotspot_small", |b| {
-        b.iter(|| jit_analyze_app(black_box(&cfg), black_box(&app), HazardMode::Raw))
+    bench("jit_analyze/hotspot_small", || {
+        jit_analyze_app(black_box(&cfg), black_box(&app), HazardMode::Raw)
     });
-    c.bench_function("engine_run/hotspot_small", |b| {
-        b.iter_batched(
-            || (),
-            |_| {
-                run_analyzed(
-                    black_box(&cfg),
-                    black_box(&app),
-                    black_box(&jit),
-                    ExecMode::ConsumerPriority { window: 3 },
-                )
-            },
-            BatchSize::SmallInput,
+    bench("engine_run/hotspot_small", || {
+        run_analyzed(
+            black_box(&cfg),
+            black_box(&app),
+            black_box(&jit),
+            ExecMode::ConsumerPriority { window: 3 },
         )
     });
 }
 
 /// Ablation of the design choices §III-E calls out: scheduling policy and
 /// pre-launch window depth on a dependency-heavy workload.
-fn bench_ablation_policies(c: &mut Criterion) {
+fn bench_ablation_policies() {
     let cfg = GpuConfig::titan_x_pascal();
     let app = vectoradd::build(512);
     let jit = jit_analyze_app(&cfg, &app, HazardMode::Raw);
-    let mut group = c.benchmark_group("ablation_policies");
     for mode in [
         ExecMode::Baseline,
         ExecMode::PreLaunch { window: 2 },
@@ -141,19 +162,16 @@ fn bench_ablation_policies(c: &mut Criterion) {
         ExecMode::ConsumerPriority { window: 2 },
         ExecMode::ConsumerPriority { window: 4 },
     ] {
-        group.bench_function(mode.to_string(), |b| {
-            b.iter(|| run_analyzed(black_box(&cfg), black_box(&app), black_box(&jit), mode))
+        bench(&format!("ablation_policies/{mode}"), || {
+            run_analyzed(black_box(&cfg), black_box(&app), black_box(&jit), mode)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_parser,
-    bench_value_range_analysis,
-    bench_graph_builders,
-    bench_engine,
-    bench_ablation_policies
-);
-criterion_main!(benches);
+fn main() {
+    bench_parser();
+    bench_value_range_analysis();
+    bench_graph_builders();
+    bench_engine();
+    bench_ablation_policies();
+}

@@ -54,7 +54,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let scale = if flag("--small") { Scale::Small } else { Scale::Full };
+    let scale = if flag("--small") {
+        Scale::Small
+    } else {
+        Scale::Full
+    };
     let hazard = if flag("--all-hazards") {
         HazardMode::All
     } else {
@@ -106,7 +110,11 @@ fn main() -> ExitCode {
             match check_no_races(&app, &report.schedule) {
                 Ok(races) if races.is_empty() => println!("    races  : none"),
                 Ok(races) => {
-                    println!("    races  : {} conflicts, first {:?}", races.len(), races[0]);
+                    println!(
+                        "    races  : {} conflicts, first {:?}",
+                        races.len(),
+                        races[0]
+                    );
                     failed = true;
                 }
                 Err(e) => {

@@ -42,12 +42,7 @@ fn main() {
             jit[1].graph = graph;
             jit[1].storage = st;
             let base = run_analyzed(&cfg, &app, &jit, ExecMode::Baseline);
-            let bm = run_analyzed(
-                &cfg,
-                &app,
-                &jit,
-                ExecMode::ProducerPriority { window: 2 },
-            );
+            let bm = run_analyzed(&cfg, &app, &jit, ExecMode::ProducerPriority { window: 2 });
             row.push(format!(
                 "{:.3}",
                 bm_simt::stats::speedup(base.total_cycles, bm.total_cycles)

@@ -38,7 +38,13 @@ fn main() {
         );
     }
     let avg = fracs.iter().sum::<f64>() / fracs.len() as f64;
-    println!("{:>14} {:>14} {:>14} {:>13.3}%", "average", "", "", 100.0 * avg);
+    println!(
+        "{:>14} {:>14} {:>14} {:>13.3}%",
+        "average",
+        "",
+        "",
+        100.0 * avg
+    );
     println!();
     println!("paper reference: average memory request overhead ≈ 1.36%");
 }

@@ -32,15 +32,10 @@ fn main() {
             })
             .collect(),
     );
-    let one_to_one =
-        BipartiteGraph::from_children(n, n, (0..n).map(|p| vec![p]).collect());
+    let one_to_one = BipartiteGraph::from_children(n, n, (0..n).map(|p| vec![p]).collect());
     let one_to_n =
         BipartiteGraph::from_children(n, m, (0..n).map(|p| vec![2 * p, 2 * p + 1]).collect());
-    let n_to_one = BipartiteGraph::from_children(
-        n,
-        n / 2,
-        (0..n).map(|p| vec![p / 2]).collect(),
-    );
+    let n_to_one = BipartiteGraph::from_children(n, n / 2, (0..n).map(|p| vec![p / 2]).collect());
     let overlapped = {
         // Child c depends on parents {c-1, c, c+1} (stencil halo).
         let mut children = vec![Vec::new(); n as usize];

@@ -108,10 +108,7 @@ pub fn scale_from_args() -> Scale {
 
 /// Prints a row of `cells` padded to `width` characters each.
 pub fn print_row(cells: &[String], width: usize) {
-    let line: Vec<String> = cells
-        .iter()
-        .map(|c| format!("{c:>width$}"))
-        .collect();
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>width$}")).collect();
     println!("{}", line.join(" "));
 }
 

@@ -82,11 +82,7 @@ impl CallDag {
 /// program semantics.)
 pub fn build_call_dag(app: &Application) -> CallDag {
     let n = app.calls.len();
-    let effects: Vec<CallEffects> = app
-        .calls
-        .iter()
-        .map(|c| call_effects(app, c))
-        .collect();
+    let effects: Vec<CallEffects> = app.calls.iter().map(|c| call_effects(app, c)).collect();
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut last_writer: HashMap<AllocId, usize> = HashMap::new();
     let mut last_readers: HashMap<AllocId, Vec<usize>> = HashMap::new();
@@ -199,13 +195,22 @@ mod tests {
             name: "fig5".into(),
             space,
             calls: vec![
-                ApiCall::Malloc { alloc: a.id },     // 0
-                ApiCall::MemcpyH2D { alloc: a.id, bytes: 1024 }, // 1
-                launch(a.base),                       // 2  K1(A)
-                ApiCall::Malloc { alloc: b.id },     // 3
-                ApiCall::MemcpyH2D { alloc: b.id, bytes: 1024 }, // 4
-                launch(b.base),                       // 5  K2(B)
-                ApiCall::MemcpyD2H { alloc: a.id, bytes: 1024 }, // 6
+                ApiCall::Malloc { alloc: a.id }, // 0
+                ApiCall::MemcpyH2D {
+                    alloc: a.id,
+                    bytes: 1024,
+                }, // 1
+                launch(a.base),                  // 2  K1(A)
+                ApiCall::Malloc { alloc: b.id }, // 3
+                ApiCall::MemcpyH2D {
+                    alloc: b.id,
+                    bytes: 1024,
+                }, // 4
+                launch(b.base),                  // 5  K2(B)
+                ApiCall::MemcpyD2H {
+                    alloc: a.id,
+                    bytes: 1024,
+                }, // 6
             ],
             host_data: HashMap::new(),
         }

@@ -1,0 +1,265 @@
+//! Typed errors for command-queue applications.
+//!
+//! [`Application::validate`] screens an application before it enters the
+//! execution pipeline: every call must reference a live allocation, host
+//! payloads must fit their destination, and every launch must bind its
+//! arguments. Catching these up front turns what would be mid-simulation
+//! panics into a typed, recoverable rejection.
+
+use crate::api::{ApiCall, Application};
+use bm_ptx::error::PtxError;
+use bm_ptx::interp::ExecError;
+use bm_ptx::kernel::ArgValue;
+use bm_ptx::mem::AllocId;
+use std::fmt;
+
+/// A structural defect in an application's call trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmdqError {
+    /// A call references an allocation id the address space never created.
+    UnknownAlloc {
+        /// Index of the offending call in `Application::calls`.
+        call: usize,
+        /// The dangling allocation id.
+        alloc: AllocId,
+    },
+    /// A memcpy moves more bytes than its allocation holds.
+    OversizedCopy {
+        /// Index of the offending call.
+        call: usize,
+        /// Destination/source allocation.
+        alloc: AllocId,
+        /// Bytes requested.
+        bytes: u64,
+        /// Allocation capacity.
+        capacity: u64,
+    },
+    /// A kernel pointer argument points outside every allocation.
+    UnmappedArg {
+        /// Index of the offending call.
+        call: usize,
+        /// Kernel name.
+        kernel: String,
+        /// The unmapped device address.
+        addr: u64,
+    },
+    /// A launch is structurally malformed (arity, zero-thread blocks).
+    Launch(PtxError),
+    /// Functional execution of the serialized reference failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for CmdqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmdqError::UnknownAlloc { call, alloc } => {
+                write!(f, "call #{call} references unknown allocation {alloc}")
+            }
+            CmdqError::OversizedCopy {
+                call,
+                alloc,
+                bytes,
+                capacity,
+            } => write!(
+                f,
+                "call #{call} copies {bytes} B through {alloc} of {capacity} B"
+            ),
+            CmdqError::UnmappedArg { call, kernel, addr } => write!(
+                f,
+                "call #{call}: `{kernel}` argument {addr:#x} is outside every allocation"
+            ),
+            CmdqError::Launch(e) => write!(f, "invalid launch: {e}"),
+            CmdqError::Exec(e) => write!(f, "serialized execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CmdqError {}
+
+impl From<PtxError> for CmdqError {
+    fn from(e: PtxError) -> Self {
+        CmdqError::Launch(e)
+    }
+}
+
+impl From<ExecError> for CmdqError {
+    fn from(e: ExecError) -> Self {
+        CmdqError::Exec(e)
+    }
+}
+
+impl Application {
+    /// Validates the application's structure against its address space.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CmdqError`] found, scanning calls in program order.
+    pub fn validate(&self) -> Result<(), CmdqError> {
+        let n_allocs = self.space.allocs().len() as u32;
+        for (i, call) in self.calls.iter().enumerate() {
+            match call {
+                ApiCall::Malloc { alloc } => {
+                    if alloc.0 >= n_allocs {
+                        return Err(CmdqError::UnknownAlloc {
+                            call: i,
+                            alloc: *alloc,
+                        });
+                    }
+                }
+                ApiCall::MemcpyH2D { alloc, bytes } | ApiCall::MemcpyD2H { alloc, bytes } => {
+                    if alloc.0 >= n_allocs {
+                        return Err(CmdqError::UnknownAlloc {
+                            call: i,
+                            alloc: *alloc,
+                        });
+                    }
+                    let capacity = self.space.info(*alloc).size;
+                    if *bytes > capacity {
+                        return Err(CmdqError::OversizedCopy {
+                            call: i,
+                            alloc: *alloc,
+                            bytes: *bytes,
+                            capacity,
+                        });
+                    }
+                }
+                ApiCall::KernelLaunch(launch) => {
+                    bm_ptx::error::validate_launch(launch)?;
+                    for arg in &launch.args {
+                        if let ArgValue::Ptr(addr) = arg {
+                            if self.space.find(*addr).is_none() {
+                                return Err(CmdqError::UnmappedArg {
+                                    call: i,
+                                    kernel: launch.kernel.name.clone(),
+                                    addr: *addr,
+                                });
+                            }
+                        }
+                    }
+                }
+                ApiCall::DeviceSynchronize => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Fallible serialized execution: validates first, then runs every
+    /// kernel functionally in command order.
+    ///
+    /// # Errors
+    ///
+    /// Structural defects as [`CmdqError`] variants, execution failures as
+    /// [`CmdqError::Exec`].
+    pub fn try_run_serialized(&self) -> Result<bm_ptx::mem::GlobalMem, CmdqError> {
+        self.validate()?;
+        self.run_serialized().map_err(CmdqError::Exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_ptx::kernel::{Dim3, Launch};
+    use bm_ptx::mem::AddressSpace;
+    use bm_ptx::parser::parse_kernel;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn kernel() -> Arc<bm_ptx::kernel::Kernel> {
+        Arc::new(
+            parse_kernel(
+                r#".entry k(.param .u64 A) {
+                     ld.param.u64 %rd1, [A];
+                     st.global.f32 [%rd1], 0f3F800000;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn app(space: AddressSpace, calls: Vec<ApiCall>) -> Application {
+        Application {
+            name: "t".into(),
+            space,
+            calls,
+            host_data: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn valid_app_passes_and_runs() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc(64);
+        let calls = vec![
+            ApiCall::MemcpyH2D {
+                alloc: a.id,
+                bytes: 64,
+            },
+            ApiCall::KernelLaunch(Launch::new(
+                kernel(),
+                Dim3::x(1),
+                Dim3::x(1),
+                vec![ArgValue::Ptr(a.base)],
+            )),
+        ];
+        let app = app(space, calls);
+        assert_eq!(app.validate(), Ok(()));
+        assert!(app.try_run_serialized().is_ok());
+    }
+
+    #[test]
+    fn dangling_alloc_id_is_rejected() {
+        let space = AddressSpace::new();
+        let app = app(space, vec![ApiCall::Malloc { alloc: AllocId(7) }]);
+        let err = app.validate().unwrap_err();
+        assert!(
+            matches!(err, CmdqError::UnknownAlloc { call: 0, .. }),
+            "{err}"
+        );
+        assert!(app.try_run_serialized().is_err());
+    }
+
+    #[test]
+    fn oversized_copy_is_rejected() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc(64);
+        let app = app(
+            space,
+            vec![ApiCall::MemcpyH2D {
+                alloc: a.id,
+                bytes: 1024,
+            }],
+        );
+        let err = app.validate().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CmdqError::OversizedCopy {
+                    bytes: 1024,
+                    capacity: 64,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unmapped_pointer_arg_is_rejected() {
+        let mut space = AddressSpace::new();
+        let _a = space.alloc(64);
+        let app = app(
+            space,
+            vec![ApiCall::KernelLaunch(Launch::new(
+                kernel(),
+                Dim3::x(1),
+                Dim3::x(1),
+                vec![ArgValue::Ptr(0xDEAD_0000)],
+            ))],
+        );
+        let err = app.validate().unwrap_err();
+        assert!(matches!(err, CmdqError::UnmappedArg { .. }), "{err}");
+        assert!(err.to_string().contains("0xdead0000"));
+    }
+}

@@ -24,8 +24,10 @@
 
 pub mod api;
 pub mod deps;
+pub mod error;
 pub mod reorder;
 
 pub use api::{ApiCall, Application};
 pub use deps::{build_call_dag, call_effects, CallDag, CallEffects};
+pub use error::CmdqError;
 pub use reorder::{is_valid_order, reorder_for_prelaunch, Reordering};

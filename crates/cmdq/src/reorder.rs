@@ -46,11 +46,7 @@ pub fn reorder_for_prelaunch(app: &Application) -> Reordering {
     // a trailing device-to-host copy should not wedge between kernels.
     let mut feeds_kernel = vec![false; n];
     for i in (0..n).rev() {
-        if matches!(app.calls[i], ApiCall::KernelLaunch(_)) {
-            for &p in &dag.preds[i] {
-                feeds_kernel[p] = true;
-            }
-        } else if feeds_kernel[i] {
+        if matches!(app.calls[i], ApiCall::KernelLaunch(_)) || feeds_kernel[i] {
             for &p in &dag.preds[i] {
                 feeds_kernel[p] = true;
             }
@@ -65,9 +61,7 @@ pub fn reorder_for_prelaunch(app: &Application) -> Reordering {
         // 3) everything else — each class in original program order.
         let pick = (0..n)
             .find(|i| {
-                ready(i)
-                    && feeds_kernel[*i]
-                    && !matches!(app.calls[*i], ApiCall::KernelLaunch(_))
+                ready(i) && feeds_kernel[*i] && !matches!(app.calls[*i], ApiCall::KernelLaunch(_))
             })
             .or_else(|| {
                 (0..n).find(|i| ready(i) && matches!(app.calls[*i], ApiCall::KernelLaunch(_)))
@@ -146,12 +140,21 @@ mod tests {
             space,
             calls: vec![
                 ApiCall::Malloc { alloc: a.id },
-                ApiCall::MemcpyH2D { alloc: a.id, bytes: 1024 },
+                ApiCall::MemcpyH2D {
+                    alloc: a.id,
+                    bytes: 1024,
+                },
                 launch(a.base),
                 ApiCall::Malloc { alloc: b.id },
-                ApiCall::MemcpyH2D { alloc: b.id, bytes: 1024 },
+                ApiCall::MemcpyH2D {
+                    alloc: b.id,
+                    bytes: 1024,
+                },
                 launch(b.base),
-                ApiCall::MemcpyD2H { alloc: a.id, bytes: 1024 },
+                ApiCall::MemcpyD2H {
+                    alloc: a.id,
+                    bytes: 1024,
+                },
             ],
             host_data: HashMap::new(),
         }

@@ -113,7 +113,9 @@ impl<'a> TaskSource<'a> {
             g,
             model,
             counts,
-            done_tasks: (0..levels).map(|l| vec![false; g.widths[l] as usize]).collect(),
+            done_tasks: (0..levels)
+                .map(|l| vec![false; g.widths[l] as usize])
+                .collect(),
             level_done: vec![0; levels],
             level_complete: vec![false; levels],
             ready: (0..levels).map(|_| VecDeque::new()).collect(),
@@ -221,12 +223,11 @@ impl TbSource for TaskSource<'_> {
             return None;
         }
         let levels = self.g.num_levels();
-        let order: Box<dyn Iterator<Item = usize>> =
-            if self.model == CompareModel::BmConsumer {
-                Box::new((0..levels).rev())
-            } else {
-                Box::new(0..levels)
-            };
+        let order: Box<dyn Iterator<Item = usize>> = if self.model == CompareModel::BmConsumer {
+            Box::new((0..levels).rev())
+        } else {
+            Box::new(0..levels)
+        };
         for l in order {
             if let Some(idx) = self.ready[l].pop_front() {
                 return Some(TbDescriptor {

@@ -237,7 +237,10 @@ mod tests {
             name: "chain".into(),
             space,
             calls: vec![
-                ApiCall::MemcpyH2D { alloc: a.id, bytes: 4 * n },
+                ApiCall::MemcpyH2D {
+                    alloc: a.id,
+                    bytes: 4 * n,
+                },
                 ApiCall::KernelLaunch(Launch::new(
                     k1,
                     Dim3::x(2),
@@ -256,10 +259,7 @@ mod tests {
     }
 
     fn key(k: u32, tb: u32) -> TbKey {
-        TbKey {
-            kernel_seq: k,
-            tb,
-        }
+        TbKey { kernel_seq: k, tb }
     }
 
     #[test]
@@ -274,7 +274,9 @@ mod tests {
             (key(1, 1), 120, 200),
         ];
         let races = check_no_races(&app, &schedule).unwrap();
-        assert!(races.iter().any(|r| r.first == key(0, 0) && r.second == key(1, 0)));
+        assert!(races
+            .iter()
+            .any(|r| r.first == key(0, 0) && r.second == key(1, 0)));
         // A properly-ordered schedule is race-free.
         let clean = vec![
             (key(0, 0), 0, 100),

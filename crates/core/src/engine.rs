@@ -8,13 +8,20 @@
 //! without launch overhead) run through the same machinery with a window
 //! of one.
 
-use crate::hw::{DepListBuffer, HwTraffic, ParentCounterBuffer};
+#![deny(clippy::unwrap_used)]
+
+use crate::error::EngineError;
+use crate::faults::FaultPlan;
+use crate::guard::GuardReport;
+use crate::hw::{
+    DepListBuffer, HwError, HwTraffic, ParentCounterBuffer, BUFFER_ENTRIES, MAX_COUNTER,
+};
 use crate::jit::{jit_analyze_app, JitKernel};
 use crate::modes::ExecMode;
 use bm_cmdq::{build_call_dag, reorder_for_prelaunch, ApiCall, Application, Reordering};
 use bm_depgraph::{GraphKind, HazardMode, Pattern};
 use bm_simt::config::GpuConfig;
-use bm_simt::des::{self, DesStats, TbDescriptor, TbKey, TbSource};
+use bm_simt::des::{self, DesError, DesStats, TbDescriptor, TbKey, TbSource};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -52,6 +59,8 @@ pub struct RunReport {
     pub dlb_high_water: usize,
     /// Peak simultaneous parent-counter buffer occupancy.
     pub pcb_high_water: usize,
+    /// Soundness-guard accounting (all zeros for unguarded runs).
+    pub guard: GuardReport,
 }
 
 impl RunReport {
@@ -90,21 +99,69 @@ pub fn run_app_with(
 
 /// Runs an already-analyzed application (lets callers share the JIT pass
 /// across the six Fig. 9 variants).
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks or a hardware fault surfaces; use
+/// [`try_run_analyzed`] to get a typed [`EngineError`] instead.
 pub fn run_analyzed(
     cfg: &GpuConfig,
     app: &Application,
     jit: &[JitKernel],
     mode: ExecMode,
 ) -> RunReport {
+    try_run_analyzed(cfg, app, jit, mode).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible counterpart of [`run_analyzed`].
+///
+/// # Errors
+///
+/// [`EngineError::Deadlock`] when the simulation wedges with unfinished
+/// TBs, [`EngineError::Hw`] when the scheduler buffers detect inconsistent
+/// dependency metadata.
+pub fn try_run_analyzed(
+    cfg: &GpuConfig,
+    app: &Application,
+    jit: &[JitKernel],
+    mode: ExecMode,
+) -> Result<RunReport, EngineError> {
+    try_run_analyzed_faulty(cfg, app, jit, mode, &FaultPlan::default())
+}
+
+/// Fallible run with a [`FaultPlan`] injected into the dependency
+/// hardware. The entry point of the fault-injection harness; a default
+/// (empty) plan makes it identical to [`try_run_analyzed`].
+///
+/// # Errors
+///
+/// As [`try_run_analyzed`]; injected faults surface through the same
+/// typed variants.
+pub fn try_run_analyzed_faulty(
+    cfg: &GpuConfig,
+    app: &Application,
+    jit: &[JitKernel],
+    mode: ExecMode,
+    fault: &FaultPlan,
+) -> Result<RunReport, EngineError> {
     let order = if mode.prelaunches() {
         reorder_for_prelaunch(app)
     } else {
         Reordering::identity(app.calls.len())
     };
     let (host_ready, epilogue) = host_timeline(cfg, app, &order, mode);
-    let mut source = EngineSource::new(cfg, jit, mode, host_ready);
-    let stats = des::run(cfg, &mut source);
-    assemble_report(cfg, jit, mode, &source, stats, epilogue)
+    let mut source = EngineSource::new(cfg, jit, mode, host_ready, fault);
+    match des::try_run(cfg, &mut source) {
+        Ok(stats) => match source.error.take() {
+            Some(e) => Err(e),
+            None => Ok(assemble_report(cfg, jit, mode, &source, stats, epilogue)),
+        },
+        Err(DesError::Deadlock(snap)) => Err(EngineError::Deadlock(snap)),
+        Err(DesError::SourceAbort { cycle }) => Err(source
+            .error
+            .take()
+            .unwrap_or(EngineError::Aborted { cycle })),
+    }
 }
 
 /// Host-side issue times for each kernel plus the post-kernel epilogue
@@ -240,6 +297,10 @@ struct EngineSource<'a> {
     arrivals: BinaryHeap<Reverse<(u64, usize)>>,
     dlb: DepListBuffer,
     pcb: ParentCounterBuffer,
+    /// Injected corruptions (empty plan for normal runs).
+    fault: &'a FaultPlan,
+    /// First fault detected mid-run; set once, then the DES aborts.
+    error: Option<EngineError>,
     /// Alternates consumer-priority placement between run-ahead (newest
     /// kernel first) and producer progress (oldest first), so run-ahead
     /// cannot starve the retirement-critical producer when thread-block
@@ -253,15 +314,17 @@ impl<'a> EngineSource<'a> {
         jit: &'a [JitKernel],
         mode: ExecMode,
         host_ready: Vec<u64>,
+        fault: &'a FaultPlan,
     ) -> Self {
         let fine = mode.fine_grain();
         let kernels: Vec<KernelState> = jit
             .iter()
-            .map(|k| {
+            .enumerate()
+            .map(|(seq, k)| {
                 let n = k.profile.n_tbs;
                 // Coarse modes treat any dependence as a whole-kernel
                 // barrier; fine-grain modes use the bipartite graph.
-                let counts = if fine {
+                let mut counts = if fine {
                     match k.graph.kind() {
                         GraphKind::Explicit(_) => k.graph.parent_counts(),
                         _ => Vec::new(),
@@ -269,6 +332,18 @@ impl<'a> EngineSource<'a> {
                 } else {
                     Vec::new()
                 };
+                // Injected counter faults perturb the initial seeds, within
+                // the 6-bit range real hardware would store.
+                for (tb, c) in counts.iter_mut().enumerate() {
+                    let key = TbKey {
+                        kernel_seq: seq as u32,
+                        tb: tb as u32,
+                    };
+                    let delta = fault.counter_delta(key);
+                    if delta != 0 {
+                        *c = (*c as i64 + delta).clamp(0, MAX_COUNTER as i64) as u32;
+                    }
+                }
                 KernelState {
                     n_tbs: n,
                     threads: k.profile.threads,
@@ -314,7 +389,9 @@ impl<'a> EngineSource<'a> {
             },
             arrivals: BinaryHeap::new(),
             dlb: DepListBuffer::new(),
-            pcb: ParentCounterBuffer::default(),
+            pcb: ParentCounterBuffer::new(fault.pcb_capacity.unwrap_or(BUFFER_ENTRIES)),
+            fault,
+            error: None,
             consumer_toggle: false,
         };
         // Seed initial data-readiness at time 0.
@@ -369,8 +446,7 @@ impl<'a> EngineSource<'a> {
 
     /// Issues kernels into the active window as retirement frees slots.
     fn admit_kernels(&mut self, now: u64) {
-        while self.issued_count < self.jit.len() && self.issued_count < self.retired + self.window
-        {
+        while self.issued_count < self.jit.len() && self.issued_count < self.retired + self.window {
             let k = self.issued_count;
             let issue = now
                 .max(self.host_ready.get(k).copied().unwrap_or(0))
@@ -447,6 +523,14 @@ impl<'a> EngineSource<'a> {
     fn active_range(&self) -> std::ops::Range<usize> {
         self.retired..self.issued_count
     }
+
+    /// Records the first mid-run fault; subsequent faults are ignored and
+    /// the DES aborts at its next scheduling point.
+    fn record_error(&mut self, e: EngineError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
 }
 
 impl TbSource for EngineSource<'_> {
@@ -489,7 +573,7 @@ impl TbSource for EngineSource<'_> {
         let k = key.kernel_seq as usize;
         // Buffer this TB's dependency-list entry: the children it must
         // notify live in the *next* kernel's graph.
-        let (children, encoded) = match self.jit.get(k + 1) {
+        let (mut children, encoded) = match self.jit.get(k + 1) {
             Some(next) if self.mode.fine_grain() => match next.graph.kind() {
                 GraphKind::Explicit(_) => (next.graph.children_of(key.tb), next.encoded),
                 // Symbolic graphs derive children; nothing to buffer.
@@ -497,6 +581,20 @@ impl TbSource for EngineSource<'_> {
             },
             _ => (Vec::new(), true),
         };
+        // Injected dependency-list corruption: lose or fabricate edges.
+        // Only explicit graphs have dependency lists to corrupt — barrier
+        // (fully-connected) and independent kernels bypass this hardware,
+        // which is what makes quarantine a safe fallback.
+        if !self.fault.is_empty()
+            && self.mode.fine_grain()
+            && self
+                .jit
+                .get(k + 1)
+                .is_some_and(|n| matches!(n.graph.kind(), GraphKind::Explicit(_)))
+        {
+            children.retain(|&c| !self.fault.drops(key, c));
+            children.extend(self.fault.phantoms_of(key));
+        }
         self.dlb.insert(key, children, encoded);
         // The child TB's own parent-counter entry is released when it is
         // selected for execution (§III-D1).
@@ -504,6 +602,9 @@ impl TbSource for EngineSource<'_> {
     }
 
     fn on_tb_complete(&mut self, key: TbKey, now: u64) {
+        if self.error.is_some() {
+            return;
+        }
         let k = key.kernel_seq as usize;
         let children = self.dlb.take(key);
         {
@@ -520,8 +621,38 @@ impl TbSource for EngineSource<'_> {
                     kernel_seq: ck as u32,
                     tb: c,
                 };
-                let stored = self.kernels[ck].counts[c as usize];
-                let zero = self.pcb.decrement_with_refetch(child_key, stored);
+                // A child outside the next kernel's grid (or a kernel with
+                // no explicit counters) means the dependency list itself is
+                // corrupt; the in-memory counter array has no record of it.
+                let stored = match self
+                    .kernels
+                    .get(ck)
+                    .and_then(|st| st.counts.get(c as usize))
+                    .copied()
+                {
+                    Some(s) => s,
+                    None => {
+                        self.record_error(EngineError::Hw {
+                            err: HwError::CounterNotResident { key: child_key },
+                            cycle: now,
+                        });
+                        return;
+                    }
+                };
+                if stored == 0 {
+                    self.record_error(EngineError::Hw {
+                        err: HwError::CounterUnderflow { key: child_key },
+                        cycle: now,
+                    });
+                    return;
+                }
+                let zero = match self.pcb.try_decrement_with_refetch(child_key, stored) {
+                    Ok(z) => z,
+                    Err(err) => {
+                        self.record_error(EngineError::Hw { err, cycle: now });
+                        return;
+                    }
+                };
                 self.kernels[ck].counts[c as usize] = stored - 1;
                 if zero {
                     self.mark_data_ready(ck, c, now);
@@ -550,6 +681,38 @@ impl TbSource for EngineSource<'_> {
 
     fn is_done(&self) -> bool {
         self.retired == self.kernels.len()
+    }
+
+    fn aborted(&self) -> bool {
+        self.error.is_some()
+    }
+
+    fn diagnostics(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for k in self.active_range() {
+            let st = &self.kernels[k];
+            if st.complete {
+                continue;
+            }
+            let pending = st.counts.iter().filter(|&&c| c > 0).count();
+            out.push(format!(
+                "kernel {k} `{}`: {}/{} TBs complete, ready-queue depth {}, \
+                 {} pending parent counters, arrival {:?}, gates {:?}",
+                self.jit[k].name,
+                st.completed,
+                st.n_tbs,
+                st.ready.len(),
+                pending,
+                st.arrival,
+                st.gates,
+            ));
+        }
+        out.push(format!(
+            "parent-counter buffer: {} high-water, traffic {:?}",
+            self.pcb.high_water(),
+            self.pcb.traffic()
+        ));
+        out
     }
 }
 
@@ -590,7 +753,11 @@ fn assemble_report(
         avg_concurrency: stats.avg_concurrency(),
         stalls_normalized: stalls,
         baseline_mem_requests: baseline_mem,
-        overhead_mem_requests: if mode.fine_grain() { traffic.total() } else { 0 },
+        overhead_mem_requests: if mode.fine_grain() {
+            traffic.total()
+        } else {
+            0
+        },
         hw_traffic: traffic,
         storage_encoded,
         storage_plain,
@@ -599,10 +766,12 @@ fn assemble_report(
         num_kernels: jit.len(),
         dlb_high_water: source.dlb.high_water(),
         pcb_high_water: source.pcb.high_water(),
+        guard: GuardReport::default(),
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use bm_ptx::kernel::{ArgValue, Dim3, Launch};
@@ -648,10 +817,7 @@ mod tests {
                     k.clone(),
                     Dim3::x(tbs),
                     Dim3::x(64),
-                    vec![
-                        ArgValue::Ptr(allocs[x].base),
-                        ArgValue::Ptr(allocs[y].base),
-                    ],
+                    vec![ArgValue::Ptr(allocs[x].base), ArgValue::Ptr(allocs[y].base)],
                 ))
             })
             .collect();
@@ -850,14 +1016,20 @@ mod tests {
             space,
             calls: vec![
                 ApiCall::Malloc { alloc: a.id },
-                ApiCall::MemcpyH2D { alloc: a.id, bytes: 4 * 25600 },
+                ApiCall::MemcpyH2D {
+                    alloc: a.id,
+                    bytes: 4 * 25600,
+                },
                 ApiCall::KernelLaunch(Launch::new(
                     k,
                     Dim3::x(4),
                     Dim3::x(64),
                     vec![ArgValue::Ptr(a.base), ArgValue::Ptr(a.base)],
                 )),
-                ApiCall::MemcpyD2H { alloc: a.id, bytes: 4 * 25600 },
+                ApiCall::MemcpyD2H {
+                    alloc: a.id,
+                    bytes: 4 * 25600,
+                },
             ],
             host_data: HashMap::new(),
         };
@@ -888,8 +1060,14 @@ mod tests {
             name: "host2".into(),
             space,
             calls: vec![
-                ApiCall::MemcpyH2D { alloc: a.id, bytes: 1024 },
-                ApiCall::MemcpyH2D { alloc: b.id, bytes: 4 * 1024 * 1024 },
+                ApiCall::MemcpyH2D {
+                    alloc: a.id,
+                    bytes: 1024,
+                },
+                ApiCall::MemcpyH2D {
+                    alloc: b.id,
+                    bytes: 4 * 1024 * 1024,
+                },
                 ApiCall::KernelLaunch(Launch::new(
                     k,
                     Dim3::x(4),

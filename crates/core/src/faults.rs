@@ -1,0 +1,350 @@
+//! Deterministic fault injection for the execution engine.
+//!
+//! A [`FaultPlan`] describes *dynamic* corruptions the engine applies to
+//! its own dependency hardware while simulating — dropped or phantom
+//! dependency-list children, mis-seeded parent counters, an undersized
+//! parent-counter buffer. *Static* corruptions ([`corrupt_access_set`],
+//! [`corrupt_pattern`]) instead damage the launch-time analysis products
+//! before the run starts, modelling an unsound value-range analysis.
+//!
+//! Everything is seeded: [`FaultRng`] is a SplitMix64 generator, so a
+//! `(FaultClass, seed)` pair always produces the same corruption — failing
+//! cases replay exactly.
+
+use crate::hw::MAX_COUNTER;
+use crate::jit::JitKernel;
+use bm_depgraph::{build_graph, storage, BipartiteGraph, GraphKind, HazardMode, Pattern};
+use bm_simt::des::TbKey;
+
+/// Minimal deterministic RNG (SplitMix64) for fault-plan generation.
+/// Kept local so the core crate stays dependency-free.
+#[derive(Debug, Clone)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        FaultRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// The fault classes the injection harness exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A parent TB's dependency-list entry loses one child — the child's
+    /// counter is never decremented and the run wedges.
+    DropChild,
+    /// A parent TB's dependency-list entry gains a child edge the graph
+    /// never had — the phantom decrement underflows or releases early.
+    PhantomChild,
+    /// A child TB's initial parent counter is seeded too high — it can
+    /// never reach zero.
+    CounterExcess,
+    /// A child TB's initial parent counter is seeded too low — it releases
+    /// before its parents finish, or underflows on the extra decrements.
+    CounterDeficit,
+    /// A child TB's counter is saturated at the 6-bit maximum regardless
+    /// of its true degree.
+    CounterSaturation,
+    /// The parent-counter buffer is shrunk to a handful of entries,
+    /// forcing spill/refetch on nearly every access. This is a *benign*
+    /// fault: the run must still complete with a correct schedule.
+    BufferSpill,
+    /// A kernel's declared write set is shrunk, so the dependency graph
+    /// built from it misses edges — the classic unsound-analysis fault the
+    /// runtime guard exists to catch.
+    CorruptAccessSet,
+    /// A kernel's dependency graph has its child lists rotated — edges
+    /// exist but connect the wrong TBs.
+    CorruptPattern,
+}
+
+impl FaultClass {
+    /// Every dynamic + static fault class.
+    pub fn all() -> [FaultClass; 8] {
+        [
+            FaultClass::DropChild,
+            FaultClass::PhantomChild,
+            FaultClass::CounterExcess,
+            FaultClass::CounterDeficit,
+            FaultClass::CounterSaturation,
+            FaultClass::BufferSpill,
+            FaultClass::CorruptAccessSet,
+            FaultClass::CorruptPattern,
+        ]
+    }
+
+    /// Whether the class corrupts analysis products before the run
+    /// (instead of perturbing the hardware during it).
+    pub fn is_static(&self) -> bool {
+        matches!(
+            self,
+            FaultClass::CorruptAccessSet | FaultClass::CorruptPattern
+        )
+    }
+}
+
+/// A deterministic set of dynamic corruptions applied by the engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(parent, child)` dependency-list edges to silently drop.
+    pub drop_children: Vec<(TbKey, u32)>,
+    /// `(parent, child)` edges to fabricate.
+    pub phantom_children: Vec<(TbKey, u32)>,
+    /// Per-child-TB signed perturbations of the initial parent counter
+    /// (clamped to `[0, MAX_COUNTER]`).
+    pub counter_deltas: Vec<(TbKey, i64)>,
+    /// Override for the parent-counter buffer capacity.
+    pub pcb_capacity: Option<usize>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.drop_children.is_empty()
+            && self.phantom_children.is_empty()
+            && self.counter_deltas.is_empty()
+            && self.pcb_capacity.is_none()
+    }
+
+    /// Net counter perturbation for one child TB.
+    pub fn counter_delta(&self, key: TbKey) -> i64 {
+        self.counter_deltas
+            .iter()
+            .filter(|&&(k, _)| k == key)
+            .map(|&(_, d)| d)
+            .sum()
+    }
+
+    /// Whether `(parent, child)` is a dropped edge.
+    pub fn drops(&self, parent: TbKey, child: u32) -> bool {
+        self.drop_children.contains(&(parent, child))
+    }
+
+    /// Phantom children to append to `parent`'s dependency list.
+    pub fn phantoms_of(&self, parent: TbKey) -> Vec<u32> {
+        self.phantom_children
+            .iter()
+            .filter(|&&(p, _)| p == parent)
+            .map(|&(_, c)| c)
+            .collect()
+    }
+}
+
+/// Explicit-graph kernels (the only place dynamic counter faults bite),
+/// with a parent TB that actually has children.
+fn explicit_targets(jit: &[JitKernel]) -> Vec<(usize, u32, Vec<u32>)> {
+    let mut out = Vec::new();
+    for (k, kernel) in jit.iter().enumerate().skip(1) {
+        if let GraphKind::Explicit(children) = kernel.graph.kind() {
+            for (p, list) in children.iter().enumerate() {
+                if !list.is_empty() {
+                    out.push((k, p as u32, list.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Builds the dynamic [`FaultPlan`] for one `(class, seed)` case against an
+/// analyzed application. Static classes return an empty plan — apply
+/// [`corrupt_access_set`] / [`corrupt_pattern`] instead.
+///
+/// Returns `None` when the application offers no injection site for the
+/// class (e.g. no explicit graphs to drop edges from).
+pub fn random_plan(class: FaultClass, jit: &[JitKernel], rng: &mut FaultRng) -> Option<FaultPlan> {
+    let mut plan = FaultPlan::default();
+    let targets = explicit_targets(jit);
+    match class {
+        FaultClass::DropChild => {
+            let (k, p, children) = targets
+                .get(rng.below(targets.len() as u64) as usize)?
+                .clone();
+            let c = children[rng.below(children.len() as u64) as usize];
+            // The dependency list lives with the *parent* kernel's TBs.
+            let parent = TbKey {
+                kernel_seq: k as u32 - 1,
+                tb: p,
+            };
+            plan.drop_children.push((parent, c));
+        }
+        FaultClass::PhantomChild => {
+            let (k, p, _) = targets
+                .get(rng.below(targets.len() as u64) as usize)?
+                .clone();
+            let n_child = jit[k].graph.n_child();
+            // Out-of-range half the time: exercises both the underflow and
+            // the unknown-child detection paths.
+            let c = if rng.below(2) == 0 {
+                n_child + 1 + rng.below(3) as u32
+            } else {
+                rng.below(n_child.max(1) as u64) as u32
+            };
+            let parent = TbKey {
+                kernel_seq: k as u32 - 1,
+                tb: p,
+            };
+            plan.phantom_children.push((parent, c));
+        }
+        FaultClass::CounterExcess | FaultClass::CounterDeficit | FaultClass::CounterSaturation => {
+            let (k, _, children) = targets
+                .get(rng.below(targets.len() as u64) as usize)?
+                .clone();
+            let c = children[rng.below(children.len() as u64) as usize];
+            let child = TbKey {
+                kernel_seq: k as u32,
+                tb: c,
+            };
+            let delta = match class {
+                FaultClass::CounterExcess => 1 + rng.below(4) as i64,
+                FaultClass::CounterDeficit => -(1 + rng.below(4) as i64),
+                _ => MAX_COUNTER as i64, // saturates via clamping
+            };
+            plan.counter_deltas.push((child, delta));
+        }
+        FaultClass::BufferSpill => {
+            plan.pcb_capacity = Some(1 + rng.below(3) as usize);
+        }
+        FaultClass::CorruptAccessSet | FaultClass::CorruptPattern => return Some(plan),
+    }
+    Some(plan)
+}
+
+/// Statically corrupts kernel `k`'s declared *write* set — every per-TB
+/// write range is shrunk to its first byte span — and rebuilds the
+/// downstream dependency graph from the corrupted set, exactly as an
+/// unsound analysis would have. Returns `false` when kernel `k` has no
+/// write ranges to corrupt.
+pub fn corrupt_access_set(jit: &mut [JitKernel], k: usize, hazard: HazardMode) -> bool {
+    use bm_ptx::access::RangeSet;
+    let Some(kernel) = jit.get_mut(k) else {
+        return false;
+    };
+    let mut corrupted = false;
+    for tb in &mut kernel.access.per_tb {
+        if let Some(&(start, end)) = tb.writes.ranges().first() {
+            if end > start + 4 {
+                tb.writes = RangeSet::single(start, start + 4);
+                corrupted = true;
+            }
+        }
+    }
+    if !corrupted {
+        return false;
+    }
+    // Recompute the kernel-level union the same way analysis does.
+    let per_tb = std::mem::take(&mut kernel.access.per_tb);
+    let non_static = kernel.access.non_static;
+    kernel.access = bm_ptx::access::KernelAccess::from_per_tb(per_tb, non_static);
+    rebuild_graph_from_access(jit, k + 1, hazard);
+    true
+}
+
+/// Statically corrupts the dependency graph *into* kernel `k` (its edges
+/// from kernel `k-1`): each parent's child list is rotated by one across
+/// the child space, so the edge count is preserved but the endpoints are
+/// wrong. Returns `false` if the graph is not explicit.
+pub fn corrupt_pattern(jit: &mut [JitKernel], k: usize) -> bool {
+    let Some(kernel) = jit.get_mut(k) else {
+        return false;
+    };
+    let n_child = kernel.graph.n_child();
+    let n_parent = kernel.graph.n_parent();
+    let GraphKind::Explicit(children) = kernel.graph.kind() else {
+        return false;
+    };
+    if n_child < 2 {
+        return false;
+    }
+    let rotated: Vec<Vec<u32>> = children
+        .iter()
+        .map(|list| list.iter().map(|&c| (c + 1) % n_child).collect())
+        .collect();
+    kernel.graph = BipartiteGraph::from_children(n_parent, n_child, rotated);
+    kernel.storage = storage(&kernel.graph);
+    kernel.encoded = !matches!(kernel.storage.pattern, Pattern::Irregular);
+    true
+}
+
+/// Rebuilds the graph between kernels `k-1` and `k` from their (possibly
+/// corrupted) access sets, applying the same 6-bit degree fallback as the
+/// analysis pipeline.
+fn rebuild_graph_from_access(jit: &mut [JitKernel], k: usize, hazard: HazardMode) {
+    if k == 0 || k >= jit.len() {
+        return;
+    }
+    let (head, tail) = jit.split_at_mut(k);
+    let prev = &head[k - 1].access;
+    let kernel = &mut tail[0];
+    let mut graph = build_graph(prev, &kernel.access, hazard);
+    if graph.max_child_degree() > MAX_COUNTER {
+        graph.degrade_to_fully_connected();
+    }
+    kernel.storage = storage(&graph);
+    kernel.encoded = !matches!(kernel.storage.pattern, Pattern::Irregular);
+    kernel.graph = graph;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_nontrivial() {
+        let mut a = FaultRng::new(7);
+        let mut b = FaultRng::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        let mut c = FaultRng::new(8);
+        assert_ne!(c.next_u64(), xs[0]);
+    }
+
+    #[test]
+    fn plan_queries() {
+        let p0 = TbKey {
+            kernel_seq: 0,
+            tb: 1,
+        };
+        let c0 = TbKey {
+            kernel_seq: 1,
+            tb: 2,
+        };
+        let plan = FaultPlan {
+            drop_children: vec![(p0, 2)],
+            phantom_children: vec![(p0, 3), (p0, 5)],
+            counter_deltas: vec![(c0, 2), (c0, -1)],
+            pcb_capacity: Some(2),
+        };
+        assert!(!plan.is_empty());
+        assert!(plan.drops(p0, 2));
+        assert!(!plan.drops(p0, 3));
+        assert_eq!(plan.phantoms_of(p0), vec![3, 5]);
+        assert_eq!(plan.counter_delta(c0), 1);
+        assert_eq!(plan.counter_delta(p0), 0);
+        assert!(FaultPlan::default().is_empty());
+    }
+
+    #[test]
+    fn all_classes_enumerated() {
+        assert_eq!(FaultClass::all().len(), 8);
+        assert!(FaultClass::CorruptAccessSet.is_static());
+        assert!(!FaultClass::DropChild.is_static());
+    }
+}

@@ -1,0 +1,523 @@
+//! Runtime soundness guard and fault recovery.
+//!
+//! BlockMaestro's correctness rests on the launch-time analysis producing
+//! *over-approximate* per-TB access sets. The guard removes that trust:
+//! after every guarded run it functionally replays the produced schedule,
+//! checks each thread block's observed global accesses against its
+//! declared read/write sets, and compares the final memory image against
+//! serialized execution. A violation (or any typed engine failure —
+//! deadlock, counter underflow) triggers *quarantine*: the implicated
+//! kernels are marked `non_static`, their dependency graphs degrade to the
+//! fully-connected (whole-kernel barrier) encoding, skip gates are
+//! recomputed, and the application is re-run. Barrier semantics bypass the
+//! parent-counter hardware entirely, so the degraded configuration is
+//! immune to the metadata faults that broke the optimistic run — the
+//! recovery loop converges within [`MAX_ROUNDS`] rounds or reports
+//! [`BmError::Unrecoverable`].
+
+use crate::engine::{try_run_analyzed_faulty, RunReport};
+use crate::error::{BmError, EngineError};
+use crate::faults::FaultPlan;
+use crate::jit::{recompute_skip_gates, try_jit_analyze_app, JitKernel};
+use crate::modes::ExecMode;
+use bm_cmdq::Application;
+use bm_depgraph::{storage, BipartiteGraph, HazardMode, Pattern};
+use bm_ptx::access::RangeSet;
+use bm_ptx::error::PtxError;
+use bm_ptx::interp::{execute_block, ExecObserver, ThreadId};
+use bm_ptx::isa::Op;
+use bm_ptx::kernel::Launch;
+use bm_simt::des::TbKey;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Guarded re-runs attempted before giving up.
+pub const MAX_ROUNDS: u32 = 3;
+
+/// A thread block touched memory outside its declared access set — the
+/// launch-time analysis was unsound for this kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoundnessViolation {
+    /// Kernel sequence number.
+    pub kernel: u32,
+    /// Offending thread block.
+    pub tb: u32,
+    /// First out-of-set address observed.
+    pub addr: u64,
+}
+
+impl fmt::Display for SoundnessViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel {} TB {} accessed {:#x} outside its declared set",
+            self.kernel, self.tb, self.addr
+        )
+    }
+}
+
+/// Accounting for the guard's work across one guarded execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardReport {
+    /// Containment violations + unattributable result mismatches observed.
+    pub violations_detected: u64,
+    /// Distinct kernels quarantined to the fully-connected fallback.
+    pub kernels_quarantined: u64,
+    /// Cycles of discarded (faulty) runs — the performance price of
+    /// falling back.
+    pub cycles_lost_to_fallback: u64,
+    /// Re-runs performed before the accepted run (0 = first run was clean).
+    pub recovery_rounds: u32,
+}
+
+/// Result of one soundness verification pass.
+#[derive(Debug, Clone)]
+pub struct SoundnessOutcome {
+    /// Containment violations, at most one per thread block.
+    pub violations: Vec<SoundnessViolation>,
+    /// Whether the replayed final memory matches serialized execution.
+    pub equivalent: bool,
+}
+
+impl SoundnessOutcome {
+    /// Whether the run is accepted as sound.
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty() && self.equivalent
+    }
+}
+
+/// Observer that records the global accesses of one thread block.
+#[derive(Default)]
+struct AccessLog {
+    reads: RangeSet,
+    writes: RangeSet,
+}
+
+impl ExecObserver for AccessLog {
+    fn on_inst(&mut self, _t: ThreadId, _i: usize, _op: &Op) {}
+    fn on_global_access(&mut self, _t: ThreadId, _i: usize, addr: u64, store: bool) {
+        if store {
+            self.writes.insert(addr, addr + 4);
+        } else {
+            self.reads.insert(addr, addr + 4);
+        }
+    }
+}
+
+fn first_escapee(observed: &RangeSet, declared: &RangeSet) -> Option<u64> {
+    observed
+        .ranges()
+        .iter()
+        .flat_map(|&(s, e)| (s..e).step_by(4))
+        .find(|&a| !declared.contains(a))
+}
+
+/// Replays `schedule` in start order, checking every static kernel's
+/// observed accesses against its declared per-TB sets and the final memory
+/// against `expected_fp` (the serialized-execution fingerprint).
+///
+/// `non_static` kernels are exempt from containment — their sets are known
+/// to be incomplete — but still contribute to the final-memory check.
+///
+/// # Errors
+///
+/// [`PtxError::Exec`] when functional replay itself fails.
+pub fn verify_soundness(
+    app: &Application,
+    jit: &[JitKernel],
+    schedule: &[(TbKey, u64, u64)],
+    expected_fp: u64,
+) -> Result<SoundnessOutcome, PtxError> {
+    let launches: Vec<&Launch> = app.launches();
+    let mut order: Vec<(usize, TbKey, u64)> = schedule
+        .iter()
+        .enumerate()
+        .map(|(i, &(k, s, _))| (i, k, s))
+        .collect();
+    order.sort_by_key(|&(i, _, s)| (s, i));
+    let mut mem = app.initial_memory();
+    let mut violations = Vec::new();
+    for (_, key, _) in order {
+        let k = key.kernel_seq as usize;
+        let launch = launches.get(k).copied().ok_or(PtxError::BadLaunch {
+            kernel: format!("#{k}"),
+            reason: "schedule references unknown kernel".into(),
+        })?;
+        let mut log = AccessLog::default();
+        execute_block(launch, key.tb, &mut mem, &mut log).map_err(PtxError::Exec)?;
+        let kernel = &jit[k];
+        if kernel.access.non_static {
+            continue;
+        }
+        let declared = &kernel.access.per_tb[key.tb as usize];
+        let escape = first_escapee(&log.writes, &declared.writes)
+            .or_else(|| first_escapee(&log.reads, &declared.reads));
+        if let Some(addr) = escape {
+            violations.push(SoundnessViolation {
+                kernel: key.kernel_seq,
+                tb: key.tb,
+                addr,
+            });
+        }
+    }
+    Ok(SoundnessOutcome {
+        violations,
+        equivalent: mem.fingerprint() == expected_fp,
+    })
+}
+
+/// Quarantines kernel `k`: its access sets are declared untrustworthy
+/// (`non_static`) and the dependency graphs on *both sides* of it degrade
+/// to whole-kernel barriers, which bypass the parent-counter hardware.
+fn quarantine_kernel(jit: &mut [JitKernel], k: usize) {
+    jit[k].access.non_static = true;
+    let degrade = |jit: &mut [JitKernel], j: usize| {
+        if j == 0 || j >= jit.len() {
+            return;
+        }
+        let g = BipartiteGraph::fully_connected(jit[j - 1].profile.n_tbs, jit[j].profile.n_tbs);
+        jit[j].storage = storage(&g);
+        jit[j].encoded = !matches!(jit[j].storage.pattern, Pattern::Irregular);
+        jit[j].graph = g;
+    };
+    degrade(jit, k);
+    degrade(jit, k + 1);
+}
+
+/// Runs `app` under `mode` with the soundness guard, RAW hazard tracking,
+/// and no injected faults.
+///
+/// # Errors
+///
+/// Any [`BmError`]: invalid application, toolchain failure, or an
+/// unrecoverable execution.
+pub fn try_run_app(
+    cfg: &bm_simt::config::GpuConfig,
+    app: &Application,
+    mode: ExecMode,
+) -> Result<RunReport, BmError> {
+    try_run_app_with(cfg, app, mode, HazardMode::Raw)
+}
+
+/// Guarded run with an explicit hazard-tracking mode.
+///
+/// # Errors
+///
+/// As [`try_run_app`].
+pub fn try_run_app_with(
+    cfg: &bm_simt::config::GpuConfig,
+    app: &Application,
+    mode: ExecMode,
+    hazard: HazardMode,
+) -> Result<RunReport, BmError> {
+    app.validate()?;
+    let jit = try_jit_analyze_app(cfg, app, hazard)?;
+    try_run_app_faulty(cfg, app, jit, mode, hazard, &FaultPlan::default())
+}
+
+/// The guarded execution pipeline, taking pre-analyzed (and possibly
+/// deliberately corrupted) kernels plus a dynamic [`FaultPlan`] — the
+/// entry point of the fault-injection harness.
+///
+/// Every accepted run satisfies: schedule replay equals serialized
+/// execution, and every static kernel stayed within its declared access
+/// sets. Faulty runs are discarded, implicated kernels quarantined, and
+/// the region re-executed, up to [`MAX_ROUNDS`] times.
+///
+/// # Errors
+///
+/// [`BmError::Unrecoverable`] when the rounds are exhausted; other
+/// variants for structural/toolchain failures.
+pub fn try_run_app_faulty(
+    cfg: &bm_simt::config::GpuConfig,
+    app: &Application,
+    mut jit: Vec<JitKernel>,
+    mode: ExecMode,
+    hazard: HazardMode,
+    fault: &FaultPlan,
+) -> Result<RunReport, BmError> {
+    let expected_fp = app.try_run_serialized()?.fingerprint();
+    let mut guard = GuardReport::default();
+    let mut quarantined: HashSet<usize> = HashSet::new();
+    let mut last_err: Option<EngineError> = None;
+    for round in 0..MAX_ROUNDS {
+        guard.recovery_rounds = round;
+        let targets: Vec<usize> = match try_run_analyzed_faulty(cfg, app, &jit, mode, fault) {
+            Ok(mut report) => {
+                let outcome = verify_soundness(app, &jit, &report.schedule, expected_fp)?;
+                if outcome.is_sound() {
+                    report.guard = guard;
+                    return Ok(report);
+                }
+                guard.cycles_lost_to_fallback += report.kernel_region_cycles;
+                guard.violations_detected += (outcome.violations.len() as u64).max(1);
+                last_err = None;
+                if outcome.violations.is_empty() {
+                    // Wrong result with no attributable containment
+                    // violation (e.g. a corrupted dependency pattern):
+                    // distrust everything.
+                    (0..jit.len()).collect()
+                } else {
+                    outcome
+                        .violations
+                        .iter()
+                        .map(|v| v.kernel as usize)
+                        .collect()
+                }
+            }
+            Err(e) => {
+                guard.cycles_lost_to_fallback += e.cycles_wasted();
+                guard.violations_detected += 1;
+                let targets = match &e {
+                    // A counter fault names the child kernel whose graph
+                    // metadata is inconsistent.
+                    EngineError::Hw { err, .. } => {
+                        let key = match err {
+                            crate::hw::HwError::CounterNotResident { key }
+                            | crate::hw::HwError::CounterUnderflow { key } => *key,
+                        };
+                        vec![key.kernel_seq as usize]
+                    }
+                    // Deadlocks are unattributable: degrade everything.
+                    _ => (0..jit.len()).collect(),
+                };
+                last_err = Some(e);
+                targets
+            }
+        };
+        for k in targets {
+            if k < jit.len() && quarantined.insert(k) {
+                quarantine_kernel(&mut jit, k);
+                guard.kernels_quarantined += 1;
+            }
+        }
+        recompute_skip_gates(&mut jit, hazard);
+    }
+    Err(BmError::Unrecoverable {
+        rounds: MAX_ROUNDS,
+        last: last_err,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::correctness::check_schedule;
+    use crate::faults::corrupt_access_set;
+    use bm_cmdq::ApiCall;
+    use bm_ptx::kernel::{ArgValue, Dim3};
+    use bm_ptx::mem::AddressSpace;
+    use bm_ptx::parser::parse_kernel;
+    use bm_simt::config::GpuConfig;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// `Y[i] = X[i] + 1` chained over a list of buffer pairs.
+    fn chain_app(pairs: &[(usize, usize)], n_allocs: usize, tbs: u32) -> Application {
+        let n = tbs as u64 * 64;
+        let mut space = AddressSpace::new();
+        let allocs: Vec<_> = (0..n_allocs).map(|_| space.alloc(4 * n)).collect();
+        let k = Arc::new(
+            parse_kernel(
+                r#".entry step(.param .u64 X, .param .u64 Y) {
+                     ld.param.u64 %rd1, [X];
+                     ld.param.u64 %rd2, [Y];
+                     mov.u32 %r1, %ctaid.x;
+                     mov.u32 %r2, %ntid.x;
+                     mov.u32 %r3, %tid.x;
+                     mad.lo.u32 %r4, %r1, %r2, %r3;
+                     mul.wide.u32 %rd3, %r4, 4;
+                     add.u64 %rd4, %rd1, %rd3;
+                     ld.global.f32 %f1, [%rd4];
+                     add.f32 %f2, %f1, 0f3F800000;
+                     add.u64 %rd5, %rd2, %rd3;
+                     st.global.f32 [%rd5], %f2;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        );
+        let mut host_data = HashMap::new();
+        host_data.insert(allocs[0].id, (0..n).map(|i| i as f32).collect::<Vec<_>>());
+        let mut calls = vec![ApiCall::MemcpyH2D {
+            alloc: allocs[0].id,
+            bytes: 4 * n,
+        }];
+        calls.extend(pairs.iter().map(|&(x, y)| {
+            ApiCall::KernelLaunch(Launch::new(
+                k.clone(),
+                Dim3::x(tbs),
+                Dim3::x(64),
+                vec![ArgValue::Ptr(allocs[x].base), ArgValue::Ptr(allocs[y].base)],
+            ))
+        }));
+        Application {
+            name: "guard-test".into(),
+            space,
+            calls,
+            host_data,
+        }
+    }
+
+    #[test]
+    fn clean_run_reports_zero_guard_activity() {
+        let cfg = GpuConfig::small();
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 8);
+        let r = try_run_app(&cfg, &app, ExecMode::ProducerPriority { window: 2 }).unwrap();
+        assert_eq!(r.guard, GuardReport::default());
+        assert!(check_schedule(&app, &r.schedule).unwrap().is_match());
+    }
+
+    #[test]
+    fn corrupted_access_set_is_detected_quarantined_and_recovered() {
+        let cfg = GpuConfig::small();
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 8);
+        let hazard = HazardMode::Raw;
+        let mut jit = try_jit_analyze_app(&cfg, &app, hazard).unwrap();
+        // Hand-corrupt kernel 1's declared write set (as if the analysis
+        // were unsound) and rebuild the downstream graph from it.
+        assert!(corrupt_access_set(&mut jit, 1, hazard));
+        let r = try_run_app_faulty(
+            &cfg,
+            &app,
+            jit,
+            ExecMode::ProducerPriority { window: 2 },
+            hazard,
+            &FaultPlan::default(),
+        )
+        .unwrap();
+        assert!(
+            r.guard.violations_detected > 0,
+            "guard must flag the escapes"
+        );
+        assert!(r.guard.kernels_quarantined >= 1);
+        assert!(r.guard.recovery_rounds >= 1);
+        assert!(r.guard.cycles_lost_to_fallback > 0);
+        // The accepted run matches serialized execution.
+        assert!(check_schedule(&app, &r.schedule).unwrap().is_match());
+    }
+
+    #[test]
+    fn dropped_dependency_edge_deadlocks_then_recovers() {
+        let cfg = GpuConfig::small();
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 8);
+        let hazard = HazardMode::Raw;
+        let jit = try_jit_analyze_app(&cfg, &app, hazard).unwrap();
+        // Kernel 1's graph is explicit 1-to-1: drop the edge 0->0.
+        let fault = FaultPlan {
+            drop_children: vec![(
+                TbKey {
+                    kernel_seq: 0,
+                    tb: 0,
+                },
+                0,
+            )],
+            ..FaultPlan::default()
+        };
+        let r = try_run_app_faulty(
+            &cfg,
+            &app,
+            jit,
+            ExecMode::ConsumerPriority { window: 2 },
+            hazard,
+            &fault,
+        )
+        .unwrap();
+        assert!(r.guard.recovery_rounds >= 1, "deadlock must force a re-run");
+        assert!(r.guard.cycles_lost_to_fallback > 0);
+        assert!(check_schedule(&app, &r.schedule).unwrap().is_match());
+    }
+
+    #[test]
+    fn counter_deficit_surfaces_as_typed_error_then_recovers() {
+        let cfg = GpuConfig::small();
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 8);
+        let hazard = HazardMode::Raw;
+        let jit = try_jit_analyze_app(&cfg, &app, hazard).unwrap();
+        let fault = FaultPlan {
+            counter_deltas: vec![(
+                TbKey {
+                    kernel_seq: 1,
+                    tb: 3,
+                },
+                -1,
+            )],
+            ..FaultPlan::default()
+        };
+        let r = try_run_app_faulty(
+            &cfg,
+            &app,
+            jit,
+            ExecMode::ProducerPriority { window: 2 },
+            hazard,
+            &fault,
+        )
+        .unwrap();
+        assert!(r.guard.recovery_rounds >= 1);
+        assert!(check_schedule(&app, &r.schedule).unwrap().is_match());
+    }
+
+    #[test]
+    fn unguarded_fallible_run_returns_typed_deadlock() {
+        let cfg = GpuConfig::small();
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 8);
+        let jit = try_jit_analyze_app(&cfg, &app, HazardMode::Raw).unwrap();
+        let fault = FaultPlan {
+            drop_children: vec![(
+                TbKey {
+                    kernel_seq: 0,
+                    tb: 2,
+                },
+                2,
+            )],
+            ..FaultPlan::default()
+        };
+        let err = try_run_analyzed_faulty(
+            &cfg,
+            &app,
+            &jit,
+            ExecMode::ProducerPriority { window: 2 },
+            &fault,
+        )
+        .unwrap_err();
+        match err {
+            EngineError::Deadlock(snap) => {
+                assert!(snap.cycle > 0);
+                assert!(
+                    snap.diagnostics
+                        .iter()
+                        .any(|d| d.contains("pending parent counters")),
+                    "diagnostics: {:?}",
+                    snap.diagnostics
+                );
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn outcome_soundness_requires_both() {
+        let clean = SoundnessOutcome {
+            violations: vec![],
+            equivalent: true,
+        };
+        assert!(clean.is_sound());
+        let v = SoundnessViolation {
+            kernel: 1,
+            tb: 2,
+            addr: 0x1000,
+        };
+        let dirty = SoundnessOutcome {
+            violations: vec![v],
+            equivalent: true,
+        };
+        assert!(!dirty.is_sound());
+        assert!(v.to_string().contains("kernel 1 TB 2"));
+        let diverged = SoundnessOutcome {
+            violations: vec![],
+            equivalent: false,
+        };
+        assert!(!diverged.is_sound());
+    }
+}

@@ -8,8 +8,9 @@
 
 use bm_cmdq::{ApiCall, Application};
 use bm_depgraph::{build_graph, storage, BipartiteGraph, GraphStorage, HazardMode, Pattern};
-use bm_ptx::absint::analyze_launch;
+use bm_ptx::absint::try_analyze_launch;
 use bm_ptx::access::KernelAccess;
+use bm_ptx::error::PtxError;
 use bm_ptx::kernel::Launch;
 use bm_ptx::mem::GlobalMem;
 use bm_ptx::trace::trace_block;
@@ -66,6 +67,21 @@ pub struct JitKernel {
 /// compilation, masked by kernel pre-launching; here it runs up front,
 /// producing the inputs for the execution engine.
 pub fn jit_analyze_app(cfg: &GpuConfig, app: &Application, hazard: HazardMode) -> Vec<JitKernel> {
+    try_jit_analyze_app(cfg, app, hazard)
+        .unwrap_or_else(|e| panic!("launch-time analysis rejected the application: {e}"))
+}
+
+/// Fallible counterpart of [`jit_analyze_app`].
+///
+/// # Errors
+///
+/// [`PtxError`] when a launch is structurally invalid or tracing its
+/// representative thread block fails.
+pub fn try_jit_analyze_app(
+    cfg: &GpuConfig,
+    app: &Application,
+    hazard: HazardMode,
+) -> Result<Vec<JitKernel>, PtxError> {
     let launches: Vec<&Launch> = app.launches();
     // Scratch functional memory for trace collection. Traces only shape
     // timing; our kernels' control flow does not depend on float data, so
@@ -80,8 +96,8 @@ pub fn jit_analyze_app(cfg: &GpuConfig, app: &Application, hazard: HazardMode) -
     }
     let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
     for (seq, launch) in launches.iter().enumerate() {
-        let access = analyze_launch(launch);
-        let profile = profile_launch(cfg, launch, &mut scratch);
+        let access = try_analyze_launch(launch)?;
+        let profile = try_profile_launch(cfg, launch, &mut scratch)?;
         let prev = out.last().map(|k: &JitKernel| &k.access);
         let mut graph = match prev {
             None => BipartiteGraph::independent(0, access.num_blocks() as u32),
@@ -106,7 +122,7 @@ pub fn jit_analyze_app(cfg: &GpuConfig, app: &Application, hazard: HazardMode) -
             skip_gates,
         });
     }
-    out
+    Ok(out)
 }
 
 /// Kernel-level hazard screen against non-consecutive predecessors
@@ -140,22 +156,61 @@ fn find_skip_gates(
 /// Profiles one launch: traces a representative TB and times it on one SM
 /// at the kernel's occupancy.
 pub fn profile_launch(cfg: &GpuConfig, launch: &Launch, scratch: &mut GlobalMem) -> LaunchProfile {
+    try_profile_launch(cfg, launch, scratch)
+        .unwrap_or_else(|e| panic!("kernel `{}` failed to trace: {e}", launch.kernel.name))
+}
+
+/// Fallible counterpart of [`profile_launch`]. Zero-block grids are legal
+/// degenerate launches: they execute nothing and get a unit-duration
+/// profile so downstream arithmetic stays well-defined.
+///
+/// # Errors
+///
+/// [`PtxError::Exec`] when tracing the representative TB fails.
+pub fn try_profile_launch(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    scratch: &mut GlobalMem,
+) -> Result<LaunchProfile, PtxError> {
     let n_tbs = launch.num_blocks();
     let threads = launch.threads_per_block();
     let shared_bytes = launch.kernel.shared_bytes;
+    if n_tbs == 0 {
+        return Ok(LaunchProfile {
+            n_tbs: 0,
+            threads,
+            shared_bytes,
+            duration: 1,
+            txns_per_tb: 0,
+        });
+    }
     // Middle block: avoids boundary blocks whose guards mask most work.
     let rep = n_tbs / 2;
-    let trace = trace_block(launch, rep, scratch)
-        .unwrap_or_else(|e| panic!("kernel `{}` failed to trace: {e}", launch.kernel.name));
-    let occ = cfg.occupancy(threads, shared_bytes).max(1).min(n_tbs.max(1));
+    let trace = trace_block(launch, rep, scratch).map_err(PtxError::Exec)?;
+    let occ = cfg
+        .occupancy(threads, shared_bytes)
+        .max(1)
+        .min(n_tbs.max(1));
     let traces: Vec<&bm_ptx::trace::TbTrace> = (0..occ).map(|_| &trace).collect();
     let timing = simulate_sm(cfg, &traces);
-    LaunchProfile {
+    Ok(LaunchProfile {
         n_tbs,
         threads,
         shared_bytes,
         duration: timing.per_tb_duration(),
         txns_per_tb: trace.global_transactions,
+    })
+}
+
+/// Recomputes every kernel's skip gates from the current access sets —
+/// used by the soundness guard after quarantining marks kernels
+/// `non_static`, which widens their gate requirements.
+pub(crate) fn recompute_skip_gates(jit: &mut [JitKernel], hazard: HazardMode) {
+    let gates: Vec<Vec<u32>> = (0..jit.len())
+        .map(|seq| find_skip_gates(&jit[..seq], &jit[seq].access, seq as u32, hazard))
+        .collect();
+    for (k, g) in gates.into_iter().enumerate() {
+        jit[k].skip_gates = g;
     }
 }
 
@@ -210,7 +265,10 @@ mod tests {
             name: "pipeline".into(),
             space,
             calls: vec![
-                ApiCall::MemcpyH2D { alloc: a.id, bytes: 4 * n },
+                ApiCall::MemcpyH2D {
+                    alloc: a.id,
+                    bytes: 4 * n,
+                },
                 launch(a.base, b.base), // K1: A -> B
                 launch(b.base, c.base), // K2: B -> C
                 launch(c.base, d.base), // K3: C -> D

@@ -61,13 +61,27 @@
 pub mod compare;
 pub mod correctness;
 pub mod engine;
+pub mod error;
+pub mod faults;
+pub mod guard;
 pub mod hw;
 pub mod jit;
 pub mod modes;
 pub mod streams;
 
 pub use correctness::{check_no_races, check_schedule, Equivalence, Race};
-pub use engine::{run_app, run_app_with, run_analyzed, RunReport};
-pub use jit::{jit_analyze_app, JitKernel, LaunchProfile};
+pub use engine::{
+    run_analyzed, run_app, run_app_with, try_run_analyzed, try_run_analyzed_faulty, RunReport,
+};
+pub use error::{BmError, EngineError};
+pub use faults::{
+    corrupt_access_set, corrupt_pattern, random_plan, FaultClass, FaultPlan, FaultRng,
+};
+pub use guard::{
+    try_run_app, try_run_app_faulty, try_run_app_with, verify_soundness, GuardReport,
+    SoundnessOutcome, SoundnessViolation, MAX_ROUNDS,
+};
+pub use hw::HwError;
+pub use jit::{jit_analyze_app, try_jit_analyze_app, JitKernel, LaunchProfile};
 pub use modes::ExecMode;
 pub use streams::{run_streams, StreamAssignment};

@@ -225,11 +225,7 @@ impl TbSource for StreamSource<'_> {
 }
 
 /// Executes the analyzed application under multi-stream semantics.
-pub fn run_streams(
-    cfg: &GpuConfig,
-    jit: &[JitKernel],
-    assignment: &StreamAssignment,
-) -> DesStats {
+pub fn run_streams(cfg: &GpuConfig, jit: &[JitKernel], assignment: &StreamAssignment) -> DesStats {
     let mut src = StreamSource::new(cfg, jit, assignment);
     des::run(cfg, &mut src)
 }

@@ -1,9 +1,7 @@
 //! Structural properties of the Fig. 14 comparison models, checked
 //! directly against the schedules they produce.
 
-use blockmaestro::compare::{
-    run_task_graph, CompareModel, TaskGraph, WIREFRAME_RUNAHEAD,
-};
+use blockmaestro::compare::{run_task_graph, CompareModel, TaskGraph, WIREFRAME_RUNAHEAD};
 use bm_simt::des::TbKey;
 use bm_simt::GpuConfig;
 use std::collections::HashMap;
@@ -84,9 +82,7 @@ fn bm_window_limits_levels_in_flight() {
                 running.remove(&level);
             }
             let levels: Vec<u32> = running.keys().copied().collect();
-            if let (Some(&min), Some(&max)) =
-                (levels.iter().min(), levels.iter().max())
-            {
+            if let (Some(&min), Some(&max)) = (levels.iter().min(), levels.iter().max()) {
                 assert!(
                     ((max - min) as usize) < window,
                     "{}: levels {min}..{max} simultaneously running",

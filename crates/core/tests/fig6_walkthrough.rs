@@ -8,10 +8,7 @@ use bm_depgraph::{classify, BipartiteGraph, Pattern};
 use bm_simt::des::TbKey;
 
 fn key(k: u32, tb: u32) -> TbKey {
-    TbKey {
-        kernel_seq: k,
-        tb,
-    }
+    TbKey { kernel_seq: k, tb }
 }
 
 /// The Fig. 6 bipartite graph: K1 has 5 TBs, K2 has 4.

@@ -112,7 +112,7 @@ pub fn build_graph_naive(
 mod tests {
     use super::*;
     use bm_ptx::access::{KernelAccess, RangeSet, TbAccess};
-    use proptest::prelude::*;
+    use bm_testkit::{check_cases, Rng};
 
     fn ka(per_tb: Vec<TbAccess>, non_static: bool) -> KernelAccess {
         KernelAccess::from_per_tb(per_tb, non_static)
@@ -129,11 +129,15 @@ mod tests {
     fn one_to_one_chain() {
         // Parent TB i writes [100i, 100i+100); child TB i reads the same.
         let parent = ka(
-            (0..4).map(|i| tb(&[], &[(100 * i, 100 * i + 100)])).collect(),
+            (0..4)
+                .map(|i| tb(&[], &[(100 * i, 100 * i + 100)]))
+                .collect(),
             false,
         );
         let child = ka(
-            (0..4).map(|i| tb(&[(100 * i, 100 * i + 100)], &[])).collect(),
+            (0..4)
+                .map(|i| tb(&[(100 * i, 100 * i + 100)], &[]))
+                .collect(),
             false,
         );
         let g = build_graph(&parent, &child, HazardMode::Raw);
@@ -190,15 +194,25 @@ mod tests {
         assert_eq!(parents[7], vec![6, 7]);
     }
 
-    proptest! {
-        #[test]
-        fn fast_matches_naive(
-            pranges in prop::collection::vec(
-                prop::collection::vec((0u64..400, 1u64..60), 0..3), 1..12),
-            cranges in prop::collection::vec(
-                prop::collection::vec((0u64..400, 1u64..60), 0..3), 1..12),
-            mode in prop::sample::select(vec![HazardMode::Raw, HazardMode::All]),
-        ) {
+    #[test]
+    fn fast_matches_naive() {
+        // Random access-set pairs: the sweep builder must agree with the
+        // O(N·M) reference on every one.
+        let gen_ranges = |rng: &mut Rng| -> Vec<Vec<(u64, u64)>> {
+            let n_tbs = rng.range_usize(1, 12);
+            (0..n_tbs)
+                .map(|_| {
+                    let n = rng.range_usize(0, 3);
+                    (0..n)
+                        .map(|_| (rng.range_u64(0, 400), rng.range_u64(1, 60)))
+                        .collect()
+                })
+                .collect()
+        };
+        check_cases(0xB01D, 256, move |rng| {
+            let pranges = gen_ranges(rng);
+            let cranges = gen_ranges(rng);
+            let mode = *rng.pick(&[HazardMode::Raw, HazardMode::All]);
             // Alternate ranges between reads and writes for variety.
             let mk = |spec: &Vec<Vec<(u64, u64)>>| -> KernelAccess {
                 ka(
@@ -223,7 +237,11 @@ mod tests {
             let child = mk(&cranges);
             let fast = build_graph(&parent, &child, mode);
             let naive = build_graph_naive(&parent, &child, mode);
-            prop_assert_eq!(fast, naive);
-        }
+            bm_testkit::prop_ensure!(
+                fast == naive,
+                "fast {fast:?} != naive {naive:?} for p={pranges:?} c={cranges:?} {mode:?}"
+            );
+            Ok(())
+        });
     }
 }

@@ -101,8 +101,7 @@ mod tests {
 
     #[test]
     fn one_to_one_linear() {
-        let g =
-            BipartiteGraph::from_children(4, 4, vec![vec![0], vec![1], vec![2], vec![3]]);
+        let g = BipartiteGraph::from_children(4, 4, vec![vec![0], vec![1], vec![2], vec![3]]);
         let s = storage(&g);
         assert_eq!(s.encoded_bytes, WORD_BYTES * 4);
         assert_eq!(s.plain_bytes, WORD_BYTES * (4 + 4 + 4));

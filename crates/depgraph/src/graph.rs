@@ -119,8 +119,7 @@ impl BipartiteGraph {
     /// Whether every edge is present.
     pub fn is_fully_connected(&self) -> bool {
         matches!(self.kind, GraphKind::FullyConnected)
-            || (self.n_parent > 0
-                && self.num_edges() == self.n_parent as u64 * self.n_child as u64)
+            || (self.n_parent > 0 && self.num_edges() == self.n_parent as u64 * self.n_child as u64)
     }
 
     /// Child TBs depending on parent TB `p`.

@@ -94,7 +94,7 @@ impl<T: Copy> IntervalIndex<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bm_testkit::{check_cases, Rng};
 
     fn naive(items: &[(u64, u64, u32)], qs: u64, qe: u64) -> Vec<u32> {
         if qs >= qe {
@@ -135,21 +135,29 @@ mod tests {
         assert!(hits.is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn matches_naive_scan(
-            items in prop::collection::vec((0u64..200, 0u64..200, 0u32..50), 0..60),
-            qs in 0u64..200,
-            len in 0u64..80,
-        ) {
-            let items: Vec<(u64, u64, u32)> =
-                items.into_iter().map(|(a, b, t)| (a.min(b), a.max(b), t)).collect();
+    #[test]
+    fn matches_naive_scan() {
+        check_cases(0x1D1, 512, |rng: &mut Rng| {
+            let n = rng.range_usize(0, 60);
+            let items: Vec<(u64, u64, u32)> = (0..n)
+                .map(|_| {
+                    let a = rng.range_u64(0, 200);
+                    let b = rng.range_u64(0, 200);
+                    (a.min(b), a.max(b), rng.range_u32(0, 50))
+                })
+                .collect();
+            let qs = rng.range_u64(0, 200);
+            let qe = qs + rng.range_u64(0, 80);
             let idx = IntervalIndex::build(items.clone());
-            let qe = qs + len;
             let mut hits = Vec::new();
             idx.query(qs, qe, &mut |t| hits.push(t));
             hits.sort_unstable();
-            prop_assert_eq!(hits, naive(&items, qs, qe));
-        }
+            let want = naive(&items, qs, qe);
+            bm_testkit::prop_ensure!(
+                hits == want,
+                "query [{qs},{qe}) over {items:?}: got {hits:?}, want {want:?}"
+            );
+            Ok(())
+        });
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::access::{KernelAccess, TbAccess};
 use crate::cfg::Cfg;
+use crate::error::PtxError;
 use crate::interval::Interval;
 use crate::isa::*;
 use crate::kernel::{ArgValue, Launch};
@@ -406,9 +407,7 @@ pub enum NonStaticReason {
 impl std::fmt::Display for NonStaticReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            NonStaticReason::TaintedAddress => {
-                f.write_str("address derives from a loaded value")
-            }
+            NonStaticReason::TaintedAddress => f.write_str("address derives from a loaded value"),
             NonStaticReason::NoConvergence => f.write_str("value-range fixpoint did not converge"),
         }
     }
@@ -441,6 +440,28 @@ impl std::fmt::Display for NonStaticReason {
 /// assert_eq!(acc.per_tb[0].writes.ranges(), &[(0x1000, 0x1000 + 128)]);
 /// ```
 pub fn analyze_launch(launch: &Launch) -> KernelAccess {
+    try_analyze_launch(launch)
+        .unwrap_or_else(|e| panic!("launch-time analysis rejected the launch: {e}"))
+}
+
+/// Fallible variant of [`analyze_launch`]: validates the launch structure
+/// first and returns [`PtxError::BadLaunch`] instead of analyzing a launch
+/// whose argument list cannot bind to the kernel's parameters.
+///
+/// Note the distinction from the `non_static` verdict: a kernel whose
+/// addresses cannot be bounded statically is a *valid* launch with a
+/// conservative analysis result, while a malformed launch is an error.
+///
+/// # Errors
+///
+/// [`PtxError::BadLaunch`] for argument-arity mismatches or zero-thread
+/// blocks.
+pub fn try_analyze_launch(launch: &Launch) -> Result<KernelAccess, PtxError> {
+    crate::error::validate_launch(launch)?;
+    Ok(analyze_launch_unchecked(launch))
+}
+
+fn analyze_launch_unchecked(launch: &Launch) -> KernelAccess {
     let cfg = Cfg::build(&launch.kernel);
     let counts = max_reg_counts(&launch.kernel.body);
     let n = launch.num_blocks();
@@ -494,8 +515,8 @@ pub fn analyze_block(
             return Err(NonStaticReason::NoConvergence);
         }
         let mut st = in_states[b].clone().expect("queued block has in-state");
-        for i in cfg.blocks[b].start..cfg.blocks[b].end {
-            transfer(&env, &mut st, &body[i]);
+        for inst in &body[cfg.blocks[b].start..cfg.blocks[b].end] {
+            transfer(&env, &mut st, inst);
         }
         let term = &body[cfg.blocks[b].end - 1];
         out_states[b] = Some(st.clone());
@@ -556,8 +577,8 @@ pub fn analyze_block(
             }
             if let Some(ins) = &in_states[b] {
                 let mut st = ins.clone();
-                for i in cfg.blocks[b].start..cfg.blocks[b].end {
-                    transfer(&env, &mut st, &body[i]);
+                for inst in &body[cfg.blocks[b].start..cfg.blocks[b].end] {
+                    transfer(&env, &mut st, inst);
                 }
                 out_states[b] = Some(st);
             }
@@ -568,8 +589,7 @@ pub fn analyze_block(
     for &b in &cfg.rpo {
         let Some(ins) = &in_states[b] else { continue };
         let mut st = ins.clone();
-        for i in cfg.blocks[b].start..cfg.blocks[b].end {
-            let inst = &body[i];
+        for inst in &body[cfg.blocks[b].start..cfg.blocks[b].end] {
             if let Op::Ld {
                 space: MemSpace::Global,
                 addr,

@@ -359,11 +359,11 @@ mod tests {
         );
         execute_launch(&launch, &mut mem).unwrap();
         let cv = mem.copy_to_host_f32(c.base, 64);
-        for i in 0..60 {
-            assert_eq!(cv[i], 4.0);
+        for v in &cv[..60] {
+            assert_eq!(*v, 4.0);
         }
-        for i in 60..64 {
-            assert_eq!(cv[i], 0.0, "guard must mask tail threads");
+        for v in &cv[60..64] {
+            assert_eq!(*v, 0.0, "guard must mask tail threads");
         }
     }
 

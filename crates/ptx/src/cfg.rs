@@ -50,11 +50,11 @@ impl Cfg {
                 if target <= n {
                     leaders[target] = true;
                 }
-                if i + 1 <= n {
+                if i < n {
                     leaders[i + 1] = true;
                 }
             }
-            if matches!(inst.op, Op::Ret) && i + 1 <= n {
+            if matches!(inst.op, Op::Ret) && i < n {
                 leaders[i + 1] = true;
             }
         }
@@ -63,9 +63,13 @@ impl Cfg {
         let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
         let mut block_of = vec![0usize; n];
         for (b, &s) in starts.iter().enumerate() {
-            let e = if b + 1 < starts.len() { starts[b + 1] } else { n };
-            for i in s..e {
-                block_of[i] = b;
+            let e = if b + 1 < starts.len() {
+                starts[b + 1]
+            } else {
+                n
+            };
+            for slot in &mut block_of[s..e] {
+                *slot = b;
             }
             blocks.push(Block {
                 start: s,
@@ -77,8 +81,8 @@ impl Cfg {
         // A target one past the end exits the kernel (no successor edge).
         let block_at = |idx: usize| -> Option<usize> { (idx < n).then(|| block_of[idx]) };
         // Successor edges.
-        for b in 0..blocks.len() {
-            let last = blocks[b].end - 1;
+        for block in &mut blocks {
+            let last = block.end - 1;
             let inst = &kernel.body[last];
             let mut succs = Vec::new();
             match &inst.op {
@@ -106,7 +110,7 @@ impl Cfg {
                     }
                 }
             }
-            blocks[b].succs = succs;
+            block.succs = succs;
         }
         // Predecessors.
         for b in 0..blocks.len() {

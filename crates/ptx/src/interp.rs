@@ -41,7 +41,10 @@ impl fmt::Display for ExecError {
                 write!(f, "step limit exceeded in block {tb}, thread {tid}")
             }
             ExecError::SharedOutOfBounds { addr, size } => {
-                write!(f, "shared-memory access at {addr} out of bounds ({size} bytes)")
+                write!(
+                    f,
+                    "shared-memory access at {addr} out of bounds ({size} bytes)"
+                )
             }
             ExecError::BarrierDivergence { tb } => {
                 write!(f, "barrier divergence in block {tb}")
@@ -80,8 +83,7 @@ pub trait ExecObserver {
     fn on_inst(&mut self, _thread: ThreadId, _inst_idx: usize, _op: &Op) {}
 
     /// Called for every global-memory access with its byte address.
-    fn on_global_access(&mut self, _thread: ThreadId, _inst_idx: usize, _addr: u64, _store: bool) {
-    }
+    fn on_global_access(&mut self, _thread: ThreadId, _inst_idx: usize, _addr: u64, _store: bool) {}
 }
 
 /// Observer that does nothing (for plain functional runs).
@@ -190,7 +192,10 @@ pub fn execute_block<O: ExecObserver>(
         }
         if !any_running {
             // Everyone is Done or AtBarrier.
-            let waiting = threads.iter().filter(|t| t.status == Status::AtBarrier).count();
+            let waiting = threads
+                .iter()
+                .filter(|t| t.status == Status::AtBarrier)
+                .count();
             if waiting == 0 {
                 return Ok(stats);
             }
@@ -202,6 +207,22 @@ pub fn execute_block<O: ExecObserver>(
             }
         }
     }
+}
+
+/// Fallible pipeline entry point: validates the launch structure, then
+/// executes every block, folding both launch and execution failures into
+/// the crate-level [`crate::error::PtxError`].
+///
+/// # Errors
+///
+/// [`crate::error::PtxError::BadLaunch`] for malformed launches,
+/// [`crate::error::PtxError::Exec`] for functional-execution failures.
+pub fn try_execute_launch(
+    launch: &Launch,
+    mem: &mut GlobalMem,
+) -> Result<ExecStats, crate::error::PtxError> {
+    crate::error::validate_launch(launch)?;
+    execute_launch(launch, mem).map_err(crate::error::PtxError::Exec)
 }
 
 /// Executes every block of a launch in linear block-id order.
@@ -237,7 +258,10 @@ fn run_thread<O: ExecObserver>(
         }
         th.steps += 1;
         if th.steps > MAX_STEPS_PER_THREAD {
-            return Err(ExecError::StepLimit { tb: id.tb, tid: id.tid });
+            return Err(ExecError::StepLimit {
+                tb: id.tb,
+                tid: id.tid,
+            });
         }
         let inst = &body[th.pc];
         if let Some(g) = inst.guard {
@@ -315,9 +339,7 @@ fn run_thread<O: ExecObserver>(
                 };
                 match (dst.class, src_class) {
                     (RegClass::R64, _) => th.r64[dst.idx as usize] = val64!(*src),
-                    (RegClass::R32, RegClass::F32) => {
-                        th.r32[dst.idx as usize] = valf!(*src) as u32
-                    }
+                    (RegClass::R32, RegClass::F32) => th.r32[dst.idx as usize] = valf!(*src) as u32,
                     (RegClass::R32, _) => th.r32[dst.idx as usize] = val64!(*src) as u32,
                     (RegClass::F32, RegClass::F32) => th.f32[dst.idx as usize] = valf!(*src),
                     (RegClass::F32, _) => th.f32[dst.idx as usize] = val64!(*src) as f32,
@@ -340,15 +362,11 @@ fn run_thread<O: ExecObserver>(
             },
             Op::Mad { ty, dst, a, b, c } => match ty {
                 IntTy::U32 | IntTy::S32 => {
-                    let v = val32!(*a)
-                        .wrapping_mul(val32!(*b))
-                        .wrapping_add(val32!(*c));
+                    let v = val32!(*a).wrapping_mul(val32!(*b)).wrapping_add(val32!(*c));
                     th.r32[dst.idx as usize] = v;
                 }
                 IntTy::U64 => {
-                    let v = val64!(*a)
-                        .wrapping_mul(val64!(*b))
-                        .wrapping_add(val64!(*c));
+                    let v = val64!(*a).wrapping_mul(val64!(*b)).wrapping_add(val64!(*c));
                     th.r64[dst.idx as usize] = v;
                 }
             },
@@ -379,7 +397,9 @@ fn run_thread<O: ExecObserver>(
             Op::Setp { cmp, ty, dst, a, b } => {
                 let r = match ty {
                     IntTy::U32 => cmp_int(*cmp, val32!(*a) as u64, val32!(*b) as u64),
-                    IntTy::S32 => cmp_sint(*cmp, val32!(*a) as i32 as i64, val32!(*b) as i32 as i64),
+                    IntTy::S32 => {
+                        cmp_sint(*cmp, val32!(*a) as i32 as i64, val32!(*b) as i32 as i64)
+                    }
                     IntTy::U64 => cmp_int(*cmp, val64!(*a), val64!(*b)),
                 };
                 th.pred[dst.idx as usize] = r;
@@ -410,7 +430,12 @@ fn run_thread<O: ExecObserver>(
                     RegClass::Pred => {}
                 }
             }
-            Op::Ld { space, ty, dst, addr } => match space {
+            Op::Ld {
+                space,
+                ty,
+                dst,
+                addr,
+            } => match space {
                 MemSpace::Global => {
                     let a = th.r64[addr.base.idx as usize].wrapping_add(addr.offset as u64);
                     stats.global_loads += 1;
@@ -437,7 +462,12 @@ fn run_thread<O: ExecObserver>(
                     }
                 }
             },
-            Op::St { space, ty, src, addr } => {
+            Op::St {
+                space,
+                ty,
+                src,
+                addr,
+            } => {
                 let v = match ty {
                     MemTy::U32 => val32!(*src),
                     MemTy::F32 => valf!(*src).to_bits(),
@@ -493,13 +523,7 @@ fn int_op_u32(op: IntOp, x: u32, y: u32) -> u32 {
         IntOp::Add => x.wrapping_add(y),
         IntOp::Sub => x.wrapping_sub(y),
         IntOp::Mul => x.wrapping_mul(y),
-        IntOp::Div => {
-            if y == 0 {
-                u32::MAX
-            } else {
-                x / y
-            }
-        }
+        IntOp::Div => x.checked_div(y).unwrap_or(u32::MAX),
         IntOp::Rem => {
             if y == 0 {
                 x
@@ -551,13 +575,7 @@ fn int_op_u64(op: IntOp, x: u64, y: u64) -> u64 {
         IntOp::Add => x.wrapping_add(y),
         IntOp::Sub => x.wrapping_sub(y),
         IntOp::Mul => x.wrapping_mul(y),
-        IntOp::Div => {
-            if y == 0 {
-                u64::MAX
-            } else {
-                x / y
-            }
-        }
+        IntOp::Div => x.checked_div(y).unwrap_or(u64::MAX),
         IntOp::Rem => {
             if y == 0 {
                 x
@@ -649,7 +667,11 @@ $DONE:
     fn vecadd_computes_sum() {
         let n = 100u32;
         let mut sp = AddressSpace::new();
-        let (a, b, c) = (sp.alloc(4 * n as u64), sp.alloc(4 * n as u64), sp.alloc(4 * n as u64));
+        let (a, b, c) = (
+            sp.alloc(4 * n as u64),
+            sp.alloc(4 * n as u64),
+            sp.alloc(4 * n as u64),
+        );
         let mut mem = GlobalMem::for_space(&sp);
         let av: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let bv: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
@@ -658,8 +680,8 @@ $DONE:
         let launch = vecadd_launch(n, a.base, b.base, c.base);
         let stats = execute_launch(&launch, &mut mem).unwrap();
         let cv = mem.copy_to_host_f32(c.base, n as usize);
-        for i in 0..n as usize {
-            assert_eq!(cv[i], 3.0 * i as f32);
+        for (i, v) in cv.iter().enumerate().take(n as usize) {
+            assert_eq!(*v, 3.0 * i as f32);
         }
         // 100 active threads, 2 loads + 1 store each.
         assert_eq!(stats.global_loads, 200);
@@ -714,7 +736,11 @@ $OUT:
             k,
             Dim3::x(1),
             Dim3::x(1),
-            vec![ArgValue::Ptr(a.base), ArgValue::Ptr(o.base), ArgValue::U32(16)],
+            vec![
+                ArgValue::Ptr(a.base),
+                ArgValue::Ptr(o.base),
+                ArgValue::U32(16),
+            ],
         );
         execute_launch(&launch, &mut mem).unwrap();
         assert_eq!(mem.read_f32(o.base), 16.0);
@@ -779,8 +805,8 @@ $TOP:
         );
         execute_launch(&launch, &mut mem).unwrap();
         let bv = mem.copy_to_host_f32(b.base, 64);
-        for i in 0..64 {
-            assert_eq!(bv[i], (63 - i) as f32);
+        for (i, v) in bv.iter().enumerate().take(64) {
+            assert_eq!(*v, (63 - i) as f32);
         }
     }
 

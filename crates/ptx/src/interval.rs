@@ -179,7 +179,9 @@ impl Interval {
         }
         match other.as_point() {
             Some(d) if d > 0 => {
-                if !self.is_unbounded() && self.hi - self.lo < d && self.lo.rem_euclid(d) <= self.hi.rem_euclid(d)
+                if !self.is_unbounded()
+                    && self.hi - self.lo < d
+                    && self.lo.rem_euclid(d) <= self.hi.rem_euclid(d)
                 {
                     // The whole interval maps into one residue window.
                     Interval::new(self.lo.rem_euclid(d), self.hi.rem_euclid(d))
@@ -221,11 +223,16 @@ impl Interval {
             if m >= 0 {
                 if v.is_empty() {
                     Interval::EMPTY
-                } else if v.lo >= 0 && !v.is_unbounded() && v.hi & m == v.hi && v.lo & m == v.lo && {
-                    // If all values in [lo,hi] keep their masked bits (mask is
-                    // a suffix of ones covering hi), the AND is the identity.
-                    (m + 1) & m == 0 && v.hi < m + 1 // m+1 is a power of two
-                } {
+                } else if v.lo >= 0
+                    && !v.is_unbounded()
+                    && v.hi & m == v.hi
+                    && v.lo & m == v.lo
+                    && {
+                        // If all values in [lo,hi] keep their masked bits (mask is
+                        // a suffix of ones covering hi), the AND is the identity.
+                        (m + 1) & m == 0 && v.hi < m + 1 // m+1 is a power of two
+                    }
+                {
                     *v
                 } else {
                     Interval::new(0, m)
@@ -437,10 +444,7 @@ mod tests {
         assert_eq!(a.refine(CmpOp::Gt, &n), Interval::new(51, 100));
         assert_eq!(a.refine(CmpOp::Ge, &n), Interval::new(50, 100));
         assert_eq!(a.refine(CmpOp::Eq, &n), Interval::point(50));
-        assert_eq!(
-            Interval::point(50).refine(CmpOp::Ne, &n),
-            Interval::EMPTY
-        );
+        assert_eq!(Interval::point(50).refine(CmpOp::Ne, &n), Interval::EMPTY);
     }
 
     #[test]

@@ -145,6 +145,29 @@ impl Launch {
         }
     }
 
+    /// Fallible counterpart of [`Launch::new`]: returns a typed error for
+    /// malformed launches instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::PtxError::BadLaunch`] on argument-arity mismatch or
+    /// zero-thread blocks.
+    pub fn try_new(
+        kernel: Arc<Kernel>,
+        grid: Dim3,
+        block: Dim3,
+        args: Vec<ArgValue>,
+    ) -> Result<Self, crate::error::PtxError> {
+        let launch = Launch {
+            kernel,
+            grid,
+            block,
+            args,
+        };
+        crate::error::validate_launch(&launch)?;
+        Ok(launch)
+    }
+
     /// Number of thread blocks in the grid.
     pub fn num_blocks(&self) -> u32 {
         self.grid.count() as u32
@@ -199,12 +222,7 @@ mod tests {
 
     #[test]
     fn launch_block_coords_round_trip() {
-        let l = Launch::new(
-            dummy_kernel(0),
-            Dim3::xy(5, 3),
-            Dim3::x(64),
-            vec![],
-        );
+        let l = Launch::new(dummy_kernel(0), Dim3::xy(5, 3), Dim3::x(64), vec![]);
         for tb in 0..l.num_blocks() {
             let (bx, by) = l.block_coords(tb);
             assert_eq!(l.block_id(bx, by), tb);

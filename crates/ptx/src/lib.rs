@@ -46,6 +46,7 @@ pub mod absint;
 pub mod access;
 pub mod builder;
 pub mod cfg;
+pub mod error;
 pub mod interp;
 pub mod interval;
 pub mod isa;
@@ -58,5 +59,6 @@ pub mod taint;
 pub mod trace;
 
 pub use access::{KernelAccess, RangeSet, TbAccess};
+pub use error::PtxError;
 pub use kernel::{ArgValue, Dim3, Kernel, Launch, Param};
 pub use mem::{AddressSpace, AllocId, AllocInfo, GlobalMem};

@@ -129,7 +129,9 @@ impl GlobalMem {
 
     /// Registers a backing region (idempotent for the same base).
     pub fn add_region(&mut self, base: u64, size: u64) {
-        self.pages.entry(base).or_insert_with(|| vec![0; size as usize]);
+        self.pages
+            .entry(base)
+            .or_insert_with(|| vec![0; size as usize]);
         if let Err(i) = self.bases.binary_search_by_key(&base, |&(b, _)| b) {
             self.bases.insert(i, (base, size));
         }
@@ -190,7 +192,9 @@ impl GlobalMem {
 
     /// Copies device memory into a vector of `f32`s (device-to-host memcpy).
     pub fn copy_to_host_f32(&self, addr: u64, count: usize) -> Vec<f32> {
-        (0..count).map(|i| self.read_f32(addr + 4 * i as u64)).collect()
+        (0..count)
+            .map(|i| self.read_f32(addr + 4 * i as u64))
+            .collect()
     }
 
     /// A stable fingerprint of all memory contents, for equivalence tests.

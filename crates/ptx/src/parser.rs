@@ -105,14 +105,10 @@ impl Parser {
     }
 
     fn next(&mut self) -> Result<Tok, ParseError> {
-        let t = self
-            .toks
-            .get(self.pos)
-            .cloned()
-            .ok_or_else(|| ParseError {
-                message: "unexpected end of input".into(),
-                line: 0,
-            })?;
+        let t = self.toks.get(self.pos).cloned().ok_or_else(|| ParseError {
+            message: "unexpected end of input".into(),
+            line: 0,
+        })?;
         self.pos += 1;
         Ok(t.tok)
     }
@@ -428,8 +424,18 @@ impl Parser {
             [op, ty]
                 if matches!(
                     *op,
-                    "add" | "sub" | "div" | "rem" | "min" | "max" | "and" | "or" | "xor"
-                        | "shl" | "shr" | "mul"
+                    "add"
+                        | "sub"
+                        | "div"
+                        | "rem"
+                        | "min"
+                        | "max"
+                        | "and"
+                        | "or"
+                        | "xor"
+                        | "shl"
+                        | "shr"
+                        | "mul"
                 ) =>
             {
                 let iop = match *op {

@@ -27,11 +27,7 @@ fn mnemonic(op: &Op) -> String {
                 (RegClass::R32, RegClass::R64) => "cvt.u32.u64".into(),
                 (RegClass::F32, RegClass::R32) => "cvt.rn.f32.u32".into(),
                 (RegClass::R32, RegClass::F32) => "cvt.rzi.u32.f32".into(),
-                (a, b) => format!(
-                    "cvt.{}.{}",
-                    class_ty(a),
-                    class_ty(b)
-                ),
+                (a, b) => format!("cvt.{}.{}", class_ty(a), class_ty(b)),
             }
         }
         Op::Int { op, ty, .. } => match op {

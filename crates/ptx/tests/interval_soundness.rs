@@ -5,107 +5,134 @@
 
 use bm_ptx::interval::Interval;
 use bm_ptx::isa::CmpOp;
-use proptest::prelude::*;
+use bm_testkit::{check_cases, prop_ensure, Rng};
 
-/// Strategy: an interval plus a member of it.
-fn interval_with_member() -> impl Strategy<Value = (Interval, i128)> {
-    (-10_000i128..10_000, 0i128..200).prop_flat_map(|(lo, width)| {
-        let hi = lo + width;
-        (Just(Interval::new(lo, hi)), lo..=hi)
-    })
+/// An interval plus a member of it.
+fn interval_with_member(rng: &mut Rng) -> (Interval, i128) {
+    let lo = rng.range_i128(-10_000, 10_000);
+    let width = rng.range_i128(0, 200);
+    let hi = lo + width;
+    let x = rng.range_i128(lo, hi + 1);
+    (Interval::new(lo, hi), x)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+#[test]
+fn add_sub_mul_are_sound() {
+    check_cases(0xADD, 512, |rng| {
+        let (a, x) = interval_with_member(rng);
+        let (b, y) = interval_with_member(rng);
+        prop_ensure!(a.add(&b).contains(x + y), "{a} + {b} missing {}", x + y);
+        prop_ensure!(a.sub(&b).contains(x - y), "{a} - {b} missing {}", x - y);
+        prop_ensure!(a.mul(&b).contains(x * y), "{a} * {b} missing {}", x * y);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn add_sub_mul_are_sound(
-        (a, x) in interval_with_member(),
-        (b, y) in interval_with_member(),
-    ) {
-        prop_assert!(a.add(&b).contains(x + y));
-        prop_assert!(a.sub(&b).contains(x - y));
-        prop_assert!(a.mul(&b).contains(x * y));
-    }
+#[test]
+fn min_max_are_sound() {
+    check_cases(0x313, 512, |rng| {
+        let (a, x) = interval_with_member(rng);
+        let (b, y) = interval_with_member(rng);
+        prop_ensure!(a.min_op(&b).contains(x.min(y)));
+        prop_ensure!(a.max_op(&b).contains(x.max(y)));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn min_max_are_sound(
-        (a, x) in interval_with_member(),
-        (b, y) in interval_with_member(),
-    ) {
-        prop_assert!(a.min_op(&b).contains(x.min(y)));
-        prop_assert!(a.max_op(&b).contains(x.max(y)));
-    }
-
-    #[test]
-    fn div_rem_by_positive_constant_are_sound(
-        (a, x) in interval_with_member(),
-        d in 1i128..64,
-    ) {
+#[test]
+fn div_rem_by_positive_constant_are_sound() {
+    check_cases(0xD1F, 512, |rng| {
+        let (a, x) = interval_with_member(rng);
+        let d = rng.range_i128(1, 64);
         let div = a.div(&Interval::point(d));
-        prop_assert!(div.contains(x.div_euclid(d)), "{a} / {d}: {} not in {div}", x.div_euclid(d));
+        prop_ensure!(
+            div.contains(x.div_euclid(d)),
+            "{a} / {d}: {} not in {div}",
+            x.div_euclid(d)
+        );
         let rem = a.rem(&Interval::point(d));
-        prop_assert!(rem.contains(x.rem_euclid(d)), "{a} % {d}: {} not in {rem}", x.rem_euclid(d));
-    }
+        prop_ensure!(
+            rem.contains(x.rem_euclid(d)),
+            "{a} % {d}: {} not in {rem}",
+            x.rem_euclid(d)
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn shifts_by_constant_are_sound(
-        (a, x) in interval_with_member(),
-        s in 0i128..8,
-    ) {
-        prop_assert!(a.shl(&Interval::point(s)).contains(x << s));
+#[test]
+fn shifts_by_constant_are_sound() {
+    check_cases(0x547, 512, |rng| {
+        let (a, x) = interval_with_member(rng);
+        let s = rng.range_i128(0, 8);
+        prop_ensure!(a.shl(&Interval::point(s)).contains(x << s));
         if x >= 0 {
-            prop_assert!(a.shr(&Interval::point(s)).contains(x >> s));
+            prop_ensure!(a.shr(&Interval::point(s)).contains(x >> s));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bitwise_ops_are_sound_for_nonnegative(
-        (a, x) in interval_with_member(),
-        (b, y) in interval_with_member(),
-    ) {
+#[test]
+fn bitwise_ops_are_sound_for_nonnegative() {
+    check_cases(0xB17, 512, |rng| {
+        let (a, x) = interval_with_member(rng);
+        let (b, y) = interval_with_member(rng);
         // The analysis only relies on bitwise precision for non-negative
         // values (thread/block indices); negatives fall back to TOP.
         let (x, y) = (x.abs(), y.abs());
         let a = Interval::new(a.lo().abs().min(x), a.hi().abs().max(x));
         let b = Interval::new(b.lo().abs().min(y), b.hi().abs().max(y));
-        prop_assert!(a.and(&b).contains(x & y), "{a} & {b} missing {}", x & y);
-        prop_assert!(a.or(&b).contains(x | y), "{a} | {b} missing {}", x | y);
-        prop_assert!(a.xor(&b).contains(x ^ y), "{a} ^ {b} missing {}", x ^ y);
-    }
+        prop_ensure!(a.and(&b).contains(x & y), "{a} & {b} missing {}", x & y);
+        prop_ensure!(a.or(&b).contains(x | y), "{a} | {b} missing {}", x | y);
+        prop_ensure!(a.xor(&b).contains(x ^ y), "{a} ^ {b} missing {}", x ^ y);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hull_and_intersect_are_lattice_ops(
-        (a, x) in interval_with_member(),
-        (b, y) in interval_with_member(),
-    ) {
+#[test]
+fn hull_and_intersect_are_lattice_ops() {
+    check_cases(0x411, 512, |rng| {
+        let (a, x) = interval_with_member(rng);
+        let (b, y) = interval_with_member(rng);
         let h = a.hull(&b);
-        prop_assert!(h.contains(x) && h.contains(y));
+        prop_ensure!(h.contains(x) && h.contains(y));
         let i = a.intersect(&b);
         if a.contains(y) {
-            prop_assert!(i.contains(y));
+            prop_ensure!(i.contains(y));
         }
         if b.contains(x) {
-            prop_assert!(i.contains(x));
+            prop_ensure!(i.contains(x));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn widen_only_grows(
-        (a, x) in interval_with_member(),
-        (b, y) in interval_with_member(),
-    ) {
+#[test]
+fn widen_only_grows() {
+    check_cases(0x31D, 512, |rng| {
+        let (a, x) = interval_with_member(rng);
+        let (b, y) = interval_with_member(rng);
         let w = a.widen(&b);
-        prop_assert!(w.contains(x), "widen lost old member");
-        prop_assert!(w.contains(y), "widen lost new member");
-    }
+        prop_ensure!(w.contains(x), "widen lost old member");
+        prop_ensure!(w.contains(y), "widen lost new member");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn refine_keeps_satisfying_members(
-        (a, x) in interval_with_member(),
-        (b, y) in interval_with_member(),
-    ) {
-        for cmp in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+#[test]
+fn refine_keeps_satisfying_members() {
+    check_cases(0x8EF, 512, |rng| {
+        let (a, x) = interval_with_member(rng);
+        let (b, y) = interval_with_member(rng);
+        for cmp in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             let holds = match cmp {
                 CmpOp::Eq => x == y,
                 CmpOp::Ne => x != y,
@@ -116,11 +143,12 @@ proptest! {
             };
             if holds {
                 let r = a.refine(cmp, &b);
-                prop_assert!(
+                prop_ensure!(
                     r.contains(x),
                     "refine({a}, {cmp:?}, {b}) dropped {x} (witness y={y})"
                 );
             }
         }
-    }
+        Ok(())
+    });
 }

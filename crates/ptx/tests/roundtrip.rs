@@ -4,186 +4,227 @@
 use bm_ptx::isa::*;
 use bm_ptx::kernel::{Kernel, Param};
 use bm_ptx::parser::parse_kernel;
-use proptest::prelude::*;
+use bm_testkit::{check_cases, Rng};
 
-fn reg_strategy(class: RegClass) -> impl Strategy<Value = Reg> {
-    (0u16..12).prop_map(move |idx| Reg { class, idx })
+fn gen_reg(rng: &mut Rng, class: RegClass) -> Reg {
+    Reg {
+        class,
+        idx: rng.range_u32(0, 12) as u16,
+    }
 }
 
-fn int_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        reg_strategy(RegClass::R32).prop_map(Operand::Reg),
-        (-1000i64..1000).prop_map(Operand::ImmI),
-        prop_oneof![
-            Just(Special::TidX),
-            Just(Special::CtaidX),
-            Just(Special::NtidX),
-            Just(Special::NctaidX),
-            Just(Special::TidY),
-            Just(Special::CtaidY),
-        ]
-        .prop_map(Operand::Special),
-    ]
+fn gen_int_operand(rng: &mut Rng) -> Operand {
+    match rng.range_u32(0, 3) {
+        0 => Operand::Reg(gen_reg(rng, RegClass::R32)),
+        1 => Operand::ImmI(rng.range_i64(-1000, 1000)),
+        _ => Operand::Special(*rng.pick(&[
+            Special::TidX,
+            Special::CtaidX,
+            Special::NtidX,
+            Special::NctaidX,
+            Special::TidY,
+            Special::CtaidY,
+        ])),
+    }
 }
 
-fn float_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        reg_strategy(RegClass::F32).prop_map(Operand::Reg),
-        (-100i32..100).prop_map(|v| Operand::ImmF(v as f32 * 0.5)),
-    ]
+fn gen_float_operand(rng: &mut Rng) -> Operand {
+    if rng.flip() {
+        Operand::Reg(gen_reg(rng, RegClass::F32))
+    } else {
+        Operand::ImmF(rng.range_i64(-100, 100) as f32 * 0.5)
+    }
 }
 
-fn int_op() -> impl Strategy<Value = IntOp> {
-    prop_oneof![
-        Just(IntOp::Add),
-        Just(IntOp::Sub),
-        Just(IntOp::Mul),
-        Just(IntOp::Div),
-        Just(IntOp::Rem),
-        Just(IntOp::Min),
-        Just(IntOp::Max),
-        Just(IntOp::And),
-        Just(IntOp::Or),
-        Just(IntOp::Xor),
-        Just(IntOp::Shl),
-        Just(IntOp::Shr),
-    ]
+fn gen_int_op(rng: &mut Rng) -> IntOp {
+    *rng.pick(&[
+        IntOp::Add,
+        IntOp::Sub,
+        IntOp::Mul,
+        IntOp::Div,
+        IntOp::Rem,
+        IntOp::Min,
+        IntOp::Max,
+        IntOp::And,
+        IntOp::Or,
+        IntOp::Xor,
+        IntOp::Shl,
+        IntOp::Shr,
+    ])
 }
 
-fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn gen_cmp_op(rng: &mut Rng) -> CmpOp {
+    *rng.pick(&[
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
 }
 
-fn op_strategy(nparams: u16, body_len: usize) -> impl Strategy<Value = Op> {
-    let r32 = || reg_strategy(RegClass::R32);
-    let r64 = || reg_strategy(RegClass::R64);
-    let f32r = || reg_strategy(RegClass::F32);
-    let pred = || reg_strategy(RegClass::Pred);
-    prop_oneof![
-        (r32(), int_operand()).prop_map(|(dst, src)| Op::Mov { dst, src }),
-        (f32r(), float_operand()).prop_map(|(dst, src)| Op::Mov { dst, src }),
-        (r64(), r32()).prop_map(|(dst, src)| Op::Cvt {
-            dst,
-            src: Operand::Reg(src)
-        }),
-        (int_op(), r32(), int_operand(), int_operand()).prop_map(|(op, dst, a, b)| Op::Int {
-            op,
+fn gen_op(rng: &mut Rng, nparams: u16, body_len: usize) -> Op {
+    match rng.range_u32(0, 20) {
+        0 => Op::Mov {
+            dst: gen_reg(rng, RegClass::R32),
+            src: gen_int_operand(rng),
+        },
+        1 => Op::Mov {
+            dst: gen_reg(rng, RegClass::F32),
+            src: gen_float_operand(rng),
+        },
+        2 => Op::Cvt {
+            dst: gen_reg(rng, RegClass::R64),
+            src: Operand::Reg(gen_reg(rng, RegClass::R32)),
+        },
+        3 => Op::Int {
+            op: gen_int_op(rng),
             ty: IntTy::U32,
-            dst,
-            a,
-            b
-        }),
-        (int_op(), r64(), r64().prop_map(Operand::Reg), r64().prop_map(Operand::Reg))
-            .prop_map(|(op, dst, a, b)| Op::Int {
-                op,
-                ty: IntTy::U64,
-                dst,
-                a,
-                b
-            }),
-        (r32(), int_operand(), int_operand(), int_operand()).prop_map(|(dst, a, b, c)| {
-            Op::Mad {
-                ty: IntTy::U32,
-                dst,
-                a,
-                b,
-                c,
-            }
-        }),
-        (r64(), int_operand(), int_operand()).prop_map(|(dst, a, b)| Op::MulWide { dst, a, b }),
-        (r64(), int_operand(), int_operand(), r64().prop_map(Operand::Reg))
-            .prop_map(|(dst, a, b, c)| Op::MadWide { dst, a, b, c }),
-        (f32r(), float_operand(), float_operand()).prop_map(|(dst, a, b)| Op::Float {
+            dst: gen_reg(rng, RegClass::R32),
+            a: gen_int_operand(rng),
+            b: gen_int_operand(rng),
+        },
+        4 => Op::Int {
+            op: gen_int_op(rng),
+            ty: IntTy::U64,
+            dst: gen_reg(rng, RegClass::R64),
+            a: Operand::Reg(gen_reg(rng, RegClass::R64)),
+            b: Operand::Reg(gen_reg(rng, RegClass::R64)),
+        },
+        5 => Op::Mad {
+            ty: IntTy::U32,
+            dst: gen_reg(rng, RegClass::R32),
+            a: gen_int_operand(rng),
+            b: gen_int_operand(rng),
+            c: gen_int_operand(rng),
+        },
+        6 => Op::MulWide {
+            dst: gen_reg(rng, RegClass::R64),
+            a: gen_int_operand(rng),
+            b: gen_int_operand(rng),
+        },
+        7 => Op::MadWide {
+            dst: gen_reg(rng, RegClass::R64),
+            a: gen_int_operand(rng),
+            b: gen_int_operand(rng),
+            c: Operand::Reg(gen_reg(rng, RegClass::R64)),
+        },
+        8 => Op::Float {
             op: FloatOp::Add,
-            dst,
-            a,
-            b
-        }),
-        (f32r(), float_operand(), float_operand(), float_operand())
-            .prop_map(|(dst, a, b, c)| Op::Fma { dst, a, b, c }),
-        (f32r(), float_operand()).prop_map(|(dst, a)| Op::Sqrt { dst, a }),
-        (cmp_op(), pred(), int_operand(), int_operand()).prop_map(|(cmp, dst, a, b)| Op::Setp {
-            cmp,
+            dst: gen_reg(rng, RegClass::F32),
+            a: gen_float_operand(rng),
+            b: gen_float_operand(rng),
+        },
+        9 => Op::Fma {
+            dst: gen_reg(rng, RegClass::F32),
+            a: gen_float_operand(rng),
+            b: gen_float_operand(rng),
+            c: gen_float_operand(rng),
+        },
+        10 => Op::Sqrt {
+            dst: gen_reg(rng, RegClass::F32),
+            a: gen_float_operand(rng),
+        },
+        11 => Op::Setp {
+            cmp: gen_cmp_op(rng),
             ty: IntTy::U32,
-            dst,
-            a,
-            b
-        }),
-        (cmp_op(), pred(), float_operand(), float_operand())
-            .prop_map(|(cmp, dst, a, b)| Op::SetpF { cmp, dst, a, b }),
-        (r32(), int_operand(), int_operand(), pred())
-            .prop_map(|(dst, a, b, p)| Op::Selp { dst, a, b, p }),
-        (f32r(), r64(), -64i64..64).prop_map(|(dst, base, offset)| Op::Ld {
+            dst: gen_reg(rng, RegClass::Pred),
+            a: gen_int_operand(rng),
+            b: gen_int_operand(rng),
+        },
+        12 => Op::SetpF {
+            cmp: gen_cmp_op(rng),
+            dst: gen_reg(rng, RegClass::Pred),
+            a: gen_float_operand(rng),
+            b: gen_float_operand(rng),
+        },
+        13 => Op::Selp {
+            dst: gen_reg(rng, RegClass::R32),
+            a: gen_int_operand(rng),
+            b: gen_int_operand(rng),
+            p: gen_reg(rng, RegClass::Pred),
+        },
+        14 => Op::Ld {
             space: MemSpace::Global,
             ty: MemTy::F32,
-            dst,
-            addr: Addr { base, offset: offset * 4 },
-        }),
-        (float_operand(), r64(), -64i64..64).prop_map(|(src, base, offset)| Op::St {
+            dst: gen_reg(rng, RegClass::F32),
+            addr: Addr {
+                base: gen_reg(rng, RegClass::R64),
+                offset: rng.range_i64(-64, 64) * 4,
+            },
+        },
+        15 => Op::St {
             space: MemSpace::Global,
             ty: MemTy::F32,
-            src,
-            addr: Addr { base, offset: offset * 4 },
-        }),
-        (r32(), r32()).prop_map(|(dst, base)| Op::Ld {
+            src: gen_float_operand(rng),
+            addr: Addr {
+                base: gen_reg(rng, RegClass::R64),
+                offset: rng.range_i64(-64, 64) * 4,
+            },
+        },
+        16 => Op::Ld {
             space: MemSpace::Shared,
             ty: MemTy::U32,
-            dst,
-            addr: Addr { base, offset: 0 },
-        }),
-        (r64(), 0..nparams.max(1)).prop_map(|(dst, param)| Op::LdParam { dst, param }),
-        (0..body_len).prop_map(|target| Op::Bra { target }),
-        Just(Op::Bar),
-    ]
+            dst: gen_reg(rng, RegClass::R32),
+            addr: Addr {
+                base: gen_reg(rng, RegClass::R32),
+                offset: 0,
+            },
+        },
+        17 => Op::LdParam {
+            dst: gen_reg(rng, RegClass::R64),
+            param: rng.range_u32(0, nparams.max(1) as u32) as u16,
+        },
+        18 => Op::Bra {
+            target: rng.range_usize(0, body_len),
+        },
+        _ => Op::Bar,
+    }
 }
 
-fn kernel_strategy() -> impl Strategy<Value = Kernel> {
-    (1usize..4, 1usize..40).prop_flat_map(|(nparams, body_len)| {
-        let ops = prop::collection::vec(
-            (
-                op_strategy(nparams as u16, body_len),
-                prop::option::of((reg_strategy(RegClass::Pred), any::<bool>())),
-            ),
-            body_len,
-        );
-        ops.prop_map(move |ops| {
-            let mut body: Vec<Inst> = ops
-                .into_iter()
-                .map(|(op, guard)| Inst {
-                    guard: guard.map(|(pred, negated)| Guard { pred, negated }),
-                    op,
+fn gen_kernel(rng: &mut Rng) -> Kernel {
+    let nparams = rng.range_usize(1, 4);
+    let body_len = rng.range_usize(1, 40);
+    let mut body: Vec<Inst> = (0..body_len)
+        .map(|_| {
+            let op = gen_op(rng, nparams as u16, body_len);
+            let guard = if rng.chance(1, 3) {
+                Some(Guard {
+                    pred: gen_reg(rng, RegClass::Pred),
+                    negated: rng.flip(),
                 })
-                .collect();
-            body.push(Inst::new(Op::Ret));
-            Kernel {
-                name: "prop".into(),
-                params: (0..nparams)
-                    .map(|i| Param {
-                        name: format!("p{i}"),
-                        ty: ParamTy::U64,
-                    })
-                    .collect(),
-                body,
-                shared_bytes: 256,
-            }
+            } else {
+                None
+            };
+            Inst { guard, op }
         })
-    })
+        .collect();
+    body.push(Inst::new(Op::Ret));
+    Kernel {
+        name: "prop".into(),
+        params: (0..nparams)
+            .map(|i| Param {
+                name: format!("p{i}"),
+                ty: ParamTy::U64,
+            })
+            .collect(),
+        body,
+        shared_bytes: 256,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn print_then_parse_is_identity(kernel in kernel_strategy()) {
+#[test]
+fn print_then_parse_is_identity() {
+    check_cases(0x9A1B, 256, |rng| {
+        let kernel = gen_kernel(rng);
         let text = kernel.to_string();
         let reparsed = parse_kernel(&text)
             .unwrap_or_else(|e| panic!("printed kernel failed to parse: {e}\n{text}"));
-        prop_assert_eq!(kernel, reparsed);
-    }
+        bm_testkit::prop_ensure!(
+            kernel == reparsed,
+            "roundtrip mismatch:\n{text}\nparsed back as:\n{reparsed}"
+        );
+        Ok(())
+    });
 }

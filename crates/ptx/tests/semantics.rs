@@ -179,5 +179,8 @@ fn predicated_memory_access_is_analyzed_conservatively() {
     assert!(!acc.non_static);
     let w = &acc.per_tb[0].writes;
     assert!(w.contains(a_base), "guarded A store must be in the set");
-    assert!(w.contains(b_base + 64), "negated-guard B store must be in the set");
+    assert!(
+        w.contains(b_base + 64),
+        "negated-guard B store must be in the set"
+    );
 }

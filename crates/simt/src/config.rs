@@ -84,11 +84,10 @@ impl GpuConfig {
         let by_tbs = self.max_tbs_per_sm;
         let by_threads = self.max_threads_per_sm / block_threads.max(1);
         let by_warps = self.max_warps_per_sm / warps.max(1);
-        let by_shared = if shared_bytes == 0 {
-            u32::MAX
-        } else {
-            self.shared_mem_per_sm / shared_bytes
-        };
+        let by_shared = self
+            .shared_mem_per_sm
+            .checked_div(shared_bytes)
+            .unwrap_or(u32::MAX);
         by_tbs.min(by_threads).min(by_warps).min(by_shared)
     }
 

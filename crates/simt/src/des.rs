@@ -9,6 +9,7 @@
 use crate::config::GpuConfig;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Identifies a thread block across the whole application run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,7 +57,83 @@ pub trait TbSource {
 
     /// Whether every thread block has been issued and completed.
     fn is_done(&self) -> bool;
+
+    /// Whether the source has hit an unrecoverable internal error and wants
+    /// the engine to stop. Checked once per engine iteration; a `true`
+    /// return makes [`try_run`] exit with [`DesError::SourceAbort`] so the
+    /// source's owner can surface its own typed error. Defaults to `false`.
+    fn aborted(&self) -> bool {
+        false
+    }
+
+    /// Human-readable state lines for deadlock diagnostics (ready-queue
+    /// depths, dependency-counter values, window state, ...). Collected
+    /// into [`DeadlockSnapshot::diagnostics`] when the engine detects a
+    /// no-progress state. Defaults to empty.
+    fn diagnostics(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
+
+/// State captured when the engine detects a no-progress condition: nothing
+/// running, nothing ready, no future event, yet the source is not done.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeadlockSnapshot {
+    /// Simulation time at which progress stopped.
+    pub cycle: u64,
+    /// Thread blocks completed before the deadlock.
+    pub tbs_executed: u64,
+    /// Thread blocks resident on SMs at the deadlock point. Empty in the
+    /// strict no-progress state (running TBs always produce completion
+    /// events), kept for sources that abort with work in flight.
+    pub resident: Vec<TbKey>,
+    /// Source-provided state lines ([`TbSource::diagnostics`]).
+    pub diagnostics: Vec<String>,
+}
+
+impl fmt::Display for DeadlockSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deadlock at cycle {} after {} TBs ({} resident)",
+            self.cycle,
+            self.tbs_executed,
+            self.resident.len()
+        )?;
+        for line in &self.diagnostics {
+            write!(f, "\n  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Typed failure of a discrete-event run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesError {
+    /// The source can never make progress again: no running TBs, no ready
+    /// TBs, no future events, and `is_done()` is false. Always a policy or
+    /// dependency-metadata bug, never a timing accident.
+    Deadlock(DeadlockSnapshot),
+    /// The source reported an internal failure via [`TbSource::aborted`];
+    /// the engine stopped so the owner can recover its typed error.
+    SourceAbort {
+        /// Simulation time at which the abort was observed.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for DesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesError::Deadlock(s) => write!(f, "DES {s}"),
+            DesError::SourceAbort { cycle } => {
+                write!(f, "DES source aborted at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesError {}
 
 /// Statistics from one engine run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -96,8 +173,32 @@ struct SmState {
 ///
 /// Panics if the source deadlocks: nothing is running, nothing is ready,
 /// no future event exists, yet `is_done()` is false. That always indicates
-/// a policy bug and is surfaced loudly.
+/// a policy bug and is surfaced loudly. Use [`try_run`] to receive the
+/// deadlock as a typed error with a diagnostic snapshot instead.
 pub fn run(cfg: &GpuConfig, source: &mut dyn TbSource) -> DesStats {
+    match try_run(cfg, source) {
+        Ok(stats) => stats,
+        Err(DesError::Deadlock(snap)) => {
+            panic!(
+                "DES deadlock at cycle {}: no running TBs, no events, not done\n{snap}",
+                snap.cycle
+            )
+        }
+        Err(e @ DesError::SourceAbort { .. }) => panic!("{e}"),
+    }
+}
+
+/// Runs the engine until the source reports completion, surfacing
+/// no-progress states as [`DesError::Deadlock`] with a diagnostic snapshot
+/// instead of panicking (the watchdog behind BlockMaestro's fault
+/// tolerance: corrupted dependency metadata that strands a thread block
+/// is reported, not looped on).
+///
+/// # Errors
+///
+/// [`DesError::Deadlock`] when no further progress is possible;
+/// [`DesError::SourceAbort`] when the source signals an internal failure.
+pub fn try_run(cfg: &GpuConfig, source: &mut dyn TbSource) -> Result<DesStats, DesError> {
     let mut sms: Vec<SmState> = (0..cfg.num_sms)
         .map(|_| SmState {
             free_tbs: cfg.max_tbs_per_sm,
@@ -114,6 +215,9 @@ pub fn run(cfg: &GpuConfig, source: &mut dyn TbSource) -> DesStats {
     let mut last_t = 0u64;
     source.on_time_advance(0);
     loop {
+        if source.aborted() {
+            return Err(DesError::SourceAbort { cycle: now });
+        }
         // Placement phase: place as many ready TBs as resources allow.
         loop {
             let fits = |threads: u32, shared: u32| {
@@ -157,7 +261,15 @@ pub fn run(cfg: &GpuConfig, source: &mut dyn TbSource) -> DesStats {
             (Some(a), None) => a,
             (None, Some(b)) => b,
             (None, None) => {
-                panic!("DES deadlock at cycle {now}: no running TBs, no events, not done")
+                if source.aborted() {
+                    return Err(DesError::SourceAbort { cycle: now });
+                }
+                return Err(DesError::Deadlock(DeadlockSnapshot {
+                    cycle: now,
+                    tbs_executed: stats.tbs_executed,
+                    resident: heap.iter().map(|Reverse((.., d))| d.key).collect(),
+                    diagnostics: source.diagnostics(),
+                }));
             }
         };
         debug_assert!(next >= now, "time must not move backwards");
@@ -180,7 +292,7 @@ pub fn run(cfg: &GpuConfig, source: &mut dyn TbSource) -> DesStats {
         source.on_time_advance(now);
     }
     stats.total_cycles = now;
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -204,11 +316,7 @@ mod tests {
     }
 
     impl TbSource for QueueSource {
-        fn pop_ready(
-            &mut self,
-            now: u64,
-            fits: &dyn Fn(u32, u32) -> bool,
-        ) -> Option<TbDescriptor> {
+        fn pop_ready(&mut self, now: u64, fits: &dyn Fn(u32, u32) -> bool) -> Option<TbDescriptor> {
             if let Some(&(t, d)) = self.pending.front() {
                 if t <= now && fits(d.threads, d.shared_bytes) {
                     self.pending.pop_front();
@@ -262,9 +370,7 @@ mod tests {
     #[test]
     fn parallel_when_slots_available() {
         let cfg = GpuConfig::small(); // 4 SMs x 4 TBs
-        let mut src = QueueSource::new(
-            (0..16).map(|i| (0, desc(0, i, 32, 100))).collect(),
-        );
+        let mut src = QueueSource::new((0..16).map(|i| (0, desc(0, i, 32, 100))).collect());
         let stats = run(&cfg, &mut src);
         assert_eq!(stats.total_cycles, 100);
         assert!((stats.avg_concurrency() - 16.0).abs() < 1e-9);
@@ -275,10 +381,7 @@ mod tests {
         let mut cfg = GpuConfig::small();
         cfg.num_sms = 1;
         cfg.max_tbs_per_sm = 4;
-        let mut src = QueueSource::new(vec![
-            (0, desc(0, 0, 32, 50)),
-            (500, desc(1, 0, 32, 50)),
-        ]);
+        let mut src = QueueSource::new(vec![(0, desc(0, 0, 32, 50)), (500, desc(1, 0, 32, 50))]);
         let stats = run(&cfg, &mut src);
         assert_eq!(stats.total_cycles, 550);
         // Idle gap shows up as low average concurrency.
@@ -292,9 +395,7 @@ mod tests {
         cfg.max_tbs_per_sm = 8;
         cfg.max_threads_per_sm = 512;
         // 4 blocks of 256 threads: only 2 fit at a time.
-        let mut src = QueueSource::new(
-            (0..4).map(|i| (0, desc(0, i, 256, 100))).collect(),
-        );
+        let mut src = QueueSource::new((0..4).map(|i| (0, desc(0, i, 256, 100))).collect());
         let stats = run(&cfg, &mut src);
         assert_eq!(stats.total_cycles, 200);
     }
@@ -313,11 +414,58 @@ mod tests {
         assert_eq!(stats.schedule[1].2, 30);
     }
 
+    /// A source that never becomes ready nor done: the canonical deadlock.
+    struct Stuck {
+        progressed: u32,
+    }
+    impl TbSource for Stuck {
+        fn pop_ready(
+            &mut self,
+            _now: u64,
+            _fits: &dyn Fn(u32, u32) -> bool,
+        ) -> Option<TbDescriptor> {
+            if self.progressed > 0 {
+                self.progressed -= 1;
+                return Some(desc(0, self.progressed, 32, 40));
+            }
+            None
+        }
+        fn on_tb_complete(&mut self, _key: TbKey, _now: u64) {}
+        fn next_event_at(&self, _now: u64) -> Option<u64> {
+            None
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+        fn diagnostics(&self) -> Vec<String> {
+            vec!["stuck source: 1 TB waiting on a counter that never zeroes".into()]
+        }
+    }
+
     #[test]
     #[should_panic(expected = "DES deadlock")]
     fn deadlock_panics() {
-        struct Stuck;
-        impl TbSource for Stuck {
+        run(&GpuConfig::small(), &mut Stuck { progressed: 0 });
+    }
+
+    #[test]
+    fn watchdog_returns_typed_deadlock_with_snapshot() {
+        let err = try_run(&GpuConfig::small(), &mut Stuck { progressed: 2 }).unwrap_err();
+        let DesError::Deadlock(snap) = err else {
+            panic!("expected deadlock, got {err}");
+        };
+        // The two TBs that did run are counted; progress stops after them.
+        assert_eq!(snap.tbs_executed, 2);
+        assert_eq!(snap.cycle, 40);
+        assert!(snap.resident.is_empty());
+        assert_eq!(snap.diagnostics.len(), 1);
+        assert!(snap.to_string().contains("never zeroes"));
+    }
+
+    #[test]
+    fn source_abort_stops_the_run() {
+        struct Abort;
+        impl TbSource for Abort {
             fn pop_ready(
                 &mut self,
                 _now: u64,
@@ -332,7 +480,22 @@ mod tests {
             fn is_done(&self) -> bool {
                 false
             }
+            fn aborted(&self) -> bool {
+                true
+            }
         }
-        run(&GpuConfig::small(), &mut Stuck);
+        let err = try_run(&GpuConfig::small(), &mut Abort).unwrap_err();
+        assert_eq!(err, DesError::SourceAbort { cycle: 0 });
+    }
+
+    #[test]
+    fn try_run_matches_run_on_clean_sources() {
+        let mut cfg = GpuConfig::small();
+        cfg.num_sms = 1;
+        cfg.max_tbs_per_sm = 1;
+        let items: Vec<(u64, TbDescriptor)> = (0..5).map(|i| (0, desc(0, i, 32, 10))).collect();
+        let a = try_run(&cfg, &mut QueueSource::new(items.clone())).unwrap();
+        let b = run(&cfg, &mut QueueSource::new(items));
+        assert_eq!(a, b);
     }
 }

@@ -22,5 +22,5 @@ pub mod stats;
 pub mod timing;
 
 pub use config::GpuConfig;
-pub use des::{DesStats, TbDescriptor, TbKey, TbSource};
+pub use des::{DeadlockSnapshot, DesError, DesStats, TbDescriptor, TbKey, TbSource};
 pub use timing::{simulate_sm, SmTiming};

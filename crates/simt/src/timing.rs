@@ -129,9 +129,9 @@ pub fn simulate_sm(cfg: &GpuConfig, traces: &[&TbTrace]) -> SmTiming {
             continue;
         }
         // Issue phase: each scheduler issues at most one instruction.
-        for s in 0..nsched {
+        for (s, slot) in greedy.iter_mut().enumerate() {
             // Greedy warp first.
-            let pick = match greedy[s] {
+            let pick = match *slot {
                 Some(w) if warps[w].state == WarpState::Ready => Some(w),
                 _ => live_warps
                     .iter()
@@ -140,10 +140,10 @@ pub fn simulate_sm(cfg: &GpuConfig, traces: &[&TbTrace]) -> SmTiming {
                     .min(), // oldest = lowest index
             };
             let Some(w) = pick else {
-                greedy[s] = None;
+                *slot = None;
                 continue;
             };
-            greedy[s] = Some(w);
+            *slot = Some(w);
             issue_one(
                 cfg,
                 &mut warps[w],
@@ -228,11 +228,7 @@ fn issue_one(
     }
 }
 
-fn release_barriers(
-    warps: &mut [Warp],
-    tb_ranges: &[std::ops::Range<usize>],
-    live: &[usize],
-) {
+fn release_barriers(warps: &mut [Warp], tb_ranges: &[std::ops::Range<usize>], live: &[usize]) {
     for range in tb_ranges {
         let mut all_parked = true;
         let mut any_parked = false;

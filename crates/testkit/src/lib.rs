@@ -1,0 +1,240 @@
+//! Deterministic randomness and a minimal property-test harness.
+//!
+//! The workspace builds in hermetic environments with no access to
+//! crates.io, so the property tests and the fault-injection harness use
+//! this dependency-free kit instead of `proptest`/`rand`: a [`Rng`] built
+//! on SplitMix64 (fully reproducible from a seed) and [`run_cases`], which
+//! drives a closure over many derived seeds and reports the first failing
+//! seed so a case can be replayed in isolation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deterministic 64-bit PRNG (SplitMix64). Not cryptographic; excellent
+/// statistical quality for test-case generation and fault injection, and
+/// — unlike `HashMap` iteration order — identical on every run and
+/// platform for a given seed.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            // Avoid the all-zero fixed point without disturbing other seeds.
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below bound must be non-zero");
+        // Multiply-shift range reduction; bias is negligible for test use.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the half-open range `[lo, hi)`; `lo < hi` required.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "Rng::range_u64 needs lo < hi");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `i128` in the half-open range `[lo, hi)`.
+    pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "Rng::range_i128 needs lo < hi");
+        let span = (hi - lo) as u128;
+        let r = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+        lo + r as i128
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        self.range_i128(lo as i128, hi as i128) as i64
+    }
+
+    /// Fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "Rng::pick on empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// An independent generator seeded from this one's stream (for
+    /// splitting one seed across sub-generators without correlation).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+/// Outcome of a deterministic property run.
+#[derive(Debug)]
+pub struct CaseFailure {
+    /// Seed of the failing case — rerun `f(&mut Rng::new(seed))` to replay.
+    pub seed: u64,
+    /// Index of the case within the run.
+    pub case: usize,
+    /// Failure message (assert text or panic payload).
+    pub message: String,
+}
+
+impl std::fmt::Display for CaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "property failed at case {} (replay seed {:#x}): {}",
+            self.case, self.seed, self.message
+        )
+    }
+}
+
+/// Runs `cases` deterministic property cases. Each case gets an [`Rng`]
+/// seeded from `base_seed` and the case index; the closure either returns
+/// `Ok(())`, returns an error message, or panics — panics are caught and
+/// reported with the replay seed.
+///
+/// # Errors
+///
+/// Returns the first [`CaseFailure`].
+pub fn run_cases<F>(base_seed: u64, cases: usize, mut f: F) -> Result<(), CaseFailure>
+where
+    F: FnMut(&mut Rng) -> Result<(), String>,
+{
+    for case in 0..cases {
+        // SplitMix the seed so neighbouring cases are uncorrelated.
+        let seed =
+            Rng::new(base_seed ^ (case as u64).wrapping_mul(0xA24B_AED4_963E_E407)).next_u64();
+        let mut rng = Rng::new(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+        let message = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err(msg)) => msg,
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panic with non-string payload".into()),
+        };
+        return Err(CaseFailure {
+            seed,
+            case,
+            message,
+        });
+    }
+    Ok(())
+}
+
+/// Asserts a property over `cases` seeded cases, panicking with the replay
+/// seed on the first failure. The test-side replacement for `proptest!`.
+pub fn check_cases<F>(base_seed: u64, cases: usize, f: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), String>,
+{
+    if let Err(fail) = run_cases(base_seed, cases, f) {
+        panic!("{fail}");
+    }
+}
+
+/// Convenience: build a `Result<(), String>` assertion, mirroring
+/// `prop_assert!`.
+#[macro_export]
+macro_rules! prop_ensure {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("condition failed: {}", stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let i = rng.range_i128(-50, 3);
+            assert!((-50..3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn run_cases_reports_failing_seed() {
+        let err = run_cases(1, 64, |rng| {
+            let v = rng.range_u64(0, 100);
+            if v >= 90 {
+                Err(format!("bad value {v}"))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        // Replay reproduces the same failure.
+        let mut rng = Rng::new(err.seed);
+        let v = rng.range_u64(0, 100);
+        assert!(v >= 90, "replay must reproduce: {v}");
+    }
+
+    #[test]
+    fn run_cases_catches_panics() {
+        let err = run_cases(3, 16, |_| -> Result<(), String> { panic!("boom") }).unwrap_err();
+        assert!(err.message.contains("boom"));
+        assert_eq!(err.case, 0);
+    }
+
+    #[test]
+    fn chance_and_pick_behave() {
+        let mut rng = Rng::new(11);
+        assert!(!rng.chance(0, 10));
+        assert!(rng.chance(10, 10));
+        let items = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+    }
+}

@@ -63,13 +63,7 @@ impl AppBuilder {
     }
 
     /// Kernel launch with a 1-D grid.
-    pub fn launch(
-        &mut self,
-        kernel: &Arc<Kernel>,
-        grid: u32,
-        block: u32,
-        args: Vec<ArgValue>,
-    ) {
+    pub fn launch(&mut self, kernel: &Arc<Kernel>, grid: u32, block: u32, args: Vec<ArgValue>) {
         self.calls.push(ApiCall::KernelLaunch(Launch::new(
             kernel.clone(),
             Dim3::x(grid.max(1)),
@@ -393,7 +387,9 @@ mod tests {
         let y1v = mem.copy_to_host_f32(y1.base, rows as usize);
         let y2v = mem.copy_to_host_f32(y2.base, n as usize);
         for r in 0..rows as usize {
-            let want: f32 = (0..n as usize).map(|j| av[r * n as usize + j] * xv[j]).sum();
+            let want: f32 = (0..n as usize)
+                .map(|j| av[r * n as usize + j] * xv[j])
+                .sum();
             assert!((y1v[r] - want).abs() < 1e-4);
         }
         for c in 0..n as usize {

@@ -79,7 +79,7 @@ pub fn build(scale: Scale) -> Application {
             bufs.swap(0, 1);
         }
     }
-    let result = if stages % 2 == 0 { x } else { y };
+    let result = if stages.is_multiple_of(2) { x } else { y };
     b.d2h(result);
     b.build()
 }
@@ -116,7 +116,12 @@ mod tests {
         let result_alloc = app.space.allocs()[0]; // 8 stages: ends in x
         let got = mem.copy_to_host_f32(result_alloc.base, n);
         for i in [0usize, 1, 100, n - 1] {
-            assert!((got[i] - cur[i]).abs() < 1e-2, "i={i}: {} vs {}", got[i], cur[i]);
+            assert!(
+                (got[i] - cur[i]).abs() < 1e-2,
+                "i={i}: {} vs {}",
+                got[i],
+                cur[i]
+            );
         }
     }
 

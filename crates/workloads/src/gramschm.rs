@@ -261,9 +261,8 @@ mod tests {
         let (n, m) = (32usize, 8usize);
         let q = app.space.allocs()[1];
         let qv = mem.copy_to_host_f32(q.base, n * m);
-        let dot = |a: usize, b: usize| -> f32 {
-            (0..n).map(|i| qv[a * n + i] * qv[b * n + i]).sum()
-        };
+        let dot =
+            |a: usize, b: usize| -> f32 { (0..n).map(|i| qv[a * n + i] * qv[b * n + i]).sum() };
         for k in 0..m {
             assert!((dot(k, k) - 1.0).abs() < 1e-2, "‖Q[:,{k}]‖ = {}", dot(k, k));
             for j in 0..k {

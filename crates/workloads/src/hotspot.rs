@@ -152,7 +152,10 @@ mod tests {
         let t = &acc.per_tb[1];
         let (rlo, rhi) = t.reads.bounds().unwrap();
         let in_base = app.space.allocs()[0].base;
-        assert!(rlo <= in_base + 3 * w && rlo >= in_base + 2 * w, "halo row above");
+        assert!(
+            rlo <= in_base + 3 * w && rlo >= in_base + 2 * w,
+            "halo row above"
+        );
         assert!(rhi >= in_base + 8 * w, "halo row below");
         let (wlo, whi) = t.writes.bounds().unwrap();
         let out_base = app.space.allocs()[1].base;

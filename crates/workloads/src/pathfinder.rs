@@ -117,7 +117,12 @@ mod tests {
         let out = app.space.allocs()[1];
         let got = mem.copy_to_host_f32(out.base, w);
         for j in [0usize, 1, 500, w - 1] {
-            assert!((got[j] - cur[j]).abs() < 1e-4, "col {j}: {} vs {}", got[j], cur[j]);
+            assert!(
+                (got[j] - cur[j]).abs() < 1e-4,
+                "col {j}: {} vs {}",
+                got[j],
+                cur[j]
+            );
         }
     }
 }

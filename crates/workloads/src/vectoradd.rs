@@ -34,8 +34,18 @@ pub fn build(n_tbs: u32) -> Application {
             ArgValue::U32(n as u32),
         ]
     };
-    b.launch(&k, blocks_for(n, BLOCK), BLOCK, args(a.base, bb.base, c.base));
-    b.launch(&k, blocks_for(n, BLOCK), BLOCK, args(c.base, bb.base, d.base));
+    b.launch(
+        &k,
+        blocks_for(n, BLOCK),
+        BLOCK,
+        args(a.base, bb.base, c.base),
+    );
+    b.launch(
+        &k,
+        blocks_for(n, BLOCK),
+        BLOCK,
+        args(c.base, bb.base, d.base),
+    );
     b.d2h(d);
     b.build()
 }

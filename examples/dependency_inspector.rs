@@ -61,13 +61,21 @@ fn main() {
         producer.clone(),
         grid,
         block,
-        vec![ArgValue::Ptr(a.base), ArgValue::Ptr(b.base), ArgValue::U32(n)],
+        vec![
+            ArgValue::Ptr(a.base),
+            ArgValue::Ptr(b.base),
+            ArgValue::U32(n),
+        ],
     );
     let k2 = Launch::new(
         producer,
         grid,
         block,
-        vec![ArgValue::Ptr(b.base), ArgValue::Ptr(c.base), ArgValue::U32(n)],
+        vec![
+            ArgValue::Ptr(b.base),
+            ArgValue::Ptr(c.base),
+            ArgValue::U32(n),
+        ],
     );
 
     // Algorithm 1: are the kernel's addresses statically derivable?

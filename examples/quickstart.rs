@@ -54,7 +54,10 @@ fn main() {
             ApiCall::Malloc { alloc: a.id },
             ApiCall::Malloc { alloc: b.id },
             ApiCall::Malloc { alloc: c.id },
-            ApiCall::MemcpyH2D { alloc: a.id, bytes: 4 * n },
+            ApiCall::MemcpyH2D {
+                alloc: a.id,
+                bytes: 4 * n,
+            },
             ApiCall::KernelLaunch(Launch::new(
                 kernel.clone(),
                 grid,
@@ -67,7 +70,10 @@ fn main() {
                 block,
                 vec![ArgValue::Ptr(b.base), ArgValue::Ptr(c.base)],
             )),
-            ApiCall::MemcpyD2H { alloc: c.id, bytes: 4 * n },
+            ApiCall::MemcpyD2H {
+                alloc: c.id,
+                bytes: 4 * n,
+            },
         ],
         host_data,
     };
@@ -79,7 +85,10 @@ fn main() {
     println!("kernels               : {}", bm.num_kernels);
     println!(
         "detected patterns     : {:?}",
-        bm.patterns.iter().map(|(_, p)| p.to_string()).collect::<Vec<_>>()
+        bm.patterns
+            .iter()
+            .map(|(_, p)| p.to_string())
+            .collect::<Vec<_>>()
     );
     println!(
         "baseline              : {} cycles ({:.1} us)",

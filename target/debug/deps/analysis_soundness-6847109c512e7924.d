@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_soundness-6847109c512e7924.d: tests/analysis_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_soundness-6847109c512e7924.rmeta: tests/analysis_soundness.rs Cargo.toml
+
+tests/analysis_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

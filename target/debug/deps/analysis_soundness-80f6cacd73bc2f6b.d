@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_soundness-80f6cacd73bc2f6b.d: tests/analysis_soundness.rs
+
+/root/repo/target/debug/deps/analysis_soundness-80f6cacd73bc2f6b: tests/analysis_soundness.rs
+
+tests/analysis_soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-c6c1a3719de3dd3f.d: tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-c6c1a3719de3dd3f: tests/behavior.rs
+
+tests/behavior.rs:

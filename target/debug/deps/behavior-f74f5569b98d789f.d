@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/behavior-f74f5569b98d789f.d: tests/behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbehavior-f74f5569b98d789f.rmeta: tests/behavior.rs Cargo.toml
+
+tests/behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/blockmaestro-488a64dbf3049a94.d: crates/core/src/lib.rs crates/core/src/compare/mod.rs crates/core/src/compare/models.rs crates/core/src/compare/taskgraph.rs crates/core/src/correctness.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/guard.rs crates/core/src/hw.rs crates/core/src/jit.rs crates/core/src/modes.rs crates/core/src/streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockmaestro-488a64dbf3049a94.rmeta: crates/core/src/lib.rs crates/core/src/compare/mod.rs crates/core/src/compare/models.rs crates/core/src/compare/taskgraph.rs crates/core/src/correctness.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/guard.rs crates/core/src/hw.rs crates/core/src/jit.rs crates/core/src/modes.rs crates/core/src/streams.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compare/mod.rs:
+crates/core/src/compare/models.rs:
+crates/core/src/compare/taskgraph.rs:
+crates/core/src/correctness.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/faults.rs:
+crates/core/src/guard.rs:
+crates/core/src/hw.rs:
+crates/core/src/jit.rs:
+crates/core/src/modes.rs:
+crates/core/src/streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

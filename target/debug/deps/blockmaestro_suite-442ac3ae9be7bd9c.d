@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/blockmaestro_suite-442ac3ae9be7bd9c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libblockmaestro_suite-442ac3ae9be7bd9c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libblockmaestro_suite-442ac3ae9be7bd9c.rmeta: src/lib.rs
+
+src/lib.rs:

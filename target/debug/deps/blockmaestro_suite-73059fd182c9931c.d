@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockmaestro_suite-73059fd182c9931c.d: src/lib.rs
+
+/root/repo/target/debug/deps/blockmaestro_suite-73059fd182c9931c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockmaestro_suite-ae48865bdf86c4c8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockmaestro_suite-ae48865bdf86c4c8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bm_bench-2470ceeee1c977ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bm_bench-2470ceeee1c977ea: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bm_bench-7c18e57a5ccf6492.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbm_bench-7c18e57a5ccf6492.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bm_bench-999854fbffe5cf76.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbm_bench-999854fbffe5cf76.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbm_bench-999854fbffe5cf76.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

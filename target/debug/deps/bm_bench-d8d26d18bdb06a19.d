@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bm_bench-d8d26d18bdb06a19.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbm_bench-d8d26d18bdb06a19.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

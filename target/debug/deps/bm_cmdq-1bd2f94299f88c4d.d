@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bm_cmdq-1bd2f94299f88c4d.d: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbm_cmdq-1bd2f94299f88c4d.rmeta: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs Cargo.toml
+
+crates/cmdq/src/lib.rs:
+crates/cmdq/src/api.rs:
+crates/cmdq/src/deps.rs:
+crates/cmdq/src/error.rs:
+crates/cmdq/src/reorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bm_cmdq-7a5452622ab9dc4b.d: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs
+
+/root/repo/target/debug/deps/bm_cmdq-7a5452622ab9dc4b: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs
+
+crates/cmdq/src/lib.rs:
+crates/cmdq/src/api.rs:
+crates/cmdq/src/deps.rs:
+crates/cmdq/src/error.rs:
+crates/cmdq/src/reorder.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bm_depgraph-2d05979a3c281e00.d: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs
+
+/root/repo/target/debug/deps/libbm_depgraph-2d05979a3c281e00.rlib: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs
+
+/root/repo/target/debug/deps/libbm_depgraph-2d05979a3c281e00.rmeta: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs
+
+crates/depgraph/src/lib.rs:
+crates/depgraph/src/build.rs:
+crates/depgraph/src/encoding.rs:
+crates/depgraph/src/graph.rs:
+crates/depgraph/src/interval_index.rs:
+crates/depgraph/src/pattern.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bm_depgraph-31120276865c9378.d: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbm_depgraph-31120276865c9378.rmeta: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs Cargo.toml
+
+crates/depgraph/src/lib.rs:
+crates/depgraph/src/build.rs:
+crates/depgraph/src/encoding.rs:
+crates/depgraph/src/graph.rs:
+crates/depgraph/src/interval_index.rs:
+crates/depgraph/src/pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

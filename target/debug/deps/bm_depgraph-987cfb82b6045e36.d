@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bm_depgraph-987cfb82b6045e36.d: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs
+
+/root/repo/target/debug/deps/bm_depgraph-987cfb82b6045e36: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs
+
+crates/depgraph/src/lib.rs:
+crates/depgraph/src/build.rs:
+crates/depgraph/src/encoding.rs:
+crates/depgraph/src/graph.rs:
+crates/depgraph/src/interval_index.rs:
+crates/depgraph/src/pattern.rs:

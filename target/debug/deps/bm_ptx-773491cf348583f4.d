@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/bm_ptx-773491cf348583f4.d: crates/ptx/src/lib.rs crates/ptx/src/absint.rs crates/ptx/src/access.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/error.rs crates/ptx/src/interp.rs crates/ptx/src/interval.rs crates/ptx/src/isa.rs crates/ptx/src/kernel.rs crates/ptx/src/lexer.rs crates/ptx/src/mem.rs crates/ptx/src/parser.rs crates/ptx/src/print.rs crates/ptx/src/taint.rs crates/ptx/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbm_ptx-773491cf348583f4.rmeta: crates/ptx/src/lib.rs crates/ptx/src/absint.rs crates/ptx/src/access.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/error.rs crates/ptx/src/interp.rs crates/ptx/src/interval.rs crates/ptx/src/isa.rs crates/ptx/src/kernel.rs crates/ptx/src/lexer.rs crates/ptx/src/mem.rs crates/ptx/src/parser.rs crates/ptx/src/print.rs crates/ptx/src/taint.rs crates/ptx/src/trace.rs Cargo.toml
+
+crates/ptx/src/lib.rs:
+crates/ptx/src/absint.rs:
+crates/ptx/src/access.rs:
+crates/ptx/src/builder.rs:
+crates/ptx/src/cfg.rs:
+crates/ptx/src/error.rs:
+crates/ptx/src/interp.rs:
+crates/ptx/src/interval.rs:
+crates/ptx/src/isa.rs:
+crates/ptx/src/kernel.rs:
+crates/ptx/src/lexer.rs:
+crates/ptx/src/mem.rs:
+crates/ptx/src/parser.rs:
+crates/ptx/src/print.rs:
+crates/ptx/src/taint.rs:
+crates/ptx/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bm_simt-0b581f6f05e2193a.d: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+/root/repo/target/debug/deps/libbm_simt-0b581f6f05e2193a.rlib: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+/root/repo/target/debug/deps/libbm_simt-0b581f6f05e2193a.rmeta: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/config.rs:
+crates/simt/src/des.rs:
+crates/simt/src/stats.rs:
+crates/simt/src/timing.rs:

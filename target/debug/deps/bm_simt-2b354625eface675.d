@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bm_simt-2b354625eface675.d: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+/root/repo/target/debug/deps/bm_simt-2b354625eface675: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/config.rs:
+crates/simt/src/des.rs:
+crates/simt/src/stats.rs:
+crates/simt/src/timing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bm_simt-9577a8d070ac8c58.d: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbm_simt-9577a8d070ac8c58.rmeta: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs Cargo.toml
+
+crates/simt/src/lib.rs:
+crates/simt/src/config.rs:
+crates/simt/src/des.rs:
+crates/simt/src/stats.rs:
+crates/simt/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

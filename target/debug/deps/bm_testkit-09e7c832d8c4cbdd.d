@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bm_testkit-09e7c832d8c4cbdd.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/bm_testkit-09e7c832d8c4cbdd: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

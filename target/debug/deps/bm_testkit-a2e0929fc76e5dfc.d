@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bm_testkit-a2e0929fc76e5dfc.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbm_testkit-a2e0929fc76e5dfc.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bm_testkit-ca1bfc6c36001291.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbm_testkit-ca1bfc6c36001291.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bm_testkit-e60e65ab07dd203d.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libbm_testkit-e60e65ab07dd203d.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libbm_testkit-e60e65ab07dd203d.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

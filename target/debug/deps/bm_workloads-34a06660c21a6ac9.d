@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/bm_workloads-34a06660c21a6ac9.d: crates/workloads/src/lib.rs crates/workloads/src/alexnet.rs crates/workloads/src/bicg.rs crates/workloads/src/common.rs crates/workloads/src/fdtd2d.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/gramschm.rs crates/workloads/src/hotspot.rs crates/workloads/src/lud.rs crates/workloads/src/mvt.rs crates/workloads/src/nw.rs crates/workloads/src/pathfinder.rs crates/workloads/src/threemm.rs crates/workloads/src/vectoradd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbm_workloads-34a06660c21a6ac9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/alexnet.rs crates/workloads/src/bicg.rs crates/workloads/src/common.rs crates/workloads/src/fdtd2d.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/gramschm.rs crates/workloads/src/hotspot.rs crates/workloads/src/lud.rs crates/workloads/src/mvt.rs crates/workloads/src/nw.rs crates/workloads/src/pathfinder.rs crates/workloads/src/threemm.rs crates/workloads/src/vectoradd.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/alexnet.rs:
+crates/workloads/src/bicg.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/fdtd2d.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/gaussian.rs:
+crates/workloads/src/gramschm.rs:
+crates/workloads/src/hotspot.rs:
+crates/workloads/src/lud.rs:
+crates/workloads/src/mvt.rs:
+crates/workloads/src/nw.rs:
+crates/workloads/src/pathfinder.rs:
+crates/workloads/src/threemm.rs:
+crates/workloads/src/vectoradd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bmrun-0ac9faf9293823d4.d: crates/bench/src/bin/bmrun.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbmrun-0ac9faf9293823d4.rmeta: crates/bench/src/bin/bmrun.rs Cargo.toml
+
+crates/bench/src/bin/bmrun.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bmrun-12c152f7d69da8af.d: crates/bench/src/bin/bmrun.rs
+
+/root/repo/target/debug/deps/bmrun-12c152f7d69da8af: crates/bench/src/bin/bmrun.rs
+
+crates/bench/src/bin/bmrun.rs:

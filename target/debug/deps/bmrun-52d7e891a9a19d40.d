@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bmrun-52d7e891a9a19d40.d: crates/bench/src/bin/bmrun.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbmrun-52d7e891a9a19d40.rmeta: crates/bench/src/bin/bmrun.rs Cargo.toml
+
+crates/bench/src/bin/bmrun.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/buffer_sizing-b4f19bb5d5ab17d9.d: tests/buffer_sizing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuffer_sizing-b4f19bb5d5ab17d9.rmeta: tests/buffer_sizing.rs Cargo.toml
+
+tests/buffer_sizing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/buffer_sizing-b6caca98e171bec4.d: tests/buffer_sizing.rs
+
+/root/repo/target/debug/deps/buffer_sizing-b6caca98e171bec4: tests/buffer_sizing.rs
+
+tests/buffer_sizing.rs:

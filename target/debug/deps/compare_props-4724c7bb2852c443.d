@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compare_props-4724c7bb2852c443.d: crates/core/tests/compare_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompare_props-4724c7bb2852c443.rmeta: crates/core/tests/compare_props.rs Cargo.toml
+
+crates/core/tests/compare_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

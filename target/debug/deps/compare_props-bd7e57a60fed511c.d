@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare_props-bd7e57a60fed511c.d: crates/core/tests/compare_props.rs
+
+/root/repo/target/debug/deps/compare_props-bd7e57a60fed511c: crates/core/tests/compare_props.rs
+
+crates/core/tests/compare_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/correctness-947e8c00e6abca7b.d: tests/correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrectness-947e8c00e6abca7b.rmeta: tests/correctness.rs Cargo.toml
+
+tests/correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-e7d8a2097cfe789d.d: tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-e7d8a2097cfe789d: tests/correctness.rs
+
+tests/correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_sensitivity-0b561d2e2ac5e059.d: crates/bench/src/bin/ext_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_sensitivity-0b561d2e2ac5e059.rmeta: crates/bench/src/bin/ext_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/ext_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sensitivity-6080235d5668a6ff.d: crates/bench/src/bin/ext_sensitivity.rs
+
+/root/repo/target/debug/deps/ext_sensitivity-6080235d5668a6ff: crates/bench/src/bin/ext_sensitivity.rs
+
+crates/bench/src/bin/ext_sensitivity.rs:

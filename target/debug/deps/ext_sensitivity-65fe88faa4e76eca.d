@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_sensitivity-65fe88faa4e76eca.d: crates/bench/src/bin/ext_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_sensitivity-65fe88faa4e76eca.rmeta: crates/bench/src/bin/ext_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/ext_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

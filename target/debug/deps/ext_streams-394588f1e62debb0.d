@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_streams-394588f1e62debb0.d: crates/bench/src/bin/ext_streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_streams-394588f1e62debb0.rmeta: crates/bench/src/bin/ext_streams.rs Cargo.toml
+
+crates/bench/src/bin/ext_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_streams-3f9f2042bf29e7d8.d: crates/bench/src/bin/ext_streams.rs
+
+/root/repo/target/debug/deps/ext_streams-3f9f2042bf29e7d8: crates/bench/src/bin/ext_streams.rs
+
+crates/bench/src/bin/ext_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-11b50fa378ea99f3.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-11b50fa378ea99f3: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_speedup-e60f4d203f4e2e51.d: crates/bench/src/bin/fig09_speedup.rs
+
+/root/repo/target/debug/deps/fig09_speedup-e60f4d203f4e2e51: crates/bench/src/bin/fig09_speedup.rs
+
+crates/bench/src/bin/fig09_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_concurrency-add1b6cf1463f8cd.d: crates/bench/src/bin/fig10_concurrency.rs
+
+/root/repo/target/debug/deps/fig10_concurrency-add1b6cf1463f8cd: crates/bench/src/bin/fig10_concurrency.rs
+
+crates/bench/src/bin/fig10_concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_concurrency-c965b028e2bed4cc.d: crates/bench/src/bin/fig10_concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_concurrency-c965b028e2bed4cc.rmeta: crates/bench/src/bin/fig10_concurrency.rs Cargo.toml
+
+crates/bench/src/bin/fig10_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

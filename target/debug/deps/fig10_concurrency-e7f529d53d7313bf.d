@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_concurrency-e7f529d53d7313bf.d: crates/bench/src/bin/fig10_concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_concurrency-e7f529d53d7313bf.rmeta: crates/bench/src/bin/fig10_concurrency.rs Cargo.toml
+
+crates/bench/src/bin/fig10_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_stall_distribution-4991fa9fd2ce823d.d: crates/bench/src/bin/fig11_stall_distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_stall_distribution-4991fa9fd2ce823d.rmeta: crates/bench/src/bin/fig11_stall_distribution.rs Cargo.toml
+
+crates/bench/src/bin/fig11_stall_distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_stall_distribution-e746efae3ae9f076.d: crates/bench/src/bin/fig11_stall_distribution.rs
+
+/root/repo/target/debug/deps/fig11_stall_distribution-e746efae3ae9f076: crates/bench/src/bin/fig11_stall_distribution.rs
+
+crates/bench/src/bin/fig11_stall_distribution.rs:

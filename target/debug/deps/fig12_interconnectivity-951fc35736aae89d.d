@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_interconnectivity-951fc35736aae89d.d: crates/bench/src/bin/fig12_interconnectivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_interconnectivity-951fc35736aae89d.rmeta: crates/bench/src/bin/fig12_interconnectivity.rs Cargo.toml
+
+crates/bench/src/bin/fig12_interconnectivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

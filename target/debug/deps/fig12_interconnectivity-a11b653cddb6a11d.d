@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_interconnectivity-a11b653cddb6a11d.d: crates/bench/src/bin/fig12_interconnectivity.rs
+
+/root/repo/target/debug/deps/fig12_interconnectivity-a11b653cddb6a11d: crates/bench/src/bin/fig12_interconnectivity.rs
+
+crates/bench/src/bin/fig12_interconnectivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_interconnectivity-d36038138b91b6c3.d: crates/bench/src/bin/fig12_interconnectivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_interconnectivity-d36038138b91b6c3.rmeta: crates/bench/src/bin/fig12_interconnectivity.rs Cargo.toml
+
+crates/bench/src/bin/fig12_interconnectivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_memory_overhead-6f6134f31f1e9bee.d: crates/bench/src/bin/fig13_memory_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_memory_overhead-6f6134f31f1e9bee.rmeta: crates/bench/src/bin/fig13_memory_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig13_memory_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

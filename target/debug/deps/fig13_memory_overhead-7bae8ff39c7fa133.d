@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_memory_overhead-7bae8ff39c7fa133.d: crates/bench/src/bin/fig13_memory_overhead.rs
+
+/root/repo/target/debug/deps/fig13_memory_overhead-7bae8ff39c7fa133: crates/bench/src/bin/fig13_memory_overhead.rs
+
+crates/bench/src/bin/fig13_memory_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_memory_overhead-bb8a1100d1362aa7.d: crates/bench/src/bin/fig13_memory_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_memory_overhead-bb8a1100d1362aa7.rmeta: crates/bench/src/bin/fig13_memory_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig13_memory_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_comparison-1d85f4490976d05c.d: crates/bench/src/bin/fig14_comparison.rs
+
+/root/repo/target/debug/deps/fig14_comparison-1d85f4490976d05c: crates/bench/src/bin/fig14_comparison.rs
+
+crates/bench/src/bin/fig14_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_comparison-dab2b4fb69ed08f6.d: crates/bench/src/bin/fig14_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_comparison-dab2b4fb69ed08f6.rmeta: crates/bench/src/bin/fig14_comparison.rs Cargo.toml
+
+crates/bench/src/bin/fig14_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_comparison-e82b3c945d04d28c.d: crates/bench/src/bin/fig14_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_comparison-e82b3c945d04d28c.rmeta: crates/bench/src/bin/fig14_comparison.rs Cargo.toml
+
+crates/bench/src/bin/fig14_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

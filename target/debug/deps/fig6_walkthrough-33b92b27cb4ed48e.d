@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_walkthrough-33b92b27cb4ed48e.d: crates/core/tests/fig6_walkthrough.rs
+
+/root/repo/target/debug/deps/fig6_walkthrough-33b92b27cb4ed48e: crates/core/tests/fig6_walkthrough.rs
+
+crates/core/tests/fig6_walkthrough.rs:

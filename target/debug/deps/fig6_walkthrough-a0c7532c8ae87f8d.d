@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_walkthrough-a0c7532c8ae87f8d.d: crates/core/tests/fig6_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_walkthrough-a0c7532c8ae87f8d.rmeta: crates/core/tests/fig6_walkthrough.rs Cargo.toml
+
+crates/core/tests/fig6_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interval_soundness-6362c9aa4d4cdb93.d: crates/ptx/tests/interval_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterval_soundness-6362c9aa4d4cdb93.rmeta: crates/ptx/tests/interval_soundness.rs Cargo.toml
+
+crates/ptx/tests/interval_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

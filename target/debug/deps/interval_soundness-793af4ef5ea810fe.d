@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interval_soundness-793af4ef5ea810fe.d: crates/ptx/tests/interval_soundness.rs
+
+/root/repo/target/debug/deps/interval_soundness-793af4ef5ea810fe: crates/ptx/tests/interval_soundness.rs
+
+crates/ptx/tests/interval_soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/patterns-02cb76c6440fa8bb.d: tests/patterns.rs
+
+/root/repo/target/debug/deps/patterns-02cb76c6440fa8bb: tests/patterns.rs
+
+tests/patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/patterns-ea7ea7469a33de3c.d: tests/patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpatterns-ea7ea7469a33de3c.rmeta: tests/patterns.rs Cargo.toml
+
+tests/patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_apps-2145ea516c35c3e3.d: tests/random_apps.rs
+
+/root/repo/target/debug/deps/random_apps-2145ea516c35c3e3: tests/random_apps.rs
+
+tests/random_apps.rs:

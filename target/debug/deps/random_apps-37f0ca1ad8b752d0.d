@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_apps-37f0ca1ad8b752d0.d: tests/random_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_apps-37f0ca1ad8b752d0.rmeta: tests/random_apps.rs Cargo.toml
+
+tests/random_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

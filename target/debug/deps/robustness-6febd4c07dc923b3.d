@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-6febd4c07dc923b3.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-6febd4c07dc923b3: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-b42cab45956a398a.d: crates/ptx/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-b42cab45956a398a.rmeta: crates/ptx/tests/roundtrip.rs Cargo.toml
+
+crates/ptx/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-e187aaf86c3ed6c5.d: crates/ptx/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-e187aaf86c3ed6c5: crates/ptx/tests/roundtrip.rs
+
+crates/ptx/tests/roundtrip.rs:

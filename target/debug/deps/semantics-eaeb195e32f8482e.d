@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-eaeb195e32f8482e.d: crates/ptx/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-eaeb195e32f8482e.rmeta: crates/ptx/tests/semantics.rs Cargo.toml
+
+crates/ptx/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

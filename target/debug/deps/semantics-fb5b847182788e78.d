@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-fb5b847182788e78.d: crates/ptx/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-fb5b847182788e78: crates/ptx/tests/semantics.rs
+
+crates/ptx/tests/semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_props-466d5ee39b9fabe2.d: crates/simt/tests/substrate_props.rs
+
+/root/repo/target/debug/deps/substrate_props-466d5ee39b9fabe2: crates/simt/tests/substrate_props.rs
+
+crates/simt/tests/substrate_props.rs:

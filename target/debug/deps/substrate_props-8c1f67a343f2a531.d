@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_props-8c1f67a343f2a531.d: crates/simt/tests/substrate_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_props-8c1f67a343f2a531.rmeta: crates/simt/tests/substrate_props.rs Cargo.toml
+
+crates/simt/tests/substrate_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

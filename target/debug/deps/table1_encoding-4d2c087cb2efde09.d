@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_encoding-4d2c087cb2efde09.d: crates/bench/src/bin/table1_encoding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_encoding-4d2c087cb2efde09.rmeta: crates/bench/src/bin/table1_encoding.rs Cargo.toml
+
+crates/bench/src/bin/table1_encoding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_encoding-e654af771d9e3cb0.d: crates/bench/src/bin/table1_encoding.rs
+
+/root/repo/target/debug/deps/table1_encoding-e654af771d9e3cb0: crates/bench/src/bin/table1_encoding.rs
+
+crates/bench/src/bin/table1_encoding.rs:

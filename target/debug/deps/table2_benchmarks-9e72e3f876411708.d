@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_benchmarks-9e72e3f876411708.d: crates/bench/src/bin/table2_benchmarks.rs
+
+/root/repo/target/debug/deps/table2_benchmarks-9e72e3f876411708: crates/bench/src/bin/table2_benchmarks.rs
+
+crates/bench/src/bin/table2_benchmarks.rs:

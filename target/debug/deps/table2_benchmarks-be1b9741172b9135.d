@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_benchmarks-be1b9741172b9135.d: crates/bench/src/bin/table2_benchmarks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_benchmarks-be1b9741172b9135.rmeta: crates/bench/src/bin/table2_benchmarks.rs Cargo.toml
+
+crates/bench/src/bin/table2_benchmarks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

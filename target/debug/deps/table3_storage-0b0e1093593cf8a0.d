@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_storage-0b0e1093593cf8a0.d: crates/bench/src/bin/table3_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_storage-0b0e1093593cf8a0.rmeta: crates/bench/src/bin/table3_storage.rs Cargo.toml
+
+crates/bench/src/bin/table3_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_storage-2b2652fe52d1c2d9.d: crates/bench/src/bin/table3_storage.rs
+
+/root/repo/target/debug/deps/table3_storage-2b2652fe52d1c2d9: crates/bench/src/bin/table3_storage.rs
+
+crates/bench/src/bin/table3_storage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_area-45c969e53afeef27.d: crates/bench/src/bin/table_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_area-45c969e53afeef27.rmeta: crates/bench/src/bin/table_area.rs Cargo.toml
+
+crates/bench/src/bin/table_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

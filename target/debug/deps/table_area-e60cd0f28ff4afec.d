@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_area-e60cd0f28ff4afec.d: crates/bench/src/bin/table_area.rs
+
+/root/repo/target/debug/deps/table_area-e60cd0f28ff4afec: crates/bench/src/bin/table_area.rs
+
+crates/bench/src/bin/table_area.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/toolchain-85ed42aeeb4cab51.d: crates/bench/benches/toolchain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtoolchain-85ed42aeeb4cab51.rmeta: crates/bench/benches/toolchain.rs Cargo.toml
+
+crates/bench/benches/toolchain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dependency_inspector-92860da7858b3ed5.d: examples/dependency_inspector.rs
+
+/root/repo/target/debug/examples/dependency_inspector-92860da7858b3ed5: examples/dependency_inspector.rs
+
+examples/dependency_inspector.rs:

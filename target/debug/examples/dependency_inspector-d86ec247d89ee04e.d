@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dependency_inspector-d86ec247d89ee04e.d: examples/dependency_inspector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdependency_inspector-d86ec247d89ee04e.rmeta: examples/dependency_inspector.rs Cargo.toml
+
+examples/dependency_inspector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-2614ac0b6b0a704f.d: examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/fault_tolerance-2614ac0b6b0a704f: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ml_pipeline-33821a7f6b8e29f9.d: examples/ml_pipeline.rs
+
+/root/repo/target/debug/examples/ml_pipeline-33821a7f6b8e29f9: examples/ml_pipeline.rs
+
+examples/ml_pipeline.rs:

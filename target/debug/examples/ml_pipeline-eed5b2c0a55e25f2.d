@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ml_pipeline-eed5b2c0a55e25f2.d: examples/ml_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libml_pipeline-eed5b2c0a55e25f2.rmeta: examples/ml_pipeline.rs Cargo.toml
+
+examples/ml_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

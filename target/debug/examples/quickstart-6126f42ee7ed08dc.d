@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6126f42ee7ed08dc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6126f42ee7ed08dc: examples/quickstart.rs
+
+examples/quickstart.rs:

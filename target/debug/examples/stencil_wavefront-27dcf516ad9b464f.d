@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stencil_wavefront-27dcf516ad9b464f.d: examples/stencil_wavefront.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstencil_wavefront-27dcf516ad9b464f.rmeta: examples/stencil_wavefront.rs Cargo.toml
+
+examples/stencil_wavefront.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil_wavefront-3f1a5f7ab1fa6994.d: examples/stencil_wavefront.rs
+
+/root/repo/target/debug/examples/stencil_wavefront-3f1a5f7ab1fa6994: examples/stencil_wavefront.rs
+
+examples/stencil_wavefront.rs:

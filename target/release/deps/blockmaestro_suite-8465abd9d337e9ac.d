@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/blockmaestro_suite-8465abd9d337e9ac.d: src/lib.rs
+
+/root/repo/target/release/deps/libblockmaestro_suite-8465abd9d337e9ac.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libblockmaestro_suite-8465abd9d337e9ac.rmeta: src/lib.rs
+
+src/lib.rs:

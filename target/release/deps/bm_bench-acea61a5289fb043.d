@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bm_bench-acea61a5289fb043.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbm_bench-acea61a5289fb043.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbm_bench-acea61a5289fb043.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

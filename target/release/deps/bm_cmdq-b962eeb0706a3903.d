@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bm_cmdq-b962eeb0706a3903.d: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs
+
+/root/repo/target/release/deps/libbm_cmdq-b962eeb0706a3903.rlib: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs
+
+/root/repo/target/release/deps/libbm_cmdq-b962eeb0706a3903.rmeta: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs
+
+crates/cmdq/src/lib.rs:
+crates/cmdq/src/api.rs:
+crates/cmdq/src/deps.rs:
+crates/cmdq/src/error.rs:
+crates/cmdq/src/reorder.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bm_depgraph-b7f2885db3cf6303.d: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs
+
+/root/repo/target/release/deps/libbm_depgraph-b7f2885db3cf6303.rlib: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs
+
+/root/repo/target/release/deps/libbm_depgraph-b7f2885db3cf6303.rmeta: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs
+
+crates/depgraph/src/lib.rs:
+crates/depgraph/src/build.rs:
+crates/depgraph/src/encoding.rs:
+crates/depgraph/src/graph.rs:
+crates/depgraph/src/interval_index.rs:
+crates/depgraph/src/pattern.rs:

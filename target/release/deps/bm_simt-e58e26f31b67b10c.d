@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bm_simt-e58e26f31b67b10c.d: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+/root/repo/target/release/deps/libbm_simt-e58e26f31b67b10c.rlib: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+/root/repo/target/release/deps/libbm_simt-e58e26f31b67b10c.rmeta: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/config.rs:
+crates/simt/src/des.rs:
+crates/simt/src/stats.rs:
+crates/simt/src/timing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bm_testkit-96fb128711ee868f.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libbm_testkit-96fb128711ee868f.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libbm_testkit-96fb128711ee868f.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

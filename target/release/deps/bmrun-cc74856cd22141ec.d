@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bmrun-cc74856cd22141ec.d: crates/bench/src/bin/bmrun.rs
+
+/root/repo/target/release/deps/bmrun-cc74856cd22141ec: crates/bench/src/bin/bmrun.rs
+
+crates/bench/src/bin/bmrun.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_sensitivity-1ef6ab458ab42f3c.d: crates/bench/src/bin/ext_sensitivity.rs
+
+/root/repo/target/release/deps/ext_sensitivity-1ef6ab458ab42f3c: crates/bench/src/bin/ext_sensitivity.rs
+
+crates/bench/src/bin/ext_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_streams-50ece3483fb1403f.d: crates/bench/src/bin/ext_streams.rs
+
+/root/repo/target/release/deps/ext_streams-50ece3483fb1403f: crates/bench/src/bin/ext_streams.rs
+
+crates/bench/src/bin/ext_streams.rs:

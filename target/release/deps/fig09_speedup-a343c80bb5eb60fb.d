@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_speedup-a343c80bb5eb60fb.d: crates/bench/src/bin/fig09_speedup.rs
+
+/root/repo/target/release/deps/fig09_speedup-a343c80bb5eb60fb: crates/bench/src/bin/fig09_speedup.rs
+
+crates/bench/src/bin/fig09_speedup.rs:

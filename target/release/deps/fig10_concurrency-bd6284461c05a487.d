@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_concurrency-bd6284461c05a487.d: crates/bench/src/bin/fig10_concurrency.rs
+
+/root/repo/target/release/deps/fig10_concurrency-bd6284461c05a487: crates/bench/src/bin/fig10_concurrency.rs
+
+crates/bench/src/bin/fig10_concurrency.rs:

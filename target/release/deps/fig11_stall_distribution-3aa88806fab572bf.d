@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_stall_distribution-3aa88806fab572bf.d: crates/bench/src/bin/fig11_stall_distribution.rs
+
+/root/repo/target/release/deps/fig11_stall_distribution-3aa88806fab572bf: crates/bench/src/bin/fig11_stall_distribution.rs
+
+crates/bench/src/bin/fig11_stall_distribution.rs:

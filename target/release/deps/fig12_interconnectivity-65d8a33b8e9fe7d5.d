@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_interconnectivity-65d8a33b8e9fe7d5.d: crates/bench/src/bin/fig12_interconnectivity.rs
+
+/root/repo/target/release/deps/fig12_interconnectivity-65d8a33b8e9fe7d5: crates/bench/src/bin/fig12_interconnectivity.rs
+
+crates/bench/src/bin/fig12_interconnectivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_memory_overhead-36d4def4c926f1de.d: crates/bench/src/bin/fig13_memory_overhead.rs
+
+/root/repo/target/release/deps/fig13_memory_overhead-36d4def4c926f1de: crates/bench/src/bin/fig13_memory_overhead.rs
+
+crates/bench/src/bin/fig13_memory_overhead.rs:

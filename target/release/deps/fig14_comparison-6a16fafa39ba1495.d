@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_comparison-6a16fafa39ba1495.d: crates/bench/src/bin/fig14_comparison.rs
+
+/root/repo/target/release/deps/fig14_comparison-6a16fafa39ba1495: crates/bench/src/bin/fig14_comparison.rs
+
+crates/bench/src/bin/fig14_comparison.rs:

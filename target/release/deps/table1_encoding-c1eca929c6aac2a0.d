@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_encoding-c1eca929c6aac2a0.d: crates/bench/src/bin/table1_encoding.rs
+
+/root/repo/target/release/deps/table1_encoding-c1eca929c6aac2a0: crates/bench/src/bin/table1_encoding.rs
+
+crates/bench/src/bin/table1_encoding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_benchmarks-6151b97d40d4d8cf.d: crates/bench/src/bin/table2_benchmarks.rs
+
+/root/repo/target/release/deps/table2_benchmarks-6151b97d40d4d8cf: crates/bench/src/bin/table2_benchmarks.rs
+
+crates/bench/src/bin/table2_benchmarks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_storage-38308fc18563c2f7.d: crates/bench/src/bin/table3_storage.rs
+
+/root/repo/target/release/deps/table3_storage-38308fc18563c2f7: crates/bench/src/bin/table3_storage.rs
+
+crates/bench/src/bin/table3_storage.rs:

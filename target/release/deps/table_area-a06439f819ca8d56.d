@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_area-a06439f819ca8d56.d: crates/bench/src/bin/table_area.rs
+
+/root/repo/target/release/deps/table_area-a06439f819ca8d56: crates/bench/src/bin/table_area.rs
+
+crates/bench/src/bin/table_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe-3acce42569d63bf3.d: examples/_probe.rs
+
+/root/repo/target/release/examples/_probe-3acce42569d63bf3: examples/_probe.rs
+
+examples/_probe.rs:

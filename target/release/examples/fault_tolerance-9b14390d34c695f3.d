@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerance-9b14390d34c695f3.d: examples/fault_tolerance.rs
+
+/root/repo/target/release/examples/fault_tolerance-9b14390d34c695f3: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

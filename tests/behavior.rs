@@ -22,7 +22,8 @@ fn baseline_pays_one_launch_per_kernel() {
     let k = app.num_kernels() as u64;
     let expect = k * cfg.kernel_launch_cycles;
     assert!(
-        diff >= expect - cfg.kernel_launch_cycles && diff <= expect + k * cfg.launch_api_cycles + cfg.kernel_launch_cycles,
+        diff >= expect - cfg.kernel_launch_cycles
+            && diff <= expect + k * cfg.launch_api_cycles + cfg.kernel_launch_cycles,
         "launch overhead accounting off: diff={diff}, expected ≈{expect}"
     );
 }
@@ -44,7 +45,10 @@ fn independent_kernels_overlap_under_blockmaestro() {
     let spans: Vec<u64> = jit
         .iter()
         .map(|k| {
-            let waves = k.profile.n_tbs.div_ceil(cfg.total_tb_slots(k.profile.threads, 0).max(1));
+            let waves = k
+                .profile
+                .n_tbs
+                .div_ceil(cfg.total_tb_slots(k.profile.threads, 0).max(1));
             waves as u64 * k.profile.duration
         })
         .collect();
@@ -53,7 +57,9 @@ fn independent_kernels_overlap_under_blockmaestro() {
     assert!(bm.kernel_region_cycles < base.kernel_region_cycles);
     assert!(
         bm.kernel_region_cycles
-            <= longest + 2 * cfg.kernel_launch_cycles + base.kernel_region_cycles / 10
+            <= longest
+                + 2 * cfg.kernel_launch_cycles
+                + base.kernel_region_cycles / 10
                 + (base.kernel_region_cycles - serial_sum.min(base.kernel_region_cycles)),
         "overlap too weak: region {} vs longest kernel {}",
         bm.kernel_region_cycles,
@@ -158,7 +164,11 @@ fn reordering_is_valid_for_every_app() {
         for scale in [Scale::Small, Scale::Full] {
             let app = (bench.build)(scale);
             let r = reorder_for_prelaunch(&app);
-            assert!(is_valid_order(&app, &r.order), "{} at {scale:?}", bench.name);
+            assert!(
+                is_valid_order(&app, &r.order),
+                "{} at {scale:?}",
+                bench.name
+            );
             // Kernel relative order is preserved (graphs stay consecutive).
             let kernels_before: Vec<String> = app
                 .launches()

@@ -35,8 +35,7 @@ fn dlb_occupancy_tracks_resident_tbs() {
     let cfg = GpuConfig::small();
     let app = bm_workloads::hotspot::build(Scale::Small);
     let r = run_app(&cfg, &app, ExecMode::ProducerPriority { window: 2 });
-    let slots =
-        (cfg.num_sms * cfg.occupancy(64, 0).min(cfg.max_tbs_per_sm)) as usize;
+    let slots = (cfg.num_sms * cfg.occupancy(64, 0).min(cfg.max_tbs_per_sm)) as usize;
     assert!(
         r.dlb_high_water <= slots,
         "dlb peak {} exceeds the {} resident-TB slots",

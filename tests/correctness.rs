@@ -94,7 +94,12 @@ fn schedules_cover_every_thread_block_exactly_once() {
                 .collect();
             seen.sort_unstable();
             seen.dedup();
-            assert_eq!(seen.len() as u64, total, "{} {mode}: unique TBs", bench.name);
+            assert_eq!(
+                seen.len() as u64,
+                total,
+                "{} {mode}: unique TBs",
+                bench.name
+            );
         }
     }
 }

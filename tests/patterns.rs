@@ -29,9 +29,15 @@ fn independent_apps_detect_pattern_7() {
 #[test]
 fn stencils_detect_overlapped() {
     assert!(measured("HS").contains(&6), "hotspot halos are overlapped");
-    assert!(measured("PATH").contains(&6), "pathfinder halos are overlapped");
+    assert!(
+        measured("PATH").contains(&6),
+        "pathfinder halos are overlapped"
+    );
     let fdtd = measured("FDTD-2D");
-    assert!(fdtd.contains(&6) && fdtd.contains(&7), "fdtd: overlapped + independent");
+    assert!(
+        fdtd.contains(&6) && fdtd.contains(&7),
+        "fdtd: overlapped + independent"
+    );
 }
 
 #[test]

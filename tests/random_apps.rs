@@ -9,7 +9,7 @@ use bm_ptx::kernel::{ArgValue, Dim3, Launch};
 use bm_ptx::mem::AddressSpace;
 use bm_ptx::parser::parse_kernel;
 use bm_simt::GpuConfig;
-use proptest::prelude::*;
+use bm_testkit::{check_cases, prop_ensure, Rng};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -63,7 +63,10 @@ fn build_random_app(n_buffers: usize, specs: &[KernelSpec]) -> Application {
     let bufs: Vec<_> = (0..n_buffers).map(|_| space.alloc(4 * n)).collect();
     let k = shift_kernel();
     let mut host_data = HashMap::new();
-    host_data.insert(bufs[0].id, (0..n).map(|i| (i % 97) as f32).collect::<Vec<_>>());
+    host_data.insert(
+        bufs[0].id,
+        (0..n).map(|i| (i % 97) as f32).collect::<Vec<_>>(),
+    );
     let mut calls = vec![ApiCall::MemcpyH2D {
         alloc: bufs[0].id,
         bytes: 4 * n,
@@ -90,31 +93,25 @@ fn build_random_app(n_buffers: usize, specs: &[KernelSpec]) -> Application {
     }
 }
 
-fn spec_strategy(n_buffers: usize) -> impl Strategy<Value = KernelSpec> {
-    (0..n_buffers, 0..n_buffers, 0u32..70, 1u32..12).prop_map(
-        |(src_buf, dst_buf, shift, tbs)| KernelSpec {
-            src_buf,
-            dst_buf,
-            shift,
-            tbs,
-        },
-    )
+fn gen_spec(rng: &mut Rng, n_buffers: usize) -> KernelSpec {
+    KernelSpec {
+        src_buf: rng.range_usize(0, n_buffers),
+        dst_buf: rng.range_usize(0, n_buffers),
+        shift: rng.range_u32(0, 70),
+        tbs: rng.range_u32(1, 12),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn random_apps_stay_architecturally_invisible(
-        n_buffers in 2usize..5,
-        specs in prop::collection::vec(spec_strategy(4), 2..6),
-        window in 2u32..5,
-        hazard in prop::sample::select(vec![HazardMode::Raw, HazardMode::All]),
-    ) {
-        let specs: Vec<KernelSpec> = specs
-            .into_iter()
-            .map(|mut s| {
-                s.src_buf %= n_buffers;
-                s.dst_buf %= n_buffers;
+#[test]
+fn random_apps_stay_architecturally_invisible() {
+    check_cases(0xAAA5, 24, |rng| {
+        let n_buffers = rng.range_usize(2, 5);
+        let n_specs = rng.range_usize(2, 6);
+        let window = rng.range_u32(2, 5);
+        let hazard = *rng.pick(&[HazardMode::Raw, HazardMode::All]);
+        let specs: Vec<KernelSpec> = (0..n_specs)
+            .map(|_| {
+                let mut s = gen_spec(rng, n_buffers);
                 // In-place kernels with shifts are intra-kernel racy
                 // (TB A reads what TB B writes within the same launch);
                 // keep src != dst so the *program itself* is race-free and
@@ -144,13 +141,9 @@ proptest! {
             }
         }
         let cfg = GpuConfig::small();
-        let report = run_app_with(
-            &cfg,
-            &app,
-            ExecMode::ConsumerPriority { window },
-            hazard,
-        );
+        let report = run_app_with(&cfg, &app, ExecMode::ConsumerPriority { window }, hazard);
         let eq = check_schedule(&app, &report.schedule).expect("replay");
-        prop_assert!(eq.is_match(), "schedule diverged for specs {specs:?}");
-    }
+        prop_ensure!(eq.is_match(), "schedule diverged for specs {specs:?}");
+        Ok(())
+    });
 }

@@ -65,8 +65,14 @@ fn application_without_kernels() {
         space,
         calls: vec![
             ApiCall::Malloc { alloc: a.id },
-            ApiCall::MemcpyH2D { alloc: a.id, bytes: 64 },
-            ApiCall::MemcpyD2H { alloc: a.id, bytes: 64 },
+            ApiCall::MemcpyH2D {
+                alloc: a.id,
+                bytes: 64,
+            },
+            ApiCall::MemcpyD2H {
+                alloc: a.id,
+                bytes: 64,
+            },
         ],
         host_data: HashMap::new(),
     };
@@ -105,6 +111,268 @@ fn window_larger_than_kernel_count() {
     let r = run_app(&cfg, &app, ExecMode::ConsumerPriority { window: 64 });
     assert_eq!(r.schedule.len(), 2);
     assert!(check_schedule(&app, &r.schedule).unwrap().is_match());
+}
+
+/// Every execution mode the engine supports, including degenerate window
+/// values that must clamp rather than wedge the scheduler.
+fn all_modes() -> Vec<ExecMode> {
+    vec![
+        ExecMode::Baseline,
+        ExecMode::IdealBaseline,
+        ExecMode::GraphLaunch,
+        ExecMode::PreLaunch { window: 0 },
+        ExecMode::PreLaunch { window: 2 },
+        ExecMode::ProducerPriority { window: 0 },
+        ExecMode::ProducerPriority { window: 2 },
+        ExecMode::ConsumerPriority { window: 0 },
+        ExecMode::ConsumerPriority { window: 3 },
+    ]
+}
+
+#[test]
+fn zero_tb_grid_between_real_kernels() {
+    // A 0-block launch sandwiched between two real kernels: the empty
+    // kernel contributes no TBs and no dependencies, and the outer RAW
+    // chain must still serialize correctly in every mode.
+    let mut space = AddressSpace::new();
+    let a = space.alloc(4 * 32);
+    let k = one_store_kernel();
+    let app = Application {
+        name: "zero-tb".into(),
+        space,
+        calls: vec![
+            ApiCall::KernelLaunch(Launch::new(
+                k.clone(),
+                Dim3::x(1),
+                Dim3::x(32),
+                vec![ArgValue::Ptr(a.base)],
+            )),
+            ApiCall::KernelLaunch(Launch::new(
+                k.clone(),
+                Dim3::x(0),
+                Dim3::x(32),
+                vec![ArgValue::Ptr(a.base)],
+            )),
+            ApiCall::KernelLaunch(Launch::new(
+                k,
+                Dim3::x(1),
+                Dim3::x(32),
+                vec![ArgValue::Ptr(a.base)],
+            )),
+        ],
+        host_data: HashMap::new(),
+    };
+    let cfg = GpuConfig::titan_x_pascal();
+    for mode in all_modes() {
+        let r = run_app(&cfg, &app, mode);
+        assert_eq!(r.schedule.len(), 2, "{mode}: only the real TBs execute");
+        let eq = check_schedule(&app, &r.schedule).unwrap();
+        assert!(eq.is_match(), "{mode}: {eq}");
+    }
+}
+
+#[test]
+fn window_zero_behaves_as_window_one() {
+    let mut space = AddressSpace::new();
+    let a = space.alloc(4 * 64);
+    let k = one_store_kernel();
+    let app = Application {
+        name: "window-zero".into(),
+        space,
+        calls: (0..3)
+            .map(|_| {
+                ApiCall::KernelLaunch(Launch::new(
+                    k.clone(),
+                    Dim3::x(1),
+                    Dim3::x(64),
+                    vec![ArgValue::Ptr(a.base)],
+                ))
+            })
+            .collect(),
+        host_data: HashMap::new(),
+    };
+    let cfg = GpuConfig::titan_x_pascal();
+    let makes: [fn(u32) -> ExecMode; 3] = [
+        |w| ExecMode::PreLaunch { window: w },
+        |w| ExecMode::ProducerPriority { window: w },
+        |w| ExecMode::ConsumerPriority { window: w },
+    ];
+    for make in makes {
+        let zero = run_app(&cfg, &app, make(0));
+        let one = run_app(&cfg, &app, make(1));
+        assert!(check_schedule(&app, &zero.schedule).unwrap().is_match());
+        assert_eq!(
+            zero.kernel_region_cycles, one.kernel_region_cycles,
+            "window 0 must clamp to window 1"
+        );
+    }
+}
+
+#[test]
+fn all_non_static_kernels_fall_back_and_stay_correct() {
+    // Two chained indirect-gather kernels: analysis cannot bound either
+    // kernel's accesses, so both are non-static and every inter-kernel
+    // graph degrades to a fully-connected barrier — which must still
+    // produce the serialized memory image in every mode.
+    let n = 64u64;
+    let gather = Arc::new(
+        parse_kernel(
+            r#".entry gather(.param .u64 A, .param .u64 B) {
+                 ld.param.u64 %rd1, [A];
+                 ld.param.u64 %rd2, [B];
+                 mov.u32 %r1, %ctaid.x;
+                 mov.u32 %r2, %ntid.x;
+                 mov.u32 %r3, %tid.x;
+                 mad.lo.u32 %r4, %r1, %r2, %r3;
+                 mul.wide.u32 %rd3, %r4, 4;
+                 add.u64 %rd4, %rd1, %rd3;
+                 ld.global.u32 %r5, [%rd4];
+                 mul.wide.u32 %rd5, %r5, 4;
+                 add.u64 %rd6, %rd1, %rd5;
+                 ld.global.f32 %f1, [%rd6];
+                 add.u64 %rd7, %rd2, %rd3;
+                 st.global.f32 [%rd7], %f1;
+                 ret;
+               }"#,
+        )
+        .unwrap(),
+    );
+    let mut space = AddressSpace::new();
+    let a = space.alloc(4 * n);
+    let b = space.alloc(4 * n);
+    let c = space.alloc(4 * n);
+    // A holds the reversal permutation as raw u32 bit patterns, so
+    // B[i] = A[A[i]] = bits(i): indices stay in-bounds for the second hop.
+    let mut host_data = HashMap::new();
+    host_data.insert(
+        a.id,
+        (0..n)
+            .map(|i| f32::from_bits((n - 1 - i) as u32))
+            .collect::<Vec<_>>(),
+    );
+    let app = Application {
+        name: "all-non-static".into(),
+        space,
+        calls: vec![
+            ApiCall::MemcpyH2D {
+                alloc: a.id,
+                bytes: 4 * n,
+            },
+            ApiCall::KernelLaunch(Launch::new(
+                gather.clone(),
+                Dim3::x(2),
+                Dim3::x(32),
+                vec![ArgValue::Ptr(a.base), ArgValue::Ptr(b.base)],
+            )),
+            ApiCall::KernelLaunch(Launch::new(
+                gather,
+                Dim3::x(2),
+                Dim3::x(32),
+                vec![ArgValue::Ptr(b.base), ArgValue::Ptr(c.base)],
+            )),
+        ],
+        host_data,
+    };
+    let jit = blockmaestro::jit_analyze_app(
+        &GpuConfig::titan_x_pascal(),
+        &app,
+        bm_depgraph::HazardMode::Raw,
+    );
+    assert!(jit.iter().all(|k| k.access.non_static));
+    let cfg = GpuConfig::titan_x_pascal();
+    for mode in all_modes() {
+        let r = run_app(&cfg, &app, mode);
+        let eq = check_schedule(&app, &r.schedule).unwrap();
+        assert!(eq.is_match(), "{mode}: {eq}");
+    }
+}
+
+#[test]
+fn parent_degree_above_counter_max_degrades_and_stays_correct() {
+    // 72 producer TBs each feed every consumer TB (stride-32 reads touch
+    // all 72 producer slots): degree 72 > the 6-bit counter max of 63, so
+    // the graph must degrade to fully-connected and still run correctly.
+    let tbs = 72u32;
+    let n = tbs as u64 * 32;
+    let writer = Arc::new(
+        parse_kernel(
+            r#".entry w(.param .u64 A) {
+                 ld.param.u64 %rd1, [A];
+                 mov.u32 %r1, %ctaid.x;
+                 mov.u32 %r2, %ntid.x;
+                 mov.u32 %r3, %tid.x;
+                 mad.lo.u32 %r4, %r1, %r2, %r3;
+                 mul.wide.u32 %rd2, %r4, 4;
+                 add.u64 %rd3, %rd1, %rd2;
+                 st.global.f32 [%rd3], 0f3F800000;
+                 ret;
+               }"#,
+        )
+        .unwrap(),
+    );
+    let reader = Arc::new(
+        parse_kernel(
+            r#".entry r(.param .u64 A, .param .u64 B, .param .u32 n) {
+                 ld.param.u64 %rd1, [A];
+                 ld.param.u64 %rd2, [B];
+                 ld.param.u32 %r9, [n];
+                 mov.u32 %r1, 0;
+                 mov.f32 %f1, 0f00000000;
+               $TOP:
+                 setp.ge.u32 %p1, %r1, %r9;
+                 @%p1 bra $OUT;
+                 mul.wide.u32 %rd3, %r1, 4;
+                 add.u64 %rd4, %rd1, %rd3;
+                 ld.global.f32 %f2, [%rd4];
+                 add.f32 %f1, %f1, %f2;
+                 add.u32 %r1, %r1, 32;
+                 bra $TOP;
+               $OUT:
+                 mov.u32 %r5, %ctaid.x;
+                 mov.u32 %r6, %ntid.x;
+                 mov.u32 %r7, %tid.x;
+                 mad.lo.u32 %r8, %r5, %r6, %r7;
+                 mul.wide.u32 %rd5, %r8, 4;
+                 add.u64 %rd6, %rd2, %rd5;
+                 st.global.f32 [%rd6], %f1;
+                 ret;
+               }"#,
+        )
+        .unwrap(),
+    );
+    let mut space = AddressSpace::new();
+    let a = space.alloc(4 * n);
+    let b = space.alloc(4 * n);
+    let app = Application {
+        name: "high-degree".into(),
+        space,
+        calls: vec![
+            ApiCall::KernelLaunch(Launch::new(
+                writer,
+                Dim3::x(tbs),
+                Dim3::x(32),
+                vec![ArgValue::Ptr(a.base)],
+            )),
+            ApiCall::KernelLaunch(Launch::new(
+                reader,
+                Dim3::x(tbs),
+                Dim3::x(32),
+                vec![
+                    ArgValue::Ptr(a.base),
+                    ArgValue::Ptr(b.base),
+                    ArgValue::U32(n as u32),
+                ],
+            )),
+        ],
+        host_data: HashMap::new(),
+    };
+    let cfg = GpuConfig::titan_x_pascal();
+    for mode in all_modes() {
+        let r = run_app(&cfg, &app, mode);
+        assert_eq!(r.schedule.len(), 2 * tbs as usize, "{mode}");
+        let eq = check_schedule(&app, &r.schedule).unwrap();
+        assert!(eq.is_match(), "{mode}: {eq}");
+    }
 }
 
 #[test]
