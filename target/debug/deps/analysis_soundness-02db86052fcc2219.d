@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_soundness-02db86052fcc2219.d: tests/analysis_soundness.rs
+
+/root/repo/target/debug/deps/libanalysis_soundness-02db86052fcc2219.rmeta: tests/analysis_soundness.rs
+
+tests/analysis_soundness.rs:

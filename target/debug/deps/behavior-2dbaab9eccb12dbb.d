@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-2dbaab9eccb12dbb.d: tests/behavior.rs
+
+/root/repo/target/debug/deps/libbehavior-2dbaab9eccb12dbb.rmeta: tests/behavior.rs
+
+tests/behavior.rs:

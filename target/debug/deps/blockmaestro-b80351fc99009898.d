@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/blockmaestro-b80351fc99009898.d: crates/core/src/lib.rs crates/core/src/compare/mod.rs crates/core/src/compare/models.rs crates/core/src/compare/taskgraph.rs crates/core/src/correctness.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/guard.rs crates/core/src/hw.rs crates/core/src/jit.rs crates/core/src/modes.rs crates/core/src/streams.rs
+
+/root/repo/target/debug/deps/libblockmaestro-b80351fc99009898.rmeta: crates/core/src/lib.rs crates/core/src/compare/mod.rs crates/core/src/compare/models.rs crates/core/src/compare/taskgraph.rs crates/core/src/correctness.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/guard.rs crates/core/src/hw.rs crates/core/src/jit.rs crates/core/src/modes.rs crates/core/src/streams.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compare/mod.rs:
+crates/core/src/compare/models.rs:
+crates/core/src/compare/taskgraph.rs:
+crates/core/src/correctness.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/faults.rs:
+crates/core/src/guard.rs:
+crates/core/src/hw.rs:
+crates/core/src/jit.rs:
+crates/core/src/modes.rs:
+crates/core/src/streams.rs:

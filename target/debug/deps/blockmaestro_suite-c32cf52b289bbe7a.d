@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockmaestro_suite-c32cf52b289bbe7a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libblockmaestro_suite-c32cf52b289bbe7a.rmeta: src/lib.rs
+
+src/lib.rs:

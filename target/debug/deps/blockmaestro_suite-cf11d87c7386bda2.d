@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockmaestro_suite-cf11d87c7386bda2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libblockmaestro_suite-cf11d87c7386bda2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bm_bench-b3dc8d6ec00e6912.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbm_bench-b3dc8d6ec00e6912.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bm_bench-efd9504254c2559b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbm_bench-efd9504254c2559b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

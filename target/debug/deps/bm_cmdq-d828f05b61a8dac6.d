@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bm_cmdq-d828f05b61a8dac6.d: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs
+
+/root/repo/target/debug/deps/libbm_cmdq-d828f05b61a8dac6.rmeta: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs
+
+crates/cmdq/src/lib.rs:
+crates/cmdq/src/api.rs:
+crates/cmdq/src/deps.rs:
+crates/cmdq/src/error.rs:
+crates/cmdq/src/reorder.rs:

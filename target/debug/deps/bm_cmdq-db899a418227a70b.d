@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bm_cmdq-db899a418227a70b.d: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs
+
+/root/repo/target/debug/deps/libbm_cmdq-db899a418227a70b.rmeta: crates/cmdq/src/lib.rs crates/cmdq/src/api.rs crates/cmdq/src/deps.rs crates/cmdq/src/error.rs crates/cmdq/src/reorder.rs
+
+crates/cmdq/src/lib.rs:
+crates/cmdq/src/api.rs:
+crates/cmdq/src/deps.rs:
+crates/cmdq/src/error.rs:
+crates/cmdq/src/reorder.rs:

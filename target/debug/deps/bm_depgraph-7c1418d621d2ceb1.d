@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bm_depgraph-7c1418d621d2ceb1.d: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs
+
+/root/repo/target/debug/deps/libbm_depgraph-7c1418d621d2ceb1.rmeta: crates/depgraph/src/lib.rs crates/depgraph/src/build.rs crates/depgraph/src/encoding.rs crates/depgraph/src/graph.rs crates/depgraph/src/interval_index.rs crates/depgraph/src/pattern.rs
+
+crates/depgraph/src/lib.rs:
+crates/depgraph/src/build.rs:
+crates/depgraph/src/encoding.rs:
+crates/depgraph/src/graph.rs:
+crates/depgraph/src/interval_index.rs:
+crates/depgraph/src/pattern.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/bm_ptx-80d747d01f55de10.d: crates/ptx/src/lib.rs crates/ptx/src/absint.rs crates/ptx/src/access.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/error.rs crates/ptx/src/interp.rs crates/ptx/src/interval.rs crates/ptx/src/isa.rs crates/ptx/src/kernel.rs crates/ptx/src/lexer.rs crates/ptx/src/mem.rs crates/ptx/src/parser.rs crates/ptx/src/print.rs crates/ptx/src/taint.rs crates/ptx/src/trace.rs
+
+/root/repo/target/debug/deps/libbm_ptx-80d747d01f55de10.rmeta: crates/ptx/src/lib.rs crates/ptx/src/absint.rs crates/ptx/src/access.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/error.rs crates/ptx/src/interp.rs crates/ptx/src/interval.rs crates/ptx/src/isa.rs crates/ptx/src/kernel.rs crates/ptx/src/lexer.rs crates/ptx/src/mem.rs crates/ptx/src/parser.rs crates/ptx/src/print.rs crates/ptx/src/taint.rs crates/ptx/src/trace.rs
+
+crates/ptx/src/lib.rs:
+crates/ptx/src/absint.rs:
+crates/ptx/src/access.rs:
+crates/ptx/src/builder.rs:
+crates/ptx/src/cfg.rs:
+crates/ptx/src/error.rs:
+crates/ptx/src/interp.rs:
+crates/ptx/src/interval.rs:
+crates/ptx/src/isa.rs:
+crates/ptx/src/kernel.rs:
+crates/ptx/src/lexer.rs:
+crates/ptx/src/mem.rs:
+crates/ptx/src/parser.rs:
+crates/ptx/src/print.rs:
+crates/ptx/src/taint.rs:
+crates/ptx/src/trace.rs:

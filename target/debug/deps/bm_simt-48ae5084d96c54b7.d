@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bm_simt-48ae5084d96c54b7.d: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+/root/repo/target/debug/deps/libbm_simt-48ae5084d96c54b7.rmeta: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/config.rs:
+crates/simt/src/des.rs:
+crates/simt/src/stats.rs:
+crates/simt/src/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bm_simt-b6dc36034588d645.d: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+/root/repo/target/debug/deps/libbm_simt-b6dc36034588d645.rmeta: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/des.rs crates/simt/src/stats.rs crates/simt/src/timing.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/config.rs:
+crates/simt/src/des.rs:
+crates/simt/src/stats.rs:
+crates/simt/src/timing.rs:

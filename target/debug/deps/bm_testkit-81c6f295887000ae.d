@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bm_testkit-81c6f295887000ae.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libbm_testkit-81c6f295887000ae.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

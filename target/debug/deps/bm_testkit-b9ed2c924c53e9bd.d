@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bm_testkit-b9ed2c924c53e9bd.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libbm_testkit-b9ed2c924c53e9bd.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

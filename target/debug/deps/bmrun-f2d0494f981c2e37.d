@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bmrun-f2d0494f981c2e37.d: crates/bench/src/bin/bmrun.rs
+
+/root/repo/target/debug/deps/libbmrun-f2d0494f981c2e37.rmeta: crates/bench/src/bin/bmrun.rs
+
+crates/bench/src/bin/bmrun.rs:

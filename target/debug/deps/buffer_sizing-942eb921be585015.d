@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/buffer_sizing-942eb921be585015.d: tests/buffer_sizing.rs
+
+/root/repo/target/debug/deps/libbuffer_sizing-942eb921be585015.rmeta: tests/buffer_sizing.rs
+
+tests/buffer_sizing.rs:

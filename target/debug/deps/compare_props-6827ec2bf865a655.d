@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare_props-6827ec2bf865a655.d: crates/core/tests/compare_props.rs
+
+/root/repo/target/debug/deps/libcompare_props-6827ec2bf865a655.rmeta: crates/core/tests/compare_props.rs
+
+crates/core/tests/compare_props.rs:

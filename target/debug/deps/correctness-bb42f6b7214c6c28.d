@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-bb42f6b7214c6c28.d: tests/correctness.rs
+
+/root/repo/target/debug/deps/libcorrectness-bb42f6b7214c6c28.rmeta: tests/correctness.rs
+
+tests/correctness.rs:

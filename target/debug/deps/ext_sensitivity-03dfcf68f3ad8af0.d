@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sensitivity-03dfcf68f3ad8af0.d: crates/bench/src/bin/ext_sensitivity.rs
+
+/root/repo/target/debug/deps/libext_sensitivity-03dfcf68f3ad8af0.rmeta: crates/bench/src/bin/ext_sensitivity.rs
+
+crates/bench/src/bin/ext_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_streams-e91d5dee16922a65.d: crates/bench/src/bin/ext_streams.rs
+
+/root/repo/target/debug/deps/libext_streams-e91d5dee16922a65.rmeta: crates/bench/src/bin/ext_streams.rs
+
+crates/bench/src/bin/ext_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-24ffabfd146e5115.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/libfault_injection-24ffabfd146e5115.rmeta: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_speedup-b6787fff39396793.d: crates/bench/src/bin/fig09_speedup.rs
+
+/root/repo/target/debug/deps/libfig09_speedup-b6787fff39396793.rmeta: crates/bench/src/bin/fig09_speedup.rs
+
+crates/bench/src/bin/fig09_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_concurrency-e34169a31072f423.d: crates/bench/src/bin/fig10_concurrency.rs
+
+/root/repo/target/debug/deps/libfig10_concurrency-e34169a31072f423.rmeta: crates/bench/src/bin/fig10_concurrency.rs
+
+crates/bench/src/bin/fig10_concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_stall_distribution-b697b251843a98e4.d: crates/bench/src/bin/fig11_stall_distribution.rs
+
+/root/repo/target/debug/deps/libfig11_stall_distribution-b697b251843a98e4.rmeta: crates/bench/src/bin/fig11_stall_distribution.rs
+
+crates/bench/src/bin/fig11_stall_distribution.rs:

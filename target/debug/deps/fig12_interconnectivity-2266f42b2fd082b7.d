@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_interconnectivity-2266f42b2fd082b7.d: crates/bench/src/bin/fig12_interconnectivity.rs
+
+/root/repo/target/debug/deps/libfig12_interconnectivity-2266f42b2fd082b7.rmeta: crates/bench/src/bin/fig12_interconnectivity.rs
+
+crates/bench/src/bin/fig12_interconnectivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_memory_overhead-331391f22204883a.d: crates/bench/src/bin/fig13_memory_overhead.rs
+
+/root/repo/target/debug/deps/libfig13_memory_overhead-331391f22204883a.rmeta: crates/bench/src/bin/fig13_memory_overhead.rs
+
+crates/bench/src/bin/fig13_memory_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_comparison-ef3cb4ee66daf6a1.d: crates/bench/src/bin/fig14_comparison.rs
+
+/root/repo/target/debug/deps/libfig14_comparison-ef3cb4ee66daf6a1.rmeta: crates/bench/src/bin/fig14_comparison.rs
+
+crates/bench/src/bin/fig14_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_walkthrough-38216684872fbd0a.d: crates/core/tests/fig6_walkthrough.rs
+
+/root/repo/target/debug/deps/libfig6_walkthrough-38216684872fbd0a.rmeta: crates/core/tests/fig6_walkthrough.rs
+
+crates/core/tests/fig6_walkthrough.rs:

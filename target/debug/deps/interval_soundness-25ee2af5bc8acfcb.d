@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interval_soundness-25ee2af5bc8acfcb.d: crates/ptx/tests/interval_soundness.rs
+
+/root/repo/target/debug/deps/libinterval_soundness-25ee2af5bc8acfcb.rmeta: crates/ptx/tests/interval_soundness.rs
+
+crates/ptx/tests/interval_soundness.rs:

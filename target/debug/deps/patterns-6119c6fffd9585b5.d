@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/patterns-6119c6fffd9585b5.d: tests/patterns.rs
+
+/root/repo/target/debug/deps/libpatterns-6119c6fffd9585b5.rmeta: tests/patterns.rs
+
+tests/patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_apps-5b6afd8a850a8c6d.d: tests/random_apps.rs
+
+/root/repo/target/debug/deps/librandom_apps-5b6afd8a850a8c6d.rmeta: tests/random_apps.rs
+
+tests/random_apps.rs:

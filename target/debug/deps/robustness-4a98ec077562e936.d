@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-4a98ec077562e936.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/librobustness-4a98ec077562e936.rmeta: tests/robustness.rs
+
+tests/robustness.rs:

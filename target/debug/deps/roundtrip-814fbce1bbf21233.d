@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-814fbce1bbf21233.d: crates/ptx/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/libroundtrip-814fbce1bbf21233.rmeta: crates/ptx/tests/roundtrip.rs
+
+crates/ptx/tests/roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-3bc98ea62d418bb1.d: crates/ptx/tests/semantics.rs
+
+/root/repo/target/debug/deps/libsemantics-3bc98ea62d418bb1.rmeta: crates/ptx/tests/semantics.rs
+
+crates/ptx/tests/semantics.rs:

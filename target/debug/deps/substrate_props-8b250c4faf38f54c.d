@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_props-8b250c4faf38f54c.d: crates/simt/tests/substrate_props.rs
+
+/root/repo/target/debug/deps/libsubstrate_props-8b250c4faf38f54c.rmeta: crates/simt/tests/substrate_props.rs
+
+crates/simt/tests/substrate_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_encoding-9c234e85b23a708b.d: crates/bench/src/bin/table1_encoding.rs
+
+/root/repo/target/debug/deps/libtable1_encoding-9c234e85b23a708b.rmeta: crates/bench/src/bin/table1_encoding.rs
+
+crates/bench/src/bin/table1_encoding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_benchmarks-a3710b513dab607c.d: crates/bench/src/bin/table2_benchmarks.rs
+
+/root/repo/target/debug/deps/libtable2_benchmarks-a3710b513dab607c.rmeta: crates/bench/src/bin/table2_benchmarks.rs
+
+crates/bench/src/bin/table2_benchmarks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_storage-1a6ed4faa7ab3c7a.d: crates/bench/src/bin/table3_storage.rs
+
+/root/repo/target/debug/deps/libtable3_storage-1a6ed4faa7ab3c7a.rmeta: crates/bench/src/bin/table3_storage.rs
+
+crates/bench/src/bin/table3_storage.rs:

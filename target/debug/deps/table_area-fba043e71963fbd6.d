@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_area-fba043e71963fbd6.d: crates/bench/src/bin/table_area.rs
+
+/root/repo/target/debug/deps/libtable_area-fba043e71963fbd6.rmeta: crates/bench/src/bin/table_area.rs
+
+crates/bench/src/bin/table_area.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/blockmaestro-12c880a7144962ee.d: crates/core/src/lib.rs crates/core/src/compare/mod.rs crates/core/src/compare/models.rs crates/core/src/compare/taskgraph.rs crates/core/src/correctness.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/guard.rs crates/core/src/hw.rs crates/core/src/jit.rs crates/core/src/modes.rs crates/core/src/streams.rs
+
+/root/repo/target/release/deps/blockmaestro-12c880a7144962ee: crates/core/src/lib.rs crates/core/src/compare/mod.rs crates/core/src/compare/models.rs crates/core/src/compare/taskgraph.rs crates/core/src/correctness.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/guard.rs crates/core/src/hw.rs crates/core/src/jit.rs crates/core/src/modes.rs crates/core/src/streams.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compare/mod.rs:
+crates/core/src/compare/models.rs:
+crates/core/src/compare/taskgraph.rs:
+crates/core/src/correctness.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/faults.rs:
+crates/core/src/guard.rs:
+crates/core/src/hw.rs:
+crates/core/src/jit.rs:
+crates/core/src/modes.rs:
+crates/core/src/streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compare_props-fd12a6bd2ee390ae.d: crates/core/tests/compare_props.rs
+
+/root/repo/target/release/deps/compare_props-fd12a6bd2ee390ae: crates/core/tests/compare_props.rs
+
+crates/core/tests/compare_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-2812680002e59ddd.d: tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-2812680002e59ddd: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_walkthrough-5c01981dbf8848b8.d: crates/core/tests/fig6_walkthrough.rs
+
+/root/repo/target/release/deps/fig6_walkthrough-5c01981dbf8848b8: crates/core/tests/fig6_walkthrough.rs
+
+crates/core/tests/fig6_walkthrough.rs:

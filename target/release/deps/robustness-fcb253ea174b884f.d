@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-fcb253ea174b884f.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-fcb253ea174b884f: tests/robustness.rs
+
+tests/robustness.rs:
