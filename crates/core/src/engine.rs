@@ -10,6 +10,7 @@
 
 #![deny(clippy::unwrap_used)]
 
+use crate::degrade::{Degradation, DegradationRung, PressureEvent};
 use crate::error::EngineError;
 use crate::faults::FaultPlan;
 use crate::guard::GuardReport;
@@ -61,6 +62,17 @@ pub struct RunReport {
     pub pcb_high_water: usize,
     /// Soundness-guard accounting (all zeros for unguarded runs).
     pub guard: GuardReport,
+    /// Per-kernel `(name, degradation)` ladder placement: which rung each
+    /// kernel's launch-time analysis landed on and why.
+    pub degradation: Vec<(String, Degradation)>,
+    /// Launches whose analysis was served from the bounded analysis cache.
+    pub cache_hits: u64,
+    /// Launches analyzed from scratch.
+    pub cache_misses: u64,
+    /// Admission-backpressure steps: each time scheduler-buffer spill
+    /// traffic crossed the configured threshold and shrank the pre-launch
+    /// window.
+    pub pressure_events: Vec<PressureEvent>,
 }
 
 impl RunReport {
@@ -285,7 +297,18 @@ struct KernelState {
 
 struct EngineSource<'a> {
     mode: ExecMode,
+    /// Effective pre-launch window; shrinks under admission backpressure.
     window: usize,
+    /// The mode's configured window, before any backpressure.
+    base_window: usize,
+    /// Backpressure never shrinks the window below this (clamped to the
+    /// base window so baseline modes are unaffected).
+    min_window: usize,
+    /// Spill transactions tolerated per window-shrink step; 0 disables
+    /// backpressure.
+    spill_threshold: u64,
+    /// One record per window shrink, in cycle order.
+    pressure_events: Vec<PressureEvent>,
     jit: &'a [JitKernel],
     kernels: Vec<KernelState>,
     retired: usize,
@@ -362,9 +385,14 @@ impl<'a> EngineSource<'a> {
                 }
             })
             .collect();
+        let base_window = mode.window() as usize;
         let mut src = EngineSource {
             mode,
-            window: mode.window() as usize,
+            window: base_window,
+            base_window,
+            min_window: (cfg.pressure_min_window as usize).min(base_window).max(1),
+            spill_threshold: cfg.spill_pressure_threshold,
+            pressure_events: Vec::new(),
             jit,
             kernels,
             retired: 0,
@@ -444,10 +472,49 @@ impl<'a> EngineSource<'a> {
         }
     }
 
+    /// Overload-safe admission: when cumulative scheduler-buffer spill
+    /// traffic (parent-counter writebacks plus dependency-list fetches)
+    /// crosses the configured threshold, the effective pre-launch window
+    /// shrinks by one kernel per crossing — monotonically, never below
+    /// `min_window` — and each shrink is recorded as a [`PressureEvent`].
+    /// Both traffic counters and the threshold are deterministic, so
+    /// identical runs shrink at identical cycles.
+    fn check_pressure(&mut self, now: u64) {
+        if self.spill_threshold == 0 || self.window == self.min_window {
+            return;
+        }
+        let spill = self.pcb.traffic().counter_writebacks + self.dlb.traffic().dep_list_fetches;
+        let crossings = (spill / self.spill_threshold) as usize;
+        let desired = self
+            .base_window
+            .saturating_sub(crossings)
+            .max(self.min_window);
+        if desired < self.window {
+            self.pressure_events.push(PressureEvent {
+                cycle: now,
+                spill_traffic: spill,
+                window_before: self.window as u32,
+                window_after: desired as u32,
+            });
+            self.window = desired;
+        }
+    }
+
     /// Issues kernels into the active window as retirement frees slots.
     fn admit_kernels(&mut self, now: u64) {
+        self.check_pressure(now);
         while self.issued_count < self.jit.len() && self.issued_count < self.retired + self.window {
             let k = self.issued_count;
+            // Pre-launch-off kernels (bottom ladder rung) are admitted only
+            // when next to retire, and block run-ahead past themselves
+            // until they have retired.
+            if k > self.retired
+                && self.jit[self.retired..=k]
+                    .iter()
+                    .any(|j| j.degradation.rung == DegradationRung::PrelaunchOff)
+            {
+                break;
+            }
             let issue = now
                 .max(self.host_ready.get(k).copied().unwrap_or(0))
                 .max(self.next_issue_floor);
@@ -767,6 +834,13 @@ fn assemble_report(
         dlb_high_water: source.dlb.high_water(),
         pcb_high_water: source.pcb.high_water(),
         guard: GuardReport::default(),
+        degradation: jit
+            .iter()
+            .map(|k| (k.name.clone(), k.degradation))
+            .collect(),
+        cache_hits: jit.iter().filter(|k| k.cache_hit).count() as u64,
+        cache_misses: jit.iter().filter(|k| !k.cache_hit).count() as u64,
+        pressure_events: source.pressure_events.clone(),
     }
 }
 

@@ -15,10 +15,13 @@
 //! recovery loop converges within [`MAX_ROUNDS`] rounds or reports
 //! [`BmError::Unrecoverable`].
 
+use crate::degrade::{AnalysisBudget, AnalysisCache, DegradationReason, DegradationRung};
 use crate::engine::{try_run_analyzed_faulty, RunReport};
 use crate::error::{BmError, EngineError};
 use crate::faults::FaultPlan;
-use crate::jit::{recompute_skip_gates, try_jit_analyze_app, JitKernel};
+use crate::jit::{
+    recompute_skip_gates, try_jit_analyze_app, try_jit_analyze_app_budgeted, JitKernel,
+};
 use crate::modes::ExecMode;
 use bm_cmdq::Application;
 use bm_depgraph::{storage, BipartiteGraph, HazardMode, Pattern};
@@ -171,6 +174,9 @@ pub fn verify_soundness(
 /// to whole-kernel barriers, which bypass the parent-counter hardware.
 fn quarantine_kernel(jit: &mut [JitKernel], k: usize) {
     jit[k].access.non_static = true;
+    jit[k]
+        .degradation
+        .worsen(DegradationRung::Barrier, DegradationReason::Quarantined);
     let degrade = |jit: &mut [JitKernel], j: usize| {
         if j == 0 || j >= jit.len() {
             return;
@@ -212,6 +218,27 @@ pub fn try_run_app_with(
 ) -> Result<RunReport, BmError> {
     app.validate()?;
     let jit = try_jit_analyze_app(cfg, app, hazard)?;
+    try_run_app_faulty(cfg, app, jit, mode, hazard, &FaultPlan::default())
+}
+
+/// Guarded run under an explicit [`AnalysisBudget`]: the launch-time
+/// analysis walks the graceful-degradation ladder with the given fuel and
+/// the soundness guard verifies the resulting schedule exactly as it does
+/// at full precision — replay-equivalence is asserted at *every* rung.
+///
+/// # Errors
+///
+/// As [`try_run_app`].
+pub fn try_run_app_budgeted(
+    cfg: &bm_simt::config::GpuConfig,
+    app: &Application,
+    mode: ExecMode,
+    hazard: HazardMode,
+    budget: &AnalysisBudget,
+) -> Result<RunReport, BmError> {
+    app.validate()?;
+    let mut cache = AnalysisCache::for_budget(budget);
+    let jit = try_jit_analyze_app_budgeted(cfg, app, hazard, budget, &mut cache)?;
     try_run_app_faulty(cfg, app, jit, mode, hazard, &FaultPlan::default())
 }
 

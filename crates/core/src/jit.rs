@@ -7,16 +7,22 @@
 //! a per-TB duration and memory-transaction count.
 
 use bm_cmdq::{ApiCall, Application};
-use bm_depgraph::{build_graph, storage, BipartiteGraph, GraphStorage, HazardMode, Pattern};
-use bm_ptx::absint::try_analyze_launch;
-use bm_ptx::access::KernelAccess;
+use bm_depgraph::{
+    build_graph_bounded, storage, BipartiteGraph, GraphStorage, HazardMode, Pattern,
+};
+use bm_ptx::absint::{try_analyze_launch_fueled, try_analyze_launch_grouped};
+use bm_ptx::access::{KernelAccess, TbAccess};
 use bm_ptx::error::PtxError;
+use bm_ptx::interp::{ExecError, MAX_STEPS_PER_THREAD};
 use bm_ptx::kernel::Launch;
 use bm_ptx::mem::GlobalMem;
-use bm_ptx::trace::trace_block;
+use bm_ptx::trace::trace_block_limited;
 use bm_simt::config::GpuConfig;
 use bm_simt::timing::simulate_sm;
 
+use crate::degrade::{
+    AnalysisBudget, AnalysisCache, CachedAnalysis, Degradation, DegradationReason, DegradationRung,
+};
 use crate::hw::MAX_COUNTER;
 
 /// Timing and resource profile of one kernel launch.
@@ -59,33 +65,107 @@ pub struct JitKernel {
     /// (e.g. 3MM's K3 reading K1's output while K2 is unrelated) so that
     /// windows larger than 2 remain correct.
     pub skip_gates: Vec<u32>,
+    /// Where on the graceful-degradation ladder this kernel's analysis
+    /// landed (precise / coarse / barrier / prelaunch-off) and why.
+    pub degradation: Degradation,
+    /// Whether the access/profile analysis was served from the bounded
+    /// analysis cache instead of being recomputed.
+    pub cache_hit: bool,
+}
+
+/// Analysis-phase result for one launch: everything derivable from the
+/// launch alone (the graph additionally depends on the predecessor).
+struct Analyzed {
+    access: KernelAccess,
+    profile: LaunchProfile,
+    degradation: Degradation,
+    cache_hit: bool,
 }
 
 /// Analyzes every kernel of `app` in launch order.
 ///
 /// This is the work the paper performs during PTX→SASS just-in-time
 /// compilation, masked by kernel pre-launching; here it runs up front,
-/// producing the inputs for the execution engine.
+/// producing the inputs for the execution engine. Runs under the default
+/// [`AnalysisBudget`] with a fresh cache; never panics — launches the
+/// analysis cannot handle degrade down the ladder instead.
 pub fn jit_analyze_app(cfg: &GpuConfig, app: &Application, hazard: HazardMode) -> Vec<JitKernel> {
-    try_jit_analyze_app(cfg, app, hazard)
-        .unwrap_or_else(|e| panic!("launch-time analysis rejected the application: {e}"))
+    let budget = AnalysisBudget::default();
+    let mut cache = AnalysisCache::for_budget(&budget);
+    jit_analyze_app_budgeted(cfg, app, hazard, &budget, &mut cache)
+}
+
+/// [`jit_analyze_app`] under an explicit [`AnalysisBudget`] and a caller-
+/// owned [`AnalysisCache`] (so the cache can persist across applications).
+///
+/// Total: a structurally invalid launch is carried as an opaque
+/// [`DegradationRung::PrelaunchOff`] barrier kernel rather than an error,
+/// so one bad launch cannot take down the whole application.
+pub fn jit_analyze_app_budgeted(
+    cfg: &GpuConfig,
+    app: &Application,
+    hazard: HazardMode,
+    budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+) -> Vec<JitKernel> {
+    let launches: Vec<&Launch> = app.launches();
+    let mut scratch = scratch_memory(app);
+    let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
+    for (seq, launch) in launches.iter().enumerate() {
+        let analyzed = analyze_launch_ladder(cfg, launch, &mut scratch, budget, cache)
+            .unwrap_or_else(|_| invalid_launch_stub(launch));
+        push_kernel(&mut out, seq as u32, launch, analyzed, hazard, budget);
+    }
+    out
 }
 
 /// Fallible counterpart of [`jit_analyze_app`].
 ///
 /// # Errors
 ///
-/// [`PtxError`] when a launch is structurally invalid or tracing its
-/// representative thread block fails.
+/// [`PtxError`] when a launch is structurally invalid (bad argument
+/// binding). Analysis and tracing problems no longer error: they degrade
+/// down the ladder and are reported per kernel via
+/// [`JitKernel::degradation`].
 pub fn try_jit_analyze_app(
     cfg: &GpuConfig,
     app: &Application,
     hazard: HazardMode,
 ) -> Result<Vec<JitKernel>, PtxError> {
+    let budget = AnalysisBudget::default();
+    let mut cache = AnalysisCache::for_budget(&budget);
+    try_jit_analyze_app_budgeted(cfg, app, hazard, &budget, &mut cache)
+}
+
+/// [`try_jit_analyze_app`] under an explicit [`AnalysisBudget`] and a
+/// caller-owned [`AnalysisCache`].
+///
+/// # Errors
+///
+/// As [`try_jit_analyze_app`].
+pub fn try_jit_analyze_app_budgeted(
+    cfg: &GpuConfig,
+    app: &Application,
+    hazard: HazardMode,
+    budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+) -> Result<Vec<JitKernel>, PtxError> {
     let launches: Vec<&Launch> = app.launches();
-    // Scratch functional memory for trace collection. Traces only shape
-    // timing; our kernels' control flow does not depend on float data, so
-    // executing on the evolving scratch state is fine.
+    let mut scratch = scratch_memory(app);
+    let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
+    for (seq, launch) in launches.iter().enumerate() {
+        let analyzed = analyze_launch_ladder(cfg, launch, &mut scratch, budget, cache)?;
+        push_kernel(&mut out, seq as u32, launch, analyzed, hazard, budget);
+    }
+    Ok(out)
+}
+
+/// Scratch functional memory for trace collection. Traces only shape
+/// timing; our kernels' control flow does not depend on float data, so
+/// executing on the evolving scratch state is fine. (For the same reason,
+/// cache hits may skip a trace's scratch-memory side effects without
+/// affecting any scheduling decision.)
+fn scratch_memory(app: &Application) -> GlobalMem {
     let mut scratch = GlobalMem::for_space(&app.space);
     for call in &app.calls {
         if let ApiCall::MemcpyH2D { alloc, .. } = call {
@@ -94,35 +174,172 @@ pub fn try_jit_analyze_app(
             }
         }
     }
-    let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
-    for (seq, launch) in launches.iter().enumerate() {
-        let access = try_analyze_launch(launch)?;
-        let profile = try_profile_launch(cfg, launch, &mut scratch)?;
-        let prev = out.last().map(|k: &JitKernel| &k.access);
-        let mut graph = match prev {
-            None => BipartiteGraph::independent(0, access.num_blocks() as u32),
-            Some(p) => build_graph(p, &access, hazard),
-        };
-        // Hardware fallback: parent counters are 6-bit; degrees above 63
-        // degrade to the fully-connected encoding (§IV-C).
-        if graph.max_child_degree() > MAX_COUNTER {
-            graph.degrade_to_fully_connected();
-        }
-        let st = storage(&graph);
-        let encoded = !matches!(st.pattern, Pattern::Irregular);
-        let skip_gates = find_skip_gates(&out, &access, seq as u32, hazard);
-        out.push(JitKernel {
-            seq: seq as u32,
-            name: launch.kernel.name.clone(),
-            profile,
-            access,
-            graph,
-            storage: st,
-            encoded,
-            skip_gates,
+    scratch
+}
+
+/// Walks one launch down the graceful-degradation ladder:
+/// precise fueled analysis → coarse grouped analysis → whole-kernel
+/// barrier; representative trace → estimated profile with pre-launch
+/// disabled. Results are served from / inserted into `cache`.
+///
+/// # Errors
+///
+/// [`PtxError`] only for structurally invalid launches.
+fn analyze_launch_ladder(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    scratch: &mut GlobalMem,
+    budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+) -> Result<Analyzed, PtxError> {
+    if let Some(hit) = cache.lookup(launch) {
+        return Ok(Analyzed {
+            access: hit.access,
+            profile: hit.profile,
+            degradation: hit.degradation,
+            cache_hit: true,
         });
     }
-    Ok(out)
+    let mut degradation = Degradation::none();
+    let mut fuel = budget.absint_fuel;
+    let access = match try_analyze_launch_fueled(launch, &mut fuel)? {
+        Some(access) => access,
+        None => {
+            degradation.worsen(
+                DegradationRung::Coarse,
+                DegradationReason::AnalysisOverBudget,
+            );
+            let mut coarse_fuel = budget.coarse_fuel;
+            match try_analyze_launch_grouped(launch, budget.coarse_groups, &mut coarse_fuel)? {
+                Some(access) => access,
+                None => {
+                    degradation.worsen(
+                        DegradationRung::Barrier,
+                        DegradationReason::CoarseOverBudget,
+                    );
+                    barrier_access(launch.num_blocks())
+                }
+            }
+        }
+    };
+    if access.non_static {
+        degradation.worsen(DegradationRung::Barrier, DegradationReason::NonStatic);
+    }
+    let profile = match try_profile_launch_limited(cfg, launch, scratch, budget.trace_steps) {
+        Ok(profile) => profile,
+        Err(PtxError::Exec(ExecError::StepLimit { .. })) => {
+            degradation.worsen(
+                DegradationRung::PrelaunchOff,
+                DegradationReason::TraceOverBudget,
+            );
+            fallback_profile(launch)
+        }
+        Err(_) => {
+            degradation.worsen(
+                DegradationRung::PrelaunchOff,
+                DegradationReason::TraceFailed,
+            );
+            fallback_profile(launch)
+        }
+    };
+    cache.insert(
+        launch,
+        CachedAnalysis {
+            access: access.clone(),
+            profile: profile.clone(),
+            degradation,
+        },
+    );
+    Ok(Analyzed {
+        access,
+        profile,
+        degradation,
+        cache_hit: false,
+    })
+}
+
+/// Graph phase (position-dependent, never cached): builds the dependency
+/// graph against the predecessor under the edge budget and the 6-bit
+/// counter limit, then appends the finished [`JitKernel`].
+fn push_kernel(
+    out: &mut Vec<JitKernel>,
+    seq: u32,
+    launch: &Launch,
+    analyzed: Analyzed,
+    hazard: HazardMode,
+    budget: &AnalysisBudget,
+) {
+    let Analyzed {
+        access,
+        profile,
+        mut degradation,
+        cache_hit,
+    } = analyzed;
+    let mut graph = match out.last() {
+        None => BipartiteGraph::independent(0, access.num_blocks() as u32),
+        Some(prev) => {
+            let (g, over) =
+                build_graph_bounded(&prev.access, &access, hazard, budget.max_graph_edges);
+            if over {
+                degradation.worsen(DegradationRung::Barrier, DegradationReason::GraphOverBudget);
+            }
+            g
+        }
+    };
+    // Hardware fallback: parent counters are 6-bit; degrees above 63
+    // degrade to the fully-connected encoding (§IV-C).
+    if !graph.is_fully_connected() && graph.max_child_degree() > MAX_COUNTER {
+        graph.degrade_to_fully_connected();
+        degradation.worsen(DegradationRung::Barrier, DegradationReason::DegreeOverflow);
+    }
+    let st = storage(&graph);
+    let encoded = !matches!(st.pattern, Pattern::Irregular);
+    let skip_gates = find_skip_gates(out, &access, seq, hazard);
+    out.push(JitKernel {
+        seq,
+        name: launch.kernel.name.clone(),
+        profile,
+        access,
+        graph,
+        storage: st,
+        encoded,
+        skip_gates,
+        degradation,
+        cache_hit,
+    });
+}
+
+/// The conservative whole-kernel barrier access: no known ranges,
+/// `non_static` set, so every graph against it is fully connected.
+fn barrier_access(n_tbs: u32) -> KernelAccess {
+    KernelAccess::from_per_tb(vec![TbAccess::default(); n_tbs as usize], true)
+}
+
+/// Deterministic pessimistic profile for kernels whose representative
+/// trace failed or ran over budget. Such kernels sit on the
+/// [`DegradationRung::PrelaunchOff`] rung, so the estimate shapes timing
+/// only, never correctness.
+fn fallback_profile(launch: &Launch) -> LaunchProfile {
+    LaunchProfile {
+        n_tbs: launch.num_blocks(),
+        threads: launch.threads_per_block().max(1),
+        shared_bytes: launch.kernel.shared_bytes,
+        duration: (launch.kernel.body.len() as u64 + 1) * 8,
+        txns_per_tb: 0,
+    }
+}
+
+/// The opaque-barrier stand-in for a structurally invalid launch.
+fn invalid_launch_stub(launch: &Launch) -> Analyzed {
+    Analyzed {
+        access: barrier_access(launch.num_blocks()),
+        profile: fallback_profile(launch),
+        degradation: Degradation {
+            rung: DegradationRung::PrelaunchOff,
+            reason: DegradationReason::InvalidLaunch,
+        },
+        cache_hit: false,
+    }
 }
 
 /// Kernel-level hazard screen against non-consecutive predecessors
@@ -154,10 +371,11 @@ fn find_skip_gates(
 }
 
 /// Profiles one launch: traces a representative TB and times it on one SM
-/// at the kernel's occupancy.
+/// at the kernel's occupancy. A launch that fails to trace degrades to the
+/// deterministic fallback estimate instead of panicking (ladder semantics:
+/// callers that need the reason use [`try_profile_launch`]).
 pub fn profile_launch(cfg: &GpuConfig, launch: &Launch, scratch: &mut GlobalMem) -> LaunchProfile {
-    try_profile_launch(cfg, launch, scratch)
-        .unwrap_or_else(|e| panic!("kernel `{}` failed to trace: {e}", launch.kernel.name))
+    try_profile_launch(cfg, launch, scratch).unwrap_or_else(|_| fallback_profile(launch))
 }
 
 /// Fallible counterpart of [`profile_launch`]. Zero-block grids are legal
@@ -171,6 +389,22 @@ pub fn try_profile_launch(
     cfg: &GpuConfig,
     launch: &Launch,
     scratch: &mut GlobalMem,
+) -> Result<LaunchProfile, PtxError> {
+    try_profile_launch_limited(cfg, launch, scratch, MAX_STEPS_PER_THREAD)
+}
+
+/// [`try_profile_launch`] under an explicit per-thread step budget — the
+/// trace rung of the degradation ladder.
+///
+/// # Errors
+///
+/// As [`try_profile_launch`]; exceeding the budget surfaces as
+/// [`PtxError::Exec`] with [`ExecError::StepLimit`].
+pub fn try_profile_launch_limited(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    scratch: &mut GlobalMem,
+    max_steps: u64,
 ) -> Result<LaunchProfile, PtxError> {
     let n_tbs = launch.num_blocks();
     let threads = launch.threads_per_block();
@@ -186,7 +420,7 @@ pub fn try_profile_launch(
     }
     // Middle block: avoids boundary blocks whose guards mask most work.
     let rep = n_tbs / 2;
-    let trace = trace_block(launch, rep, scratch).map_err(PtxError::Exec)?;
+    let trace = trace_block_limited(launch, rep, scratch, max_steps).map_err(PtxError::Exec)?;
     let occ = cfg
         .occupancy(threads, shared_bytes)
         .max(1)

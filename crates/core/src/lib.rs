@@ -60,6 +60,7 @@
 
 pub mod compare;
 pub mod correctness;
+pub mod degrade;
 pub mod engine;
 pub mod error;
 pub mod faults;
@@ -70,6 +71,10 @@ pub mod modes;
 pub mod streams;
 
 pub use correctness::{check_no_races, check_schedule, Equivalence, Race};
+pub use degrade::{
+    AnalysisBudget, AnalysisCache, CacheStats, CachedAnalysis, Degradation, DegradationReason,
+    DegradationRung, PressureEvent,
+};
 pub use engine::{
     run_analyzed, run_app, run_app_with, try_run_analyzed, try_run_analyzed_faulty, RunReport,
 };
@@ -78,10 +83,13 @@ pub use faults::{
     corrupt_access_set, corrupt_pattern, random_plan, FaultClass, FaultPlan, FaultRng,
 };
 pub use guard::{
-    try_run_app, try_run_app_faulty, try_run_app_with, verify_soundness, GuardReport,
-    SoundnessOutcome, SoundnessViolation, MAX_ROUNDS,
+    try_run_app, try_run_app_budgeted, try_run_app_faulty, try_run_app_with, verify_soundness,
+    GuardReport, SoundnessOutcome, SoundnessViolation, MAX_ROUNDS,
 };
 pub use hw::HwError;
-pub use jit::{jit_analyze_app, try_jit_analyze_app, JitKernel, LaunchProfile};
+pub use jit::{
+    jit_analyze_app, jit_analyze_app_budgeted, try_jit_analyze_app, try_jit_analyze_app_budgeted,
+    JitKernel, LaunchProfile,
+};
 pub use modes::ExecMode;
 pub use streams::{run_streams, StreamAssignment};

@@ -83,6 +83,27 @@ pub fn build_graph(
     BipartiteGraph::from_children(np, nc, children)
 }
 
+/// [`build_graph`] under an explicit edge budget: graphs whose explicit
+/// edge count exceeds `max_edges` degrade to the fully-connected barrier
+/// encoding. This bounds both the dependency-list storage the hardware
+/// would have to stream and the worst-case graph-construction cost on the
+/// launch path — the graph-layer rung of the degradation ladder. Returns
+/// the (possibly degraded) graph and whether degradation fired.
+pub fn build_graph_bounded(
+    parent: &KernelAccess,
+    child: &KernelAccess,
+    mode: HazardMode,
+    max_edges: u64,
+) -> (BipartiteGraph, bool) {
+    let mut g = build_graph(parent, child, mode);
+    let over =
+        matches!(g.kind(), crate::graph::GraphKind::Explicit(_)) && g.num_edges() > max_edges;
+    if over {
+        g.degrade_to_fully_connected();
+    }
+    (g, over)
+}
+
 /// Reference O(N·M) builder used to validate [`build_graph`] in tests.
 pub fn build_graph_naive(
     parent: &KernelAccess,

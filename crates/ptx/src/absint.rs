@@ -193,12 +193,15 @@ impl AbsState {
     }
 }
 
-/// Per-TB launch-time environment.
+/// Launch-time environment for one thread block — or, for the coarse
+/// group-level analysis, for a *range* of thread blocks: `bx`/`by` are
+/// intervals, a point interval for the precise per-TB analysis and a span
+/// covering a whole block group for the degraded analysis rung.
 #[derive(Debug, Clone, Copy)]
 struct Env<'a> {
     launch: &'a Launch,
-    bx: u32,
-    by: u32,
+    bx: Interval,
+    by: Interval,
 }
 
 impl Env<'_> {
@@ -210,8 +213,8 @@ impl Env<'_> {
             Special::TidY => Interval::new(0, b.y as i128 - 1),
             Special::NtidX => Interval::point(b.x as i128),
             Special::NtidY => Interval::point(b.y as i128),
-            Special::CtaidX => Interval::point(self.bx as i128),
-            Special::CtaidY => Interval::point(self.by as i128),
+            Special::CtaidX => self.bx,
+            Special::CtaidY => self.by,
             Special::NctaidX => Interval::point(g.x as i128),
             Special::NctaidY => Interval::point(g.y as i128),
         }
@@ -413,6 +416,29 @@ impl std::fmt::Display for NonStaticReason {
     }
 }
 
+/// Why a *budgeted* analysis stopped before producing per-TB sets.
+///
+/// Distinguishes running out of the caller's fuel budget (the analysis
+/// could have succeeded with more time — retrying at a coarser granularity
+/// is worthwhile) from a genuine non-static verdict (no amount of fuel
+/// helps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisCut {
+    /// The caller-supplied fuel budget was exhausted mid-analysis.
+    OutOfFuel,
+    /// The launch is non-static; more fuel would not change the verdict.
+    NonStatic(NonStaticReason),
+}
+
+impl std::fmt::Display for AnalysisCut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisCut::OutOfFuel => f.write_str("analysis fuel budget exhausted"),
+            AnalysisCut::NonStatic(r) => r.fmt(f),
+        }
+    }
+}
+
 /// Analyzes every thread block of `launch`, producing per-TB read/write
 /// sets, or the conservative non-static verdict.
 ///
@@ -461,23 +487,141 @@ pub fn try_analyze_launch(launch: &Launch) -> Result<KernelAccess, PtxError> {
     Ok(analyze_launch_unchecked(launch))
 }
 
+/// Budgeted variant of [`try_analyze_launch`]: every worklist pop of the
+/// fixpoint iteration consumes one unit of `fuel`, shared across all thread
+/// blocks of the launch. `Ok(None)` means the budget ran out before the
+/// analysis finished — the caller should degrade to the coarse group-level
+/// analysis ([`try_analyze_launch_grouped`]) or a whole-kernel barrier
+/// rather than blocking the launch path.
+///
+/// # Errors
+///
+/// [`PtxError::BadLaunch`] for structurally invalid launches, exactly as
+/// [`try_analyze_launch`].
+pub fn try_analyze_launch_fueled(
+    launch: &Launch,
+    fuel: &mut u64,
+) -> Result<Option<KernelAccess>, PtxError> {
+    crate::error::validate_launch(launch)?;
+    Ok(analyze_launch_fueled_unchecked(launch, fuel))
+}
+
+/// Coarse group-level analysis: the grid is partitioned into at most
+/// `groups` contiguous block ranges and each range is analyzed *once* with
+/// `ctaid` spanning the whole range. Every member TB inherits the group's
+/// (over-approximate) access sets, so the result is sound but yields a
+/// pattern-level graph (group-to-group edges) instead of a per-TB graph —
+/// the second rung of the degradation ladder, costing `groups` abstract
+/// runs instead of `num_blocks`.
+///
+/// `Ok(None)` again means even the coarse analysis exhausted `fuel`.
+///
+/// # Errors
+///
+/// [`PtxError::BadLaunch`] for structurally invalid launches.
+pub fn try_analyze_launch_grouped(
+    launch: &Launch,
+    groups: u32,
+    fuel: &mut u64,
+) -> Result<Option<KernelAccess>, PtxError> {
+    crate::error::validate_launch(launch)?;
+    Ok(analyze_launch_grouped_unchecked(
+        launch,
+        groups.max(1),
+        fuel,
+    ))
+}
+
 fn analyze_launch_unchecked(launch: &Launch) -> KernelAccess {
+    let mut fuel = u64::MAX;
+    match analyze_launch_fueled_unchecked(launch, &mut fuel) {
+        Some(acc) => acc,
+        // Unreachable with unbounded fuel; fall back conservatively.
+        None => conservative_access(launch.num_blocks()),
+    }
+}
+
+/// The all-TBs-default, `non_static` verdict: usable by every consumer but
+/// carrying no information — forces whole-kernel barrier semantics.
+fn conservative_access(n_tbs: u32) -> KernelAccess {
+    KernelAccess::from_per_tb(vec![TbAccess::default(); n_tbs as usize], true)
+}
+
+fn analyze_launch_fueled_unchecked(launch: &Launch, fuel: &mut u64) -> Option<KernelAccess> {
     let cfg = Cfg::build(&launch.kernel);
     let counts = max_reg_counts(&launch.kernel.body);
     let n = launch.num_blocks();
     let mut per_tb = Vec::with_capacity(n as usize);
     for tb in 0..n {
-        match analyze_block(launch, &cfg, counts, tb) {
+        let (bx, by) = launch.block_coords(tb);
+        let env = Env {
+            launch,
+            bx: Interval::point(bx as i128),
+            by: Interval::point(by as i128),
+        };
+        match analyze_span(&env, &cfg, counts, fuel) {
             Ok(acc) => per_tb.push(acc),
-            Err(_) => {
+            Err(AnalysisCut::OutOfFuel) => return None,
+            Err(AnalysisCut::NonStatic(_)) => {
                 // Conservative: the kernel is fully dependent on its
                 // predecessor; access sets are unusable.
-                per_tb.resize(n as usize, TbAccess::default());
-                return KernelAccess::from_per_tb(per_tb, true);
+                return Some(conservative_access(n));
             }
         }
     }
-    KernelAccess::from_per_tb(per_tb, false)
+    Some(KernelAccess::from_per_tb(per_tb, false))
+}
+
+fn analyze_launch_grouped_unchecked(
+    launch: &Launch,
+    groups: u32,
+    fuel: &mut u64,
+) -> Option<KernelAccess> {
+    let cfg = Cfg::build(&launch.kernel);
+    let counts = max_reg_counts(&launch.kernel.body);
+    let n = launch.num_blocks();
+    if n == 0 {
+        return Some(KernelAccess::from_per_tb(Vec::new(), false));
+    }
+    let groups = groups.min(n);
+    let group_size = n.div_ceil(groups);
+    let mut per_tb = Vec::with_capacity(n as usize);
+    let mut lo = 0u32;
+    while lo < n {
+        let hi = (lo + group_size).min(n) - 1; // inclusive
+        let (bx, by) = span_coords(launch, lo, hi);
+        let env = Env { launch, bx, by };
+        match analyze_span(&env, &cfg, counts, fuel) {
+            Ok(acc) => {
+                for _ in lo..=hi {
+                    per_tb.push(acc.clone());
+                }
+            }
+            Err(AnalysisCut::OutOfFuel) => return None,
+            Err(AnalysisCut::NonStatic(_)) => return Some(conservative_access(n)),
+        }
+        lo = hi + 1;
+    }
+    Some(KernelAccess::from_per_tb(per_tb, false))
+}
+
+/// `ctaid` intervals covering linear block ids `lo..=hi`. For 2D grids a
+/// range spanning several rows widens `ctaid.x` to the full row — a sound
+/// over-approximation of the rectangular hull.
+fn span_coords(launch: &Launch, lo: u32, hi: u32) -> (Interval, Interval) {
+    let (bx_lo, by_lo) = launch.block_coords(lo);
+    let (bx_hi, by_hi) = launch.block_coords(hi);
+    if by_lo == by_hi {
+        (
+            Interval::new(bx_lo as i128, bx_hi as i128),
+            Interval::point(by_lo as i128),
+        )
+    } else {
+        (
+            Interval::new(0, launch.grid.x as i128 - 1),
+            Interval::new(by_lo as i128, by_hi as i128),
+        )
+    }
 }
 
 /// Analyzes a single thread block.
@@ -493,7 +637,29 @@ pub fn analyze_block(
     tb: u32,
 ) -> Result<TbAccess, NonStaticReason> {
     let (bx, by) = launch.block_coords(tb);
-    let env = Env { launch, bx, by };
+    let env = Env {
+        launch,
+        bx: Interval::point(bx as i128),
+        by: Interval::point(by as i128),
+    };
+    let mut fuel = u64::MAX;
+    analyze_span(&env, cfg, counts, &mut fuel).map_err(|cut| match cut {
+        AnalysisCut::NonStatic(r) => r,
+        // Unreachable with unbounded fuel.
+        AnalysisCut::OutOfFuel => NonStaticReason::NoConvergence,
+    })
+}
+
+/// Fixpoint analysis of one `ctaid` span (a single TB when the env holds
+/// point intervals, a block group for the coarse rung). Consumes one unit
+/// of `fuel` per worklist pop.
+fn analyze_span(
+    env: &Env,
+    cfg: &Cfg,
+    counts: [usize; 4],
+    fuel: &mut u64,
+) -> Result<TbAccess, AnalysisCut> {
+    let launch = env.launch;
     let body = &launch.kernel.body;
     let nb = cfg.blocks.len();
     if nb == 0 {
@@ -512,11 +678,15 @@ pub fn analyze_block(
         queued[b] = false;
         pops += 1;
         if pops > max_pops {
-            return Err(NonStaticReason::NoConvergence);
+            return Err(AnalysisCut::NonStatic(NonStaticReason::NoConvergence));
         }
+        if *fuel == 0 {
+            return Err(AnalysisCut::OutOfFuel);
+        }
+        *fuel -= 1;
         let mut st = in_states[b].clone().expect("queued block has in-state");
         for inst in &body[cfg.blocks[b].start..cfg.blocks[b].end] {
-            transfer(&env, &mut st, inst);
+            transfer(env, &mut st, inst);
         }
         let term = &body[cfg.blocks[b].end - 1];
         out_states[b] = Some(st.clone());
@@ -525,7 +695,7 @@ pub fn analyze_block(
             if let (Some(taken), Some(g)) = (e.taken, term.guard) {
                 // Branch taken <=> guard passed <=> pred == !negated.
                 let holds = taken != g.negated;
-                refine_by_pred(&env, &mut es, g.pred, holds);
+                refine_by_pred(env, &mut es, g.pred, holds);
             }
             let changed = match &mut in_states[e.to] {
                 Some(cur) => {
@@ -561,7 +731,7 @@ pub fn analyze_block(
                     if let (Some(e), Some(g)) = (edge, term.guard) {
                         if let Some(t) = e.taken {
                             let holds = t != g.negated;
-                            refine_by_pred(&env, &mut es, g.pred, holds);
+                            refine_by_pred(env, &mut es, g.pred, holds);
                         }
                     }
                     match &mut acc {
@@ -578,7 +748,7 @@ pub fn analyze_block(
             if let Some(ins) = &in_states[b] {
                 let mut st = ins.clone();
                 for inst in &body[cfg.blocks[b].start..cfg.blocks[b].end] {
-                    transfer(&env, &mut st, inst);
+                    transfer(env, &mut st, inst);
                 }
                 out_states[b] = Some(st);
             }
@@ -607,11 +777,11 @@ pub fn analyze_block(
                 // refine a copy of the state first for a tighter range.
                 let mut view = st.clone();
                 if let Some(g) = inst.guard {
-                    refine_by_pred(&env, &mut view, g.pred, !g.negated);
+                    refine_by_pred(env, &mut view, g.pred, !g.negated);
                 }
                 let base = view.get(addr.base);
                 if base.taint {
-                    return Err(NonStaticReason::TaintedAddress);
+                    return Err(AnalysisCut::NonStatic(NonStaticReason::TaintedAddress));
                 }
                 let range = base.iv.add(&Interval::point(addr.offset as i128));
                 let (lo, hi) = if range.is_empty() {
@@ -632,7 +802,7 @@ pub fn analyze_block(
                     acc.reads.insert(lo, hi);
                 }
             }
-            transfer(&env, &mut st, inst);
+            transfer(env, &mut st, inst);
         }
     }
     Ok(acc)

@@ -158,6 +158,25 @@ pub fn execute_block<O: ExecObserver>(
     mem: &mut GlobalMem,
     obs: &mut O,
 ) -> Result<ExecStats, ExecError> {
+    execute_block_limited(launch, tb, mem, obs, MAX_STEPS_PER_THREAD)
+}
+
+/// [`execute_block`] with an explicit per-thread step budget instead of the
+/// default [`MAX_STEPS_PER_THREAD`] — the representative-TB trace of the
+/// degradation ladder uses this to bound how long launch-time profiling may
+/// run before falling back to an estimated profile.
+///
+/// # Errors
+///
+/// As [`execute_block`]; exceeding `max_steps` surfaces as
+/// [`ExecError::StepLimit`].
+pub fn execute_block_limited<O: ExecObserver>(
+    launch: &Launch,
+    tb: u32,
+    mem: &mut GlobalMem,
+    obs: &mut O,
+    max_steps: u64,
+) -> Result<ExecStats, ExecError> {
     let kernel = &launch.kernel;
     let (bx, by) = launch.block_coords(tb);
     let nthreads = launch.threads_per_block();
@@ -188,7 +207,18 @@ pub fn execute_block<O: ExecObserver>(
                 tb,
                 tid: t_idx as u32,
             };
-            run_thread(launch, bx, by, th, id, mem, &mut shared, obs, &mut stats)?;
+            run_thread(
+                launch,
+                bx,
+                by,
+                th,
+                id,
+                mem,
+                &mut shared,
+                obs,
+                &mut stats,
+                max_steps,
+            )?;
         }
         if !any_running {
             // Everyone is Done or AtBarrier.
@@ -249,6 +279,7 @@ fn run_thread<O: ExecObserver>(
     shared: &mut [u8],
     obs: &mut O,
     stats: &mut ExecStats,
+    max_steps: u64,
 ) -> Result<(), ExecError> {
     let body = &launch.kernel.body;
     loop {
@@ -257,7 +288,7 @@ fn run_thread<O: ExecObserver>(
             return Ok(());
         }
         th.steps += 1;
-        if th.steps > MAX_STEPS_PER_THREAD {
+        if th.steps > max_steps {
             return Err(ExecError::StepLimit {
                 tb: id.tb,
                 tid: id.tid,

@@ -6,7 +6,9 @@
 //! The SM timing model in `bm-simt` replays these streams under GTO warp
 //! scheduling to derive thread-block durations and memory-request counts.
 
-use crate::interp::{execute_block, ExecError, ExecObserver, ThreadId};
+use crate::interp::{
+    execute_block_limited, ExecError, ExecObserver, ThreadId, MAX_STEPS_PER_THREAD,
+};
 use crate::isa::{MemSpace, Op};
 use crate::kernel::Launch;
 use crate::mem::GlobalMem;
@@ -137,8 +139,26 @@ impl ExecObserver for TraceObserver {
 ///
 /// Propagates [`ExecError`] from the underlying execution.
 pub fn trace_block(launch: &Launch, tb: u32, mem: &mut GlobalMem) -> Result<TbTrace, ExecError> {
+    trace_block_limited(launch, tb, mem, MAX_STEPS_PER_THREAD)
+}
+
+/// [`trace_block`] under an explicit per-thread step budget. The launch-time
+/// profiler uses this so a pathological kernel cannot stall the launch path:
+/// exceeding the budget surfaces as [`ExecError::StepLimit`] and the caller
+/// degrades to an estimated profile.
+///
+/// # Errors
+///
+/// As [`trace_block`], plus [`ExecError::StepLimit`] once `max_steps` is
+/// exceeded by any thread.
+pub fn trace_block_limited(
+    launch: &Launch,
+    tb: u32,
+    mem: &mut GlobalMem,
+    max_steps: u64,
+) -> Result<TbTrace, ExecError> {
     let mut obs = TraceObserver::default();
-    let stats = execute_block(launch, tb, mem, &mut obs)?;
+    let stats = execute_block_limited(launch, tb, mem, &mut obs, max_steps)?;
     let nthreads = launch.threads_per_block();
     let nwarps = launch.warps_per_block();
     let body = &launch.kernel.body;

@@ -38,6 +38,12 @@ pub struct GpuConfig {
     pub memcpy_bytes_per_cycle: u64,
     /// Fixed memcpy setup cost in cycles.
     pub memcpy_setup_cycles: u64,
+    /// Scheduler-buffer spill transactions (parent-counter writebacks plus
+    /// dependency-list fetches) tolerated before admission backpressure
+    /// shrinks the pre-launch window by one kernel per further crossing.
+    pub spill_pressure_threshold: u64,
+    /// Backpressure never shrinks the pre-launch window below this.
+    pub pressure_min_window: u32,
 }
 
 impl GpuConfig {
@@ -58,6 +64,10 @@ impl GpuConfig {
             malloc_cycles: 1_000,
             memcpy_bytes_per_cycle: 64,
             memcpy_setup_cycles: 2_000,
+            // One full buffer generation of spills (§IV-C sizing) before the
+            // scheduler concludes the window is oversubscribed.
+            spill_pressure_threshold: 896,
+            pressure_min_window: 1,
         }
     }
 

@@ -1,0 +1,121 @@
+//! Generators shared by the end-to-end property suites (`random_apps`,
+//! `degradation`): a parameterized shifted-map kernel and random
+//! application construction over aliased buffers.
+
+#![allow(dead_code)]
+
+use bm_cmdq::{ApiCall, Application};
+use bm_ptx::kernel::{ArgValue, Dim3, Launch};
+use bm_ptx::mem::AddressSpace;
+use bm_ptx::parser::parse_kernel;
+use bm_testkit::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shifted map kernel: `OUT[i] = IN[clamp(i + shift)] + 1`, which lets
+/// random shifts create 1-to-1, overlapped, and skewed dependency graphs.
+pub fn shift_kernel() -> Arc<bm_ptx::kernel::Kernel> {
+    Arc::new(
+        parse_kernel(
+            r#".entry shift(.param .u64 IN, .param .u64 OUT, .param .u32 n, .param .u32 s)
+            {
+              ld.param.u64 %rd1, [IN];
+              ld.param.u64 %rd2, [OUT];
+              ld.param.u32 %r9, [n];
+              ld.param.u32 %r10, [s];
+              mov.u32 %r1, %ctaid.x;
+              mov.u32 %r2, %ntid.x;
+              mov.u32 %r3, %tid.x;
+              mad.lo.u32 %r4, %r1, %r2, %r3;
+              setp.ge.u32 %p1, %r4, %r9;
+              @%p1 bra $DONE;
+              add.u32 %r5, %r4, %r10;
+              sub.u32 %r6, %r9, 1;
+              min.u32 %r5, %r5, %r6;
+              mul.wide.u32 %rd3, %r5, 4;
+              add.u64 %rd4, %rd1, %rd3;
+              ld.global.f32 %f1, [%rd4];
+              add.f32 %f2, %f1, 0f3F800000;
+              mul.wide.u32 %rd5, %r4, 4;
+              add.u64 %rd6, %rd2, %rd5;
+              st.global.f32 [%rd6], %f2;
+            $DONE:
+              ret;
+            }"#,
+        )
+        .unwrap(),
+    )
+}
+
+/// One randomly-drawn kernel launch of [`shift_kernel`].
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    pub src_buf: usize,
+    pub dst_buf: usize,
+    pub shift: u32,
+    pub tbs: u32,
+}
+
+/// Builds an application launching [`shift_kernel`] once per spec over
+/// `n_buffers` shared buffers (buffer 0 is host-initialized).
+pub fn build_random_app(n_buffers: usize, specs: &[KernelSpec]) -> Application {
+    let max_tbs = specs.iter().map(|s| s.tbs).max().unwrap_or(1) as u64;
+    let n = max_tbs * 64;
+    let mut space = AddressSpace::new();
+    let bufs: Vec<_> = (0..n_buffers).map(|_| space.alloc(4 * n)).collect();
+    let k = shift_kernel();
+    let mut host_data = HashMap::new();
+    host_data.insert(
+        bufs[0].id,
+        (0..n).map(|i| (i % 97) as f32).collect::<Vec<_>>(),
+    );
+    let mut calls = vec![ApiCall::MemcpyH2D {
+        alloc: bufs[0].id,
+        bytes: 4 * n,
+    }];
+    for s in specs {
+        let sz = s.tbs as u64 * 64;
+        calls.push(ApiCall::KernelLaunch(Launch::new(
+            k.clone(),
+            Dim3::x(s.tbs),
+            Dim3::x(64),
+            vec![
+                ArgValue::Ptr(bufs[s.src_buf].base),
+                ArgValue::Ptr(bufs[s.dst_buf].base),
+                ArgValue::U32(sz as u32),
+                ArgValue::U32(s.shift),
+            ],
+        )));
+    }
+    Application {
+        name: "random".into(),
+        space,
+        calls,
+        host_data,
+    }
+}
+
+/// Draws one random [`KernelSpec`].
+pub fn gen_spec(rng: &mut Rng, n_buffers: usize) -> KernelSpec {
+    KernelSpec {
+        src_buf: rng.range_usize(0, n_buffers),
+        dst_buf: rng.range_usize(0, n_buffers),
+        shift: rng.range_u32(0, 70),
+        tbs: rng.range_u32(1, 12),
+    }
+}
+
+/// With RAW-only tracking, a WAR hazard between kernels (a later kernel
+/// overwriting a buffer an earlier kernel reads) is only safe when it also
+/// carries a RAW chain; random apps can violate that, so paper-faithful
+/// Raw-mode checks are restricted to WAR-free spec lists.
+pub fn has_war_hazard(specs: &[KernelSpec]) -> bool {
+    for i in 0..specs.len() {
+        for j in i + 1..specs.len() {
+            if specs[j].dst_buf == specs[i].src_buf {
+                return true;
+            }
+        }
+    }
+    false
+}

@@ -2,105 +2,13 @@
 //! with randomly-aliased buffers, halo widths, and grid sizes must always
 //! produce architecturally-invisible schedules under every mode.
 
+mod common;
+
 use blockmaestro::{check_schedule, run_app_with, ExecMode};
-use bm_cmdq::{ApiCall, Application};
 use bm_depgraph::HazardMode;
-use bm_ptx::kernel::{ArgValue, Dim3, Launch};
-use bm_ptx::mem::AddressSpace;
-use bm_ptx::parser::parse_kernel;
 use bm_simt::GpuConfig;
-use bm_testkit::{check_cases, prop_ensure, Rng};
-use std::collections::HashMap;
-use std::sync::Arc;
-
-/// A shifted map kernel: `OUT[i] = IN[clamp(i + shift)] + 1`, which lets
-/// random shifts create 1-to-1, overlapped, and skewed dependency graphs.
-fn shift_kernel() -> Arc<bm_ptx::kernel::Kernel> {
-    Arc::new(
-        parse_kernel(
-            r#".entry shift(.param .u64 IN, .param .u64 OUT, .param .u32 n, .param .u32 s)
-            {
-              ld.param.u64 %rd1, [IN];
-              ld.param.u64 %rd2, [OUT];
-              ld.param.u32 %r9, [n];
-              ld.param.u32 %r10, [s];
-              mov.u32 %r1, %ctaid.x;
-              mov.u32 %r2, %ntid.x;
-              mov.u32 %r3, %tid.x;
-              mad.lo.u32 %r4, %r1, %r2, %r3;
-              setp.ge.u32 %p1, %r4, %r9;
-              @%p1 bra $DONE;
-              add.u32 %r5, %r4, %r10;
-              sub.u32 %r6, %r9, 1;
-              min.u32 %r5, %r5, %r6;
-              mul.wide.u32 %rd3, %r5, 4;
-              add.u64 %rd4, %rd1, %rd3;
-              ld.global.f32 %f1, [%rd4];
-              add.f32 %f2, %f1, 0f3F800000;
-              mul.wide.u32 %rd5, %r4, 4;
-              add.u64 %rd6, %rd2, %rd5;
-              st.global.f32 [%rd6], %f2;
-            $DONE:
-              ret;
-            }"#,
-        )
-        .unwrap(),
-    )
-}
-
-#[derive(Debug, Clone)]
-struct KernelSpec {
-    src_buf: usize,
-    dst_buf: usize,
-    shift: u32,
-    tbs: u32,
-}
-
-fn build_random_app(n_buffers: usize, specs: &[KernelSpec]) -> Application {
-    let max_tbs = specs.iter().map(|s| s.tbs).max().unwrap_or(1) as u64;
-    let n = max_tbs * 64;
-    let mut space = AddressSpace::new();
-    let bufs: Vec<_> = (0..n_buffers).map(|_| space.alloc(4 * n)).collect();
-    let k = shift_kernel();
-    let mut host_data = HashMap::new();
-    host_data.insert(
-        bufs[0].id,
-        (0..n).map(|i| (i % 97) as f32).collect::<Vec<_>>(),
-    );
-    let mut calls = vec![ApiCall::MemcpyH2D {
-        alloc: bufs[0].id,
-        bytes: 4 * n,
-    }];
-    for s in specs {
-        let sz = s.tbs as u64 * 64;
-        calls.push(ApiCall::KernelLaunch(Launch::new(
-            k.clone(),
-            Dim3::x(s.tbs),
-            Dim3::x(64),
-            vec![
-                ArgValue::Ptr(bufs[s.src_buf].base),
-                ArgValue::Ptr(bufs[s.dst_buf].base),
-                ArgValue::U32(sz as u32),
-                ArgValue::U32(s.shift),
-            ],
-        )));
-    }
-    Application {
-        name: "random".into(),
-        space,
-        calls,
-        host_data,
-    }
-}
-
-fn gen_spec(rng: &mut Rng, n_buffers: usize) -> KernelSpec {
-    KernelSpec {
-        src_buf: rng.range_usize(0, n_buffers),
-        dst_buf: rng.range_usize(0, n_buffers),
-        shift: rng.range_u32(0, 70),
-        tbs: rng.range_u32(1, 12),
-    }
-}
+use bm_testkit::{check_cases, prop_ensure};
+use common::{build_random_app, gen_spec, has_war_hazard, KernelSpec};
 
 #[test]
 fn random_apps_stay_architecturally_invisible() {
@@ -123,22 +31,8 @@ fn random_apps_stay_architecturally_invisible() {
             })
             .collect();
         let app = build_random_app(n_buffers, &specs);
-        // With RAW-only tracking, a WAR hazard between kernels (consumer
-        // overwriting a buffer the producer still reads) is only safe when
-        // it also carries a RAW chain; random apps can violate that, so
-        // the paper-faithful Raw mode is checked only on WAR-free apps.
-        if hazard == HazardMode::Raw {
-            let mut writes_after_read: bool = false;
-            for i in 0..specs.len() {
-                for j in i + 1..specs.len() {
-                    if specs[j].dst_buf == specs[i].src_buf {
-                        writes_after_read = true;
-                    }
-                }
-            }
-            if writes_after_read {
-                return Ok(());
-            }
+        if hazard == HazardMode::Raw && has_war_hazard(&specs) {
+            return Ok(());
         }
         let cfg = GpuConfig::small();
         let report = run_app_with(&cfg, &app, ExecMode::ConsumerPriority { window }, hazard);
