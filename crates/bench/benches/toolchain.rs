@@ -10,9 +10,11 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use blockmaestro::{jit_analyze_app, run_analyzed, ExecMode};
+use bm_depgraph::interval_index::IntervalIndex;
 use bm_depgraph::{build_graph, build_graph_naive, HazardMode};
-use bm_ptx::absint::analyze_launch;
+use bm_ptx::absint::{analyze_launch, try_analyze_launch_fueled_par};
 use bm_ptx::kernel::{ArgValue, Dim3, Launch};
+use bm_ptx::par::ParallelConfig;
 use bm_ptx::parser::parse_kernel;
 use bm_simt::GpuConfig;
 use bm_workloads::{hotspot, vectoradd, Scale};
@@ -94,6 +96,54 @@ fn bench_value_range_analysis() {
     }
 }
 
+/// The affine fast path vs. full per-TB interpretation on the same launch:
+/// `reference` interprets every TB, `affine` interprets a handful of
+/// anchors and synthesizes the rest by translation.
+fn bench_affine_fastpath() {
+    let kernel = Arc::new(parse_kernel(VECADD_SRC).unwrap());
+    for tbs in [64u32, 512] {
+        let launch = Launch::new(
+            kernel.clone(),
+            Dim3::x(tbs),
+            Dim3::x(256),
+            vec![
+                ArgValue::Ptr(0x10000),
+                ArgValue::Ptr(0x200000),
+                ArgValue::Ptr(0x400000),
+                ArgValue::U32(tbs * 256),
+            ],
+        );
+        for (name, par) in [
+            ("reference", ParallelConfig::reference()),
+            ("affine", ParallelConfig::serial()),
+        ] {
+            bench(&format!("analyze_launch_{name}/{tbs}tbs"), || {
+                let mut fuel = u64::MAX;
+                try_analyze_launch_fueled_par(black_box(&launch), &mut fuel, &par).unwrap()
+            });
+        }
+    }
+}
+
+/// Interval-index build + stabbing queries — the sweep structure behind
+/// the scalable graph builder.
+fn bench_interval_index() {
+    let items: Vec<(u64, u64, u32)> = (0..1024u64)
+        .map(|i| (i * 256, i * 256 + 320, i as u32)) // overlapping stencil halos
+        .collect();
+    bench("interval_index/build/1024", || {
+        IntervalIndex::build(black_box(items.clone()))
+    });
+    let idx = IntervalIndex::build(items);
+    bench("interval_index/query_sweep/1024", || {
+        let mut hits = 0u64;
+        for i in 0..1024u64 {
+            idx.query(i * 256, i * 256 + 256, &mut |_| hits += 1);
+        }
+        hits
+    });
+}
+
 fn bench_graph_builders() {
     // Stencil-shaped access sets: a case with real edge structure.
     let kernel = Arc::new(parse_kernel(VECADD_SRC).unwrap());
@@ -171,6 +221,8 @@ fn bench_ablation_policies() {
 fn main() {
     bench_parser();
     bench_value_range_analysis();
+    bench_affine_fastpath();
+    bench_interval_index();
     bench_graph_builders();
     bench_engine();
     bench_ablation_policies();

@@ -1,0 +1,263 @@
+//! Tracked performance harness for the launch-time analysis toolchain.
+//!
+//! Times the three pipeline stages — per-launch access-set analysis
+//! (absint), the full JIT pipeline (analysis + trace + graph), and the
+//! execution engine — for every Table II workload plus a 512-TB VectorAdd,
+//! under three configurations:
+//!
+//! * `reference`  — 1 thread, affine fast path off (the pre-parallel
+//!   pipeline, the correctness baseline);
+//! * `affine`     — 1 thread, affine per-TB memoization on;
+//! * `parallel8`  — 8 threads, affine on.
+//!
+//! Results are printed as a table and written as JSON to
+//! `BENCH_analysis.json` at the repository root so successive commits can
+//! be compared. Run with:
+//!
+//! ```text
+//! cargo run --release -p bm-bench --bin perf_analysis [-- --small]
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use blockmaestro::{
+    jit_analyze_app_par, run_analyzed, AnalysisBudget, AnalysisCache, ExecMode, ParallelConfig,
+};
+use bm_bench::{geomean, scale_from_args};
+use bm_cmdq::Application;
+use bm_depgraph::HazardMode;
+use bm_ptx::absint::try_analyze_launch_fueled_par;
+use bm_simt::GpuConfig;
+use bm_workloads::{suite, vectoradd, Scale};
+
+/// The measured configurations, reference first.
+fn configs() -> Vec<(&'static str, ParallelConfig)> {
+    vec![
+        ("reference", ParallelConfig::reference()),
+        ("affine", ParallelConfig::serial()),
+        ("parallel8", ParallelConfig::with_threads(8)),
+    ]
+}
+
+/// Mean wall-clock nanoseconds per call of `f`: one warmup call, then as
+/// many timed calls as fit in `budget_ms` (at least 3, at most 1000).
+fn time_ns(budget_ms: u64, mut f: impl FnMut()) -> f64 {
+    f();
+    let budget = std::time::Duration::from_millis(budget_ms);
+    let start = Instant::now();
+    let mut iters: u32 = 0;
+    while iters < 3 || (start.elapsed() < budget && iters < 1000) {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// One absint pass over every launch of `app` (fresh fuel per launch, no
+/// caching) — the pure access-set analysis stage.
+fn absint_pass(app: &Application, budget: &AnalysisBudget, par: &ParallelConfig) {
+    for launch in app.launches() {
+        let mut fuel = budget.absint_fuel;
+        black_box(try_analyze_launch_fueled_par(black_box(launch), &mut fuel, par).ok());
+    }
+}
+
+struct StageTimes {
+    absint_ns: Vec<f64>,
+    jit_cold_ns: Vec<f64>,
+    jit_warm_ns: Vec<f64>,
+}
+
+struct WorkloadRow {
+    name: String,
+    kernels: usize,
+    times: StageTimes,
+    run_ns: f64,
+    run_cycles: u64,
+}
+
+fn measure(gpu: &GpuConfig, app: &Application, budget_ms: u64) -> WorkloadRow {
+    let budget = AnalysisBudget::default();
+    let mut absint_ns = Vec::new();
+    let mut jit_cold_ns = Vec::new();
+    let mut jit_warm_ns = Vec::new();
+    for (_, par) in configs() {
+        absint_ns.push(time_ns(budget_ms, || absint_pass(app, &budget, &par)));
+        jit_cold_ns.push(time_ns(budget_ms, || {
+            let mut cache = AnalysisCache::for_budget(&budget);
+            black_box(jit_analyze_app_par(
+                gpu,
+                black_box(app),
+                HazardMode::Raw,
+                &budget,
+                &mut cache,
+                &par,
+            ));
+        }));
+        let mut warm_cache = AnalysisCache::for_budget(&budget);
+        jit_analyze_app_par(gpu, app, HazardMode::Raw, &budget, &mut warm_cache, &par);
+        jit_warm_ns.push(time_ns(budget_ms, || {
+            black_box(jit_analyze_app_par(
+                gpu,
+                black_box(app),
+                HazardMode::Raw,
+                &budget,
+                &mut warm_cache,
+                &par,
+            ));
+        }));
+    }
+    let mut cache = AnalysisCache::for_budget(&budget);
+    let jit = jit_analyze_app_par(
+        gpu,
+        app,
+        HazardMode::Raw,
+        &budget,
+        &mut cache,
+        &ParallelConfig::reference(),
+    );
+    let t0 = Instant::now();
+    let report = run_analyzed(gpu, app, &jit, ExecMode::ConsumerPriority { window: 3 });
+    let run_ns = t0.elapsed().as_nanos() as f64;
+    WorkloadRow {
+        name: app.name.clone(),
+        kernels: jit.len(),
+        times: StageTimes {
+            absint_ns,
+            jit_cold_ns,
+            jit_warm_ns,
+        },
+        run_ns,
+        run_cycles: report.total_cycles,
+    }
+}
+
+fn fmt_ms(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.1}us", ns / 1e3)
+    }
+}
+
+fn stage_json(names: &[&str], ns: &[f64]) -> String {
+    let mut parts: Vec<String> = names
+        .iter()
+        .zip(ns)
+        .map(|(n, v)| format!("\"{n}_ns\": {v:.1}"))
+        .collect();
+    for (i, n) in names.iter().enumerate().skip(1) {
+        parts.push(format!("\"{}_speedup\": {:.3}", n, ns[0] / ns[i].max(1.0)));
+    }
+    format!("{{ {} }}", parts.join(", "))
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let gpu = GpuConfig::titan_x_pascal();
+    let budget_ms: u64 = match scale {
+        Scale::Small => 60,
+        Scale::Full => 250,
+    };
+    let mut apps: Vec<Application> = suite().into_iter().map(|b| (b.build)(scale)).collect();
+    apps.push(vectoradd::build(512));
+    let names: Vec<&str> = configs().iter().map(|(n, _)| *n).collect();
+
+    println!(
+        "perf_analysis ({:?}): stage times per config {:?}",
+        scale, names
+    );
+    let mut rows = Vec::new();
+    for app in &apps {
+        eprintln!("  measuring {}...", app.name);
+        let row = measure(&gpu, app, budget_ms);
+        println!(
+            "{:<16} kernels={:<3} absint[{}] jit_cold[{}] jit_warm[{}] run={}",
+            row.name,
+            row.kernels,
+            row.times
+                .absint_ns
+                .iter()
+                .map(|&v| fmt_ms(v))
+                .collect::<Vec<_>>()
+                .join(" "),
+            row.times
+                .jit_cold_ns
+                .iter()
+                .map(|&v| fmt_ms(v))
+                .collect::<Vec<_>>()
+                .join(" "),
+            row.times
+                .jit_warm_ns
+                .iter()
+                .map(|&v| fmt_ms(v))
+                .collect::<Vec<_>>()
+                .join(" "),
+            fmt_ms(row.run_ns),
+        );
+        rows.push(row);
+    }
+
+    // Geomean speedups vs reference, per stage and config.
+    let speedups = |extract: fn(&StageTimes) -> &Vec<f64>, idx: usize| -> f64 {
+        geomean(
+            &rows
+                .iter()
+                .map(|r| extract(&r.times)[0] / extract(&r.times)[idx].max(1.0))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let absint_affine = speedups(|t| &t.absint_ns, 1);
+    let absint_par8 = speedups(|t| &t.absint_ns, 2);
+    let jit_affine = speedups(|t| &t.jit_cold_ns, 1);
+    let jit_par8 = speedups(|t| &t.jit_cold_ns, 2);
+    println!("geomean speedup vs reference:");
+    println!("  absint: affine {absint_affine:.2}x, parallel8 {absint_par8:.2}x");
+    println!("  jit:    affine {jit_affine:.2}x, parallel8 {jit_par8:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bm-bench/perf_analysis/v1\",\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    ));
+    json.push_str(&format!(
+        "  \"configs\": [{}],\n",
+        names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"workloads\": [\n");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"name\": \"{}\", \"kernels\": {}, \"absint\": {}, \"jit_cold\": {}, \"jit_warm\": {}, \"run_ns\": {:.1}, \"run_cycles\": {} }}",
+                r.name,
+                r.kernels,
+                stage_json(&names, &r.times.absint_ns),
+                stage_json(&names, &r.times.jit_cold_ns),
+                stage_json(&names, &r.times.jit_warm_ns),
+                r.run_ns,
+                r.run_cycles,
+            )
+        })
+        .collect();
+    json.push_str(&body.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"geomean_speedup\": {{ \"absint_affine\": {absint_affine:.3}, \"absint_parallel8\": {absint_par8:.3}, \"jit_affine\": {jit_affine:.3}, \"jit_parallel8\": {jit_par8:.3} }}\n"
+    ));
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analysis.json");
+    std::fs::write(path, &json).expect("write BENCH_analysis.json");
+    println!("wrote {path}");
+}

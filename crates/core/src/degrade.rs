@@ -211,6 +211,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by the capacity bound.
     pub evictions: u64,
+    /// Kernel pairs whose dependency graph was served from the cache.
+    pub graph_hits: u64,
+    /// Kernel pairs whose dependency graph was built from scratch.
+    pub graph_misses: u64,
+    /// Graph entries displaced by the capacity bound.
+    pub graph_evictions: u64,
 }
 
 /// What the cache retains per distinct launch shape: everything the JIT
@@ -230,12 +236,36 @@ pub struct CachedAnalysis {
 /// grid/block dimensions, and the full argument signature — pointer args
 /// included, since access sets embed absolute addresses.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
+pub(crate) struct CacheKey {
     body_hash: u64,
     grid: bm_ptx::kernel::Dim3,
     block: bm_ptx::kernel::Dim3,
     /// `(discriminant, bits)` per argument.
     args: Vec<(u8, u64)>,
+}
+
+/// Key of one cached dependency graph: the (parent, child) launch pair
+/// plus everything else the build depends on — the hazard mode and the
+/// edge budget (which decides barrier degradation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct GraphKey {
+    pub(crate) parent: CacheKey,
+    pub(crate) child: CacheKey,
+    pub(crate) mode: bm_depgraph::HazardMode,
+    pub(crate) max_edges: u64,
+}
+
+/// A memoized dependency graph together with the degradation flags its
+/// construction produced, so replayed kernel pairs (e.g. the iterated
+/// kernel sequences of fdtd2d or hotspot) skip graph construction without
+/// losing the ladder bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedGraph {
+    pub(crate) graph: bm_depgraph::BipartiteGraph,
+    /// The explicit edge count exceeded the budget (graph degraded).
+    pub(crate) over_budget: bool,
+    /// A child degree overflowed the 6-bit counters (graph degraded).
+    pub(crate) degree_overflow: bool,
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -247,7 +277,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn key_of(launch: &Launch) -> CacheKey {
+pub(crate) fn key_of(launch: &Launch) -> CacheKey {
     // The canonical `Display` form round-trips through the parser, so two
     // kernels printing identically are semantically identical.
     let body_hash = fnv1a(launch.kernel.to_string().as_bytes());
@@ -281,6 +311,10 @@ pub struct AnalysisCache {
     /// LRU order, least-recent first. Linear scans are fine at the bounded
     /// capacities this cache runs at.
     order: Vec<CacheKey>,
+    /// Dependency graphs per (parent, child, mode, edge budget), bounded by
+    /// the same capacity with its own LRU order.
+    graphs: HashMap<GraphKey, CachedGraph>,
+    graph_order: Vec<GraphKey>,
     stats: CacheStats,
 }
 
@@ -291,6 +325,8 @@ impl AnalysisCache {
             capacity: capacity.max(1),
             map: HashMap::new(),
             order: Vec::new(),
+            graphs: HashMap::new(),
+            graph_order: Vec::new(),
             stats: CacheStats::default(),
         }
     }
@@ -337,6 +373,49 @@ impl AnalysisCache {
         if let Some(pos) = self.order.iter().position(|k| k == key) {
             let k = self.order.remove(pos);
             self.order.push(k);
+        }
+    }
+
+    /// Non-mutating membership probe (no stats, no LRU refresh) — used by
+    /// the parallel pipeline to decide which launches need fresh analysis
+    /// before it replays the exact serial lookup/insert protocol.
+    pub(crate) fn contains_key(&self, key: &CacheKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Looks up the dependency graph for a kernel pair, refreshing its LRU
+    /// position.
+    pub(crate) fn lookup_graph(&mut self, key: &GraphKey) -> Option<CachedGraph> {
+        match self.graphs.get(key) {
+            Some(hit) => {
+                let hit = hit.clone();
+                if let Some(pos) = self.graph_order.iter().position(|k| k == key) {
+                    let k = self.graph_order.remove(pos);
+                    self.graph_order.push(k);
+                }
+                self.stats.graph_hits += 1;
+                Some(hit)
+            }
+            None => {
+                self.stats.graph_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a built graph, evicting the least-recently-used pair when
+    /// the capacity bound is hit.
+    pub(crate) fn insert_graph(&mut self, key: GraphKey, value: CachedGraph) {
+        if self.graphs.insert(key.clone(), value).is_none() {
+            self.graph_order.push(key);
+            while self.graphs.len() > self.capacity {
+                let victim = self.graph_order.remove(0);
+                self.graphs.remove(&victim);
+                self.stats.graph_evictions += 1;
+            }
+        } else if let Some(pos) = self.graph_order.iter().position(|k| k == &key) {
+            let k = self.graph_order.remove(pos);
+            self.graph_order.push(k);
         }
     }
 

@@ -8,22 +8,25 @@
 
 use bm_cmdq::{ApiCall, Application};
 use bm_depgraph::{
-    build_graph_bounded, storage, BipartiteGraph, GraphStorage, HazardMode, Pattern,
+    build_graph_bounded_par, storage, BipartiteGraph, GraphStorage, HazardMode, Pattern,
 };
-use bm_ptx::absint::{try_analyze_launch_fueled, try_analyze_launch_grouped};
+use bm_ptx::absint::{try_analyze_launch_fueled_par, try_analyze_launch_grouped};
 use bm_ptx::access::{KernelAccess, TbAccess};
 use bm_ptx::error::PtxError;
 use bm_ptx::interp::{ExecError, MAX_STEPS_PER_THREAD};
 use bm_ptx::kernel::Launch;
 use bm_ptx::mem::GlobalMem;
+use bm_ptx::par::{chunk_ranges, ParallelConfig};
 use bm_ptx::trace::trace_block_limited;
 use bm_simt::config::GpuConfig;
 use bm_simt::timing::simulate_sm;
 
 use crate::degrade::{
-    AnalysisBudget, AnalysisCache, CachedAnalysis, Degradation, DegradationReason, DegradationRung,
+    key_of, AnalysisBudget, AnalysisCache, CachedAnalysis, CachedGraph, Degradation,
+    DegradationReason, DegradationRung, GraphKey,
 };
 use crate::hw::MAX_COUNTER;
+use std::collections::{HashMap, HashSet};
 
 /// Timing and resource profile of one kernel launch.
 #[derive(Debug, Clone)]
@@ -108,13 +111,44 @@ pub fn jit_analyze_app_budgeted(
     budget: &AnalysisBudget,
     cache: &mut AnalysisCache,
 ) -> Vec<JitKernel> {
+    jit_analyze_app_par(
+        cfg,
+        app,
+        hazard,
+        budget,
+        cache,
+        &ParallelConfig::reference(),
+    )
+}
+
+/// [`jit_analyze_app_budgeted`] under an explicit [`ParallelConfig`].
+///
+/// With more than one thread, the per-launch analysis phase fans out
+/// across workers: the cache is probed up front (without mutating it),
+/// distinct uncached launches are analyzed concurrently on private scratch
+/// memories, and a sequential replay then applies the exact serial cache
+/// protocol — same lookup/insert order, same LRU evolution, same stats —
+/// so the resulting kernels and cache state are identical to the
+/// one-thread run. `ParallelConfig::reference()` is the pre-parallel
+/// pipeline bit for bit.
+pub fn jit_analyze_app_par(
+    cfg: &GpuConfig,
+    app: &Application,
+    hazard: HazardMode,
+    budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+    par: &ParallelConfig,
+) -> Vec<JitKernel> {
     let launches: Vec<&Launch> = app.launches();
-    let mut scratch = scratch_memory(app);
+    let analyzed = analyze_all(cfg, app, &launches, budget, cache, par);
     let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
-    for (seq, launch) in launches.iter().enumerate() {
-        let analyzed = analyze_launch_ladder(cfg, launch, &mut scratch, budget, cache)
-            .unwrap_or_else(|_| invalid_launch_stub(launch));
-        push_kernel(&mut out, seq as u32, launch, analyzed, hazard, budget);
+    let mut prev: Option<&Launch> = None;
+    for ((seq, launch), result) in launches.iter().enumerate().zip(analyzed) {
+        let analyzed = result.unwrap_or_else(|_| invalid_launch_stub(launch));
+        push_kernel(
+            &mut out, seq as u32, prev, launch, analyzed, hazard, budget, cache, par,
+        );
+        prev = Some(launch);
     }
     out
 }
@@ -150,14 +184,142 @@ pub fn try_jit_analyze_app_budgeted(
     budget: &AnalysisBudget,
     cache: &mut AnalysisCache,
 ) -> Result<Vec<JitKernel>, PtxError> {
+    try_jit_analyze_app_par(
+        cfg,
+        app,
+        hazard,
+        budget,
+        cache,
+        &ParallelConfig::reference(),
+    )
+}
+
+/// Fallible counterpart of [`jit_analyze_app_par`].
+///
+/// # Errors
+///
+/// As [`try_jit_analyze_app`]: the first structurally invalid launch in
+/// launch order.
+pub fn try_jit_analyze_app_par(
+    cfg: &GpuConfig,
+    app: &Application,
+    hazard: HazardMode,
+    budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+    par: &ParallelConfig,
+) -> Result<Vec<JitKernel>, PtxError> {
     let launches: Vec<&Launch> = app.launches();
-    let mut scratch = scratch_memory(app);
+    let analyzed = analyze_all(cfg, app, &launches, budget, cache, par);
     let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
-    for (seq, launch) in launches.iter().enumerate() {
-        let analyzed = analyze_launch_ladder(cfg, launch, &mut scratch, budget, cache)?;
-        push_kernel(&mut out, seq as u32, launch, analyzed, hazard, budget);
+    let mut prev: Option<&Launch> = None;
+    for ((seq, launch), result) in launches.iter().enumerate().zip(analyzed) {
+        push_kernel(
+            &mut out, seq as u32, prev, launch, result?, hazard, budget, cache, par,
+        );
+        prev = Some(launch);
     }
     Ok(out)
+}
+
+/// Analysis phase for a whole launch sequence, in launch order.
+///
+/// One thread: the sequential per-launch ladder on one evolving scratch
+/// memory. More threads: probe → parallel analyze → sequential replay (see
+/// [`jit_analyze_app_par`]). Workers trace on private clones of the
+/// initial scratch; control flow in this IR cannot depend on float data,
+/// so the traces — and every scheduling decision — match the evolving-
+/// scratch run (the same argument that already lets cache hits skip trace
+/// side effects).
+fn analyze_all(
+    cfg: &GpuConfig,
+    app: &Application,
+    launches: &[&Launch],
+    budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+    par: &ParallelConfig,
+) -> Vec<Result<Analyzed, PtxError>> {
+    let threads = par.effective_threads(launches.len());
+    let mut scratch = scratch_memory(app);
+    if threads <= 1 {
+        return launches
+            .iter()
+            .map(|launch| analyze_launch_ladder(cfg, launch, &mut scratch, budget, cache, par))
+            .collect();
+    }
+    // Phase 1 — probe: find the first launch of every distinct uncached
+    // key, without touching stats or LRU order.
+    let keys: Vec<_> = launches.iter().map(|l| key_of(l)).collect();
+    let mut seen = HashSet::new();
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        if !cache.contains_key(key) && seen.insert(key.clone()) {
+            missing.push(i);
+        }
+    }
+    // Phase 2 — analyze the distinct misses concurrently. Each worker owns
+    // a clone of the initial scratch memory.
+    let chunks = chunk_ranges(missing.len(), threads.min(missing.len().max(1)));
+    let missing_ref = &missing;
+    let scratch_ref = &scratch;
+    let mut computed: Vec<Vec<(usize, Result<CachedAnalysis, PtxError>)>> =
+        Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut local_scratch = scratch_ref.clone();
+                    r.map(|j| {
+                        let i = missing_ref[j];
+                        (
+                            i,
+                            compute_analysis(cfg, launches[i], &mut local_scratch, budget, par),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            computed.push(h.join().expect("jit analysis worker panicked"));
+        }
+    });
+    let mut precomputed: HashMap<_, CachedAnalysis> = HashMap::new();
+    for (i, result) in computed.into_iter().flatten() {
+        if let Ok(ca) = result {
+            precomputed.insert(keys[i].clone(), ca);
+        }
+        // Errors are not stored: the replay recomputes them inline, which
+        // is cheap (validation fails before any analysis work).
+    }
+    // Phase 3 — sequential replay of the serial cache protocol.
+    launches
+        .iter()
+        .zip(&keys)
+        .map(|(launch, key)| {
+            if let Some(hit) = cache.lookup(launch) {
+                return Ok(Analyzed {
+                    access: hit.access,
+                    profile: hit.profile,
+                    degradation: hit.degradation,
+                    cache_hit: true,
+                });
+            }
+            let ca = match precomputed.get(key) {
+                Some(ca) => ca.clone(),
+                // Evicted-and-reappearing key, or a launch that failed
+                // validation: recompute inline, exactly as serial would.
+                None => compute_analysis(cfg, launch, &mut scratch, budget, par)?,
+            };
+            cache.insert(launch, ca.clone());
+            Ok(Analyzed {
+                access: ca.access,
+                profile: ca.profile,
+                degradation: ca.degradation,
+                cache_hit: false,
+            })
+        })
+        .collect()
 }
 
 /// Scratch functional memory for trace collection. Traces only shape
@@ -191,6 +353,7 @@ fn analyze_launch_ladder(
     scratch: &mut GlobalMem,
     budget: &AnalysisBudget,
     cache: &mut AnalysisCache,
+    par: &ParallelConfig,
 ) -> Result<Analyzed, PtxError> {
     if let Some(hit) = cache.lookup(launch) {
         return Ok(Analyzed {
@@ -200,10 +363,34 @@ fn analyze_launch_ladder(
             cache_hit: true,
         });
     }
+    let ca = compute_analysis(cfg, launch, scratch, budget, par)?;
+    cache.insert(launch, ca.clone());
+    Ok(Analyzed {
+        access: ca.access,
+        profile: ca.profile,
+        degradation: ca.degradation,
+        cache_hit: false,
+    })
+}
+
+/// The cache-free core of the ladder: per-TB analysis (possibly affine /
+/// multi-threaded per `par`) with coarse and barrier fallbacks, plus the
+/// representative-TB trace profile.
+///
+/// # Errors
+///
+/// [`PtxError`] only for structurally invalid launches.
+fn compute_analysis(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    scratch: &mut GlobalMem,
+    budget: &AnalysisBudget,
+    par: &ParallelConfig,
+) -> Result<CachedAnalysis, PtxError> {
     let mut degradation = Degradation::none();
     let mut fuel = budget.absint_fuel;
-    let access = match try_analyze_launch_fueled(launch, &mut fuel)? {
-        Some(access) => access,
+    let access = match try_analyze_launch_fueled_par(launch, &mut fuel, par)? {
+        Some((access, _stats)) => access,
         None => {
             degradation.worsen(
                 DegradationRung::Coarse,
@@ -242,32 +429,29 @@ fn analyze_launch_ladder(
             fallback_profile(launch)
         }
     };
-    cache.insert(
-        launch,
-        CachedAnalysis {
-            access: access.clone(),
-            profile: profile.clone(),
-            degradation,
-        },
-    );
-    Ok(Analyzed {
+    Ok(CachedAnalysis {
         access,
         profile,
         degradation,
-        cache_hit: false,
     })
 }
 
-/// Graph phase (position-dependent, never cached): builds the dependency
-/// graph against the predecessor under the edge budget and the 6-bit
-/// counter limit, then appends the finished [`JitKernel`].
+/// Graph phase: builds the dependency graph against the predecessor under
+/// the edge budget and the 6-bit counter limit, then appends the finished
+/// [`JitKernel`]. Graphs are memoized per (parent launch, child launch,
+/// hazard, edge budget) — the graph is a pure function of those — so
+/// iterated kernel sequences skip construction entirely on repeats.
+#[allow(clippy::too_many_arguments)]
 fn push_kernel(
     out: &mut Vec<JitKernel>,
     seq: u32,
+    prev_launch: Option<&Launch>,
     launch: &Launch,
     analyzed: Analyzed,
     hazard: HazardMode,
     budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+    par: &ParallelConfig,
 ) {
     let Analyzed {
         access,
@@ -275,21 +459,53 @@ fn push_kernel(
         mut degradation,
         cache_hit,
     } = analyzed;
-    let mut graph = match out.last() {
-        None => BipartiteGraph::independent(0, access.num_blocks() as u32),
-        Some(prev) => {
-            let (g, over) =
-                build_graph_bounded(&prev.access, &access, hazard, budget.max_graph_edges);
-            if over {
-                degradation.worsen(DegradationRung::Barrier, DegradationReason::GraphOverBudget);
+    let (graph, over, degree_over) = match (out.last(), prev_launch) {
+        (Some(prev), Some(pl)) => {
+            let gkey = GraphKey {
+                parent: key_of(pl),
+                child: key_of(launch),
+                mode: hazard,
+                max_edges: budget.max_graph_edges,
+            };
+            match cache.lookup_graph(&gkey) {
+                Some(cg) => (cg.graph, cg.over_budget, cg.degree_overflow),
+                None => {
+                    let (mut g, over) = build_graph_bounded_par(
+                        &prev.access,
+                        &access,
+                        hazard,
+                        budget.max_graph_edges,
+                        par,
+                    );
+                    // Hardware fallback: parent counters are 6-bit; degrees
+                    // above 63 degrade to the fully-connected encoding
+                    // (§IV-C).
+                    let degree_over = !g.is_fully_connected() && g.max_child_degree() > MAX_COUNTER;
+                    if degree_over {
+                        g.degrade_to_fully_connected();
+                    }
+                    cache.insert_graph(
+                        gkey,
+                        CachedGraph {
+                            graph: g.clone(),
+                            over_budget: over,
+                            degree_overflow: degree_over,
+                        },
+                    );
+                    (g, over, degree_over)
+                }
             }
-            g
         }
+        _ => (
+            BipartiteGraph::independent(0, access.num_blocks() as u32),
+            false,
+            false,
+        ),
     };
-    // Hardware fallback: parent counters are 6-bit; degrees above 63
-    // degrade to the fully-connected encoding (§IV-C).
-    if !graph.is_fully_connected() && graph.max_child_degree() > MAX_COUNTER {
-        graph.degrade_to_fully_connected();
+    if over {
+        degradation.worsen(DegradationRung::Barrier, DegradationReason::GraphOverBudget);
+    }
+    if degree_over {
         degradation.worsen(DegradationRung::Barrier, DegradationReason::DegreeOverflow);
     }
     let st = storage(&graph);
@@ -585,6 +801,69 @@ mod tests {
         // ...so the skip gate on K1 is what protects correctness.
         assert_eq!(ks[2].skip_gates, vec![0]);
         assert!(ks[1].skip_gates.is_empty());
+    }
+
+    #[test]
+    fn repeated_pairs_hit_the_graph_cache() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let app = pipeline_app();
+        let budget = AnalysisBudget::default();
+        let mut cache = AnalysisCache::for_budget(&budget);
+        let first = jit_analyze_app_budgeted(&cfg, &app, HazardMode::Raw, &budget, &mut cache);
+        let after_first = cache.stats();
+        assert_eq!(after_first.graph_hits, 0);
+        assert_eq!(after_first.graph_misses, 2, "two consecutive pairs built");
+        let second = jit_analyze_app_budgeted(&cfg, &app, HazardMode::Raw, &budget, &mut cache);
+        let after_second = cache.stats();
+        assert_eq!(after_second.graph_hits, 2, "same pairs served from cache");
+        assert_eq!(after_second.graph_misses, 2);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.graph, b.graph, "cached graph must be identical");
+            assert_eq!(a.degradation, b.degradation);
+            assert!(b.cache_hit);
+        }
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_reference() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let app = pipeline_app();
+        let budget = AnalysisBudget::default();
+        let mut ref_cache = AnalysisCache::for_budget(&budget);
+        let reference = jit_analyze_app_par(
+            &cfg,
+            &app,
+            HazardMode::Raw,
+            &budget,
+            &mut ref_cache,
+            &ParallelConfig::reference(),
+        );
+        for threads in [1usize, 4] {
+            let mut cache = AnalysisCache::for_budget(&budget);
+            let par = jit_analyze_app_par(
+                &cfg,
+                &app,
+                HazardMode::Raw,
+                &budget,
+                &mut cache,
+                &ParallelConfig::with_threads(threads),
+            );
+            assert_eq!(par.len(), reference.len());
+            for (a, b) in reference.iter().zip(&par) {
+                assert_eq!(a.access, b.access, "threads={threads}");
+                assert_eq!(a.graph, b.graph, "threads={threads}");
+                assert_eq!(a.skip_gates, b.skip_gates);
+                assert_eq!(a.cache_hit, b.cache_hit);
+                assert_eq!(a.degradation, b.degradation);
+                assert_eq!(a.profile.duration, b.profile.duration);
+                assert_eq!(a.profile.txns_per_tb, b.profile.txns_per_tb);
+            }
+            assert_eq!(
+                cache.stats(),
+                ref_cache.stats(),
+                "cache protocol must replay identically at threads={threads}"
+            );
+        }
     }
 
     #[test]

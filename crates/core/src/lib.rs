@@ -70,6 +70,7 @@ pub mod jit;
 pub mod modes;
 pub mod streams;
 
+pub use bm_ptx::par::ParallelConfig;
 pub use correctness::{check_no_races, check_schedule, Equivalence, Race};
 pub use degrade::{
     AnalysisBudget, AnalysisCache, CacheStats, CachedAnalysis, Degradation, DegradationReason,
@@ -88,8 +89,8 @@ pub use guard::{
 };
 pub use hw::HwError;
 pub use jit::{
-    jit_analyze_app, jit_analyze_app_budgeted, try_jit_analyze_app, try_jit_analyze_app_budgeted,
-    JitKernel, LaunchProfile,
+    jit_analyze_app, jit_analyze_app_budgeted, jit_analyze_app_par, try_jit_analyze_app,
+    try_jit_analyze_app_budgeted, try_jit_analyze_app_par, JitKernel, LaunchProfile,
 };
 pub use modes::ExecMode;
 pub use streams::{run_streams, StreamAssignment};

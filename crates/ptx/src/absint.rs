@@ -11,12 +11,14 @@
 //! bit; a tainted address reproduces Algorithm 1's conservative bail-out:
 //! the whole kernel is treated as dependent on its predecessor.
 
-use crate::access::{KernelAccess, TbAccess};
+use crate::access::{KernelAccess, RangeSet, TbAccess};
 use crate::cfg::Cfg;
 use crate::error::PtxError;
 use crate::interval::Interval;
 use crate::isa::*;
 use crate::kernel::{ArgValue, Launch};
+use crate::par::{chunk_ranges, ParallelConfig};
+use std::collections::BTreeMap;
 
 /// Joins applied to a block's in-state before widening kicks in.
 const WIDEN_AFTER: u32 = 4;
@@ -26,6 +28,10 @@ const NARROW_PASSES: usize = 2;
 const MAX_POPS_FACTOR: usize = 128;
 /// Address intervals wider than this are treated as unbounded.
 const MAX_ACCESS_SPAN: i128 = 1 << 42;
+/// Minimum 1-D grid size before the affine fast path is worth attempting
+/// (below this, the anchor/sample/certificate overhead exceeds the saving,
+/// and the sample set would not be meaningfully sparser than the grid).
+const AFFINE_MIN_TBS: u32 = 24;
 
 /// An abstract register value: an interval plus a "derived from a loaded
 /// value" taint bit.
@@ -439,6 +445,245 @@ impl std::fmt::Display for AnalysisCut {
     }
 }
 
+/// How a launch analysis was carried out — how many thread blocks were
+/// fully interpreted versus synthesized by the affine fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbsintStats {
+    /// Thread blocks run through the full fixpoint interpretation
+    /// (anchors, boundary blocks, and verification samples included).
+    pub tbs_interpreted: u32,
+    /// Thread blocks whose access sets were synthesized by translating the
+    /// affine model instead of interpreting them.
+    pub tbs_synthesized: u32,
+    /// Whether the affine hypothesis was attempted for this launch
+    /// (1-D grid, enough blocks, fast path enabled).
+    pub affine_attempted: bool,
+    /// Whether the affine hypothesis survived sampling and the span-union
+    /// certificate; `attempted && !accepted` means the launch fell back to
+    /// full per-TB interpretation.
+    pub affine_accepted: bool,
+}
+
+/// The affine per-TB hypothesis: thread block `i`'s access ranges are the
+/// ranges of block 1 translated by `(i - 1) * delta`, with an independent
+/// delta per range (different arrays may advance at different strides).
+struct AffineModel {
+    base_reads: Vec<(u64, u64)>,
+    read_deltas: Vec<i128>,
+    base_writes: Vec<(u64, u64)>,
+    write_deltas: Vec<i128>,
+}
+
+/// Per-range translation distances from `a` to `b`, or `None` when the two
+/// sets are not translates of each other (different range counts or
+/// lengths).
+fn range_deltas(a: &RangeSet, b: &RangeSet) -> Option<Vec<i128>> {
+    let (ar, br) = (a.ranges(), b.ranges());
+    if ar.len() != br.len() {
+        return None;
+    }
+    ar.iter()
+        .zip(br)
+        .map(|(&(s1, e1), &(s2, e2))| {
+            if e1 - s1 == e2 - s2 {
+                Some(s2 as i128 - s1 as i128)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Translates each `base` range by `k` times its delta; `None` on address
+/// overflow (which rejects the affine hypothesis).
+fn translate_ranges(base: &[(u64, u64)], deltas: &[i128], k: i128) -> Option<RangeSet> {
+    let mut out = Vec::with_capacity(base.len());
+    for (&(s, e), &d) in base.iter().zip(deltas) {
+        let off = d.checked_mul(k)?;
+        let ns = (s as i128).checked_add(off)?;
+        let ne = (e as i128).checked_add(off)?;
+        if ns < 0 || ne > u64::MAX as i128 {
+            return None;
+        }
+        out.push((ns as u64, ne as u64));
+    }
+    Some(RangeSet::from_unsorted(out))
+}
+
+impl AffineModel {
+    /// Fits the model to three consecutive anchor blocks: the 1→2 deltas
+    /// must reproduce block 3 exactly, otherwise there is no single affine
+    /// law and the hypothesis is rejected.
+    fn derive(t1: &TbAccess, t2: &TbAccess, t3: &TbAccess) -> Option<Self> {
+        let read_deltas = range_deltas(&t1.reads, &t2.reads)?;
+        if range_deltas(&t2.reads, &t3.reads)? != read_deltas {
+            return None;
+        }
+        let write_deltas = range_deltas(&t1.writes, &t2.writes)?;
+        if range_deltas(&t2.writes, &t3.writes)? != write_deltas {
+            return None;
+        }
+        Some(AffineModel {
+            base_reads: t1.reads.ranges().to_vec(),
+            read_deltas,
+            base_writes: t1.writes.ranges().to_vec(),
+            write_deltas,
+        })
+    }
+
+    /// Predicted access sets of thread block `tb`.
+    fn predict(&self, tb: u32) -> Option<TbAccess> {
+        let k = tb as i128 - 1;
+        Some(TbAccess {
+            reads: translate_ranges(&self.base_reads, &self.read_deltas, k)?,
+            writes: translate_ranges(&self.base_writes, &self.write_deltas, k)?,
+        })
+    }
+}
+
+/// Interior thread blocks whose interpreted sets must match the model
+/// exactly before it is trusted: powers of two plus the quartile blocks,
+/// all within `[4, n-3]` (anchors and boundary blocks are interpreted
+/// unconditionally).
+fn affine_check_tbs(n: u32) -> Vec<u32> {
+    let mut v = vec![n / 4, n / 2, 3 * (n / 4)];
+    let mut p = 4u32;
+    while p < n - 2 {
+        v.push(p);
+        p = p.saturating_mul(2);
+    }
+    v.retain(|&i| i >= 4 && i + 3 <= n);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+enum AffineOutcome {
+    /// Per-TB sets for all `n` blocks (interpreted + synthesized).
+    Accepted(Vec<TbAccess>),
+    /// Hypothesis failed — fall back to full interpretation.
+    Rejected,
+    NonStatic,
+    OutOfFuel,
+}
+
+/// Interprets one thread block, memoizing the result so the full-fallback
+/// path can reuse anchors and samples already paid for.
+fn interp_tb_memo(
+    launch: &Launch,
+    cfg: &Cfg,
+    counts: [usize; 4],
+    tb: u32,
+    fuel: &mut u64,
+    memo: &mut BTreeMap<u32, TbAccess>,
+) -> Result<TbAccess, AnalysisCut> {
+    if let Some(a) = memo.get(&tb) {
+        return Ok(a.clone());
+    }
+    let (bx, by) = launch.block_coords(tb);
+    let env = Env {
+        launch,
+        bx: Interval::point(bx as i128),
+        by: Interval::point(by as i128),
+    };
+    let acc = analyze_span(&env, cfg, counts, fuel)?;
+    memo.insert(tb, acc.clone());
+    Ok(acc)
+}
+
+/// Attempts the affine fast path for a 1-D launch of `n >=
+/// [`AFFINE_MIN_TBS`] blocks.
+///
+/// Protocol: interpret anchors {1,2,3} and boundary blocks {0, n-2, n-1}
+/// (boundary blocks commonly deviate — clamped stencil edges); fit
+/// per-range deltas from the anchors; interpret a logarithmic sample of
+/// interior blocks and require bit-exact agreement with the prediction;
+/// finally run one *span* analysis with `ctaid.x = [1, n-2]` and require
+/// its (sound, over-approximate) union to be contained in the predicted
+/// union — a certificate that catches kernels special-casing unsampled
+/// blocks, since the span analysis cannot prune their accesses.
+///
+/// The residual gap is per-TB *attribution* within the certified union
+/// (two unsampled blocks swapping their slices would pass); the runtime
+/// soundness guard backstops exactly that class.
+fn try_affine(
+    launch: &Launch,
+    cfg: &Cfg,
+    counts: [usize; 4],
+    n: u32,
+    fuel: &mut u64,
+    memo: &mut BTreeMap<u32, TbAccess>,
+) -> AffineOutcome {
+    let interp = |tb: u32, fuel: &mut u64, memo: &mut BTreeMap<u32, TbAccess>| match interp_tb_memo(
+        launch, cfg, counts, tb, fuel, memo,
+    ) {
+        Ok(acc) => Ok(acc),
+        Err(AnalysisCut::OutOfFuel) => Err(AffineOutcome::OutOfFuel),
+        Err(AnalysisCut::NonStatic(_)) => Err(AffineOutcome::NonStatic),
+    };
+    for tb in [0, 1, 2, 3, n - 2, n - 1] {
+        if let Err(out) = interp(tb, fuel, memo) {
+            return out;
+        }
+    }
+    let model = match AffineModel::derive(&memo[&1], &memo[&2], &memo[&3]) {
+        Some(m) => m,
+        None => return AffineOutcome::Rejected,
+    };
+    for tb in affine_check_tbs(n) {
+        let got = match interp(tb, fuel, memo) {
+            Ok(acc) => acc,
+            Err(out) => return out,
+        };
+        match model.predict(tb) {
+            Some(want) if want == got => {}
+            _ => return AffineOutcome::Rejected,
+        }
+    }
+    // Materialize all blocks: memoized where interpreted, synthesized
+    // elsewhere (sampled blocks are bit-equal either way).
+    let mut per_tb = Vec::with_capacity(n as usize);
+    for tb in 0..n {
+        match memo.get(&tb) {
+            Some(acc) => per_tb.push(acc.clone()),
+            None => match model.predict(tb) {
+                Some(acc) => per_tb.push(acc),
+                None => return AffineOutcome::Rejected,
+            },
+        }
+    }
+    // Span-union certificate over the interior blocks.
+    let env = Env {
+        launch,
+        bx: Interval::new(1, n as i128 - 2),
+        by: Interval::point(0),
+    };
+    let u_span = match analyze_span(&env, cfg, counts, fuel) {
+        Ok(acc) => acc,
+        Err(AnalysisCut::OutOfFuel) => return AffineOutcome::OutOfFuel,
+        // Span hulls can lose convergence where per-TB points do not;
+        // that discredits the certificate, not the kernel.
+        Err(AnalysisCut::NonStatic(_)) => return AffineOutcome::Rejected,
+    };
+    let interior = &per_tb[1..=(n as usize - 2)];
+    let union_reads = RangeSet::from_unsorted(
+        interior
+            .iter()
+            .flat_map(|t| t.reads.ranges().to_vec())
+            .collect(),
+    );
+    let union_writes = RangeSet::from_unsorted(
+        interior
+            .iter()
+            .flat_map(|t| t.writes.ranges().to_vec())
+            .collect(),
+    );
+    if !u_span.reads.is_subset_of(&union_reads) || !u_span.writes.is_subset_of(&union_writes) {
+        return AffineOutcome::Rejected;
+    }
+    AffineOutcome::Accepted(per_tb)
+}
+
 /// Analyzes every thread block of `launch`, producing per-TB read/write
 /// sets, or the conservative non-static verdict.
 ///
@@ -506,6 +751,32 @@ pub fn try_analyze_launch_fueled(
     Ok(analyze_launch_fueled_unchecked(launch, fuel))
 }
 
+/// [`try_analyze_launch_fueled`] under an explicit [`ParallelConfig`]:
+/// the per-TB interpretation loop fans out across `par.threads` workers
+/// (fuel split evenly between them, results collected in thread-block
+/// order) and, when `par.affine_fastpath` is set, the affine memoization
+/// fast path may synthesize most per-TB sets from a verified model instead
+/// of interpreting every block.
+///
+/// `ParallelConfig::reference()` runs the exact sequential code path of
+/// [`try_analyze_launch_fueled`], bit for bit. Other configurations
+/// produce identical `KernelAccess` values for launches that complete
+/// within budget; the only behavioral difference under *fuel pressure* is
+/// which degradation outcome is reached, because each worker owns only its
+/// share of the budget.
+///
+/// # Errors
+///
+/// [`PtxError::BadLaunch`] for structurally invalid launches.
+pub fn try_analyze_launch_fueled_par(
+    launch: &Launch,
+    fuel: &mut u64,
+    par: &ParallelConfig,
+) -> Result<Option<(KernelAccess, AbsintStats)>, PtxError> {
+    crate::error::validate_launch(launch)?;
+    Ok(analyze_launch_fueled_par_unchecked(launch, fuel, par))
+}
+
 /// Coarse group-level analysis: the grid is partitioned into at most
 /// `groups` contiguous block ranges and each range is analyzed *once* with
 /// `ctaid` spanning the whole range. Every member TB inherits the group's
@@ -534,8 +805,11 @@ pub fn try_analyze_launch_grouped(
 
 fn analyze_launch_unchecked(launch: &Launch) -> KernelAccess {
     let mut fuel = u64::MAX;
-    match analyze_launch_fueled_unchecked(launch, &mut fuel) {
-        Some(acc) => acc,
+    // One thread, affine fast path on: `analyze_launch` is the convenience
+    // entry point, so it gets the memoized pipeline (and the soundness
+    // suite exercises the affine path through it).
+    match analyze_launch_fueled_par_unchecked(launch, &mut fuel, &ParallelConfig::serial()) {
+        Some((acc, _)) => acc,
         // Unreachable with unbounded fuel; fall back conservatively.
         None => conservative_access(launch.num_blocks()),
     }
@@ -548,28 +822,131 @@ fn conservative_access(n_tbs: u32) -> KernelAccess {
 }
 
 fn analyze_launch_fueled_unchecked(launch: &Launch, fuel: &mut u64) -> Option<KernelAccess> {
+    analyze_launch_fueled_par_unchecked(launch, fuel, &ParallelConfig::reference())
+        .map(|(acc, _)| acc)
+}
+
+fn analyze_launch_fueled_par_unchecked(
+    launch: &Launch,
+    fuel: &mut u64,
+    par: &ParallelConfig,
+) -> Option<(KernelAccess, AbsintStats)> {
     let cfg = Cfg::build(&launch.kernel);
     let counts = max_reg_counts(&launch.kernel.body);
     let n = launch.num_blocks();
-    let mut per_tb = Vec::with_capacity(n as usize);
-    for tb in 0..n {
-        let (bx, by) = launch.block_coords(tb);
-        let env = Env {
-            launch,
-            bx: Interval::point(bx as i128),
-            by: Interval::point(by as i128),
-        };
-        match analyze_span(&env, &cfg, counts, fuel) {
-            Ok(acc) => per_tb.push(acc),
-            Err(AnalysisCut::OutOfFuel) => return None,
-            Err(AnalysisCut::NonStatic(_)) => {
-                // Conservative: the kernel is fully dependent on its
-                // predecessor; access sets are unusable.
-                return Some(conservative_access(n));
+    let mut stats = AbsintStats::default();
+    // Anchors/samples interpreted by a rejected affine attempt are kept so
+    // the fallback does not pay for them twice.
+    let mut memo: BTreeMap<u32, TbAccess> = BTreeMap::new();
+
+    if par.affine_fastpath && launch.grid.y == 1 && n >= AFFINE_MIN_TBS {
+        stats.affine_attempted = true;
+        match try_affine(launch, &cfg, counts, n, fuel, &mut memo) {
+            AffineOutcome::Accepted(per_tb) => {
+                stats.affine_accepted = true;
+                stats.tbs_interpreted = memo.len() as u32;
+                stats.tbs_synthesized = n - memo.len() as u32;
+                return Some((KernelAccess::from_per_tb(per_tb, false), stats));
             }
+            AffineOutcome::NonStatic => {
+                stats.tbs_interpreted = memo.len() as u32;
+                return Some((conservative_access(n), stats));
+            }
+            AffineOutcome::OutOfFuel => return None,
+            AffineOutcome::Rejected => {}
         }
     }
-    Some(KernelAccess::from_per_tb(per_tb, false))
+
+    stats.tbs_interpreted = n;
+    let threads = par.effective_threads(n as usize);
+    if threads <= 1 {
+        // The sequential loop — with an empty memo and the fast path off,
+        // this is the pre-parallel pipeline bit for bit.
+        let mut per_tb = Vec::with_capacity(n as usize);
+        for tb in 0..n {
+            if let Some(acc) = memo.get(&tb) {
+                per_tb.push(acc.clone());
+                continue;
+            }
+            let (bx, by) = launch.block_coords(tb);
+            let env = Env {
+                launch,
+                bx: Interval::point(bx as i128),
+                by: Interval::point(by as i128),
+            };
+            match analyze_span(&env, &cfg, counts, fuel) {
+                Ok(acc) => per_tb.push(acc),
+                Err(AnalysisCut::OutOfFuel) => return None,
+                Err(AnalysisCut::NonStatic(_)) => {
+                    // Conservative: the kernel is fully dependent on its
+                    // predecessor; access sets are unusable.
+                    return Some((conservative_access(n), stats));
+                }
+            }
+        }
+        return Some((KernelAccess::from_per_tb(per_tb, false), stats));
+    }
+
+    // Fan out across workers: contiguous TB chunks, each owning an even
+    // share of the fuel. Workers stop at their chunk's first cut; the
+    // merge takes the first cut in thread-block order, so the outcome is a
+    // pure function of the launch, the budget, and the thread count.
+    let chunks = chunk_ranges(n as usize, threads);
+    let base_share = *fuel / chunks.len() as u64;
+    let extra = *fuel % chunks.len() as u64;
+    let memo_ref = &memo;
+    let cfg_ref = &cfg;
+    let mut outs: Vec<(Vec<TbAccess>, Option<AnalysisCut>, u64)> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let r = r.clone();
+                let share = base_share + u64::from((i as u64) < extra);
+                scope.spawn(move || {
+                    let mut local_fuel = share;
+                    let mut done = Vec::with_capacity(r.len());
+                    let mut cut = None;
+                    for tb in r {
+                        let tb = tb as u32;
+                        if let Some(acc) = memo_ref.get(&tb) {
+                            done.push(acc.clone());
+                            continue;
+                        }
+                        let (bx, by) = launch.block_coords(tb);
+                        let env = Env {
+                            launch,
+                            bx: Interval::point(bx as i128),
+                            by: Interval::point(by as i128),
+                        };
+                        match analyze_span(&env, cfg_ref, counts, &mut local_fuel) {
+                            Ok(acc) => done.push(acc),
+                            Err(c) => {
+                                cut = Some(c);
+                                break;
+                            }
+                        }
+                    }
+                    (done, cut, local_fuel)
+                })
+            })
+            .collect();
+        for h in handles {
+            outs.push(h.join().expect("absint worker panicked"));
+        }
+    });
+    *fuel = outs.iter().map(|(_, _, left)| *left).sum();
+    let mut per_tb = Vec::with_capacity(n as usize);
+    for (done, cut, _) in outs {
+        per_tb.extend(done);
+        match cut {
+            None => {}
+            Some(AnalysisCut::OutOfFuel) => return None,
+            Some(AnalysisCut::NonStatic(_)) => return Some((conservative_access(n), stats)),
+        }
+    }
+    Some((KernelAccess::from_per_tb(per_tb, false), stats))
 }
 
 fn analyze_launch_grouped_unchecked(

@@ -25,6 +25,23 @@ impl RangeSet {
         s
     }
 
+    /// Builds a set from an arbitrary list of ranges in one
+    /// `O(k log k)` sort + linear coalescing pass — the bulk-union
+    /// counterpart of repeated [`RangeSet::insert`], which costs
+    /// `O(k)` per call against an already-large set.
+    pub fn from_unsorted(mut ranges: Vec<(u64, u64)>) -> Self {
+        ranges.retain(|&(s, e)| s < e);
+        ranges.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+        for (s, e) in ranges {
+            match out.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => out.push((s, e)),
+            }
+        }
+        RangeSet { ranges: out }
+    }
+
     /// Whether the set contains no bytes.
     pub fn is_empty(&self) -> bool {
         self.ranges.is_empty()
@@ -81,9 +98,33 @@ impl RangeSet {
     }
 
     /// Whether any byte is shared with `other`.
+    ///
+    /// Hot in dependency-graph construction: screened first by the overall
+    /// bounds, then resolved by a binary-search merge when one side is much
+    /// smaller than the other (each small range locates its overlap
+    /// candidate in `O(log n)`), falling back to the linear two-pointer
+    /// sweep for comparably-sized sets.
     pub fn intersects(&self, other: &RangeSet) -> bool {
+        let (n, m) = (self.ranges.len(), other.ranges.len());
+        if n == 0 || m == 0 {
+            return false;
+        }
+        // Bounds screen: disjoint hulls cannot share a byte.
+        if self.ranges[0].0 >= other.ranges[m - 1].1 || other.ranges[0].0 >= self.ranges[n - 1].1 {
+            return false;
+        }
+        // Galloping path: probe each range of the smaller set into the
+        // larger one when the size disparity makes log(m) probes cheaper
+        // than the m-step sweep.
+        const GALLOP_FACTOR: usize = 16;
+        if n * GALLOP_FACTOR < m {
+            return Self::gallop_intersects(&self.ranges, &other.ranges);
+        }
+        if m * GALLOP_FACTOR < n {
+            return Self::gallop_intersects(&other.ranges, &self.ranges);
+        }
         let (mut i, mut j) = (0, 0);
-        while i < self.ranges.len() && j < other.ranges.len() {
+        while i < n && j < m {
             let (s1, e1) = self.ranges[i];
             let (s2, e2) = other.ranges[j];
             if s1 < e2 && s2 < e1 {
@@ -96,6 +137,35 @@ impl RangeSet {
             }
         }
         false
+    }
+
+    /// For each range of `small`, binary-search the first range of `big`
+    /// ending after its start and test that one candidate for overlap.
+    fn gallop_intersects(small: &[(u64, u64)], big: &[(u64, u64)]) -> bool {
+        for &(s, e) in small {
+            let i = big.partition_point(|&(_, be)| be <= s);
+            if i < big.len() && big[i].0 < e {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether every byte of `self` is also in `other`. Because both sets
+    /// are canonical (sorted, disjoint, coalesced), each range of `self`
+    /// must lie inside a *single* range of `other`.
+    pub fn is_subset_of(&self, other: &RangeSet) -> bool {
+        let mut j = 0usize;
+        for &(s, e) in &self.ranges {
+            while j < other.ranges.len() && other.ranges[j].1 < e {
+                j += 1;
+            }
+            match other.ranges.get(j) {
+                Some(&(os, oe)) if os <= s && e <= oe => {}
+                _ => return false,
+            }
+        }
+        true
     }
 
     /// The intersection with another set.
@@ -168,7 +238,7 @@ pub struct TbAccess {
 
 /// Result of launch-time analysis for one kernel launch: per-TB access sets
 /// plus kernel-level unions, or the conservative "non-static" verdict.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelAccess {
     /// Per-thread-block access sets, indexed by linear block id.
     pub per_tb: Vec<TbAccess>,
@@ -183,17 +253,24 @@ pub struct KernelAccess {
 
 impl KernelAccess {
     /// Builds the kernel-level unions from per-TB sets.
+    ///
+    /// The unions are built by one pre-sized sort-and-coalesce pass over
+    /// all per-TB ranges ([`RangeSet::from_unsorted`]) rather than
+    /// per-range insertion, which is quadratic when thousands of TB
+    /// ranges land in a large union.
     pub fn from_per_tb(per_tb: Vec<TbAccess>, non_static: bool) -> Self {
-        let mut kernel_reads = RangeSet::new();
-        let mut kernel_writes = RangeSet::new();
+        let n_reads: usize = per_tb.iter().map(|t| t.reads.len()).sum();
+        let n_writes: usize = per_tb.iter().map(|t| t.writes.len()).sum();
+        let mut all_reads = Vec::with_capacity(n_reads);
+        let mut all_writes = Vec::with_capacity(n_writes);
         for tb in &per_tb {
-            kernel_reads.union_with(&tb.reads);
-            kernel_writes.union_with(&tb.writes);
+            all_reads.extend_from_slice(tb.reads.ranges());
+            all_writes.extend_from_slice(tb.writes.ranges());
         }
         KernelAccess {
             per_tb,
-            kernel_reads,
-            kernel_writes,
+            kernel_reads: RangeSet::from_unsorted(all_reads),
+            kernel_writes: RangeSet::from_unsorted(all_writes),
             non_static,
         }
     }
@@ -254,6 +331,60 @@ mod tests {
         assert!(!s.contains(25));
         assert!(s.contains(39));
         assert!(!s.contains(9));
+    }
+
+    #[test]
+    fn from_unsorted_matches_insertion() {
+        let cases: Vec<Vec<(u64, u64)>> = vec![
+            vec![],
+            vec![(5, 5)],
+            vec![(10, 20), (30, 40), (20, 30)],
+            vec![(50, 60), (10, 20), (0, 5), (12, 55), (60, 60)],
+            vec![(0, 1), (2, 3), (4, 5), (1, 2)],
+        ];
+        for ranges in cases {
+            let mut by_insert = RangeSet::new();
+            for &(s, e) in &ranges {
+                by_insert.insert(s, e);
+            }
+            let bulk = RangeSet::from_unsorted(ranges.clone());
+            assert_eq!(bulk, by_insert, "for {ranges:?}");
+        }
+    }
+
+    #[test]
+    fn gallop_intersects_matches_sweep() {
+        // A large set vs a small one exercises the galloping path in both
+        // argument orders; a same-size pair exercises the sweep.
+        let big: RangeSet = (0..200u64).map(|i| (10 * i, 10 * i + 4)).collect();
+        for (small_ranges, want) in [
+            (vec![(1995u64, 1999u64)], false), // gap between [1990,1994) and [2000,..)
+            (vec![(1992, 1996)], true),
+            (vec![(5, 8), (7000, 7001)], false),
+            (vec![(5, 11)], true),
+        ] {
+            let small: RangeSet = small_ranges.iter().copied().collect();
+            assert_eq!(small.intersects(&big), want, "{small_ranges:?}");
+            assert_eq!(big.intersects(&small), want, "{small_ranges:?} flipped");
+        }
+        let other: RangeSet = (0..200u64).map(|i| (10 * i + 4, 10 * i + 10)).collect();
+        assert!(!big.intersects(&other));
+        assert!(big.intersects(&RangeSet::single(0, 1)));
+        assert!(!big.intersects(&RangeSet::new()));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a: RangeSet = [(10u64, 20u64), (30, 40)].into_iter().collect();
+        let hull: RangeSet = [(0u64, 50u64)].into_iter().collect();
+        assert!(a.is_subset_of(&hull));
+        assert!(a.is_subset_of(&a));
+        assert!(!hull.is_subset_of(&a));
+        assert!(RangeSet::new().is_subset_of(&a));
+        assert!(!RangeSet::single(15, 35).is_subset_of(&a), "gap 20..30");
+        assert!(!RangeSet::single(39, 41).is_subset_of(&a));
+        let exact: RangeSet = [(10u64, 20u64)].into_iter().collect();
+        assert!(exact.is_subset_of(&a));
     }
 
     #[test]

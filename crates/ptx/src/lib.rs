@@ -12,7 +12,9 @@
 //! * [`taint`]: Algorithm 1's backward address-origin slice;
 //! * [`absint`]: per-thread-block value-range analysis producing the
 //!   read/write sets that inter-kernel dependency graphs are built from;
-//! * [`trace`]: dynamic warp traces feeding the `bm-simt` timing model.
+//! * [`trace`]: dynamic warp traces feeding the `bm-simt` timing model;
+//! * [`par`]: the [`ParallelConfig`] knob and deterministic fork/join
+//!   helper the whole analysis pipeline shares.
 //!
 //! ## Example: extract per-TB write sets at launch time
 //!
@@ -53,6 +55,7 @@ pub mod isa;
 pub mod kernel;
 pub mod lexer;
 pub mod mem;
+pub mod par;
 pub mod parser;
 pub mod print;
 pub mod taint;
@@ -62,3 +65,4 @@ pub use access::{KernelAccess, RangeSet, TbAccess};
 pub use error::PtxError;
 pub use kernel::{ArgValue, Dim3, Kernel, Launch, Param};
 pub use mem::{AddressSpace, AllocId, AllocInfo, GlobalMem};
+pub use par::ParallelConfig;

@@ -1,0 +1,168 @@
+//! Deterministic parallelism for the launch-time analysis pipeline.
+//!
+//! BlockMaestro's premise is that TB-level dependency analysis is cheap
+//! enough to run at kernel-launch time; the work is embarrassingly parallel
+//! across thread blocks, child-TB queries, and kernels. This module holds
+//! the knob every stage shares — [`ParallelConfig`] — and a scoped-thread
+//! fork/join helper with *deterministic output ordering*: results are
+//! always collected in item order, so the only thing the thread count
+//! changes is wall-clock time, never bytes of output.
+//!
+//! `ParallelConfig::reference()` (one thread, affine fast path off)
+//! reproduces the pre-parallel pipeline bit-for-bit and is the baseline
+//! every other configuration is property-tested against.
+
+use std::ops::Range;
+
+/// Configuration of the launch-time analysis pipeline: worker threads and
+/// the affine per-TB memoization fast path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads for per-TB interpretation, per-child-TB graph
+    /// queries, and per-kernel analysis. `1` runs every stage on the
+    /// calling thread over the exact sequential code path.
+    pub threads: usize,
+    /// Whether the affine-access fast path may synthesize per-TB access
+    /// sets by translation instead of interpreting every thread block
+    /// (see `bm_ptx::absint`). Verified per launch; rejection falls back
+    /// to full interpretation, so disabling this only costs time.
+    pub affine_fastpath: bool,
+}
+
+impl ParallelConfig {
+    /// All available cores plus the affine fast path — the production
+    /// configuration.
+    pub fn max_parallel() -> Self {
+        ParallelConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            affine_fastpath: true,
+        }
+    }
+
+    /// One thread, affine fast path on: sequential but memoized.
+    pub fn serial() -> Self {
+        ParallelConfig {
+            threads: 1,
+            affine_fastpath: true,
+        }
+    }
+
+    /// The bit-for-bit pre-parallel pipeline: one thread, every TB fully
+    /// interpreted. This is the behavior all other configurations are
+    /// checked against.
+    pub fn reference() -> Self {
+        ParallelConfig {
+            threads: 1,
+            affine_fastpath: false,
+        }
+    }
+
+    /// `threads` workers with the affine fast path enabled.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+            affine_fastpath: true,
+        }
+    }
+
+    /// Worker count actually used for `items` work items.
+    pub fn effective_threads(&self, items: usize) -> usize {
+        self.threads.max(1).min(items.max(1))
+    }
+}
+
+impl Default for ParallelConfig {
+    /// Defaults to [`ParallelConfig::max_parallel`].
+    fn default() -> Self {
+        ParallelConfig::max_parallel()
+    }
+}
+
+/// Splits `0..n` into at most `threads` contiguous chunks (sizes differing
+/// by at most one), runs `work` on each chunk — concurrently when
+/// `threads > 1` — and concatenates the per-chunk outputs *in chunk
+/// order*. The output is therefore identical for every thread count as
+/// long as `work` is a pure function of its range.
+pub fn par_chunks<T, F>(threads: usize, n: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n == 0 {
+        return work(0..n);
+    }
+    let ranges = chunk_ranges(n, threads);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(|| work(r)))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("analysis worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// The contiguous chunk decomposition used by [`par_chunks`]: `threads`
+/// ranges covering `0..n` in order.
+pub fn chunk_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.max(1).min(n.max(1));
+    let base = n / threads;
+    let rem = n % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut lo = 0usize;
+    for i in 0..threads {
+        let len = base + usize::from(i < rem);
+        ranges.push(lo..lo + len);
+        lo += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        for n in [0usize, 1, 2, 7, 8, 9, 100] {
+            for t in [1usize, 2, 3, 8, 64] {
+                let ranges = chunk_ranges(n, t);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} t={t}");
+                // Balanced: sizes differ by at most one.
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                if let (Some(&mx), Some(&mn)) = (sizes.iter().max(), sizes.iter().min()) {
+                    assert!(mx - mn <= 1, "n={n} t={t} sizes {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_order_is_thread_count_invariant() {
+        let work = |r: Range<usize>| r.map(|i| i * i).collect::<Vec<_>>();
+        let serial = par_chunks(1, 37, work);
+        for t in [2usize, 3, 8, 16] {
+            assert_eq!(par_chunks(t, 37, work), serial, "threads={t}");
+        }
+        assert_eq!(serial.len(), 37);
+        assert_eq!(serial[6], 36);
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(ParallelConfig::reference().threads, 1);
+        assert!(!ParallelConfig::reference().affine_fastpath);
+        assert!(ParallelConfig::serial().affine_fastpath);
+        assert!(ParallelConfig::max_parallel().threads >= 1);
+        assert_eq!(ParallelConfig::with_threads(0).threads, 1);
+        assert_eq!(ParallelConfig::with_threads(8).effective_threads(3), 3);
+        assert_eq!(ParallelConfig::with_threads(2).effective_threads(100), 2);
+    }
+}

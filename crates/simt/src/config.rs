@@ -5,6 +5,12 @@
 //! The simulated core clock is 1 GHz so one cycle is one nanosecond; all
 //! latencies below are in cycles.
 
+/// Re-export of the launch-time analysis pipeline configuration so
+/// simulator users configure GPU and toolchain parallelism from one place
+/// (`threads = 1` with the affine fast path off reproduces the sequential
+/// pipeline bit-for-bit).
+pub use bm_ptx::par::ParallelConfig;
+
 /// Configuration of the simulated GPU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {

@@ -21,6 +21,6 @@ pub mod des;
 pub mod stats;
 pub mod timing;
 
-pub use config::GpuConfig;
+pub use config::{GpuConfig, ParallelConfig};
 pub use des::{DeadlockSnapshot, DesError, DesStats, TbDescriptor, TbKey, TbSource};
 pub use timing::{simulate_sm, SmTiming};

@@ -1,0 +1,116 @@
+//! The parallel analysis pipeline must be an *optimization*, not a
+//! behavior change: for any application, `ParallelConfig::serial()`
+//! (affine fast path on) and `ParallelConfig::with_threads(8)` must
+//! produce bit-identical JIT results — access sets, dependency graphs,
+//! skip gates, degradation ladders, cache hits — and identical simulated
+//! schedules, compared against `ParallelConfig::reference()` (one thread,
+//! affine off: the pre-parallel pipeline).
+
+mod common;
+
+use blockmaestro::{
+    jit_analyze_app_par, run_analyzed, AnalysisBudget, AnalysisCache, ExecMode, ParallelConfig,
+};
+use bm_depgraph::HazardMode;
+use bm_simt::GpuConfig;
+use bm_testkit::{check_cases, prop_ensure, Rng};
+use common::{build_random_app, KernelSpec};
+
+/// Draws a spec with grids large enough (40..100 TBs) to clear the affine
+/// fast path's minimum-grid threshold, unlike the default generator.
+fn gen_large_spec(rng: &mut Rng, n_buffers: usize) -> KernelSpec {
+    let mut s = KernelSpec {
+        src_buf: rng.range_usize(0, n_buffers),
+        dst_buf: rng.range_usize(0, n_buffers),
+        shift: rng.range_u32(0, 70),
+        tbs: rng.range_u32(40, 100),
+    };
+    if s.src_buf == s.dst_buf {
+        s.dst_buf = (s.dst_buf + 1) % n_buffers;
+    }
+    s
+}
+
+#[test]
+fn parallel_and_affine_match_reference() {
+    check_cases(0xD373, 32, |rng| {
+        let n_buffers = rng.range_usize(2, 5);
+        let n_specs = rng.range_usize(2, 6);
+        let specs: Vec<KernelSpec> = (0..n_specs)
+            .map(|_| gen_large_spec(rng, n_buffers))
+            .collect();
+        let app = build_random_app(n_buffers, &specs);
+        let cfg = GpuConfig::small();
+        let budget = AnalysisBudget::default();
+
+        let mut ref_cache = AnalysisCache::for_budget(&budget);
+        let reference = jit_analyze_app_par(
+            &cfg,
+            &app,
+            HazardMode::Raw,
+            &budget,
+            &mut ref_cache,
+            &ParallelConfig::reference(),
+        );
+        let ref_report = run_analyzed(
+            &cfg,
+            &app,
+            &reference,
+            ExecMode::ConsumerPriority { window: 3 },
+        );
+
+        for par in [ParallelConfig::serial(), ParallelConfig::with_threads(8)] {
+            let mut cache = AnalysisCache::for_budget(&budget);
+            let jit = jit_analyze_app_par(&cfg, &app, HazardMode::Raw, &budget, &mut cache, &par);
+            prop_ensure!(
+                jit.len() == reference.len(),
+                "kernel count diverged under {par:?} for specs {specs:?}"
+            );
+            for (got, want) in jit.iter().zip(&reference) {
+                prop_ensure!(
+                    got.access == want.access,
+                    "access sets diverged for kernel {} under {par:?}, specs {specs:?}",
+                    got.seq
+                );
+                prop_ensure!(
+                    got.graph == want.graph,
+                    "graph diverged for kernel {} under {par:?}, specs {specs:?}",
+                    got.seq
+                );
+                prop_ensure!(
+                    got.skip_gates == want.skip_gates,
+                    "skip gates diverged for kernel {} under {par:?}, specs {specs:?}",
+                    got.seq
+                );
+                prop_ensure!(
+                    got.degradation == want.degradation,
+                    "degradation diverged for kernel {} under {par:?}, specs {specs:?}",
+                    got.seq
+                );
+                prop_ensure!(
+                    got.cache_hit == want.cache_hit,
+                    "cache hit diverged for kernel {} under {par:?}, specs {specs:?}",
+                    got.seq
+                );
+                prop_ensure!(
+                    got.profile.duration == want.profile.duration
+                        && got.profile.txns_per_tb == want.profile.txns_per_tb
+                        && got.profile.n_tbs == want.profile.n_tbs,
+                    "profile diverged for kernel {} under {par:?}, specs {specs:?}",
+                    got.seq
+                );
+            }
+            prop_ensure!(
+                cache.stats() == ref_cache.stats(),
+                "cache stats diverged under {par:?} for specs {specs:?}"
+            );
+            let report = run_analyzed(&cfg, &app, &jit, ExecMode::ConsumerPriority { window: 3 });
+            prop_ensure!(
+                report.total_cycles == ref_report.total_cycles
+                    && report.kernel_region_cycles == ref_report.kernel_region_cycles,
+                "simulated schedule diverged under {par:?} for specs {specs:?}"
+            );
+        }
+        Ok(())
+    });
+}
