@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! bmrun <APP|all> [--mode MODE] [--window N] [--small] [--all-hazards]
-//!       [--verify] [--races] [--patterns]
+//!       [--verify] [--races] [--patterns] [--json]
+//!       [--trace OUT.json] [--trace-summary]
 //! ```
 //!
 //! * `APP` — a Table II name (`3MM`, `AlexNet`, `BICG`, `FDTD-2D`, `FFT`,
@@ -16,19 +17,31 @@
 //!   serialized execution.
 //! * `--races` — run the inter-kernel race detector on the schedule.
 //! * `--patterns` — print the per-kernel-pair dependency patterns.
+//! * `--json` — print the full `RunReport` as JSON on stdout (suppresses
+//!   the human-readable line).
+//! * `--trace OUT.json` — record the run and write a Chrome trace-event
+//!   file loadable in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+//!   With `all`, the app name is inserted before the extension.
+//! * `--trace-summary` — print a compact text digest of the recorded
+//!   trace (implies recording; no file is needed).
 //!
-//! Example: `cargo run --release -p bm-bench --bin bmrun -- GAUSSIAN --mode consumer --window 4 --verify`
+//! Example: `cargo run --release -p bm-bench --bin bmrun -- GAUSSIAN --mode consumer --window 4 --trace out.json`
 
-use blockmaestro::{check_no_races, check_schedule, run_app_with, ExecMode};
+use blockmaestro::{check_no_races, check_schedule, run_app_with, run_app_with_tracer, ExecMode};
 use bm_depgraph::HazardMode;
 use bm_simt::GpuConfig;
+use bm_trace::json::Json;
+use bm_trace::{export_chrome_trace, summarize, RecordingTracer};
 use bm_workloads::{suite, Scale};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: bmrun <APP|all> [--mode MODE] [--window N] [--small] [--all-hazards] [--verify] [--races] [--patterns]");
+        eprintln!(
+            "usage: bmrun <APP|all> [--mode MODE] [--window N] [--small] [--all-hazards] \
+             [--verify] [--races] [--patterns] [--json] [--trace OUT.json] [--trace-summary]"
+        );
         return ExitCode::from(2);
     }
     let app_name = args[0].clone();
@@ -73,21 +86,60 @@ fn main() -> ExitCode {
         eprintln!("unknown application `{app_name}` (try `all`)");
         return ExitCode::from(2);
     }
+    let trace_path = value("--trace");
+    let tracing = trace_path.is_some() || flag("--trace-summary");
+    let json_out = flag("--json");
+    let multi = benches.len() > 1;
+    let mut json_reports: Vec<Json> = Vec::new();
     let mut failed = false;
     for bench in benches {
         let app = (bench.build)(scale);
         let base = run_app_with(&cfg, &app, ExecMode::Baseline, hazard);
-        let report = run_app_with(&cfg, &app, mode, hazard);
-        println!(
-            "{:<10} {:>4} kernels  {mode}: {:>10} cycles ({:.1} us)  baseline: {:>10}  speedup {:.3}x  concurrency {:.1}",
-            bench.name,
-            report.num_kernels,
-            report.total_cycles,
-            cfg.cycles_to_us(report.total_cycles),
-            base.total_cycles,
-            base.total_cycles as f64 / report.total_cycles as f64,
-            report.avg_concurrency,
-        );
+        let (report, recorded) = if tracing {
+            let tracer = RecordingTracer::new();
+            let report = run_app_with_tracer(&cfg, &app, mode, hazard, &tracer);
+            (report, Some(tracer.events()))
+        } else {
+            (run_app_with(&cfg, &app, mode, hazard), None)
+        };
+        if let (Some(path), Some(events)) = (trace_path.as_deref(), recorded.as_deref()) {
+            // `bmrun all --trace out.json` writes out.GAUSSIAN.json etc.
+            let path = if multi {
+                match path.rsplit_once('.') {
+                    Some((stem, ext)) => format!("{stem}.{}.{ext}", bench.name),
+                    None => format!("{path}.{}", bench.name),
+                }
+            } else {
+                path.to_string()
+            };
+            if let Err(e) = std::fs::write(&path, export_chrome_trace(events)) {
+                eprintln!("cannot write trace `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if json_out {
+            let mut obj = report.to_json();
+            if let Json::Obj(map) = &mut obj {
+                map.insert("app".into(), Json::str(bench.name));
+            }
+            json_reports.push(obj);
+        } else {
+            println!(
+                "{:<10} {:>4} kernels  {mode}: {:>10} cycles ({:.1} us)  baseline: {:>10}  speedup {:.3}x  concurrency {:.1}",
+                bench.name,
+                report.num_kernels,
+                report.total_cycles,
+                cfg.cycles_to_us(report.total_cycles),
+                base.total_cycles,
+                base.total_cycles as f64 / report.total_cycles as f64,
+                report.avg_concurrency,
+            );
+        }
+        if let (true, Some(events)) = (flag("--trace-summary"), recorded.as_deref()) {
+            for line in summarize(events).lines() {
+                println!("    {line}");
+            }
+        }
         if flag("--patterns") {
             for (i, (name, p)) in report.patterns.iter().enumerate().skip(1) {
                 println!("    K{:<4} {:<14} {}", i, name, p);
@@ -123,6 +175,14 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    if json_out {
+        let doc = if json_reports.len() == 1 {
+            json_reports.remove(0)
+        } else {
+            Json::Arr(json_reports)
+        };
+        println!("{doc}");
     }
     if failed {
         ExitCode::FAILURE

@@ -30,4 +30,6 @@ pub mod reorder;
 pub use api::{ApiCall, Application};
 pub use deps::{build_call_dag, call_effects, CallDag, CallEffects};
 pub use error::CmdqError;
-pub use reorder::{is_valid_order, reorder_for_prelaunch, Reordering};
+pub use reorder::{
+    is_valid_order, reorder_for_prelaunch, reorder_for_prelaunch_traced, Reordering,
+};

@@ -7,6 +7,7 @@
 
 use crate::api::{ApiCall, Application};
 use crate::deps::build_call_dag;
+use bm_trace::{CmdKind, NullTracer, TraceEvent, Tracer};
 
 /// The result of reordering: the permutation and convenience accessors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +38,25 @@ impl Reordering {
 /// (in original order) — which is exactly "move kernel launches as close
 /// together as possible".
 pub fn reorder_for_prelaunch(app: &Application) -> Reordering {
+    reorder_for_prelaunch_traced(app, &NullTracer)
+}
+
+fn cmd_kind(call: &ApiCall) -> CmdKind {
+    match call {
+        ApiCall::Malloc { .. } => CmdKind::Malloc,
+        ApiCall::MemcpyH2D { .. } => CmdKind::MemcpyH2D,
+        ApiCall::MemcpyD2H { .. } => CmdKind::MemcpyD2H,
+        ApiCall::KernelLaunch(_) => CmdKind::Launch,
+        _ => CmdKind::Sync,
+    }
+}
+
+/// [`reorder_for_prelaunch`] with a trace sink: emits one
+/// [`TraceEvent::CmdqSubmit`] per call in the reordered stream (timestamped
+/// on the stream-position clock), so the trace shows exactly how far each
+/// command was hoisted. Pure observation — the returned [`Reordering`] is
+/// identical to the untraced call.
+pub fn reorder_for_prelaunch_traced<T: Tracer>(app: &Application, tracer: &T) -> Reordering {
     let dag = build_call_dag(app);
     let n = app.calls.len();
     let mut indegree: Vec<usize> = dag.preds.iter().map(|p| p.len()).collect();
@@ -72,6 +92,15 @@ pub fn reorder_for_prelaunch(app: &Application) -> Reordering {
         order.push(i);
         for &s in &succs[i] {
             indegree[s] -= 1;
+        }
+    }
+    if T::ENABLED {
+        for (pos, &orig) in order.iter().enumerate() {
+            tracer.emit(TraceEvent::CmdqSubmit {
+                pos: pos as u32,
+                orig: orig as u32,
+                kind: cmd_kind(&app.calls[orig]),
+            });
         }
     }
     Reordering { order }
@@ -198,6 +227,29 @@ mod tests {
         assert!(pos(6) > pos(3));
         // K1 (orig 2) stays before the barrier.
         assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn traced_reorder_is_inert_and_emits_submits() {
+        use bm_trace::RecordingTracer;
+        let app = fig5_app();
+        let tracer = RecordingTracer::new();
+        let traced = reorder_for_prelaunch_traced(&app, &tracer);
+        assert_eq!(traced, reorder_for_prelaunch(&app));
+        let events = tracer.events();
+        assert_eq!(events.len(), app.calls.len());
+        // Events are on the position clock, in stream order, and record
+        // the permutation exactly.
+        for (pos, ev) in events.iter().enumerate() {
+            let bm_trace::TraceEvent::CmdqSubmit { pos: p, orig, kind } = ev else {
+                panic!("expected CmdqSubmit, got {ev:?}");
+            };
+            assert_eq!(*p as usize, pos);
+            assert_eq!(traced.order[pos], *orig as usize);
+            if matches!(app.calls[*orig as usize], ApiCall::KernelLaunch(_)) {
+                assert_eq!(*kind, bm_trace::CmdKind::Launch);
+            }
+        }
     }
 
     #[test]

@@ -160,6 +160,11 @@ pub struct Degradation {
     pub rung: DegradationRung,
     /// What pushed the kernel onto it.
     pub reason: DegradationReason,
+    /// The simulation cycle at which the degraded analysis took effect:
+    /// the kernel's issue cycle, stamped by the engine when the report is
+    /// assembled. Zero until then (analysis runs before simulated time
+    /// exists) and zero for non-degraded kernels.
+    pub at_cycle: u64,
 }
 
 impl Default for Degradation {
@@ -174,6 +179,7 @@ impl Degradation {
         Degradation {
             rung: DegradationRung::Precise,
             reason: DegradationReason::None,
+            at_cycle: 0,
         }
     }
 

@@ -10,6 +10,7 @@
 
 #![deny(clippy::unwrap_used)]
 
+use crate::degrade::{AnalysisBudget, AnalysisCache};
 use crate::degrade::{Degradation, DegradationRung, PressureEvent};
 use crate::error::EngineError;
 use crate::faults::FaultPlan;
@@ -17,17 +18,19 @@ use crate::guard::GuardReport;
 use crate::hw::{
     DepListBuffer, HwError, HwTraffic, ParentCounterBuffer, BUFFER_ENTRIES, MAX_COUNTER,
 };
-use crate::jit::{jit_analyze_app, JitKernel};
+use crate::jit::{jit_analyze_app, jit_analyze_app_traced, JitKernel};
 use crate::modes::ExecMode;
-use bm_cmdq::{build_call_dag, reorder_for_prelaunch, ApiCall, Application, Reordering};
+use bm_cmdq::{build_call_dag, reorder_for_prelaunch_traced, ApiCall, Application, Reordering};
 use bm_depgraph::{GraphKind, HazardMode, Pattern};
 use bm_simt::config::GpuConfig;
 use bm_simt::des::{self, DesError, DesStats, TbDescriptor, TbKey, TbSource};
+use bm_trace::json::Json;
+use bm_trace::{NullTracer, StallReason, TbId, TraceEvent, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Results of one application run under one execution mode.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// The mode that produced this report.
     pub mode: ExecMode,
@@ -90,6 +93,143 @@ impl RunReport {
     pub fn storage_ratio(&self) -> Option<f64> {
         (self.storage_plain > 0).then(|| self.storage_encoded as f64 / self.storage_plain as f64)
     }
+
+    /// The full report as a machine-readable JSON value (`bmrun --json`).
+    ///
+    /// Object keys are emitted in sorted order, so equal reports serialize
+    /// to byte-identical JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::Str(format!("{:?}", self.mode))),
+            ("total_cycles", Json::int(self.total_cycles)),
+            ("kernel_region_cycles", Json::int(self.kernel_region_cycles)),
+            ("avg_concurrency", Json::Num(self.avg_concurrency)),
+            (
+                "stalls_normalized",
+                Json::Arr(
+                    self.stalls_normalized
+                        .iter()
+                        .map(|&s| Json::Num(s))
+                        .collect(),
+                ),
+            ),
+            (
+                "baseline_mem_requests",
+                Json::int(self.baseline_mem_requests),
+            ),
+            (
+                "overhead_mem_requests",
+                Json::int(self.overhead_mem_requests),
+            ),
+            (
+                "hw_traffic",
+                Json::obj([
+                    (
+                        "dep_list_fetches",
+                        Json::int(self.hw_traffic.dep_list_fetches),
+                    ),
+                    (
+                        "counter_fetches",
+                        Json::int(self.hw_traffic.counter_fetches),
+                    ),
+                    (
+                        "counter_writebacks",
+                        Json::int(self.hw_traffic.counter_writebacks),
+                    ),
+                ]),
+            ),
+            ("storage_encoded", Json::int(self.storage_encoded)),
+            ("storage_plain", Json::int(self.storage_plain)),
+            (
+                "patterns",
+                Json::Arr(
+                    self.patterns
+                        .iter()
+                        .map(|(name, p)| {
+                            Json::obj([
+                                ("kernel", Json::str(name)),
+                                ("pattern", Json::Str(format!("{p:?}"))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "schedule",
+                Json::Arr(
+                    self.schedule
+                        .iter()
+                        .map(|&(key, start, finish)| {
+                            Json::obj([
+                                ("kernel", Json::int(key.kernel_seq as u64)),
+                                ("tb", Json::int(key.tb as u64)),
+                                ("start", Json::int(start)),
+                                ("finish", Json::int(finish)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("num_kernels", Json::int(self.num_kernels as u64)),
+            ("dlb_high_water", Json::int(self.dlb_high_water as u64)),
+            ("pcb_high_water", Json::int(self.pcb_high_water as u64)),
+            (
+                "guard",
+                Json::obj([
+                    (
+                        "violations_detected",
+                        Json::int(self.guard.violations_detected),
+                    ),
+                    (
+                        "kernels_quarantined",
+                        Json::int(self.guard.kernels_quarantined),
+                    ),
+                    (
+                        "recovery_rounds",
+                        Json::int(self.guard.recovery_rounds as u64),
+                    ),
+                    (
+                        "cycles_lost_to_fallback",
+                        Json::int(self.guard.cycles_lost_to_fallback),
+                    ),
+                ]),
+            ),
+            (
+                "degradation",
+                Json::Arr(
+                    self.degradation
+                        .iter()
+                        .map(|(name, d)| {
+                            Json::obj([
+                                ("kernel", Json::str(name)),
+                                ("rung", Json::Str(d.rung.to_string())),
+                                ("reason", Json::Str(d.reason.to_string())),
+                                ("at_cycle", Json::int(d.at_cycle)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("cache_hits", Json::int(self.cache_hits)),
+            ("cache_misses", Json::int(self.cache_misses)),
+            (
+                "pressure_events",
+                Json::Arr(
+                    self.pressure_events
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("cycle", Json::int(p.cycle)),
+                                ("spill_traffic", Json::int(p.spill_traffic)),
+                                ("window_before", Json::int(p.window_before as u64)),
+                                ("window_after", Json::int(p.window_after as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Runs `app` under `mode` with the paper's default RAW-only hazard
@@ -107,6 +247,31 @@ pub fn run_app_with(
 ) -> RunReport {
     let jit = jit_analyze_app(cfg, app, hazard);
     run_analyzed(cfg, app, &jit, mode)
+}
+
+/// [`run_app_with`] with a trace sink observing the whole pipeline:
+/// launch-time analysis (tick clock), command-queue reordering (position
+/// clock), and the DES execution itself (cycle clock).
+///
+/// Tracing is provably inert: this function with [`NullTracer`] is
+/// [`run_app_with`] exactly, and with any recording sink the returned
+/// [`RunReport`] is still bit-identical — the determinism suite enforces
+/// it per [`ExecMode`].
+///
+/// # Panics
+///
+/// As [`run_analyzed`]; use [`try_run_analyzed_traced`] for typed errors.
+pub fn run_app_with_tracer<T: Tracer>(
+    cfg: &GpuConfig,
+    app: &Application,
+    mode: ExecMode,
+    hazard: HazardMode,
+    tracer: &T,
+) -> RunReport {
+    let budget = AnalysisBudget::default();
+    let mut cache = AnalysisCache::for_budget(&budget);
+    let jit = jit_analyze_app_traced(cfg, app, hazard, &budget, &mut cache, tracer);
+    try_run_analyzed_traced(cfg, app, &jit, mode, tracer).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs an already-analyzed application (lets callers share the JIT pass
@@ -141,6 +306,21 @@ pub fn try_run_analyzed(
     try_run_analyzed_faulty(cfg, app, jit, mode, &FaultPlan::default())
 }
 
+/// [`try_run_analyzed`] with a trace sink (fault-free plan).
+///
+/// # Errors
+///
+/// As [`try_run_analyzed`].
+pub fn try_run_analyzed_traced<T: Tracer>(
+    cfg: &GpuConfig,
+    app: &Application,
+    jit: &[JitKernel],
+    mode: ExecMode,
+    tracer: &T,
+) -> Result<RunReport, EngineError> {
+    try_run_analyzed_faulty_traced(cfg, app, jit, mode, &FaultPlan::default(), tracer)
+}
+
 /// Fallible run with a [`FaultPlan`] injected into the dependency
 /// hardware. The entry point of the fault-injection harness; a default
 /// (empty) plan makes it identical to [`try_run_analyzed`].
@@ -156,14 +336,34 @@ pub fn try_run_analyzed_faulty(
     mode: ExecMode,
     fault: &FaultPlan,
 ) -> Result<RunReport, EngineError> {
+    try_run_analyzed_faulty_traced(cfg, app, jit, mode, fault, &NullTracer)
+}
+
+/// [`try_run_analyzed_faulty`] with a trace sink: the single execution
+/// path every engine entry point funnels through. With [`NullTracer`]
+/// every emission site compiles out; with a recording sink the run emits
+/// kernel lifecycle, TB readiness/stall, scheduler-buffer, backpressure
+/// and command-queue events — without perturbing the simulation.
+///
+/// # Errors
+///
+/// As [`try_run_analyzed_faulty`].
+pub fn try_run_analyzed_faulty_traced<T: Tracer>(
+    cfg: &GpuConfig,
+    app: &Application,
+    jit: &[JitKernel],
+    mode: ExecMode,
+    fault: &FaultPlan,
+    tracer: &T,
+) -> Result<RunReport, EngineError> {
     let order = if mode.prelaunches() {
-        reorder_for_prelaunch(app)
+        reorder_for_prelaunch_traced(app, tracer)
     } else {
         Reordering::identity(app.calls.len())
     };
     let (host_ready, epilogue) = host_timeline(cfg, app, &order, mode);
-    let mut source = EngineSource::new(cfg, jit, mode, host_ready, fault);
-    match des::try_run(cfg, &mut source) {
+    let mut source = EngineSource::new(cfg, jit, mode, host_ready, fault, tracer);
+    match des::try_run_traced(cfg, &mut source, tracer) {
         Ok(stats) => match source.error.take() {
             Some(e) => Err(e),
             None => Ok(assemble_report(cfg, jit, mode, &source, stats, epilogue)),
@@ -295,7 +495,7 @@ struct KernelState {
     complete: bool,
 }
 
-struct EngineSource<'a> {
+struct EngineSource<'a, T: Tracer> {
     mode: ExecMode,
     /// Effective pre-launch window; shrinks under admission backpressure.
     window: usize,
@@ -329,15 +529,21 @@ struct EngineSource<'a> {
     /// cannot starve the retirement-critical producer when thread-block
     /// demand exceeds the GPU's resident-TB slots.
     consumer_toggle: bool,
+    /// Trace sink; [`NullTracer`] for untraced runs.
+    tracer: &'a T,
+    /// Per-kernel issue cycle, always recorded (traced or not) so
+    /// degradation records are stamped identically at report assembly.
+    issue_cycles: Vec<u64>,
 }
 
-impl<'a> EngineSource<'a> {
+impl<'a, T: Tracer> EngineSource<'a, T> {
     fn new(
         cfg: &GpuConfig,
         jit: &'a [JitKernel],
         mode: ExecMode,
         host_ready: Vec<u64>,
         fault: &'a FaultPlan,
+        tracer: &'a T,
     ) -> Self {
         let fine = mode.fine_grain();
         let kernels: Vec<KernelState> = jit
@@ -421,6 +627,8 @@ impl<'a> EngineSource<'a> {
             fault,
             error: None,
             consumer_toggle: false,
+            tracer,
+            issue_cycles: vec![0; jit.len()],
         };
         // Seed initial data-readiness at time 0.
         for k in 0..src.jit.len() {
@@ -496,6 +704,14 @@ impl<'a> EngineSource<'a> {
                 window_before: self.window as u32,
                 window_after: desired as u32,
             });
+            if T::ENABLED {
+                self.tracer.emit(TraceEvent::Pressure {
+                    cycle: now,
+                    spill,
+                    window_before: self.window as u32,
+                    window_after: desired as u32,
+                });
+            }
             self.window = desired;
         }
     }
@@ -521,6 +737,15 @@ impl<'a> EngineSource<'a> {
             self.next_issue_floor = issue + self.api_cycles;
             let arrival = issue + self.launch_cycles;
             self.kernels[k].issued = true;
+            self.issue_cycles[k] = issue;
+            if T::ENABLED {
+                self.tracer.emit(TraceEvent::KernelIssue {
+                    cycle: issue,
+                    seq: k as u32,
+                    name: self.jit[k].name.clone(),
+                    prelaunched: k > self.retired,
+                });
+            }
             self.arrivals.push(Reverse((arrival, k)));
             self.issued_count += 1;
         }
@@ -553,7 +778,17 @@ impl<'a> EngineSource<'a> {
         let st = &mut self.kernels[k];
         if st.data_ready[tb as usize].is_none() {
             st.data_ready[tb as usize] = Some(now);
+            if T::ENABLED {
+                self.tracer.emit(TraceEvent::TbReady {
+                    cycle: now,
+                    id: TbId {
+                        kernel: k as u32,
+                        tb,
+                    },
+                });
+            }
         }
+        let st = &mut self.kernels[k];
         if eligible && !st.pushed[tb as usize] {
             st.pushed[tb as usize] = true;
             st.ready.push_back(tb);
@@ -582,6 +817,12 @@ impl<'a> EngineSource<'a> {
     /// retired; retirement frees window slots for pre-launching.
     fn cascade_retirement(&mut self, now: u64) {
         while self.retired < self.kernels.len() && self.kernels[self.retired].complete {
+            if T::ENABLED {
+                self.tracer.emit(TraceEvent::KernelRetire {
+                    cycle: now,
+                    seq: self.retired as u32,
+                });
+            }
             self.retired += 1;
         }
         self.admit_kernels(now);
@@ -600,7 +841,7 @@ impl<'a> EngineSource<'a> {
     }
 }
 
-impl TbSource for EngineSource<'_> {
+impl<T: Tracer> TbSource for EngineSource<'_, T> {
     fn pop_ready(&mut self, _now: u64, fits: &dyn Fn(u32, u32) -> bool) -> Option<TbDescriptor> {
         let range = self.active_range();
         let order: Vec<usize> = if self.mode.consumer_priority() {
@@ -636,8 +877,30 @@ impl TbSource for EngineSource<'_> {
         None
     }
 
-    fn on_tb_start(&mut self, key: TbKey, _now: u64) {
+    fn on_tb_start(&mut self, key: TbKey, now: u64) {
         let k = key.kernel_seq as usize;
+        if T::ENABLED {
+            // A TB that waited between becoming data-ready and being
+            // scheduled stalled either on its kernel's arrival (launch
+            // latency) or on execution resources (no free TB slot).
+            let ready_at = self.kernels[k].data_ready[key.tb as usize].unwrap_or(now);
+            if now > ready_at {
+                let reason = if self.kernels[k].arrival.is_some_and(|a| a > ready_at) {
+                    StallReason::KernelArrival
+                } else {
+                    StallReason::Resources
+                };
+                self.tracer.emit(TraceEvent::TbStall {
+                    cycle: now,
+                    id: TbId {
+                        kernel: key.kernel_seq,
+                        tb: key.tb,
+                    },
+                    ready_at,
+                    reason,
+                });
+            }
+        }
         // Buffer this TB's dependency-list entry: the children it must
         // notify live in the *next* kernel's graph.
         let (mut children, encoded) = match self.jit.get(k + 1) {
@@ -662,10 +925,18 @@ impl TbSource for EngineSource<'_> {
             children.retain(|&c| !self.fault.drops(key, c));
             children.extend(self.fault.phantoms_of(key));
         }
-        self.dlb.insert(key, children, encoded);
+        self.dlb
+            .insert_traced(key, children, encoded, now, self.tracer);
         // The child TB's own parent-counter entry is released when it is
         // selected for execution (§III-D1).
         self.pcb.release(key);
+        if T::ENABLED {
+            self.tracer.emit(TraceEvent::BufferLevels {
+                cycle: now,
+                dlb: self.dlb.len() as u32,
+                pcb: self.pcb.len() as u32,
+            });
+        }
     }
 
     fn on_tb_complete(&mut self, key: TbKey, now: u64) {
@@ -713,7 +984,12 @@ impl TbSource for EngineSource<'_> {
                     });
                     return;
                 }
-                let zero = match self.pcb.try_decrement_with_refetch(child_key, stored) {
+                let zero = match self.pcb.try_decrement_with_refetch_traced(
+                    child_key,
+                    stored,
+                    now,
+                    self.tracer,
+                ) {
                     Ok(z) => z,
                     Err(err) => {
                         self.record_error(EngineError::Hw { err, cycle: now });
@@ -725,6 +1001,13 @@ impl TbSource for EngineSource<'_> {
                     self.mark_data_ready(ck, c, now);
                 }
             }
+        }
+        if T::ENABLED {
+            self.tracer.emit(TraceEvent::BufferLevels {
+                cycle: now,
+                dlb: self.dlb.len() as u32,
+                pcb: self.pcb.len() as u32,
+            });
         }
         if self.kernels[k].completed == self.kernels[k].n_tbs {
             self.on_kernel_complete(k, now);
@@ -742,6 +1025,12 @@ impl TbSource for EngineSource<'_> {
             }
             self.arrivals.pop();
             self.kernels[k].arrival = Some(t);
+            if T::ENABLED {
+                self.tracer.emit(TraceEvent::KernelArrive {
+                    cycle: t,
+                    seq: k as u32,
+                });
+            }
             self.flush_ready(k);
         }
     }
@@ -783,11 +1072,11 @@ impl TbSource for EngineSource<'_> {
     }
 }
 
-fn assemble_report(
+fn assemble_report<T: Tracer>(
     _cfg: &GpuConfig,
     jit: &[JitKernel],
     mode: ExecMode,
-    source: &EngineSource,
+    source: &EngineSource<'_, T>,
     stats: DesStats,
     epilogue: u64,
 ) -> RunReport {
@@ -836,7 +1125,26 @@ fn assemble_report(
         guard: GuardReport::default(),
         degradation: jit
             .iter()
-            .map(|k| (k.name.clone(), k.degradation))
+            .enumerate()
+            .map(|(seq, k)| {
+                // Stamp each degraded kernel with the cycle its degraded
+                // analysis took effect: its issue cycle. Analysis runs
+                // before simulated time, so the issue is the first moment
+                // the rung is observable in the execution.
+                let mut d = k.degradation;
+                if d.is_degraded() {
+                    d.at_cycle = source.issue_cycles.get(seq).copied().unwrap_or(0);
+                    if T::ENABLED {
+                        source.tracer.emit(TraceEvent::DegradationStamp {
+                            cycle: d.at_cycle,
+                            seq: seq as u32,
+                            rung: d.rung.to_string(),
+                            reason: d.reason.to_string(),
+                        });
+                    }
+                }
+                (k.name.clone(), d)
+            })
             .collect(),
         cache_hits: jit.iter().filter(|k| k.cache_hit).count() as u64,
         cache_misses: jit.iter().filter(|k| !k.cache_hit).count() as u64,

@@ -16,11 +16,12 @@
 //! [`BmError::Unrecoverable`].
 
 use crate::degrade::{AnalysisBudget, AnalysisCache, DegradationReason, DegradationRung};
-use crate::engine::{try_run_analyzed_faulty, RunReport};
+use crate::engine::{try_run_analyzed_faulty_traced, RunReport};
 use crate::error::{BmError, EngineError};
 use crate::faults::FaultPlan;
 use crate::jit::{
-    recompute_skip_gates, try_jit_analyze_app, try_jit_analyze_app_budgeted, JitKernel,
+    recompute_skip_gates, try_jit_analyze_app, try_jit_analyze_app_budgeted,
+    try_jit_analyze_app_traced, JitKernel,
 };
 use crate::modes::ExecMode;
 use bm_cmdq::Application;
@@ -31,6 +32,7 @@ use bm_ptx::interp::{execute_block, ExecObserver, ThreadId};
 use bm_ptx::isa::Op;
 use bm_ptx::kernel::Launch;
 use bm_simt::des::TbKey;
+use bm_trace::{NullTracer, TraceEvent, Tracer};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -221,6 +223,31 @@ pub fn try_run_app_with(
     try_run_app_faulty(cfg, app, jit, mode, hazard, &FaultPlan::default())
 }
 
+/// Guarded run with a trace sink observing analysis, execution, and the
+/// guard's own recovery decisions (one [`TraceEvent::Quarantine`] instant
+/// per kernel quarantined, stamped with the cycle count of the discarded
+/// run that implicated it).
+///
+/// Tracing is inert: the returned [`RunReport`] is bit-identical to
+/// [`try_run_app_with`] under the default [`AnalysisBudget`].
+///
+/// # Errors
+///
+/// As [`try_run_app`].
+pub fn try_run_app_with_tracer<T: Tracer>(
+    cfg: &bm_simt::config::GpuConfig,
+    app: &Application,
+    mode: ExecMode,
+    hazard: HazardMode,
+    tracer: &T,
+) -> Result<RunReport, BmError> {
+    app.validate()?;
+    let budget = AnalysisBudget::default();
+    let mut cache = AnalysisCache::for_budget(&budget);
+    let jit = try_jit_analyze_app_traced(cfg, app, hazard, &budget, &mut cache, tracer)?;
+    try_run_app_faulty_traced(cfg, app, jit, mode, hazard, &FaultPlan::default(), tracer)
+}
+
 /// Guarded run under an explicit [`AnalysisBudget`]: the launch-time
 /// analysis walks the graceful-degradation ladder with the given fuel and
 /// the soundness guard verifies the resulting schedule exactly as it does
@@ -258,10 +285,28 @@ pub fn try_run_app_budgeted(
 pub fn try_run_app_faulty(
     cfg: &bm_simt::config::GpuConfig,
     app: &Application,
+    jit: Vec<JitKernel>,
+    mode: ExecMode,
+    hazard: HazardMode,
+    fault: &FaultPlan,
+) -> Result<RunReport, BmError> {
+    try_run_app_faulty_traced(cfg, app, jit, mode, hazard, fault, &NullTracer)
+}
+
+/// [`try_run_app_faulty`] with a trace sink (see
+/// [`try_run_app_with_tracer`]).
+///
+/// # Errors
+///
+/// As [`try_run_app_faulty`].
+pub fn try_run_app_faulty_traced<T: Tracer>(
+    cfg: &bm_simt::config::GpuConfig,
+    app: &Application,
     mut jit: Vec<JitKernel>,
     mode: ExecMode,
     hazard: HazardMode,
     fault: &FaultPlan,
+    tracer: &T,
 ) -> Result<RunReport, BmError> {
     let expected_fp = app.try_run_serialized()?.fingerprint();
     let mut guard = GuardReport::default();
@@ -269,53 +314,66 @@ pub fn try_run_app_faulty(
     let mut last_err: Option<EngineError> = None;
     for round in 0..MAX_ROUNDS {
         guard.recovery_rounds = round;
-        let targets: Vec<usize> = match try_run_analyzed_faulty(cfg, app, &jit, mode, fault) {
-            Ok(mut report) => {
-                let outcome = verify_soundness(app, &jit, &report.schedule, expected_fp)?;
-                if outcome.is_sound() {
-                    report.guard = guard;
-                    return Ok(report);
-                }
-                guard.cycles_lost_to_fallback += report.kernel_region_cycles;
-                guard.violations_detected += (outcome.violations.len() as u64).max(1);
-                last_err = None;
-                if outcome.violations.is_empty() {
-                    // Wrong result with no attributable containment
-                    // violation (e.g. a corrupted dependency pattern):
-                    // distrust everything.
-                    (0..jit.len()).collect()
-                } else {
-                    outcome
-                        .violations
-                        .iter()
-                        .map(|v| v.kernel as usize)
-                        .collect()
-                }
-            }
-            Err(e) => {
-                guard.cycles_lost_to_fallback += e.cycles_wasted();
-                guard.violations_detected += 1;
-                let targets = match &e {
-                    // A counter fault names the child kernel whose graph
-                    // metadata is inconsistent.
-                    EngineError::Hw { err, .. } => {
-                        let key = match err {
-                            crate::hw::HwError::CounterNotResident { key }
-                            | crate::hw::HwError::CounterUnderflow { key } => *key,
-                        };
-                        vec![key.kernel_seq as usize]
+        // Cycle stamp for quarantine instants: how far the discarded run
+        // got before the guard rejected it.
+        let failed_at: u64;
+        let targets: Vec<usize> =
+            match try_run_analyzed_faulty_traced(cfg, app, &jit, mode, fault, tracer) {
+                Ok(mut report) => {
+                    let outcome = verify_soundness(app, &jit, &report.schedule, expected_fp)?;
+                    if outcome.is_sound() {
+                        report.guard = guard;
+                        return Ok(report);
                     }
-                    // Deadlocks are unattributable: degrade everything.
-                    _ => (0..jit.len()).collect(),
-                };
-                last_err = Some(e);
-                targets
-            }
-        };
+                    guard.cycles_lost_to_fallback += report.kernel_region_cycles;
+                    guard.violations_detected += (outcome.violations.len() as u64).max(1);
+                    last_err = None;
+                    failed_at = report.kernel_region_cycles;
+                    if outcome.violations.is_empty() {
+                        // Wrong result with no attributable containment
+                        // violation (e.g. a corrupted dependency pattern):
+                        // distrust everything.
+                        (0..jit.len()).collect()
+                    } else {
+                        outcome
+                            .violations
+                            .iter()
+                            .map(|v| v.kernel as usize)
+                            .collect()
+                    }
+                }
+                Err(e) => {
+                    guard.cycles_lost_to_fallback += e.cycles_wasted();
+                    guard.violations_detected += 1;
+                    failed_at = e.cycles_wasted();
+                    let targets = match &e {
+                        // A counter fault names the child kernel whose graph
+                        // metadata is inconsistent.
+                        EngineError::Hw { err, .. } => {
+                            let key = match err {
+                                crate::hw::HwError::CounterNotResident { key }
+                                | crate::hw::HwError::CounterUnderflow { key } => *key,
+                            };
+                            vec![key.kernel_seq as usize]
+                        }
+                        // Deadlocks are unattributable: degrade everything.
+                        _ => (0..jit.len()).collect(),
+                    };
+                    last_err = Some(e);
+                    targets
+                }
+            };
         for k in targets {
             if k < jit.len() && quarantined.insert(k) {
                 quarantine_kernel(&mut jit, k);
                 guard.kernels_quarantined += 1;
+                if T::ENABLED {
+                    tracer.emit(TraceEvent::Quarantine {
+                        cycle: failed_at,
+                        kernel: k as u32,
+                        round,
+                    });
+                }
             }
         }
         recompute_skip_gates(&mut jit, hazard);
@@ -331,6 +389,7 @@ pub fn try_run_app_faulty(
 mod tests {
     use super::*;
     use crate::correctness::check_schedule;
+    use crate::engine::try_run_analyzed_faulty;
     use crate::faults::corrupt_access_set;
     use bm_cmdq::ApiCall;
     use bm_ptx::kernel::{ArgValue, Dim3};

@@ -26,6 +26,7 @@ use crate::degrade::{
     DegradationReason, DegradationRung, GraphKey,
 };
 use crate::hw::MAX_COUNTER;
+use bm_trace::{AnalysisPhase, NullTracer, TraceEvent, Tracer};
 use std::collections::{HashMap, HashSet};
 
 /// Timing and resource profile of one kernel launch.
@@ -146,11 +147,124 @@ pub fn jit_analyze_app_par(
     for ((seq, launch), result) in launches.iter().enumerate().zip(analyzed) {
         let analyzed = result.unwrap_or_else(|_| invalid_launch_stub(launch));
         push_kernel(
-            &mut out, seq as u32, prev, launch, analyzed, hazard, budget, cache, par,
+            &mut out,
+            seq as u32,
+            prev,
+            launch,
+            analyzed,
+            hazard,
+            budget,
+            cache,
+            par,
+            &NullTracer,
+            &mut 0,
         );
         prev = Some(launch);
     }
     out
+}
+
+/// [`jit_analyze_app_budgeted`] with a trace sink.
+///
+/// Emits, on a deterministic virtual *tick* clock (1 tick per unit of
+/// analysis fuel consumed; analysis runs before simulated time exists):
+/// an [`TraceEvent::AnalysisSpan`] per ladder phase actually run, a
+/// [`TraceEvent::CacheProbe`] per analysis- and graph-cache probe, an
+/// [`TraceEvent::AffineFastPath`] verdict per fresh precise analysis, and
+/// a [`TraceEvent::RungTransition`] whenever a kernel moves down the
+/// ladder. Always runs the serial reference pipeline (a shared sink
+/// cannot cross worker threads) — which is bit-identical to the parallel
+/// one by the replay protocol, so traced and untraced analyses agree
+/// exactly.
+pub fn jit_analyze_app_traced<T: Tracer>(
+    cfg: &GpuConfig,
+    app: &Application,
+    hazard: HazardMode,
+    budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+    tracer: &T,
+) -> Vec<JitKernel> {
+    let launches: Vec<&Launch> = app.launches();
+    let par = ParallelConfig::reference();
+    let mut scratch = scratch_memory(app);
+    let mut clock = 0u64;
+    let analyzed: Vec<Result<Analyzed, PtxError>> = launches
+        .iter()
+        .enumerate()
+        .map(|(seq, launch)| {
+            analyze_launch_ladder(
+                cfg,
+                launch,
+                &mut scratch,
+                budget,
+                cache,
+                &par,
+                tracer,
+                &mut clock,
+                seq as u32,
+            )
+        })
+        .collect();
+    let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
+    let mut prev: Option<&Launch> = None;
+    for ((seq, launch), result) in launches.iter().enumerate().zip(analyzed) {
+        let analyzed = result.unwrap_or_else(|_| invalid_launch_stub(launch));
+        push_kernel(
+            &mut out, seq as u32, prev, launch, analyzed, hazard, budget, cache, &par, tracer,
+            &mut clock,
+        );
+        prev = Some(launch);
+    }
+    out
+}
+
+/// Fallible counterpart of [`jit_analyze_app_traced`]: same serial traced
+/// pipeline, same tick clock and event stream, but the first structurally
+/// invalid launch surfaces as an error instead of a barrier stub — matching
+/// [`try_jit_analyze_app`] exactly.
+///
+/// # Errors
+///
+/// As [`try_jit_analyze_app`].
+pub fn try_jit_analyze_app_traced<T: Tracer>(
+    cfg: &GpuConfig,
+    app: &Application,
+    hazard: HazardMode,
+    budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+    tracer: &T,
+) -> Result<Vec<JitKernel>, PtxError> {
+    let launches: Vec<&Launch> = app.launches();
+    let par = ParallelConfig::reference();
+    let mut scratch = scratch_memory(app);
+    let mut clock = 0u64;
+    let analyzed: Vec<Result<Analyzed, PtxError>> = launches
+        .iter()
+        .enumerate()
+        .map(|(seq, launch)| {
+            analyze_launch_ladder(
+                cfg,
+                launch,
+                &mut scratch,
+                budget,
+                cache,
+                &par,
+                tracer,
+                &mut clock,
+                seq as u32,
+            )
+        })
+        .collect();
+    let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
+    let mut prev: Option<&Launch> = None;
+    for ((seq, launch), result) in launches.iter().enumerate().zip(analyzed) {
+        push_kernel(
+            &mut out, seq as u32, prev, launch, result?, hazard, budget, cache, &par, tracer,
+            &mut clock,
+        );
+        prev = Some(launch);
+    }
+    Ok(out)
 }
 
 /// Fallible counterpart of [`jit_analyze_app`].
@@ -214,7 +328,17 @@ pub fn try_jit_analyze_app_par(
     let mut prev: Option<&Launch> = None;
     for ((seq, launch), result) in launches.iter().enumerate().zip(analyzed) {
         push_kernel(
-            &mut out, seq as u32, prev, launch, result?, hazard, budget, cache, par,
+            &mut out,
+            seq as u32,
+            prev,
+            launch,
+            result?,
+            hazard,
+            budget,
+            cache,
+            par,
+            &NullTracer,
+            &mut 0,
         );
         prev = Some(launch);
     }
@@ -243,7 +367,20 @@ fn analyze_all(
     if threads <= 1 {
         return launches
             .iter()
-            .map(|launch| analyze_launch_ladder(cfg, launch, &mut scratch, budget, cache, par))
+            .enumerate()
+            .map(|(seq, launch)| {
+                analyze_launch_ladder(
+                    cfg,
+                    launch,
+                    &mut scratch,
+                    budget,
+                    cache,
+                    par,
+                    &NullTracer,
+                    &mut 0,
+                    seq as u32,
+                )
+            })
             .collect();
     }
     // Phase 1 — probe: find the first launch of every distinct uncached
@@ -273,7 +410,16 @@ fn analyze_all(
                         let i = missing_ref[j];
                         (
                             i,
-                            compute_analysis(cfg, launches[i], &mut local_scratch, budget, par),
+                            compute_analysis(
+                                cfg,
+                                launches[i],
+                                &mut local_scratch,
+                                budget,
+                                par,
+                                &NullTracer,
+                                &mut 0,
+                                i as u32,
+                            ),
                         )
                     })
                     .collect::<Vec<_>>()
@@ -309,7 +455,16 @@ fn analyze_all(
                 Some(ca) => ca.clone(),
                 // Evicted-and-reappearing key, or a launch that failed
                 // validation: recompute inline, exactly as serial would.
-                None => compute_analysis(cfg, launch, &mut scratch, budget, par)?,
+                None => compute_analysis(
+                    cfg,
+                    launch,
+                    &mut scratch,
+                    budget,
+                    par,
+                    &NullTracer,
+                    &mut 0,
+                    0,
+                )?,
             };
             cache.insert(launch, ca.clone());
             Ok(Analyzed {
@@ -347,15 +502,27 @@ fn scratch_memory(app: &Application) -> GlobalMem {
 /// # Errors
 ///
 /// [`PtxError`] only for structurally invalid launches.
-fn analyze_launch_ladder(
+#[allow(clippy::too_many_arguments)]
+fn analyze_launch_ladder<T: Tracer>(
     cfg: &GpuConfig,
     launch: &Launch,
     scratch: &mut GlobalMem,
     budget: &AnalysisBudget,
     cache: &mut AnalysisCache,
     par: &ParallelConfig,
+    tracer: &T,
+    clock: &mut u64,
+    seq: u32,
 ) -> Result<Analyzed, PtxError> {
     if let Some(hit) = cache.lookup(launch) {
+        if T::ENABLED {
+            tracer.emit(TraceEvent::CacheProbe {
+                tick: *clock,
+                seq,
+                graph: false,
+                hit: true,
+            });
+        }
         return Ok(Analyzed {
             access: hit.access,
             profile: hit.profile,
@@ -363,7 +530,15 @@ fn analyze_launch_ladder(
             cache_hit: true,
         });
     }
-    let ca = compute_analysis(cfg, launch, scratch, budget, par)?;
+    if T::ENABLED {
+        tracer.emit(TraceEvent::CacheProbe {
+            tick: *clock,
+            seq,
+            graph: false,
+            hit: false,
+        });
+    }
+    let ca = compute_analysis(cfg, launch, scratch, budget, par, tracer, clock, seq)?;
     cache.insert(launch, ca.clone());
     Ok(Analyzed {
         access: ca.access,
@@ -373,6 +548,28 @@ fn analyze_launch_ladder(
     })
 }
 
+/// [`Degradation::worsen`] plus a [`TraceEvent::RungTransition`] when the
+/// rung actually changed.
+fn worsen_traced<T: Tracer>(
+    d: &mut Degradation,
+    rung: DegradationRung,
+    reason: DegradationReason,
+    tracer: &T,
+    tick: u64,
+    seq: u32,
+) {
+    let before = d.rung;
+    d.worsen(rung, reason);
+    if T::ENABLED && d.rung != before {
+        tracer.emit(TraceEvent::RungTransition {
+            tick,
+            seq,
+            rung: d.rung.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+}
+
 /// The cache-free core of the ladder: per-TB analysis (possibly affine /
 /// multi-threaded per `par`) with coarse and barrier fallbacks, plus the
 /// representative-TB trace profile.
@@ -380,29 +577,77 @@ fn analyze_launch_ladder(
 /// # Errors
 ///
 /// [`PtxError`] only for structurally invalid launches.
-fn compute_analysis(
+#[allow(clippy::too_many_arguments)]
+fn compute_analysis<T: Tracer>(
     cfg: &GpuConfig,
     launch: &Launch,
     scratch: &mut GlobalMem,
     budget: &AnalysisBudget,
     par: &ParallelConfig,
+    tracer: &T,
+    clock: &mut u64,
+    seq: u32,
 ) -> Result<CachedAnalysis, PtxError> {
     let mut degradation = Degradation::none();
     let mut fuel = budget.absint_fuel;
-    let access = match try_analyze_launch_fueled_par(launch, &mut fuel, par)? {
+    let attempt = try_analyze_launch_fueled_par(launch, &mut fuel, par)?;
+    if T::ENABLED {
+        // One tick per unit of fuel consumed, minimum 1 per phase run.
+        let start = *clock;
+        *clock += (budget.absint_fuel - fuel).max(1);
+        tracer.emit(TraceEvent::AnalysisSpan {
+            seq,
+            name: launch.kernel.name.clone(),
+            phase: AnalysisPhase::Absint,
+            start_tick: start,
+            end_tick: *clock,
+        });
+        if let Some((_, stats)) = &attempt {
+            tracer.emit(TraceEvent::AffineFastPath {
+                tick: *clock,
+                seq,
+                attempted: stats.affine_attempted,
+                accepted: stats.affine_accepted,
+                interpreted: stats.tbs_interpreted,
+                synthesized: stats.tbs_synthesized,
+            });
+        }
+    }
+    let access = match attempt {
         Some((access, _stats)) => access,
         None => {
-            degradation.worsen(
+            worsen_traced(
+                &mut degradation,
                 DegradationRung::Coarse,
                 DegradationReason::AnalysisOverBudget,
+                tracer,
+                *clock,
+                seq,
             );
             let mut coarse_fuel = budget.coarse_fuel;
-            match try_analyze_launch_grouped(launch, budget.coarse_groups, &mut coarse_fuel)? {
+            let coarse =
+                try_analyze_launch_grouped(launch, budget.coarse_groups, &mut coarse_fuel)?;
+            if T::ENABLED {
+                let start = *clock;
+                *clock += (budget.coarse_fuel - coarse_fuel).max(1);
+                tracer.emit(TraceEvent::AnalysisSpan {
+                    seq,
+                    name: launch.kernel.name.clone(),
+                    phase: AnalysisPhase::Coarse,
+                    start_tick: start,
+                    end_tick: *clock,
+                });
+            }
+            match coarse {
                 Some(access) => access,
                 None => {
-                    degradation.worsen(
+                    worsen_traced(
+                        &mut degradation,
                         DegradationRung::Barrier,
                         DegradationReason::CoarseOverBudget,
+                        tracer,
+                        *clock,
+                        seq,
                     );
                     barrier_access(launch.num_blocks())
                 }
@@ -410,25 +655,53 @@ fn compute_analysis(
         }
     };
     if access.non_static {
-        degradation.worsen(DegradationRung::Barrier, DegradationReason::NonStatic);
+        worsen_traced(
+            &mut degradation,
+            DegradationRung::Barrier,
+            DegradationReason::NonStatic,
+            tracer,
+            *clock,
+            seq,
+        );
     }
+    let trace_start = *clock;
     let profile = match try_profile_launch_limited(cfg, launch, scratch, budget.trace_steps) {
         Ok(profile) => profile,
         Err(PtxError::Exec(ExecError::StepLimit { .. })) => {
-            degradation.worsen(
+            worsen_traced(
+                &mut degradation,
                 DegradationRung::PrelaunchOff,
                 DegradationReason::TraceOverBudget,
+                tracer,
+                *clock,
+                seq,
             );
             fallback_profile(launch)
         }
         Err(_) => {
-            degradation.worsen(
+            worsen_traced(
+                &mut degradation,
                 DegradationRung::PrelaunchOff,
                 DegradationReason::TraceFailed,
+                tracer,
+                *clock,
+                seq,
             );
             fallback_profile(launch)
         }
     };
+    if T::ENABLED {
+        // The interpreter does not expose step counts; the trace phase is
+        // a unit-tick span on the analysis clock.
+        *clock = trace_start + 1;
+        tracer.emit(TraceEvent::AnalysisSpan {
+            seq,
+            name: launch.kernel.name.clone(),
+            phase: AnalysisPhase::Trace,
+            start_tick: trace_start,
+            end_tick: *clock,
+        });
+    }
     Ok(CachedAnalysis {
         access,
         profile,
@@ -442,7 +715,7 @@ fn compute_analysis(
 /// hazard, edge budget) — the graph is a pure function of those — so
 /// iterated kernel sequences skip construction entirely on repeats.
 #[allow(clippy::too_many_arguments)]
-fn push_kernel(
+fn push_kernel<T: Tracer>(
     out: &mut Vec<JitKernel>,
     seq: u32,
     prev_launch: Option<&Launch>,
@@ -452,6 +725,8 @@ fn push_kernel(
     budget: &AnalysisBudget,
     cache: &mut AnalysisCache,
     par: &ParallelConfig,
+    tracer: &T,
+    clock: &mut u64,
 ) {
     let Analyzed {
         access,
@@ -467,7 +742,16 @@ fn push_kernel(
                 mode: hazard,
                 max_edges: budget.max_graph_edges,
             };
-            match cache.lookup_graph(&gkey) {
+            let looked_up = cache.lookup_graph(&gkey);
+            if T::ENABLED {
+                tracer.emit(TraceEvent::CacheProbe {
+                    tick: *clock,
+                    seq,
+                    graph: true,
+                    hit: looked_up.is_some(),
+                });
+            }
+            match looked_up {
                 Some(cg) => (cg.graph, cg.over_budget, cg.degree_overflow),
                 None => {
                     let (mut g, over) = build_graph_bounded_par(
@@ -492,6 +776,17 @@ fn push_kernel(
                             degree_overflow: degree_over,
                         },
                     );
+                    if T::ENABLED {
+                        let start = *clock;
+                        *clock += 1;
+                        tracer.emit(TraceEvent::AnalysisSpan {
+                            seq,
+                            name: launch.kernel.name.clone(),
+                            phase: AnalysisPhase::Graph,
+                            start_tick: start,
+                            end_tick: *clock,
+                        });
+                    }
                     (g, over, degree_over)
                 }
             }
@@ -503,10 +798,24 @@ fn push_kernel(
         ),
     };
     if over {
-        degradation.worsen(DegradationRung::Barrier, DegradationReason::GraphOverBudget);
+        worsen_traced(
+            &mut degradation,
+            DegradationRung::Barrier,
+            DegradationReason::GraphOverBudget,
+            tracer,
+            *clock,
+            seq,
+        );
     }
     if degree_over {
-        degradation.worsen(DegradationRung::Barrier, DegradationReason::DegreeOverflow);
+        worsen_traced(
+            &mut degradation,
+            DegradationRung::Barrier,
+            DegradationReason::DegreeOverflow,
+            tracer,
+            *clock,
+            seq,
+        );
     }
     let st = storage(&graph);
     let encoded = !matches!(st.pattern, Pattern::Irregular);
@@ -553,6 +862,7 @@ fn invalid_launch_stub(launch: &Launch) -> Analyzed {
         degradation: Degradation {
             rung: DegradationRung::PrelaunchOff,
             reason: DegradationReason::InvalidLaunch,
+            at_cycle: 0,
         },
         cache_hit: false,
     }

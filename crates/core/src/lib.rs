@@ -77,20 +77,23 @@ pub use degrade::{
     DegradationRung, PressureEvent,
 };
 pub use engine::{
-    run_analyzed, run_app, run_app_with, try_run_analyzed, try_run_analyzed_faulty, RunReport,
+    run_analyzed, run_app, run_app_with, run_app_with_tracer, try_run_analyzed,
+    try_run_analyzed_faulty, try_run_analyzed_faulty_traced, try_run_analyzed_traced, RunReport,
 };
 pub use error::{BmError, EngineError};
 pub use faults::{
     corrupt_access_set, corrupt_pattern, random_plan, FaultClass, FaultPlan, FaultRng,
 };
 pub use guard::{
-    try_run_app, try_run_app_budgeted, try_run_app_faulty, try_run_app_with, verify_soundness,
-    GuardReport, SoundnessOutcome, SoundnessViolation, MAX_ROUNDS,
+    try_run_app, try_run_app_budgeted, try_run_app_faulty, try_run_app_faulty_traced,
+    try_run_app_with, try_run_app_with_tracer, verify_soundness, GuardReport, SoundnessOutcome,
+    SoundnessViolation, MAX_ROUNDS,
 };
 pub use hw::HwError;
 pub use jit::{
-    jit_analyze_app, jit_analyze_app_budgeted, jit_analyze_app_par, try_jit_analyze_app,
-    try_jit_analyze_app_budgeted, try_jit_analyze_app_par, JitKernel, LaunchProfile,
+    jit_analyze_app, jit_analyze_app_budgeted, jit_analyze_app_par, jit_analyze_app_traced,
+    try_jit_analyze_app, try_jit_analyze_app_budgeted, try_jit_analyze_app_par,
+    try_jit_analyze_app_traced, JitKernel, LaunchProfile,
 };
 pub use modes::ExecMode;
 pub use streams::{run_streams, StreamAssignment};

@@ -7,6 +7,7 @@
 //! one simulator.
 
 use crate::config::GpuConfig;
+use bm_trace::{NullTracer, TbId, TraceEvent, Tracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -199,6 +200,24 @@ pub fn run(cfg: &GpuConfig, source: &mut dyn TbSource) -> DesStats {
 /// [`DesError::Deadlock`] when no further progress is possible;
 /// [`DesError::SourceAbort`] when the source signals an internal failure.
 pub fn try_run(cfg: &GpuConfig, source: &mut dyn TbSource) -> Result<DesStats, DesError> {
+    try_run_traced(cfg, source, &NullTracer)
+}
+
+/// [`try_run`] with a trace sink: emits a [`TraceEvent::TbSpan`] per
+/// completed thread block and [`TraceEvent::SmOccupancy`] transitions on
+/// every placement and completion. Tracing is pure observation — the
+/// returned [`DesStats`] are bit-identical to an untraced run — and with
+/// [`NullTracer`] every emission site folds away (`T::ENABLED` is a
+/// constant `false`).
+///
+/// # Errors
+///
+/// Exactly as [`try_run`].
+pub fn try_run_traced<T: Tracer>(
+    cfg: &GpuConfig,
+    source: &mut dyn TbSource,
+    tracer: &T,
+) -> Result<DesStats, DesError> {
     let mut sms: Vec<SmState> = (0..cfg.num_sms)
         .map(|_| SmState {
             free_tbs: cfg.max_tbs_per_sm,
@@ -213,6 +232,12 @@ pub fn try_run(cfg: &GpuConfig, source: &mut dyn TbSource) -> Result<DesStats, D
     let mut running = 0u32;
     let mut stats = DesStats::default();
     let mut last_t = 0u64;
+    // Per-SM resident counts, maintained only when a tracer is attached.
+    let mut resident: Vec<u32> = if T::ENABLED {
+        vec![0; sms.len()]
+    } else {
+        Vec::new()
+    };
     source.on_time_advance(0);
     loop {
         if source.aborted() {
@@ -249,6 +274,14 @@ pub fn try_run(cfg: &GpuConfig, source: &mut dyn TbSource) -> Result<DesStats, D
             heap.push(Reverse((now + d.duration.max(1), seq, si, d)));
             stats.schedule.push((d.key, now, now + d.duration.max(1)));
             seq += 1;
+            if T::ENABLED {
+                resident[si] += 1;
+                tracer.emit(TraceEvent::SmOccupancy {
+                    cycle: now,
+                    sm: si as u32,
+                    resident: resident[si],
+                });
+            }
         }
         if source.is_done() && heap.is_empty() {
             break;
@@ -281,12 +314,29 @@ pub fn try_run(cfg: &GpuConfig, source: &mut dyn TbSource) -> Result<DesStats, D
             if *t > now {
                 break;
             }
-            let Reverse((_, _, si, d)) = heap.pop().unwrap();
+            let Reverse((t_fin, _, si, d)) = heap.pop().unwrap();
             sms[si].free_tbs += 1;
             sms[si].free_threads += d.threads;
             sms[si].free_shared += d.shared_bytes;
             running -= 1;
             stats.tbs_executed += 1;
+            if T::ENABLED {
+                resident[si] -= 1;
+                tracer.emit(TraceEvent::TbSpan {
+                    id: TbId {
+                        kernel: d.key.kernel_seq,
+                        tb: d.key.tb,
+                    },
+                    sm: si as u32,
+                    start: t_fin - d.duration.max(1),
+                    finish: t_fin,
+                });
+                tracer.emit(TraceEvent::SmOccupancy {
+                    cycle: t_fin,
+                    sm: si as u32,
+                    resident: resident[si],
+                });
+            }
             source.on_tb_complete(d.key, now);
         }
         source.on_time_advance(now);
@@ -486,6 +536,39 @@ mod tests {
         }
         let err = try_run(&GpuConfig::small(), &mut Abort).unwrap_err();
         assert_eq!(err, DesError::SourceAbort { cycle: 0 });
+    }
+
+    #[test]
+    fn traced_run_is_inert_and_emits_spans() {
+        use bm_trace::RecordingTracer;
+        let mut cfg = GpuConfig::small();
+        cfg.num_sms = 2;
+        cfg.max_tbs_per_sm = 2;
+        let items: Vec<(u64, TbDescriptor)> = (0..6).map(|i| (0, desc(0, i, 32, 25))).collect();
+        let tracer = RecordingTracer::new();
+        let traced = try_run_traced(&cfg, &mut QueueSource::new(items.clone()), &tracer).unwrap();
+        let untraced = try_run(&cfg, &mut QueueSource::new(items)).unwrap();
+        assert_eq!(traced, untraced);
+        let events = tracer.events();
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TbSpan { .. }))
+            .count();
+        assert_eq!(spans, 6);
+        // Occupancy transitions: one per placement + one per completion.
+        let occ = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SmOccupancy { .. }))
+            .count();
+        assert_eq!(occ, 12);
+        // Spans agree with the recorded schedule.
+        for (key, start, finish) in &traced.schedule {
+            assert!(events.iter().any(|e| matches!(
+                e,
+                TraceEvent::TbSpan { id, start: s, finish: f, .. }
+                    if id.kernel == key.kernel_seq && id.tb == key.tb && s == start && f == finish
+            )));
+        }
     }
 
     #[test]

@@ -22,5 +22,7 @@ pub mod stats;
 pub mod timing;
 
 pub use config::{GpuConfig, ParallelConfig};
-pub use des::{DeadlockSnapshot, DesError, DesStats, TbDescriptor, TbKey, TbSource};
+pub use des::{
+    try_run_traced, DeadlockSnapshot, DesError, DesStats, TbDescriptor, TbKey, TbSource,
+};
 pub use timing::{simulate_sm, SmTiming};

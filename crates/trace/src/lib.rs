@@ -1,0 +1,53 @@
+//! # bm-trace — deterministic cycle-stamped tracing & counters
+//!
+//! Every number the reproduction reports is an end-of-run aggregate; this
+//! crate adds the *when*: a structured event-tracing and counter subsystem
+//! wired through the whole stack (DES, engine, scheduler hardware, JIT
+//! analysis pipeline, command queue).
+//!
+//! Design contract:
+//!
+//! * **Virtual time only.** Every timestamp is a simulation cycle (or, for
+//!   pre-run phases like the analysis pipeline and the command queue, a
+//!   deterministic virtual tick). No wall clocks anywhere, so two runs of
+//!   the same application produce byte-identical traces.
+//! * **Provably inert.** Tracing is observation only: a traced run and an
+//!   untraced run yield bit-identical `RunReport`s (enforced by the
+//!   `trace_determinism` suite). Sinks take `&self` and never feed
+//!   anything back into the simulation.
+//! * **Zero overhead when disabled.** [`Tracer`] is statically dispatched;
+//!   the [`NullTracer`] sink sets `Tracer::ENABLED = false` and every
+//!   emission site is guarded by `if T::ENABLED`, so the disabled path
+//!   compiles to nothing — event payloads are never even constructed.
+//!
+//! The pieces:
+//!
+//! * [`event::TraceEvent`] — the typed event taxonomy (TB lifecycle, SM
+//!   occupancy, kernel launch/pre-launch/retire, DLB/PCB activity,
+//!   analysis spans, command-queue submits, pressure/quarantine/
+//!   degradation instants);
+//! * [`sink`] — the [`Tracer`] trait plus the [`NullTracer`] and
+//!   [`RecordingTracer`] sinks;
+//! * [`counters::CounterRegistry`] — monotonic counters and high-water
+//!   gauges folded from the event stream;
+//! * [`chrome`] — Chrome trace-event JSON export (loads in Perfetto /
+//!   `chrome://tracing`): one track per SM plus host, cmdq, scheduler-HW,
+//!   and analysis tracks;
+//! * [`summary`] — a compact text summarizer;
+//! * [`json`] — the dependency-free JSON writer/parser the exporter and
+//!   `bmrun --json` build on.
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod counters;
+pub mod event;
+pub mod json;
+pub mod sink;
+pub mod summary;
+
+pub use chrome::export_chrome_trace;
+pub use counters::CounterRegistry;
+pub use event::{AnalysisPhase, CmdKind, StallReason, TbId, TraceEvent};
+pub use sink::{NullTracer, RecordingTracer, Tracer};
+pub use summary::summarize;

@@ -1,0 +1,127 @@
+//! Compact text summarizer for recorded traces.
+
+use std::fmt::Write as _;
+
+use crate::counters::CounterRegistry;
+use crate::event::TraceEvent;
+
+/// Render a short human-readable summary of a recorded event stream.
+///
+/// Deterministic (same events → same text); suitable for golden tests and
+/// `bmrun --trace-summary`.
+pub fn summarize(events: &[TraceEvent]) -> String {
+    let mut reg = CounterRegistry::new();
+    let mut last_cycle: u64 = 0;
+    let mut sms = std::collections::BTreeSet::new();
+    let mut peak_resident: u64 = 0;
+    for ev in events {
+        reg.fold(ev);
+        last_cycle = last_cycle.max(ev.timestamp());
+        match ev {
+            TraceEvent::TbSpan { sm, finish, .. } => {
+                sms.insert(*sm);
+                last_cycle = last_cycle.max(*finish);
+            }
+            TraceEvent::SmOccupancy { sm, resident, .. } => {
+                sms.insert(*sm);
+                peak_resident = peak_resident.max(*resident as u64);
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} events, horizon {} cycles",
+        events.len(),
+        last_cycle
+    );
+    let _ = writeln!(
+        out,
+        "  kernels     issued {} (prelaunched {}), arrived {}, retired {}",
+        reg.counter("kernel_issue"),
+        reg.counter("kernel_prelaunch"),
+        reg.counter("kernel_arrive"),
+        reg.counter("kernel_retire"),
+    );
+    let _ = writeln!(
+        out,
+        "  thread blocks  {} executed, {} stalled ({} stall cycles total)",
+        reg.counter("tb_span"),
+        reg.counter("tb_stall"),
+        reg.counter("stall_cycles"),
+    );
+    let _ = writeln!(
+        out,
+        "  SMs         {} active, peak residency {}",
+        sms.len(),
+        peak_resident
+    );
+    let dlb_hw = reg.gauge("dlb_level").map(|g| g.high_water).unwrap_or(0);
+    let pcb_hw = reg.gauge("pcb_level").map(|g| g.high_water).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "  scheduler-hw  {} DLB inserts ({} encoded, {} fetch txns), {} PCB inits ({} refetch), {} spills, high water dlb={} pcb={}",
+        reg.counter("dlb_insert"),
+        reg.counter("dlb_encoded"),
+        reg.counter("dlb_fetch_txns"),
+        reg.counter("pcb_init"),
+        reg.counter("pcb_refetch"),
+        reg.counter("pcb_spill"),
+        dlb_hw,
+        pcb_hw,
+    );
+    let _ = writeln!(
+        out,
+        "  analysis    {} spans, cache {}+{} hit/miss, graph cache {}+{}, affine {}/{} accepted/attempted, {} interpreted / {} synthesized TBs",
+        reg.counter("analysis_span"),
+        reg.counter("cache_hit"),
+        reg.counter("cache_miss"),
+        reg.counter("graph_cache_hit"),
+        reg.counter("graph_cache_miss"),
+        reg.counter("affine_accepted"),
+        reg.counter("affine_attempted"),
+        reg.counter("tbs_interpreted"),
+        reg.counter("tbs_synthesized"),
+    );
+    let _ = writeln!(out, "  cmdq        {} submits", reg.counter("cmdq_submit"));
+    let _ = writeln!(
+        out,
+        "  instants    {} pressure, {} quarantine, {} degradation, {} rung transitions",
+        reg.counter("pressure"),
+        reg.counter("quarantine"),
+        reg.counter("degradation"),
+        reg.counter("rung_transition"),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TbId;
+
+    #[test]
+    fn summary_counts_lines() {
+        let events = vec![
+            TraceEvent::KernelIssue {
+                cycle: 0,
+                seq: 0,
+                name: "k".into(),
+                prelaunched: true,
+            },
+            TraceEvent::TbSpan {
+                id: TbId { kernel: 0, tb: 0 },
+                sm: 0,
+                start: 0,
+                finish: 50,
+            },
+        ];
+        let s = summarize(&events);
+        assert!(s.contains("2 events"));
+        assert!(s.contains("horizon 50 cycles"));
+        assert!(s.contains("issued 1 (prelaunched 1)"));
+        assert_eq!(s, summarize(&events));
+    }
+}
