@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! bmrun <APP|all> [--mode MODE] [--window N] [--small] [--all-hazards]
-//!       [--verify] [--races] [--patterns] [--json]
+//!       [--verify] [--races] [--patterns] [--json] [--json-out OUT.json]
 //!       [--trace OUT.json] [--trace-summary]
+//!       [--checkpoint-every N] [--checkpoint-dir D] [--resume PATH] [--kill-at K]
 //! ```
 //!
 //! * `APP` — a Table II name (`3MM`, `AlexNet`, `BICG`, `FDTD-2D`, `FFT`,
@@ -19,20 +20,40 @@
 //! * `--patterns` — print the per-kernel-pair dependency patterns.
 //! * `--json` — print the full `RunReport` as JSON on stdout (suppresses
 //!   the human-readable line).
+//! * `--json-out OUT.json` — write the JSON report to a file (atomically)
+//!   instead of stdout.
 //! * `--trace OUT.json` — record the run and write a Chrome trace-event
 //!   file loadable in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
 //!   With `all`, the app name is inserted before the extension.
 //! * `--trace-summary` — print a compact text digest of the recorded
 //!   trace (implies recording; no file is needed).
+//! * `--checkpoint-every N` — snapshot the full run state every N retired
+//!   kernels (atomic overwrite of the snapshot file).
+//! * `--checkpoint-dir D` — directory for the snapshot file (default
+//!   `.bmckpt`).
+//! * `--resume PATH` — resume from the snapshot at PATH; a corrupt or
+//!   mismatched snapshot is rejected and the run starts fresh. Later
+//!   checkpoints overwrite PATH.
+//! * `--kill-at K` — die (exit code 3) at the retirement boundary of
+//!   kernel K, *after* that boundary's checkpoint is saved — a simulated
+//!   crash for testing kill-and-resume.
+//!
+//! A resumed run's report is bit-identical to an uninterrupted run.
+//! Checkpoint flags require a single APP (not `all`).
 //!
 //! Example: `cargo run --release -p bm-bench --bin bmrun -- GAUSSIAN --mode consumer --window 4 --trace out.json`
 
-use blockmaestro::{check_no_races, check_schedule, run_app_with, run_app_with_tracer, ExecMode};
+use blockmaestro::{
+    atomic_write, check_no_races, check_schedule, run_app_with, run_app_with_tracer,
+    try_run_app_checkpointed, try_run_app_checkpointed_traced, BmError, CheckpointPolicy, DirStore,
+    EngineError, ExecMode, FaultPlan, RunSnapshot, SnapshotStore,
+};
 use bm_depgraph::HazardMode;
 use bm_simt::GpuConfig;
 use bm_trace::json::Json;
 use bm_trace::{export_chrome_trace, summarize, RecordingTracer};
 use bm_workloads::{suite, Scale};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -40,7 +61,9 @@ fn main() -> ExitCode {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
             "usage: bmrun <APP|all> [--mode MODE] [--window N] [--small] [--all-hazards] \
-             [--verify] [--races] [--patterns] [--json] [--trace OUT.json] [--trace-summary]"
+             [--verify] [--races] [--patterns] [--json] [--json-out OUT.json] \
+             [--trace OUT.json] [--trace-summary] \
+             [--checkpoint-every N] [--checkpoint-dir D] [--resume PATH] [--kill-at K]"
         );
         return ExitCode::from(2);
     }
@@ -88,14 +111,84 @@ fn main() -> ExitCode {
     }
     let trace_path = value("--trace");
     let tracing = trace_path.is_some() || flag("--trace-summary");
-    let json_out = flag("--json");
+    let json_file = value("--json-out");
+    let json_out = flag("--json") || json_file.is_some();
+    let ckpt_every: Option<u32> = value("--checkpoint-every")
+        .map(|v| v.parse().expect("--checkpoint-every takes an integer"));
+    let ckpt_dir = value("--checkpoint-dir");
+    let resume_path = value("--resume");
+    let kill_at: Option<u32> =
+        value("--kill-at").map(|v| v.parse().expect("--kill-at takes an integer"));
+    let checkpointing =
+        ckpt_every.is_some() || ckpt_dir.is_some() || resume_path.is_some() || kill_at.is_some();
     let multi = benches.len() > 1;
+    if checkpointing && multi {
+        eprintln!("checkpoint flags require a single APP (not `all`)");
+        return ExitCode::from(2);
+    }
     let mut json_reports: Vec<Json> = Vec::new();
     let mut failed = false;
     for bench in benches {
         let app = (bench.build)(scale);
         let base = run_app_with(&cfg, &app, ExecMode::Baseline, hazard);
-        let (report, recorded) = if tracing {
+        let (report, recorded) = if checkpointing {
+            let policy = match ckpt_every {
+                Some(n) => CheckpointPolicy::every_kernels(n),
+                None => CheckpointPolicy::disabled(),
+            };
+            let mut store = match &resume_path {
+                Some(p) => DirStore::at_file(p.clone()),
+                None => DirStore::new(ckpt_dir.clone().unwrap_or_else(|| ".bmckpt".into())),
+            };
+            let resume = resume_path.is_some();
+            if resume {
+                // Pre-probe the snapshot so rejection is visible even
+                // without a tracer; the run itself degrades to fresh.
+                match store.load() {
+                    Ok(Some(bytes)) => {
+                        if let Err(e) = RunSnapshot::decode(&bytes) {
+                            eprintln!("bmrun: snapshot rejected ({e}); starting fresh");
+                        }
+                    }
+                    Ok(None) => eprintln!(
+                        "bmrun: no snapshot at `{}`; starting fresh",
+                        store.path().display()
+                    ),
+                    Err(e) => eprintln!("bmrun: snapshot rejected ({e}); starting fresh"),
+                }
+            }
+            let fault = FaultPlan {
+                kill_at_kernel: kill_at,
+                ..FaultPlan::default()
+            };
+            let run = if tracing {
+                let tracer = RecordingTracer::new();
+                try_run_app_checkpointed_traced(
+                    &cfg, &app, mode, hazard, &fault, policy, &mut store, resume, &tracer,
+                )
+                .map(|report| (report, Some(tracer.events())))
+            } else {
+                try_run_app_checkpointed(
+                    &cfg, &app, mode, hazard, &fault, policy, &mut store, resume,
+                )
+                .map(|report| (report, None))
+            };
+            match run {
+                Ok(pair) => pair,
+                Err(BmError::Engine(EngineError::Killed { cycle, retired })) => {
+                    eprintln!(
+                        "bmrun: killed at cycle {cycle} after {retired} kernels retired \
+                         (snapshot at `{}`)",
+                        store.path().display()
+                    );
+                    return ExitCode::from(3);
+                }
+                Err(e) => {
+                    eprintln!("bmrun: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if tracing {
             let tracer = RecordingTracer::new();
             let report = run_app_with_tracer(&cfg, &app, mode, hazard, &tracer);
             (report, Some(tracer.events()))
@@ -112,7 +205,7 @@ fn main() -> ExitCode {
             } else {
                 path.to_string()
             };
-            if let Err(e) = std::fs::write(&path, export_chrome_trace(events)) {
+            if let Err(e) = atomic_write(Path::new(&path), export_chrome_trace(events).as_bytes()) {
                 eprintln!("cannot write trace `{path}`: {e}");
                 return ExitCode::FAILURE;
             }
@@ -182,7 +275,14 @@ fn main() -> ExitCode {
         } else {
             Json::Arr(json_reports)
         };
-        println!("{doc}");
+        if let Some(path) = json_file {
+            if let Err(e) = atomic_write(Path::new(&path), format!("{doc}\n").as_bytes()) {
+                eprintln!("cannot write report `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        } else {
+            println!("{doc}");
+        }
     }
     if failed {
         ExitCode::FAILURE

@@ -132,6 +132,9 @@ pub enum DegradationReason {
     /// The runtime soundness guard quarantined the kernel after detecting
     /// a violation or hardware fault.
     Quarantined,
+    /// The parallel analysis worker for this kernel panicked; the panic was
+    /// contained and the kernel carries an opaque barrier instead.
+    AnalysisPanicked,
 }
 
 impl fmt::Display for DegradationReason {
@@ -147,6 +150,7 @@ impl fmt::Display for DegradationReason {
             DegradationReason::TraceFailed => "representative trace failed",
             DegradationReason::InvalidLaunch => "structurally invalid launch",
             DegradationReason::Quarantined => "quarantined by soundness guard",
+            DegradationReason::AnalysisPanicked => "analysis worker panicked",
         })
     }
 }

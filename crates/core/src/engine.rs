@@ -20,10 +20,14 @@ use crate::hw::{
 };
 use crate::jit::{jit_analyze_app, jit_analyze_app_traced, JitKernel};
 use crate::modes::ExecMode;
+use crate::snapshot::{
+    CheckpointPolicy, EngineSnapshot, GuardSnapshot, KernelSnapshot, RunSnapshot, SnapshotError,
+    SnapshotMeta, SnapshotStore,
+};
 use bm_cmdq::{build_call_dag, reorder_for_prelaunch_traced, ApiCall, Application, Reordering};
 use bm_depgraph::{GraphKind, HazardMode, Pattern};
 use bm_simt::config::GpuConfig;
-use bm_simt::des::{self, DesError, DesStats, TbDescriptor, TbKey, TbSource};
+use bm_simt::des::{DesEngine, DesError, DesStats, StepOutcome, TbDescriptor, TbKey, TbSource};
 use bm_trace::json::Json;
 use bm_trace::{NullTracer, StallReason, TbId, TraceEvent, Tracer};
 use std::cmp::Reverse;
@@ -101,8 +105,8 @@ impl RunReport {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("mode", Json::Str(format!("{:?}", self.mode))),
-            ("total_cycles", Json::int(self.total_cycles)),
-            ("kernel_region_cycles", Json::int(self.kernel_region_cycles)),
+            ("total_cycles", Json::u64(self.total_cycles)),
+            ("kernel_region_cycles", Json::u64(self.kernel_region_cycles)),
             ("avg_concurrency", Json::Num(self.avg_concurrency)),
             (
                 "stalls_normalized",
@@ -115,31 +119,31 @@ impl RunReport {
             ),
             (
                 "baseline_mem_requests",
-                Json::int(self.baseline_mem_requests),
+                Json::u64(self.baseline_mem_requests),
             ),
             (
                 "overhead_mem_requests",
-                Json::int(self.overhead_mem_requests),
+                Json::u64(self.overhead_mem_requests),
             ),
             (
                 "hw_traffic",
                 Json::obj([
                     (
                         "dep_list_fetches",
-                        Json::int(self.hw_traffic.dep_list_fetches),
+                        Json::u64(self.hw_traffic.dep_list_fetches),
                     ),
                     (
                         "counter_fetches",
-                        Json::int(self.hw_traffic.counter_fetches),
+                        Json::u64(self.hw_traffic.counter_fetches),
                     ),
                     (
                         "counter_writebacks",
-                        Json::int(self.hw_traffic.counter_writebacks),
+                        Json::u64(self.hw_traffic.counter_writebacks),
                     ),
                 ]),
             ),
-            ("storage_encoded", Json::int(self.storage_encoded)),
-            ("storage_plain", Json::int(self.storage_plain)),
+            ("storage_encoded", Json::u64(self.storage_encoded)),
+            ("storage_plain", Json::u64(self.storage_plain)),
             (
                 "patterns",
                 Json::Arr(
@@ -161,36 +165,36 @@ impl RunReport {
                         .iter()
                         .map(|&(key, start, finish)| {
                             Json::obj([
-                                ("kernel", Json::int(key.kernel_seq as u64)),
-                                ("tb", Json::int(key.tb as u64)),
-                                ("start", Json::int(start)),
-                                ("finish", Json::int(finish)),
+                                ("kernel", Json::u64(key.kernel_seq as u64)),
+                                ("tb", Json::u64(key.tb as u64)),
+                                ("start", Json::u64(start)),
+                                ("finish", Json::u64(finish)),
                             ])
                         })
                         .collect(),
                 ),
             ),
-            ("num_kernels", Json::int(self.num_kernels as u64)),
-            ("dlb_high_water", Json::int(self.dlb_high_water as u64)),
-            ("pcb_high_water", Json::int(self.pcb_high_water as u64)),
+            ("num_kernels", Json::u64(self.num_kernels as u64)),
+            ("dlb_high_water", Json::u64(self.dlb_high_water as u64)),
+            ("pcb_high_water", Json::u64(self.pcb_high_water as u64)),
             (
                 "guard",
                 Json::obj([
                     (
                         "violations_detected",
-                        Json::int(self.guard.violations_detected),
+                        Json::u64(self.guard.violations_detected),
                     ),
                     (
                         "kernels_quarantined",
-                        Json::int(self.guard.kernels_quarantined),
+                        Json::u64(self.guard.kernels_quarantined),
                     ),
                     (
                         "recovery_rounds",
-                        Json::int(self.guard.recovery_rounds as u64),
+                        Json::u64(self.guard.recovery_rounds as u64),
                     ),
                     (
                         "cycles_lost_to_fallback",
-                        Json::int(self.guard.cycles_lost_to_fallback),
+                        Json::u64(self.guard.cycles_lost_to_fallback),
                     ),
                 ]),
             ),
@@ -204,14 +208,14 @@ impl RunReport {
                                 ("kernel", Json::str(name)),
                                 ("rung", Json::Str(d.rung.to_string())),
                                 ("reason", Json::Str(d.reason.to_string())),
-                                ("at_cycle", Json::int(d.at_cycle)),
+                                ("at_cycle", Json::u64(d.at_cycle)),
                             ])
                         })
                         .collect(),
                 ),
             ),
-            ("cache_hits", Json::int(self.cache_hits)),
-            ("cache_misses", Json::int(self.cache_misses)),
+            ("cache_hits", Json::u64(self.cache_hits)),
+            ("cache_misses", Json::u64(self.cache_misses)),
             (
                 "pressure_events",
                 Json::Arr(
@@ -219,10 +223,10 @@ impl RunReport {
                         .iter()
                         .map(|p| {
                             Json::obj([
-                                ("cycle", Json::int(p.cycle)),
-                                ("spill_traffic", Json::int(p.spill_traffic)),
-                                ("window_before", Json::int(p.window_before as u64)),
-                                ("window_after", Json::int(p.window_after as u64)),
+                                ("cycle", Json::u64(p.cycle)),
+                                ("spill_traffic", Json::u64(p.spill_traffic)),
+                                ("window_before", Json::u64(p.window_before as u64)),
+                                ("window_after", Json::u64(p.window_after as u64)),
                             ])
                         })
                         .collect(),
@@ -356,24 +360,261 @@ pub fn try_run_analyzed_faulty_traced<T: Tracer>(
     fault: &FaultPlan,
     tracer: &T,
 ) -> Result<RunReport, EngineError> {
+    try_run_analyzed_checkpointed(
+        cfg,
+        app,
+        jit,
+        mode,
+        fault,
+        tracer,
+        &mut CheckpointSession::disabled(),
+    )
+}
+
+/// One engine run's checkpoint context: when to save, where to, what to
+/// resume from, and the guard state that snapshots must carry.
+#[derive(Default)]
+pub struct CheckpointSession<'s> {
+    /// When to capture (evaluated at kernel-retirement boundaries only).
+    pub policy: CheckpointPolicy,
+    /// Destination for captured snapshots; `None` disables saving.
+    pub store: Option<&'s mut dyn SnapshotStore>,
+    /// Application fingerprint stamped into snapshot metadata.
+    pub app_fp: u64,
+    /// Hazard-mode string stamped into snapshot metadata.
+    pub hazard: String,
+    /// Soundness-guard context carried into snapshots, so a resumed run
+    /// re-applies the same quarantines and recovery round.
+    pub guard: GuardSnapshot,
+    /// A decoded snapshot to resume from; consumed (and cross-validated)
+    /// by the run. Invalid resumes degrade to a fresh run.
+    pub resume: Option<RunSnapshot>,
+    /// Save failures (I/O errors) — saving is best-effort and never fails
+    /// the run; failures are surfaced here for the caller.
+    pub save_failures: Vec<SnapshotError>,
+    /// Snapshots successfully captured during this run.
+    pub saves: u32,
+}
+
+impl CheckpointSession<'_> {
+    /// A session that neither saves nor resumes — the plain execution
+    /// path.
+    pub fn disabled() -> Self {
+        CheckpointSession::default()
+    }
+}
+
+/// The single execution path every engine entry point funnels through:
+/// [`try_run_analyzed_faulty_traced`] plus crash-safe checkpointing.
+///
+/// At each kernel-retirement boundary the driver may capture a
+/// [`RunSnapshot`] (per `session.policy`), and a
+/// [`crate::faults::FaultClass::KillPoint`] plan may kill the run —
+/// strictly *after* the boundary's save, so the run is always resumable
+/// from the kill point. Saves are pure observation: the run's
+/// [`RunReport`] (and trace stream) is bit-identical with checkpointing
+/// on or off, and a resumed run is bit-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// As [`try_run_analyzed_faulty`], plus [`EngineError::Killed`] when the
+/// fault plan's kill point fires.
+pub fn try_run_analyzed_checkpointed<T: Tracer>(
+    cfg: &GpuConfig,
+    app: &Application,
+    jit: &[JitKernel],
+    mode: ExecMode,
+    fault: &FaultPlan,
+    tracer: &T,
+    session: &mut CheckpointSession<'_>,
+) -> Result<RunReport, EngineError> {
     let order = if mode.prelaunches() {
         reorder_for_prelaunch_traced(app, tracer)
     } else {
         Reordering::identity(app.calls.len())
     };
     let (host_ready, epilogue) = host_timeline(cfg, app, &order, mode);
-    let mut source = EngineSource::new(cfg, jit, mode, host_ready, fault, tracer);
-    match des::try_run_traced(cfg, &mut source, tracer) {
-        Ok(stats) => match source.error.take() {
-            Some(e) => Err(e),
-            None => Ok(assemble_report(cfg, jit, mode, &source, stats, epilogue)),
-        },
-        Err(DesError::Deadlock(snap)) => Err(EngineError::Deadlock(snap)),
-        Err(DesError::SourceAbort { cycle }) => Err(source
-            .error
-            .take()
-            .unwrap_or(EngineError::Aborted { cycle })),
+    let order_ids: Vec<u32> = order.order.iter().map(|&i| i as u32).collect();
+    // Cross-check a resume candidate against the deterministically
+    // recomputed reordering; divergence means the snapshot came from a
+    // different application or library version.
+    let mut resume = session.resume.take();
+    if let Some(snap) = &resume {
+        if snap.order != order_ids {
+            if T::ENABLED {
+                tracer.emit(TraceEvent::CheckpointReject {
+                    reason: SnapshotError::AppMismatch("command-queue reordering diverged")
+                        .to_string(),
+                });
+            }
+            resume = None;
+        }
     }
+    // Everything the tracer records from here on is the run phase; the
+    // slice from `run_base` is what snapshots embed.
+    let run_base = tracer.recorded_len();
+    let restored = resume.and_then(|snap| {
+        match EngineSource::restore(
+            cfg,
+            jit,
+            mode,
+            host_ready.clone(),
+            fault,
+            tracer,
+            &snap.engine,
+        ) {
+            Ok(source) => Some((source, snap)),
+            Err(e) => {
+                if T::ENABLED {
+                    tracer.emit(TraceEvent::CheckpointReject {
+                        reason: e.to_string(),
+                    });
+                }
+                None
+            }
+        }
+    });
+    let (mut source, mut engine, mut prev_retired, mut last_saved) = match restored {
+        Some((source, snap)) => {
+            let engine = DesEngine::from_checkpoint(&snap.des);
+            if T::ENABLED {
+                // Replay the snapshot's embedded run-phase slice so the
+                // resumed stream is bit-identical to the uninterrupted one
+                // (the slice already ends with this snapshot's own
+                // `CheckpointSave`), then mark the seam.
+                for ev in snap.trace {
+                    tracer.emit(ev);
+                }
+                tracer.emit(TraceEvent::CheckpointLoad {
+                    cycle: snap.meta.cycle,
+                    retired: snap.meta.retired,
+                });
+            }
+            let at = (snap.meta.retired, snap.meta.cycle);
+            (source, engine, at.0, at)
+        }
+        None => {
+            let mut source = EngineSource::new(cfg, jit, mode, host_ready, fault, tracer);
+            let engine = DesEngine::new(cfg);
+            source.on_time_advance(0);
+            (source, engine, 0, (0, 0))
+        }
+    };
+    let failure = loop {
+        match engine.step(&mut source, tracer) {
+            Ok(StepOutcome::Finished) => break None,
+            Ok(StepOutcome::Progressed) => {
+                let retired = source.retired as u32;
+                if retired <= prev_retired {
+                    continue;
+                }
+                let now = engine.now();
+                // Save first, kill second: a killed run is resumable from
+                // the very boundary that killed it.
+                if session.store.is_some()
+                    && (retired as usize) < jit.len()
+                    && session
+                        .policy
+                        .due(retired - last_saved.0, now.saturating_sub(last_saved.1))
+                {
+                    let snap = capture_snapshot(
+                        &source, &engine, mode, session, &order_ids, retired, now, run_base, tracer,
+                    );
+                    let store = session.store.as_deref_mut().expect("checked above");
+                    match store.save(&snap) {
+                        Ok(()) => session.saves += 1,
+                        Err(e) => session.save_failures.push(e),
+                    }
+                    last_saved = (retired, now);
+                }
+                if let Some(q) = fault.kill_at_kernel {
+                    if prev_retired < q && retired >= q {
+                        return Err(EngineError::Killed {
+                            cycle: now,
+                            retired,
+                        });
+                    }
+                }
+                prev_retired = retired;
+            }
+            Err(DesError::Deadlock(snap)) => break Some(EngineError::Deadlock(snap)),
+            Err(DesError::SourceAbort { cycle }) => {
+                break Some(
+                    source
+                        .error
+                        .take()
+                        .unwrap_or(EngineError::Aborted { cycle }),
+                )
+            }
+        }
+    };
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    let stats = engine.finish();
+    match source.error.take() {
+        Some(e) => Err(e),
+        None => Ok(assemble_report(cfg, jit, mode, &source, stats, epilogue)),
+    }
+}
+
+/// Builds and encodes the boundary snapshot, embedding the run-phase trace
+/// slice terminated by this snapshot's own `CheckpointSave` event (emitted
+/// to the live stream too, so later snapshots and the final trace agree).
+/// The event's `bytes` field is the encoded size; all integer fields are
+/// fixed-width, so stamping the size does not change it.
+#[allow(clippy::too_many_arguments)]
+fn capture_snapshot<T: Tracer>(
+    source: &EngineSource<'_, T>,
+    engine: &DesEngine,
+    mode: ExecMode,
+    session: &CheckpointSession<'_>,
+    order: &[u32],
+    retired: u32,
+    now: u64,
+    run_base: usize,
+    tracer: &T,
+) -> Vec<u8> {
+    let mut trace = Vec::new();
+    if T::ENABLED {
+        // `checkpoint_load` seams are resume-local: a snapshot taken after
+        // a resume must carry the same slice an uninterrupted run's
+        // snapshot would.
+        trace = tracer.recorded_since(run_base);
+        trace.retain(|ev| ev.kind() != "checkpoint_load");
+        trace.push(TraceEvent::CheckpointSave {
+            cycle: now,
+            retired,
+            bytes: 0,
+        });
+    }
+    let mut snap = RunSnapshot {
+        meta: SnapshotMeta {
+            app_fp: session.app_fp,
+            mode: format!("{mode:?}"),
+            hazard: session.hazard.clone(),
+            n_kernels: source.jit.len() as u32,
+            retired,
+            cycle: now,
+        },
+        des: engine.checkpoint(),
+        engine: source.snapshot(),
+        guard: session.guard.clone(),
+        order: order.to_vec(),
+        trace,
+    };
+    let bytes = snap.encode().len() as u64;
+    if let Some(TraceEvent::CheckpointSave { bytes: b, .. }) = snap.trace.last_mut() {
+        *b = bytes;
+    }
+    if T::ENABLED {
+        tracer.emit(TraceEvent::CheckpointSave {
+            cycle: now,
+            retired,
+            bytes,
+        });
+    }
+    snap.encode()
 }
 
 /// Host-side issue times for each kernel plus the post-kernel epilogue
@@ -537,7 +778,33 @@ struct EngineSource<'a, T: Tracer> {
 }
 
 impl<'a, T: Tracer> EngineSource<'a, T> {
+    /// Fresh source at cycle 0: skeleton plus the boot sequence (initial
+    /// readiness seeding, first admission, zero-TB retirement) — which
+    /// emits the initial `KernelIssue` events. Restored sources skip the
+    /// boot entirely ([`Self::restore`]).
     fn new(
+        cfg: &GpuConfig,
+        jit: &'a [JitKernel],
+        mode: ExecMode,
+        host_ready: Vec<u64>,
+        fault: &'a FaultPlan,
+        tracer: &'a T,
+    ) -> Self {
+        let mut src = Self::build(cfg, jit, mode, host_ready, fault, tracer);
+        // Seed initial data-readiness at time 0.
+        for k in 0..src.jit.len() {
+            src.seed_initial_readiness(k);
+        }
+        src.admit_kernels(0);
+        // Retire any zero-TB kernels immediately (defensive; workloads
+        // never produce them).
+        src.cascade_retirement(0);
+        src
+    }
+
+    /// Skeleton constructor: per-kernel state from the analysis products,
+    /// no scheduling side effects, no trace emissions.
+    fn build(
         cfg: &GpuConfig,
         jit: &'a [JitKernel],
         mode: ExecMode,
@@ -592,7 +859,7 @@ impl<'a, T: Tracer> EngineSource<'a, T> {
             })
             .collect();
         let base_window = mode.window() as usize;
-        let mut src = EngineSource {
+        EngineSource {
             mode,
             window: base_window,
             base_window,
@@ -629,16 +896,143 @@ impl<'a, T: Tracer> EngineSource<'a, T> {
             consumer_toggle: false,
             tracer,
             issue_cycles: vec![0; jit.len()],
-        };
-        // Seed initial data-readiness at time 0.
-        for k in 0..src.jit.len() {
-            src.seed_initial_readiness(k);
         }
-        src.admit_kernels(0);
-        // Retire any zero-TB kernels immediately (defensive; workloads
-        // never produce them).
-        src.cascade_retirement(0);
-        src
+    }
+
+    /// Captures the complete mutable state of the source. Pure
+    /// observation: `HashMap`-backed buffers are exported in sorted order
+    /// (FIFO order preserved verbatim) so equal states produce equal
+    /// snapshots.
+    fn snapshot(&self) -> EngineSnapshot {
+        let mut arrivals: Vec<(u64, u32)> = self
+            .arrivals
+            .iter()
+            .map(|Reverse((t, k))| (*t, *k as u32))
+            .collect();
+        arrivals.sort_unstable();
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|st| KernelSnapshot {
+                counts: st.counts.clone(),
+                data_ready: st.data_ready.clone(),
+                done: st.done.clone(),
+                ready: st.ready.iter().copied().collect(),
+                pushed: st.pushed.clone(),
+                completed: st.completed,
+                arrival: st.arrival,
+                issued: st.issued,
+                complete: st.complete,
+            })
+            .collect();
+        let (dlb_entries, dlb_traffic, dlb_high_water) = self.dlb.snapshot();
+        let (pcb_counters, pcb_fifo, pcb_capacity, pcb_traffic, pcb_high_water) =
+            self.pcb.snapshot();
+        EngineSnapshot {
+            window: self.window as u32,
+            retired: self.retired as u32,
+            issued_count: self.issued_count as u32,
+            next_issue_floor: self.next_issue_floor,
+            consumer_toggle: self.consumer_toggle,
+            issue_cycles: self.issue_cycles.clone(),
+            arrivals,
+            kernels,
+            pressure: self.pressure_events.clone(),
+            dlb_entries,
+            dlb_traffic,
+            dlb_high_water: dlb_high_water as u32,
+            pcb_counters,
+            pcb_fifo,
+            pcb_capacity: pcb_capacity as u32,
+            pcb_traffic,
+            pcb_high_water: pcb_high_water as u32,
+        }
+    }
+
+    /// Rebuilds a mid-run source from a snapshot, against freshly
+    /// recomputed analysis products. Immutable configuration (windows,
+    /// thresholds, gates, durations) comes from `cfg`/`jit` as in
+    /// [`Self::build`]; only the mutable state is taken from `snap`. The
+    /// boot sequence is NOT run — the snapshot already contains its
+    /// effects.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] when the snapshot's shape disagrees
+    /// with the analyzed application (kernel count, per-kernel TB counts,
+    /// out-of-range indices) — decoded bytes are never trusted blindly.
+    fn restore(
+        cfg: &GpuConfig,
+        jit: &'a [JitKernel],
+        mode: ExecMode,
+        host_ready: Vec<u64>,
+        fault: &'a FaultPlan,
+        tracer: &'a T,
+        snap: &EngineSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        let mut src = Self::build(cfg, jit, mode, host_ready, fault, tracer);
+        let n = jit.len();
+        if snap.kernels.len() != n || snap.issue_cycles.len() != n {
+            return Err(SnapshotError::Malformed("kernel count mismatch"));
+        }
+        if snap.retired as usize > n || snap.issued_count as usize > n {
+            return Err(SnapshotError::Malformed("progress counters out of range"));
+        }
+        if snap.window as usize > src.base_window || snap.window == 0 {
+            return Err(SnapshotError::Malformed("window out of range"));
+        }
+        for (k, ks) in snap.kernels.iter().enumerate() {
+            let n_tbs = src.kernels[k].n_tbs as usize;
+            if ks.data_ready.len() != n_tbs
+                || ks.done.len() != n_tbs
+                || ks.pushed.len() != n_tbs
+                || !(ks.counts.is_empty() || ks.counts.len() == n_tbs)
+                || ks.completed as usize > n_tbs
+                || ks.ready.iter().any(|&tb| tb as usize >= n_tbs)
+            {
+                return Err(SnapshotError::Malformed("kernel state shape mismatch"));
+            }
+        }
+        if snap.arrivals.iter().any(|&(_, k)| k as usize >= n) {
+            return Err(SnapshotError::Malformed("arrival kernel out of range"));
+        }
+        src.window = snap.window as usize;
+        src.retired = snap.retired as usize;
+        src.issued_count = snap.issued_count as usize;
+        src.next_issue_floor = snap.next_issue_floor;
+        src.consumer_toggle = snap.consumer_toggle;
+        src.issue_cycles = snap.issue_cycles.clone();
+        src.arrivals = snap
+            .arrivals
+            .iter()
+            .map(|&(t, k)| Reverse((t, k as usize)))
+            .collect();
+        for (k, ks) in snap.kernels.iter().enumerate() {
+            let st = &mut src.kernels[k];
+            st.counts = ks.counts.clone();
+            st.data_ready = ks.data_ready.clone();
+            st.done = ks.done.clone();
+            st.ready = ks.ready.iter().copied().collect();
+            st.pushed = ks.pushed.clone();
+            st.completed = ks.completed;
+            st.arrival = ks.arrival;
+            st.issued = ks.issued;
+            st.complete = ks.complete;
+        }
+        src.pressure_events = snap.pressure.clone();
+        src.dlb = DepListBuffer::restore(
+            snap.dlb_entries.clone(),
+            snap.dlb_traffic,
+            snap.dlb_high_water as usize,
+        );
+        src.pcb = ParentCounterBuffer::restore(
+            snap.pcb_counters.clone(),
+            snap.pcb_fifo.clone(),
+            snap.pcb_capacity as usize,
+            snap.pcb_traffic,
+            snap.pcb_high_water as usize,
+        );
+        Ok(src)
     }
 
     /// Marks TBs whose dependencies are satisfied from the start.

@@ -37,6 +37,16 @@ pub enum EngineError {
         /// Simulation cycle at which the abort was observed.
         cycle: u64,
     },
+    /// The run was killed at a kernel-retirement boundary by a
+    /// [`crate::faults::FaultClass::KillPoint`] plan — a simulated crash.
+    /// The checkpoint at that boundary (when a store is configured) was
+    /// captured *before* the kill fired, so the run is resumable.
+    Killed {
+        /// Simulation cycle of the kill boundary.
+        cycle: u64,
+        /// Kernels retired when the kill fired.
+        retired: u32,
+    },
 }
 
 impl EngineError {
@@ -45,7 +55,9 @@ impl EngineError {
     pub fn cycles_wasted(&self) -> u64 {
         match self {
             EngineError::Deadlock(snap) => snap.cycle,
-            EngineError::Hw { cycle, .. } | EngineError::Aborted { cycle } => *cycle,
+            EngineError::Hw { cycle, .. }
+            | EngineError::Aborted { cycle }
+            | EngineError::Killed { cycle, .. } => *cycle,
         }
     }
 }
@@ -61,6 +73,12 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "engine aborted at cycle {cycle} without a recorded cause"
+                )
+            }
+            EngineError::Killed { cycle, retired } => {
+                write!(
+                    f,
+                    "killed at cycle {cycle} after {retired} kernels retired (checkpoint boundary)"
                 )
             }
         }

@@ -71,11 +71,16 @@ pub enum FaultClass {
     /// A kernel's dependency graph has its child lists rotated — edges
     /// exist but connect the wrong TBs.
     CorruptPattern,
+    /// The process is killed at a kernel-retirement boundary — modelling a
+    /// crash (power loss, OOM kill) rather than corrupted metadata. The
+    /// harness then resumes from the last checkpoint and proves the
+    /// resumed run bit-identical to an uninterrupted one.
+    KillPoint,
 }
 
 impl FaultClass {
     /// Every dynamic + static fault class.
-    pub fn all() -> [FaultClass; 8] {
+    pub fn all() -> [FaultClass; 9] {
         [
             FaultClass::DropChild,
             FaultClass::PhantomChild,
@@ -85,6 +90,7 @@ impl FaultClass {
             FaultClass::BufferSpill,
             FaultClass::CorruptAccessSet,
             FaultClass::CorruptPattern,
+            FaultClass::KillPoint,
         ]
     }
 
@@ -110,6 +116,10 @@ pub struct FaultPlan {
     pub counter_deltas: Vec<(TbKey, i64)>,
     /// Override for the parent-counter buffer capacity.
     pub pcb_capacity: Option<usize>,
+    /// Kill the run at the retirement boundary of the `n`-th kernel: the
+    /// engine returns [`crate::error::EngineError::Killed`] immediately
+    /// after the checkpoint at that boundary is captured.
+    pub kill_at_kernel: Option<u32>,
 }
 
 impl FaultPlan {
@@ -119,6 +129,7 @@ impl FaultPlan {
             && self.phantom_children.is_empty()
             && self.counter_deltas.is_empty()
             && self.pcb_capacity.is_none()
+            && self.kill_at_kernel.is_none()
     }
 
     /// Net counter perturbation for one child TB.
@@ -219,6 +230,14 @@ pub fn random_plan(class: FaultClass, jit: &[JitKernel], rng: &mut FaultRng) -> 
         }
         FaultClass::BufferSpill => {
             plan.pcb_capacity = Some(1 + rng.below(3) as usize);
+        }
+        FaultClass::KillPoint => {
+            if jit.len() < 2 {
+                return None;
+            }
+            // Kill strictly *inside* the run: after the first retirement at
+            // the earliest, before the last at the latest.
+            plan.kill_at_kernel = Some(1 + rng.below(jit.len() as u64 - 1) as u32);
         }
         FaultClass::CorruptAccessSet | FaultClass::CorruptPattern => return Some(plan),
     }
@@ -331,6 +350,7 @@ mod tests {
             phantom_children: vec![(p0, 3), (p0, 5)],
             counter_deltas: vec![(c0, 2), (c0, -1)],
             pcb_capacity: Some(2),
+            kill_at_kernel: None,
         };
         assert!(!plan.is_empty());
         assert!(plan.drops(p0, 2));
@@ -343,8 +363,18 @@ mod tests {
 
     #[test]
     fn all_classes_enumerated() {
-        assert_eq!(FaultClass::all().len(), 8);
+        assert_eq!(FaultClass::all().len(), 9);
         assert!(FaultClass::CorruptAccessSet.is_static());
         assert!(!FaultClass::DropChild.is_static());
+        assert!(!FaultClass::KillPoint.is_static());
+    }
+
+    #[test]
+    fn kill_plan_is_nonempty_and_interior() {
+        let plan = FaultPlan {
+            kill_at_kernel: Some(2),
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_empty());
     }
 }

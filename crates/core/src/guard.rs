@@ -16,7 +16,9 @@
 //! [`BmError::Unrecoverable`].
 
 use crate::degrade::{AnalysisBudget, AnalysisCache, DegradationReason, DegradationRung};
-use crate::engine::{try_run_analyzed_faulty_traced, RunReport};
+use crate::engine::{
+    try_run_analyzed_checkpointed, try_run_analyzed_faulty_traced, CheckpointSession, RunReport,
+};
 use crate::error::{BmError, EngineError};
 use crate::faults::FaultPlan;
 use crate::jit::{
@@ -24,6 +26,9 @@ use crate::jit::{
     try_jit_analyze_app_traced, JitKernel,
 };
 use crate::modes::ExecMode;
+use crate::snapshot::{
+    app_fingerprint, CheckpointPolicy, GuardSnapshot, RunSnapshot, SnapshotError, SnapshotStore,
+};
 use bm_cmdq::Application;
 use bm_depgraph::{storage, BipartiteGraph, HazardMode, Pattern};
 use bm_ptx::access::RangeSet;
@@ -342,6 +347,9 @@ pub fn try_run_app_faulty_traced<T: Tracer>(
                             .collect()
                     }
                 }
+                // A kill is a simulated crash, not a soundness failure:
+                // never quarantine for it — resume from the checkpoint.
+                Err(e @ EngineError::Killed { .. }) => return Err(e.into()),
                 Err(e) => {
                     guard.cycles_lost_to_fallback += e.cycles_wasted();
                     guard.violations_detected += 1;
@@ -363,6 +371,235 @@ pub fn try_run_app_faulty_traced<T: Tracer>(
                     targets
                 }
             };
+        for k in targets {
+            if k < jit.len() && quarantined.insert(k) {
+                quarantine_kernel(&mut jit, k);
+                guard.kernels_quarantined += 1;
+                if T::ENABLED {
+                    tracer.emit(TraceEvent::Quarantine {
+                        cycle: failed_at,
+                        kernel: k as u32,
+                        round,
+                    });
+                }
+            }
+        }
+        recompute_skip_gates(&mut jit, hazard);
+    }
+    Err(BmError::Unrecoverable {
+        rounds: MAX_ROUNDS,
+        last: last_err,
+    })
+}
+
+/// Loads the latest snapshot from `store` and checks that it belongs to
+/// this exact run configuration. Returns `Ok(None)` when the store is
+/// empty (nothing to resume from).
+fn load_resume(
+    store: &mut dyn SnapshotStore,
+    app_fp: u64,
+    mode: &str,
+    hazard: &str,
+    n_kernels: usize,
+) -> Result<Option<RunSnapshot>, SnapshotError> {
+    let Some(bytes) = store.load()? else {
+        return Ok(None);
+    };
+    let snap = RunSnapshot::decode(&bytes)?;
+    if snap.meta.app_fp != app_fp {
+        return Err(SnapshotError::AppMismatch(
+            "application fingerprint differs",
+        ));
+    }
+    if snap.meta.mode != mode {
+        return Err(SnapshotError::AppMismatch("execution mode differs"));
+    }
+    if snap.meta.hazard != hazard {
+        return Err(SnapshotError::AppMismatch("hazard mode differs"));
+    }
+    if snap.meta.n_kernels as usize != n_kernels {
+        return Err(SnapshotError::AppMismatch("kernel count differs"));
+    }
+    Ok(Some(snap))
+}
+
+/// Guarded run with crash-safe checkpointing: snapshots of the complete
+/// run state are written to `store` at kernel-retirement boundaries
+/// according to `policy`, and (when `resume` is set) the run restarts
+/// from the latest stored snapshot instead of cycle 0.
+///
+/// The resumed run is *bit-identical* to an uninterrupted one: the same
+/// [`RunReport`] (including every counter and the schedule) and, under a
+/// recording tracer, the same event stream. A snapshot that fails
+/// validation — wrong magic, version, checksum, or a mismatched
+/// application/mode — is rejected with a [`TraceEvent::CheckpointReject`]
+/// and the run degrades to a fresh start; it never panics.
+///
+/// A [`crate::faults::FaultPlan::kill_at_kernel`] plan makes the run die
+/// with [`EngineError::Killed`] at that retirement boundary, *after* the
+/// boundary's checkpoint is saved — the crash-recovery story the
+/// fault-injection harness exercises end to end.
+///
+/// # Errors
+///
+/// As [`try_run_app_faulty`], plus [`BmError::Engine`] wrapping
+/// [`EngineError::Killed`] when a kill-point fires.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_app_checkpointed(
+    cfg: &bm_simt::config::GpuConfig,
+    app: &Application,
+    mode: ExecMode,
+    hazard: HazardMode,
+    fault: &FaultPlan,
+    policy: CheckpointPolicy,
+    store: &mut dyn SnapshotStore,
+    resume: bool,
+) -> Result<RunReport, BmError> {
+    try_run_app_checkpointed_traced(
+        cfg,
+        app,
+        mode,
+        hazard,
+        fault,
+        policy,
+        store,
+        resume,
+        &NullTracer,
+    )
+}
+
+/// [`try_run_app_checkpointed`] with a trace sink (see
+/// [`try_run_app_with_tracer`]). Checkpoint saves, loads, and rejections
+/// appear as [`TraceEvent::CheckpointSave`] / [`TraceEvent::CheckpointLoad`]
+/// / [`TraceEvent::CheckpointReject`] instants.
+///
+/// # Errors
+///
+/// As [`try_run_app_checkpointed`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_app_checkpointed_traced<T: Tracer>(
+    cfg: &bm_simt::config::GpuConfig,
+    app: &Application,
+    mode: ExecMode,
+    hazard: HazardMode,
+    fault: &FaultPlan,
+    policy: CheckpointPolicy,
+    store: &mut dyn SnapshotStore,
+    resume: bool,
+    tracer: &T,
+) -> Result<RunReport, BmError> {
+    app.validate()?;
+    let budget = AnalysisBudget::default();
+    let mut cache = AnalysisCache::for_budget(&budget);
+    let mut jit = try_jit_analyze_app_traced(cfg, app, hazard, &budget, &mut cache, tracer)?;
+    let app_fp = app_fingerprint(app);
+    let hazard_str = format!("{hazard:?}");
+    let mut resumed: Option<RunSnapshot> = None;
+    if resume {
+        match load_resume(store, app_fp, &format!("{mode:?}"), &hazard_str, jit.len()) {
+            Ok(snap) => resumed = snap,
+            Err(e) => {
+                // A corrupt or mismatched snapshot degrades to a fresh
+                // run — the failure is surfaced on the trace, never a
+                // panic.
+                if T::ENABLED {
+                    tracer.emit(TraceEvent::CheckpointReject {
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    let expected_fp = app.try_run_serialized()?.fingerprint();
+    let mut guard = GuardReport::default();
+    let mut quarantined: HashSet<usize> = HashSet::new();
+    let mut start_round = 0;
+    if let Some(snap) = &resumed {
+        // The snapshot was taken mid-round with these kernels already
+        // degraded to barriers: re-apply the quarantines so the restored
+        // engine state matches the jit configuration it was built from.
+        for &k in &snap.guard.quarantined {
+            let k = k as usize;
+            if k < jit.len() && quarantined.insert(k) {
+                quarantine_kernel(&mut jit, k);
+            }
+        }
+        if !quarantined.is_empty() {
+            recompute_skip_gates(&mut jit, hazard);
+        }
+        guard = snap.guard.report;
+        start_round = snap.guard.round;
+    }
+    let mut last_err: Option<EngineError> = None;
+    for round in start_round..MAX_ROUNDS {
+        guard.recovery_rounds = round;
+        let mut sorted: Vec<u32> = quarantined.iter().map(|&k| k as u32).collect();
+        sorted.sort_unstable();
+        let mut session = CheckpointSession {
+            policy,
+            store: Some(&mut *store),
+            app_fp,
+            hazard: hazard_str.clone(),
+            guard: GuardSnapshot {
+                round,
+                report: guard,
+                quarantined: sorted,
+            },
+            resume: resumed.take(),
+            save_failures: Vec::new(),
+            saves: 0,
+        };
+        let failed_at: u64;
+        let targets: Vec<usize> = match try_run_analyzed_checkpointed(
+            cfg,
+            app,
+            &jit,
+            mode,
+            fault,
+            tracer,
+            &mut session,
+        ) {
+            Ok(mut report) => {
+                let outcome = verify_soundness(app, &jit, &report.schedule, expected_fp)?;
+                if outcome.is_sound() {
+                    report.guard = guard;
+                    return Ok(report);
+                }
+                guard.cycles_lost_to_fallback += report.kernel_region_cycles;
+                guard.violations_detected += (outcome.violations.len() as u64).max(1);
+                last_err = None;
+                failed_at = report.kernel_region_cycles;
+                if outcome.violations.is_empty() {
+                    (0..jit.len()).collect()
+                } else {
+                    outcome
+                        .violations
+                        .iter()
+                        .map(|v| v.kernel as usize)
+                        .collect()
+                }
+            }
+            // A kill is the crash under test, not a soundness
+            // failure: surface it so the caller can resume.
+            Err(e @ EngineError::Killed { .. }) => return Err(e.into()),
+            Err(e) => {
+                guard.cycles_lost_to_fallback += e.cycles_wasted();
+                guard.violations_detected += 1;
+                failed_at = e.cycles_wasted();
+                let targets = match &e {
+                    EngineError::Hw { err, .. } => {
+                        let key = match err {
+                            crate::hw::HwError::CounterNotResident { key }
+                            | crate::hw::HwError::CounterUnderflow { key } => *key,
+                        };
+                        vec![key.kernel_seq as usize]
+                    }
+                    _ => (0..jit.len()).collect(),
+                };
+                last_err = Some(e);
+                targets
+            }
+        };
         for k in targets {
             if k < jit.len() && quarantined.insert(k) {
                 quarantine_kernel(&mut jit, k);
@@ -580,6 +817,74 @@ mod tests {
             }
             other => panic!("expected deadlock, got {other}"),
         }
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_uninterrupted_report() {
+        let cfg = GpuConfig::small();
+        let app = chain_app(&[(0, 1), (1, 2), (2, 3)], 4, 8);
+        let mode = ExecMode::ProducerPriority { window: 2 };
+        let hazard = HazardMode::Raw;
+        let reference = try_run_app_with(&cfg, &app, mode, hazard).unwrap();
+        let mut store = crate::snapshot::MemStore::default();
+        let kill = FaultPlan {
+            kill_at_kernel: Some(2),
+            ..FaultPlan::default()
+        };
+        let err = try_run_app_checkpointed(
+            &cfg,
+            &app,
+            mode,
+            hazard,
+            &kill,
+            CheckpointPolicy::every_kernels(1),
+            &mut store,
+            false,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, BmError::Engine(EngineError::Killed { .. })),
+            "got {err}"
+        );
+        assert!(!store.snaps.is_empty(), "kill must land after a save");
+        let resumed = try_run_app_checkpointed(
+            &cfg,
+            &app,
+            mode,
+            hazard,
+            &FaultPlan::default(),
+            CheckpointPolicy::every_kernels(1),
+            &mut store,
+            true,
+        )
+        .unwrap();
+        assert_eq!(resumed, reference);
+        assert_eq!(
+            resumed.to_json().to_string(),
+            reference.to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_to_fresh_run() {
+        let cfg = GpuConfig::small();
+        let app = chain_app(&[(0, 1), (1, 2)], 3, 8);
+        let mode = ExecMode::ProducerPriority { window: 2 };
+        let reference = try_run_app_with(&cfg, &app, mode, HazardMode::Raw).unwrap();
+        let mut store = crate::snapshot::MemStore::default();
+        store.snaps.push(vec![0xAB; 64]); // garbage snapshot
+        let r = try_run_app_checkpointed(
+            &cfg,
+            &app,
+            mode,
+            HazardMode::Raw,
+            &FaultPlan::default(),
+            CheckpointPolicy::disabled(),
+            &mut store,
+            true,
+        )
+        .unwrap();
+        assert_eq!(r, reference);
     }
 
     #[test]

@@ -394,11 +394,15 @@ fn analyze_all(
         }
     }
     // Phase 2 — analyze the distinct misses concurrently. Each worker owns
-    // a clone of the initial scratch memory.
+    // a clone of the initial scratch memory. A panicking analysis is
+    // contained to its launch: the worker catches it, the launch degrades
+    // to an opaque barrier ([`DegradationReason::AnalysisPanicked`]), and
+    // every other launch proceeds normally.
     let chunks = chunk_ranges(missing.len(), threads.min(missing.len().max(1)));
     let missing_ref = &missing;
     let scratch_ref = &scratch;
-    let mut computed: Vec<Vec<(usize, Result<CachedAnalysis, PtxError>)>> =
+    #[allow(clippy::type_complexity)]
+    let mut computed: Vec<Vec<(usize, Option<Result<CachedAnalysis, PtxError>>)>> =
         Vec::with_capacity(chunks.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
@@ -408,19 +412,30 @@ fn analyze_all(
                     let mut local_scratch = scratch_ref.clone();
                     r.map(|j| {
                         let i = missing_ref[j];
-                        (
-                            i,
-                            compute_analysis(
-                                cfg,
-                                launches[i],
-                                &mut local_scratch,
-                                budget,
-                                par,
-                                &NullTracer,
-                                &mut 0,
-                                i as u32,
-                            ),
-                        )
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                compute_analysis(
+                                    cfg,
+                                    launches[i],
+                                    &mut local_scratch,
+                                    budget,
+                                    par,
+                                    &NullTracer,
+                                    &mut 0,
+                                    i as u32,
+                                )
+                            }));
+                        let out = match outcome {
+                            Ok(result) => Some(result),
+                            Err(_) => {
+                                // The panic may have unwound mid-write:
+                                // rebuild the scratch before the next
+                                // launch so later analyses stay exact.
+                                local_scratch = scratch_ref.clone();
+                                None
+                            }
+                        };
+                        (i, out)
                     })
                     .collect::<Vec<_>>()
                 })
@@ -431,12 +446,21 @@ fn analyze_all(
         }
     });
     let mut precomputed: HashMap<_, CachedAnalysis> = HashMap::new();
+    let mut panicked: HashSet<_> = HashSet::new();
     for (i, result) in computed.into_iter().flatten() {
-        if let Ok(ca) = result {
-            precomputed.insert(keys[i].clone(), ca);
+        match result {
+            Some(Ok(ca)) => {
+                precomputed.insert(keys[i].clone(), ca);
+            }
+            // Errors are not stored: the replay recomputes them inline,
+            // which is cheap (validation fails before any analysis work).
+            Some(Err(_)) => {}
+            // Panics must NOT be recomputed inline — they would take down
+            // the replay thread. Remember the key and stub it below.
+            None => {
+                panicked.insert(keys[i].clone());
+            }
         }
-        // Errors are not stored: the replay recomputes them inline, which
-        // is cheap (validation fails before any analysis work).
     }
     // Phase 3 — sequential replay of the serial cache protocol.
     launches
@@ -449,6 +473,16 @@ fn analyze_all(
                     profile: hit.profile,
                     degradation: hit.degradation,
                     cache_hit: true,
+                });
+            }
+            if panicked.contains(key) {
+                let ca = panicked_stub(launch);
+                cache.insert(launch, ca.clone());
+                return Ok(Analyzed {
+                    access: ca.access,
+                    profile: ca.profile,
+                    degradation: ca.degradation,
+                    cache_hit: false,
                 });
             }
             let ca = match precomputed.get(key) {
@@ -588,6 +622,10 @@ fn compute_analysis<T: Tracer>(
     clock: &mut u64,
     seq: u32,
 ) -> Result<CachedAnalysis, PtxError> {
+    assert!(
+        launch.kernel.name != PANIC_KERNEL_SENTINEL,
+        "injected analysis panic (test seam)"
+    );
     let mut degradation = Degradation::none();
     let mut fuel = budget.absint_fuel;
     let attempt = try_analyze_launch_fueled_par(launch, &mut fuel, par)?;
@@ -851,6 +889,25 @@ fn fallback_profile(launch: &Launch) -> LaunchProfile {
         shared_bytes: launch.kernel.shared_bytes,
         duration: (launch.kernel.body.len() as u64 + 1) * 8,
         txns_per_tb: 0,
+    }
+}
+
+/// Test seam for the panic-containment path: a kernel with this name
+/// panics inside [`compute_analysis`], simulating an analysis bug.
+#[doc(hidden)]
+pub const PANIC_KERNEL_SENTINEL: &str = "__bm_panic_in_analysis";
+
+/// The ladder stand-in for a launch whose analysis worker panicked: the
+/// same opaque barrier as an invalid launch, attributed to the panic.
+fn panicked_stub(launch: &Launch) -> CachedAnalysis {
+    CachedAnalysis {
+        access: barrier_access(launch.num_blocks()),
+        profile: fallback_profile(launch),
+        degradation: Degradation {
+            rung: DegradationRung::PrelaunchOff,
+            reason: DegradationReason::AnalysisPanicked,
+            at_cycle: 0,
+        },
     }
 }
 
@@ -1174,6 +1231,84 @@ mod tests {
                 "cache protocol must replay identically at threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn panicking_worker_degrades_its_kernel_not_the_pipeline() {
+        // The middle kernel carries the panic sentinel: its analysis
+        // worker dies mid-flight, the kernel lands on the PrelaunchOff
+        // rung as an opaque barrier, and its neighbours analyze normally.
+        let mut space = AddressSpace::new();
+        let n = 256u64;
+        let a = space.alloc(4 * n);
+        let b = space.alloc(4 * n);
+        let c = space.alloc(4 * n);
+        let good = Arc::new(
+            parse_kernel(
+                r#".entry axpy(.param .u64 X, .param .u64 Y) {
+                     ld.param.u64 %rd1, [X];
+                     ld.param.u64 %rd2, [Y];
+                     mov.u32 %r1, %ctaid.x;
+                     mov.u32 %r2, %ntid.x;
+                     mov.u32 %r3, %tid.x;
+                     mad.lo.u32 %r4, %r1, %r2, %r3;
+                     mul.wide.u32 %rd3, %r4, 4;
+                     add.u64 %rd4, %rd1, %rd3;
+                     ld.global.f32 %f1, [%rd4];
+                     add.u64 %rd5, %rd2, %rd3;
+                     st.global.f32 [%rd5], %f1;
+                     ret;
+                   }"#,
+            )
+            .unwrap(),
+        );
+        let bad = Arc::new(
+            parse_kernel(&format!(
+                ".entry {PANIC_KERNEL_SENTINEL}(.param .u64 X, .param .u64 Y) {{
+                     ret;
+                   }}"
+            ))
+            .unwrap(),
+        );
+        let launch = |k: &Arc<_>, x: u64, y: u64| {
+            ApiCall::KernelLaunch(Launch::new(
+                Arc::clone(k),
+                Dim3::x(4),
+                Dim3::x(64),
+                vec![ArgValue::Ptr(x), ArgValue::Ptr(y)],
+            ))
+        };
+        let app = Application {
+            name: "panic-containment".into(),
+            space,
+            calls: vec![
+                launch(&good, a.base, b.base),
+                launch(&bad, b.base, c.base),
+                launch(&good, c.base, a.base),
+            ],
+            host_data: HashMap::new(),
+        };
+        let cfg = GpuConfig::titan_x_pascal();
+        let budget = AnalysisBudget::default();
+        let mut cache = AnalysisCache::for_budget(&budget);
+        let ks = jit_analyze_app_par(
+            &cfg,
+            &app,
+            HazardMode::Raw,
+            &budget,
+            &mut cache,
+            &ParallelConfig::with_threads(4),
+        );
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1].degradation.rung, DegradationRung::PrelaunchOff);
+        assert_eq!(
+            ks[1].degradation.reason,
+            DegradationReason::AnalysisPanicked
+        );
+        assert!(ks[1].access.non_static, "panicked kernel is opaque");
+        assert_eq!(ks[0].degradation.rung, DegradationRung::Precise);
+        assert_eq!(ks[2].degradation.rung, DegradationRung::Precise);
+        assert!(ks[0].profile.duration > 0 && ks[2].profile.duration > 0);
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod guard;
 pub mod hw;
 pub mod jit;
 pub mod modes;
+pub mod snapshot;
 pub mod streams;
 
 pub use bm_ptx::par::ParallelConfig;
@@ -78,16 +79,17 @@ pub use degrade::{
 };
 pub use engine::{
     run_analyzed, run_app, run_app_with, run_app_with_tracer, try_run_analyzed,
-    try_run_analyzed_faulty, try_run_analyzed_faulty_traced, try_run_analyzed_traced, RunReport,
+    try_run_analyzed_checkpointed, try_run_analyzed_faulty, try_run_analyzed_faulty_traced,
+    try_run_analyzed_traced, CheckpointSession, RunReport,
 };
 pub use error::{BmError, EngineError};
 pub use faults::{
     corrupt_access_set, corrupt_pattern, random_plan, FaultClass, FaultPlan, FaultRng,
 };
 pub use guard::{
-    try_run_app, try_run_app_budgeted, try_run_app_faulty, try_run_app_faulty_traced,
-    try_run_app_with, try_run_app_with_tracer, verify_soundness, GuardReport, SoundnessOutcome,
-    SoundnessViolation, MAX_ROUNDS,
+    try_run_app, try_run_app_budgeted, try_run_app_checkpointed, try_run_app_checkpointed_traced,
+    try_run_app_faulty, try_run_app_faulty_traced, try_run_app_with, try_run_app_with_tracer,
+    verify_soundness, GuardReport, SoundnessOutcome, SoundnessViolation, MAX_ROUNDS,
 };
 pub use hw::HwError;
 pub use jit::{
@@ -96,4 +98,8 @@ pub use jit::{
     try_jit_analyze_app_traced, JitKernel, LaunchProfile,
 };
 pub use modes::ExecMode;
+pub use snapshot::{
+    app_fingerprint, atomic_write, manifest, CheckpointPolicy, DirStore, MemStore, RunSnapshot,
+    SnapshotError, SnapshotStore, SNAPSHOT_FILE,
+};
 pub use streams::{run_streams, StreamAssignment};

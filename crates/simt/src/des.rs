@@ -168,6 +168,279 @@ struct SmState {
     free_shared: u32,
 }
 
+/// Serializable image of a [`DesEngine`] between steps.
+///
+/// Captures everything the engine owns — SM free resources, in-flight
+/// completion events, the simulation clock, and the accumulated
+/// [`DesStats`] including the full schedule — so a run restored from a
+/// checkpoint continues bit-identically to one that never stopped. The
+/// completion heap is drained into sorted order so the image itself is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DesCheckpoint {
+    /// Per-SM `(free_tbs, free_threads, free_shared)`.
+    pub sms: Vec<(u32, u32, u32)>,
+    /// Pending completion events `(finish, seq, sm, descriptor)`, sorted.
+    pub events: Vec<(u64, u64, u32, TbDescriptor)>,
+    /// Next placement sequence number (heap tie-breaker).
+    pub seq: u64,
+    /// Current simulation time.
+    pub now: u64,
+    /// Thread blocks currently running.
+    pub running: u32,
+    /// Last time the concurrency integral was folded.
+    pub last_t: u64,
+    /// Per-SM resident thread-block counts.
+    pub resident: Vec<u32>,
+    /// Statistics accumulated so far (schedule included).
+    pub stats: DesStats,
+}
+
+/// Result of one [`DesEngine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The engine placed/advanced/completed work; call `step` again.
+    Progressed,
+    /// The source is done and no completions are in flight; the run is
+    /// over and [`DesEngine::finish`] may be called.
+    Finished,
+}
+
+/// The discrete-event loop of [`try_run_traced`], hoisted into a struct so
+/// drivers can interleave their own work — checkpointing at kernel
+/// boundaries, deterministic kill points — between iterations.
+///
+/// One [`step`](DesEngine::step) is exactly one iteration of the original
+/// loop: abort check, placement phase, done check, time advance, and the
+/// completion batch at the new time. State between steps is fully captured
+/// by [`checkpoint`](DesEngine::checkpoint) and restored by
+/// [`from_checkpoint`](DesEngine::from_checkpoint).
+#[derive(Debug, Clone)]
+pub struct DesEngine {
+    sms: Vec<SmState>,
+    // Completion events: (time, seq, sm, desc).
+    heap: BinaryHeap<Reverse<(u64, u64, usize, TbDescriptor)>>,
+    seq: u64,
+    now: u64,
+    running: u32,
+    stats: DesStats,
+    last_t: u64,
+    resident: Vec<u32>,
+}
+
+impl DesEngine {
+    /// A fresh engine at cycle 0 with all SM resources free.
+    ///
+    /// The caller owns the `source.on_time_advance(0)` kickoff (see
+    /// [`try_run_traced`]); a restored engine must not repeat it.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        DesEngine {
+            sms: (0..cfg.num_sms)
+                .map(|_| SmState {
+                    free_tbs: cfg.max_tbs_per_sm,
+                    free_threads: cfg.max_threads_per_sm,
+                    free_shared: cfg.shared_mem_per_sm,
+                })
+                .collect(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            running: 0,
+            stats: DesStats::default(),
+            last_t: 0,
+            resident: vec![0; cfg.num_sms as usize],
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Consumes the engine after [`StepOutcome::Finished`], stamping the
+    /// final cycle count into the returned statistics.
+    pub fn finish(mut self) -> DesStats {
+        self.stats.total_cycles = self.now;
+        self.stats
+    }
+
+    /// Captures the complete between-steps state.
+    pub fn checkpoint(&self) -> DesCheckpoint {
+        let mut events: Vec<(u64, u64, u32, TbDescriptor)> = self
+            .heap
+            .iter()
+            .map(|Reverse((t, s, si, d))| (*t, *s, *si as u32, *d))
+            .collect();
+        events.sort_unstable();
+        DesCheckpoint {
+            sms: self
+                .sms
+                .iter()
+                .map(|sm| (sm.free_tbs, sm.free_threads, sm.free_shared))
+                .collect(),
+            events,
+            seq: self.seq,
+            now: self.now,
+            running: self.running,
+            last_t: self.last_t,
+            resident: self.resident.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rebuilds an engine from a [`checkpoint`](DesEngine::checkpoint)
+    /// image. The image is trusted to be internally consistent; corrupt
+    /// images are rejected upstream by checksum validation before they
+    /// reach this constructor.
+    pub fn from_checkpoint(ckpt: &DesCheckpoint) -> Self {
+        DesEngine {
+            sms: ckpt
+                .sms
+                .iter()
+                .map(|&(free_tbs, free_threads, free_shared)| SmState {
+                    free_tbs,
+                    free_threads,
+                    free_shared,
+                })
+                .collect(),
+            heap: ckpt
+                .events
+                .iter()
+                .map(|&(t, s, si, d)| Reverse((t, s, si as usize, d)))
+                .collect(),
+            seq: ckpt.seq,
+            now: ckpt.now,
+            running: ckpt.running,
+            stats: ckpt.stats.clone(),
+            last_t: ckpt.last_t,
+            resident: ckpt.resident.clone(),
+        }
+    }
+
+    /// Runs one iteration of the event loop.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`try_run`]: [`DesError::Deadlock`] on a no-progress
+    /// state, [`DesError::SourceAbort`] when the source flags a failure.
+    pub fn step<T: Tracer>(
+        &mut self,
+        source: &mut dyn TbSource,
+        tracer: &T,
+    ) -> Result<StepOutcome, DesError> {
+        if source.aborted() {
+            return Err(DesError::SourceAbort { cycle: self.now });
+        }
+        // Placement phase: place as many ready TBs as resources allow.
+        loop {
+            let popped = {
+                let sms = &self.sms;
+                let fits = |threads: u32, shared: u32| {
+                    sms.iter().any(|sm| {
+                        sm.free_tbs >= 1 && sm.free_threads >= threads && sm.free_shared >= shared
+                    })
+                };
+                source.pop_ready(self.now, &fits)
+            };
+            let Some(d) = popped else {
+                break;
+            };
+            // Most-free-threads SM for load balance.
+            let (si, _) = self
+                .sms
+                .iter()
+                .enumerate()
+                .filter(|(_, sm)| {
+                    sm.free_tbs >= 1
+                        && sm.free_threads >= d.threads
+                        && sm.free_shared >= d.shared_bytes
+                })
+                .max_by_key(|(_, sm)| sm.free_threads)
+                .expect("pop_ready must respect the fits predicate");
+            self.sms[si].free_tbs -= 1;
+            self.sms[si].free_threads -= d.threads;
+            self.sms[si].free_shared -= d.shared_bytes;
+            self.stats.concurrency_integral +=
+                self.running as u128 * (self.now - self.last_t) as u128;
+            self.last_t = self.now;
+            self.running += 1;
+            source.on_tb_start(d.key, self.now);
+            self.heap
+                .push(Reverse((self.now + d.duration.max(1), self.seq, si, d)));
+            self.stats
+                .schedule
+                .push((d.key, self.now, self.now + d.duration.max(1)));
+            self.seq += 1;
+            self.resident[si] += 1;
+            if T::ENABLED {
+                tracer.emit(TraceEvent::SmOccupancy {
+                    cycle: self.now,
+                    sm: si as u32,
+                    resident: self.resident[si],
+                });
+            }
+        }
+        if source.is_done() && self.heap.is_empty() {
+            return Ok(StepOutcome::Finished);
+        }
+        // Advance to the next completion or external event.
+        let next_completion = self.heap.peek().map(|Reverse((t, ..))| *t);
+        let next_external = source.next_event_at(self.now).filter(|&t| t > self.now);
+        let next = match (next_completion, next_external) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => {
+                if source.aborted() {
+                    return Err(DesError::SourceAbort { cycle: self.now });
+                }
+                return Err(DesError::Deadlock(DeadlockSnapshot {
+                    cycle: self.now,
+                    tbs_executed: self.stats.tbs_executed,
+                    resident: self.heap.iter().map(|Reverse((.., d))| d.key).collect(),
+                    diagnostics: source.diagnostics(),
+                }));
+            }
+        };
+        debug_assert!(next >= self.now, "time must not move backwards");
+        self.stats.concurrency_integral += self.running as u128 * (next - self.last_t) as u128;
+        self.last_t = next;
+        self.now = next;
+        // Pop all completions at `now`.
+        while let Some(Reverse((t, ..))) = self.heap.peek() {
+            if *t > self.now {
+                break;
+            }
+            let Reverse((t_fin, _, si, d)) = self.heap.pop().unwrap();
+            self.sms[si].free_tbs += 1;
+            self.sms[si].free_threads += d.threads;
+            self.sms[si].free_shared += d.shared_bytes;
+            self.running -= 1;
+            self.stats.tbs_executed += 1;
+            self.resident[si] -= 1;
+            if T::ENABLED {
+                tracer.emit(TraceEvent::TbSpan {
+                    id: TbId {
+                        kernel: d.key.kernel_seq,
+                        tb: d.key.tb,
+                    },
+                    sm: si as u32,
+                    start: t_fin - d.duration.max(1),
+                    finish: t_fin,
+                });
+                tracer.emit(TraceEvent::SmOccupancy {
+                    cycle: t_fin,
+                    sm: si as u32,
+                    resident: self.resident[si],
+                });
+            }
+            source.on_tb_complete(d.key, self.now);
+        }
+        source.on_time_advance(self.now);
+        Ok(StepOutcome::Progressed)
+    }
+}
+
 /// Runs the engine until the source reports completion.
 ///
 /// # Panics
@@ -218,131 +491,13 @@ pub fn try_run_traced<T: Tracer>(
     source: &mut dyn TbSource,
     tracer: &T,
 ) -> Result<DesStats, DesError> {
-    let mut sms: Vec<SmState> = (0..cfg.num_sms)
-        .map(|_| SmState {
-            free_tbs: cfg.max_tbs_per_sm,
-            free_threads: cfg.max_threads_per_sm,
-            free_shared: cfg.shared_mem_per_sm,
-        })
-        .collect();
-    // Completion events: (time, seq, sm, desc).
-    let mut heap: BinaryHeap<Reverse<(u64, u64, usize, TbDescriptor)>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let mut now = 0u64;
-    let mut running = 0u32;
-    let mut stats = DesStats::default();
-    let mut last_t = 0u64;
-    // Per-SM resident counts, maintained only when a tracer is attached.
-    let mut resident: Vec<u32> = if T::ENABLED {
-        vec![0; sms.len()]
-    } else {
-        Vec::new()
-    };
+    let mut engine = DesEngine::new(cfg);
     source.on_time_advance(0);
     loop {
-        if source.aborted() {
-            return Err(DesError::SourceAbort { cycle: now });
+        if engine.step(source, tracer)? == StepOutcome::Finished {
+            return Ok(engine.finish());
         }
-        // Placement phase: place as many ready TBs as resources allow.
-        loop {
-            let fits = |threads: u32, shared: u32| {
-                sms.iter().any(|sm| {
-                    sm.free_tbs >= 1 && sm.free_threads >= threads && sm.free_shared >= shared
-                })
-            };
-            let Some(d) = source.pop_ready(now, &fits) else {
-                break;
-            };
-            // Most-free-threads SM for load balance.
-            let (si, _) = sms
-                .iter()
-                .enumerate()
-                .filter(|(_, sm)| {
-                    sm.free_tbs >= 1
-                        && sm.free_threads >= d.threads
-                        && sm.free_shared >= d.shared_bytes
-                })
-                .max_by_key(|(_, sm)| sm.free_threads)
-                .expect("pop_ready must respect the fits predicate");
-            sms[si].free_tbs -= 1;
-            sms[si].free_threads -= d.threads;
-            sms[si].free_shared -= d.shared_bytes;
-            stats.concurrency_integral += running as u128 * (now - last_t) as u128;
-            last_t = now;
-            running += 1;
-            source.on_tb_start(d.key, now);
-            heap.push(Reverse((now + d.duration.max(1), seq, si, d)));
-            stats.schedule.push((d.key, now, now + d.duration.max(1)));
-            seq += 1;
-            if T::ENABLED {
-                resident[si] += 1;
-                tracer.emit(TraceEvent::SmOccupancy {
-                    cycle: now,
-                    sm: si as u32,
-                    resident: resident[si],
-                });
-            }
-        }
-        if source.is_done() && heap.is_empty() {
-            break;
-        }
-        // Advance to the next completion or external event.
-        let next_completion = heap.peek().map(|Reverse((t, ..))| *t);
-        let next_external = source.next_event_at(now).filter(|&t| t > now);
-        let next = match (next_completion, next_external) {
-            (Some(a), Some(b)) => a.min(b),
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (None, None) => {
-                if source.aborted() {
-                    return Err(DesError::SourceAbort { cycle: now });
-                }
-                return Err(DesError::Deadlock(DeadlockSnapshot {
-                    cycle: now,
-                    tbs_executed: stats.tbs_executed,
-                    resident: heap.iter().map(|Reverse((.., d))| d.key).collect(),
-                    diagnostics: source.diagnostics(),
-                }));
-            }
-        };
-        debug_assert!(next >= now, "time must not move backwards");
-        stats.concurrency_integral += running as u128 * (next - last_t) as u128;
-        last_t = next;
-        now = next;
-        // Pop all completions at `now`.
-        while let Some(Reverse((t, ..))) = heap.peek() {
-            if *t > now {
-                break;
-            }
-            let Reverse((t_fin, _, si, d)) = heap.pop().unwrap();
-            sms[si].free_tbs += 1;
-            sms[si].free_threads += d.threads;
-            sms[si].free_shared += d.shared_bytes;
-            running -= 1;
-            stats.tbs_executed += 1;
-            if T::ENABLED {
-                resident[si] -= 1;
-                tracer.emit(TraceEvent::TbSpan {
-                    id: TbId {
-                        kernel: d.key.kernel_seq,
-                        tb: d.key.tb,
-                    },
-                    sm: si as u32,
-                    start: t_fin - d.duration.max(1),
-                    finish: t_fin,
-                });
-                tracer.emit(TraceEvent::SmOccupancy {
-                    cycle: t_fin,
-                    sm: si as u32,
-                    resident: resident[si],
-                });
-            }
-            source.on_tb_complete(d.key, now);
-        }
-        source.on_time_advance(now);
     }
-    stats.total_cycles = now;
-    Ok(stats)
 }
 
 #[cfg(test)]
@@ -568,6 +723,40 @@ mod tests {
                 TraceEvent::TbSpan { id, start: s, finish: f, .. }
                     if id.kernel == key.kernel_seq && id.tb == key.tb && s == start && f == finish
             )));
+        }
+    }
+
+    #[test]
+    fn checkpoint_midway_resumes_bit_identically() {
+        let mut cfg = GpuConfig::small();
+        cfg.num_sms = 2;
+        cfg.max_tbs_per_sm = 2;
+        let items: Vec<(u64, TbDescriptor)> = (0..10)
+            .map(|i| (u64::from(i) * 7, desc(0, i, 32, 25 + u64::from(i % 3))))
+            .collect();
+        let reference = try_run(&cfg, &mut QueueSource::new(items.clone())).unwrap();
+        // Run a few steps, snapshot, restore into a fresh engine, finish.
+        // The source is re-wound by replaying the same number of steps on a
+        // second copy (sources carry their own checkpointing upstream).
+        for stop_after in [1usize, 3, 5] {
+            let mut src = QueueSource::new(items.clone());
+            let mut engine = DesEngine::new(&cfg);
+            src.on_time_advance(0);
+            for _ in 0..stop_after {
+                assert_eq!(
+                    engine.step(&mut src, &NullTracer).unwrap(),
+                    StepOutcome::Progressed
+                );
+            }
+            let ckpt = engine.checkpoint();
+            assert_eq!(DesEngine::from_checkpoint(&ckpt).checkpoint(), ckpt);
+            let mut resumed = DesEngine::from_checkpoint(&ckpt);
+            loop {
+                if resumed.step(&mut src, &NullTracer).unwrap() == StepOutcome::Finished {
+                    break;
+                }
+            }
+            assert_eq!(resumed.finish(), reference, "stop_after={stop_after}");
         }
     }
 

@@ -23,6 +23,7 @@ pub mod timing;
 
 pub use config::{GpuConfig, ParallelConfig};
 pub use des::{
-    try_run_traced, DeadlockSnapshot, DesError, DesStats, TbDescriptor, TbKey, TbSource,
+    try_run_traced, DeadlockSnapshot, DesCheckpoint, DesEngine, DesError, DesStats, StepOutcome,
+    TbDescriptor, TbKey, TbSource,
 };
 pub use timing::{simulate_sm, SmTiming};

@@ -370,6 +370,52 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                     ]),
                 ));
             }
+            TraceEvent::CheckpointSave {
+                cycle,
+                retired,
+                bytes,
+            } => {
+                process_names.insert(PID_HOST, "host".to_string());
+                thread_names
+                    .entry((PID_HOST, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_HOST,
+                    TID_INSTANTS,
+                    *cycle,
+                    "checkpoint-save",
+                    Json::obj([
+                        ("retired", Json::int(*retired as u64)),
+                        ("bytes", Json::int(*bytes)),
+                    ]),
+                ));
+            }
+            TraceEvent::CheckpointLoad { cycle, retired } => {
+                process_names.insert(PID_HOST, "host".to_string());
+                thread_names
+                    .entry((PID_HOST, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_HOST,
+                    TID_INSTANTS,
+                    *cycle,
+                    "checkpoint-load",
+                    Json::obj([("retired", Json::int(*retired as u64))]),
+                ));
+            }
+            TraceEvent::CheckpointReject { reason } => {
+                process_names.insert(PID_HOST, "host".to_string());
+                thread_names
+                    .entry((PID_HOST, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_HOST,
+                    TID_INSTANTS,
+                    0,
+                    "checkpoint-reject",
+                    Json::obj([("reason", Json::str(reason.clone()))]),
+                ));
+            }
             TraceEvent::CmdqSubmit { pos, orig, kind } => {
                 process_names.insert(PID_CMDQ, "cmdq".to_string());
                 thread_names

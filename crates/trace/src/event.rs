@@ -317,6 +317,32 @@ pub enum TraceEvent {
         /// Why (display form).
         reason: String,
     },
+
+    // ---------------- checkpoint/restore ----------------
+    /// A run snapshot was captured at a kernel-retirement boundary.
+    CheckpointSave {
+        /// Cycle of the boundary.
+        cycle: u64,
+        /// Kernels retired at the boundary.
+        retired: u32,
+        /// Encoded snapshot size in bytes.
+        bytes: u64,
+    },
+    /// A run resumed from a snapshot. Operational metadata: resumed runs
+    /// carry this extra event, so bit-equivalence comparisons against an
+    /// uninterrupted run filter it out by kind (`"checkpoint_load"`).
+    CheckpointLoad {
+        /// Cycle the snapshot was captured at.
+        cycle: u64,
+        /// Kernels retired when the snapshot was captured.
+        retired: u32,
+    },
+    /// A snapshot failed validation (bad magic/version/checksum/truncation)
+    /// and was rejected; the run fell back to a fresh start.
+    CheckpointReject {
+        /// Display form of the typed `SnapshotError`.
+        reason: String,
+    },
 }
 
 impl TraceEvent {
@@ -337,7 +363,10 @@ impl TraceEvent {
             | TraceEvent::BufferLevels { cycle, .. }
             | TraceEvent::Pressure { cycle, .. }
             | TraceEvent::Quarantine { cycle, .. }
-            | TraceEvent::DegradationStamp { cycle, .. } => *cycle,
+            | TraceEvent::DegradationStamp { cycle, .. }
+            | TraceEvent::CheckpointSave { cycle, .. }
+            | TraceEvent::CheckpointLoad { cycle, .. } => *cycle,
+            TraceEvent::CheckpointReject { .. } => 0,
             TraceEvent::AnalysisSpan { start_tick, .. } => *start_tick,
             TraceEvent::AffineFastPath { tick, .. }
             | TraceEvent::CacheProbe { tick, .. }
@@ -368,6 +397,9 @@ impl TraceEvent {
             TraceEvent::Pressure { .. } => "pressure",
             TraceEvent::Quarantine { .. } => "quarantine",
             TraceEvent::DegradationStamp { .. } => "degradation",
+            TraceEvent::CheckpointSave { .. } => "checkpoint_save",
+            TraceEvent::CheckpointLoad { .. } => "checkpoint_load",
+            TraceEvent::CheckpointReject { .. } => "checkpoint_reject",
         }
     }
 }

@@ -44,6 +44,31 @@ impl Json {
         Json::Num(v as f64)
     }
 
+    /// Lossless `u64`: values representable exactly in an `f64` (≤ 2^53)
+    /// become numbers; anything larger becomes a decimal string, so
+    /// counters like `u64::MAX` survive a serialize → parse → re-serialize
+    /// round trip byte-identically.
+    pub fn u64(v: u64) -> Json {
+        const MAX_EXACT: u64 = 1 << 53;
+        if v <= MAX_EXACT {
+            Json::Num(v as f64)
+        } else {
+            Json::Str(v.to_string())
+        }
+    }
+
+    /// Reads a value written by [`Json::u64`]: either an exact integer
+    /// number or its decimal-string fallback.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= (1u64 << 53) as f64 => {
+                Some(*n as u64)
+            }
+            Json::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
     /// The value as an object, if it is one.
     pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
         match self {

@@ -34,6 +34,21 @@ pub trait Tracer {
     /// Record one event. Implementations for disabled sinks should be an
     /// inline no-op.
     fn emit(&self, ev: TraceEvent);
+
+    /// Number of events recorded so far, for sinks that retain their
+    /// stream. Non-recording sinks return 0. The checkpoint subsystem uses
+    /// this to delimit the run-phase slice of the stream that a snapshot
+    /// must carry.
+    fn recorded_len(&self) -> usize {
+        0
+    }
+
+    /// Clone out the recorded events from index `from` onward, for sinks
+    /// that retain their stream; empty otherwise. Used when capturing a
+    /// snapshot's embedded trace slice.
+    fn recorded_since(&self, _from: usize) -> Vec<TraceEvent> {
+        Vec::new()
+    }
 }
 
 /// The no-op sink: `ENABLED = false`, `emit` is an inline empty body.
@@ -106,6 +121,15 @@ impl Tracer for RecordingTracer {
         inner.counters.fold(&ev);
         inner.events.push(ev);
     }
+
+    fn recorded_len(&self) -> usize {
+        self.len()
+    }
+
+    fn recorded_since(&self, from: usize) -> Vec<TraceEvent> {
+        let inner = self.inner.borrow();
+        inner.events.get(from..).unwrap_or_default().to_vec()
+    }
 }
 
 /// Forwarding impl so integration code can pass `&tracer` down the stack
@@ -116,6 +140,14 @@ impl<T: Tracer + ?Sized> Tracer for &T {
     #[inline(always)]
     fn emit(&self, ev: TraceEvent) {
         (**self).emit(ev);
+    }
+
+    fn recorded_len(&self) -> usize {
+        (**self).recorded_len()
+    }
+
+    fn recorded_since(&self, from: usize) -> Vec<TraceEvent> {
+        (**self).recorded_since(from)
     }
 }
 

@@ -13,7 +13,8 @@
 
 use blockmaestro::{
     check_schedule, corrupt_access_set, corrupt_pattern, random_plan, try_jit_analyze_app,
-    try_run_app_faulty, ExecMode, FaultClass, FaultPlan, FaultRng, JitKernel,
+    try_run_app_checkpointed, try_run_app_faulty, try_run_app_with, BmError, CheckpointPolicy,
+    EngineError, ExecMode, FaultClass, FaultPlan, FaultRng, JitKernel, MemStore,
 };
 use bm_cmdq::{ApiCall, Application};
 use bm_depgraph::HazardMode;
@@ -96,12 +97,64 @@ fn fine_grain_mode(rng: &mut Rng) -> ExecMode {
 /// Runs one seeded case of `class`; returns `Ok(true)` if the run
 /// recovered to a correct schedule, `Ok(false)` if it ended in a typed
 /// error, and an error string on any property violation.
+/// One seeded kill-and-resume case: the run is killed at a random interior
+/// kernel boundary (after that boundary's checkpoint lands in the store),
+/// then resumed — and the resumed report must be bit-identical to an
+/// uninterrupted run.
+fn run_kill_case(app: &Application, base_jit: &[JitKernel], rng: &mut Rng) -> Result<bool, String> {
+    let hazard = HazardMode::Raw;
+    let mode = fine_grain_mode(rng);
+    let cfg = GpuConfig::small();
+    let mut frng = FaultRng::new(rng.next_u64());
+    let plan = match random_plan(FaultClass::KillPoint, base_jit, &mut frng) {
+        Some(p) => p,
+        None => return Err("no kill site".into()),
+    };
+    let reference =
+        try_run_app_with(&cfg, app, mode, hazard).map_err(|e| format!("reference run: {e}"))?;
+    let mut store = MemStore::default();
+    let policy = CheckpointPolicy::every_kernels(1);
+    match try_run_app_checkpointed(&cfg, app, mode, hazard, &plan, policy, &mut store, false) {
+        Err(BmError::Engine(EngineError::Killed { .. })) => {}
+        Err(e) => return Err(format!("kill run failed with the wrong error: {e}")),
+        Ok(_) => return Err("kill plan did not fire".into()),
+    }
+    bm_testkit::prop_ensure!(
+        !store.snaps.is_empty(),
+        "the kill must land after its boundary's checkpoint"
+    );
+    let resumed = try_run_app_checkpointed(
+        &cfg,
+        app,
+        mode,
+        hazard,
+        &FaultPlan::default(),
+        policy,
+        &mut store,
+        true,
+    )
+    .map_err(|e| format!("resume failed: {e}"))?;
+    bm_testkit::prop_ensure!(
+        resumed == reference,
+        "under {mode}: resumed report diverges from the uninterrupted run"
+    );
+    let eq = check_schedule(app, &resumed.schedule).map_err(|e| format!("replay failed: {e}"))?;
+    bm_testkit::prop_ensure!(
+        eq.is_match(),
+        "under {mode}: resumed schedule diverges from serialized ({eq})"
+    );
+    Ok(true)
+}
+
 fn run_case(
     class: FaultClass,
     app: &Application,
     base_jit: &[JitKernel],
     rng: &mut Rng,
 ) -> Result<bool, String> {
+    if class == FaultClass::KillPoint {
+        return run_kill_case(app, base_jit, rng);
+    }
     let hazard = HazardMode::Raw;
     let mode = fine_grain_mode(rng);
     let mut jit = base_jit.to_vec();
@@ -236,7 +289,12 @@ fn corrupt_pattern_never_yields_wrong_results() {
 }
 
 #[test]
+fn kill_point_resumes_bit_identically() {
+    check_class(FaultClass::KillPoint);
+}
+
+#[test]
 fn every_fault_class_is_covered() {
-    // 8 classes x 32 seeds = 256 cases across the suite.
-    assert_eq!(FaultClass::all().len() * SEEDS_PER_CLASS, 256);
+    // 9 classes x 32 seeds = 288 cases across the suite.
+    assert_eq!(FaultClass::all().len() * SEEDS_PER_CLASS, 288);
 }
