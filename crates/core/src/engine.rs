@@ -394,6 +394,13 @@ pub struct CheckpointSession<'s> {
     pub save_failures: Vec<SnapshotError>,
     /// Snapshots successfully captured during this run.
     pub saves: u32,
+    /// Cooperative cancellation: installed into the DES engine (observed
+    /// between steps) and checked at every kernel-retirement boundary,
+    /// where a firing forces a final checkpoint before the typed
+    /// [`EngineError::Cancelled`] surfaces. `None` — the default — means
+    /// no check ever fires and the run is bit-identical to a session
+    /// without the field.
+    pub cancel: Option<bm_ptx::cancel::CancelToken>,
 }
 
 impl CheckpointSession<'_> {
@@ -476,7 +483,10 @@ pub fn try_run_analyzed_checkpointed<T: Tracer>(
     });
     let (mut source, mut engine, mut prev_retired, mut last_saved) = match restored {
         Some((source, snap)) => {
-            let engine = DesEngine::from_checkpoint(&snap.des);
+            let mut engine = DesEngine::from_checkpoint(&snap.des);
+            if let Some(tok) = &session.cancel {
+                engine.set_cancel(tok.clone());
+            }
             if T::ENABLED {
                 // Replay the snapshot's embedded run-phase slice so the
                 // resumed stream is bit-identical to the uninterrupted one
@@ -495,7 +505,10 @@ pub fn try_run_analyzed_checkpointed<T: Tracer>(
         }
         None => {
             let mut source = EngineSource::new(cfg, jit, mode, host_ready, fault, tracer);
-            let engine = DesEngine::new(cfg);
+            let mut engine = DesEngine::new(cfg);
+            if let Some(tok) = &session.cancel {
+                engine.set_cancel(tok.clone());
+            }
             source.on_time_advance(0);
             (source, engine, 0, (0, 0))
         }
@@ -535,6 +548,51 @@ pub fn try_run_analyzed_checkpointed<T: Tracer>(
                         });
                     }
                 }
+                // Injected boundary cancellation mirrors the kill point:
+                // the boundary's checkpoint (when due) has already landed,
+                // so the cancelled run is resumable.
+                if let Some(q) = fault.cancel_at_kernel {
+                    if prev_retired < q && retired >= q {
+                        return Err(EngineError::Cancelled {
+                            cycle: now,
+                            retired,
+                            cause: bm_ptx::cancel::CancelCause::Cancelled,
+                        });
+                    }
+                }
+                // Injected worker crash: a raw panic after the boundary's
+                // save, modeling a worker dying mid-run. Contained by the
+                // serve layer's catch_unwind; resumable like a kill.
+                if let Some(q) = fault.panic_at_kernel {
+                    if prev_retired < q && retired >= q {
+                        panic!("injected worker panic at kernel boundary {q}");
+                    }
+                }
+                // Cooperative cancellation at the retirement boundary:
+                // force a final checkpoint for the freshest resume point
+                // (deadlines rarely align with the periodic policy), then
+                // surface the typed error.
+                if let Some(cause) = session.cancel.as_ref().and_then(|t| t.fired()) {
+                    if session.store.is_some()
+                        && (retired as usize) < jit.len()
+                        && last_saved != (retired, now)
+                    {
+                        let snap = capture_snapshot(
+                            &source, &engine, mode, session, &order_ids, retired, now, run_base,
+                            tracer,
+                        );
+                        let store = session.store.as_deref_mut().expect("checked above");
+                        match store.save(&snap) {
+                            Ok(()) => session.saves += 1,
+                            Err(e) => session.save_failures.push(e),
+                        }
+                    }
+                    return Err(EngineError::Cancelled {
+                        cycle: now,
+                        retired,
+                        cause,
+                    });
+                }
                 prev_retired = retired;
             }
             Err(DesError::Deadlock(snap)) => break Some(EngineError::Deadlock(snap)),
@@ -545,6 +603,15 @@ pub fn try_run_analyzed_checkpointed<T: Tracer>(
                         .take()
                         .unwrap_or(EngineError::Aborted { cycle }),
                 )
+            }
+            // The engine observed the token between steps, mid-kernel: the
+            // last boundary checkpoint (if any) remains the resume point.
+            Err(DesError::Cancelled { cycle, cause }) => {
+                break Some(EngineError::Cancelled {
+                    cycle,
+                    retired: prev_retired,
+                    cause,
+                })
             }
         }
     };

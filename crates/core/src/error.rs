@@ -47,6 +47,18 @@ pub enum EngineError {
         /// Kernels retired when the kill fired.
         retired: u32,
     },
+    /// A cooperative [`bm_ptx::cancel::CancelToken`] fired (explicit
+    /// cancel or deadline). When a store is configured, a final checkpoint
+    /// at the last completed boundary was captured before the error
+    /// surfaced, so a retried request resumes instead of restarting.
+    Cancelled {
+        /// Simulation cycle at which the cancellation was observed.
+        cycle: u64,
+        /// Kernels retired when it was observed.
+        retired: u32,
+        /// Why the token fired.
+        cause: bm_ptx::cancel::CancelCause,
+    },
 }
 
 impl EngineError {
@@ -57,7 +69,8 @@ impl EngineError {
             EngineError::Deadlock(snap) => snap.cycle,
             EngineError::Hw { cycle, .. }
             | EngineError::Aborted { cycle }
-            | EngineError::Killed { cycle, .. } => *cycle,
+            | EngineError::Killed { cycle, .. }
+            | EngineError::Cancelled { cycle, .. } => *cycle,
         }
     }
 }
@@ -79,6 +92,16 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "killed at cycle {cycle} after {retired} kernels retired (checkpoint boundary)"
+                )
+            }
+            EngineError::Cancelled {
+                cycle,
+                retired,
+                cause,
+            } => {
+                write!(
+                    f,
+                    "{cause} at cycle {cycle} after {retired} kernels retired"
                 )
             }
         }

@@ -76,11 +76,21 @@ pub enum FaultClass {
     /// harness then resumes from the last checkpoint and proves the
     /// resumed run bit-identical to an uninterrupted one.
     KillPoint,
+    /// A raw panic fires at a kernel-retirement boundary — modelling a
+    /// worker thread dying mid-run (bug, OOM abort). The serve layer's
+    /// `catch_unwind` must contain it, dispose the poisoned state, and
+    /// resume a retry from the boundary's checkpoint.
+    WorkerPanic,
+    /// A cooperative cancellation fires at a kernel-retirement boundary —
+    /// the run must surface [`crate::error::EngineError::Cancelled`] with
+    /// a resumable checkpoint, and a retried run must be bit-identical to
+    /// an uninterrupted one.
+    CancelAtBoundary,
 }
 
 impl FaultClass {
     /// Every dynamic + static fault class.
-    pub fn all() -> [FaultClass; 9] {
+    pub fn all() -> [FaultClass; 11] {
         [
             FaultClass::DropChild,
             FaultClass::PhantomChild,
@@ -91,6 +101,8 @@ impl FaultClass {
             FaultClass::CorruptAccessSet,
             FaultClass::CorruptPattern,
             FaultClass::KillPoint,
+            FaultClass::WorkerPanic,
+            FaultClass::CancelAtBoundary,
         ]
     }
 
@@ -120,6 +132,15 @@ pub struct FaultPlan {
     /// engine returns [`crate::error::EngineError::Killed`] immediately
     /// after the checkpoint at that boundary is captured.
     pub kill_at_kernel: Option<u32>,
+    /// Cancel the run at the retirement boundary of the `n`-th kernel: the
+    /// engine returns [`crate::error::EngineError::Cancelled`] (cause
+    /// `Cancelled`) after the boundary's checkpoint, modelling a client
+    /// cancel landing exactly at a boundary.
+    pub cancel_at_kernel: Option<u32>,
+    /// Panic at the retirement boundary of the `n`-th kernel — a simulated
+    /// worker crash. Fires *after* the boundary's checkpoint, so a
+    /// contained retry can resume.
+    pub panic_at_kernel: Option<u32>,
 }
 
 impl FaultPlan {
@@ -130,6 +151,8 @@ impl FaultPlan {
             && self.counter_deltas.is_empty()
             && self.pcb_capacity.is_none()
             && self.kill_at_kernel.is_none()
+            && self.cancel_at_kernel.is_none()
+            && self.panic_at_kernel.is_none()
     }
 
     /// Net counter perturbation for one child TB.
@@ -238,6 +261,18 @@ pub fn random_plan(class: FaultClass, jit: &[JitKernel], rng: &mut FaultRng) -> 
             // Kill strictly *inside* the run: after the first retirement at
             // the earliest, before the last at the latest.
             plan.kill_at_kernel = Some(1 + rng.below(jit.len() as u64 - 1) as u32);
+        }
+        FaultClass::CancelAtBoundary => {
+            if jit.len() < 2 {
+                return None;
+            }
+            plan.cancel_at_kernel = Some(1 + rng.below(jit.len() as u64 - 1) as u32);
+        }
+        FaultClass::WorkerPanic => {
+            if jit.len() < 2 {
+                return None;
+            }
+            plan.panic_at_kernel = Some(1 + rng.below(jit.len() as u64 - 1) as u32);
         }
         FaultClass::CorruptAccessSet | FaultClass::CorruptPattern => return Some(plan),
     }
@@ -351,6 +386,8 @@ mod tests {
             counter_deltas: vec![(c0, 2), (c0, -1)],
             pcb_capacity: Some(2),
             kill_at_kernel: None,
+            cancel_at_kernel: None,
+            panic_at_kernel: None,
         };
         assert!(!plan.is_empty());
         assert!(plan.drops(p0, 2));
@@ -363,10 +400,12 @@ mod tests {
 
     #[test]
     fn all_classes_enumerated() {
-        assert_eq!(FaultClass::all().len(), 9);
+        assert_eq!(FaultClass::all().len(), 11);
         assert!(FaultClass::CorruptAccessSet.is_static());
         assert!(!FaultClass::DropChild.is_static());
         assert!(!FaultClass::KillPoint.is_static());
+        assert!(!FaultClass::WorkerPanic.is_static());
+        assert!(!FaultClass::CancelAtBoundary.is_static());
     }
 
     #[test]
@@ -376,5 +415,15 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(!plan.is_empty());
+        let cancel = FaultPlan {
+            cancel_at_kernel: Some(1),
+            ..FaultPlan::default()
+        };
+        assert!(!cancel.is_empty());
+        let panic = FaultPlan {
+            panic_at_kernel: Some(1),
+            ..FaultPlan::default()
+        };
+        assert!(!panic.is_empty());
     }
 }

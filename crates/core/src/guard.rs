@@ -23,7 +23,7 @@ use crate::error::{BmError, EngineError};
 use crate::faults::FaultPlan;
 use crate::jit::{
     recompute_skip_gates, try_jit_analyze_app, try_jit_analyze_app_budgeted,
-    try_jit_analyze_app_traced, JitKernel,
+    try_jit_analyze_app_par_traced, try_jit_analyze_app_traced, JitKernel,
 };
 use crate::modes::ExecMode;
 use crate::snapshot::{
@@ -36,6 +36,7 @@ use bm_ptx::error::PtxError;
 use bm_ptx::interp::{execute_block, ExecObserver, ThreadId};
 use bm_ptx::isa::Op;
 use bm_ptx::kernel::Launch;
+use bm_ptx::par::ParallelConfig;
 use bm_simt::des::TbKey;
 use bm_trace::{NullTracer, TraceEvent, Tracer};
 use std::collections::HashSet;
@@ -347,9 +348,12 @@ pub fn try_run_app_faulty_traced<T: Tracer>(
                             .collect()
                     }
                 }
-                // A kill is a simulated crash, not a soundness failure:
-                // never quarantine for it — resume from the checkpoint.
-                Err(e @ EngineError::Killed { .. }) => return Err(e.into()),
+                // A kill or cancellation is a simulated crash / external
+                // stop, not a soundness failure: never quarantine for it —
+                // resume from the checkpoint.
+                Err(e @ (EngineError::Killed { .. } | EngineError::Cancelled { .. })) => {
+                    return Err(e.into())
+                }
                 Err(e) => {
                     guard.cycles_lost_to_fallback += e.cycles_wasted();
                     guard.violations_detected += 1;
@@ -488,10 +492,75 @@ pub fn try_run_app_checkpointed_traced<T: Tracer>(
     resume: bool,
     tracer: &T,
 ) -> Result<RunReport, BmError> {
+    try_run_app_checkpointed_ctl(
+        cfg,
+        app,
+        mode,
+        hazard,
+        fault,
+        policy,
+        store,
+        resume,
+        tracer,
+        &RunCtl::default(),
+    )
+}
+
+/// Caller controls a serving layer threads into one checkpointed run:
+/// the analysis [`ParallelConfig`] and a cooperative cancellation token.
+///
+/// [`RunCtl::default`] — reference analysis config, no token — reproduces
+/// [`try_run_app_checkpointed_traced`] bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtl {
+    /// Parallelism for the launch-time analysis pipeline; `None` uses
+    /// [`ParallelConfig::reference`], the traced pipeline's baseline.
+    pub par: Option<ParallelConfig>,
+    /// Cooperative cancellation observed at analysis phase boundaries and
+    /// kernel-retirement boundaries. `None` never fires a check.
+    pub cancel: Option<bm_ptx::cancel::CancelToken>,
+}
+
+impl RunCtl {
+    /// The analysis configuration to use, with the cancel token installed.
+    fn analysis_par(&self) -> ParallelConfig {
+        let mut par = self.par.clone().unwrap_or_else(ParallelConfig::reference);
+        par.cancel = self.cancel.clone();
+        par
+    }
+}
+
+/// [`try_run_app_checkpointed_traced`] under an explicit [`RunCtl`]: the
+/// serving layer's entry point. A fired token surfaces as
+/// [`EngineError::Cancelled`] with a final checkpoint in `store` (when a
+/// boundary was reached), so a retried request resumes instead of
+/// restarting; a token that never fires leaves the run bit-identical to
+/// [`try_run_app_checkpointed_traced`].
+///
+/// # Errors
+///
+/// As [`try_run_app_checkpointed`], plus [`BmError::Engine`] wrapping
+/// [`EngineError::Cancelled`] (run phase) or [`BmError::Ptx`] wrapping
+/// [`bm_ptx::PtxError::Cancelled`] (analysis phase) when the token fires.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_app_checkpointed_ctl<T: Tracer>(
+    cfg: &bm_simt::config::GpuConfig,
+    app: &Application,
+    mode: ExecMode,
+    hazard: HazardMode,
+    fault: &FaultPlan,
+    policy: CheckpointPolicy,
+    store: &mut dyn SnapshotStore,
+    resume: bool,
+    tracer: &T,
+    ctl: &RunCtl,
+) -> Result<RunReport, BmError> {
     app.validate()?;
     let budget = AnalysisBudget::default();
     let mut cache = AnalysisCache::for_budget(&budget);
-    let mut jit = try_jit_analyze_app_traced(cfg, app, hazard, &budget, &mut cache, tracer)?;
+    let par = ctl.analysis_par();
+    let mut jit =
+        try_jit_analyze_app_par_traced(cfg, app, hazard, &budget, &mut cache, &par, tracer)?;
     let app_fp = app_fingerprint(app);
     let hazard_str = format!("{hazard:?}");
     let mut resumed: Option<RunSnapshot> = None;
@@ -548,6 +617,7 @@ pub fn try_run_app_checkpointed_traced<T: Tracer>(
             resume: resumed.take(),
             save_failures: Vec::new(),
             saves: 0,
+            cancel: ctl.cancel.clone(),
         };
         let failed_at: u64;
         let targets: Vec<usize> = match try_run_analyzed_checkpointed(
@@ -579,9 +649,11 @@ pub fn try_run_app_checkpointed_traced<T: Tracer>(
                         .collect()
                 }
             }
-            // A kill is the crash under test, not a soundness
-            // failure: surface it so the caller can resume.
-            Err(e @ EngineError::Killed { .. }) => return Err(e.into()),
+            // A kill or cancellation is not a soundness failure: never
+            // quarantine for it — surface it so the caller can resume.
+            Err(e @ (EngineError::Killed { .. } | EngineError::Cancelled { .. })) => {
+                return Err(e.into())
+            }
             Err(e) => {
                 guard.cycles_lost_to_fallback += e.cycles_wasted();
                 guard.violations_detected += 1;

@@ -234,8 +234,36 @@ pub fn try_jit_analyze_app_traced<T: Tracer>(
     cache: &mut AnalysisCache,
     tracer: &T,
 ) -> Result<Vec<JitKernel>, PtxError> {
+    try_jit_analyze_app_par_traced(
+        cfg,
+        app,
+        hazard,
+        budget,
+        cache,
+        &ParallelConfig::reference(),
+        tracer,
+    )
+}
+
+/// [`try_jit_analyze_app_traced`] under an explicit [`ParallelConfig`]:
+/// the serial traced ladder, but each launch's per-TB interpretation may
+/// fan out per `par` (safe with a shared sink — absint workers never
+/// trace) and `par.cancel` is honored at every analysis phase boundary.
+///
+/// # Errors
+///
+/// As [`try_jit_analyze_app`], plus [`PtxError::Cancelled`] when
+/// `par.cancel` fires between phases.
+pub fn try_jit_analyze_app_par_traced<T: Tracer>(
+    cfg: &GpuConfig,
+    app: &Application,
+    hazard: HazardMode,
+    budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+    par: &ParallelConfig,
+    tracer: &T,
+) -> Result<Vec<JitKernel>, PtxError> {
     let launches: Vec<&Launch> = app.launches();
-    let par = ParallelConfig::reference();
     let mut scratch = scratch_memory(app);
     let mut clock = 0u64;
     let analyzed: Vec<Result<Analyzed, PtxError>> = launches
@@ -248,7 +276,7 @@ pub fn try_jit_analyze_app_traced<T: Tracer>(
                 &mut scratch,
                 budget,
                 cache,
-                &par,
+                par,
                 tracer,
                 &mut clock,
                 seq as u32,
@@ -259,7 +287,7 @@ pub fn try_jit_analyze_app_traced<T: Tracer>(
     let mut prev: Option<&Launch> = None;
     for ((seq, launch), result) in launches.iter().enumerate().zip(analyzed) {
         push_kernel(
-            &mut out, seq as u32, prev, launch, result?, hazard, budget, cache, &par, tracer,
+            &mut out, seq as u32, prev, launch, result?, hazard, budget, cache, par, tracer,
             &mut clock,
         );
         prev = Some(launch);
@@ -649,6 +677,13 @@ fn compute_analysis<T: Tracer>(
                 interpreted: stats.tbs_interpreted,
                 synthesized: stats.tbs_synthesized,
             });
+            tracer.emit(TraceEvent::ParallelDecision {
+                tick: *clock,
+                seq,
+                tbs: launch.num_blocks(),
+                threads: stats.threads_used,
+                fallback: stats.serial_fallback,
+            });
         }
     }
     let access = match attempt {
@@ -662,6 +697,11 @@ fn compute_analysis<T: Tracer>(
                 *clock,
                 seq,
             );
+            // Phase boundary: a deadline landing mid-ladder abandons the
+            // launch here instead of paying for the coarse retry.
+            if let Some(cause) = par.cancel_fired() {
+                return Err(PtxError::Cancelled(cause));
+            }
             let mut coarse_fuel = budget.coarse_fuel;
             let coarse =
                 try_analyze_launch_grouped(launch, budget.coarse_groups, &mut coarse_fuel)?;
@@ -701,6 +741,10 @@ fn compute_analysis<T: Tracer>(
             *clock,
             seq,
         );
+    }
+    // Phase boundary between access analysis and trace profiling.
+    if let Some(cause) = par.cancel_fired() {
+        return Err(PtxError::Cancelled(cause));
     }
     let trace_start = *clock;
     let profile = match try_profile_launch_limited(cfg, launch, scratch, budget.trace_steps) {

@@ -87,19 +87,20 @@ pub use faults::{
     corrupt_access_set, corrupt_pattern, random_plan, FaultClass, FaultPlan, FaultRng,
 };
 pub use guard::{
-    try_run_app, try_run_app_budgeted, try_run_app_checkpointed, try_run_app_checkpointed_traced,
-    try_run_app_faulty, try_run_app_faulty_traced, try_run_app_with, try_run_app_with_tracer,
-    verify_soundness, GuardReport, SoundnessOutcome, SoundnessViolation, MAX_ROUNDS,
+    try_run_app, try_run_app_budgeted, try_run_app_checkpointed, try_run_app_checkpointed_ctl,
+    try_run_app_checkpointed_traced, try_run_app_faulty, try_run_app_faulty_traced,
+    try_run_app_with, try_run_app_with_tracer, verify_soundness, GuardReport, RunCtl,
+    SoundnessOutcome, SoundnessViolation, MAX_ROUNDS,
 };
 pub use hw::HwError;
 pub use jit::{
     jit_analyze_app, jit_analyze_app_budgeted, jit_analyze_app_par, jit_analyze_app_traced,
     try_jit_analyze_app, try_jit_analyze_app_budgeted, try_jit_analyze_app_par,
-    try_jit_analyze_app_traced, JitKernel, LaunchProfile,
+    try_jit_analyze_app_par_traced, try_jit_analyze_app_traced, JitKernel, LaunchProfile,
 };
 pub use modes::ExecMode;
 pub use snapshot::{
-    app_fingerprint, atomic_write, manifest, CheckpointPolicy, DirStore, MemStore, RunSnapshot,
-    SnapshotError, SnapshotStore, SNAPSHOT_FILE,
+    app_fingerprint, atomic_write, atomic_write_counted, manifest, CheckpointPolicy, DirStore,
+    FsyncStats, MemStore, RunSnapshot, SnapshotError, SnapshotStore, SNAPSHOT_FILE,
 };
 pub use streams::{run_streams, StreamAssignment};

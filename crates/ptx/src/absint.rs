@@ -462,6 +462,12 @@ pub struct AbsintStats {
     /// certificate; `attempted && !accepted` means the launch fell back to
     /// full per-TB interpretation.
     pub affine_accepted: bool,
+    /// Worker threads the per-TB interpretation loop actually used
+    /// (0 when the affine path answered without reaching the loop).
+    pub threads_used: u32,
+    /// Whether the adaptive heuristic forced the loop serial because the
+    /// grid fell below `ParallelConfig::serial_tb_threshold`.
+    pub serial_fallback: bool,
 }
 
 /// The affine per-TB hypothesis: thread block `i`'s access ranges are the
@@ -767,13 +773,19 @@ pub fn try_analyze_launch_fueled(
 ///
 /// # Errors
 ///
-/// [`PtxError::BadLaunch`] for structurally invalid launches.
+/// [`PtxError::BadLaunch`] for structurally invalid launches;
+/// [`PtxError::Cancelled`] when `par.cancel` has fired before the launch
+/// is analyzed (the check sits at the phase boundary, so a token that
+/// never fires leaves the analysis bit-identical).
 pub fn try_analyze_launch_fueled_par(
     launch: &Launch,
     fuel: &mut u64,
     par: &ParallelConfig,
 ) -> Result<Option<(KernelAccess, AbsintStats)>, PtxError> {
     crate::error::validate_launch(launch)?;
+    if let Some(cause) = par.cancel_fired() {
+        return Err(PtxError::Cancelled(cause));
+    }
     Ok(analyze_launch_fueled_par_unchecked(launch, fuel, par))
 }
 
@@ -858,7 +870,9 @@ fn analyze_launch_fueled_par_unchecked(
     }
 
     stats.tbs_interpreted = n;
-    let threads = par.effective_threads(n as usize);
+    let threads = par.tb_threads(n as usize);
+    stats.threads_used = threads as u32;
+    stats.serial_fallback = threads == 1 && par.effective_threads(n as usize) > 1;
     if threads <= 1 {
         // The sequential loop — with an empty memo and the fast path off,
         // this is the pre-parallel pipeline bit for bit.

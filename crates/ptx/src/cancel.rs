@@ -1,0 +1,127 @@
+//! Cooperative cancellation for long-running analysis and simulation.
+//!
+//! A [`CancelToken`] is a shared flag set *once* by an external controller
+//! (a serving layer's deadline reaper, a client disconnect) and observed
+//! at safe boundaries by the launch-time analysis pipeline and the DES
+//! engine. Observation is pure: a token that never fires changes no
+//! output bit anywhere in the stack, and checking it costs one relaxed
+//! atomic load — there is no cycle accounting attached to the check, so
+//! cancellation support adds zero drift to simulated time.
+//!
+//! The token distinguishes *why* it fired ([`CancelCause::Cancelled`] for
+//! an explicit request, [`CancelCause::DeadlineExceeded`] for a deadline),
+//! so callers can surface typed errors. The first cause to land wins;
+//! later firings are ignored.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Why a [`CancelToken`] fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The controller explicitly cancelled the work.
+    Cancelled,
+    /// The work's deadline passed before it completed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for CancelCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CancelCause::Cancelled => "cancelled",
+            CancelCause::DeadlineExceeded => "deadline exceeded",
+        })
+    }
+}
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+/// A shared, clonable cancellation flag.
+///
+/// Clones observe the same underlying state; equality compares identity
+/// (two tokens are equal iff they share state), which keeps containers of
+/// tokens (`ParallelConfig` among them) derivable.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fires the token with [`CancelCause::Cancelled`]. No-op if the token
+    /// already fired (the first cause wins).
+    pub fn cancel(&self) {
+        let _ = self
+            .state
+            .compare_exchange(LIVE, CANCELLED, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Fires the token with [`CancelCause::DeadlineExceeded`]. No-op if the
+    /// token already fired.
+    pub fn expire(&self) {
+        let _ = self
+            .state
+            .compare_exchange(LIVE, DEADLINE, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The cause the token fired with, or `None` while it is live.
+    pub fn fired(&self) -> Option<CancelCause> {
+        match self.state.load(Ordering::Relaxed) {
+            CANCELLED => Some(CancelCause::Cancelled),
+            DEADLINE => Some(CancelCause::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// Whether the token has fired (for either cause).
+    pub fn is_fired(&self) -> bool {
+        self.fired().is_some()
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+}
+
+impl Eq for CancelToken {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_cause_wins() {
+        let t = CancelToken::new();
+        assert!(!t.is_fired());
+        assert_eq!(t.fired(), None);
+        t.expire();
+        assert_eq!(t.fired(), Some(CancelCause::DeadlineExceeded));
+        t.cancel();
+        assert_eq!(t.fired(), Some(CancelCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn clones_share_state_and_compare_by_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        let c = CancelToken::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        b.cancel();
+        assert_eq!(a.fired(), Some(CancelCause::Cancelled));
+        assert!(!c.is_fired());
+        assert_eq!(CancelCause::Cancelled.to_string(), "cancelled");
+        assert_eq!(
+            CancelCause::DeadlineExceeded.to_string(),
+            "deadline exceeded"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! [`crate::interp::try_execute_launch`]) return so callers can propagate
 //! one error type through a whole toolchain run.
 
+use crate::cancel::CancelCause;
 use crate::interp::ExecError;
 use crate::parser::ParseError;
 use std::fmt;
@@ -27,6 +28,9 @@ pub enum PtxError {
     },
     /// Functional execution failed.
     Exec(ExecError),
+    /// A cooperative [`crate::cancel::CancelToken`] fired at an analysis
+    /// phase boundary; the analysis was abandoned cleanly.
+    Cancelled(CancelCause),
 }
 
 impl fmt::Display for PtxError {
@@ -37,6 +41,7 @@ impl fmt::Display for PtxError {
                 write!(f, "invalid launch of `{kernel}`: {reason}")
             }
             PtxError::Exec(e) => write!(f, "execution error: {e}"),
+            PtxError::Cancelled(cause) => write!(f, "analysis {cause}"),
         }
     }
 }

@@ -47,6 +47,7 @@
 pub mod absint;
 pub mod access;
 pub mod builder;
+pub mod cancel;
 pub mod cfg;
 pub mod error;
 pub mod interp;
@@ -62,6 +63,7 @@ pub mod taint;
 pub mod trace;
 
 pub use access::{KernelAccess, RangeSet, TbAccess};
+pub use cancel::{CancelCause, CancelToken};
 pub use error::PtxError;
 pub use kernel::{ArgValue, Dim3, Kernel, Launch, Param};
 pub use mem::{AddressSpace, AllocId, AllocInfo, GlobalMem};

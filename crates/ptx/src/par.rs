@@ -12,7 +12,16 @@
 //! reproduces the pre-parallel pipeline bit-for-bit and is the baseline
 //! every other configuration is property-tested against.
 
+use crate::cancel::{CancelCause, CancelToken};
 use std::ops::Range;
+
+/// Below this many thread blocks per kernel, multi-threaded per-TB
+/// interpretation is a net loss: fork/join overhead dominates the work
+/// (BENCH_analysis.json: `parallel8` vs `reference` is 0.75x on AlexNet
+/// and 0.50x on BICG, whose kernels have few TBs). [`ParallelConfig`]
+/// constructors meant for production use seed this as the default
+/// serial-fallback threshold.
+pub const DEFAULT_SERIAL_TB_THRESHOLD: u32 = 64;
 
 /// Configuration of the launch-time analysis pipeline: worker threads and
 /// the affine per-TB memoization fast path.
@@ -27,6 +36,18 @@ pub struct ParallelConfig {
     /// (see `bm_ptx::absint`). Verified per launch; rejection falls back
     /// to full interpretation, so disabling this only costs time.
     pub affine_fastpath: bool,
+    /// Per-TB interpretation falls back to one thread for kernels with
+    /// fewer than this many thread blocks — small grids lose more to
+    /// fork/join than they gain from concurrency. `0` disables the
+    /// heuristic. Outputs are thread-count invariant either way (the
+    /// fork/join helper collects in item order), so this is purely a
+    /// wall-clock knob.
+    pub serial_tb_threshold: u32,
+    /// Cooperative cancellation observed at analysis phase boundaries.
+    /// `None` (the default everywhere outside `bm-serve`) means no check
+    /// ever fires. Only the `try_*` analysis entry points honor the
+    /// token — infallible wrappers have no error channel to surface it.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ParallelConfig {
@@ -38,6 +59,8 @@ impl ParallelConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             affine_fastpath: true,
+            serial_tb_threshold: DEFAULT_SERIAL_TB_THRESHOLD,
+            cancel: None,
         }
     }
 
@@ -46,6 +69,8 @@ impl ParallelConfig {
         ParallelConfig {
             threads: 1,
             affine_fastpath: true,
+            serial_tb_threshold: 0,
+            cancel: None,
         }
     }
 
@@ -56,6 +81,8 @@ impl ParallelConfig {
         ParallelConfig {
             threads: 1,
             affine_fastpath: false,
+            serial_tb_threshold: 0,
+            cancel: None,
         }
     }
 
@@ -64,12 +91,39 @@ impl ParallelConfig {
         ParallelConfig {
             threads: threads.max(1),
             affine_fastpath: true,
+            serial_tb_threshold: DEFAULT_SERIAL_TB_THRESHOLD,
+            cancel: None,
         }
+    }
+
+    /// The same configuration with `cancel` installed.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The cause of a fired cancellation token, if one is installed and
+    /// has fired. Analysis stages call this at phase boundaries.
+    pub fn cancel_fired(&self) -> Option<CancelCause> {
+        self.cancel.as_ref().and_then(|t| t.fired())
     }
 
     /// Worker count actually used for `items` work items.
     pub fn effective_threads(&self, items: usize) -> usize {
         self.threads.max(1).min(items.max(1))
+    }
+
+    /// Worker count for per-TB interpretation of an `n_tbs`-block kernel:
+    /// [`ParallelConfig::effective_threads`], except grids below
+    /// [`ParallelConfig::serial_tb_threshold`] run serial. Stages that
+    /// fan out across *kernels* rather than TBs keep using
+    /// `effective_threads` — the threshold is a per-grid heuristic.
+    pub fn tb_threads(&self, n_tbs: usize) -> usize {
+        if self.serial_tb_threshold > 0 && n_tbs < self.serial_tb_threshold as usize {
+            1
+        } else {
+            self.effective_threads(n_tbs)
+        }
     }
 }
 
@@ -164,5 +218,35 @@ mod tests {
         assert_eq!(ParallelConfig::with_threads(0).threads, 1);
         assert_eq!(ParallelConfig::with_threads(8).effective_threads(3), 3);
         assert_eq!(ParallelConfig::with_threads(2).effective_threads(100), 2);
+    }
+
+    #[test]
+    fn tb_threads_falls_back_to_serial_below_threshold() {
+        let par = ParallelConfig::with_threads(8);
+        assert_eq!(par.serial_tb_threshold, DEFAULT_SERIAL_TB_THRESHOLD);
+        // Small grids run serial; at or above the threshold they fan out.
+        assert_eq!(par.tb_threads(8), 1);
+        assert_eq!(par.tb_threads(63), 1);
+        assert_eq!(par.tb_threads(64), 8);
+        assert_eq!(par.tb_threads(1000), 8);
+        // Reference/serial configs disable the heuristic entirely.
+        assert_eq!(ParallelConfig::reference().serial_tb_threshold, 0);
+        assert_eq!(ParallelConfig::serial().serial_tb_threshold, 0);
+        let mut custom = ParallelConfig::with_threads(4);
+        custom.serial_tb_threshold = 0;
+        assert_eq!(custom.tb_threads(2), 2);
+    }
+
+    #[test]
+    fn cancel_plumbs_through_config() {
+        let token = crate::cancel::CancelToken::new();
+        let par = ParallelConfig::reference().with_cancel(token.clone());
+        assert_eq!(par.cancel_fired(), None);
+        token.expire();
+        assert_eq!(
+            par.cancel_fired(),
+            Some(crate::cancel::CancelCause::DeadlineExceeded)
+        );
+        assert_eq!(ParallelConfig::reference().cancel_fired(), None);
     }
 }

@@ -1,0 +1,138 @@
+//! `bmserve` — the BlockMaestro run service over newline-delimited JSON.
+//!
+//! ```text
+//! bmserve [--workers N] [--queue N] [--socket PATH] [--virtual-clock]
+//!         [--no-shed] [--retries N]
+//! ```
+//!
+//! Without `--socket`, requests are read from stdin and responses
+//! written to stdout (one JSON object per line, completion order);
+//! EOF drains in-flight work and exits. With `--socket PATH`, a Unix
+//! socket listener serves each connection the same way.
+//!
+//! `--virtual-clock` times deadlines/backoffs on a virtual clock that
+//! only moves when waiters sleep — every run of the same request stream
+//! then produces the same retry/backoff timeline (useful for tests;
+//! deadlines given in virtual ticks).
+
+use bm_serve::proto::{bad_request_line, parse_request, peek_id};
+use bm_serve::{RunService, ServeConfig, ServiceClock, VirtualClock, WallClock};
+use bm_simt::GpuConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, Mutex};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bmserve [--workers N] [--queue N] [--socket PATH] \
+         [--virtual-clock] [--no-shed] [--retries N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scfg = ServeConfig::default();
+    let mut socket: Option<String> = None;
+    let mut virtual_clock = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> usize {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("bmserve: {what} needs a number");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--workers" => scfg.workers = num("--workers").max(1),
+            "--queue" => scfg.queue_depth = num("--queue").max(1),
+            "--retries" => scfg.retry.max_retries = num("--retries") as u32,
+            "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
+            "--virtual-clock" => virtual_clock = true,
+            "--no-shed" => scfg.shed_to_barrier = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("bmserve: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    let clock: Arc<dyn ServiceClock> = if virtual_clock {
+        VirtualClock::new()
+    } else {
+        WallClock::new()
+    };
+    let service = Arc::new(RunService::start(GpuConfig::small(), scfg, clock));
+
+    match socket {
+        None => {
+            let stdout: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(std::io::stdout()));
+            serve_stream(&service, std::io::stdin().lock(), &stdout);
+        }
+        Some(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path).unwrap_or_else(|e| {
+                eprintln!("bmserve: cannot bind {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("bmserve: listening on {path}");
+            for conn in listener.incoming() {
+                let Ok(conn) = conn else { continue };
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let reader = BufReader::new(conn.try_clone().expect("clone socket"));
+                    let writer: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(conn));
+                    serve_stream(&service, reader, &writer);
+                });
+            }
+        }
+    }
+}
+
+/// Read request lines until EOF; write each response as it completes.
+fn serve_stream(
+    service: &Arc<RunService>,
+    reader: impl BufRead,
+    writer: &Arc<Mutex<dyn Write + Send>>,
+) {
+    let mut waiters = Vec::new();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match parse_request(&line) {
+            Ok(req) => req,
+            Err(msg) => {
+                write_line(writer, &bad_request_line(peek_id(&line), &msg));
+                continue;
+            }
+        };
+        let id = req.id;
+        match service.submit(req) {
+            Ok(pending) => {
+                let writer = Arc::clone(writer);
+                waiters.push(std::thread::spawn(move || {
+                    let outcome = pending.wait();
+                    write_line(&writer, &outcome.to_response());
+                }));
+            }
+            Err(e) => {
+                let refused = bm_serve::RunOutcome {
+                    id,
+                    attempts: 0,
+                    shed: false,
+                    result: Err(e),
+                };
+                write_line(writer, &refused.to_response());
+            }
+        }
+    }
+    for w in waiters {
+        let _ = w.join();
+    }
+}
+
+fn write_line(writer: &Arc<Mutex<dyn Write + Send>>, line: &str) {
+    let mut w = writer.lock().unwrap();
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}

@@ -1,0 +1,272 @@
+//! Circuit-breaking admission, keyed by application fingerprint.
+//!
+//! An application whose requests keep failing terminally stops consuming
+//! full-pipeline capacity: after `failure_threshold` consecutive failures
+//! its breaker opens, and further requests are shed (run on the fast
+//! fully-connected-barrier fallback) or rejected. After `cooldown` ticks
+//! the breaker half-opens and admits exactly one probe request; a clean
+//! probe closes the breaker, a failed probe re-opens it for another
+//! cooldown.
+//!
+//! State machine: `closed → open → half-open → {closed, open}`.
+//!
+//! Cancellations and deadline misses do **not** count as failures — they
+//! say the client gave up, not that the application is unhealthy.
+
+use std::collections::HashMap;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive terminal failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Ticks an open breaker waits before half-opening.
+    pub cooldown: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: 1000,
+        }
+    }
+}
+
+/// Breaker position for one application fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests admitted normally.
+    Closed,
+    /// Tripped: requests shed/rejected until the cooldown elapses.
+    Open,
+    /// Probing: one request admitted to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label used on [`bm_trace::TraceEvent::BreakerTransition`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// What admission decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the full pipeline.
+    Admit,
+    /// Run the full pipeline as the half-open probe; its outcome moves
+    /// the breaker.
+    Probe,
+    /// Don't run the full pipeline: shed to the barrier fallback or
+    /// reject.
+    Shed,
+}
+
+/// A state change `(from, to)` to surface as a trace event.
+pub type Transition = (BreakerState, BreakerState);
+
+#[derive(Debug)]
+struct AppBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until: u64,
+    probe_in_flight: bool,
+}
+
+impl Default for AppBreaker {
+    fn default() -> Self {
+        AppBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: 0,
+            probe_in_flight: false,
+        }
+    }
+}
+
+/// Per-app-fingerprint circuit breakers.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    apps: HashMap<u64, AppBreaker>,
+}
+
+impl Breaker {
+    /// Empty registry under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            apps: HashMap::new(),
+        }
+    }
+
+    /// Current state for `app_fp` (closed if never seen).
+    pub fn state(&self, app_fp: u64) -> BreakerState {
+        self.apps
+            .get(&app_fp)
+            .map(|a| a.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Decide admission for one request at tick `now`; returns the
+    /// decision plus a transition to trace, if one happened.
+    pub fn admit(&mut self, app_fp: u64, now: u64) -> (Admission, Option<Transition>) {
+        let app = self.apps.entry(app_fp).or_default();
+        match app.state {
+            BreakerState::Closed => (Admission::Admit, None),
+            BreakerState::Open if now >= app.open_until => {
+                app.state = BreakerState::HalfOpen;
+                app.probe_in_flight = true;
+                (
+                    Admission::Probe,
+                    Some((BreakerState::Open, BreakerState::HalfOpen)),
+                )
+            }
+            BreakerState::Open => (Admission::Shed, None),
+            BreakerState::HalfOpen if !app.probe_in_flight => {
+                app.probe_in_flight = true;
+                (Admission::Probe, None)
+            }
+            BreakerState::HalfOpen => (Admission::Shed, None),
+        }
+    }
+
+    /// Give a half-open probe slot back without moving the breaker —
+    /// used when the probe was cancelled, which says nothing about the
+    /// app's health.
+    pub fn abandon_probe(&mut self, app_fp: u64) {
+        if let Some(app) = self.apps.get_mut(&app_fp) {
+            if app.state == BreakerState::HalfOpen {
+                app.probe_in_flight = false;
+            }
+        }
+    }
+
+    /// Record a terminal outcome of an admitted (non-shed) request.
+    pub fn record(&mut self, app_fp: u64, success: bool, now: u64) -> Option<Transition> {
+        let cfg = self.cfg;
+        let app = self.apps.entry(app_fp).or_default();
+        if app.state == BreakerState::HalfOpen {
+            app.probe_in_flight = false;
+        }
+        if success {
+            app.consecutive_failures = 0;
+            if app.state != BreakerState::Closed {
+                let from = app.state;
+                app.state = BreakerState::Closed;
+                return Some((from, BreakerState::Closed));
+            }
+            return None;
+        }
+        app.consecutive_failures += 1;
+        let trip = match app.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => app.consecutive_failures >= cfg.failure_threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            let from = app.state;
+            app.state = BreakerState::Open;
+            app.open_until = now.saturating_add(cfg.cooldown);
+            return Some((from, BreakerState::Open));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FP: u64 = 0xAB;
+
+    #[test]
+    fn closed_to_open_to_half_open_to_closed() {
+        let cfg = BreakerConfig {
+            failure_threshold: 2,
+            cooldown: 100,
+        };
+        let mut b = Breaker::new(cfg);
+        assert_eq!(b.admit(FP, 0).0, Admission::Admit);
+        assert_eq!(b.record(FP, false, 0), None);
+        assert_eq!(
+            b.record(FP, false, 1),
+            Some((BreakerState::Closed, BreakerState::Open))
+        );
+        // Open: shed until the cooldown elapses.
+        assert_eq!(b.admit(FP, 50).0, Admission::Shed);
+        assert_eq!(b.state(FP), BreakerState::Open);
+        // Cooldown elapsed: half-open, exactly one probe.
+        let (adm, tr) = b.admit(FP, 101);
+        assert_eq!(adm, Admission::Probe);
+        assert_eq!(tr, Some((BreakerState::Open, BreakerState::HalfOpen)));
+        assert_eq!(b.admit(FP, 101).0, Admission::Shed, "only one probe");
+        // Clean probe closes it.
+        assert_eq!(
+            b.record(FP, true, 102),
+            Some((BreakerState::HalfOpen, BreakerState::Closed))
+        );
+        assert_eq!(b.admit(FP, 103).0, Admission::Admit);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            cooldown: 10,
+        };
+        let mut b = Breaker::new(cfg);
+        b.record(FP, false, 0);
+        assert_eq!(b.state(FP), BreakerState::Open);
+        assert_eq!(b.admit(FP, 10).0, Admission::Probe);
+        assert_eq!(
+            b.record(FP, false, 11),
+            Some((BreakerState::HalfOpen, BreakerState::Open))
+        );
+        assert_eq!(b.admit(FP, 15).0, Admission::Shed);
+        // And the new cooldown counts from the re-open.
+        assert_eq!(b.admit(FP, 21).0, Admission::Probe);
+    }
+
+    #[test]
+    fn abandoned_probe_frees_the_slot() {
+        let mut b = Breaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: 10,
+        });
+        b.record(FP, false, 0);
+        assert_eq!(b.admit(FP, 10).0, Admission::Probe);
+        b.abandon_probe(FP);
+        assert_eq!(b.admit(FP, 11).0, Admission::Probe);
+        assert_eq!(b.state(FP), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn apps_are_isolated() {
+        let mut b = Breaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: 10,
+        });
+        b.record(1, false, 0);
+        assert_eq!(b.state(1), BreakerState::Open);
+        assert_eq!(b.admit(2, 0).0, Admission::Admit);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = Breaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: 10,
+        });
+        b.record(FP, false, 0);
+        b.record(FP, true, 1);
+        b.record(FP, false, 2);
+        assert_eq!(b.state(FP), BreakerState::Closed);
+    }
+}

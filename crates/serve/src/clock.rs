@@ -1,0 +1,247 @@
+//! The service clock: one tick source for deadlines, backoff waits, and
+//! breaker cooldowns.
+//!
+//! Everything time-dependent in the serve layer goes through
+//! [`ServiceClock`], so tests substitute a [`VirtualClock`] and the whole
+//! service — deadline firings, retry backoff sequences, circuit-breaker
+//! cooldowns — becomes a deterministic function of the request stream.
+//! The production binary uses [`WallClock`] (millisecond ticks).
+//!
+//! Deadlines are *pushed*, not polled: a token registered with
+//! [`ServiceClock::expire_at`] is expired by the clock the moment its
+//! tick is reached, and the run observes the fired token cooperatively at
+//! its next analysis-phase or kernel-retirement boundary.
+
+use bm_ptx::cancel::CancelToken;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonic tick source with deadline registration.
+pub trait ServiceClock: Send + Sync {
+    /// Current tick.
+    fn now(&self) -> u64;
+
+    /// Arrange for `token` to [`CancelToken::expire`] once `now() >= tick`.
+    /// A tick already in the past expires the token immediately.
+    fn expire_at(&self, tick: u64, token: CancelToken);
+
+    /// Block until `now() >= tick`. Used for retry backoff.
+    fn sleep_until(&self, tick: u64);
+}
+
+struct VirtualState {
+    now: u64,
+    /// Registered deadlines: `(due_tick, token)`.
+    pending: Vec<(u64, CancelToken)>,
+}
+
+/// Deterministic test clock: time moves only through [`advance`]
+/// (external control) or [`sleep_until`] (a waiter jumps virtual time
+/// forward to its own wake tick — so retry backoffs complete without any
+/// cooperating thread). Due deadlines fire synchronously inside the tick
+/// movement, before any waiter wakes.
+///
+/// [`advance`]: VirtualClock::advance
+/// [`sleep_until`]: ServiceClock::sleep_until
+pub struct VirtualClock {
+    state: Mutex<VirtualState>,
+    moved: Condvar,
+}
+
+impl VirtualClock {
+    /// A clock at tick 0 with no pending deadlines.
+    pub fn new() -> Arc<Self> {
+        Arc::new(VirtualClock {
+            state: Mutex::new(VirtualState {
+                now: 0,
+                pending: Vec::new(),
+            }),
+            moved: Condvar::new(),
+        })
+    }
+
+    /// Move time forward `ticks`, firing every deadline that comes due.
+    pub fn advance(&self, ticks: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.now = st.now.saturating_add(ticks);
+        Self::fire_due(&mut st);
+        self.moved.notify_all();
+    }
+
+    fn fire_due(st: &mut VirtualState) {
+        let now = st.now;
+        st.pending.retain(|(due, token)| {
+            if *due <= now {
+                token.expire();
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+impl ServiceClock for VirtualClock {
+    fn now(&self) -> u64 {
+        self.state.lock().unwrap().now
+    }
+
+    fn expire_at(&self, tick: u64, token: CancelToken) {
+        let mut st = self.state.lock().unwrap();
+        if tick <= st.now {
+            token.expire();
+        } else {
+            st.pending.push((tick, token));
+        }
+    }
+
+    fn sleep_until(&self, tick: u64) {
+        let mut st = self.state.lock().unwrap();
+        if st.now < tick {
+            // Virtual time: the sleeper itself drags the clock forward, so
+            // backoff waits terminate without an external advance() — and
+            // any deadline inside the jumped-over span fires first.
+            st.now = tick;
+            Self::fire_due(&mut st);
+            self.moved.notify_all();
+        }
+    }
+}
+
+struct WallState {
+    pending: Vec<(u64, CancelToken)>,
+    watcher_running: bool,
+}
+
+/// Wall-clock ticks: milliseconds since construction. Deadlines are fired
+/// by a lazily-spawned watcher thread, so a deadline interrupts a running
+/// request at its next cooperative boundary even though the worker thread
+/// is busy simulating.
+pub struct WallClock {
+    start: Instant,
+    state: Arc<(Mutex<WallState>, Condvar)>,
+}
+
+impl WallClock {
+    /// A clock whose tick 0 is now.
+    pub fn new() -> Arc<Self> {
+        Arc::new(WallClock {
+            start: Instant::now(),
+            state: Arc::new((
+                Mutex::new(WallState {
+                    pending: Vec::new(),
+                    watcher_running: false,
+                }),
+                Condvar::new(),
+            )),
+        })
+    }
+
+    fn spawn_watcher(&self) {
+        let state = Arc::clone(&self.state);
+        let start = self.start;
+        std::thread::spawn(move || {
+            let (lock, cv) = &*state;
+            let mut st = lock.lock().unwrap();
+            loop {
+                let now = start.elapsed().as_millis() as u64;
+                st.pending.retain(|(due, token)| {
+                    if *due <= now {
+                        token.expire();
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let Some(next) = st.pending.iter().map(|(due, _)| *due).min() else {
+                    // Nothing pending: exit; a new registration respawns us.
+                    st.watcher_running = false;
+                    return;
+                };
+                let wait = Duration::from_millis(next.saturating_sub(now).max(1));
+                st = cv.wait_timeout(st, wait).unwrap().0;
+            }
+        });
+    }
+}
+
+impl ServiceClock for WallClock {
+    fn now(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn expire_at(&self, tick: u64, token: CancelToken) {
+        if tick <= self.now() {
+            token.expire();
+            return;
+        }
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        st.pending.push((tick, token));
+        if !st.watcher_running {
+            st.watcher_running = true;
+            self.spawn_watcher();
+        }
+        cv.notify_all();
+    }
+
+    fn sleep_until(&self, tick: u64) {
+        let now = self.now();
+        if tick > now {
+            std::thread::sleep(Duration::from_millis(tick - now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_fires_deadlines_on_advance() {
+        let clock = VirtualClock::new();
+        let t = CancelToken::new();
+        clock.expire_at(10, t.clone());
+        clock.advance(9);
+        assert!(!t.is_fired());
+        clock.advance(1);
+        assert_eq!(
+            t.fired(),
+            Some(bm_ptx::cancel::CancelCause::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn virtual_clock_expires_past_deadlines_immediately() {
+        let clock = VirtualClock::new();
+        clock.advance(5);
+        let t = CancelToken::new();
+        clock.expire_at(5, t.clone());
+        assert!(t.is_fired());
+    }
+
+    #[test]
+    fn virtual_sleep_drags_time_and_fires_skipped_deadlines() {
+        let clock = VirtualClock::new();
+        let t = CancelToken::new();
+        clock.expire_at(7, t.clone());
+        clock.sleep_until(20);
+        assert_eq!(clock.now(), 20);
+        assert!(t.is_fired());
+        // Sleeping into the past is a no-op.
+        clock.sleep_until(3);
+        assert_eq!(clock.now(), 20);
+    }
+
+    #[test]
+    fn wall_clock_fires_deadlines_asynchronously() {
+        let clock = WallClock::new();
+        let t = CancelToken::new();
+        clock.expire_at(clock.now() + 5, t.clone());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !t.is_fired() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(t.is_fired(), "watcher never fired the deadline");
+    }
+}

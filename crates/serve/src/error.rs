@@ -1,0 +1,113 @@
+//! Typed terminal outcomes of a served request.
+
+use std::fmt;
+
+/// Why a served request did not return a clean report.
+///
+/// Every request terminates with either a `RunReport` or exactly one of
+/// these — the service never panics outward, hangs, or silently drops a
+/// request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The client (or the service shutdown path) cancelled the request.
+    /// A final checkpoint at the last completed boundary is preserved.
+    Cancelled {
+        /// Service-clock tick at which the cancellation surfaced.
+        tick: u64,
+    },
+    /// The request's deadline passed before the run completed.
+    DeadlineExceeded {
+        /// Service-clock tick at which the miss surfaced.
+        tick: u64,
+    },
+    /// Admission refused the request: the queue is full, or the app's
+    /// circuit breaker is open and shedding is disabled.
+    Overloaded {
+        /// What refused it.
+        reason: String,
+    },
+    /// The worker panicked on every allowed attempt. The panic never
+    /// escapes the worker; the poisoned run state is disposed and only
+    /// checkpoints survive between attempts.
+    WorkerCrash {
+        /// Attempts consumed (initial + retries).
+        attempts: u32,
+        /// The last panic's message.
+        message: String,
+    },
+    /// A transient pipeline failure persisted through every allowed retry.
+    RetriesExhausted {
+        /// Attempts consumed (initial + retries).
+        attempts: u32,
+        /// The last attempt's error.
+        last: String,
+    },
+    /// A permanent pipeline failure (structural/toolchain error) — not
+    /// retried, surfaced on the first attempt that hit it.
+    Failed {
+        /// Attempts consumed when it surfaced.
+        attempts: u32,
+        /// The pipeline error.
+        error: String,
+    },
+    /// The service shut down before the request ran.
+    Shutdown,
+}
+
+impl ServeError {
+    /// Stable machine-readable label, used as the wire `status` and as the
+    /// `serve_outcome_*` counter suffix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeError::Cancelled { .. } => "cancelled",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::WorkerCrash { .. } => "crash",
+            ServeError::RetriesExhausted { .. } => "retries_exhausted",
+            ServeError::Failed { .. } => "failed",
+            ServeError::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Cancelled { tick } => write!(f, "cancelled at tick {tick}"),
+            ServeError::DeadlineExceeded { tick } => {
+                write!(f, "deadline exceeded at tick {tick}")
+            }
+            ServeError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
+            ServeError::WorkerCrash { attempts, message } => {
+                write!(f, "worker crashed on all {attempts} attempts: {message}")
+            }
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(f, "failed after {attempts} attempts: {last}")
+            }
+            ServeError::Failed { attempts, error } => {
+                write!(f, "permanent failure (attempt {attempts}): {error}")
+            }
+            ServeError::Shutdown => f.write_str("service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ServeError::Cancelled { tick: 1 }.label(), "cancelled");
+        assert_eq!(ServeError::DeadlineExceeded { tick: 1 }.label(), "deadline");
+        assert_eq!(ServeError::Shutdown.label(), "shutdown");
+        assert!(ServeError::WorkerCrash {
+            attempts: 3,
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("all 3 attempts"));
+    }
+}

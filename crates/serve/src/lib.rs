@@ -1,0 +1,43 @@
+//! # bm-serve — deadline-aware concurrent run service
+//!
+//! Turns the single-shot BlockMaestro pipeline into a small, robust run
+//! service: N crash-isolated workers drain a bounded queue of app-run
+//! requests, each executed through the existing checkpointed pipeline
+//! with a cooperative [`bm_ptx::cancel::CancelToken`] threaded through
+//! the launch-time analysis ladder and the DES engine.
+//!
+//! The four robustness mechanisms, each deterministic under a
+//! [`VirtualClock`]:
+//!
+//! 1. **Cooperative cancellation + deadlines** — tokens observed at
+//!    analysis-phase and kernel-retirement boundaries; typed
+//!    [`ServeError::Cancelled`] / [`ServeError::DeadlineExceeded`]
+//!    outcomes with a final checkpoint.
+//! 2. **Deterministic retry** — capped exponential backoff
+//!    ([`RetryPolicy`]) for transient failures (simulated crashes, guard
+//!    quarantine exhaustion, worker panics), resuming from the last
+//!    valid snapshot; a retried run is bit-identical to an uninterrupted
+//!    one.
+//! 3. **Circuit-breaking admission** — a per-app-fingerprint breaker
+//!    (closed → open → half-open → closed, [`Breaker`]) sheds repeat
+//!    offenders to a fast fully-connected-barrier fallback or rejects
+//!    them with [`ServeError::Overloaded`].
+//! 4. **Crash isolation** — `catch_unwind` around every attempt; the
+//!    poisoned attempt state is disposed, only durable checkpoints
+//!    survive, and nothing leaks between requests on a reused worker.
+//!
+//! The `bmserve` binary speaks newline-delimited JSON ([`proto`]) over
+//! stdin/stdout or a Unix socket.
+
+pub mod breaker;
+pub mod clock;
+pub mod error;
+pub mod proto;
+pub mod retry;
+pub mod service;
+
+pub use breaker::{Admission, Breaker, BreakerConfig, BreakerState};
+pub use clock::{ServiceClock, VirtualClock, WallClock};
+pub use error::ServeError;
+pub use retry::RetryPolicy;
+pub use service::{Pending, RunOutcome, RunRequest, RunService, ServeConfig};

@@ -1,0 +1,230 @@
+//! The `bmserve` wire protocol: newline-delimited JSON.
+//!
+//! One request per line on the way in, one response per line on the way
+//! out; responses stream back in completion order (not submission
+//! order), matched to requests by `id`.
+//!
+//! Request schema (unknown keys rejected):
+//!
+//! ```json
+//! {"id": 1, "app": "GAUSSIAN", "scale": "small", "mode": "consumer:3",
+//!  "deadline": 5000, "retries": 2,
+//!  "kill_at": 3, "panic_at": 3, "cancel_at": 3}
+//! ```
+//!
+//! - `id` (required): caller-chosen request id, echoed on the response.
+//! - `app` (required): a Table II workload name (`GAUSSIAN`, `BICG`, …,
+//!   case-insensitive).
+//! - `scale`: `"small"` (default) or `"full"`.
+//! - `mode`: `"baseline"`, `"ideal"`, `"graph"`, `"prelaunch:N"`,
+//!   `"producer:N"`, or `"consumer:N"` (default `"consumer:3"`).
+//! - `deadline`: absolute service-clock tick (ms under the wall clock).
+//! - `retries`: per-request override of the retry budget.
+//! - `kill_at` / `panic_at` / `cancel_at`: fault injection at that
+//!   kernel-retirement boundary, first attempt only (testing).
+//!
+//! Response schema:
+//!
+//! ```json
+//! {"id": 1, "status": "ok", "attempts": 1, "shed": false, "report": {...}}
+//! {"id": 2, "status": "deadline", "attempts": 1, "shed": false, "error": "..."}
+//! ```
+//!
+//! `status` is `ok`, `shed`, or a [`crate::error::ServeError::label`]:
+//! `cancelled`, `deadline`, `overloaded`, `crash`, `retries_exhausted`,
+//! `failed`, `shutdown` — plus `bad_request` for lines that fail to
+//! parse.
+
+use crate::service::{RunOutcome, RunRequest};
+use blockmaestro::{ExecMode, FaultPlan};
+use bm_trace::json::{parse, Json};
+use bm_workloads::{suite, Scale};
+
+/// Parse one request line into a [`RunRequest`].
+///
+/// # Errors
+///
+/// A human-readable message naming the offending field.
+pub fn parse_request(line: &str) -> Result<RunRequest, String> {
+    let doc = parse(line)?;
+    let obj = doc.as_obj().ok_or("request must be a JSON object")?;
+    for key in obj.keys() {
+        match key.as_str() {
+            "id" | "app" | "scale" | "mode" | "deadline" | "retries" | "kill_at" | "panic_at"
+            | "cancel_at" => {}
+            other => return Err(format!("unknown request field {other:?}")),
+        }
+    }
+    let id = doc
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("missing or non-integer \"id\"")?;
+    let name = doc
+        .get("app")
+        .and_then(Json::as_str)
+        .ok_or("missing \"app\"")?;
+    let scale = match doc.get("scale").and_then(Json::as_str) {
+        None | Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        Some(other) => return Err(format!("unknown scale {other:?}")),
+    };
+    let bench = suite()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown app {name:?}"))?;
+    let mode = match doc.get("mode").and_then(Json::as_str) {
+        None => ExecMode::ConsumerPriority { window: 3 },
+        Some(s) => parse_mode(s)?,
+    };
+    let u32_field = |key: &str| -> Result<Option<u32>, String> {
+        match doc.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .map(Some)
+                .ok_or_else(|| format!("non-integer {key:?}")),
+        }
+    };
+    let deadline = match doc.get("deadline") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or("non-integer \"deadline\"")?),
+    };
+    let fault = FaultPlan {
+        kill_at_kernel: u32_field("kill_at")?,
+        panic_at_kernel: u32_field("panic_at")?,
+        cancel_at_kernel: u32_field("cancel_at")?,
+        ..FaultPlan::default()
+    };
+    Ok(RunRequest {
+        id,
+        app: (bench.build)(scale),
+        mode,
+        hazard: bm_depgraph::HazardMode::Raw,
+        deadline,
+        max_retries: u32_field("retries")?,
+        fault,
+    })
+}
+
+/// Parse a mode string (`"consumer:3"`, `"baseline"`, …).
+///
+/// # Errors
+///
+/// A message naming the unrecognized mode.
+pub fn parse_mode(s: &str) -> Result<ExecMode, String> {
+    let (head, window) = match s.split_once(':') {
+        Some((head, w)) => {
+            let window: u32 = w.parse().map_err(|_| format!("bad window in mode {s:?}"))?;
+            (head, Some(window))
+        }
+        None => (s, None),
+    };
+    let w = window.unwrap_or(3);
+    match head {
+        "baseline" => Ok(ExecMode::Baseline),
+        "ideal" => Ok(ExecMode::IdealBaseline),
+        "graph" => Ok(ExecMode::GraphLaunch),
+        "prelaunch" => Ok(ExecMode::PreLaunch { window: w }),
+        "producer" => Ok(ExecMode::ProducerPriority { window: w }),
+        "consumer" => Ok(ExecMode::ConsumerPriority { window: w }),
+        other => Err(format!("unknown mode {other:?}")),
+    }
+}
+
+/// Render one outcome as a response line (no trailing newline).
+pub fn response_line(outcome: &RunOutcome) -> String {
+    let mut fields = vec![
+        ("id", Json::u64(outcome.id)),
+        ("status", Json::str(outcome.label())),
+        ("attempts", Json::u64(u64::from(outcome.attempts))),
+        ("shed", Json::Bool(outcome.shed)),
+    ];
+    match &outcome.result {
+        Ok(report) => fields.push(("report", report.to_json())),
+        Err(e) => fields.push(("error", Json::str(e.to_string()))),
+    }
+    Json::obj(fields).to_string()
+}
+
+/// Render a parse failure as a `bad_request` response line.
+pub fn bad_request_line(id: Option<u64>, message: &str) -> String {
+    Json::obj([
+        ("id", Json::u64(id.unwrap_or(0))),
+        ("status", Json::str("bad_request")),
+        ("error", Json::str(message)),
+    ])
+    .to_string()
+}
+
+/// Best-effort id extraction from an unparsable-as-request line, so the
+/// error response can still be correlated.
+pub fn peek_id(line: &str) -> Option<u64> {
+    parse(line).ok()?.get("id")?.as_u64()
+}
+
+impl RunOutcome {
+    /// The outcome as a wire response (`bmserve`'s output line).
+    pub fn to_response(&self) -> String {
+        response_line(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ServeError;
+
+    #[test]
+    fn parses_a_full_request() {
+        let req = parse_request(
+            r#"{"id": 7, "app": "gaussian", "scale": "small", "mode": "producer:2",
+                "deadline": 99, "retries": 1, "panic_at": 2}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, 7);
+        assert_eq!(req.mode, ExecMode::ProducerPriority { window: 2 });
+        assert_eq!(req.deadline, Some(99));
+        assert_eq!(req.max_retries, Some(1));
+        assert_eq!(req.fault.panic_at_kernel, Some(2));
+        assert_eq!(req.fault.kill_at_kernel, None);
+    }
+
+    #[test]
+    fn rejects_unknown_fields_apps_and_modes() {
+        assert!(parse_request(r#"{"id": 1, "app": "GAUSSIAN", "bogus": 1}"#)
+            .unwrap_err()
+            .contains("unknown request field"));
+        assert!(parse_request(r#"{"id": 1, "app": "NOPE"}"#)
+            .unwrap_err()
+            .contains("unknown app"));
+        assert!(parse_request(r#"{"app": "GAUSSIAN"}"#)
+            .unwrap_err()
+            .contains("\"id\""));
+        assert!(parse_mode("warp:9").unwrap_err().contains("unknown mode"));
+        assert!(parse_mode("consumer:x").unwrap_err().contains("bad window"));
+    }
+
+    #[test]
+    fn response_lines_round_trip_status() {
+        let out = RunOutcome {
+            id: 3,
+            attempts: 2,
+            shed: false,
+            result: Err(ServeError::DeadlineExceeded { tick: 50 }),
+        };
+        let line = response_line(&out);
+        let doc = parse(&line).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("deadline"));
+        assert_eq!(doc.get("attempts").and_then(Json::as_u64), Some(2));
+        assert!(doc.get("error").is_some());
+        let bad = bad_request_line(peek_id(r#"{"id": 9}"#), "nope");
+        let doc = parse(&bad).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(9));
+        assert_eq!(
+            doc.get("status").and_then(Json::as_str),
+            Some("bad_request")
+        );
+    }
+}

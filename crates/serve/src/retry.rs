@@ -1,0 +1,77 @@
+//! Deterministic retry with capped exponential backoff.
+//!
+//! No jitter: served runs are simulations, so retries contend only on
+//! host CPU, and reproducibility of the full service timeline under a
+//! [`crate::clock::VirtualClock`] is worth more than thundering-herd
+//! smoothing. The backoff sequence for a policy is a pure function of the
+//! retry index: `min(base << index, cap)` ticks.
+
+/// Retry budget and backoff shape for transient failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed *after* the initial attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in service-clock ticks.
+    pub base_backoff: u64,
+    /// Ceiling on any single backoff, in service-clock ticks.
+    pub max_backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: 16,
+            max_backoff: 256,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `index` (0-based): capped exponential.
+    pub fn backoff(&self, index: u32) -> u64 {
+        if self.base_backoff == 0 {
+            return 0;
+        }
+        if index >= self.base_backoff.leading_zeros() {
+            // The shift would lose bits: already past any u64 cap.
+            return self.max_backoff;
+        }
+        (self.base_backoff << index).min(self.max_backoff)
+    }
+
+    /// Total attempts allowed (initial + retries), always at least 1.
+    pub fn max_attempts(&self) -> u32 {
+        1 + self.max_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: 16,
+            max_backoff: 100,
+        };
+        assert_eq!(p.backoff(0), 16);
+        assert_eq!(p.backoff(1), 32);
+        assert_eq!(p.backoff(2), 64);
+        assert_eq!(p.backoff(3), 100);
+        assert_eq!(p.backoff(63), 100);
+        assert_eq!(p.backoff(64), 100, "overflowing shift saturates to cap");
+        assert_eq!(p.max_attempts(), 11);
+    }
+
+    #[test]
+    fn sequence_is_reproducible() {
+        let p = RetryPolicy::default();
+        let a: Vec<u64> = (0..6).map(|i| p.backoff(i)).collect();
+        let b: Vec<u64> = (0..6).map(|i| p.backoff(i)).collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![16, 32, 64, 128, 256, 256]);
+    }
+}

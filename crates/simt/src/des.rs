@@ -121,6 +121,15 @@ pub enum DesError {
         /// Simulation time at which the abort was observed.
         cycle: u64,
     },
+    /// A cooperative [`bm_ptx::cancel::CancelToken`] installed via
+    /// [`DesEngine::set_cancel`] fired; the engine stopped at a step
+    /// boundary without consuming any further simulated time.
+    Cancelled {
+        /// Simulation time at which the token was observed fired.
+        cycle: u64,
+        /// Why the token fired.
+        cause: bm_ptx::cancel::CancelCause,
+    },
 }
 
 impl fmt::Display for DesError {
@@ -129,6 +138,9 @@ impl fmt::Display for DesError {
             DesError::Deadlock(s) => write!(f, "DES {s}"),
             DesError::SourceAbort { cycle } => {
                 write!(f, "DES source aborted at cycle {cycle}")
+            }
+            DesError::Cancelled { cycle, cause } => {
+                write!(f, "DES run {cause} at cycle {cycle}")
             }
         }
     }
@@ -226,6 +238,11 @@ pub struct DesEngine {
     stats: DesStats,
     last_t: u64,
     resident: Vec<u32>,
+    // Runtime-only cooperative cancellation; never part of a checkpoint
+    // (a restored engine starts with no token until the owner reinstalls
+    // one), and never consulted when absent — so untokened runs are
+    // bit-identical to the pre-cancellation engine.
+    cancel: Option<bm_ptx::cancel::CancelToken>,
 }
 
 impl DesEngine {
@@ -249,7 +266,16 @@ impl DesEngine {
             stats: DesStats::default(),
             last_t: 0,
             resident: vec![0; cfg.num_sms as usize],
+            cancel: None,
         }
+    }
+
+    /// Installs a cooperative cancellation token, observed at the top of
+    /// every [`step`](DesEngine::step). The check is pure — a token that
+    /// never fires leaves the run bit-identical — and fires *between*
+    /// steps, so no partial placement or completion batch is ever visible.
+    pub fn set_cancel(&mut self, cancel: bm_ptx::cancel::CancelToken) {
+        self.cancel = Some(cancel);
     }
 
     /// Current simulation time.
@@ -314,6 +340,7 @@ impl DesEngine {
             stats: ckpt.stats.clone(),
             last_t: ckpt.last_t,
             resident: ckpt.resident.clone(),
+            cancel: None,
         }
     }
 
@@ -330,6 +357,12 @@ impl DesEngine {
     ) -> Result<StepOutcome, DesError> {
         if source.aborted() {
             return Err(DesError::SourceAbort { cycle: self.now });
+        }
+        if let Some(cause) = self.cancel.as_ref().and_then(|t| t.fired()) {
+            return Err(DesError::Cancelled {
+                cycle: self.now,
+                cause,
+            });
         }
         // Placement phase: place as many ready TBs as resources allow.
         loop {
@@ -458,7 +491,7 @@ pub fn run(cfg: &GpuConfig, source: &mut dyn TbSource) -> DesStats {
                 snap.cycle
             )
         }
-        Err(e @ DesError::SourceAbort { .. }) => panic!("{e}"),
+        Err(e @ (DesError::SourceAbort { .. } | DesError::Cancelled { .. })) => panic!("{e}"),
     }
 }
 

@@ -32,6 +32,8 @@ pub const PID_CMDQ: u64 = 2;
 pub const PID_SCHED_HW: u64 = 3;
 /// pid of the analysis-pipeline track.
 pub const PID_ANALYSIS: u64 = 4;
+/// pid of the serve-layer (admission/retry/breaker) track.
+pub const PID_SERVE: u64 = 5;
 /// pid of SM `n` is `PID_SM_BASE + n`.
 pub const PID_SM_BASE: u64 = 100;
 
@@ -573,6 +575,146 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                     Json::obj([
                         ("seq", Json::int(*seq as u64)),
                         ("reason", Json::str(reason.clone())),
+                    ]),
+                ));
+            }
+            TraceEvent::ServeAdmit {
+                tick,
+                request,
+                queued,
+            } => {
+                process_names.insert(PID_SERVE, "serve".to_string());
+                thread_names
+                    .entry((PID_SERVE, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_SERVE,
+                    TID_INSTANTS,
+                    *tick,
+                    &format!("admit r{request}"),
+                    Json::obj([("queued", Json::int(*queued as u64))]),
+                ));
+            }
+            TraceEvent::ServeStart {
+                tick,
+                request,
+                worker,
+                attempt,
+            } => {
+                process_names.insert(PID_SERVE, "serve".to_string());
+                thread_names
+                    .entry((PID_SERVE, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_SERVE,
+                    TID_INSTANTS,
+                    *tick,
+                    &format!("start r{request}"),
+                    Json::obj([
+                        ("worker", Json::int(*worker as u64)),
+                        ("attempt", Json::int(*attempt as u64)),
+                    ]),
+                ));
+            }
+            TraceEvent::ServeRetry {
+                tick,
+                request,
+                attempt,
+                backoff,
+                reason,
+            } => {
+                process_names.insert(PID_SERVE, "serve".to_string());
+                thread_names
+                    .entry((PID_SERVE, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_SERVE,
+                    TID_INSTANTS,
+                    *tick,
+                    &format!("retry r{request}"),
+                    Json::obj([
+                        ("attempt", Json::int(*attempt as u64)),
+                        ("backoff", Json::int(*backoff)),
+                        ("reason", Json::str(reason.clone())),
+                    ]),
+                ));
+            }
+            TraceEvent::ServeCancel {
+                tick,
+                request,
+                deadline,
+            } => {
+                process_names.insert(PID_SERVE, "serve".to_string());
+                thread_names
+                    .entry((PID_SERVE, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_SERVE,
+                    TID_INSTANTS,
+                    *tick,
+                    if *deadline { "deadline" } else { "cancel" },
+                    Json::obj([("request", Json::int(*request))]),
+                ));
+            }
+            TraceEvent::ServeComplete {
+                tick,
+                request,
+                outcome,
+            } => {
+                process_names.insert(PID_SERVE, "serve".to_string());
+                thread_names
+                    .entry((PID_SERVE, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_SERVE,
+                    TID_INSTANTS,
+                    *tick,
+                    &format!("complete r{request}"),
+                    Json::obj([("outcome", Json::str(outcome.clone()))]),
+                ));
+            }
+            TraceEvent::BreakerTransition {
+                tick,
+                app_fp,
+                from,
+                to,
+            } => {
+                process_names.insert(PID_SERVE, "serve".to_string());
+                thread_names
+                    .entry((PID_SERVE, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_SERVE,
+                    TID_INSTANTS,
+                    *tick,
+                    &format!("breaker {from}→{to}"),
+                    Json::obj([("app_fp", Json::int(*app_fp))]),
+                ));
+            }
+            TraceEvent::ParallelDecision {
+                tick,
+                seq,
+                tbs,
+                threads,
+                fallback,
+            } => {
+                process_names.insert(PID_ANALYSIS, "analysis".to_string());
+                thread_names
+                    .entry((PID_ANALYSIS, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_ANALYSIS,
+                    TID_INSTANTS,
+                    *tick,
+                    if *fallback {
+                        "parallel-serial-fallback"
+                    } else {
+                        "parallel-fanout"
+                    },
+                    Json::obj([
+                        ("seq", Json::int(*seq as u64)),
+                        ("tbs", Json::int(*tbs as u64)),
+                        ("threads", Json::int(*threads as u64)),
                     ]),
                 ));
             }

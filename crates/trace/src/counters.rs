@@ -132,6 +132,25 @@ impl CounterRegistry {
                 };
                 self.bump(key);
             }
+            TraceEvent::ServeAdmit { queued, .. } => {
+                self.set_gauge("serve_queue_depth", *queued as u64);
+            }
+            TraceEvent::ServeCancel { deadline, .. } => {
+                self.bump(if *deadline {
+                    "serve_deadline_miss"
+                } else {
+                    "serve_explicit_cancel"
+                });
+            }
+            TraceEvent::ServeComplete { outcome, .. } => {
+                self.bump(&format!("serve_outcome_{outcome}"));
+            }
+            TraceEvent::BreakerTransition { to, .. } => {
+                self.bump(&format!("breaker_to_{to}"));
+            }
+            TraceEvent::ParallelDecision { fallback: true, .. } => {
+                self.bump("parallel_serial_fallback");
+            }
             _ => {}
         }
     }

@@ -343,6 +343,86 @@ pub enum TraceEvent {
         /// Display form of the typed `SnapshotError`.
         reason: String,
     },
+
+    // ---------------- serve layer (virtual service clock) ----------------
+    /// A run request was admitted to the service queue.
+    ServeAdmit {
+        /// Service-clock tick of the admission.
+        tick: u64,
+        /// Request id.
+        request: u64,
+        /// Queue depth after the admission (this request included).
+        queued: u32,
+    },
+    /// A worker picked up a request (first attempt or a retry).
+    ServeStart {
+        /// Service-clock tick.
+        tick: u64,
+        /// Request id.
+        request: u64,
+        /// Worker index.
+        worker: u32,
+        /// Attempt number (0 = first).
+        attempt: u32,
+    },
+    /// A failed attempt was scheduled for retry after backoff.
+    ServeRetry {
+        /// Service-clock tick the retry was scheduled at.
+        tick: u64,
+        /// Request id.
+        request: u64,
+        /// The attempt that failed (0-based).
+        attempt: u32,
+        /// Backoff ticks before the request becomes runnable again.
+        backoff: u64,
+        /// Display form of the failure that triggered the retry.
+        reason: String,
+    },
+    /// A request was cancelled or missed its deadline.
+    ServeCancel {
+        /// Service-clock tick.
+        tick: u64,
+        /// Request id.
+        request: u64,
+        /// `true` for a deadline miss, `false` for an explicit cancel.
+        deadline: bool,
+    },
+    /// A request reached a terminal state.
+    ServeComplete {
+        /// Service-clock tick.
+        tick: u64,
+        /// Request id.
+        request: u64,
+        /// Terminal outcome label (`"ok"`, `"cancelled"`, `"deadline"`,
+        /// `"failed"`, `"rejected"`, `"shed"`).
+        outcome: String,
+    },
+    /// A per-app circuit breaker changed state.
+    BreakerTransition {
+        /// Service-clock tick.
+        tick: u64,
+        /// App fingerprint the breaker keys on.
+        app_fp: u64,
+        /// State before (`"closed"`, `"open"`, `"half-open"`).
+        from: String,
+        /// State after.
+        to: String,
+    },
+    /// The adaptive thread-count heuristic's verdict for one kernel's
+    /// per-TB interpretation.
+    ParallelDecision {
+        /// Analysis-clock tick.
+        tick: u64,
+        /// Kernel sequence number.
+        seq: u32,
+        /// Thread blocks in the kernel's grid.
+        tbs: u32,
+        /// Worker threads the loop used.
+        threads: u32,
+        /// Whether the heuristic forced serial despite a multi-thread
+        /// configuration.
+        fallback: bool,
+    },
 }
 
 impl TraceEvent {
@@ -370,7 +450,14 @@ impl TraceEvent {
             TraceEvent::AnalysisSpan { start_tick, .. } => *start_tick,
             TraceEvent::AffineFastPath { tick, .. }
             | TraceEvent::CacheProbe { tick, .. }
-            | TraceEvent::RungTransition { tick, .. } => *tick,
+            | TraceEvent::RungTransition { tick, .. }
+            | TraceEvent::ServeAdmit { tick, .. }
+            | TraceEvent::ServeStart { tick, .. }
+            | TraceEvent::ServeRetry { tick, .. }
+            | TraceEvent::ServeCancel { tick, .. }
+            | TraceEvent::ServeComplete { tick, .. }
+            | TraceEvent::BreakerTransition { tick, .. }
+            | TraceEvent::ParallelDecision { tick, .. } => *tick,
             TraceEvent::CmdqSubmit { pos, .. } => *pos as u64,
         }
     }
@@ -400,6 +487,13 @@ impl TraceEvent {
             TraceEvent::CheckpointSave { .. } => "checkpoint_save",
             TraceEvent::CheckpointLoad { .. } => "checkpoint_load",
             TraceEvent::CheckpointReject { .. } => "checkpoint_reject",
+            TraceEvent::ServeAdmit { .. } => "serve_admit",
+            TraceEvent::ServeStart { .. } => "serve_start",
+            TraceEvent::ServeRetry { .. } => "serve_retry",
+            TraceEvent::ServeCancel { .. } => "serve_cancel",
+            TraceEvent::ServeComplete { .. } => "serve_complete",
+            TraceEvent::BreakerTransition { .. } => "breaker_transition",
+            TraceEvent::ParallelDecision { .. } => "parallel_decision",
         }
     }
 }

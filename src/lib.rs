@@ -14,5 +14,6 @@ pub use blockmaestro;
 pub use bm_cmdq;
 pub use bm_depgraph;
 pub use bm_ptx;
+pub use bm_serve;
 pub use bm_simt;
 pub use bm_workloads;

@@ -512,6 +512,22 @@ fn fault_injection_composes_with_budget_exhaustion() {
                     None => return Ok(()),
                 }
             };
+            if matches!(class, FaultClass::WorkerPanic) {
+                // Panic injection is *supposed* to unwind — the serve layer
+                // contains it with `catch_unwind`. Assert exactly that.
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    blockmaestro::try_run_app_faulty(
+                        &cfg,
+                        &app,
+                        jit,
+                        ExecMode::ConsumerPriority { window: 3 },
+                        HazardMode::Raw,
+                        &plan,
+                    )
+                }));
+                prop_ensure!(res.is_err(), "WorkerPanic plan did not unwind");
+                return Ok(());
+            }
             match blockmaestro::try_run_app_faulty(
                 &cfg,
                 &app,

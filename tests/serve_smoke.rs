@@ -1,0 +1,91 @@
+//! Service smoke: 8 concurrent GAUSSIAN requests with one injected
+//! worker crash and one deadline miss. Every request must terminate with
+//! a correct typed outcome, and the crashed-then-retried run's report
+//! must be bit-identical to an uninterrupted run. Mirrored by the CI
+//! `serve-smoke` job, which drives the same scenario through the
+//! `bmserve` binary's NDJSON interface.
+
+use blockmaestro::{try_run_app_with, ExecMode, FaultPlan};
+use bm_depgraph::HazardMode;
+use bm_serve::{RunRequest, RunService, ServeConfig, ServeError, VirtualClock};
+use bm_simt::GpuConfig;
+use bm_workloads::{suite, Scale};
+
+#[test]
+fn eight_concurrent_gaussians_with_a_crash_and_a_deadline_miss() {
+    let bench = suite()
+        .into_iter()
+        .find(|b| b.name == "GAUSSIAN")
+        .expect("GAUSSIAN in the Table II suite");
+    let app = || (bench.build)(Scale::Small);
+    let mode = ExecMode::ConsumerPriority { window: 3 };
+    let reference = try_run_app_with(&GpuConfig::small(), &app(), mode, HazardMode::Raw).unwrap();
+
+    let clock = VirtualClock::new();
+    let scfg = ServeConfig {
+        workers: 4,
+        queue_depth: 16,
+        ..ServeConfig::default()
+    };
+    let service = RunService::start(GpuConfig::small(), scfg, clock);
+
+    const CRASH_ID: u64 = 3;
+    const DEADLINE_ID: u64 = 5;
+    let pendings: Vec<_> = (1..=8u64)
+        .map(|id| {
+            let mut req = RunRequest::new(id, app());
+            req.mode = mode;
+            if id == CRASH_ID {
+                // Worker panic at an interior kernel boundary; the retry
+                // resumes from the boundary checkpoint.
+                req.fault = FaultPlan {
+                    panic_at_kernel: Some(3),
+                    ..FaultPlan::default()
+                };
+            }
+            if id == DEADLINE_ID {
+                // Virtual time never reaches tick 0 *before* submission,
+                // so this deadline is already expired at admission.
+                req.deadline = Some(0);
+            }
+            service.submit(req).expect("queue holds all eight")
+        })
+        .collect();
+
+    let mut outcomes: Vec<_> = pendings.into_iter().map(|p| p.wait()).collect();
+    outcomes.sort_by_key(|o| o.id);
+    assert_eq!(outcomes.len(), 8, "every request terminates");
+
+    for out in &outcomes {
+        match out.id {
+            DEADLINE_ID => {
+                assert!(
+                    matches!(out.result, Err(ServeError::DeadlineExceeded { .. })),
+                    "request {} should miss its deadline, got {:?}",
+                    out.id,
+                    out.result
+                );
+            }
+            CRASH_ID => {
+                assert_eq!(out.attempts, 2, "one crash, one retry");
+                assert_eq!(
+                    out.result.as_ref().expect("retry recovers"),
+                    &reference,
+                    "retried report must be bit-identical to the uninterrupted run"
+                );
+            }
+            _ => {
+                assert_eq!(out.attempts, 1);
+                assert_eq!(out.result.as_ref().expect("clean run"), &reference);
+            }
+        }
+        assert!(!out.shed, "no breaker should trip in this scenario");
+    }
+
+    let counters = service.counters();
+    assert_eq!(counters.counter("serve_outcome_ok"), 7);
+    assert_eq!(counters.counter("serve_deadline_miss"), 1);
+    assert_eq!(counters.counter("serve_outcome_deadline"), 1);
+    assert_eq!(counters.counter("breaker_to_open"), 0);
+    service.shutdown();
+}
