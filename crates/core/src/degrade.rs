@@ -309,6 +309,23 @@ pub(crate) fn key_of(launch: &Launch) -> CacheKey {
     }
 }
 
+/// [`key_of`] with pointer argument *values* replaced by their argument
+/// position. Launches that differ only in which buffers they address then
+/// share one trace-memo key, which is what lets the representative-TB trace
+/// law amortize across a kernel's repeated launches. Synthesized traces are
+/// still validated bit-for-bit before the key is trusted, so collapsing
+/// pointer identity is safe: a launch whose trace genuinely depends on the
+/// buffer contents fails validation and pins the key to interpretation.
+pub(crate) fn trace_key_of(launch: &Launch) -> CacheKey {
+    let mut key = key_of(launch);
+    for (i, slot) in key.args.iter_mut().enumerate() {
+        if slot.0 == 3 {
+            slot.1 = i as u64;
+        }
+    }
+    key
+}
+
 /// Bounded LRU cache over launch-time analysis results.
 ///
 /// Keyed by (kernel body hash, grid/block dims, argument signature);
@@ -386,11 +403,36 @@ impl AnalysisCache {
         }
     }
 
-    /// Non-mutating membership probe (no stats, no LRU refresh) — used by
-    /// the parallel pipeline to decide which launches need fresh analysis
-    /// before it replays the exact serial lookup/insert protocol.
-    pub(crate) fn contains_key(&self, key: &CacheKey) -> bool {
-        self.map.contains_key(key)
+    /// Simulates the exact miss sequence the serial pipeline would observe
+    /// when looking up `keys` in order, *without* mutating the cache: each
+    /// miss is assumed to be followed by the serial `insert` (with its LRU
+    /// eviction), each hit by the serial LRU refresh. This is stronger than
+    /// a plain membership sweep — a key can be evicted and
+    /// re-missed within one batch — and it is what lets the parallel
+    /// pipeline assign per-key occurrence indices that match the serial
+    /// replay exactly.
+    pub(crate) fn plan_misses(&self, keys: &[CacheKey]) -> Vec<bool> {
+        let mut present: std::collections::HashSet<CacheKey> = self.map.keys().cloned().collect();
+        let mut order = self.order.clone();
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            if present.contains(key) {
+                if let Some(pos) = order.iter().position(|k| k == key) {
+                    let k = order.remove(pos);
+                    order.push(k);
+                }
+                out.push(false);
+            } else {
+                present.insert(key.clone());
+                order.push(key.clone());
+                while present.len() > self.capacity {
+                    let victim = order.remove(0);
+                    present.remove(&victim);
+                }
+                out.push(true);
+            }
+        }
+        out
     }
 
     /// Looks up the dependency graph for a kernel pair, refreshing its LRU
@@ -527,6 +569,44 @@ mod tests {
         assert!(cache.lookup(&launch(0x1000, 8)).is_none(), "different grid");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.evictions), (1, 3, 0));
+    }
+
+    #[test]
+    fn trace_key_masks_pointer_values_only() {
+        let a = trace_key_of(&launch(0x1000, 4));
+        let b = trace_key_of(&launch(0x2000, 4));
+        assert_eq!(a, b, "pointer value must not split trace-memo keys");
+        assert_ne!(
+            trace_key_of(&launch(0x1000, 4)),
+            trace_key_of(&launch(0x1000, 8)),
+            "grid dims still distinguish"
+        );
+        assert_ne!(
+            key_of(&launch(0x1000, 4)),
+            key_of(&launch(0x2000, 4)),
+            "analysis keys keep pointer identity"
+        );
+    }
+
+    #[test]
+    fn plan_misses_replays_serial_lru_protocol() {
+        let mut cache = AnalysisCache::new(2);
+        cache.insert(&launch(0x1000, 4), dummy(Degradation::none()));
+        let keys: Vec<CacheKey> = [
+            launch(0x1000, 4), // hit, refreshes LRU
+            launch(0x2000, 4), // miss, fills cache
+            launch(0x3000, 4), // miss, evicts 0x1000
+            launch(0x1000, 4), // miss again: evicted above
+            launch(0x3000, 4), // hit
+        ]
+        .iter()
+        .map(key_of)
+        .collect();
+        let plan = cache.plan_misses(&keys);
+        assert_eq!(plan, vec![false, true, true, true, false]);
+        // Planning must not disturb the live cache.
+        assert_eq!(cache.stats(), CacheStats::default() /* no lookups */);
+        assert!(cache.map.contains_key(&keys[0]));
     }
 
     #[test]

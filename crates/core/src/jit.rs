@@ -17,13 +17,13 @@ use bm_ptx::interp::{ExecError, MAX_STEPS_PER_THREAD};
 use bm_ptx::kernel::Launch;
 use bm_ptx::mem::GlobalMem;
 use bm_ptx::par::{chunk_ranges, ParallelConfig};
-use bm_ptx::trace::trace_block_limited;
+use bm_ptx::trace::{trace_block_law, trace_block_limited, TbTrace, TraceLawStats};
 use bm_simt::config::GpuConfig;
 use bm_simt::timing::simulate_sm;
 
 use crate::degrade::{
-    key_of, AnalysisBudget, AnalysisCache, CachedAnalysis, CachedGraph, Degradation,
-    DegradationReason, DegradationRung, GraphKey,
+    key_of, trace_key_of, AnalysisBudget, AnalysisCache, CacheKey, CachedAnalysis, CachedGraph,
+    Degradation, DegradationReason, DegradationRung, GraphKey,
 };
 use crate::hw::MAX_COUNTER;
 use bm_trace::{AnalysisPhase, NullTracer, TraceEvent, Tracer};
@@ -86,6 +86,226 @@ struct Analyzed {
     cache_hit: bool,
 }
 
+/// Trace-phase counters from one analysis run under the memoized fast
+/// path. Reported separately from [`crate::degrade::CacheStats`], which
+/// must stay bit-identical across parallel configurations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceMemoStats {
+    /// Representative-TB traces functionally interpreted (anchors,
+    /// confirmations, validation samples, and rejected keys).
+    pub traces_interpreted: u64,
+    /// Traces synthesized from a validated anchor instead of interpreted.
+    pub traces_synthesized: u64,
+    /// Trace-memo keys pinned to interpretation by a mismatch or failure.
+    pub keys_rejected: u64,
+    /// Aggregated lane-law counters across every interpreted trace.
+    pub law: TraceLawStats,
+}
+
+/// Cross-launch trace-memoization state for one analysis run.
+///
+/// Keyed by [`trace_key_of`] — the launch signature with pointer argument
+/// *values* collapsed to their positions — so repeated launches of one
+/// kernel over different buffers share an entry. Per key the automaton
+/// interprets the first occurrence (the anchor) and the next two as
+/// confirmations; two consecutive bit-equal traces accept the law, after
+/// which traces are synthesized by cloning the anchor, re-interpreting
+/// and re-comparing at every power-of-two occurrence. Any mismatch or
+/// trace failure pins the key to interpretation for the rest of the run.
+///
+/// Residual gap (same class the parallel workers already accept): a trace
+/// that depends on buffer *contents* between validated occurrences is
+/// served from the anchor without being re-checked. Content can only
+/// reach a trace through loaded values steering control flow, which the
+/// confirmation and sampling interpretations are designed to catch.
+#[derive(Debug, Default)]
+pub struct TraceMemo {
+    entries: HashMap<CacheKey, MemoEntry>,
+    stats: TraceMemoStats,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    /// Trace-phase occurrences of this key observed so far (cache hits
+    /// never reach the trace phase and are not counted).
+    occurrences: u64,
+    state: MemoState,
+}
+
+#[derive(Debug)]
+enum MemoState {
+    /// Anchor captured; awaiting two consecutive bit-equal confirmations.
+    Candidate {
+        trace: TbTrace,
+        profile: LaunchProfile,
+        confirmed: u32,
+    },
+    /// Law accepted: synthesize, re-validating at power-of-two occurrences.
+    Accepted {
+        trace: TbTrace,
+        profile: LaunchProfile,
+    },
+    /// A mismatch or trace failure: interpret this key forever.
+    Rejected,
+}
+
+impl TraceMemo {
+    /// Fresh memo with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> TraceMemoStats {
+        self.stats
+    }
+
+    /// Whether the next occurrence of `key` must actually interpret its
+    /// representative-TB trace (anchor, confirmation, validation sample,
+    /// or rejected key) instead of synthesizing it from the stored anchor.
+    fn should_interpret(&self, key: &CacheKey) -> bool {
+        match self.entries.get(key) {
+            None => true,
+            Some(e) => match &e.state {
+                MemoState::Rejected | MemoState::Candidate { .. } => true,
+                MemoState::Accepted { .. } => e.occurrences.is_power_of_two(),
+            },
+        }
+    }
+
+    /// Feeds one interpreted trace (and the profile derived from it) into
+    /// the automaton.
+    fn observe(&mut self, key: &CacheKey, trace: TbTrace, profile: LaunchProfile) {
+        self.stats.traces_interpreted += 1;
+        match self.entries.get_mut(key) {
+            None => {
+                self.entries.insert(
+                    key.clone(),
+                    MemoEntry {
+                        occurrences: 1,
+                        state: MemoState::Candidate {
+                            trace,
+                            profile,
+                            confirmed: 0,
+                        },
+                    },
+                );
+            }
+            Some(e) => {
+                e.occurrences += 1;
+                e.state = match std::mem::replace(&mut e.state, MemoState::Rejected) {
+                    MemoState::Candidate {
+                        trace: anchor,
+                        profile: ap,
+                        confirmed,
+                    } => {
+                        if trace == anchor {
+                            if confirmed + 1 >= 2 {
+                                MemoState::Accepted {
+                                    trace: anchor,
+                                    profile: ap,
+                                }
+                            } else {
+                                MemoState::Candidate {
+                                    trace: anchor,
+                                    profile: ap,
+                                    confirmed: confirmed + 1,
+                                }
+                            }
+                        } else {
+                            self.stats.keys_rejected += 1;
+                            MemoState::Rejected
+                        }
+                    }
+                    MemoState::Accepted {
+                        trace: anchor,
+                        profile: ap,
+                    } => {
+                        if trace == anchor {
+                            MemoState::Accepted {
+                                trace: anchor,
+                                profile: ap,
+                            }
+                        } else {
+                            self.stats.keys_rejected += 1;
+                            MemoState::Rejected
+                        }
+                    }
+                    MemoState::Rejected => MemoState::Rejected,
+                };
+            }
+        }
+    }
+
+    /// Pins `key` to interpretation after a trace failure.
+    fn reject(&mut self, key: &CacheKey) {
+        match self.entries.get_mut(key) {
+            None => {
+                self.stats.keys_rejected += 1;
+                self.entries.insert(
+                    key.clone(),
+                    MemoEntry {
+                        occurrences: 1,
+                        state: MemoState::Rejected,
+                    },
+                );
+            }
+            Some(e) => {
+                e.occurrences += 1;
+                if !matches!(e.state, MemoState::Rejected) {
+                    self.stats.keys_rejected += 1;
+                    e.state = MemoState::Rejected;
+                }
+            }
+        }
+    }
+
+    /// Serves the stored anchor profile for an accepted key.
+    fn synthesize(&mut self, key: &CacheKey) -> LaunchProfile {
+        self.stats.traces_synthesized += 1;
+        let e = self
+            .entries
+            .get_mut(key)
+            .expect("synthesize without anchor");
+        e.occurrences += 1;
+        match &e.state {
+            MemoState::Accepted { profile, .. } => profile.clone(),
+            _ => unreachable!("synthesize on a non-accepted trace-memo key"),
+        }
+    }
+}
+
+/// The trace action the phase-1 plan predicts for occurrence `n` of a
+/// trace-memo key, optimistically assuming the law is accepted: the
+/// anchor and both confirmations interpret, then every power-of-two
+/// occurrence re-validates. Mirrors [`TraceMemo::should_interpret`];
+/// runtime rejections only ever interpret *more*, and the replay repairs
+/// those inline.
+fn plan_interprets(n: u64) -> bool {
+    n < 3 || n.is_power_of_two()
+}
+
+/// Scratch functional memory built on first use, so warm runs — every
+/// launch served from the analysis cache — never pay for the host-data
+/// copy-in.
+struct LazyScratch<'a> {
+    app: &'a Application,
+    mem: Option<GlobalMem>,
+}
+
+impl<'a> LazyScratch<'a> {
+    fn new(app: &'a Application) -> Self {
+        LazyScratch { app, mem: None }
+    }
+
+    fn get(&mut self) -> &mut GlobalMem {
+        if self.mem.is_none() {
+            self.mem = Some(scratch_memory(self.app));
+        }
+        self.mem.as_mut().expect("just built")
+    }
+}
+
 /// Analyzes every kernel of `app` in launch order.
 ///
 /// This is the work the paper performs during PTX→SASS just-in-time
@@ -140,8 +360,25 @@ pub fn jit_analyze_app_par(
     cache: &mut AnalysisCache,
     par: &ParallelConfig,
 ) -> Vec<JitKernel> {
+    jit_analyze_app_par_stats(cfg, app, hazard, budget, cache, par).0
+}
+
+/// [`jit_analyze_app_par`] that also reports the run's [`TraceMemoStats`]
+/// — how much of the trace phase was synthesized from the representative-
+/// TB trace law rather than interpreted. The counters live outside
+/// [`crate::degrade::CacheStats`] so cache accounting stays bit-identical
+/// across parallel configurations.
+pub fn jit_analyze_app_par_stats(
+    cfg: &GpuConfig,
+    app: &Application,
+    hazard: HazardMode,
+    budget: &AnalysisBudget,
+    cache: &mut AnalysisCache,
+    par: &ParallelConfig,
+) -> (Vec<JitKernel>, TraceMemoStats) {
+    let mut memo = TraceMemo::new();
     let launches: Vec<&Launch> = app.launches();
-    let analyzed = analyze_all(cfg, app, &launches, budget, cache, par);
+    let analyzed = analyze_all(cfg, app, &launches, budget, cache, par, &mut memo);
     let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
     let mut prev: Option<&Launch> = None;
     for ((seq, launch), result) in launches.iter().enumerate().zip(analyzed) {
@@ -161,7 +398,7 @@ pub fn jit_analyze_app_par(
         );
         prev = Some(launch);
     }
-    out
+    (out, memo.stats())
 }
 
 /// [`jit_analyze_app_budgeted`] with a trace sink.
@@ -186,7 +423,8 @@ pub fn jit_analyze_app_traced<T: Tracer>(
 ) -> Vec<JitKernel> {
     let launches: Vec<&Launch> = app.launches();
     let par = ParallelConfig::reference();
-    let mut scratch = scratch_memory(app);
+    let mut scratch = LazyScratch::new(app);
+    let mut memo = TraceMemo::new();
     let mut clock = 0u64;
     let analyzed: Vec<Result<Analyzed, PtxError>> = launches
         .iter()
@@ -202,6 +440,7 @@ pub fn jit_analyze_app_traced<T: Tracer>(
                 tracer,
                 &mut clock,
                 seq as u32,
+                &mut memo,
             )
         })
         .collect();
@@ -264,7 +503,8 @@ pub fn try_jit_analyze_app_par_traced<T: Tracer>(
     tracer: &T,
 ) -> Result<Vec<JitKernel>, PtxError> {
     let launches: Vec<&Launch> = app.launches();
-    let mut scratch = scratch_memory(app);
+    let mut scratch = LazyScratch::new(app);
+    let mut memo = TraceMemo::new();
     let mut clock = 0u64;
     let analyzed: Vec<Result<Analyzed, PtxError>> = launches
         .iter()
@@ -280,6 +520,7 @@ pub fn try_jit_analyze_app_par_traced<T: Tracer>(
                 tracer,
                 &mut clock,
                 seq as u32,
+                &mut memo,
             )
         })
         .collect();
@@ -350,8 +591,9 @@ pub fn try_jit_analyze_app_par(
     cache: &mut AnalysisCache,
     par: &ParallelConfig,
 ) -> Result<Vec<JitKernel>, PtxError> {
+    let mut memo = TraceMemo::new();
     let launches: Vec<&Launch> = app.launches();
-    let analyzed = analyze_all(cfg, app, &launches, budget, cache, par);
+    let analyzed = analyze_all(cfg, app, &launches, budget, cache, par, &mut memo);
     let mut out: Vec<JitKernel> = Vec::with_capacity(launches.len());
     let mut prev: Option<&Launch> = None;
     for ((seq, launch), result) in launches.iter().enumerate().zip(analyzed) {
@@ -389,9 +631,44 @@ fn analyze_all(
     budget: &AnalysisBudget,
     cache: &mut AnalysisCache,
     par: &ParallelConfig,
+    memo: &mut TraceMemo,
 ) -> Vec<Result<Analyzed, PtxError>> {
-    let threads = par.effective_threads(launches.len());
-    let mut scratch = scratch_memory(app);
+    let keys: Vec<_> = launches.iter().map(|l| key_of(l)).collect();
+    // The exact miss sequence the sequential replay will observe —
+    // evictions included — without touching stats or LRU state.
+    let plan = cache.plan_misses(&keys);
+    let mut scratch = LazyScratch::new(app);
+    // Warm short-circuit: every launch is a cache hit. Replay the lookups
+    // directly — no scratch memory, no worker pool.
+    if !plan.iter().any(|&m| m) {
+        return launches
+            .iter()
+            .map(|launch| {
+                let hit = cache.lookup(launch).expect("warm plan promised a hit");
+                Ok(Analyzed {
+                    access: hit.access,
+                    profile: hit.profile,
+                    degradation: hit.degradation,
+                    cache_hit: true,
+                })
+            })
+            .collect();
+    }
+    // Adaptive admission: fan out only when the missing launches carry
+    // enough interpretation work (TBs x body length) to pay for worker
+    // setup and scratch clones.
+    let n_miss = plan.iter().filter(|&&m| m).count();
+    let miss_work: u64 = launches
+        .iter()
+        .zip(&plan)
+        .filter(|&(_, &m)| m)
+        .map(|(l, _)| u64::from(l.num_blocks()).saturating_mul(l.kernel.body.len() as u64))
+        .sum();
+    let threads = if par.serial_work_threshold > 0 && miss_work < par.serial_work_threshold {
+        1
+    } else {
+        par.effective_threads(n_miss)
+    };
     if threads <= 1 {
         return launches
             .iter()
@@ -407,31 +684,53 @@ fn analyze_all(
                     &NullTracer,
                     &mut 0,
                     seq as u32,
+                    memo,
                 )
             })
             .collect();
     }
-    // Phase 1 — probe: find the first launch of every distinct uncached
-    // key, without touching stats or LRU order.
-    let keys: Vec<_> = launches.iter().map(|l| key_of(l)).collect();
-    let mut seen = HashSet::new();
-    let mut missing: Vec<usize> = Vec::new();
-    for (i, key) in keys.iter().enumerate() {
-        if !cache.contains_key(key) && seen.insert(key.clone()) {
-            missing.push(i);
+    // Phase 1 — from the planned miss sequence, assign per-trace-key
+    // occurrence indices exactly as the serial memo automaton would see
+    // them, and send the first miss of every distinct key to a worker
+    // together with its planned trace action (interpret vs synthesize,
+    // optimistically assuming law acceptance — runtime rejections only
+    // ever interpret *more*, and the replay repairs those inline).
+    let mut trace_occ: HashMap<CacheKey, u64> = HashMap::new();
+    let mut seen: HashSet<&CacheKey> = HashSet::new();
+    let mut missing: Vec<(usize, bool)> = Vec::new();
+    for (i, (key, &miss)) in keys.iter().zip(&plan).enumerate() {
+        if !miss {
+            continue;
+        }
+        let interpret = if par.trace_memo {
+            let occ = trace_occ.entry(trace_key_of(launches[i])).or_insert(0);
+            let n = *occ;
+            *occ += 1;
+            plan_interprets(n)
+        } else {
+            true
+        };
+        if seen.insert(key) {
+            missing.push((i, interpret));
         }
     }
     // Phase 2 — analyze the distinct misses concurrently. Each worker owns
-    // a clone of the initial scratch memory. A panicking analysis is
-    // contained to its launch: the worker catches it, the launch degrades
-    // to an opaque barrier ([`DegradationReason::AnalysisPanicked`]), and
-    // every other launch proceeds normally.
+    // a copy-on-write clone of the initial scratch memory. A panicking
+    // analysis is contained to its launch: the worker catches it, the
+    // launch degrades to an opaque barrier
+    // ([`DegradationReason::AnalysisPanicked`]), and every other launch
+    // proceeds normally.
+    let base_scratch = scratch_memory(app);
     let chunks = chunk_ranges(missing.len(), threads.min(missing.len().max(1)));
     let missing_ref = &missing;
-    let scratch_ref = &scratch;
+    let scratch_ref = &base_scratch;
     #[allow(clippy::type_complexity)]
-    let mut computed: Vec<Vec<(usize, Option<Result<CachedAnalysis, PtxError>>)>> =
-        Vec::with_capacity(chunks.len());
+    let mut computed: Vec<
+        Vec<(
+            usize,
+            Option<Result<(CachedAnalysis, WorkerTrace), PtxError>>,
+        )>,
+    > = Vec::with_capacity(chunks.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
@@ -439,18 +738,16 @@ fn analyze_all(
                 scope.spawn(move || {
                     let mut local_scratch = scratch_ref.clone();
                     r.map(|j| {
-                        let i = missing_ref[j];
+                        let (i, interpret) = missing_ref[j];
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                compute_analysis(
+                                compute_analysis_planned(
                                     cfg,
                                     launches[i],
                                     &mut local_scratch,
                                     budget,
                                     par,
-                                    &NullTracer,
-                                    &mut 0,
-                                    i as u32,
+                                    interpret,
                                 )
                             }));
                         let out = match outcome {
@@ -473,12 +770,12 @@ fn analyze_all(
             computed.push(h.join().expect("jit analysis worker panicked"));
         }
     });
-    let mut precomputed: HashMap<_, CachedAnalysis> = HashMap::new();
-    let mut panicked: HashSet<_> = HashSet::new();
+    let mut precomputed: HashMap<CacheKey, (CachedAnalysis, WorkerTrace)> = HashMap::new();
+    let mut panicked: HashSet<CacheKey> = HashSet::new();
     for (i, result) in computed.into_iter().flatten() {
         match result {
-            Some(Ok(ca)) => {
-                precomputed.insert(keys[i].clone(), ca);
+            Some(Ok(pair)) => {
+                precomputed.insert(keys[i].clone(), pair);
             }
             // Errors are not stored: the replay recomputes them inline,
             // which is cheap (validation fails before any analysis work).
@@ -490,7 +787,10 @@ fn analyze_all(
             }
         }
     }
-    // Phase 3 — sequential replay of the serial cache protocol.
+    // Phase 3 — sequential replay of the serial cache protocol. The run
+    // memo is authoritative here: worker traces feed it in launch order,
+    // planned syntheses take the anchor profile, and mispredictions are
+    // interpreted inline.
     launches
         .iter()
         .zip(&keys)
@@ -514,9 +814,24 @@ fn analyze_all(
                 });
             }
             let ca = match precomputed.get(key) {
-                Some(ca) => ca.clone(),
-                // Evicted-and-reappearing key, or a launch that failed
-                // validation: recompute inline, exactly as serial would.
+                Some((ca, wtrace)) => {
+                    let mut ca = ca.clone();
+                    if par.trace_memo {
+                        memo_apply(
+                            cfg,
+                            launch,
+                            &mut ca,
+                            wtrace,
+                            &mut scratch,
+                            budget,
+                            par,
+                            memo,
+                        );
+                    }
+                    ca
+                }
+                // A launch that failed validation in phase 2: recompute
+                // inline, exactly as serial would.
                 None => compute_analysis(
                     cfg,
                     launch,
@@ -526,6 +841,7 @@ fn analyze_all(
                     &NullTracer,
                     &mut 0,
                     0,
+                    memo,
                 )?,
             };
             cache.insert(launch, ca.clone());
@@ -539,12 +855,67 @@ fn analyze_all(
         .collect()
 }
 
+/// Replays one worker result through the authoritative run memo: feeds
+/// interpreted traces to the automaton, substitutes the anchor profile
+/// for planned syntheses, and repairs plan mispredictions (a key rejected
+/// at runtime whose later occurrences the optimistic plan skipped) by
+/// interpreting inline — output-identical to the serial run, merely
+/// slower.
+#[allow(clippy::too_many_arguments)]
+fn memo_apply(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    ca: &mut CachedAnalysis,
+    wtrace: &WorkerTrace,
+    scratch: &mut LazyScratch,
+    budget: &AnalysisBudget,
+    par: &ParallelConfig,
+    memo: &mut TraceMemo,
+) {
+    if matches!(wtrace, WorkerTrace::Legacy) || launch.num_blocks() == 0 {
+        return;
+    }
+    let key = trace_key_of(launch);
+    if memo.should_interpret(&key) {
+        match wtrace {
+            WorkerTrace::Interpreted(trace, law) => {
+                memo.stats.law.merge(law);
+                memo.observe(&key, trace.clone(), ca.profile.clone());
+            }
+            WorkerTrace::Failed => memo.reject(&key),
+            WorkerTrace::Skipped => {
+                match try_profile_launch_law(cfg, launch, scratch.get(), budget.trace_steps, par) {
+                    Ok((profile, trace, law)) => {
+                        memo.stats.law.merge(&law);
+                        ca.profile = profile.clone();
+                        memo.observe(&key, trace, profile);
+                    }
+                    Err(e) => {
+                        let reason = match e {
+                            PtxError::Exec(ExecError::StepLimit { .. }) => {
+                                DegradationReason::TraceOverBudget
+                            }
+                            _ => DegradationReason::TraceFailed,
+                        };
+                        ca.degradation.worsen(DegradationRung::PrelaunchOff, reason);
+                        ca.profile = fallback_profile(launch);
+                        memo.reject(&key);
+                    }
+                }
+            }
+            WorkerTrace::Legacy => unreachable!("filtered above"),
+        }
+    } else {
+        ca.profile = memo.synthesize(&key);
+    }
+}
+
 /// Scratch functional memory for trace collection. Traces only shape
 /// timing; our kernels' control flow does not depend on float data, so
 /// executing on the evolving scratch state is fine. (For the same reason,
 /// cache hits may skip a trace's scratch-memory side effects without
 /// affecting any scheduling decision.)
-fn scratch_memory(app: &Application) -> GlobalMem {
+pub fn scratch_memory(app: &Application) -> GlobalMem {
     let mut scratch = GlobalMem::for_space(&app.space);
     for call in &app.calls {
         if let ApiCall::MemcpyH2D { alloc, .. } = call {
@@ -568,13 +939,14 @@ fn scratch_memory(app: &Application) -> GlobalMem {
 fn analyze_launch_ladder<T: Tracer>(
     cfg: &GpuConfig,
     launch: &Launch,
-    scratch: &mut GlobalMem,
+    scratch: &mut LazyScratch,
     budget: &AnalysisBudget,
     cache: &mut AnalysisCache,
     par: &ParallelConfig,
     tracer: &T,
     clock: &mut u64,
     seq: u32,
+    memo: &mut TraceMemo,
 ) -> Result<Analyzed, PtxError> {
     if let Some(hit) = cache.lookup(launch) {
         if T::ENABLED {
@@ -600,7 +972,7 @@ fn analyze_launch_ladder<T: Tracer>(
             hit: false,
         });
     }
-    let ca = compute_analysis(cfg, launch, scratch, budget, par, tracer, clock, seq)?;
+    let ca = compute_analysis(cfg, launch, scratch, budget, par, tracer, clock, seq, memo)?;
     cache.insert(launch, ca.clone());
     Ok(Analyzed {
         access: ca.access,
@@ -643,111 +1015,44 @@ fn worsen_traced<T: Tracer>(
 fn compute_analysis<T: Tracer>(
     cfg: &GpuConfig,
     launch: &Launch,
-    scratch: &mut GlobalMem,
+    scratch: &mut LazyScratch,
     budget: &AnalysisBudget,
     par: &ParallelConfig,
     tracer: &T,
     clock: &mut u64,
     seq: u32,
+    memo: &mut TraceMemo,
 ) -> Result<CachedAnalysis, PtxError> {
-    assert!(
-        launch.kernel.name != PANIC_KERNEL_SENTINEL,
-        "injected analysis panic (test seam)"
-    );
     let mut degradation = Degradation::none();
-    let mut fuel = budget.absint_fuel;
-    let attempt = try_analyze_launch_fueled_par(launch, &mut fuel, par)?;
-    if T::ENABLED {
-        // One tick per unit of fuel consumed, minimum 1 per phase run.
-        let start = *clock;
-        *clock += (budget.absint_fuel - fuel).max(1);
-        tracer.emit(TraceEvent::AnalysisSpan {
-            seq,
-            name: launch.kernel.name.clone(),
-            phase: AnalysisPhase::Absint,
-            start_tick: start,
-            end_tick: *clock,
-        });
-        if let Some((_, stats)) = &attempt {
-            tracer.emit(TraceEvent::AffineFastPath {
-                tick: *clock,
-                seq,
-                attempted: stats.affine_attempted,
-                accepted: stats.affine_accepted,
-                interpreted: stats.tbs_interpreted,
-                synthesized: stats.tbs_synthesized,
-            });
-            tracer.emit(TraceEvent::ParallelDecision {
-                tick: *clock,
-                seq,
-                tbs: launch.num_blocks(),
-                threads: stats.threads_used,
-                fallback: stats.serial_fallback,
-            });
-        }
-    }
-    let access = match attempt {
-        Some((access, _stats)) => access,
-        None => {
-            worsen_traced(
-                &mut degradation,
-                DegradationRung::Coarse,
-                DegradationReason::AnalysisOverBudget,
-                tracer,
-                *clock,
-                seq,
-            );
-            // Phase boundary: a deadline landing mid-ladder abandons the
-            // launch here instead of paying for the coarse retry.
-            if let Some(cause) = par.cancel_fired() {
-                return Err(PtxError::Cancelled(cause));
-            }
-            let mut coarse_fuel = budget.coarse_fuel;
-            let coarse =
-                try_analyze_launch_grouped(launch, budget.coarse_groups, &mut coarse_fuel)?;
-            if T::ENABLED {
-                let start = *clock;
-                *clock += (budget.coarse_fuel - coarse_fuel).max(1);
-                tracer.emit(TraceEvent::AnalysisSpan {
-                    seq,
-                    name: launch.kernel.name.clone(),
-                    phase: AnalysisPhase::Coarse,
-                    start_tick: start,
-                    end_tick: *clock,
-                });
-            }
-            match coarse {
-                Some(access) => access,
-                None => {
-                    worsen_traced(
-                        &mut degradation,
-                        DegradationRung::Barrier,
-                        DegradationReason::CoarseOverBudget,
-                        tracer,
-                        *clock,
-                        seq,
-                    );
-                    barrier_access(launch.num_blocks())
-                }
-            }
-        }
-    };
-    if access.non_static {
-        worsen_traced(
-            &mut degradation,
-            DegradationRung::Barrier,
-            DegradationReason::NonStatic,
-            tracer,
-            *clock,
-            seq,
-        );
-    }
+    let access = analyze_access(launch, budget, par, tracer, clock, seq, &mut degradation)?;
     // Phase boundary between access analysis and trace profiling.
     if let Some(cause) = par.cancel_fired() {
         return Err(PtxError::Cancelled(cause));
     }
     let trace_start = *clock;
-    let profile = match try_profile_launch_limited(cfg, launch, scratch, budget.trace_steps) {
+    let attempt: Result<LaunchProfile, PtxError> = if launch.num_blocks() == 0 {
+        Ok(unit_profile(launch))
+    } else if par.trace_memo {
+        let key = trace_key_of(launch);
+        if memo.should_interpret(&key) {
+            match try_profile_launch_law(cfg, launch, scratch.get(), budget.trace_steps, par) {
+                Ok((profile, trace, law)) => {
+                    memo.stats.law.merge(&law);
+                    memo.observe(&key, trace, profile.clone());
+                    Ok(profile)
+                }
+                Err(e) => {
+                    memo.reject(&key);
+                    Err(e)
+                }
+            }
+        } else {
+            Ok(memo.synthesize(&key))
+        }
+    } else {
+        try_profile_launch_limited(cfg, launch, scratch.get(), budget.trace_steps)
+    };
+    let profile = match attempt {
         Ok(profile) => profile,
         Err(PtxError::Exec(ExecError::StepLimit { .. })) => {
             worsen_traced(
@@ -783,12 +1088,248 @@ fn compute_analysis<T: Tracer>(
             start_tick: trace_start,
             end_tick: *clock,
         });
+        // Trace-phase parallel-admission verdict, mirroring the absint
+        // one: whether the per-warp fan-out ran and at what width.
+        let n_warps = launch.warps_per_block() as usize;
+        let wt = par.trace_warp_threads(n_warps, launch.kernel.body.len());
+        tracer.emit(TraceEvent::ParallelDecision {
+            tick: *clock,
+            seq,
+            tbs: launch.num_blocks(),
+            threads: wt as u32,
+            fallback: wt == 1 && par.effective_threads(n_warps) > 1,
+        });
     }
     Ok(CachedAnalysis {
         access,
         profile,
         degradation,
     })
+}
+
+/// Access-set phase of the degradation ladder: precise fueled analysis
+/// with coarse and whole-kernel-barrier fallbacks, shared by the serial
+/// ladder and the parallel workers.
+///
+/// # Errors
+///
+/// [`PtxError`] only for structurally invalid launches.
+fn analyze_access<T: Tracer>(
+    launch: &Launch,
+    budget: &AnalysisBudget,
+    par: &ParallelConfig,
+    tracer: &T,
+    clock: &mut u64,
+    seq: u32,
+    degradation: &mut Degradation,
+) -> Result<KernelAccess, PtxError> {
+    assert!(
+        launch.kernel.name != PANIC_KERNEL_SENTINEL,
+        "injected analysis panic (test seam)"
+    );
+    let mut fuel = budget.absint_fuel;
+    let attempt = try_analyze_launch_fueled_par(launch, &mut fuel, par)?;
+    if T::ENABLED {
+        // One tick per unit of fuel consumed, minimum 1 per phase run.
+        let start = *clock;
+        *clock += (budget.absint_fuel - fuel).max(1);
+        tracer.emit(TraceEvent::AnalysisSpan {
+            seq,
+            name: launch.kernel.name.clone(),
+            phase: AnalysisPhase::Absint,
+            start_tick: start,
+            end_tick: *clock,
+        });
+        if let Some((_, stats)) = &attempt {
+            tracer.emit(TraceEvent::AffineFastPath {
+                tick: *clock,
+                seq,
+                attempted: stats.affine_attempted,
+                accepted: stats.affine_accepted,
+                interpreted: stats.tbs_interpreted,
+                synthesized: stats.tbs_synthesized,
+            });
+            tracer.emit(TraceEvent::ParallelDecision {
+                tick: *clock,
+                seq,
+                tbs: launch.num_blocks(),
+                threads: stats.threads_used,
+                fallback: stats.serial_fallback,
+            });
+        }
+    }
+    let access = match attempt {
+        Some((access, _stats)) => access,
+        None => {
+            worsen_traced(
+                degradation,
+                DegradationRung::Coarse,
+                DegradationReason::AnalysisOverBudget,
+                tracer,
+                *clock,
+                seq,
+            );
+            // Phase boundary: a deadline landing mid-ladder abandons the
+            // launch here instead of paying for the coarse retry.
+            if let Some(cause) = par.cancel_fired() {
+                return Err(PtxError::Cancelled(cause));
+            }
+            let mut coarse_fuel = budget.coarse_fuel;
+            let coarse =
+                try_analyze_launch_grouped(launch, budget.coarse_groups, &mut coarse_fuel)?;
+            if T::ENABLED {
+                let start = *clock;
+                *clock += (budget.coarse_fuel - coarse_fuel).max(1);
+                tracer.emit(TraceEvent::AnalysisSpan {
+                    seq,
+                    name: launch.kernel.name.clone(),
+                    phase: AnalysisPhase::Coarse,
+                    start_tick: start,
+                    end_tick: *clock,
+                });
+            }
+            match coarse {
+                Some(access) => access,
+                None => {
+                    worsen_traced(
+                        degradation,
+                        DegradationRung::Barrier,
+                        DegradationReason::CoarseOverBudget,
+                        tracer,
+                        *clock,
+                        seq,
+                    );
+                    barrier_access(launch.num_blocks())
+                }
+            }
+        }
+    };
+    if access.non_static {
+        worsen_traced(
+            degradation,
+            DegradationRung::Barrier,
+            DegradationReason::NonStatic,
+            tracer,
+            *clock,
+            seq,
+        );
+    }
+    Ok(access)
+}
+
+/// What a parallel analysis worker did about one launch's trace phase.
+enum WorkerTrace {
+    /// Trace interpreted through the lane law; the replay feeds it into
+    /// the run's trace memo.
+    Interpreted(TbTrace, TraceLawStats),
+    /// Trace attempted and failed: the degradation is already in the
+    /// worker's result and the replay pins the memo key to
+    /// interpretation.
+    Failed,
+    /// The plan said synthesize, so no trace ran and the profile is a
+    /// placeholder — the replay substitutes the anchor profile (or
+    /// interprets inline when the law was rejected at runtime).
+    Skipped,
+    /// Legacy (non-memoized) trace path; nothing for the replay to do.
+    Legacy,
+}
+
+/// Worker-side [`compute_analysis`]: the same access phase, but the
+/// trace phase follows the phase-1 plan (`interpret`) instead of the
+/// run's memo automaton, which cannot cross worker threads.
+fn compute_analysis_planned(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    scratch: &mut GlobalMem,
+    budget: &AnalysisBudget,
+    par: &ParallelConfig,
+    interpret: bool,
+) -> Result<(CachedAnalysis, WorkerTrace), PtxError> {
+    let mut degradation = Degradation::none();
+    let access = analyze_access(
+        launch,
+        budget,
+        par,
+        &NullTracer,
+        &mut 0,
+        0,
+        &mut degradation,
+    )?;
+    if let Some(cause) = par.cancel_fired() {
+        return Err(PtxError::Cancelled(cause));
+    }
+    if launch.num_blocks() == 0 {
+        return Ok((
+            CachedAnalysis {
+                access,
+                profile: unit_profile(launch),
+                degradation,
+            },
+            WorkerTrace::Legacy,
+        ));
+    }
+    if !par.trace_memo {
+        let profile = match try_profile_launch_limited(cfg, launch, scratch, budget.trace_steps) {
+            Ok(profile) => profile,
+            Err(PtxError::Exec(ExecError::StepLimit { .. })) => {
+                degradation.worsen(
+                    DegradationRung::PrelaunchOff,
+                    DegradationReason::TraceOverBudget,
+                );
+                fallback_profile(launch)
+            }
+            Err(_) => {
+                degradation.worsen(
+                    DegradationRung::PrelaunchOff,
+                    DegradationReason::TraceFailed,
+                );
+                fallback_profile(launch)
+            }
+        };
+        return Ok((
+            CachedAnalysis {
+                access,
+                profile,
+                degradation,
+            },
+            WorkerTrace::Legacy,
+        ));
+    }
+    if !interpret {
+        return Ok((
+            CachedAnalysis {
+                access,
+                profile: fallback_profile(launch),
+                degradation,
+            },
+            WorkerTrace::Skipped,
+        ));
+    }
+    match try_profile_launch_law(cfg, launch, scratch, budget.trace_steps, par) {
+        Ok((profile, trace, law)) => Ok((
+            CachedAnalysis {
+                access,
+                profile,
+                degradation,
+            },
+            WorkerTrace::Interpreted(trace, law),
+        )),
+        Err(e) => {
+            let reason = match e {
+                PtxError::Exec(ExecError::StepLimit { .. }) => DegradationReason::TraceOverBudget,
+                _ => DegradationReason::TraceFailed,
+            };
+            degradation.worsen(DegradationRung::PrelaunchOff, reason);
+            Ok((
+                CachedAnalysis {
+                    access,
+                    profile: fallback_profile(launch),
+                    degradation,
+                },
+                WorkerTrace::Failed,
+            ))
+        }
+    }
 }
 
 /// Graph phase: builds the dependency graph against the predecessor under
@@ -1034,33 +1575,82 @@ pub fn try_profile_launch_limited(
     max_steps: u64,
 ) -> Result<LaunchProfile, PtxError> {
     let n_tbs = launch.num_blocks();
-    let threads = launch.threads_per_block();
-    let shared_bytes = launch.kernel.shared_bytes;
     if n_tbs == 0 {
-        return Ok(LaunchProfile {
-            n_tbs: 0,
-            threads,
-            shared_bytes,
-            duration: 1,
-            txns_per_tb: 0,
-        });
+        return Ok(unit_profile(launch));
     }
     // Middle block: avoids boundary blocks whose guards mask most work.
     let rep = n_tbs / 2;
     let trace = trace_block_limited(launch, rep, scratch, max_steps).map_err(PtxError::Exec)?;
+    Ok(profile_from_trace(cfg, launch, &trace))
+}
+
+/// [`try_profile_launch_limited`] through the warp lane-law fast path:
+/// the representative TB is traced by interpreting only the law lanes of
+/// each full warp and synthesizing the interior lanes when the per-warp
+/// affine law validates (with an exact full-interpretation fallback per
+/// warp otherwise), on private copy-on-write clones of `scratch` — which
+/// is left untouched for admissible launches. Law-inadmissible launches
+/// (barriers / shared memory) interpret directly on `scratch`, mutating
+/// it exactly like the reference pipeline: cloning a large memory per
+/// launch costs O(resident chunks) even when nothing is written. Returns
+/// the trace itself so callers can feed cross-launch memoization.
+///
+/// # Errors
+///
+/// As [`try_profile_launch_limited`].
+pub fn try_profile_launch_law(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    scratch: &mut GlobalMem,
+    max_steps: u64,
+    par: &ParallelConfig,
+) -> Result<(LaunchProfile, TbTrace, TraceLawStats), PtxError> {
+    let n_tbs = launch.num_blocks();
+    if n_tbs == 0 {
+        return Ok((
+            unit_profile(launch),
+            TbTrace::default(),
+            TraceLawStats::default(),
+        ));
+    }
+    let rep = n_tbs / 2;
+    let warp_threads =
+        par.trace_warp_threads(launch.warps_per_block() as usize, launch.kernel.body.len());
+    let (trace, law) =
+        trace_block_law(launch, rep, scratch, max_steps, warp_threads).map_err(PtxError::Exec)?;
+    Ok((profile_from_trace(cfg, launch, &trace), trace, law))
+}
+
+/// Times one representative-TB trace on one SM at the kernel's occupancy.
+fn profile_from_trace(cfg: &GpuConfig, launch: &Launch, trace: &TbTrace) -> LaunchProfile {
+    let n_tbs = launch.num_blocks();
+    let threads = launch.threads_per_block();
+    let shared_bytes = launch.kernel.shared_bytes;
     let occ = cfg
         .occupancy(threads, shared_bytes)
         .max(1)
         .min(n_tbs.max(1));
-    let traces: Vec<&bm_ptx::trace::TbTrace> = (0..occ).map(|_| &trace).collect();
+    let traces: Vec<&TbTrace> = (0..occ).map(|_| trace).collect();
     let timing = simulate_sm(cfg, &traces);
-    Ok(LaunchProfile {
+    LaunchProfile {
         n_tbs,
         threads,
         shared_bytes,
         duration: timing.per_tb_duration(),
         txns_per_tb: trace.global_transactions,
-    })
+    }
+}
+
+/// The degenerate zero-block profile: executes nothing, unit duration so
+/// downstream arithmetic stays well-defined.
+fn unit_profile(launch: &Launch) -> LaunchProfile {
+    LaunchProfile {
+        n_tbs: 0,
+        threads: launch.threads_per_block(),
+        shared_bytes: launch.kernel.shared_bytes,
+        duration: 1,
+        txns_per_tb: 0,
+    }
 }
 
 /// Recomputes every kernel's skip gates from the current access sets —
@@ -1257,7 +1847,7 @@ mod tests {
                 HazardMode::Raw,
                 &budget,
                 &mut cache,
-                &ParallelConfig::with_threads(threads),
+                &ParallelConfig::with_threads(threads).oversubscribed(),
             );
             assert_eq!(par.len(), reference.len());
             for (a, b) in reference.iter().zip(&par) {
@@ -1335,14 +1925,11 @@ mod tests {
         let cfg = GpuConfig::titan_x_pascal();
         let budget = AnalysisBudget::default();
         let mut cache = AnalysisCache::for_budget(&budget);
-        let ks = jit_analyze_app_par(
-            &cfg,
-            &app,
-            HazardMode::Raw,
-            &budget,
-            &mut cache,
-            &ParallelConfig::with_threads(4),
-        );
+        // Zero the work threshold: this app is far too small to fan out
+        // on its own, and the point here is exercising worker containment.
+        let mut par = ParallelConfig::with_threads(4).oversubscribed();
+        par.serial_work_threshold = 0;
+        let ks = jit_analyze_app_par(&cfg, &app, HazardMode::Raw, &budget, &mut cache, &par);
         assert_eq!(ks.len(), 3);
         assert_eq!(ks[1].degradation.rung, DegradationRung::PrelaunchOff);
         assert_eq!(

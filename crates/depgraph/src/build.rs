@@ -100,7 +100,7 @@ pub fn build_graph_par(
 ) -> BipartiteGraph {
     let np = parent.num_blocks() as u32;
     let nc = child.num_blocks();
-    let threads = par.effective_threads(nc);
+    let threads = par.tb_threads_work(nc, np as usize);
     if threads <= 1 {
         return build_graph(parent, child, mode);
     }
@@ -377,7 +377,7 @@ mod tests {
                     &parent,
                     &child,
                     mode,
-                    &ParallelConfig::with_threads(threads),
+                    &ParallelConfig::with_threads(threads).oversubscribed(),
                 );
                 bm_testkit::prop_ensure!(
                     par == naive,

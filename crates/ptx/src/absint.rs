@@ -870,7 +870,7 @@ fn analyze_launch_fueled_par_unchecked(
     }
 
     stats.tbs_interpreted = n;
-    let threads = par.tb_threads(n as usize);
+    let threads = par.tb_threads_work(n as usize, launch.kernel.body.len());
     stats.threads_used = threads as u32;
     stats.serial_fallback = threads == 1 && par.effective_threads(n as usize) > 1;
     if threads <= 1 {

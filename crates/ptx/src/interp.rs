@@ -239,6 +239,89 @@ pub fn execute_block_limited<O: ExecObserver>(
     }
 }
 
+/// [`execute_block_limited`] restricted to an explicit ascending list of
+/// thread ids — the lane-law trace fast path executes only a block's anchor
+/// and validation lanes and synthesizes the rest (see `crate::trace`).
+///
+/// The scheduling discipline is identical to the full executor (round-robin
+/// over the listed threads, block-wide barrier release among them), so for
+/// any subset the listed threads run in the same relative order as in a
+/// full execution; only the memory/shared-state writes of unlisted threads
+/// are absent.
+///
+/// # Errors
+///
+/// As [`execute_block_limited`].
+pub fn execute_block_subset<O: ExecObserver>(
+    launch: &Launch,
+    tb: u32,
+    mem: &mut GlobalMem,
+    obs: &mut O,
+    max_steps: u64,
+    tids: &[u32],
+) -> Result<ExecStats, ExecError> {
+    let kernel = &launch.kernel;
+    let (bx, by) = launch.block_coords(tb);
+    let (n32, n64, nf, np) = reg_file_sizes(launch);
+    let mut shared = vec![0u8; kernel.shared_bytes as usize];
+    let mut threads: Vec<(u32, Thread)> = tids
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                Thread {
+                    r32: vec![0; n32],
+                    r64: vec![0; n64],
+                    f32: vec![0.0; nf],
+                    pred: vec![false; np],
+                    pc: 0,
+                    steps: 0,
+                    status: Status::Running,
+                    tid_x: t % launch.block.x,
+                    tid_y: t / launch.block.x,
+                },
+            )
+        })
+        .collect();
+    let mut stats = ExecStats::default();
+    loop {
+        let mut any_running = false;
+        for (tid, th) in threads.iter_mut() {
+            if th.status != Status::Running {
+                continue;
+            }
+            any_running = true;
+            let id = ThreadId { tb, tid: *tid };
+            run_thread(
+                launch,
+                bx,
+                by,
+                th,
+                id,
+                mem,
+                &mut shared,
+                obs,
+                &mut stats,
+                max_steps,
+            )?;
+        }
+        if !any_running {
+            let waiting = threads
+                .iter()
+                .filter(|(_, t)| t.status == Status::AtBarrier)
+                .count();
+            if waiting == 0 {
+                return Ok(stats);
+            }
+            for (_, th) in &mut threads {
+                if th.status == Status::AtBarrier {
+                    th.status = Status::Running;
+                }
+            }
+        }
+    }
+}
+
 /// Fallible pipeline entry point: validates the launch structure, then
 /// executes every block, folding both launch and execution failures into
 /// the crate-level [`crate::error::PtxError`].

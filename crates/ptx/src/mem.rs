@@ -6,6 +6,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifier of a device allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -107,14 +109,57 @@ impl Default for AddressSpace {
     }
 }
 
+/// Copy-on-write granule of a backing region. 4 KiB balances clone cost
+/// (one `Arc` pointer per chunk) against the bytes duplicated by the first
+/// write into a shared chunk: the lane-law trace path hands every warp a
+/// private clone that typically writes a few dozen bytes, so large granules
+/// turn each of those writes into a large memcpy (at 64 KiB, the trace
+/// phase duplicated ~8x more bytes than it read).
+pub const COW_CHUNK_BYTES: usize = 1 << 12;
+
 /// Byte-addressable functional device memory backing the interpreter.
 ///
-/// Backed by per-allocation byte vectors created lazily; reads of
+/// Backed by per-allocation chunk lists created lazily; reads of
 /// never-written memory return zeroes (deterministic, like `cudaMemset` 0).
+///
+/// Chunks are reference-counted and shared between clones, so `clone()` is
+/// a pointer copy per chunk rather than a deep copy of device memory: the
+/// parallel analysis pipeline hands every worker a private scratch clone,
+/// and only chunks a worker actually writes are duplicated (copy-on-write).
+/// All clones of one memory share a byte counter of those duplications,
+/// observable via [`GlobalMem::cow_copied_bytes`].
 #[derive(Debug, Clone, Default)]
 pub struct GlobalMem {
-    pages: BTreeMap<u64, Vec<u8>>, // keyed by allocation base
-    bases: Vec<(u64, u64)>,        // (base, size) sorted by base
+    pages: BTreeMap<u64, Vec<Arc<Vec<u8>>>>, // keyed by allocation base
+    bases: Vec<(u64, u64)>,                  // (base, size) sorted by base
+    copied: Arc<AtomicU64>,                  // CoW bytes, shared by all clones
+}
+
+/// Unique access to one chunk, duplicating it first when it is shared with
+/// another clone (and charging the duplication to the family counter).
+fn chunk_mut<'c>(copied: &AtomicU64, chunk: &'c mut Arc<Vec<u8>>) -> &'c mut Vec<u8> {
+    if Arc::get_mut(chunk).is_none() {
+        copied.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        *chunk = Arc::new(chunk.as_ref().clone());
+    }
+    Arc::get_mut(chunk).expect("chunk just made unique")
+}
+
+/// The chunk list backing a `size`-byte region: full chunks share one
+/// zeroed block (copied lazily on first write), the tail is exact-length so
+/// concatenating chunk bytes reproduces the region byte-for-byte.
+fn zero_chunks(size: u64) -> Vec<Arc<Vec<u8>>> {
+    let full = size as usize / COW_CHUNK_BYTES;
+    let tail = size as usize % COW_CHUNK_BYTES;
+    let mut chunks = Vec::with_capacity(full + usize::from(tail > 0));
+    if full > 0 {
+        let zero = Arc::new(vec![0u8; COW_CHUNK_BYTES]);
+        chunks.extend(std::iter::repeat_with(|| zero.clone()).take(full));
+    }
+    if tail > 0 {
+        chunks.push(Arc::new(vec![0u8; tail]));
+    }
+    chunks
 }
 
 impl GlobalMem {
@@ -129,9 +174,7 @@ impl GlobalMem {
 
     /// Registers a backing region (idempotent for the same base).
     pub fn add_region(&mut self, base: u64, size: u64) {
-        self.pages
-            .entry(base)
-            .or_insert_with(|| vec![0; size as usize]);
+        self.pages.entry(base).or_insert_with(|| zero_chunks(size));
         if let Err(i) = self.bases.binary_search_by_key(&base, |&(b, _)| b) {
             self.bases.insert(i, (base, size));
         }
@@ -146,6 +189,12 @@ impl GlobalMem {
         (addr + len <= base + size).then(|| (base, (addr - base) as usize))
     }
 
+    /// Bytes duplicated by copy-on-write across all clones sharing this
+    /// memory's lineage — the real cost of handing workers scratch clones.
+    pub fn cow_copied_bytes(&self) -> u64 {
+        self.copied.load(Ordering::Relaxed)
+    }
+
     /// Reads a 32-bit little-endian word.
     ///
     /// # Panics
@@ -156,8 +205,19 @@ impl GlobalMem {
         let (base, off) = self
             .locate(addr, 4)
             .unwrap_or_else(|| panic!("device read of unmapped address {addr:#x}"));
-        let p = &self.pages[&base];
-        u32::from_le_bytes(p[off..off + 4].try_into().unwrap())
+        let chunks = &self.pages[&base];
+        let (ci, co) = (off / COW_CHUNK_BYTES, off % COW_CHUNK_BYTES);
+        if co + 4 <= chunks[ci].len() {
+            u32::from_le_bytes(chunks[ci][co..co + 4].try_into().unwrap())
+        } else {
+            // The word straddles a chunk boundary: gather byte-wise.
+            let mut bytes = [0u8; 4];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                let o = off + i;
+                *b = chunks[o / COW_CHUNK_BYTES][o % COW_CHUNK_BYTES];
+            }
+            u32::from_le_bytes(bytes)
+        }
     }
 
     /// Writes a 32-bit little-endian word.
@@ -169,8 +229,18 @@ impl GlobalMem {
         let (base, off) = self
             .locate(addr, 4)
             .unwrap_or_else(|| panic!("device write of unmapped address {addr:#x}"));
-        let p = self.pages.get_mut(&base).unwrap();
-        p[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        let chunks = self.pages.get_mut(&base).unwrap();
+        let (ci, co) = (off / COW_CHUNK_BYTES, off % COW_CHUNK_BYTES);
+        if co + 4 <= chunks[ci].len() {
+            let c = chunk_mut(&self.copied, &mut chunks[ci]);
+            c[co..co + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+                let o = off + i;
+                let c = chunk_mut(&self.copied, &mut chunks[o / COW_CHUNK_BYTES]);
+                c[o % COW_CHUNK_BYTES] = b;
+            }
+        }
     }
 
     /// Reads an `f32`.
@@ -184,9 +254,47 @@ impl GlobalMem {
     }
 
     /// Copies a slice of `f32`s to device memory (host-to-device memcpy).
+    ///
+    /// Locates the destination region once and writes chunk-contiguous
+    /// spans, so large host copies (the dominant cost of building analysis
+    /// scratch memory) avoid a per-word address search.
     pub fn copy_from_host_f32(&mut self, addr: u64, data: &[f32]) {
-        for (i, v) in data.iter().enumerate() {
-            self.write_f32(addr + 4 * i as u64, *v);
+        if data.is_empty() {
+            return;
+        }
+        let (base, start) = self
+            .locate(addr, 4 * data.len() as u64)
+            .unwrap_or_else(|| panic!("device write of unmapped address {addr:#x}"));
+        let chunks = self.pages.get_mut(&base).unwrap();
+        let mut off = start;
+        let mut words = data.iter();
+        'outer: while let Some(first) = words.next() {
+            let (ci, co) = (off / COW_CHUNK_BYTES, off % COW_CHUNK_BYTES);
+            let c = chunk_mut(&self.copied, &mut chunks[ci]);
+            if co + 4 > c.len() {
+                // Word straddles the chunk boundary: byte-wise slow path.
+                for (i, b) in first.to_bits().to_le_bytes().into_iter().enumerate() {
+                    let o = off + i;
+                    let cc = chunk_mut(&self.copied, &mut chunks[o / COW_CHUNK_BYTES]);
+                    cc[o % COW_CHUNK_BYTES] = b;
+                }
+                off += 4;
+                continue;
+            }
+            // Fill as much of this chunk as the remaining words allow.
+            c[co..co + 4].copy_from_slice(&first.to_bits().to_le_bytes());
+            off += 4;
+            let mut co = co + 4;
+            while co + 4 <= c.len() {
+                match words.next() {
+                    Some(v) => {
+                        c[co..co + 4].copy_from_slice(&v.to_bits().to_le_bytes());
+                        co += 4;
+                        off += 4;
+                    }
+                    None => break 'outer,
+                }
+            }
         }
     }
 
@@ -199,11 +307,16 @@ impl GlobalMem {
 
     /// A stable fingerprint of all memory contents, for equivalence tests.
     pub fn fingerprint(&self) -> u64 {
-        // FNV-1a over all regions in address order.
+        // FNV-1a over all regions in address order; chunk boundaries are
+        // invisible (the hashed byte stream is base bytes then region bytes).
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for (base, page) in &self.pages {
-            for b in base.to_le_bytes().iter().chain(page.iter()) {
-                h ^= *b as u64;
+        for (base, chunks) in &self.pages {
+            let bytes = base
+                .to_le_bytes()
+                .into_iter()
+                .chain(chunks.iter().flat_map(|c| c.iter().copied()));
+            for b in bytes {
+                h ^= b as u64;
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
         }
@@ -268,5 +381,58 @@ mod tests {
         let f0 = m.fingerprint();
         m.write_u32(a.base, 1);
         assert_ne!(m.fingerprint(), f0);
+    }
+
+    #[test]
+    fn chunk_boundary_round_trip() {
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(2 * COW_CHUNK_BYTES as u64 + 10);
+        let mut m = GlobalMem::for_space(&sp);
+        // A word straddling the first chunk boundary.
+        let straddle = a.base + COW_CHUNK_BYTES as u64 - 2;
+        m.write_u32(straddle, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(straddle), 0xDEAD_BEEF);
+        // Last word of the short tail chunk.
+        m.write_u32(a.base + 2 * COW_CHUNK_BYTES as u64 + 6, 7);
+        assert_eq!(m.read_u32(a.base + 2 * COW_CHUNK_BYTES as u64 + 6), 7);
+        // Neighbors on both sides of the straddle stay intact.
+        assert_eq!(m.read_u32(straddle - 4), 0);
+        assert_eq!(m.read_u32(straddle + 4), 0);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(4 * COW_CHUNK_BYTES as u64);
+        let mut m = GlobalMem::for_space(&sp);
+        m.copy_from_host_f32(a.base, &vec![1.5f32; COW_CHUNK_BYTES / 4]);
+        let before = m.cow_copied_bytes();
+        let mut clone = m.clone();
+        // Cloning itself duplicates nothing.
+        assert_eq!(clone.cow_copied_bytes(), before);
+        // Writing one word in the clone duplicates exactly one chunk, and
+        // the original is unaffected.
+        clone.write_f32(a.base, 9.0);
+        assert_eq!(clone.cow_copied_bytes(), before + COW_CHUNK_BYTES as u64);
+        assert_eq!(clone.read_f32(a.base), 9.0);
+        assert_eq!(m.read_f32(a.base), 1.5);
+        // The counter is shared across the lineage.
+        assert_eq!(m.cow_copied_bytes(), clone.cow_copied_bytes());
+    }
+
+    #[test]
+    fn bulk_host_copy_matches_word_writes() {
+        let mut sp = AddressSpace::new();
+        let n = COW_CHUNK_BYTES / 4 + 37;
+        let a = sp.alloc(4 * n as u64 + 8);
+        let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let mut bulk = GlobalMem::for_space(&sp);
+        bulk.copy_from_host_f32(a.base + 8, &data);
+        let mut word = GlobalMem::for_space(&sp);
+        for (i, v) in data.iter().enumerate() {
+            word.write_f32(a.base + 8 + 4 * i as u64, *v);
+        }
+        assert_eq!(bulk.fingerprint(), word.fingerprint());
+        assert_eq!(bulk.copy_to_host_f32(a.base + 8, n), data);
     }
 }

@@ -23,6 +23,15 @@ use std::ops::Range;
 /// serial-fallback threshold.
 pub const DEFAULT_SERIAL_TB_THRESHOLD: u32 = 64;
 
+/// Work-based serial-admission floor: a fan-out is only admitted when the
+/// kernel's approximate work (items × body length) clears this bar, so a
+/// *large grid of trivial kernels* — the FFT pattern, where `parallel8`
+/// absint ran at 0.23x of reference in BENCH v1 — stays serial even though
+/// its TB count clears [`DEFAULT_SERIAL_TB_THRESHOLD`]. Like the TB
+/// threshold this is purely a wall-clock knob: outputs are identical
+/// whichever way the decision goes.
+pub const DEFAULT_SERIAL_WORK_THRESHOLD: u64 = 4096;
+
 /// Configuration of the launch-time analysis pipeline: worker threads and
 /// the affine per-TB memoization fast path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +52,26 @@ pub struct ParallelConfig {
     /// fork/join helper collects in item order), so this is purely a
     /// wall-clock knob.
     pub serial_tb_threshold: u32,
+    /// Work-based serial admission: fan-outs whose items × kernel-body
+    /// length fall below this stay serial even past the TB threshold, so
+    /// many-TB kernels with near-empty bodies never pay fork/join. `0`
+    /// disables the heuristic. Purely a wall-clock knob, like
+    /// [`ParallelConfig::serial_tb_threshold`].
+    pub serial_work_threshold: u64,
+    /// Whether the launch-time trace phase may use the representative-TB
+    /// trace law: per-warp lane subsets with affine address synthesis
+    /// (`bm_ptx::trace::trace_block_law`) and cross-launch trace
+    /// memoization in `bm-core`. Validated per warp and per launch;
+    /// rejection falls back to full interpretation, so disabling this only
+    /// costs time.
+    pub trace_memo: bool,
+    /// Allow more workers than the machine has cores. Analysis fan-outs
+    /// are CPU-bound, so oversubscription is pure spawn/switch overhead
+    /// and [`ParallelConfig::effective_threads`] normally clamps to
+    /// [`hardware_threads`]; tests of the parallel machinery set this to
+    /// exercise multi-worker code paths on small machines. Like every
+    /// thread knob, purely wall-clock: outputs are identical either way.
+    pub oversubscribe: bool,
     /// Cooperative cancellation observed at analysis phase boundaries.
     /// `None` (the default everywhere outside `bm-serve`) means no check
     /// ever fires. Only the `try_*` analysis entry points honor the
@@ -50,16 +79,28 @@ pub struct ParallelConfig {
     pub cancel: Option<CancelToken>,
 }
 
+/// The machine's available hardware parallelism, sampled once.
+pub fn hardware_threads() -> usize {
+    use std::sync::OnceLock;
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 impl ParallelConfig {
     /// All available cores plus the affine fast path — the production
     /// configuration.
     pub fn max_parallel() -> Self {
         ParallelConfig {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: hardware_threads(),
             affine_fastpath: true,
             serial_tb_threshold: DEFAULT_SERIAL_TB_THRESHOLD,
+            serial_work_threshold: DEFAULT_SERIAL_WORK_THRESHOLD,
+            trace_memo: true,
+            oversubscribe: false,
             cancel: None,
         }
     }
@@ -70,6 +111,9 @@ impl ParallelConfig {
             threads: 1,
             affine_fastpath: true,
             serial_tb_threshold: 0,
+            serial_work_threshold: 0,
+            trace_memo: true,
+            oversubscribe: false,
             cancel: None,
         }
     }
@@ -82,6 +126,9 @@ impl ParallelConfig {
             threads: 1,
             affine_fastpath: false,
             serial_tb_threshold: 0,
+            serial_work_threshold: 0,
+            trace_memo: false,
+            oversubscribe: false,
             cancel: None,
         }
     }
@@ -92,6 +139,9 @@ impl ParallelConfig {
             threads: threads.max(1),
             affine_fastpath: true,
             serial_tb_threshold: DEFAULT_SERIAL_TB_THRESHOLD,
+            serial_work_threshold: DEFAULT_SERIAL_WORK_THRESHOLD,
+            trace_memo: true,
+            oversubscribe: false,
             cancel: None,
         }
     }
@@ -102,15 +152,32 @@ impl ParallelConfig {
         self
     }
 
+    /// The same configuration with the hardware-core clamp lifted — used
+    /// by tests that must exercise multi-worker code paths regardless of
+    /// the machine they run on.
+    pub fn oversubscribed(mut self) -> Self {
+        self.oversubscribe = true;
+        self
+    }
+
     /// The cause of a fired cancellation token, if one is installed and
     /// has fired. Analysis stages call this at phase boundaries.
     pub fn cancel_fired(&self) -> Option<CancelCause> {
         self.cancel.as_ref().and_then(|t| t.fired())
     }
 
-    /// Worker count actually used for `items` work items.
+    /// Worker count actually used for `items` work items: the requested
+    /// count, clamped to the item count and — unless
+    /// [`ParallelConfig::oversubscribe`] is set — to the machine's cores,
+    /// since a CPU-bound fan-out wider than the hardware only adds spawn
+    /// and context-switch overhead (the BENCH v1 `parallel8` regressions).
     pub fn effective_threads(&self, items: usize) -> usize {
-        self.threads.max(1).min(items.max(1))
+        let cap = if self.oversubscribe {
+            usize::MAX
+        } else {
+            hardware_threads()
+        };
+        self.threads.max(1).min(cap).min(items.max(1))
     }
 
     /// Worker count for per-TB interpretation of an `n_tbs`-block kernel:
@@ -123,6 +190,39 @@ impl ParallelConfig {
             1
         } else {
             self.effective_threads(n_tbs)
+        }
+    }
+
+    /// [`ParallelConfig::tb_threads`] with the work-based admission bar on
+    /// top: `n_tbs × body_len` must clear
+    /// [`ParallelConfig::serial_work_threshold`] for the fan-out to be
+    /// admitted, so trivial-body kernels stay serial however many TBs they
+    /// launch.
+    pub fn tb_threads_work(&self, n_tbs: usize, body_len: usize) -> usize {
+        if self.serial_work_threshold > 0
+            && (n_tbs as u64).saturating_mul(body_len as u64) < self.serial_work_threshold
+        {
+            1
+        } else {
+            self.tb_threads(n_tbs)
+        }
+    }
+
+    /// Worker count for the trace phase's per-warp fan-out over the
+    /// representative thread block: admitted only when the block's
+    /// approximate work (`n_warps × body_len`) clears the work threshold.
+    /// Outputs are warp-thread invariant (each warp is traced as a pure
+    /// function of the incoming memory), so this too is wall-clock only.
+    pub fn trace_warp_threads(&self, n_warps: usize, body_len: usize) -> usize {
+        if self.threads <= 1 {
+            return 1;
+        }
+        if self.serial_work_threshold > 0
+            && (n_warps as u64).saturating_mul(body_len as u64) < self.serial_work_threshold
+        {
+            1
+        } else {
+            self.effective_threads(n_warps)
         }
     }
 }
@@ -213,16 +313,56 @@ mod tests {
     fn config_constructors() {
         assert_eq!(ParallelConfig::reference().threads, 1);
         assert!(!ParallelConfig::reference().affine_fastpath);
+        assert!(!ParallelConfig::reference().trace_memo);
         assert!(ParallelConfig::serial().affine_fastpath);
+        assert!(ParallelConfig::serial().trace_memo);
         assert!(ParallelConfig::max_parallel().threads >= 1);
+        assert!(ParallelConfig::with_threads(8).trace_memo);
         assert_eq!(ParallelConfig::with_threads(0).threads, 1);
-        assert_eq!(ParallelConfig::with_threads(8).effective_threads(3), 3);
-        assert_eq!(ParallelConfig::with_threads(2).effective_threads(100), 2);
+        let p8 = ParallelConfig::with_threads(8).oversubscribed();
+        assert_eq!(p8.effective_threads(3), 3);
+        let p2 = ParallelConfig::with_threads(2).oversubscribed();
+        assert_eq!(p2.effective_threads(100), 2);
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_hardware_unless_oversubscribed() {
+        let requested = hardware_threads() + 4;
+        let par = ParallelConfig::with_threads(requested);
+        assert_eq!(par.effective_threads(1000), hardware_threads());
+        assert_eq!(
+            par.clone().oversubscribed().effective_threads(1000),
+            requested
+        );
+        // The item clamp still applies either way.
+        assert_eq!(par.oversubscribed().effective_threads(1), 1);
+    }
+
+    #[test]
+    fn work_threshold_keeps_trivial_kernels_serial() {
+        let par = ParallelConfig::with_threads(8).oversubscribed();
+        assert_eq!(par.serial_work_threshold, DEFAULT_SERIAL_WORK_THRESHOLD);
+        // 128 TBs clears the TB threshold, but a 10-instruction body does
+        // not clear the work bar (128 × 10 < 4096).
+        assert_eq!(par.tb_threads(128), 8);
+        assert_eq!(par.tb_threads_work(128, 10), 1);
+        assert_eq!(par.tb_threads_work(128, 40), 8);
+        // Trace-phase warp fan-out obeys the same bar.
+        assert_eq!(par.trace_warp_threads(8, 10), 1);
+        assert_eq!(par.trace_warp_threads(8, 600), 8);
+        // A single-threaded config never fans out, thresholds or not.
+        assert_eq!(ParallelConfig::serial().trace_warp_threads(64, 600), 1);
+        // Disabled heuristic (threshold 0) admits everything.
+        let mut open = ParallelConfig::with_threads(4).oversubscribed();
+        open.serial_work_threshold = 0;
+        open.serial_tb_threshold = 0;
+        assert_eq!(open.tb_threads_work(2, 1), 2);
+        assert_eq!(open.trace_warp_threads(2, 1), 2);
     }
 
     #[test]
     fn tb_threads_falls_back_to_serial_below_threshold() {
-        let par = ParallelConfig::with_threads(8);
+        let par = ParallelConfig::with_threads(8).oversubscribed();
         assert_eq!(par.serial_tb_threshold, DEFAULT_SERIAL_TB_THRESHOLD);
         // Small grids run serial; at or above the threshold they fan out.
         assert_eq!(par.tb_threads(8), 1);
@@ -232,7 +372,7 @@ mod tests {
         // Reference/serial configs disable the heuristic entirely.
         assert_eq!(ParallelConfig::reference().serial_tb_threshold, 0);
         assert_eq!(ParallelConfig::serial().serial_tb_threshold, 0);
-        let mut custom = ParallelConfig::with_threads(4);
+        let mut custom = ParallelConfig::with_threads(4).oversubscribed();
         custom.serial_tb_threshold = 0;
         assert_eq!(custom.tb_threads(2), 2);
     }

@@ -59,7 +59,18 @@ struct Warp<'a> {
 ///
 /// All blocks start at cycle 0; the returned [`SmTiming`] gives per-block
 /// completion times under GTO issue and bandwidth/latency constraints.
+///
+/// The engine is event-accelerated but cycle-exact: memory wake-ups sit
+/// in a min-heap instead of being rescanned every cycle, each scheduler
+/// lane keeps its ready warps in an ordered set (so the "oldest ready"
+/// pick is an O(log n) lookup), and uninterruptible stretches of compute
+/// issue — every scheduler mid-burst, nobody parked, no wake-up due —
+/// are fast-forwarded in one step. Every shortcut preserves the exact
+/// per-cycle issue order of the straightforward loop (kept as the test
+/// oracle below), so `SmTiming` is bit-identical.
 pub fn simulate_sm(cfg: &GpuConfig, traces: &[&TbTrace]) -> SmTiming {
+    use std::cmp::Reverse;
+    use std::collections::{BTreeSet, BinaryHeap};
     let mut warps: Vec<Warp> = Vec::new();
     let mut tb_warp_ranges = Vec::new();
     for (tb, t) in traces.iter().enumerate() {
@@ -93,57 +104,106 @@ pub fn simulate_sm(cfg: &GpuConfig, traces: &[&TbTrace]) -> SmTiming {
     // round-robin over `issue_width` schedulers by index.
     let nsched = cfg.issue_width as usize;
     let mut greedy: Vec<Option<usize>> = vec![None; nsched];
+    // Ready warps per scheduler lane; `first()` is the oldest.
+    let mut lane_ready: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nsched];
+    for &w in &live_warps {
+        lane_ready[w % nsched].insert(w);
+    }
+    // (wake cycle, warp) for every memory-stalled warp.
+    let mut wakes: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut n_parked: usize = 0;
     while !live_warps.is_empty() {
-        // Wake memory-stalled warps.
-        let mut any_ready = false;
-        let mut next_wake = u64::MAX;
-        for &w in &live_warps {
-            match warps[w].state {
-                WarpState::WaitMem(t) => {
-                    if t <= cycle {
-                        warps[w].state = WarpState::Ready;
-                        any_ready = true;
-                    } else {
-                        next_wake = next_wake.min(t);
-                    }
-                }
-                WarpState::Ready => any_ready = true,
-                _ => {}
+        // Wake memory-stalled warps that are due.
+        while let Some(&Reverse((t, w))) = wakes.peek() {
+            if t > cycle {
+                break;
             }
+            wakes.pop();
+            warps[w].state = WarpState::Ready;
+            lane_ready[w % nsched].insert(w);
         }
-        if !any_ready {
-            if next_wake == u64::MAX {
-                // Only barrier-parked warps remain live: release barriers
-                // where every live warp of the block is parked.
-                release_barriers(&mut warps, &tb_warp_ranges, &live_warps);
-                if !live_warps
-                    .iter()
-                    .any(|&w| warps[w].state == WarpState::Ready)
-                {
-                    // No progress possible; malformed trace. Bail out.
-                    break;
-                }
+        if lane_ready.iter().all(|s| s.is_empty()) {
+            if let Some(&Reverse((t, _))) = wakes.peek() {
+                cycle = t;
                 continue;
             }
-            cycle = next_wake;
+            // Only barrier-parked warps remain live: release barriers
+            // where every live warp of the block is parked.
+            let released = release_barriers(&mut warps, &tb_warp_ranges, &mut lane_ready, nsched);
+            n_parked -= released;
+            if released == 0 {
+                // No progress possible; malformed trace. Bail out.
+                break;
+            }
             continue;
         }
-        // Issue phase: each scheduler issues at most one instruction.
-        for (s, slot) in greedy.iter_mut().enumerate() {
-            // Greedy warp first.
-            let pick = match *slot {
+        // Pick phase: greedy warp if still ready, else oldest ready on
+        // the lane. Lanes partition the warps (`w % nsched == s`), so
+        // picks are independent of issue order within the cycle.
+        let picks: Vec<Option<usize>> = greedy
+            .iter()
+            .enumerate()
+            .map(|(s, slot)| match *slot {
                 Some(w) if warps[w].state == WarpState::Ready => Some(w),
-                _ => live_warps
-                    .iter()
-                    .copied()
-                    .filter(|&w| w % nsched == s && warps[w].state == WarpState::Ready)
-                    .min(), // oldest = lowest index
+                _ => lane_ready[s].first().copied(),
+            })
+            .collect();
+        // Fast-forward: if nobody is parked, no wake-up is due, and every
+        // picked warp is inside a compute burst with at least one
+        // instruction to spare, all schedulers issue straight-line
+        // compute for `bulk` cycles with no possible state change. The
+        // final burst instruction always goes through the exact
+        // single-cycle path below.
+        if n_parked == 0 {
+            let mut min_rem = u64::MAX;
+            for &p in &picks {
+                if let Some(w) = p {
+                    let rem = if warps[w].burst > 0 {
+                        u64::from(warps[w].burst)
+                    } else {
+                        match warps[w].trace.events.get(warps[w].ev) {
+                            Some(TraceEv::Compute(n)) => u64::from(*n),
+                            _ => 0,
+                        }
+                    };
+                    min_rem = min_rem.min(rem);
+                }
+            }
+            let window = match wakes.peek() {
+                Some(&Reverse((t, _))) => t - cycle,
+                None => u64::MAX,
             };
+            let bulk = min_rem.saturating_sub(1).min(window);
+            if bulk >= 1 && min_rem != u64::MAX {
+                for (s, &p) in picks.iter().enumerate() {
+                    match p {
+                        Some(w) => {
+                            if warps[w].burst == 0 {
+                                if let Some(TraceEv::Compute(n)) =
+                                    warps[w].trace.events.get(warps[w].ev)
+                                {
+                                    warps[w].burst = *n;
+                                }
+                            }
+                            warps[w].burst -= bulk as u32;
+                            issued += bulk;
+                            greedy[s] = Some(w);
+                        }
+                        None => greedy[s] = None,
+                    }
+                }
+                cycle += bulk;
+                continue;
+            }
+        }
+        // Issue phase: each scheduler issues at most one instruction.
+        let mut any_done = false;
+        for (s, &pick) in picks.iter().enumerate() {
             let Some(w) = pick else {
-                *slot = None;
+                greedy[s] = None;
                 continue;
             };
-            *slot = Some(w);
+            greedy[s] = Some(w);
             issue_one(
                 cfg,
                 &mut warps[w],
@@ -152,24 +212,39 @@ pub fn simulate_sm(cfg: &GpuConfig, traces: &[&TbTrace]) -> SmTiming {
                 &mut issued,
                 &mut transactions,
             );
+            match warps[w].state {
+                WarpState::Ready => {}
+                WarpState::WaitMem(t) => {
+                    lane_ready[s].remove(&w);
+                    wakes.push(Reverse((t, w)));
+                }
+                WarpState::AtBarrier => {
+                    lane_ready[s].remove(&w);
+                    n_parked += 1;
+                }
+                WarpState::Done => {
+                    lane_ready[s].remove(&w);
+                    any_done = true;
+                }
+            }
         }
         // Barrier release check (cheap: only when someone is parked).
-        if live_warps
-            .iter()
-            .any(|&w| warps[w].state == WarpState::AtBarrier)
-        {
-            release_barriers(&mut warps, &tb_warp_ranges, &live_warps);
+        if n_parked > 0 {
+            let released = release_barriers(&mut warps, &tb_warp_ranges, &mut lane_ready, nsched);
+            n_parked -= released;
         }
         // Retire finished warps and record block completion.
-        live_warps.retain(|&w| {
-            if warps[w].state == WarpState::Done {
-                let tb = warps[w].tb;
-                tb_finish[tb] = tb_finish[tb].max(cycle + 1);
-                false
-            } else {
-                true
-            }
-        });
+        if any_done {
+            live_warps.retain(|&w| {
+                if warps[w].state == WarpState::Done {
+                    let tb = warps[w].tb;
+                    tb_finish[tb] = tb_finish[tb].max(cycle + 1);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
         cycle += 1;
     }
     let makespan = tb_finish.iter().copied().max().unwrap_or(0);
@@ -228,7 +303,16 @@ fn issue_one(
     }
 }
 
-fn release_barriers(warps: &mut [Warp], tb_ranges: &[std::ops::Range<usize>], live: &[usize]) {
+/// Releases every barrier whose block has all live warps parked, returning
+/// how many warps went back to `Ready`. A warp that is neither `AtBarrier`
+/// nor `Done` is necessarily still live, so no liveness list is needed.
+fn release_barriers(
+    warps: &mut [Warp],
+    tb_ranges: &[std::ops::Range<usize>],
+    lane_ready: &mut [std::collections::BTreeSet<usize>],
+    nsched: usize,
+) -> usize {
+    let mut released = 0;
     for range in tb_ranges {
         let mut all_parked = true;
         let mut any_parked = false;
@@ -236,21 +320,20 @@ fn release_barriers(warps: &mut [Warp], tb_ranges: &[std::ops::Range<usize>], li
             match warps[w].state {
                 WarpState::AtBarrier => any_parked = true,
                 WarpState::Done => {}
-                _ => {
-                    if live.contains(&w) {
-                        all_parked = false;
-                    }
-                }
+                _ => all_parked = false,
             }
         }
         if any_parked && all_parked {
             for w in range.clone() {
                 if warps[w].state == WarpState::AtBarrier {
                     warps[w].state = WarpState::Ready;
+                    lane_ready[w % nsched].insert(w);
+                    released += 1;
                 }
             }
         }
     }
+    released
 }
 
 #[cfg(test)]
@@ -367,5 +450,220 @@ mod tests {
         let tb = tb_of(vec![]);
         let t = simulate_sm(&cfg, &[&tb]);
         assert_eq!(t.makespan, 0);
+    }
+
+    /// The original cycle-at-a-time engine, kept verbatim as the oracle
+    /// for the event-accelerated `simulate_sm`.
+    fn oracle_simulate_sm(cfg: &GpuConfig, traces: &[&TbTrace]) -> SmTiming {
+        fn oracle_release_barriers(
+            warps: &mut [Warp],
+            tb_ranges: &[std::ops::Range<usize>],
+            live: &[usize],
+        ) {
+            for range in tb_ranges {
+                let mut all_parked = true;
+                let mut any_parked = false;
+                for w in range.clone() {
+                    match warps[w].state {
+                        WarpState::AtBarrier => any_parked = true,
+                        WarpState::Done => {}
+                        _ => {
+                            if live.contains(&w) {
+                                all_parked = false;
+                            }
+                        }
+                    }
+                }
+                if any_parked && all_parked {
+                    for w in range.clone() {
+                        if warps[w].state == WarpState::AtBarrier {
+                            warps[w].state = WarpState::Ready;
+                        }
+                    }
+                }
+            }
+        }
+        let mut warps: Vec<Warp> = Vec::new();
+        let mut tb_warp_ranges = Vec::new();
+        for (tb, t) in traces.iter().enumerate() {
+            let start = warps.len();
+            for w in &t.warps {
+                warps.push(Warp {
+                    trace: w,
+                    ev: 0,
+                    burst: 0,
+                    state: if w.events.is_empty() {
+                        WarpState::Done
+                    } else {
+                        WarpState::Ready
+                    },
+                    tb,
+                });
+            }
+            tb_warp_ranges.push(start..warps.len());
+        }
+        let n_warps = warps.len();
+        let mut tb_finish = vec![0u64; traces.len()];
+        let mut live_warps: Vec<usize> = (0..n_warps)
+            .filter(|&w| warps[w].state != WarpState::Done)
+            .collect();
+        let mut cycle: u64 = 0;
+        let mut mem_port_free: u64 = 0;
+        let mut issued: u64 = 0;
+        let mut transactions: u64 = 0;
+        let nsched = cfg.issue_width as usize;
+        let mut greedy: Vec<Option<usize>> = vec![None; nsched];
+        while !live_warps.is_empty() {
+            let mut any_ready = false;
+            let mut next_wake = u64::MAX;
+            for &w in &live_warps {
+                match warps[w].state {
+                    WarpState::WaitMem(t) => {
+                        if t <= cycle {
+                            warps[w].state = WarpState::Ready;
+                            any_ready = true;
+                        } else {
+                            next_wake = next_wake.min(t);
+                        }
+                    }
+                    WarpState::Ready => any_ready = true,
+                    _ => {}
+                }
+            }
+            if !any_ready {
+                if next_wake == u64::MAX {
+                    oracle_release_barriers(&mut warps, &tb_warp_ranges, &live_warps);
+                    if !live_warps
+                        .iter()
+                        .any(|&w| warps[w].state == WarpState::Ready)
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                cycle = next_wake;
+                continue;
+            }
+            for (s, slot) in greedy.iter_mut().enumerate() {
+                let pick = match *slot {
+                    Some(w) if warps[w].state == WarpState::Ready => Some(w),
+                    _ => live_warps
+                        .iter()
+                        .copied()
+                        .filter(|&w| w % nsched == s && warps[w].state == WarpState::Ready)
+                        .min(),
+                };
+                let Some(w) = pick else {
+                    *slot = None;
+                    continue;
+                };
+                *slot = Some(w);
+                issue_one(
+                    cfg,
+                    &mut warps[w],
+                    cycle,
+                    &mut mem_port_free,
+                    &mut issued,
+                    &mut transactions,
+                );
+            }
+            if live_warps
+                .iter()
+                .any(|&w| warps[w].state == WarpState::AtBarrier)
+            {
+                oracle_release_barriers(&mut warps, &tb_warp_ranges, &live_warps);
+            }
+            live_warps.retain(|&w| {
+                if warps[w].state == WarpState::Done {
+                    let tb = warps[w].tb;
+                    tb_finish[tb] = tb_finish[tb].max(cycle + 1);
+                    false
+                } else {
+                    true
+                }
+            });
+            cycle += 1;
+        }
+        let makespan = tb_finish.iter().copied().max().unwrap_or(0);
+        SmTiming {
+            tb_finish,
+            makespan,
+            issued,
+            transactions,
+        }
+    }
+
+    #[test]
+    fn fast_engine_matches_cycle_exact_oracle_on_random_traces() {
+        let cfg = GpuConfig::titan_x_pascal();
+        let mut s: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for case in 0..300 {
+            let n_tbs = 1 + (rnd() % 4) as usize;
+            let traces: Vec<TbTrace> = (0..n_tbs)
+                .map(|_| {
+                    let n_warps = (rnd() % 9) as usize;
+                    tb_of(
+                        (0..n_warps)
+                            .map(|_| {
+                                let n_ev = (rnd() % 12) as usize;
+                                (0..n_ev)
+                                    .map(|_| match rnd() % 10 {
+                                        0..=4 => TraceEv::Compute(1 + (rnd() % 200) as u32),
+                                        5..=8 => TraceEv::Mem {
+                                            segments: 1 + (rnd() % 32) as u32,
+                                            store: rnd() % 2 == 0,
+                                        },
+                                        _ => TraceEv::Bar,
+                                    })
+                                    .collect()
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let refs: Vec<&TbTrace> = traces.iter().collect();
+            assert_eq!(
+                simulate_sm(&cfg, &refs),
+                oracle_simulate_sm(&cfg, &refs),
+                "case {case} diverged from the cycle-exact oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_engine_matches_oracle_on_long_compute_bursts() {
+        // Stress the fast-forward path: long bursts of unequal length mixed
+        // with occasional memory stalls and barriers across co-resident TBs.
+        let cfg = GpuConfig::titan_x_pascal();
+        let tb0 = tb_of(vec![
+            vec![
+                TraceEv::Compute(5000),
+                TraceEv::Mem {
+                    segments: 4,
+                    store: false,
+                },
+                TraceEv::Compute(3),
+            ],
+            vec![TraceEv::Compute(7), TraceEv::Bar, TraceEv::Compute(9000)],
+            vec![TraceEv::Compute(12000), TraceEv::Bar, TraceEv::Compute(1)],
+        ]);
+        let tb1 = tb_of(vec![
+            vec![
+                TraceEv::Mem {
+                    segments: 32,
+                    store: true,
+                },
+                TraceEv::Compute(20000),
+            ],
+            vec![TraceEv::Compute(1)],
+        ]);
+        let refs: Vec<&TbTrace> = vec![&tb0, &tb1, &tb0];
+        assert_eq!(simulate_sm(&cfg, &refs), oracle_simulate_sm(&cfg, &refs));
     }
 }

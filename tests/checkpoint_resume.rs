@@ -182,7 +182,7 @@ fn parallel_pipeline_resumes_exactly() {
             HazardMode::Raw,
             &budget,
             &mut cache,
-            &ParallelConfig::with_threads(4),
+            &ParallelConfig::with_threads(4).oversubscribed(),
         )
         .expect("analysis")
     });

@@ -59,7 +59,12 @@ fn parallel_and_affine_match_reference() {
             ExecMode::ConsumerPriority { window: 3 },
         );
 
-        for par in [ParallelConfig::serial(), ParallelConfig::with_threads(8)] {
+        for par in [
+            ParallelConfig::serial(),
+            // Oversubscribed so the multi-worker code paths run even on
+            // machines with fewer than 8 cores.
+            ParallelConfig::with_threads(8).oversubscribed(),
+        ] {
             let mut cache = AnalysisCache::for_budget(&budget);
             let jit = jit_analyze_app_par(&cfg, &app, HazardMode::Raw, &budget, &mut cache, &par);
             prop_ensure!(
