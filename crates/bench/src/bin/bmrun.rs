@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bmrun <APP|all> [--mode MODE] [--window N] [--small] [--all-hazards]
+//!       [--devices N] [--link-latency C]
 //!       [--verify] [--races] [--patterns] [--json] [--json-out OUT.json]
 //!       [--trace OUT.json] [--trace-summary]
 //!       [--checkpoint-every N] [--checkpoint-dir D] [--resume PATH] [--kill-at K]
@@ -14,6 +15,12 @@
 //! * `--window N` — concurrently-active kernels (default 3).
 //! * `--small` — reduced workload scale.
 //! * `--all-hazards` — track WAR/WAW in addition to RAW.
+//! * `--devices N` — execute across N simulated GPUs, TB-grain sharded
+//!   with cross-device pre-launch over a virtual interconnect (default 1,
+//!   the plain single-device engine). Incompatible with checkpoint flags.
+//! * `--link-latency C` — interconnect propagation latency in cycles
+//!   (default 600 ≈ 0.5 µs NVLink-class; only meaningful with
+//!   `--devices` > 1).
 //! * `--verify` — functionally replay the schedule and compare against
 //!   serialized execution.
 //! * `--races` — run the inter-kernel race detector on the schedule.
@@ -49,6 +56,7 @@ use blockmaestro::{
     EngineError, ExecMode, FaultPlan, RunSnapshot, SnapshotStore,
 };
 use bm_depgraph::HazardMode;
+use bm_multi::{try_run_app_multi, try_run_app_multi_traced, MultiGpuConfig};
 use bm_simt::GpuConfig;
 use bm_trace::json::Json;
 use bm_trace::{export_chrome_trace, summarize, RecordingTracer};
@@ -61,6 +69,7 @@ fn main() -> ExitCode {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
             "usage: bmrun <APP|all> [--mode MODE] [--window N] [--small] [--all-hazards] \
+             [--devices N] [--link-latency C] \
              [--verify] [--races] [--patterns] [--json] [--json-out OUT.json] \
              [--trace OUT.json] [--trace-summary] \
              [--checkpoint-every N] [--checkpoint-dir D] [--resume PATH] [--kill-at K]"
@@ -126,6 +135,17 @@ fn main() -> ExitCode {
         eprintln!("checkpoint flags require a single APP (not `all`)");
         return ExitCode::from(2);
     }
+    let devices: u32 = value("--devices")
+        .map(|v| v.parse().expect("--devices takes an integer"))
+        .unwrap_or(1);
+    let mut mcfg = MultiGpuConfig::devices(devices);
+    if let Some(v) = value("--link-latency") {
+        mcfg.link_latency_cycles = v.parse().expect("--link-latency takes a cycle count");
+    }
+    if devices > 1 && checkpointing {
+        eprintln!("--devices > 1 cannot be combined with checkpoint flags (multi-device resume is not supported)");
+        return ExitCode::from(2);
+    }
     let mut json_reports: Vec<Json> = Vec::new();
     let mut failed = false;
     for bench in benches {
@@ -183,6 +203,21 @@ fn main() -> ExitCode {
                     );
                     return ExitCode::from(3);
                 }
+                Err(e) => {
+                    eprintln!("bmrun: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if devices > 1 {
+            let run = if tracing {
+                let tracer = RecordingTracer::new();
+                try_run_app_multi_traced(&cfg, &mcfg, &app, mode, hazard, &tracer)
+                    .map(|report| (report, Some(tracer.events())))
+            } else {
+                try_run_app_multi(&cfg, &mcfg, &app, mode, hazard).map(|report| (report, None))
+            };
+            match run {
+                Ok(pair) => pair,
                 Err(e) => {
                     eprintln!("bmrun: {e}");
                     return ExitCode::FAILURE;

@@ -135,6 +135,9 @@ pub enum DegradationReason {
     /// The parallel analysis worker for this kernel panicked; the panic was
     /// contained and the kernel carries an opaque barrier instead.
     AnalysisPanicked,
+    /// A cross-device transfer was dropped or corrupted; the multi-device
+    /// run fell back to single-device execution.
+    LinkFault,
 }
 
 impl fmt::Display for DegradationReason {
@@ -151,6 +154,7 @@ impl fmt::Display for DegradationReason {
             DegradationReason::InvalidLaunch => "structurally invalid launch",
             DegradationReason::Quarantined => "quarantined by soundness guard",
             DegradationReason::AnalysisPanicked => "analysis worker panicked",
+            DegradationReason::LinkFault => "cross-device link fault",
         })
     }
 }

@@ -11,7 +11,7 @@
 #![deny(clippy::unwrap_used)]
 
 use crate::degrade::{AnalysisBudget, AnalysisCache};
-use crate::degrade::{Degradation, DegradationRung, PressureEvent};
+use crate::degrade::{Degradation, DegradationReason, DegradationRung, PressureEvent};
 use crate::error::EngineError;
 use crate::faults::FaultPlan;
 use crate::guard::GuardReport;
@@ -80,6 +80,111 @@ pub struct RunReport {
     /// traffic crossed the configured threshold and shrank the pre-launch
     /// window.
     pub pressure_events: Vec<PressureEvent>,
+    /// Multi-device execution statistics. `None` for every single-device
+    /// run — the field (and its JSON key) only appears when `bm-multi`
+    /// actually sharded the app, so single-device reports stay
+    /// bit-identical to the pre-multi engine.
+    pub multi: Option<MultiStats>,
+}
+
+/// Per-device accounting from one multi-GPU run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceStats {
+    /// Device id (0-based).
+    pub device: u32,
+    /// Thread blocks this device executed.
+    pub tbs_executed: u64,
+    /// Cycle at which the device's last owned TB completed.
+    pub busy_cycles: u64,
+    /// Average concurrently-running TBs on this device.
+    pub avg_concurrency: f64,
+    /// Cross-device dependency messages this device sent.
+    pub sent_msgs: u64,
+    /// Cross-device dependency messages this device received.
+    pub recv_msgs: u64,
+}
+
+/// Summary of a multi-GPU execution, attached to [`RunReport::multi`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStats {
+    /// Devices the app was sharded across.
+    pub devices: u32,
+    /// Configured per-hop link latency in cycles.
+    pub link_latency_cycles: u64,
+    /// Configured link bandwidth in bytes per cycle.
+    pub link_bandwidth_bytes_per_cycle: u64,
+    /// Parent→child dependency edges that crossed a device boundary.
+    pub cut_edges: u64,
+    /// Total explicit dependency edges considered by the partitioner.
+    pub total_edges: u64,
+    /// Cross-device transfers carried by the interconnect.
+    pub transfers: u64,
+    /// Total bytes moved across the interconnect.
+    pub transfer_bytes: u64,
+    /// Total cycles messages spent in flight (sum of per-message latency).
+    pub transfer_cycles: u64,
+    /// Per-device execution statistics, ordered by device id.
+    pub per_device: Vec<DeviceStats>,
+    /// Set when the multi-device attempt was abandoned and the report
+    /// actually comes from the single-device fallback: the reason and the
+    /// interconnect cycle at which the fault was detected.
+    pub fallback: Option<(DegradationReason, u64)>,
+}
+
+impl MultiStats {
+    /// Fraction of dependency edges cut by the partition.
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.total_edges as f64
+        }
+    }
+
+    /// Machine-readable form, embedded under the report's `"multi"` key.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("devices", Json::u64(self.devices as u64)),
+            ("link_latency_cycles", Json::u64(self.link_latency_cycles)),
+            (
+                "link_bandwidth_bytes_per_cycle",
+                Json::u64(self.link_bandwidth_bytes_per_cycle),
+            ),
+            ("cut_edges", Json::u64(self.cut_edges)),
+            ("total_edges", Json::u64(self.total_edges)),
+            ("transfers", Json::u64(self.transfers)),
+            ("transfer_bytes", Json::u64(self.transfer_bytes)),
+            ("transfer_cycles", Json::u64(self.transfer_cycles)),
+            (
+                "per_device",
+                Json::Arr(
+                    self.per_device
+                        .iter()
+                        .map(|d| {
+                            Json::obj([
+                                ("device", Json::u64(d.device as u64)),
+                                ("tbs_executed", Json::u64(d.tbs_executed)),
+                                ("busy_cycles", Json::u64(d.busy_cycles)),
+                                ("avg_concurrency", Json::Num(d.avg_concurrency)),
+                                ("sent_msgs", Json::u64(d.sent_msgs)),
+                                ("recv_msgs", Json::u64(d.recv_msgs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "fallback",
+                match &self.fallback {
+                    Some((reason, cycle)) => Json::obj([
+                        ("reason", Json::Str(reason.to_string())),
+                        ("at_cycle", Json::u64(*cycle)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
 }
 
 impl RunReport {
@@ -103,7 +208,7 @@ impl RunReport {
     /// Object keys are emitted in sorted order, so equal reports serialize
     /// to byte-identical JSON.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs: Vec<(&'static str, Json)> = vec![
             ("mode", Json::Str(format!("{:?}", self.mode))),
             ("total_cycles", Json::u64(self.total_cycles)),
             ("kernel_region_cycles", Json::u64(self.kernel_region_cycles)),
@@ -232,7 +337,11 @@ impl RunReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(m) = &self.multi {
+            pairs.push(("multi", m.to_json()));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -669,6 +778,7 @@ fn capture_snapshot<T: Tracer>(
         guard: session.guard.clone(),
         order: order.to_vec(),
         trace,
+        multi: Vec::new(),
     };
     let bytes = snap.encode().len() as u64;
     if let Some(TraceEvent::CheckpointSave { bytes: b, .. }) = snap.trace.last_mut() {
@@ -777,6 +887,26 @@ fn host_timeline(
         }
     }
     (host_ready, tail)
+}
+
+/// The host-side launch plan the engine computes internally, exposed for
+/// multi-device coordinators: the deterministic command-queue reordering
+/// for `mode` is applied, and the per-kernel host issue-ready times plus
+/// the post-kernel epilogue cost are returned — exactly the values the
+/// single-device execution path uses. `tracer` observes the reordering
+/// (`CmdqSubmit` events) just as a traced single-device run would.
+pub fn host_plan_traced<T: Tracer>(
+    cfg: &GpuConfig,
+    app: &Application,
+    mode: ExecMode,
+    tracer: &T,
+) -> (Vec<u64>, u64) {
+    let order = if mode.prelaunches() {
+        reorder_for_prelaunch_traced(app, tracer)
+    } else {
+        Reordering::identity(app.calls.len())
+    };
+    host_timeline(cfg, app, &order, mode)
 }
 
 #[derive(Debug)]
@@ -1610,6 +1740,7 @@ fn assemble_report<T: Tracer>(
         cache_hits: jit.iter().filter(|k| k.cache_hit).count() as u64,
         cache_misses: jit.iter().filter(|k| !k.cache_hit).count() as u64,
         pressure_events: source.pressure_events.clone(),
+        multi: None,
     }
 }
 

@@ -86,11 +86,18 @@ pub enum FaultClass {
     /// a resumable checkpoint, and a retried run must be bit-identical to
     /// an uninterrupted one.
     CancelAtBoundary,
+    /// A cross-device transfer is dropped or corrupted on the virtual
+    /// interconnect of a multi-GPU run. The coordinator must detect the
+    /// damage, abandon the multi-device attempt, and fall back to guarded
+    /// single-device execution recorded as
+    /// [`crate::degrade::DegradationReason::LinkFault`] — never a panic.
+    /// Ignored by the single-device engine (no link exists to fault).
+    LinkFault,
 }
 
 impl FaultClass {
     /// Every dynamic + static fault class.
-    pub fn all() -> [FaultClass; 11] {
+    pub fn all() -> [FaultClass; 12] {
         [
             FaultClass::DropChild,
             FaultClass::PhantomChild,
@@ -103,6 +110,7 @@ impl FaultClass {
             FaultClass::KillPoint,
             FaultClass::WorkerPanic,
             FaultClass::CancelAtBoundary,
+            FaultClass::LinkFault,
         ]
     }
 
@@ -141,6 +149,14 @@ pub struct FaultPlan {
     /// worker crash. Fires *after* the boundary's checkpoint, so a
     /// contained retry can resume.
     pub panic_at_kernel: Option<u32>,
+    /// Drop the `n`-th cross-device transfer (0-based) on the virtual
+    /// interconnect. Consumed by `bm-multi`; the single-device engine has
+    /// no link and ignores it.
+    pub link_drop_nth: Option<u64>,
+    /// Corrupt the `n`-th cross-device transfer (0-based): the payload
+    /// arrives damaged and fails its integrity check. Consumed by
+    /// `bm-multi`; ignored by the single-device engine.
+    pub link_corrupt_nth: Option<u64>,
 }
 
 impl FaultPlan {
@@ -153,6 +169,8 @@ impl FaultPlan {
             && self.kill_at_kernel.is_none()
             && self.cancel_at_kernel.is_none()
             && self.panic_at_kernel.is_none()
+            && self.link_drop_nth.is_none()
+            && self.link_corrupt_nth.is_none()
     }
 
     /// Net counter perturbation for one child TB.
@@ -274,6 +292,16 @@ pub fn random_plan(class: FaultClass, jit: &[JitKernel], rng: &mut FaultRng) -> 
             }
             plan.panic_at_kernel = Some(1 + rng.below(jit.len() as u64 - 1) as u32);
         }
+        FaultClass::LinkFault => {
+            // Target one of the first transfers so small apps still hit it;
+            // drop and corrupt alternate deterministically with the seed.
+            let nth = rng.below(8);
+            if rng.below(2) == 0 {
+                plan.link_drop_nth = Some(nth);
+            } else {
+                plan.link_corrupt_nth = Some(nth);
+            }
+        }
         FaultClass::CorruptAccessSet | FaultClass::CorruptPattern => return Some(plan),
     }
     Some(plan)
@@ -388,6 +416,8 @@ mod tests {
             kill_at_kernel: None,
             cancel_at_kernel: None,
             panic_at_kernel: None,
+            link_drop_nth: None,
+            link_corrupt_nth: None,
         };
         assert!(!plan.is_empty());
         assert!(plan.drops(p0, 2));
@@ -400,12 +430,26 @@ mod tests {
 
     #[test]
     fn all_classes_enumerated() {
-        assert_eq!(FaultClass::all().len(), 11);
+        assert_eq!(FaultClass::all().len(), 12);
         assert!(FaultClass::CorruptAccessSet.is_static());
         assert!(!FaultClass::DropChild.is_static());
         assert!(!FaultClass::KillPoint.is_static());
         assert!(!FaultClass::WorkerPanic.is_static());
         assert!(!FaultClass::CancelAtBoundary.is_static());
+        assert!(!FaultClass::LinkFault.is_static());
+    }
+
+    #[test]
+    fn link_fault_plan_targets_an_early_transfer() {
+        for seed in 0..16 {
+            let mut rng = FaultRng::new(seed);
+            let plan = random_plan(FaultClass::LinkFault, &[], &mut rng).unwrap();
+            assert!(!plan.is_empty());
+            let nth = plan.link_drop_nth.or(plan.link_corrupt_nth).unwrap();
+            assert!(nth < 8);
+            // Exactly one of the two link faults is armed.
+            assert!(plan.link_drop_nth.is_none() || plan.link_corrupt_nth.is_none());
+        }
     }
 
     #[test]

@@ -78,9 +78,9 @@ pub use degrade::{
     DegradationRung, PressureEvent,
 };
 pub use engine::{
-    run_analyzed, run_app, run_app_with, run_app_with_tracer, try_run_analyzed,
+    host_plan_traced, run_analyzed, run_app, run_app_with, run_app_with_tracer, try_run_analyzed,
     try_run_analyzed_checkpointed, try_run_analyzed_faulty, try_run_analyzed_faulty_traced,
-    try_run_analyzed_traced, CheckpointSession, RunReport,
+    try_run_analyzed_traced, CheckpointSession, DeviceStats, MultiStats, RunReport,
 };
 pub use error::{BmError, EngineError};
 pub use faults::{
@@ -102,6 +102,6 @@ pub use jit::{
 pub use modes::ExecMode;
 pub use snapshot::{
     app_fingerprint, atomic_write, atomic_write_counted, manifest, CheckpointPolicy, DirStore,
-    FsyncStats, MemStore, RunSnapshot, SnapshotError, SnapshotStore, SNAPSHOT_FILE,
+    FsyncStats, MemStore, RunSnapshot, SnapshotError, SnapshotStore, FORMAT_VERSION, SNAPSHOT_FILE,
 };
 pub use streams::{run_streams, StreamAssignment};

@@ -12,7 +12,7 @@
 //! matrix.
 //!
 //! The on-disk format (`DESIGN.md` §10) is versioned and checksummed:
-//! an 8-byte magic (`BMSNAP01`), a format version, a section table with
+//! an 8-byte magic (`BMSNAP02`), a format version, a section table with
 //! per-section CRC32s, then little-endian payloads. Every load validates
 //! magic, version, table bounds, and checksums before decoding; any damage
 //! surfaces as a typed [`SnapshotError`], never a panic. Writes go through
@@ -33,11 +33,12 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Snapshot file magic: format name + major format generation.
-pub const MAGIC: &[u8; 8] = b"BMSNAP01";
+/// Generation 2 adds the optional multi-device section ([`TAG_MULTI`]).
+pub const MAGIC: &[u8; 8] = b"BMSNAP02";
 /// Current format version. Snapshots with any other version are rejected
 /// with [`SnapshotError::UnsupportedVersion`]: the format carries live
 /// scheduler state, so cross-version resume is never attempted.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 const TAG_META: u32 = 1;
 const TAG_DES: u32 = 2;
@@ -45,6 +46,7 @@ const TAG_ENGINE: u32 = 3;
 const TAG_GUARD: u32 = 4;
 const TAG_ORDER: u32 = 5;
 const TAG_TRACE: u32 = 6;
+const TAG_MULTI: u32 = 7;
 
 /// Why a snapshot failed to save, load, or validate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -377,6 +379,11 @@ pub struct RunSnapshot {
     /// Run-phase slice of the trace stream (empty for untraced runs),
     /// ending with this snapshot's own `CheckpointSave` event.
     pub trace: Vec<TraceEvent>,
+    /// Opaque multi-device coordinator state (`bm-multi` owns the codec).
+    /// Empty for single-device runs, in which case the section is omitted
+    /// from the encoded container entirely — single-device snapshots are
+    /// byte-for-byte unaffected by the field's existence.
+    pub multi: Vec<u8>,
 }
 
 /// Fingerprint of an application's identity: name, call count, and every
@@ -949,6 +956,44 @@ fn encode_event(e: &mut Enc, ev: &TraceEvent) {
             e.u32(*threads);
             e.bool(*fallback);
         }
+        TraceEvent::MultiTopology {
+            devices,
+            sms_per_device,
+        } => {
+            e.u8(29);
+            e.u32(*devices);
+            e.u32(*sms_per_device);
+        }
+        TraceEvent::XferStart {
+            cycle,
+            src,
+            dst,
+            id,
+            bytes,
+        } => {
+            e.u8(30);
+            e.u64(*cycle);
+            e.u32(*src);
+            e.u32(*dst);
+            enc_tb_id(e, *id);
+            e.u64(*bytes);
+        }
+        TraceEvent::XferDone {
+            cycle,
+            sent,
+            src,
+            dst,
+            id,
+            bytes,
+        } => {
+            e.u8(31);
+            e.u64(*cycle);
+            e.u64(*sent);
+            e.u32(*src);
+            e.u32(*dst);
+            enc_tb_id(e, *id);
+            e.u64(*bytes);
+        }
     }
 }
 
@@ -1127,6 +1172,25 @@ fn decode_event(d: &mut Dec) -> DecResult<TraceEvent> {
             tbs: d.u32()?,
             threads: d.u32()?,
             fallback: d.bool()?,
+        },
+        29 => TraceEvent::MultiTopology {
+            devices: d.u32()?,
+            sms_per_device: d.u32()?,
+        },
+        30 => TraceEvent::XferStart {
+            cycle: d.u64()?,
+            src: d.u32()?,
+            dst: d.u32()?,
+            id: dec_tb_id(d)?,
+            bytes: d.u64()?,
+        },
+        31 => TraceEvent::XferDone {
+            cycle: d.u64()?,
+            sent: d.u64()?,
+            src: d.u32()?,
+            dst: d.u32()?,
+            id: dec_tb_id(d)?,
+            bytes: d.u64()?,
         },
         _ => return Err(SnapshotError::Malformed("unknown trace-event tag")),
     })
@@ -1492,7 +1556,7 @@ fn dec_trace(d: &mut Dec) -> DecResult<Vec<TraceEvent>> {
 impl RunSnapshot {
     /// Serializes to the versioned, checksummed container format.
     pub fn encode(&self) -> Vec<u8> {
-        let sections: [(u32, Vec<u8>); 6] = [
+        let mut sections: Vec<(u32, Vec<u8>)> = vec![
             (TAG_META, enc_meta(&self.meta)),
             (TAG_DES, enc_des(&self.des)),
             (TAG_ENGINE, enc_engine(&self.engine)),
@@ -1500,6 +1564,10 @@ impl RunSnapshot {
             (TAG_ORDER, enc_order(&self.order)),
             (TAG_TRACE, enc_trace(&self.trace)),
         ];
+        // Single-device snapshots omit the multi section entirely.
+        if !self.multi.is_empty() {
+            sections.push((TAG_MULTI, self.multi.clone()));
+        }
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -1538,6 +1606,7 @@ impl RunSnapshot {
         let mut guard = None;
         let mut order = None;
         let mut trace = None;
+        let mut multi = Vec::new();
         for (tag, payload) in sections {
             let mut d = Dec::new(payload);
             match tag {
@@ -1547,6 +1616,11 @@ impl RunSnapshot {
                 TAG_GUARD => guard = Some(dec_guard(&mut d)?),
                 TAG_ORDER => order = Some(dec_order(&mut d)?),
                 TAG_TRACE => trace = Some(dec_trace(&mut d)?),
+                TAG_MULTI => {
+                    // Opaque to this layer: bm-multi validates the contents.
+                    multi = payload.to_vec();
+                    continue;
+                }
                 // Unknown sections within a supported version are not
                 // possible today; reject rather than silently ignore.
                 _ => return Err(SnapshotError::Malformed("unknown section tag")),
@@ -1562,6 +1636,7 @@ impl RunSnapshot {
             guard: guard.ok_or(SnapshotError::Malformed("missing guard section"))?,
             order: order.ok_or(SnapshotError::Malformed("missing order section"))?,
             trace: trace.ok_or(SnapshotError::Malformed("missing trace section"))?,
+            multi,
         })
     }
 }
@@ -1617,7 +1692,7 @@ pub fn manifest(bytes: &[u8]) -> Result<Json, SnapshotError> {
         .ok_or(SnapshotError::Malformed("missing meta section"))?;
     let meta = dec_meta(&mut Dec::new(meta_payload))?;
     let mut doc = BTreeMap::new();
-    doc.insert("magic".to_string(), Json::Str("BMSNAP01".to_string()));
+    doc.insert("magic".to_string(), Json::Str("BMSNAP02".to_string()));
     doc.insert("version".to_string(), Json::u64(FORMAT_VERSION as u64));
     doc.insert("total_bytes".to_string(), Json::u64(bytes.len() as u64));
     doc.insert("app_fingerprint".to_string(), Json::u64(meta.app_fp));
@@ -1633,6 +1708,7 @@ pub fn manifest(bytes: &[u8]) -> Result<Json, SnapshotError> {
         TAG_GUARD => "guard",
         TAG_ORDER => "order",
         TAG_TRACE => "trace",
+        TAG_MULTI => "multi",
         _ => "unknown",
     };
     let section_docs: Vec<Json> = sections
@@ -1782,6 +1858,7 @@ mod tests {
                     bytes: 0,
                 },
             ],
+            multi: Vec::new(),
         }
     }
 
@@ -1906,6 +1983,25 @@ mod tests {
             },
             TraceEvent::CheckpointReject {
                 reason: "snapshot truncated".into(),
+            },
+            TraceEvent::MultiTopology {
+                devices: 4,
+                sms_per_device: 28,
+            },
+            TraceEvent::XferStart {
+                cycle: 16,
+                src: 0,
+                dst: 3,
+                id,
+                bytes: 256,
+            },
+            TraceEvent::XferDone {
+                cycle: 116,
+                sent: 16,
+                src: 0,
+                dst: 3,
+                id,
+                bytes: 256,
             },
         ];
         let payload = enc_trace(&events);
@@ -2118,7 +2214,7 @@ mod tests {
         let bytes = sample_snapshot().encode();
         let doc = manifest(&bytes).unwrap();
         let text = doc.to_string();
-        assert!(text.contains("\"magic\":\"BMSNAP01\""));
+        assert!(text.contains("\"magic\":\"BMSNAP02\""));
         assert!(text.contains("\"name\":\"engine\""));
         let reparsed = bm_trace::json::parse(&text).unwrap();
         assert_eq!(reparsed.to_string(), text);

@@ -1,0 +1,192 @@
+//! TB-grain partitioning of a kernel sequence across devices.
+//!
+//! Every kernel's TB range `[0, n_tbs)` is cut into `devices` contiguous
+//! shards. Contiguity is what makes the cut cheap to represent (one
+//! boundary vector per kernel), cheap to query (`device_of` is a scan over
+//! `devices` entries), and — because the paper's dependency patterns are
+//! overwhelmingly banded (P2/P4/P5: a child depends on a small window of
+//! nearby parents) — close to the minimum cut anyway.
+//!
+//! Kernel 0 is split proportionally. Each later kernel with an *explicit*
+//! graph against its predecessor gets a bounded local search: every
+//! interior boundary slides within a band around the proportional split
+//! and lands where the fewest explicit parent→child edges cross a device
+//! boundary, given the predecessor's (already fixed) cut. Symbolic graphs
+//! (fully-connected, independent) are split proportionally — a barrier
+//! crosses everything no matter where the knife falls, and independence
+//! crosses nothing.
+
+use blockmaestro::JitKernel;
+use bm_depgraph::GraphKind;
+
+/// Half-width of the boundary search band, as a fraction of one shard:
+/// each interior boundary may move up to `shard_len / BAND_DIVISOR` TBs
+/// away from the proportional split. Bounded so partitioning stays
+/// O(edges) even for the 500-kernel apps.
+const BAND_DIVISOR: u32 = 8;
+
+/// A contiguous TB-range partition of every kernel across `devices`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Number of devices the cut targets.
+    pub devices: u32,
+    /// `cuts[k]` has `devices + 1` monotone entries; device `d` owns TBs
+    /// `[cuts[k][d], cuts[k][d + 1])` of kernel `k`.
+    pub cuts: Vec<Vec<u32>>,
+    /// Explicit parent→child edges whose endpoints landed on different
+    /// devices.
+    pub cut_edges: u64,
+    /// Total explicit parent→child edges considered.
+    pub total_edges: u64,
+}
+
+impl Partition {
+    /// Cuts `jit`'s kernels across `devices` devices.
+    pub fn build(jit: &[JitKernel], devices: u32) -> Partition {
+        let devices = devices.max(1);
+        let mut cuts: Vec<Vec<u32>> = Vec::with_capacity(jit.len());
+        for (k, kernel) in jit.iter().enumerate() {
+            let n = kernel.profile.n_tbs;
+            let cut = match (k, kernel.graph.kind()) {
+                (0, _) | (_, GraphKind::Independent) | (_, GraphKind::FullyConnected) => {
+                    proportional(n, devices)
+                }
+                (_, GraphKind::Explicit(_)) => {
+                    banded_search(&kernel.graph, &cuts[k - 1], n, devices)
+                }
+            };
+            cuts.push(cut);
+        }
+        let (cut_edges, total_edges) = count_cut_edges(jit, &cuts);
+        Partition {
+            devices,
+            cuts,
+            cut_edges,
+            total_edges,
+        }
+    }
+
+    /// The shard `[lo, hi)` of kernel `k` owned by device `d`.
+    pub fn shard(&self, k: usize, d: u32) -> (u32, u32) {
+        (self.cuts[k][d as usize], self.cuts[k][d as usize + 1])
+    }
+
+    /// The device owning TB `tb` of kernel `k`.
+    pub fn device_of(&self, k: usize, tb: u32) -> u32 {
+        let cut = &self.cuts[k];
+        for d in 0..self.devices as usize {
+            if tb < cut[d + 1] {
+                return d as u32;
+            }
+        }
+        self.devices - 1
+    }
+
+    /// Devices whose shard of kernel `k` is non-empty.
+    pub fn active_devices(&self, k: usize) -> u32 {
+        (0..self.devices)
+            .filter(|&d| {
+                let (lo, hi) = self.shard(k, d);
+                hi > lo
+            })
+            .count() as u32
+    }
+}
+
+/// The proportional cut: `devices + 1` boundaries with every shard within
+/// one TB of `n / devices`.
+fn proportional(n: u32, devices: u32) -> Vec<u32> {
+    (0..=devices as u64)
+        .map(|d| (n as u64 * d / devices as u64) as u32)
+        .collect()
+}
+
+/// Slides each interior boundary within a band around the proportional
+/// split to the position crossed by the fewest explicit edges, given the
+/// parent kernel's fixed cut. Boundaries are fixed left to right, so the
+/// result is deterministic and monotone by construction.
+fn banded_search(
+    graph: &bm_depgraph::BipartiteGraph,
+    parent_cut: &[u32],
+    n: u32,
+    devices: u32,
+) -> Vec<u32> {
+    let prop = proportional(n, devices);
+    if devices <= 1 || n == 0 {
+        return prop;
+    }
+    let parents = graph.parents_of_children();
+    let shard_len = (n / devices).max(1);
+    let slack = (shard_len / BAND_DIVISOR).max(1);
+    let mut cut = prop.clone();
+    for d in 1..devices as usize {
+        let target = prop[d];
+        let lo = target.saturating_sub(slack).max(cut[d - 1]);
+        let hi = (target + slack).min(n);
+        let pb = parent_cut[d];
+        let mut best = (u64::MAX, u32::MAX, target);
+        for b in lo..=hi {
+            // Local cost of placing boundary `d` at `b`: for each child in
+            // the band, an edge crosses this boundary when the child and
+            // its parent fall on different sides of their respective cuts.
+            let mut cost = 0u64;
+            for c in lo..hi {
+                for &p in &parents[c as usize] {
+                    if (c < b) != (p < pb) {
+                        cost += 1;
+                    }
+                }
+            }
+            let dist = b.abs_diff(target);
+            if (cost, dist, b) < best {
+                best = (cost, dist, b);
+            }
+        }
+        cut[d] = best.2;
+    }
+    cut
+}
+
+/// Counts `(cut, total)` explicit edges over the finished partition.
+fn count_cut_edges(jit: &[JitKernel], cuts: &[Vec<u32>]) -> (u64, u64) {
+    let mut cut_edges = 0u64;
+    let mut total = 0u64;
+    let devices = cuts.first().map_or(1, |c| c.len() - 1);
+    let device_of = |cut: &[u32], tb: u32| -> usize {
+        (0..devices)
+            .find(|&d| tb < cut[d + 1])
+            .unwrap_or(devices - 1)
+    };
+    for (k, kernel) in jit.iter().enumerate().skip(1) {
+        if let GraphKind::Explicit(children) = kernel.graph.kind() {
+            for (p, kids) in children.iter().enumerate() {
+                let pd = device_of(&cuts[k - 1], p as u32);
+                for &c in kids {
+                    total += 1;
+                    if device_of(&cuts[k], c) != pd {
+                        cut_edges += 1;
+                    }
+                }
+            }
+        }
+    }
+    (cut_edges, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_is_monotone_and_covers() {
+        for n in [0u32, 1, 7, 96] {
+            for d in [1u32, 2, 3, 4, 7] {
+                let cut = proportional(n, d);
+                assert_eq!(cut.len(), d as usize + 1);
+                assert_eq!(cut[0], 0);
+                assert_eq!(*cut.last().unwrap(), n);
+                assert!(cut.windows(2).all(|w| w[0] <= w[1]), "{cut:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The multi-device checkpoint section: coordinator state captured at a
+//! round boundary, carried opaquely in a `BMSNAP02` container's
+//! `TAG_MULTI` section.
+//!
+//! The codec is self-contained little-endian bytes, mirroring the
+//! container's conventions: fixed-width integers, length-prefixed
+//! sequences, and strict decoding — trailing bytes or truncation are
+//! malformed, never ignored. Full multi-device *resume* is tracked as a
+//! roadmap item; today the section makes multi-run progress inspectable
+//! and crash-durable alongside the per-device engine images.
+
+use blockmaestro::SnapshotError;
+use bm_simt::{DesCheckpoint, DesStats, TbDescriptor, TbKey};
+
+/// Complete coordinator state at a round boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCheckpoint {
+    /// Device count the run was sharded across.
+    pub devices: u32,
+    /// Coordinator rounds completed.
+    pub round: u64,
+    /// Per-device engine clocks at capture.
+    pub clocks: Vec<u64>,
+    /// Per-device engine images.
+    pub des: Vec<DesCheckpoint>,
+    /// Per-device, per-kernel `(completed, owned)` TB counts.
+    pub progress: Vec<Vec<(u32, u32)>>,
+    /// Flattened `devices × devices` link-busy matrix.
+    pub link_busy: Vec<u64>,
+    /// Interconnect accounting at capture.
+    pub transfers: u64,
+    pub transfer_bytes: u64,
+    pub transfer_cycles: u64,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(SnapshotError::Malformed("multi section truncated"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn u128(&mut self) -> Result<u128, SnapshotError> {
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("16 bytes"),
+        ))
+    }
+
+    /// Sequence length, sanity-bounded by the remaining bytes so corrupt
+    /// lengths fail fast instead of attempting huge allocations.
+    fn len(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        if n * min_elem_bytes > self.bytes.len() - self.pos {
+            return Err(SnapshotError::Malformed("multi section length overflow"));
+        }
+        Ok(n)
+    }
+}
+
+fn encode_des(out: &mut Vec<u8>, d: &DesCheckpoint) {
+    put_u32(out, d.sms.len() as u32);
+    for &(tbs, threads, shared) in &d.sms {
+        put_u32(out, tbs);
+        put_u32(out, threads);
+        put_u32(out, shared);
+    }
+    put_u32(out, d.events.len() as u32);
+    for &(t, seq, sm, desc) in &d.events {
+        put_u64(out, t);
+        put_u64(out, seq);
+        put_u32(out, sm);
+        encode_desc(out, &desc);
+    }
+    put_u64(out, d.seq);
+    put_u64(out, d.now);
+    put_u32(out, d.running);
+    put_u64(out, d.last_t);
+    put_u32(out, d.resident.len() as u32);
+    for &r in &d.resident {
+        put_u32(out, r);
+    }
+    put_u64(out, d.stats.total_cycles);
+    put_u128(out, d.stats.concurrency_integral);
+    put_u64(out, d.stats.tbs_executed);
+    put_u32(out, d.stats.schedule.len() as u32);
+    for &(key, start, finish) in &d.stats.schedule {
+        put_u32(out, key.kernel_seq);
+        put_u32(out, key.tb);
+        put_u64(out, start);
+        put_u64(out, finish);
+    }
+}
+
+fn encode_desc(out: &mut Vec<u8>, d: &TbDescriptor) {
+    put_u32(out, d.key.kernel_seq);
+    put_u32(out, d.key.tb);
+    put_u32(out, d.threads);
+    put_u32(out, d.shared_bytes);
+    put_u64(out, d.duration);
+}
+
+fn decode_desc(c: &mut Cursor<'_>) -> Result<TbDescriptor, SnapshotError> {
+    Ok(TbDescriptor {
+        key: TbKey {
+            kernel_seq: c.u32()?,
+            tb: c.u32()?,
+        },
+        threads: c.u32()?,
+        shared_bytes: c.u32()?,
+        duration: c.u64()?,
+    })
+}
+
+fn decode_des(c: &mut Cursor<'_>) -> Result<DesCheckpoint, SnapshotError> {
+    let n_sms = c.len(12)?;
+    let mut sms = Vec::with_capacity(n_sms);
+    for _ in 0..n_sms {
+        sms.push((c.u32()?, c.u32()?, c.u32()?));
+    }
+    let n_events = c.len(40)?;
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let t = c.u64()?;
+        let seq = c.u64()?;
+        let sm = c.u32()?;
+        events.push((t, seq, sm, decode_desc(c)?));
+    }
+    let seq = c.u64()?;
+    let now = c.u64()?;
+    let running = c.u32()?;
+    let last_t = c.u64()?;
+    let n_res = c.len(4)?;
+    let mut resident = Vec::with_capacity(n_res);
+    for _ in 0..n_res {
+        resident.push(c.u32()?);
+    }
+    let total_cycles = c.u64()?;
+    let concurrency_integral = c.u128()?;
+    let tbs_executed = c.u64()?;
+    let n_sched = c.len(24)?;
+    let mut schedule = Vec::with_capacity(n_sched);
+    for _ in 0..n_sched {
+        let key = TbKey {
+            kernel_seq: c.u32()?,
+            tb: c.u32()?,
+        };
+        schedule.push((key, c.u64()?, c.u64()?));
+    }
+    Ok(DesCheckpoint {
+        sms,
+        events,
+        seq,
+        now,
+        running,
+        last_t,
+        resident,
+        stats: DesStats {
+            total_cycles,
+            concurrency_integral,
+            tbs_executed,
+            schedule,
+        },
+    })
+}
+
+impl MultiCheckpoint {
+    /// Serializes into the opaque `TAG_MULTI` payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.devices);
+        put_u64(&mut out, self.round);
+        put_u32(&mut out, self.clocks.len() as u32);
+        for &t in &self.clocks {
+            put_u64(&mut out, t);
+        }
+        put_u32(&mut out, self.des.len() as u32);
+        for d in &self.des {
+            encode_des(&mut out, d);
+        }
+        put_u32(&mut out, self.progress.len() as u32);
+        for per_kernel in &self.progress {
+            put_u32(&mut out, per_kernel.len() as u32);
+            for &(completed, owned) in per_kernel {
+                put_u32(&mut out, completed);
+                put_u32(&mut out, owned);
+            }
+        }
+        put_u32(&mut out, self.link_busy.len() as u32);
+        for &b in &self.link_busy {
+            put_u64(&mut out, b);
+        }
+        put_u64(&mut out, self.transfers);
+        put_u64(&mut out, self.transfer_bytes);
+        put_u64(&mut out, self.transfer_cycles);
+        out
+    }
+
+    /// Decodes a `TAG_MULTI` payload, rejecting truncation, trailing
+    /// bytes, and shape inconsistencies.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on any structural problem.
+    pub fn decode(bytes: &[u8]) -> Result<MultiCheckpoint, SnapshotError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        let devices = c.u32()?;
+        let round = c.u64()?;
+        let n_clocks = c.len(8)?;
+        let mut clocks = Vec::with_capacity(n_clocks);
+        for _ in 0..n_clocks {
+            clocks.push(c.u64()?);
+        }
+        let n_des = c.len(1)?;
+        let mut des = Vec::with_capacity(n_des);
+        for _ in 0..n_des {
+            des.push(decode_des(&mut c)?);
+        }
+        let n_prog = c.len(4)?;
+        let mut progress = Vec::with_capacity(n_prog);
+        for _ in 0..n_prog {
+            let n_k = c.len(8)?;
+            let mut per_kernel = Vec::with_capacity(n_k);
+            for _ in 0..n_k {
+                per_kernel.push((c.u32()?, c.u32()?));
+            }
+            progress.push(per_kernel);
+        }
+        let n_busy = c.len(8)?;
+        let mut link_busy = Vec::with_capacity(n_busy);
+        for _ in 0..n_busy {
+            link_busy.push(c.u64()?);
+        }
+        let snap = MultiCheckpoint {
+            devices,
+            round,
+            clocks,
+            des,
+            progress,
+            link_busy,
+            transfers: c.u64()?,
+            transfer_bytes: c.u64()?,
+            transfer_cycles: c.u64()?,
+        };
+        if c.pos != bytes.len() {
+            return Err(SnapshotError::Malformed("multi section trailing bytes"));
+        }
+        if snap.clocks.len() != snap.devices as usize
+            || snap.des.len() != snap.devices as usize
+            || snap.progress.len() != snap.devices as usize
+            || snap.link_busy.len() != (snap.devices as usize).pow(2)
+        {
+            return Err(SnapshotError::Malformed("multi section shape mismatch"));
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MultiCheckpoint {
+        let key = TbKey {
+            kernel_seq: 3,
+            tb: 17,
+        };
+        let desc = TbDescriptor {
+            key,
+            threads: 128,
+            shared_bytes: 2048,
+            duration: 900,
+        };
+        let des = DesCheckpoint {
+            sms: vec![(4, 2048, 49152), (3, 1920, 47104)],
+            events: vec![(1000, 5, 1, desc)],
+            seq: 6,
+            now: 950,
+            running: 1,
+            last_t: 950,
+            resident: vec![0, 1],
+            stats: DesStats {
+                total_cycles: 0,
+                concurrency_integral: 123456789012345,
+                tbs_executed: 5,
+                schedule: vec![(key, 50, 950)],
+            },
+        };
+        MultiCheckpoint {
+            devices: 2,
+            round: 42,
+            clocks: vec![950, 910],
+            des: vec![des.clone(), des],
+            progress: vec![vec![(5, 8), (0, 8)], vec![(5, 8), (0, 8)]],
+            link_busy: vec![0, 100, 220, 0],
+            transfers: 7,
+            transfer_bytes: 1792,
+            transfer_cycles: 4321,
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exact() {
+        let snap = sample();
+        let bytes = snap.encode();
+        let back = MultiCheckpoint::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let bytes = sample().encode();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(MultiCheckpoint::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(MultiCheckpoint::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let mut snap = sample();
+        snap.link_busy.truncate(3);
+        // Re-encode with the wrong busy-matrix size: decode must reject.
+        let bytes = snap.encode();
+        assert!(MultiCheckpoint::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-device tracer adapter: offsets SM identifiers so every device gets
+//! its own lane block in the merged trace stream.
+//!
+//! Device `d`'s engine believes it owns SMs `0..num_sms`; the adapter maps
+//! those onto the global lane range `d * num_sms .. (d + 1) * num_sms`
+//! before forwarding. The Chrome exporter, seeing a
+//! [`TraceEvent::MultiTopology`] preamble, renders lane `s` as
+//! `D{s / sms_per_device}·SM{s % sms_per_device}`.
+
+use bm_trace::{TraceEvent, Tracer};
+
+/// Wraps a base tracer, shifting SM-carrying events by a fixed offset.
+pub struct DeviceTracer<'a, T> {
+    inner: &'a T,
+    sm_offset: u32,
+}
+
+impl<'a, T: Tracer> DeviceTracer<'a, T> {
+    pub fn new(inner: &'a T, device: u32, sms_per_device: u32) -> Self {
+        DeviceTracer {
+            inner,
+            sm_offset: device * sms_per_device,
+        }
+    }
+}
+
+impl<T: Tracer> Tracer for DeviceTracer<'_, T> {
+    const ENABLED: bool = T::ENABLED;
+
+    fn emit(&self, ev: TraceEvent) {
+        let shifted = match ev {
+            TraceEvent::TbSpan {
+                id,
+                sm,
+                start,
+                finish,
+            } => TraceEvent::TbSpan {
+                id,
+                sm: sm + self.sm_offset,
+                start,
+                finish,
+            },
+            TraceEvent::SmOccupancy {
+                cycle,
+                sm,
+                resident,
+            } => TraceEvent::SmOccupancy {
+                cycle,
+                sm: sm + self.sm_offset,
+                resident,
+            },
+            other => other,
+        };
+        self.inner.emit(shifted);
+    }
+
+    fn recorded_len(&self) -> usize {
+        self.inner.recorded_len()
+    }
+
+    fn recorded_since(&self, from: usize) -> Vec<TraceEvent> {
+        self.inner.recorded_since(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_trace::{RecordingTracer, TbId};
+
+    #[test]
+    fn sm_events_are_offset_others_pass_through() {
+        let base = RecordingTracer::new();
+        let dt = DeviceTracer::new(&base, 2, 4);
+        let id = TbId { kernel: 0, tb: 7 };
+        dt.emit(TraceEvent::TbSpan {
+            id,
+            sm: 1,
+            start: 10,
+            finish: 20,
+        });
+        dt.emit(TraceEvent::SmOccupancy {
+            cycle: 10,
+            sm: 3,
+            resident: 2,
+        });
+        dt.emit(TraceEvent::TbReady { cycle: 5, id });
+        let evs = base.recorded_since(0);
+        assert!(matches!(evs[0], TraceEvent::TbSpan { sm: 9, .. }));
+        assert!(matches!(evs[1], TraceEvent::SmOccupancy { sm: 11, .. }));
+        assert!(matches!(evs[2], TraceEvent::TbReady { .. }));
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end behaviour of the multi-GPU path on real workloads:
+//! delegation at `devices = 1`, architectural invisibility of the sharded
+//! schedule, reproducibility, link-fault fallback, and the coordinator
+//! checkpoint's round trip through a real `BMSNAP02` container.
+
+use blockmaestro::{
+    check_schedule, jit_analyze_app, DegradationReason, ExecMode, FaultPlan, RunSnapshot,
+};
+use bm_depgraph::HazardMode;
+use bm_multi::{
+    embed_multi, extract_multi, try_run_analyzed_multi_snapshotted, try_run_app_multi,
+    try_run_app_multi_faulty, MultiGpuConfig,
+};
+use bm_simt::GpuConfig;
+use bm_trace::NullTracer;
+use bm_workloads::{suite, Scale};
+
+fn build(name: &str) -> bm_cmdq::Application {
+    let b = suite()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    (b.build)(Scale::Small)
+}
+
+const MODE: ExecMode = ExecMode::ConsumerPriority { window: 4 };
+
+#[test]
+fn one_device_delegates_to_the_single_device_engine() {
+    let cfg = GpuConfig::small();
+    let app = build("PATH");
+    let single = blockmaestro::try_run_app_with(&cfg, &app, MODE, HazardMode::Raw).unwrap();
+    let multi = try_run_app_multi(
+        &cfg,
+        &MultiGpuConfig::devices(1),
+        &app,
+        MODE,
+        HazardMode::Raw,
+    )
+    .unwrap();
+    assert_eq!(multi, single, "devices=1 must be bit-identical");
+    assert!(multi.multi.is_none(), "no multi section on a 1-device run");
+}
+
+#[test]
+fn two_devices_execute_every_tb_and_stay_architecturally_invisible() {
+    let cfg = GpuConfig::small();
+    for name in ["PATH", "HS", "NW"] {
+        let app = build(name);
+        let report = try_run_app_multi(
+            &cfg,
+            &MultiGpuConfig::devices(2),
+            &app,
+            MODE,
+            HazardMode::Raw,
+        )
+        .unwrap();
+        let multi = report.multi.as_ref().expect("multi stats present");
+        assert_eq!(multi.devices, 2);
+        assert_eq!(multi.per_device.len(), 2);
+        assert!(multi.fallback.is_none());
+        let total_tbs: u64 = multi.per_device.iter().map(|d| d.tbs_executed).sum();
+        assert_eq!(total_tbs as usize, report.schedule.len(), "{name}");
+        // The sharded schedule must still replay to the serialized result.
+        check_schedule(&app, &report.schedule).unwrap_or_else(|e| {
+            panic!("{name}: sharded schedule not architecturally invisible: {e:?}")
+        });
+        // Cross-device dependencies actually flowed.
+        if multi.cut_edges > 0 {
+            assert!(multi.transfers > 0, "{name}: cut edges but no transfers");
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let cfg = GpuConfig::small();
+    let app = build("PATH");
+    let mcfg = MultiGpuConfig::devices(2);
+    let a = try_run_app_multi(&cfg, &mcfg, &app, MODE, HazardMode::Raw).unwrap();
+    let b = try_run_app_multi(&cfg, &mcfg, &app, MODE, HazardMode::Raw).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn four_devices_handle_all_modes() {
+    let cfg = GpuConfig::small();
+    let app = build("HS");
+    let mcfg = MultiGpuConfig::devices(4);
+    for mode in [
+        ExecMode::Baseline,
+        ExecMode::IdealBaseline,
+        ExecMode::GraphLaunch,
+        ExecMode::PreLaunch { window: 4 },
+        ExecMode::ProducerPriority { window: 4 },
+        ExecMode::ConsumerPriority { window: 4 },
+    ] {
+        let report = try_run_app_multi(&cfg, &mcfg, &app, mode, HazardMode::Raw)
+            .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        check_schedule(&app, &report.schedule)
+            .unwrap_or_else(|e| panic!("{mode:?}: not invisible: {e:?}"));
+    }
+}
+
+#[test]
+fn coordinator_checkpoint_round_trips_through_a_container() {
+    let cfg = GpuConfig::small();
+    let app = build("HS");
+    let jit = jit_analyze_app(&cfg, &app, HazardMode::Raw);
+
+    // devices=1 has no coordinator, so no section to embed.
+    let (_, none) = try_run_analyzed_multi_snapshotted(
+        &cfg,
+        &MultiGpuConfig::devices(1),
+        &app,
+        &jit,
+        MODE,
+        &NullTracer,
+    )
+    .unwrap();
+    assert!(none.is_none(), "devices=1 yields no coordinator checkpoint");
+
+    let (report, ckpt) = try_run_analyzed_multi_snapshotted(
+        &cfg,
+        &MultiGpuConfig::devices(2),
+        &app,
+        &jit,
+        MODE,
+        &NullTracer,
+    )
+    .unwrap();
+    let ckpt = ckpt.expect("devices=2 yields the final coordinator checkpoint");
+    assert_eq!(ckpt.devices, 2);
+    assert_eq!(ckpt.clocks.len(), 2);
+    assert!(ckpt.round > 0, "the coordinator advanced");
+    let executed: u64 = ckpt.des.iter().map(|d| d.stats.tbs_executed).sum();
+    assert_eq!(executed as usize, report.schedule.len());
+
+    // Embed into a real BMSNAP02 container, encode, decode, extract:
+    // the TAG_MULTI section must survive bit-exactly, and a container
+    // without it must extract as None.
+    let mut snap = RunSnapshot::default();
+    assert_eq!(extract_multi(&snap).unwrap(), None);
+    embed_multi(&mut snap, &ckpt);
+    let bytes = snap.encode();
+    let back = RunSnapshot::decode(&bytes).unwrap();
+    let extracted = extract_multi(&back).unwrap().expect("section present");
+    assert_eq!(extracted, ckpt);
+
+    // Corruption inside the section surfaces as a typed decode error,
+    // never a silent partial checkpoint.
+    let mut torn = back.clone();
+    torn.multi.truncate(torn.multi.len() / 2);
+    assert!(extract_multi(&torn).is_err());
+}
+
+#[test]
+fn dropped_transfer_falls_back_to_single_device() {
+    let cfg = GpuConfig::small();
+    let app = build("PATH");
+    let plan = FaultPlan {
+        link_drop_nth: Some(0),
+        ..FaultPlan::default()
+    };
+    let report = try_run_app_multi_faulty(
+        &cfg,
+        &MultiGpuConfig::devices(2),
+        &app,
+        MODE,
+        HazardMode::Raw,
+        &plan,
+        &NullTracer,
+    )
+    .unwrap();
+    let multi = report.multi.as_ref().expect("fallback keeps multi stats");
+    let (reason, cycle) = multi.fallback.expect("fallback recorded");
+    assert_eq!(reason, DegradationReason::LinkFault);
+    assert!(cycle > 0);
+    assert!(multi.per_device.is_empty(), "no per-device stats survive");
+    // The fallback result is a clean single-device run.
+    let clean = blockmaestro::try_run_app_with(&cfg, &app, MODE, HazardMode::Raw).unwrap();
+    let mut downgraded = report.clone();
+    downgraded.multi = None;
+    assert_eq!(downgraded, clean);
+}

@@ -1,8 +1,8 @@
 //! `bmserve` — the BlockMaestro run service over newline-delimited JSON.
 //!
 //! ```text
-//! bmserve [--workers N] [--queue N] [--socket PATH] [--virtual-clock]
-//!         [--no-shed] [--retries N]
+//! bmserve [--workers N] [--queue N] [--devices N] [--socket PATH]
+//!         [--virtual-clock] [--no-shed] [--retries N]
 //! ```
 //!
 //! Without `--socket`, requests are read from stdin and responses
@@ -14,6 +14,9 @@
 //! only moves when waiters sleep — every run of the same request stream
 //! then produces the same retry/backoff timeline (useful for tests;
 //! deadlines given in virtual ticks).
+//!
+//! `--devices N` sets the simulated device pool a request's `"devices"`
+//! group is placed onto (default 4).
 
 use bm_serve::proto::{bad_request_line, parse_request, peek_id};
 use bm_serve::{RunService, ServeConfig, ServiceClock, VirtualClock, WallClock};
@@ -23,7 +26,7 @@ use std::sync::{Arc, Mutex};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bmserve [--workers N] [--queue N] [--socket PATH] \
+        "usage: bmserve [--workers N] [--queue N] [--devices N] [--socket PATH] \
          [--virtual-clock] [--no-shed] [--retries N]"
     );
     std::process::exit(2);
@@ -45,6 +48,7 @@ fn main() {
             "--workers" => scfg.workers = num("--workers").max(1),
             "--queue" => scfg.queue_depth = num("--queue").max(1),
             "--retries" => scfg.retry.max_retries = num("--retries") as u32,
+            "--devices" => scfg.total_devices = num("--devices").max(1) as u32,
             "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
             "--virtual-clock" => virtual_clock = true,
             "--no-shed" => scfg.shed_to_barrier = false,

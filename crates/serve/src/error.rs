@@ -26,6 +26,16 @@ pub enum ServeError {
         /// What refused it.
         reason: String,
     },
+    /// The request asked for a device group larger than the service
+    /// owns ([`crate::service::ServeConfig::total_devices`]). Unlike
+    /// [`ServeError::Overloaded`] this can never succeed on retry — the
+    /// placement is impossible, not merely contended.
+    Placement {
+        /// Devices the request asked for.
+        requested: u32,
+        /// Devices the service owns.
+        total: u32,
+    },
     /// The worker panicked on every allowed attempt. The panic never
     /// escapes the worker; the poisoned run state is disposed and only
     /// checkpoints survive between attempts.
@@ -62,6 +72,7 @@ impl ServeError {
             ServeError::Cancelled { .. } => "cancelled",
             ServeError::DeadlineExceeded { .. } => "deadline",
             ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Placement { .. } => "placement",
             ServeError::WorkerCrash { .. } => "crash",
             ServeError::RetriesExhausted { .. } => "retries_exhausted",
             ServeError::Failed { .. } => "failed",
@@ -78,6 +89,10 @@ impl fmt::Display for ServeError {
                 write!(f, "deadline exceeded at tick {tick}")
             }
             ServeError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
+            ServeError::Placement { requested, total } => write!(
+                f,
+                "placement impossible: {requested} devices requested, service owns {total}"
+            ),
             ServeError::WorkerCrash { attempts, message } => {
                 write!(f, "worker crashed on all {attempts} attempts: {message}")
             }
@@ -103,6 +118,12 @@ mod tests {
         assert_eq!(ServeError::Cancelled { tick: 1 }.label(), "cancelled");
         assert_eq!(ServeError::DeadlineExceeded { tick: 1 }.label(), "deadline");
         assert_eq!(ServeError::Shutdown.label(), "shutdown");
+        let placement = ServeError::Placement {
+            requested: 8,
+            total: 4,
+        };
+        assert_eq!(placement.label(), "placement");
+        assert!(placement.to_string().contains("8 devices requested"));
         assert!(ServeError::WorkerCrash {
             attempts: 3,
             message: "boom".into()

@@ -25,6 +25,11 @@
 //! 4. **Crash isolation** — `catch_unwind` around every attempt; the
 //!    poisoned attempt state is disposed, only durable checkpoints
 //!    survive, and nothing leaks between requests on a reused worker.
+//! 5. **Device-group placement** — a request may ask for a multi-device
+//!    group (`RunRequest::devices`); the worker holds the whole group
+//!    from a shared pool ([`ServeConfig::total_devices`]) and runs it
+//!    through `bm-multi`'s TB-grain sharding. Impossible groups are
+//!    rejected with the typed [`ServeError::Placement`].
 //!
 //! The `bmserve` binary speaks newline-delimited JSON ([`proto`]) over
 //! stdin/stdout or a Unix socket.

@@ -8,7 +8,7 @@
 //!
 //! ```json
 //! {"id": 1, "app": "GAUSSIAN", "scale": "small", "mode": "consumer:3",
-//!  "deadline": 5000, "retries": 2,
+//!  "devices": 2, "deadline": 5000, "retries": 2,
 //!  "kill_at": 3, "panic_at": 3, "cancel_at": 3}
 //! ```
 //!
@@ -18,6 +18,10 @@
 //! - `scale`: `"small"` (default) or `"full"`.
 //! - `mode`: `"baseline"`, `"ideal"`, `"graph"`, `"prelaunch:N"`,
 //!   `"producer:N"`, or `"consumer:N"` (default `"consumer:3"`).
+//! - `devices`: size of the simulated device group to place the run on
+//!   (default 1). The worker blocks until that many devices are free;
+//!   asking for more than the service owns is a typed `placement`
+//!   rejection.
 //! - `deadline`: absolute service-clock tick (ms under the wall clock).
 //! - `retries`: per-request override of the retry budget.
 //! - `kill_at` / `panic_at` / `cancel_at`: fault injection at that
@@ -50,8 +54,8 @@ pub fn parse_request(line: &str) -> Result<RunRequest, String> {
     let obj = doc.as_obj().ok_or("request must be a JSON object")?;
     for key in obj.keys() {
         match key.as_str() {
-            "id" | "app" | "scale" | "mode" | "deadline" | "retries" | "kill_at" | "panic_at"
-            | "cancel_at" => {}
+            "id" | "app" | "scale" | "mode" | "devices" | "deadline" | "retries" | "kill_at"
+            | "panic_at" | "cancel_at" => {}
             other => return Err(format!("unknown request field {other:?}")),
         }
     }
@@ -101,6 +105,7 @@ pub fn parse_request(line: &str) -> Result<RunRequest, String> {
         app: (bench.build)(scale),
         mode,
         hazard: bm_depgraph::HazardMode::Raw,
+        devices: u32_field("devices")?.unwrap_or(1).max(1),
         deadline,
         max_retries: u32_field("retries")?,
         fault,
@@ -179,11 +184,12 @@ mod tests {
     fn parses_a_full_request() {
         let req = parse_request(
             r#"{"id": 7, "app": "gaussian", "scale": "small", "mode": "producer:2",
-                "deadline": 99, "retries": 1, "panic_at": 2}"#,
+                "devices": 2, "deadline": 99, "retries": 1, "panic_at": 2}"#,
         )
         .unwrap();
         assert_eq!(req.id, 7);
         assert_eq!(req.mode, ExecMode::ProducerPriority { window: 2 });
+        assert_eq!(req.devices, 2);
         assert_eq!(req.deadline, Some(99));
         assert_eq!(req.max_retries, Some(1));
         assert_eq!(req.fault.panic_at_kernel, Some(2));
@@ -201,6 +207,13 @@ mod tests {
         assert!(parse_request(r#"{"app": "GAUSSIAN"}"#)
             .unwrap_err()
             .contains("\"id\""));
+        assert!(
+            parse_request(r#"{"id": 1, "app": "GAUSSIAN", "devices": "two"}"#)
+                .unwrap_err()
+                .contains("devices")
+        );
+        let defaulted = parse_request(r#"{"id": 1, "app": "GAUSSIAN"}"#).unwrap();
+        assert_eq!(defaulted.devices, 1);
         assert!(parse_mode("warp:9").unwrap_err().contains("unknown mode"));
         assert!(parse_mode("consumer:x").unwrap_err().contains("bad window"));
     }

@@ -40,6 +40,7 @@ use blockmaestro::{
 };
 use bm_cmdq::Application;
 use bm_depgraph::HazardMode;
+use bm_multi::{try_run_app_multi_faulty, MultiGpuConfig};
 use bm_ptx::cancel::{CancelCause, CancelToken};
 use bm_ptx::par::ParallelConfig;
 use bm_ptx::PtxError;
@@ -74,6 +75,16 @@ pub struct ServeConfig {
     /// Analysis parallelism for served runs; `None` uses the reference
     /// (serial) configuration.
     pub analysis: Option<ParallelConfig>,
+    /// Simulated devices the service owns. A request's
+    /// [`RunRequest::devices`] group is placed onto this pool: the
+    /// worker blocks until the whole group is free, and a request
+    /// asking for more than the pool holds is rejected with
+    /// [`ServeError::Placement`].
+    pub total_devices: u32,
+    /// Interconnect tuning for multi-device placements; the per-request
+    /// [`RunRequest::devices`] count overrides this template's
+    /// `devices` field.
+    pub multi: MultiGpuConfig,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +97,8 @@ impl Default for ServeConfig {
             shed_to_barrier: true,
             checkpoint_every: 1,
             analysis: None,
+            total_devices: 4,
+            multi: MultiGpuConfig::default(),
         }
     }
 }
@@ -101,6 +114,10 @@ pub struct RunRequest {
     pub mode: ExecMode,
     /// Hazard model for the launch-time analysis.
     pub hazard: HazardMode,
+    /// Simulated devices to place the run on (min 1). Groups larger
+    /// than 1 execute through `bm-multi`'s TB-grain sharding; every
+    /// request holds its whole group for the duration of the run.
+    pub devices: u32,
     /// Absolute service-clock tick after which the run is expired.
     pub deadline: Option<u64>,
     /// Override of [`ServeConfig::retry`]'s `max_retries`.
@@ -119,6 +136,7 @@ impl RunRequest {
             app,
             mode: ExecMode::ConsumerPriority { window: 3 },
             hazard: HazardMode::Raw,
+            devices: 1,
             deadline: None,
             max_retries: None,
             fault: FaultPlan::default(),
@@ -193,6 +211,49 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// The service's simulated device inventory. A worker blocks until its
+/// request's whole device group is free; the grant is a lease guard, so
+/// a panicking attempt (contained by `catch_unwind` in [`process`]) can
+/// never leak devices — the lease drops with the stack frame that
+/// holds it.
+struct DevicePool {
+    free: Mutex<u32>,
+    freed: Condvar,
+}
+
+impl DevicePool {
+    fn new(total: u32) -> Self {
+        DevicePool {
+            free: Mutex::new(total),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Block until `n` devices are free, then take the whole group.
+    /// Callers must have checked `n` against the pool total — asking
+    /// for more than exists would block forever.
+    fn acquire(&self, n: u32) -> DeviceLease<'_> {
+        let mut free = self.free.lock().unwrap();
+        while *free < n {
+            free = self.freed.wait(free).unwrap();
+        }
+        *free -= n;
+        DeviceLease { pool: self, n }
+    }
+}
+
+struct DeviceLease<'a> {
+    pool: &'a DevicePool,
+    n: u32,
+}
+
+impl Drop for DeviceLease<'_> {
+    fn drop(&mut self) {
+        *self.pool.free.lock().unwrap() += self.n;
+        self.pool.freed.notify_all();
+    }
+}
+
 struct Shared {
     cfg: GpuConfig,
     scfg: ServeConfig,
@@ -200,6 +261,7 @@ struct Shared {
     queue: Mutex<QueueState>,
     available: Condvar,
     breaker: Mutex<Breaker>,
+    pool: DevicePool,
     events: Mutex<Vec<TraceEvent>>,
 }
 
@@ -230,6 +292,7 @@ impl RunService {
     /// Start `scfg.workers` workers simulating on `cfg` hardware, timed
     /// by `clock`.
     pub fn start(cfg: GpuConfig, scfg: ServeConfig, clock: Arc<dyn ServiceClock>) -> Self {
+        let total_devices = scfg.total_devices.max(1);
         let shared = Arc::new(Shared {
             cfg,
             scfg,
@@ -240,6 +303,7 @@ impl RunService {
             }),
             available: Condvar::new(),
             breaker: Mutex::new(Breaker::new(BreakerConfig::default())),
+            pool: DevicePool::new(total_devices),
             events: Mutex::new(Vec::new()),
         });
         // Re-seed the breaker with the configured tuning (constructed
@@ -403,6 +467,26 @@ fn process(shared: &Shared, worker: u32, job: &Job) -> RunOutcome {
     let req = &job.req;
     let app_fp = app_fingerprint(&req.app);
 
+    // Placement: the request's device group must fit the pool at all —
+    // an impossible group is a typed rejection, not a queue wait — and
+    // a possible one is held for the whole request (every attempt,
+    // including the shed fallback) so concurrent placements can never
+    // oversubscribe the simulated hardware.
+    let group = req.devices.max(1);
+    let total = shared.scfg.total_devices.max(1);
+    if group > total {
+        return RunOutcome {
+            id: req.id,
+            attempts: 0,
+            shed: false,
+            result: Err(ServeError::Placement {
+                requested: group,
+                total,
+            }),
+        };
+    }
+    let _lease = shared.pool.acquire(group);
+
     // Admission through the app's circuit breaker.
     let (admission, tr) = {
         let mut breaker = shared.breaker.lock().unwrap();
@@ -482,18 +566,43 @@ fn process(shared: &Shared, worker: u32, job: &Job) -> RunOutcome {
         };
         let resume = attempt > 1;
         let run = catch_unwind(AssertUnwindSafe(|| {
-            try_run_app_checkpointed_ctl(
-                &shared.cfg,
-                &req.app,
-                req.mode,
-                req.hazard,
-                &fault,
-                policy,
-                &mut store,
-                resume,
-                &NullTracer,
-                &ctl,
-            )
+            if group > 1 {
+                // Multi-device placements run through bm-multi's
+                // TB-grain sharding. The coordinator has no resumable
+                // checkpoint form, so a retried attempt replays from
+                // scratch (still bit-identical — the pipeline is
+                // deterministic), and cancellation is observed between
+                // attempts rather than at kernel boundaries. Of the
+                // fault plan only the link fields apply; a link fault
+                // degrades inside the run to a single device rather
+                // than failing the attempt.
+                let mcfg = MultiGpuConfig {
+                    devices: group,
+                    ..shared.scfg.multi.clone()
+                };
+                try_run_app_multi_faulty(
+                    &shared.cfg,
+                    &mcfg,
+                    &req.app,
+                    req.mode,
+                    req.hazard,
+                    &fault,
+                    &NullTracer,
+                )
+            } else {
+                try_run_app_checkpointed_ctl(
+                    &shared.cfg,
+                    &req.app,
+                    req.mode,
+                    req.hazard,
+                    &fault,
+                    policy,
+                    &mut store,
+                    resume,
+                    &NullTracer,
+                    &ctl,
+                )
+            }
         }));
         let failure = match run {
             Ok(Ok(report)) => {

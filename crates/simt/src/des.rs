@@ -218,6 +218,20 @@ pub enum StepOutcome {
     Finished,
 }
 
+/// Result of one [`DesEngine::step_bounded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedOutcome {
+    /// The engine placed/advanced/completed work strictly below the
+    /// horizon; call `step_bounded` again.
+    Progressed,
+    /// The next time advance would reach or pass the horizon (or no
+    /// future event exists at all). Placements at the current time have
+    /// already been made; the clock did not move.
+    Blocked,
+    /// As [`StepOutcome::Finished`].
+    Finished,
+}
+
 /// The discrete-event loop of [`try_run_traced`], hoisted into a struct so
 /// drivers can interleave their own work — checkpointing at kernel
 /// boundaries, deterministic kill points — between iterations.
@@ -344,6 +358,14 @@ impl DesEngine {
         }
     }
 
+    /// The finish time of the earliest in-flight completion event, if any.
+    ///
+    /// Used by multi-device coordinators to compute a conservative global
+    /// time bound without disturbing engine state.
+    pub fn next_completion_at(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, ..))| *t)
+    }
+
     /// Runs one iteration of the event loop.
     ///
     /// # Errors
@@ -355,6 +377,43 @@ impl DesEngine {
         source: &mut dyn TbSource,
         tracer: &T,
     ) -> Result<StepOutcome, DesError> {
+        match self.step_inner(source, tracer, None)? {
+            BoundedOutcome::Progressed => Ok(StepOutcome::Progressed),
+            BoundedOutcome::Finished => Ok(StepOutcome::Finished),
+            // `step_inner` only blocks when a horizon is supplied.
+            BoundedOutcome::Blocked => unreachable!("unbounded step never blocks"),
+        }
+    }
+
+    /// Runs one iteration of the event loop, refusing to advance the clock
+    /// to `horizon` or beyond.
+    ///
+    /// Placements at the current time always happen (they consume no
+    /// simulated time); only the time-advance is bounded. A no-progress
+    /// state is *not* an error here — local starvation is expected while a
+    /// device waits on cross-device messages, so it surfaces as
+    /// [`BoundedOutcome::Blocked`] and global-deadlock detection is the
+    /// coordinator's job.
+    ///
+    /// # Errors
+    ///
+    /// [`DesError::SourceAbort`] and [`DesError::Cancelled`] exactly as
+    /// [`step`](DesEngine::step); never [`DesError::Deadlock`].
+    pub fn step_bounded<T: Tracer>(
+        &mut self,
+        source: &mut dyn TbSource,
+        tracer: &T,
+        horizon: u64,
+    ) -> Result<BoundedOutcome, DesError> {
+        self.step_inner(source, tracer, Some(horizon))
+    }
+
+    fn step_inner<T: Tracer>(
+        &mut self,
+        source: &mut dyn TbSource,
+        tracer: &T,
+        horizon: Option<u64>,
+    ) -> Result<BoundedOutcome, DesError> {
         if source.aborted() {
             return Err(DesError::SourceAbort { cycle: self.now });
         }
@@ -414,7 +473,7 @@ impl DesEngine {
             }
         }
         if source.is_done() && self.heap.is_empty() {
-            return Ok(StepOutcome::Finished);
+            return Ok(BoundedOutcome::Finished);
         }
         // Advance to the next completion or external event.
         let next_completion = self.heap.peek().map(|Reverse((t, ..))| *t);
@@ -424,6 +483,10 @@ impl DesEngine {
             (Some(a), None) => a,
             (None, Some(b)) => b,
             (None, None) => {
+                if horizon.is_some() {
+                    // Bounded mode: waiting on the coordinator, not stuck.
+                    return Ok(BoundedOutcome::Blocked);
+                }
                 if source.aborted() {
                     return Err(DesError::SourceAbort { cycle: self.now });
                 }
@@ -435,6 +498,11 @@ impl DesEngine {
                 }));
             }
         };
+        if let Some(h) = horizon {
+            if next >= h {
+                return Ok(BoundedOutcome::Blocked);
+            }
+        }
         debug_assert!(next >= self.now, "time must not move backwards");
         self.stats.concurrency_integral += self.running as u128 * (next - self.last_t) as u128;
         self.last_t = next;
@@ -470,7 +538,7 @@ impl DesEngine {
             source.on_tb_complete(d.key, self.now);
         }
         source.on_time_advance(self.now);
-        Ok(StepOutcome::Progressed)
+        Ok(BoundedOutcome::Progressed)
     }
 }
 
@@ -791,6 +859,52 @@ mod tests {
             }
             assert_eq!(resumed.finish(), reference, "stop_after={stop_after}");
         }
+    }
+
+    #[test]
+    fn bounded_stepping_matches_unbounded_run() {
+        let mut cfg = GpuConfig::small();
+        cfg.num_sms = 2;
+        cfg.max_tbs_per_sm = 2;
+        let items: Vec<(u64, TbDescriptor)> = (0..10)
+            .map(|i| (u64::from(i) * 9, desc(0, i, 32, 20 + u64::from(i % 4))))
+            .collect();
+        let reference = try_run(&cfg, &mut QueueSource::new(items.clone())).unwrap();
+        // Advance in fixed-size epochs: step until Blocked, then raise the
+        // horizon. The composed run must be bit-identical to the unbounded
+        // one, and a Blocked engine's clock must stay below the horizon.
+        let mut src = QueueSource::new(items);
+        let mut engine = DesEngine::new(&cfg);
+        src.on_time_advance(0);
+        let mut horizon = 7u64;
+        let stats = loop {
+            match engine.step_bounded(&mut src, &NullTracer, horizon).unwrap() {
+                BoundedOutcome::Progressed => {
+                    assert!(engine.now() < horizon);
+                }
+                BoundedOutcome::Blocked => {
+                    assert!(engine.now() < horizon);
+                    horizon += 7;
+                }
+                BoundedOutcome::Finished => break engine.finish(),
+            }
+        };
+        assert_eq!(stats, reference);
+    }
+
+    #[test]
+    fn bounded_step_reports_blocked_not_deadlock() {
+        // A starved source is Blocked under a horizon, Deadlock without.
+        let mut stuck = Stuck { progressed: 0 };
+        let mut engine = DesEngine::new(&GpuConfig::small());
+        assert_eq!(
+            engine.step_bounded(&mut stuck, &NullTracer, 100).unwrap(),
+            BoundedOutcome::Blocked
+        );
+        assert!(matches!(
+            engine.step(&mut stuck, &NullTracer),
+            Err(DesError::Deadlock(_))
+        ));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod timing;
 
 pub use config::{GpuConfig, ParallelConfig};
 pub use des::{
-    try_run_traced, DeadlockSnapshot, DesCheckpoint, DesEngine, DesError, DesStats, StepOutcome,
-    TbDescriptor, TbKey, TbSource,
+    try_run_traced, BoundedOutcome, DeadlockSnapshot, DesCheckpoint, DesEngine, DesError, DesStats,
+    StepOutcome, TbDescriptor, TbKey, TbSource,
 };
 pub use timing::{simulate_sm, SmTiming};

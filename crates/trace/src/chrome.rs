@@ -14,7 +14,13 @@
 //! | 2        | `cmdq`           | command submits on the position clock         |
 //! | 3        | `scheduler-hw`   | DLB/PCB events + buffer-level counters        |
 //! | 4        | `analysis`       | JIT pipeline spans + cache/affine instants    |
+//! | 6        | `interconnect`   | cross-device transfer spans (multi-GPU runs)  |
 //! | 100 + n  | `SM n`           | TB spans (lane-assigned) + residency counter  |
+//!
+//! Multi-device runs emit a [`TraceEvent::MultiTopology`] header; when
+//! present, global SM id `n` is rendered as process `D{d}·SM{s}` with
+//! `d = n / sms_per_device`, `s = n % sms_per_device`, giving each device
+//! its own visually-grouped block of SM lanes.
 //!
 //! Within a track, overlapping spans (e.g. pre-launched kernels, TBs
 //! sharing an SM) are assigned to lanes by a deterministic first-fit so
@@ -34,6 +40,8 @@ pub const PID_SCHED_HW: u64 = 3;
 pub const PID_ANALYSIS: u64 = 4;
 /// pid of the serve-layer (admission/retry/breaker) track.
 pub const PID_SERVE: u64 = 5;
+/// pid of the multi-GPU interconnect track.
+pub const PID_LINK: u64 = 6;
 /// pid of SM `n` is `PID_SM_BASE + n`.
 pub const PID_SM_BASE: u64 = 100;
 
@@ -133,6 +141,23 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
     let mut out: Vec<Json> = Vec::new();
     let mut thread_names: BTreeMap<(u64, u64), String> = BTreeMap::new();
     let mut process_names: BTreeMap<u64, String> = BTreeMap::new();
+
+    // ---- multi-device topology header --------------------------------
+    let topo: Option<(u32, u32)> = events.iter().find_map(|ev| match ev {
+        TraceEvent::MultiTopology {
+            devices,
+            sms_per_device,
+        } => Some((*devices, *sms_per_device)),
+        _ => None,
+    });
+    let sm_process_name = |sm: u32| -> String {
+        match topo {
+            Some((devices, per)) if devices > 1 && per > 0 => {
+                format!("D{}·SM{}", sm / per, sm % per)
+            }
+            _ => format!("SM {sm}"),
+        }
+    };
 
     // ---- kernel lifecycle → host spans -------------------------------
     #[derive(Default)]
@@ -259,13 +284,48 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
     }
     for (sm, spans) in &per_sm {
         let pid = PID_SM_BASE + *sm as u64;
-        process_names.insert(pid, format!("SM {sm}"));
+        process_names.insert(pid, sm_process_name(*sm));
         let lanes = assign_lanes(spans);
         for (s, lane) in spans.iter().zip(&lanes) {
             thread_names
                 .entry((pid, *lane))
                 .or_insert_with(|| format!("lane {lane}"));
             out.push(complete_event(pid, *lane, s));
+        }
+    }
+
+    // ---- interconnect track: transfer spans (send → arrival) ---------
+    let xfer_spans: Vec<Span> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::XferDone {
+                cycle,
+                sent,
+                src,
+                dst,
+                id,
+                bytes,
+            } => Some(Span {
+                start: *sent,
+                end: (*cycle).max(*sent),
+                name: format!("{id} d{src}→d{dst}"),
+                args: Json::obj([
+                    ("src", Json::int(*src as u64)),
+                    ("dst", Json::int(*dst as u64)),
+                    ("bytes", Json::int(*bytes)),
+                ]),
+            }),
+            _ => None,
+        })
+        .collect();
+    if !xfer_spans.is_empty() {
+        process_names.insert(PID_LINK, "interconnect".to_string());
+        let lanes = assign_lanes(&xfer_spans);
+        for (s, lane) in xfer_spans.iter().zip(&lanes) {
+            thread_names
+                .entry((PID_LINK, *lane))
+                .or_insert_with(|| format!("link {lane}"));
+            out.push(complete_event(PID_LINK, *lane, s));
         }
     }
 
@@ -278,7 +338,7 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                 resident,
             } => {
                 let pid = PID_SM_BASE + *sm as u64;
-                process_names.insert(pid, format!("SM {sm}"));
+                process_names.insert(pid, sm_process_name(*sm));
                 out.push(counter_event(
                     pid,
                     *cycle,
@@ -718,13 +778,34 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                     ]),
                 ));
             }
+            TraceEvent::XferStart {
+                cycle,
+                src,
+                dst,
+                id,
+                bytes,
+            } => {
+                process_names.insert(PID_LINK, "interconnect".to_string());
+                thread_names
+                    .entry((PID_LINK, TID_INSTANTS))
+                    .or_insert_with(|| "events".to_string());
+                out.push(instant_event(
+                    PID_LINK,
+                    TID_INSTANTS,
+                    *cycle,
+                    &format!("send {id} d{src}→d{dst}"),
+                    Json::obj([("bytes", Json::int(*bytes))]),
+                ));
+            }
             // Span-producing and summary-only events handled elsewhere.
             TraceEvent::TbSpan { .. }
             | TraceEvent::TbReady { .. }
             | TraceEvent::KernelIssue { .. }
             | TraceEvent::KernelArrive { .. }
             | TraceEvent::KernelRetire { .. }
-            | TraceEvent::AnalysisSpan { .. } => {}
+            | TraceEvent::AnalysisSpan { .. }
+            | TraceEvent::MultiTopology { .. }
+            | TraceEvent::XferDone { .. } => {}
         }
     }
 

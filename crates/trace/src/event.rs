@@ -408,6 +408,44 @@ pub enum TraceEvent {
         /// State after.
         to: String,
     },
+    // ---------------- multi-GPU interconnect ----------------
+    /// The topology of a multi-device run, emitted once before any device
+    /// event so consumers can map global SM ids back to `(device, sm)`.
+    MultiTopology {
+        /// Number of simulated devices.
+        devices: u32,
+        /// SMs per device (uniform).
+        sms_per_device: u32,
+    },
+    /// A cross-device dependency message entered the link.
+    XferStart {
+        /// Send cycle (the parent TB's retirement on the source device).
+        cycle: u64,
+        /// Source device id.
+        src: u32,
+        /// Destination device id.
+        dst: u32,
+        /// The child TB whose parent counter the message decrements.
+        id: TbId,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A cross-device dependency message was delivered.
+    XferDone {
+        /// Arrival cycle on the destination device.
+        cycle: u64,
+        /// Send cycle (matches the paired [`TraceEvent::XferStart`]).
+        sent: u64,
+        /// Source device id.
+        src: u32,
+        /// Destination device id.
+        dst: u32,
+        /// The child TB whose parent counter the message decrements.
+        id: TbId,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+
     /// The adaptive thread-count heuristic's verdict for one kernel's
     /// per-TB interpretation.
     ParallelDecision {
@@ -445,8 +483,10 @@ impl TraceEvent {
             | TraceEvent::Quarantine { cycle, .. }
             | TraceEvent::DegradationStamp { cycle, .. }
             | TraceEvent::CheckpointSave { cycle, .. }
-            | TraceEvent::CheckpointLoad { cycle, .. } => *cycle,
-            TraceEvent::CheckpointReject { .. } => 0,
+            | TraceEvent::CheckpointLoad { cycle, .. }
+            | TraceEvent::XferStart { cycle, .. }
+            | TraceEvent::XferDone { cycle, .. } => *cycle,
+            TraceEvent::CheckpointReject { .. } | TraceEvent::MultiTopology { .. } => 0,
             TraceEvent::AnalysisSpan { start_tick, .. } => *start_tick,
             TraceEvent::AffineFastPath { tick, .. }
             | TraceEvent::CacheProbe { tick, .. }
@@ -494,6 +534,9 @@ impl TraceEvent {
             TraceEvent::ServeComplete { .. } => "serve_complete",
             TraceEvent::BreakerTransition { .. } => "breaker_transition",
             TraceEvent::ParallelDecision { .. } => "parallel_decision",
+            TraceEvent::MultiTopology { .. } => "multi_topology",
+            TraceEvent::XferStart { .. } => "xfer_start",
+            TraceEvent::XferDone { .. } => "xfer_done",
         }
     }
 }

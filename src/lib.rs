@@ -8,11 +8,13 @@
 //! * [`bm_cmdq`] — CUDA-like command queue model
 //! * [`bm_depgraph`] — bipartite dependency graphs and encodings
 //! * [`bm_workloads`] — the evaluation benchmark suite
+//! * [`bm_multi`] — TB-grain multi-GPU execution
 //! * [`blockmaestro`] — the paper's core contribution
 
 pub use blockmaestro;
 pub use bm_cmdq;
 pub use bm_depgraph;
+pub use bm_multi;
 pub use bm_ptx;
 pub use bm_serve;
 pub use bm_simt;

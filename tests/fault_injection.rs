@@ -1,11 +1,12 @@
 //! Deterministic fault-injection harness.
 //!
-//! For every fault class, 32 seeded cases (352 total) corrupt the
+//! For every fault class, 32 seeded cases (384 total) corrupt the
 //! dependency metadata of a kernel chain — dropped/phantom dependency-list
 //! edges, mis-seeded or saturated parent counters, forced buffer spills,
 //! corrupted access sets and patterns, simulated crashes, cooperative
-//! cancellations, and injected worker panics — and run the guarded
-//! pipeline. Every case must end in exactly one of two states:
+//! cancellations, injected worker panics, and dropped or corrupted
+//! cross-device link transfers — and run the guarded pipeline. Every case
+//! must end in exactly one of two states:
 //!
 //! 1. recovery: `Ok(report)` whose schedule replays to the serialized
 //!    memory image, or
@@ -17,15 +18,17 @@
 use blockmaestro::{
     check_schedule, corrupt_access_set, corrupt_pattern, random_plan, try_jit_analyze_app,
     try_run_app_checkpointed, try_run_app_faulty, try_run_app_with, BmError, CheckpointPolicy,
-    EngineError, ExecMode, FaultClass, FaultPlan, FaultRng, JitKernel, MemStore,
+    DegradationReason, EngineError, ExecMode, FaultClass, FaultPlan, FaultRng, JitKernel, MemStore,
 };
 use bm_cmdq::{ApiCall, Application};
 use bm_depgraph::HazardMode;
+use bm_multi::{try_run_app_multi_faulty, MultiGpuConfig};
 use bm_ptx::kernel::{ArgValue, Dim3, Launch};
 use bm_ptx::mem::AddressSpace;
 use bm_ptx::parser::parse_kernel;
 use bm_simt::GpuConfig;
 use bm_testkit::{check_cases, Rng};
+use bm_trace::NullTracer;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -81,6 +84,73 @@ fn chain_app() -> Application {
     }));
     Application {
         name: "fault-chain".into(),
+        space,
+        calls,
+        host_data,
+    }
+}
+
+/// A 4-kernel chain like [`chain_app`] but with each read shifted 5 TBs
+/// forward (TB `t` of kernel `k+1` reads TB `t + 5` of kernel `k`), so any
+/// contiguous TB cut has parent→child edges crossing it — the
+/// configuration where the interconnect actually carries data and a link
+/// fault has something to hit. 16 TBs per kernel gives ≥ 8 cross-device
+/// transfers for every device count in 2..=4, covering every `nth` the
+/// link-fault planner can draw.
+fn shifted_chain_app() -> Application {
+    let tbs = 16u32;
+    let shift_elems = 5u64 * 64;
+    let n = tbs as u64 * 64;
+    let mut space = AddressSpace::new();
+    // Over-allocate so the shifted reads stay in bounds; only [0, n) is
+    // ever written.
+    let allocs: Vec<_> = (0..5).map(|_| space.alloc(4 * (n + shift_elems))).collect();
+    let k = Arc::new(
+        parse_kernel(
+            r#".entry stepshift(.param .u64 X, .param .u64 Y) {
+                 ld.param.u64 %rd1, [X];
+                 ld.param.u64 %rd2, [Y];
+                 mov.u32 %r1, %ctaid.x;
+                 mov.u32 %r2, %ntid.x;
+                 mov.u32 %r3, %tid.x;
+                 mad.lo.u32 %r4, %r1, %r2, %r3;
+                 add.u32 %r5, %r4, 320;
+                 mul.wide.u32 %rd3, %r5, 4;
+                 add.u64 %rd4, %rd1, %rd3;
+                 ld.global.f32 %f1, [%rd4];
+                 add.f32 %f2, %f1, 0f3F800000;
+                 mul.wide.u32 %rd5, %r4, 4;
+                 add.u64 %rd6, %rd2, %rd5;
+                 st.global.f32 [%rd6], %f2;
+                 ret;
+               }"#,
+        )
+        .unwrap(),
+    );
+    let mut host_data = HashMap::new();
+    host_data.insert(
+        allocs[0].id,
+        (0..n + shift_elems)
+            .map(|i| i as f32 * 0.25)
+            .collect::<Vec<_>>(),
+    );
+    let mut calls = vec![ApiCall::MemcpyH2D {
+        alloc: allocs[0].id,
+        bytes: 4 * (n + shift_elems),
+    }];
+    calls.extend((0..4).map(|i| {
+        ApiCall::KernelLaunch(Launch::new(
+            k.clone(),
+            Dim3::x(tbs),
+            Dim3::x(64),
+            vec![
+                ArgValue::Ptr(allocs[i].base),
+                ArgValue::Ptr(allocs[i + 1].base),
+            ],
+        ))
+    }));
+    Application {
+        name: "fault-shift-chain".into(),
         space,
         calls,
         host_data,
@@ -261,12 +331,63 @@ fn run_panic_case(
     Ok(true)
 }
 
+/// One seeded link-fault case: a multi-device run whose interconnect
+/// drops or corrupts a cross-device transfer. The attempt must degrade
+/// gracefully — a single-device rerun recorded as
+/// [`DegradationReason::LinkFault`], bit-identical to a clean run, never a
+/// panic or a wrong accepted result.
+fn run_link_case(app: &Application, base_jit: &[JitKernel], rng: &mut Rng) -> Result<bool, String> {
+    let hazard = HazardMode::Raw;
+    let mode = fine_grain_mode(rng);
+    let cfg = GpuConfig::small();
+    let mut frng = FaultRng::new(rng.next_u64());
+    let plan = match random_plan(FaultClass::LinkFault, base_jit, &mut frng) {
+        Some(p) => p,
+        None => return Err("no link-fault site".into()),
+    };
+    let devices = 2 + frng.below(3) as u32;
+    let mcfg = MultiGpuConfig::devices(devices);
+    let report = try_run_app_multi_faulty(&cfg, &mcfg, app, mode, hazard, &plan, &NullTracer)
+        .map_err(|e| {
+            format!("link fault under {mode}, {devices} devices, must degrade, not fail: {e}")
+        })?;
+    let multi = report
+        .multi
+        .as_ref()
+        .ok_or_else(|| "fallback must keep the multi section".to_string())?;
+    let (reason, cycle) = multi.fallback.ok_or_else(|| {
+        format!("{devices} devices under {mode}: the injected fault did not fire")
+    })?;
+    bm_testkit::prop_ensure!(
+        reason == DegradationReason::LinkFault,
+        "wrong degradation reason {reason:?}"
+    );
+    bm_testkit::prop_ensure!(cycle > 0, "detection cycle must be stamped");
+    let eq = check_schedule(app, &report.schedule).map_err(|e| format!("replay failed: {e}"))?;
+    bm_testkit::prop_ensure!(
+        eq.is_match(),
+        "under {mode}: degraded schedule diverges from serialized ({eq})"
+    );
+    // The fallback is a clean single-device run, bit for bit.
+    let clean = try_run_app_with(&cfg, app, mode, hazard).map_err(|e| format!("clean run: {e}"))?;
+    let mut stripped = report.clone();
+    stripped.multi = None;
+    bm_testkit::prop_ensure!(
+        stripped == clean,
+        "under {mode}: degraded run diverges from a clean single-device run"
+    );
+    Ok(true)
+}
+
 fn run_case(
     class: FaultClass,
     app: &Application,
     base_jit: &[JitKernel],
     rng: &mut Rng,
 ) -> Result<bool, String> {
+    if class == FaultClass::LinkFault {
+        return run_link_case(app, base_jit, rng);
+    }
     if class == FaultClass::KillPoint {
         return run_kill_case(app, base_jit, rng);
     }
@@ -347,7 +468,13 @@ fn run_case(
 }
 
 fn check_class(class: FaultClass) {
-    let app = chain_app();
+    // Link faults need cut-crossing edges; the identity chain has none
+    // (a contiguous cut never separates TB t from its sole parent t).
+    let app = if class == FaultClass::LinkFault {
+        shifted_chain_app()
+    } else {
+        chain_app()
+    };
     let base_jit =
         try_jit_analyze_app(&GpuConfig::small(), &app, HazardMode::Raw).expect("clean analysis");
     // Distinct base seed per class so cases are uncorrelated across tests.
@@ -427,7 +554,12 @@ fn worker_panic_is_contained_and_resumable() {
 }
 
 #[test]
+fn link_fault_degrades_to_a_single_device() {
+    check_class(FaultClass::LinkFault);
+}
+
+#[test]
 fn every_fault_class_is_covered() {
-    // 11 classes x 32 seeds = 352 cases across the suite.
-    assert_eq!(FaultClass::all().len() * SEEDS_PER_CLASS, 352);
+    // 12 classes x 32 seeds = 384 cases across the suite.
+    assert_eq!(FaultClass::all().len() * SEEDS_PER_CLASS, 384);
 }

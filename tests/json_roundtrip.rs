@@ -178,7 +178,10 @@ fn snapshot_manifest_roundtrips() {
     let doc = manifest(&bytes).expect("manifest from valid snapshot");
     assert_roundtrip(&doc, "snapshot manifest");
     if let Json::Obj(map) = &doc {
-        assert_eq!(map.get("version"), Some(&Json::u64(1)));
+        assert_eq!(
+            map.get("version"),
+            Some(&Json::u64(u64::from(blockmaestro::FORMAT_VERSION)))
+        );
         assert!(matches!(map.get("sections"), Some(Json::Arr(s)) if !s.is_empty()));
     } else {
         panic!("manifest must be an object");

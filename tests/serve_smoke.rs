@@ -7,6 +7,7 @@
 
 use blockmaestro::{try_run_app_with, ExecMode, FaultPlan};
 use bm_depgraph::HazardMode;
+use bm_multi::{try_run_app_multi, MultiGpuConfig};
 use bm_serve::{RunRequest, RunService, ServeConfig, ServeError, VirtualClock};
 use bm_simt::GpuConfig;
 use bm_workloads::{suite, Scale};
@@ -87,5 +88,87 @@ fn eight_concurrent_gaussians_with_a_crash_and_a_deadline_miss() {
     assert_eq!(counters.counter("serve_deadline_miss"), 1);
     assert_eq!(counters.counter("serve_outcome_deadline"), 1);
     assert_eq!(counters.counter("breaker_to_open"), 0);
+    service.shutdown();
+}
+
+/// Multi-device placement: device groups are leased from the service's
+/// pool, grouped requests run through `bm-multi` and return the same
+/// report the direct multi entry point produces, and a group larger
+/// than the pool is a typed `placement` rejection — even while smaller
+/// placements succeed around it.
+#[test]
+fn device_groups_are_placed_leased_and_bounded() {
+    let bench = suite()
+        .into_iter()
+        .find(|b| b.name == "HS")
+        .expect("HS in the Table II suite");
+    let app = || (bench.build)(Scale::Small);
+    let mode = ExecMode::ConsumerPriority { window: 3 };
+    let cfg = GpuConfig::small();
+    let scfg = ServeConfig {
+        workers: 3,
+        total_devices: 4,
+        ..ServeConfig::default()
+    };
+    let single = try_run_app_with(&cfg, &app(), mode, HazardMode::Raw).unwrap();
+    let multi = try_run_app_multi(
+        &cfg,
+        &MultiGpuConfig {
+            devices: 2,
+            ..scfg.multi.clone()
+        },
+        &app(),
+        mode,
+        HazardMode::Raw,
+    )
+    .unwrap();
+
+    let service = RunService::start(cfg, scfg, VirtualClock::new());
+    // Interleave: two 2-device groups (together they exactly fill the
+    // pool), one single-device run, and one impossible 8-device ask.
+    let pendings: Vec<_> = [(1u64, 2u32), (2, 2), (3, 1), (4, 8)]
+        .into_iter()
+        .map(|(id, devices)| {
+            let mut req = RunRequest::new(id, app());
+            req.mode = mode;
+            req.devices = devices;
+            service.submit(req).expect("queue holds all four")
+        })
+        .collect();
+    let mut outcomes: Vec<_> = pendings.into_iter().map(|p| p.wait()).collect();
+    outcomes.sort_by_key(|o| o.id);
+
+    for out in &outcomes {
+        match out.id {
+            1 | 2 => {
+                let report = out.result.as_ref().expect("2-device run succeeds");
+                assert_eq!(
+                    report, &multi,
+                    "served group run matches direct bm-multi run"
+                );
+                assert_eq!(
+                    report.multi.as_ref().map(|m| m.per_device.len()),
+                    Some(2),
+                    "report carries per-device stats"
+                );
+            }
+            3 => {
+                assert_eq!(out.result.as_ref().expect("single run succeeds"), &single);
+            }
+            4 => {
+                assert_eq!(
+                    out.result,
+                    Err(ServeError::Placement {
+                        requested: 8,
+                        total: 4
+                    }),
+                    "impossible group is a typed rejection"
+                );
+                assert_eq!(out.attempts, 0, "rejected before any attempt");
+                assert_eq!(out.label(), "placement");
+            }
+            _ => unreachable!(),
+        }
+    }
     service.shutdown();
 }
